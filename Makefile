@@ -1,0 +1,38 @@
+# Convenience targets for building, testing and reproducing the evaluation.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test log, as recorded in test_output.txt.
+test-log:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+# Substrate micro-benchmarks and the per-figure harness.
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every paper figure into results/ (the run recorded in
+# EXPERIMENTS.md used exactly this invocation).
+figures:
+	$(GO) run ./cmd/figures -fig all -requests 150000 -warmup 100000 -o results/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/endurance
+	$(GO) run ./examples/taillatency
+	$(GO) run ./examples/kvstore
+
+clean:
+	rm -rf results/ test_output.txt bench_output.txt

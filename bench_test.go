@@ -1,0 +1,369 @@
+package esd
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§IV) as testing.B benchmarks: `go test -bench=Fig` runs the
+// whole campaign. Each benchmark reports its figure's headline numbers as
+// custom metrics (speedups, reductions, shares), so the paper-vs-measured
+// comparison in EXPERIMENTS.md can be regenerated from this output.
+//
+// Benchmark iterations re-run complete simulation campaigns; expect >1 s
+// per iteration. Use -benchtime=1x for a single regeneration.
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/fingerprint"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// benchOpts sizes the per-figure campaigns so the full `-bench=.` sweep
+// completes in minutes while the statistics stay stable.
+func benchOpts() experiments.Options {
+	opts := experiments.DefaultOptions()
+	opts.Requests = 20000
+	opts.Warmup = 15000
+	return opts
+}
+
+func reportAverage(b *testing.B, rows []experiments.AppRow, metric string) {
+	b.Helper()
+	sums := map[string]float64{}
+	for _, r := range rows {
+		for scheme, v := range r.Values {
+			sums[scheme] += v
+		}
+	}
+	n := float64(len(rows))
+	if n == 0 {
+		return
+	}
+	for _, scheme := range experiments.DedupSchemes() {
+		b.ReportMetric(sums[scheme]/n, scheme+"-"+metric)
+	}
+}
+
+// BenchmarkFig01DuplicateRate regenerates Fig. 1 (duplicate rate of evicted
+// cache lines per application; paper: mean 62.9%).
+func BenchmarkFig01DuplicateRate(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.DupRate
+		}
+		b.ReportMetric(sum/float64(len(rows))*100, "mean-dup-%")
+	}
+}
+
+// BenchmarkFig02WorstCase regenerates Fig. 2 (normalized performance of the
+// dedup schemes in the worst case, leela and lbm).
+func BenchmarkFig02WorstCase(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig2(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.App == "lbm/write" {
+				b.ReportMetric(r.Values[experiments.SchemeSHA1], "lbm-sha1-write-perf")
+				b.ReportMetric(r.Values[experiments.SchemeESD], "lbm-esd-write-perf")
+			}
+		}
+	}
+}
+
+// BenchmarkFig03ContentLocality regenerates Fig. 3 (reference-count
+// distribution; paper: tiny hot fraction holds ~42.7% of write volume).
+func BenchmarkFig03ContentLocality(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig3(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hotU, hotW := 0.0, 0.0
+		for _, r := range rows {
+			hotU += r.UniqueShares[workload.Num1000Plus]
+			hotW += r.WriteShares[workload.Num1000Plus]
+		}
+		n := float64(len(rows))
+		b.ReportMetric(hotU/n*100, "hot-unique-%")
+		b.ReportMetric(hotW/n*100, "hot-volume-%")
+	}
+}
+
+// BenchmarkFig05LookupBottleneck regenerates Fig. 5 (duplicates filtered by
+// cached vs NVMM fingerprints under full dedup, and the lookup latency
+// share; paper: 51.0% / 13.7% / 49.2%).
+func BenchmarkFig05LookupBottleneck(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig5(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cacheShare, nvmmShare, lookupShare float64
+		for _, r := range rows {
+			cacheShare += r.DupByCacheShare
+			nvmmShare += r.DupByNVMMShare
+			lookupShare += r.LookupLatencyShare
+		}
+		n := float64(len(rows))
+		b.ReportMetric(cacheShare/n*100, "dup-by-cache-%")
+		b.ReportMetric(nvmmShare/n*100, "dup-by-nvmm-%")
+		b.ReportMetric(lookupShare/n*100, "lookup-latency-%")
+	}
+}
+
+// BenchmarkFig08Collisions regenerates Fig. 8 (fingerprint collision
+// probability, normalized to CRC).
+func BenchmarkFig08Collisions(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Kind == fingerprint.KindECC {
+				b.ReportMetric(r.Normalized, "ecc-vs-crc16")
+			}
+			if r.Kind == fingerprint.KindCRC32 {
+				b.ReportMetric(r.Normalized, "crc32-vs-crc16")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11WriteReduction regenerates Fig. 11 (write reduction vs
+// Baseline; paper: ESD 47.8% average).
+func BenchmarkFig11WriteReduction(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig11(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverage(b, rows, "write-reduction-%")
+	}
+}
+
+// BenchmarkFig12WriteSpeedup regenerates Fig. 12 (write speedup vs
+// Baseline; paper: ESD up to 3.4x).
+func BenchmarkFig12WriteSpeedup(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig12(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverage(b, rows, "write-speedup")
+	}
+}
+
+// BenchmarkFig13ReadSpeedup regenerates Fig. 13 (read speedup vs Baseline;
+// paper: ESD up to 5.3x).
+func BenchmarkFig13ReadSpeedup(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig13(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverage(b, rows, "read-speedup")
+	}
+}
+
+// BenchmarkFig14IPC regenerates Fig. 14 (IPC normalized to Baseline; paper:
+// ESD up to 2.4x).
+func BenchmarkFig14IPC(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig14(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverage(b, rows, "ipc-norm")
+	}
+}
+
+// BenchmarkFig15TailLatency regenerates Fig. 15 (write latency CDF for the
+// eight selected applications).
+func BenchmarkFig15TailLatency(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig15(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var esdP99, shaP99 float64
+		var n float64
+		for _, r := range rows {
+			switch r.Scheme {
+			case experiments.SchemeESD:
+				esdP99 += r.P99.Nanoseconds()
+				n++
+			case experiments.SchemeSHA1:
+				shaP99 += r.P99.Nanoseconds()
+			}
+		}
+		b.ReportMetric(esdP99/n, "esd-p99-ns")
+		b.ReportMetric(shaP99/n, "sha1-p99-ns")
+	}
+}
+
+// BenchmarkFig16Energy regenerates Fig. 16 (energy normalized to Baseline;
+// lower is better).
+func BenchmarkFig16Energy(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig16(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportAverage(b, rows, "energy-norm")
+	}
+}
+
+// BenchmarkFig17WriteProfile regenerates Fig. 17 (write latency profile;
+// paper: SHA-1 ~80% fingerprint computation, ESD dominated by media).
+func BenchmarkFig17WriteProfile(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig17(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Scheme {
+			case experiments.SchemeSHA1:
+				b.ReportMetric(r.FPCompute*100, "sha1-fpcompute-%")
+			case experiments.SchemeESD:
+				b.ReportMetric(r.WriteUnique*100, "esd-write-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig18CacheSweep regenerates Fig. 18 (EFIT/AMT hit rate vs cache
+// size, with and without LRCU). The sweep runs 12 simulations per
+// application, so it uses a reduced application set.
+func BenchmarkFig18CacheSweep(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"lbm", "mcf", "x264", "gcc"}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig18(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.SizeBytes == 512<<10 {
+				b.ReportMetric(r.EFITHitLRCU, "efit-hit@512KB")
+				b.ReportMetric(r.AMTHit, "amt-hit@512KB")
+			}
+		}
+	}
+}
+
+// BenchmarkFig19Metadata regenerates Fig. 19 (NVMM metadata overhead
+// normalized to Dedup_SHA1; paper: ESD -81.2%, DeWrite -60.9%).
+func BenchmarkFig19Metadata(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Fig19(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Normalized, r.Scheme+"-metadata-norm")
+		}
+	}
+}
+
+// BenchmarkTableIConfig exercises construction at the paper's full Table I
+// scale (16 GB device), validating that capacity-level structures stay
+// sparse.
+func BenchmarkTableIConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(DefaultConfig(), SchemeESD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var line Line
+		line[0] = byte(i)
+		sys.Write(uint64(i%1024), line)
+	}
+}
+
+// BenchmarkSystemWriteESD measures raw simulator throughput on the ESD
+// write path (requests simulated per second).
+func BenchmarkSystemWriteESD(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 30
+	sys, err := NewSystem(cfg, SchemeESD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line Line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line.SetWord(0, uint64(i)%512)
+		sys.Write(uint64(i)%65536, line)
+	}
+}
+
+// BenchmarkSystemWriteSHA1 is the same workload under Dedup_SHA1, showing
+// the simulation-throughput cost of cryptographic fingerprinting.
+func BenchmarkSystemWriteSHA1(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 30
+	sys, err := NewSystem(cfg, SchemeSHA1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var line Line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line.SetWord(0, uint64(i)%512)
+		sys.Write(uint64(i)%65536, line)
+	}
+}
+
+// BenchmarkAblationCapacity regenerates the effective-capacity ablation
+// (BCD base+delta vs exact dedup on a near-duplicate workload).
+func BenchmarkAblationCapacity(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.AblationCapacity(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.EffectiveCapacity, r.Scheme+"-capacity")
+		}
+	}
+}
+
+// BenchmarkAblationRecovery regenerates the crash-recovery transient study.
+func BenchmarkAblationRecovery(b *testing.B) {
+	opts := benchOpts()
+	opts.Apps = []string{"x264", "dedup"}
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.AblationRecovery(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == experiments.SchemeESD {
+				b.ReportMetric(r.PostCrashNs, "esd-postcrash-ns")
+				b.ReportMetric(r.RecoveredNs, "esd-recovered-ns")
+			}
+		}
+	}
+}

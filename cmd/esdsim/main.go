@@ -1,0 +1,283 @@
+// Command esdsim is the trace-driven NVMM simulator CLI, mirroring the
+// paper artifact's nvmain.fast front end: pick a scheme (0: Baseline,
+// 1: Dedup_SHA1, 2: DeWrite, 3: ESD), a workload (a built-in application
+// profile or a trace file), and get read/write/energy/latency statistics.
+//
+// Examples:
+//
+//	esdsim -scheme 3 -app lbm -n 200000
+//	esdsim -scheme esd -trace lbm.esdt -latency lbm_lat.txt
+//	esdsim -list
+//	esdsim -config
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/trace"
+)
+
+var schemeByIndex = map[string]string{
+	"0": esd.SchemeBaseline,
+	"1": esd.SchemeSHA1,
+	"2": esd.SchemeDeWrite,
+	"3": esd.SchemeESD,
+}
+
+func resolveScheme(s string) (string, error) {
+	if name, ok := schemeByIndex[s]; ok {
+		return name, nil
+	}
+	valid := append(esd.SchemeNames(), esd.SchemeBCD)
+	for _, name := range valid {
+		if name == s {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("unknown scheme %q (use 0-3 or %s)", s, strings.Join(valid, ", "))
+}
+
+func main() {
+	var (
+		schemeFlag = flag.String("scheme", "3", "scheme: 0/baseline, 1/dedup-sha1, 2/dewrite, 3/esd")
+		app        = flag.String("app", "", "built-in application profile (see -list)")
+		mix        = flag.String("mix", "", "comma-separated applications run as a multi-programmed mix")
+		traceFile  = flag.String("trace", "", "binary trace file (overrides -app)")
+		n          = flag.Int("n", 100000, "measured requests")
+		warmup     = flag.Int("warmup", 50000, "unmeasured warm-up requests (profiles only)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		verify     = flag.Bool("verify", false, "verify every read against the last written content")
+		latency    = flag.String("latency", "", "write the write-latency CDF to this file")
+		list       = flag.Bool("list", false, "list application profiles and exit")
+		showConfig = flag.Bool("config", false, "print the system configuration and exit")
+		compare    = flag.Bool("compare", false, "run all four schemes on the workload and print a comparison")
+		withTree   = flag.Bool("integrity", false, "enable the Merkle counter tree (replay protection for encryption counters)")
+		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available application profiles:")
+		for _, p := range esd.Profiles() {
+			fmt.Printf("  %-14s %-13s dup=%5.1f%%  zero=%5.1f%%  writes=%4.0f%%  footprint=%6d lines\n",
+				p.Name, p.Suite, p.DupRate*100, p.ZeroFrac*100, p.WriteRatio*100, p.FootprintLines)
+		}
+		return
+	}
+
+	cfg := esd.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Crypto.IntegrityEnabled = *withTree
+	if *showConfig {
+		fmt.Printf("Table I configuration:\n")
+		fmt.Printf("  CPU:    %d cores @ %.0f GHz, %d outstanding requests\n",
+			cfg.CPU.Cores, cfg.CPU.ClockHz/1e9, cfg.CPU.MaxOutstanding)
+		fmt.Printf("  L1/L2/L3: %dKB / %dKB / %dMB, all %d-way, 64 B lines\n",
+			cfg.L1.Size>>10, cfg.L2.Size>>10, cfg.L3.Size>>20, cfg.L3.Ways)
+		fmt.Printf("  PCM:    %d GB, %d banks, read %v / write %v, %.2f/%.2f nJ\n",
+			cfg.PCM.CapacityBytes>>30, cfg.PCM.Banks, cfg.PCM.ReadLatency,
+			cfg.PCM.WriteLatency, cfg.PCM.ReadEnergy, cfg.PCM.WriteEnergy)
+		fmt.Printf("  Meta:   EFIT cache %d KB, AMT cache %d KB\n",
+			cfg.Meta.EFITCacheBytes>>10, cfg.Meta.AMTCacheBytes>>10)
+		fmt.Printf("  Hashes: SHA-1 %v, MD5 %v, CRC %v; AES %v\n",
+			cfg.FP.SHA1Latency, cfg.FP.MD5Latency, cfg.FP.CRCLatency, cfg.Crypto.EncryptLatency)
+		return
+	}
+
+	if *compare {
+		if *app == "" {
+			fatal(fmt.Errorf("-compare needs -app"))
+		}
+		if err := compareSchemes(cfg, *app, *seed, *warmup, *n); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	scheme, err := resolveScheme(*schemeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := esd.NewSystem(cfg, scheme)
+	if err != nil {
+		fatal(err)
+	}
+	sys.SetVerifyReads(*verify)
+
+	var stream esd.Stream
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		stream = trace.NewReader(f)
+	case *mix != "":
+		sys.SetWarmup(*warmup)
+		stream, err = esd.MixStream(*seed, *warmup+*n, strings.Split(*mix, ",")...)
+		if err != nil {
+			fatal(err)
+		}
+	case *app != "":
+		sys.SetWarmup(*warmup)
+		stream, err = esd.WorkloadStream(*app, *seed, *warmup+*n)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -app, -mix or -trace (see -list)"))
+	}
+
+	res, err := sys.Run(stream)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := printJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	} else {
+		printResult(sys, res)
+	}
+
+	if *latency != "" {
+		f, err := os.Create(*latency)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "# write-latency CDF, scheme=%s\n# latency_ns cumulative_fraction\n", scheme)
+		for _, p := range res.WriteHist.CDF() {
+			fmt.Fprintf(f, "%.1f %.6f\n", p.Latency.Nanoseconds(), p.Frac)
+		}
+		fmt.Printf("write-latency CDF written to %s\n", *latency)
+	}
+}
+
+// jsonResult is the machine-readable shape of a run.
+type jsonResult struct {
+	Scheme       string  `json:"scheme"`
+	Requests     uint64  `json:"requests"`
+	Reads        uint64  `json:"reads"`
+	Writes       uint64  `json:"writes"`
+	WriteMeanNs  float64 `json:"write_mean_ns"`
+	WriteP99Ns   float64 `json:"write_p99_ns"`
+	ReadMeanNs   float64 `json:"read_mean_ns"`
+	ReadP99Ns    float64 `json:"read_p99_ns"`
+	DedupRate    float64 `json:"dedup_rate"`
+	UniqueWrites uint64  `json:"unique_writes"`
+	NVMMLookups  uint64  `json:"fp_nvmm_lookups"`
+	EnergyNJ     float64 `json:"energy_nj"`
+	MediaWrites  uint64  `json:"media_writes"`
+	MetadataNVMM int64   `json:"metadata_nvmm_bytes"`
+	MaxWear      uint64  `json:"max_wear"`
+	ElapsedNs    float64 `json:"simulated_ns"`
+}
+
+func printJSON(w io.Writer, res *esd.RunResult) error {
+	out := jsonResult{
+		Scheme:       res.SchemeName,
+		Requests:     res.Requests,
+		Reads:        res.Reads,
+		Writes:       res.Writes,
+		WriteMeanNs:  res.WriteHist.Mean().Nanoseconds(),
+		WriteP99Ns:   res.WriteHist.Percentile(0.99).Nanoseconds(),
+		ReadMeanNs:   res.ReadHist.Mean().Nanoseconds(),
+		ReadP99Ns:    res.ReadHist.Percentile(0.99).Nanoseconds(),
+		DedupRate:    res.Scheme.DedupRate(),
+		UniqueWrites: res.Scheme.UniqueWrites,
+		NVMMLookups:  res.Scheme.FPNVMMLookups,
+		EnergyNJ:     res.Energy.Total(),
+		MediaWrites:  res.DeviceWrites,
+		MetadataNVMM: res.MetadataNVMM,
+		MaxWear:      res.Wear.MaxWear,
+		ElapsedNs:    res.Elapsed.Nanoseconds(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printResult(sys *esd.System, res *esd.RunResult) {
+	fmt.Printf("scheme=%s requests=%d (reads=%d writes=%d) simulated=%v\n",
+		res.SchemeName, res.Requests, res.Reads, res.Writes, res.Elapsed)
+	fmt.Printf("writes:  mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		res.WriteHist.Mean(), res.WriteHist.Percentile(0.5), res.WriteHist.Percentile(0.99),
+		res.WriteHist.Percentile(0.999), res.WriteHist.Max())
+	fmt.Printf("reads:   mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+		res.ReadHist.Mean(), res.ReadHist.Percentile(0.5), res.ReadHist.Percentile(0.99),
+		res.ReadHist.Percentile(0.999), res.ReadHist.Max())
+	st := res.Scheme
+	fmt.Printf("dedup:   eliminated=%d/%d (%.1f%%)  unique-writes=%d  fp-nvmm-lookups=%d\n",
+		st.DedupWrites, st.Writes, st.DedupRate()*100, st.UniqueWrites, st.FPNVMMLookups)
+	fmt.Printf("energy:  total=%.1f uJ (media=%.1f fp=%.1f crypto=%.1f sram=%.2f)\n",
+		res.Energy.Total()/1000, res.Energy.Media/1000, res.Energy.Fingerprint/1000,
+		res.Energy.Crypto/1000, res.Energy.SRAM/1000)
+	fmt.Printf("device:  media-writes=%d  metadata-nvmm=%d B  wear(max=%d mean=%.2f)\n",
+		res.DeviceWrites, res.MetadataNVMM, res.Wear.MaxWear, res.Wear.MeanWear)
+	b := res.Breakdown
+	if total := b.Total(); total > 0 {
+		fmt.Printf("write-path profile: fp-compute=%.1f%% fp-nvmm=%.1f%% read-compare=%.1f%% write=%.1f%%\n",
+			pct(b.FPCompute+b.FPLookupSRAM, total), pct(b.FPLookupNVMM, total),
+			pct(b.ReadCompare, total), pct(b.Encrypt+b.Queue+b.Media+b.Metadata, total))
+	}
+	_ = sys
+}
+
+func pct(part, total esd.Time) float64 { return 100 * float64(part) / float64(total) }
+
+// compareSchemes replays the same workload under every scheme and prints a
+// side-by-side summary with baseline-normalized columns.
+func compareSchemes(cfg esd.Config, app string, seed uint64, warmup, n int) error {
+	type row struct {
+		name string
+		res  *esd.RunResult
+	}
+	var rows []row
+	for _, name := range esd.SchemeNames() {
+		sys, err := esd.NewSystem(cfg, name)
+		if err != nil {
+			return err
+		}
+		sys.SetWarmup(warmup)
+		res, err := sys.RunWorkload(app, seed, warmup+n)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{name, res})
+	}
+	base := rows[0].res
+	fmt.Printf("workload=%s requests=%d (after %d warm-up)\n\n", app, n, warmup)
+	fmt.Printf("%-12s %10s %10s %9s %9s %9s %10s %11s\n",
+		"scheme", "wMean", "rMean", "wSpeedup", "rSpeedup", "dedup-%", "energy-rel", "data-writes")
+	for _, r := range rows {
+		fmt.Printf("%-12s %9.0fns %9.0fns %8.2fx %8.2fx %9.1f %10.2f %11d\n",
+			r.name,
+			r.res.WriteHist.Mean().Nanoseconds(), r.res.ReadHist.Mean().Nanoseconds(),
+			ratioOf(base.WriteHist.Mean(), r.res.WriteHist.Mean()),
+			ratioOf(base.ReadHist.Mean(), r.res.ReadHist.Mean()),
+			r.res.Scheme.DedupRate()*100,
+			r.res.Energy.Total()/base.Energy.Total(),
+			r.res.DataWrites)
+	}
+	return nil
+}
+
+func ratioOf(a, b esd.Time) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esdsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	esd "github.com/esdsim/esd"
+)
+
+func TestResolveScheme(t *testing.T) {
+	cases := map[string]string{
+		"0": esd.SchemeBaseline, "1": esd.SchemeSHA1,
+		"2": esd.SchemeDeWrite, "3": esd.SchemeESD,
+		"esd": esd.SchemeESD, "bcd": esd.SchemeBCD,
+		"dewrite": esd.SchemeDeWrite,
+	}
+	for in, want := range cases {
+		got, err := resolveScheme(in)
+		if err != nil || got != want {
+			t.Errorf("resolveScheme(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := resolveScheme("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestPrintJSON(t *testing.T) {
+	sys, err := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetWarmup(500)
+	res, err := sys.RunWorkload("leela", 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := printJSON(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"scheme": "esd"`, `"dedup_rate"`, `"write_mean_ns"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareSchemesRuns(t *testing.T) {
+	cfg := esd.DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 28
+	if err := compareSchemes(cfg, "leela", 1, 500, 1500); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareSchemes(cfg, "nosuch", 1, 10, 10); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command figures regenerates the tables and figures of the ESD paper's
+// evaluation (§IV) from fresh simulations.
+//
+// Examples:
+//
+//	figures -fig fig11                        # one figure to stdout
+//	figures -fig all -requests 200000 -o out/ # full campaign into files
+//	figures -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "experiment id (figN, ablation-*) or 'all'")
+		requests = flag.Int("requests", 30000, "measured requests per application")
+		warmup   = flag.Int("warmup", 20000, "warm-up requests per application")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		apps     = flag.String("apps", "", "comma-separated application subset (default: all 20)")
+		fpScale  = flag.Int("fpcachescale", 1, "shrink fingerprint caches by this factor (scaled-down simulation; see DESIGN.md)")
+		outDir   = flag.String("o", "", "write each table to <dir>/<id>.txt instead of stdout")
+		chart    = flag.Bool("chart", false, "render a terminal chart instead of a table (fig11-16)")
+		report   = flag.String("report", "", "write the full paper-vs-measured markdown report to this file")
+		seeds    = flag.Int("seeds", 1, "run per-app figures over N seeds and report mean±stddev (fig11-14, fig16)")
+		format   = flag.String("format", "table", "output format: table or csv")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range esd.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *fig == "" && *report == "" {
+		fatal(fmt.Errorf("need -fig <id>, -fig all, or -report <file> (see -list)"))
+	}
+
+	opts := esd.DefaultExperimentOptions()
+	opts.Requests = *requests
+	opts.Warmup = *warmup
+	opts.Seed = *seed
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	opts.FPCacheScale = *fpScale
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		if err := experiments.WriteReport(opts, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report -> %s (%.1fs)\n", *report, time.Since(start).Seconds())
+		return
+	}
+
+	if *chart {
+		if err := experiments.RenderChart(*fig, opts, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *seeds > 1 {
+		_, tb, err := experiments.MultiSeed(*fig, opts, *seeds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(tb, *format, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = esd.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tb, err := esd.RunExperiment(id, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, id+".txt")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tb.Render(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-20s -> %s (%.1fs)\n", id, path, time.Since(start).Seconds())
+		} else {
+			if err := render(tb, *format, os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// render writes tb in the chosen format.
+func render(tb *stats.Table, format string, w io.Writer) error {
+	switch format {
+	case "csv":
+		return tb.RenderCSV(w)
+	case "table", "":
+		return tb.Render(w)
+	default:
+		return fmt.Errorf("unknown format %q (table or csv)", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

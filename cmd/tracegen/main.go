@@ -1,0 +1,183 @@
+// Command tracegen generates, converts and inspects memory traces in the
+// simulator's formats.
+//
+// Examples:
+//
+//	tracegen -app lbm -n 100000 -o lbm.esdt        # binary trace
+//	tracegen -app gcc -n 1000 -format text -o -    # text trace to stdout
+//	tracegen -stats -app mcf -n 50000              # Fig.1/Fig.3-style stats
+//	tracegen -inspect lbm.esdt                     # summarize a trace file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/cpucache"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application profile to generate")
+		n       = flag.Int("n", 100000, "number of records")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "-", "output path ('-' = stdout)")
+		format  = flag.String("format", "bin", "output format: bin or text")
+		stats   = flag.Bool("stats", false, "print duplicate statistics instead of a trace")
+		inspect = flag.String("inspect", "", "summarize an existing binary trace file")
+		cpu     = flag.Bool("cpu", false, "derive the trace by driving the Table I L1/L2/L3 hierarchy with -n CPU accesses (gem5-style)")
+		cores   = flag.Int("cores", 1, "with -cpu: use this many cores with private L1/L2 over a shared L3")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := inspectTrace(*inspect); err != nil {
+			fatal(err)
+		}
+	case *stats:
+		if err := printStats(*app, *seed, *n); err != nil {
+			fatal(err)
+		}
+	case *app != "":
+		if err := generate(*app, *seed, *n, *out, *format, *cpu, *cores); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -app, -stats or -inspect"))
+	}
+}
+
+func generate(app string, seed uint64, n int, out, format string, cpu bool, cores int) error {
+	var stream trace.Stream
+	if cpu {
+		p, ok := workload.ByName(app)
+		if !ok {
+			return fmt.Errorf("unknown application %q", app)
+		}
+		cfg := config.Default()
+		if cores > 1 {
+			records, st, migrations := cpucache.MultiCoreTrace(p, cores, cfg.L1, cfg.L2, cfg.L3, seed, n)
+			fmt.Fprintf(os.Stderr, "cpu mode (%d cores): %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs, %d migrations)\n",
+				cores, st.Accesses, len(records), st.MissRate()*100, st.WriteBacks, migrations)
+			stream = trace.NewSliceStream(records)
+		} else {
+			records, st := cpucache.CPUTrace(p, cfg.L1, cfg.L2, cfg.L3, seed, n)
+			fmt.Fprintf(os.Stderr, "cpu mode: %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs)\n",
+				st.Accesses, len(records), st.MissRate()*100, st.WriteBacks)
+			stream = trace.NewSliceStream(records)
+		}
+	} else {
+		var err error
+		stream, err = esd.WorkloadStream(app, seed, n)
+		if err != nil {
+			return err
+		}
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "bin":
+		tw := trace.NewWriter(w)
+		for {
+			rec, err := stream.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			if err := tw.Write(rec); err != nil {
+				return err
+			}
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records\n", tw.Count())
+	case "text":
+		records, err := trace.Collect(stream)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteText(w, records); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (bin or text)", format)
+	}
+	return nil
+}
+
+func printStats(app string, seed uint64, n int) error {
+	stream, err := esd.WorkloadStream(app, seed, n)
+	if err != nil {
+		return err
+	}
+	st, err := workload.MeasureDup(stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app=%s records=%d writes=%d unique=%d\n", app, n, st.Writes, st.UniqueLines)
+	fmt.Printf("duplicate rate: %.1f%%   zero-line writes: %.1f%%\n",
+		st.DupRate*100, 100*float64(st.ZeroWrites)/float64(st.Writes))
+	fmt.Println("reference-count classes (unique-share / write-volume-share):")
+	for c := workload.Num1; c < workload.NumClasses; c++ {
+		fmt.Printf("  %-9s %6.2f%% / %6.2f%%\n", c, st.UniqueShare(c)*100, st.WriteShare(c)*100)
+	}
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var reads, writes uint64
+	var first, last esd.Record
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			first = rec
+		}
+		last = rec
+		n++
+		if rec.Op == trace.OpWrite {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	fmt.Printf("%s: %d records (%d reads, %d writes)\n", path, n, reads, writes)
+	if n > 0 {
+		fmt.Printf("time span: %v .. %v\n", first.At, last.At)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package esd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// TestCrashLosesNoData is the §III-E consistency property: after a power
+// failure that wipes every volatile structure, all previously written data
+// remains readable under every scheme.
+func TestCrashLosesNoData(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		sys, err := NewSystem(smallConfig(), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := xrand.New(77)
+		written := map[uint64]Line{}
+		contents := make([]Line, 8)
+		for i := range contents {
+			contents[i].SetWord(0, r.Uint64())
+		}
+		for i := 0; i < 500; i++ {
+			addr := r.Uint64n(64)
+			line := contents[r.Intn(len(contents))]
+			sys.Write(addr, line)
+			written[addr] = line
+		}
+
+		sys.Crash()
+
+		for addr, want := range written {
+			got, ro := sys.Read(addr)
+			if !ro.Hit || got != want {
+				t.Fatalf("%s: line %d lost or corrupted after crash", scheme, addr)
+			}
+		}
+	}
+}
+
+// TestCrashThenDedupContinues checks that ESD keeps working after losing
+// the EFIT: dedup restarts cold but correctness and eventual dedup return.
+func TestCrashThenDedupContinues(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := Line{42}
+	sys.Write(1, hot)
+	if out := sys.Write(2, hot); !out.Deduplicated {
+		t.Fatal("no dedup before crash")
+	}
+
+	sys.Crash()
+
+	// First post-crash duplicate write misses the (empty) EFIT and is
+	// written as unique — selective dedup by design, no recovery pass.
+	out := sys.Write(3, hot)
+	if out.Deduplicated {
+		t.Fatal("dedup hit immediately after EFIT loss")
+	}
+	// The fingerprint is back in the EFIT now; dedup resumes.
+	if out := sys.Write(4, hot); !out.Deduplicated {
+		t.Fatal("dedup did not resume after crash")
+	}
+	for _, addr := range []uint64{1, 2, 3, 4} {
+		if got, ro := sys.Read(addr); !ro.Hit || got != hot {
+			t.Fatalf("line %d wrong after crash/recovery", addr)
+		}
+	}
+}
+
+// TestCrashMidWorkloadProperty runs random write/crash/read interleavings
+// under every scheme and verifies the read-back oracle.
+func TestCrashMidWorkloadProperty(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		scheme := scheme
+		check := func(seed uint64) bool {
+			sys, err := NewSystem(smallConfig(), scheme)
+			if err != nil {
+				return false
+			}
+			r := xrand.New(seed)
+			oracle := map[uint64]Line{}
+			var pool [4]Line
+			for i := range pool {
+				pool[i].SetWord(0, r.Uint64())
+			}
+			for step := 0; step < 300; step++ {
+				switch {
+				case r.Bool(0.02):
+					sys.Crash()
+				case r.Bool(0.5):
+					addr := r.Uint64n(32)
+					line := pool[r.Intn(len(pool))]
+					sys.Write(addr, line)
+					oracle[addr] = line
+				default:
+					addr := r.Uint64n(32)
+					got, ro := sys.Read(addr)
+					want, ok := oracle[addr]
+					if ok && (!ro.Hit || got != want) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package esd is the public API of the ESD simulator: a from-scratch Go
+// reproduction of "ESD: An ECC-assisted and Selective Deduplication for
+// Encrypted Non-Volatile Main Memory" (HPCA 2023).
+//
+// The package assembles the internal substrates — a PCM device model with
+// banked timing and energy accounting, a (72,64) SEC-DED ECC codec,
+// counter-mode encryption, SRAM metadata caches, and five write-path
+// schemes (Baseline, Dedup_SHA1, DeWrite, ESD, plus the BCD compression
+// extension) — into a System that can be driven request by request or
+// replayed from traces, plus the experiment harness that regenerates every
+// figure of the paper's evaluation.
+//
+// Quickstart:
+//
+//	sys, _ := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+//	line := esd.Line{1, 2, 3}
+//	sys.Write(100, line)
+//	sys.Write(200, line) // duplicate content: deduplicated by ECC fingerprint
+//	got, _ := sys.Read(100)
+//
+// For paper-scale evaluations use Workload streams and System.Run, or the
+// experiment registry via RunExperiment.
+package esd
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/core"
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// Line is a 64-byte cache line, the system's access granularity.
+type Line = ecc.Line
+
+// Time is a simulation timestamp/duration in picoseconds.
+type Time = sim.Time
+
+// Common duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Config is the full system configuration (Table I defaults via
+// DefaultConfig).
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table I configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Scheme names accepted by NewSystem. SchemeBCD is the
+// base-and-compressed-difference extension beyond the paper's four.
+const (
+	SchemeBaseline = experiments.SchemeBaseline
+	SchemeSHA1     = experiments.SchemeSHA1
+	SchemeDeWrite  = experiments.SchemeDeWrite
+	SchemeESD      = experiments.SchemeESD
+	SchemeBCD      = experiments.SchemeBCD
+)
+
+// SchemeNames lists the four schemes in canonical order.
+func SchemeNames() []string { return experiments.Schemes() }
+
+// WriteOutcome reports how the scheme handled one write.
+type WriteOutcome = memctrl.WriteOutcome
+
+// ReadOutcome reports one demand read.
+type ReadOutcome = memctrl.ReadOutcome
+
+// RunResult aggregates a trace replay's measurements.
+type RunResult = memctrl.RunResult
+
+// SchemeStats are the scheme-level event counters.
+type SchemeStats = memctrl.SchemeStats
+
+// WearSummary summarizes per-line device wear (endurance).
+type WearSummary = nvm.WearSummary
+
+// Record is one trace event; Stream yields records in time order.
+type (
+	Record = trace.Record
+	Stream = trace.Stream
+)
+
+// Trace ops.
+const (
+	OpRead  = trace.OpRead
+	OpWrite = trace.OpWrite
+)
+
+// Profile describes one synthetic application workload.
+type Profile = workload.Profile
+
+// Profiles returns the 20 SPEC CPU 2017 / PARSEC application profiles.
+func Profiles() []Profile { return workload.Profiles() }
+
+// ProfileByName looks up an application profile.
+func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// WorkloadStream builds a deterministic synthetic trace of n records for
+// the named application.
+func WorkloadStream(app string, seed uint64, n int) (Stream, error) {
+	p, ok := workload.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("esd: unknown application %q (have %v)", app, workload.Names())
+	}
+	return workload.Stream(p, seed, n), nil
+}
+
+// MixStream builds a multi-programmed workload: the named applications
+// share the memory controller, merged in time order with disjoint address
+// regions.
+func MixStream(seed uint64, n int, apps ...string) (Stream, error) {
+	s, err := workload.Mix(seed, n, apps...)
+	if err != nil {
+		return nil, fmt.Errorf("esd: %w", err)
+	}
+	return s, nil
+}
+
+// ExperimentOptions parameterizes RunExperiment campaigns.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperimentOptions returns a campaign sized for interactive use.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// Experiments lists the available experiment ids (fig1..fig19, ablations).
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one of the paper's figures/tables.
+func RunExperiment(name string, opts ExperimentOptions) (*stats.Table, error) {
+	return experiments.Run(name, opts)
+}
+
+// System is an encrypted, deduplicating NVMM behind one scheme: the
+// simulated memory controller plus PCM device, driven either request by
+// request (Write/Read) or by trace replay (Run).
+//
+// A System is not safe for concurrent use.
+type System struct {
+	cfg    Config
+	env    *memctrl.Env
+	scheme memctrl.Scheme
+	ctl    *memctrl.Controller
+
+	now Time
+	// IssueGap is the simulated time advanced between self-clocked
+	// Write/Read calls.
+	IssueGap Time
+}
+
+// NewSystem builds a System running the named scheme. The configuration is
+// validated.
+func NewSystem(cfg Config, scheme string) (*System, error) {
+	if msg := cfg.Validate(); msg != "" {
+		return nil, fmt.Errorf("esd: %s", msg)
+	}
+	env := memctrl.NewEnv(cfg)
+	sch, err := experiments.NewScheme(env, scheme)
+	if err != nil {
+		return nil, fmt.Errorf("esd: %w", err)
+	}
+	return &System{
+		cfg:      cfg,
+		env:      env,
+		scheme:   sch,
+		ctl:      memctrl.NewController(env, sch),
+		IssueGap: 10 * Nanosecond,
+	}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// SchemeName returns the active scheme's name.
+func (s *System) SchemeName() string { return s.scheme.Name() }
+
+// Now returns the system's self-advanced clock.
+func (s *System) Now() Time { return s.now }
+
+func (s *System) tick() Time {
+	s.now += s.IssueGap
+	return s.now
+}
+
+// Write stores a 64-byte line at a logical line address, advancing the
+// internal clock. It returns the scheme's outcome (latency, whether the
+// line was deduplicated, the backing physical line).
+func (s *System) Write(addr uint64, line Line) WriteOutcome {
+	at := s.tick()
+	out := s.scheme.Write(addr, &line, at)
+	if out.Done > s.now {
+		s.now = out.Done
+	}
+	return out
+}
+
+// WriteAt is Write with an explicit arrival time (must not precede the
+// internal clock, which it advances).
+func (s *System) WriteAt(addr uint64, line Line, at Time) WriteOutcome {
+	if at > s.now {
+		s.now = at
+	}
+	out := s.scheme.Write(addr, &line, s.now)
+	if out.Done > s.now {
+		s.now = out.Done
+	}
+	return out
+}
+
+// Read fetches the plaintext line at a logical address, advancing the
+// internal clock. Hit reports whether the address was ever written.
+func (s *System) Read(addr uint64) (Line, ReadOutcome) {
+	at := s.tick()
+	out := s.scheme.Read(addr, at)
+	if out.Done > s.now {
+		s.now = out.Done
+	}
+	return out.Data, out
+}
+
+// Run replays a trace stream through the scheme and returns aggregated
+// metrics. Run may be called once per System; build a fresh System per
+// replay for independent measurements.
+func (s *System) Run(stream Stream) (*RunResult, error) {
+	return s.ctl.Run(stream)
+}
+
+// RunWorkload replays n records of the named application profile.
+func (s *System) RunWorkload(app string, seed uint64, n int) (*RunResult, error) {
+	stream, err := WorkloadStream(app, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(stream)
+}
+
+// SetWarmup makes the first n records of a subsequent Run unmeasured
+// warm-up traffic.
+func (s *System) SetWarmup(n int) { s.ctl.Warmup = n }
+
+// SetVerifyReads enables the read-back oracle: Run fails with an error if
+// any read returns data that differs from the latest write to that address
+// (i.e. if deduplication ever corrupted data).
+func (s *System) SetVerifyReads(v bool) { s.ctl.VerifyReads = v }
+
+// Crash simulates a power failure (§III-E): eADR drains dirty metadata to
+// NVMM and all volatile SRAM state — fingerprint caches, ESD's entire
+// EFIT, predictors, hot-entry caches — is lost. Data written before the
+// crash remains fully readable; deduplication simply restarts cold.
+func (s *System) Crash() {
+	if c, ok := s.scheme.(memctrl.Crasher); ok {
+		c.Crash(s.now)
+	}
+}
+
+// Stats returns the scheme's event counters.
+func (s *System) Stats() SchemeStats { return s.scheme.Stats() }
+
+// Wear returns the device's endurance summary.
+func (s *System) Wear() WearSummary { return s.env.Device.Wear() }
+
+// Energy returns total energy consumed so far in nJ (scheme + media).
+func (s *System) Energy() float64 {
+	return s.env.Energy.Total() + s.env.Device.Stats.MediaEnergy
+}
+
+// MetadataNVMM returns the scheme's NVMM-resident metadata footprint in
+// bytes.
+func (s *System) MetadataNVMM() int64 { return s.scheme.MetadataNVMM() }
+
+// DeviceWrites returns the number of media writes performed (data and
+// metadata).
+func (s *System) DeviceWrites() uint64 { return s.env.Device.Stats.Writes }
+
+// Compile-time checks that the schemes satisfy the Scheme interface.
+var (
+	_ memctrl.Scheme = (*dedup.Baseline)(nil)
+	_ memctrl.Scheme = (*dedup.SHA1)(nil)
+	_ memctrl.Scheme = (*dedup.DeWrite)(nil)
+	_ memctrl.Scheme = (*core.ESD)(nil)
+)

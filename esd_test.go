@@ -1,0 +1,179 @@
+package esd
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 28
+	return cfg
+}
+
+func TestNewSystemValidatesConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PCM.Banks = 0
+	if _, err := NewSystem(cfg, SchemeESD); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewSystem(DefaultConfig(), "nope"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSystemWriteReadRoundTrip(t *testing.T) {
+	for _, scheme := range SchemeNames() {
+		sys, err := NewSystem(smallConfig(), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.SchemeName() != scheme {
+			t.Errorf("SchemeName = %q, want %q", sys.SchemeName(), scheme)
+		}
+		line := Line{1, 2, 3, 4}
+		out := sys.Write(100, line)
+		if out.Done <= 0 {
+			t.Errorf("%s: non-positive completion", scheme)
+		}
+		got, ro := sys.Read(100)
+		if !ro.Hit || got != line {
+			t.Errorf("%s: read-back failed", scheme)
+		}
+		if _, ro := sys.Read(999); ro.Hit {
+			t.Errorf("%s: cold read hit", scheme)
+		}
+	}
+}
+
+func TestSystemDeduplicates(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := Line{7}
+	sys.Write(1, line)
+	out := sys.Write(2, line)
+	if !out.Deduplicated {
+		t.Fatal("duplicate content not eliminated")
+	}
+	if sys.Stats().DedupWrites != 1 {
+		t.Fatalf("stats: %+v", sys.Stats())
+	}
+	if sys.Energy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestSystemClockAdvances(t *testing.T) {
+	sys, _ := NewSystem(smallConfig(), SchemeBaseline)
+	t0 := sys.Now()
+	sys.Write(1, Line{})
+	if sys.Now() <= t0 {
+		t.Fatal("clock did not advance")
+	}
+	// WriteAt moves the clock forward to the given time.
+	sys.WriteAt(2, Line{}, sys.Now()+Millisecond)
+	if sys.Now() < Millisecond {
+		t.Fatal("WriteAt did not advance the clock")
+	}
+}
+
+func TestSystemRunWorkloadWithVerification(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetVerifyReads(true)
+	sys.SetWarmup(1000)
+	res, err := sys.RunWorkload("gcc", 7, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4000 {
+		t.Fatalf("measured %d requests, want 4000 after warm-up", res.Requests)
+	}
+	if res.Scheme.DedupWrites == 0 {
+		t.Fatal("no deduplication on gcc")
+	}
+	if sys.Wear().TotalWrites == 0 || sys.DeviceWrites() == 0 {
+		t.Fatal("device activity not visible")
+	}
+	if sys.MetadataNVMM() <= 0 {
+		t.Fatal("no NVMM metadata reported")
+	}
+}
+
+func TestWorkloadStreamUnknownApp(t *testing.T) {
+	if _, err := WorkloadStream("nosuch", 1, 10); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	if len(Profiles()) != 20 {
+		t.Fatalf("%d profiles", len(Profiles()))
+	}
+	if _, ok := ProfileByName("lbm"); !ok {
+		t.Fatal("lbm missing")
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	names := Experiments()
+	if len(names) < 14 {
+		t.Fatalf("only %d experiments", len(names))
+	}
+	opts := DefaultExperimentOptions()
+	opts.Requests = 3000
+	opts.Warmup = 1000
+	opts.Apps = []string{"leela"}
+	tb, err := RunExperiment("fig1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "leela") {
+		t.Fatal("fig1 output missing app")
+	}
+}
+
+func TestMixStreamFacade(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetVerifyReads(true)
+	stream, err := MixStream(3, 4000, "lbm", "leela")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Scheme.DedupWrites == 0 {
+		t.Fatalf("mix run: %+v", res.Scheme)
+	}
+	if _, err := MixStream(1, 10, "nosuch"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBCDSchemeViaFacade(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeBCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Line{1, 2, 3}
+	sys.Write(1, base)
+	variant := base
+	variant.SetWord(7, 99) // near-duplicate
+	out := sys.Write(2, variant)
+	if !out.Deduplicated {
+		t.Fatal("BCD did not compress a near-duplicate")
+	}
+	got, ro := sys.Read(2)
+	if !ro.Hit || got != variant {
+		t.Fatal("delta reconstruction through facade failed")
+	}
+}

@@ -1,0 +1,73 @@
+package esd_test
+
+import (
+	"fmt"
+	"log"
+
+	esd "github.com/esdsim/esd"
+)
+
+// The simplest use: build a system, write identical content to two
+// addresses, and observe deduplication.
+func Example() {
+	sys, err := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line := esd.Line{1, 2, 3}
+	first := sys.Write(100, line)
+	second := sys.Write(200, line)
+	fmt.Println(first.Deduplicated, second.Deduplicated)
+	fmt.Println(second.PhysAddr == first.PhysAddr)
+	// Output:
+	// false true
+	// true
+}
+
+// Reads always return the plaintext that was last written, whatever the
+// scheme did underneath.
+func ExampleSystem_Read() {
+	sys, err := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var line esd.Line
+	copy(line[:], "hello, nvmm")
+	sys.Write(7, line)
+	got, outcome := sys.Read(7)
+	fmt.Println(outcome.Hit, string(got[:11]))
+	// Output:
+	// true hello, nvmm
+}
+
+// Trace replay with a built-in application profile and the read-back
+// oracle enabled.
+func ExampleSystem_RunWorkload() {
+	sys, err := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.SetVerifyReads(true)
+	res, err := sys.RunWorkload("deepsjeng", 1, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Requests == 2000, res.Scheme.DedupRate() > 0.9)
+	// Output:
+	// true true
+}
+
+// A power failure (§III-E) loses every volatile structure but no data.
+func ExampleSystem_Crash() {
+	sys, err := esd.NewSystem(esd.DefaultConfig(), esd.SchemeESD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	line := esd.Line{42}
+	sys.Write(1, line)
+	sys.Crash()
+	got, outcome := sys.Read(1)
+	fmt.Println(outcome.Hit, got == line)
+	// Output:
+	// true true
+}

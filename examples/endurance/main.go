@@ -1,0 +1,102 @@
+// Endurance study: PCM cells survive a limited number of writes
+// (10-100 million, §I), so eliminating duplicate writes directly extends
+// device lifetime. This example replays a write-heavy application under
+// all four schemes and reports media-write reduction and per-line wear —
+// the data behind the paper's Fig. 11 endurance argument.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/nvm"
+)
+
+const (
+	app     = "lbm" // write-heavy, 86% duplicate rate
+	seed    = 42
+	warmup  = 20000
+	measure = 80000
+	// pcmEnduranceWrites is a representative per-cell write budget.
+	pcmEnduranceWrites = 10_000_000.0
+)
+
+func main() {
+	fmt.Printf("Endurance study on %q (%d measured requests)\n\n", app, measure)
+	fmt.Printf("%-12s %12s %12s %10s %10s %14s\n",
+		"scheme", "media-writes", "data-writes", "max-wear", "p99-wear", "lifetime-gain")
+
+	var baselineWrites float64
+	for _, scheme := range esd.SchemeNames() {
+		cfg := esd.DefaultConfig()
+		cfg.PCM.CapacityBytes = 1 << 30
+		sys, err := esd.NewSystem(cfg, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.SetWarmup(warmup)
+		res, err := sys.RunWorkload(app, seed, warmup+measure)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wear := sys.Wear()
+		if scheme == esd.SchemeBaseline {
+			baselineWrites = float64(res.DataWrites)
+		}
+		gain := "1.00x"
+		if res.DataWrites > 0 && baselineWrites > 0 {
+			gain = fmt.Sprintf("%.2fx", baselineWrites/float64(res.DataWrites))
+		}
+		fmt.Printf("%-12s %12d %12d %10d %10d %14s\n",
+			scheme, res.DeviceWrites, res.DataWrites, wear.MaxWear, wear.P99Wear, gain)
+	}
+
+	fmt.Printf("\nInterpretation: with a %.0e-write cell budget, a scheme that\n", pcmEnduranceWrites)
+	fmt.Println("halves data writes roughly doubles time-to-first-cell-failure for")
+	fmt.Println("the same traffic, before wear-leveling is even considered. ESD")
+	fmt.Println("approaches full-dedup write reduction without the fingerprint")
+	fmt.Println("store's own NVMM metadata writes (compare media-writes columns).")
+
+	wearLevelingDemo()
+}
+
+// wearLevelingDemo shows the orthogonal endurance layer: Start-Gap wear
+// leveling spreading a pathological hot spot across the device. Dedup
+// reduces how many writes happen; Start-Gap spreads the survivors.
+func wearLevelingDemo() {
+	fmt.Println("\n--- Start-Gap wear leveling (orthogonal to dedup) ---")
+	const lines, psi, writes = 256, 4, 200000
+	cfg := esd.DefaultConfig().PCM
+	cfg.CapacityBytes = 64 << 20
+
+	// Without leveling: one hot line takes every write.
+	raw := nvm.New(cfg)
+	var l ecc.Line
+	now := esd.Time(0)
+	for i := 0; i < writes; i++ {
+		l.SetWord(0, uint64(i))
+		raw.Write(7, l, now)
+		now += 200 * esd.Nanosecond
+	}
+	rawWear := raw.Wear()
+
+	// With Start-Gap: the same hot spot sweeps across the device.
+	dev := nvm.New(cfg)
+	ld := nvm.NewLeveledDevice(dev, lines, psi)
+	now = 0
+	for i := 0; i < writes; i++ {
+		l.SetWord(0, uint64(i))
+		ld.Write(7, l, now)
+		now += 200 * esd.Nanosecond
+	}
+	lvlWear := dev.Wear()
+
+	fmt.Printf("%-22s %12s %12s %14s\n", "config", "max-wear", "slots-used", "gap-moves")
+	fmt.Printf("%-22s %12d %12d %14s\n", "hot spot, no leveling", rawWear.MaxWear, rawWear.LinesTouched, "-")
+	fmt.Printf("%-22s %12d %12d %14d\n", "hot spot, Start-Gap", lvlWear.MaxWear, lvlWear.LinesTouched, ld.Leveler().Moves)
+	fmt.Printf("\nmax-wear improvement: %.0fx — endurance composes: dedup removes\n",
+		float64(rawWear.MaxWear)/float64(lvlWear.MaxWear))
+	fmt.Println("writes, Start-Gap levels what remains.")
+}

@@ -1,0 +1,103 @@
+// KV-store example: a fixed-slot key-value store built directly on the
+// simulated encrypted NVMM, the kind of latency-sensitive service the
+// paper's introduction motivates. Values are 64-byte slots; many services
+// store highly redundant values (default configs, zeroed structs, session
+// templates), which ESD deduplicates transparently below the store.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// Store is a toy KV store: key -> logical NVMM line.
+type Store struct {
+	sys   *esd.System
+	slots map[string]uint64
+	next  uint64
+}
+
+// NewStore creates a store on top of sys.
+func NewStore(sys *esd.System) *Store {
+	return &Store{sys: sys, slots: make(map[string]uint64)}
+}
+
+// Put stores a value (at most 64 bytes) under key.
+func (s *Store) Put(key string, value []byte) esd.WriteOutcome {
+	if len(value) > 64 {
+		panic("kvstore: value larger than one line")
+	}
+	addr, ok := s.slots[key]
+	if !ok {
+		addr = s.next
+		s.next++
+		s.slots[key] = addr
+	}
+	var line esd.Line
+	copy(line[:], value)
+	return s.sys.Write(addr, line)
+}
+
+// Get fetches the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	addr, ok := s.slots[key]
+	if !ok {
+		return nil, false
+	}
+	line, ro := s.sys.Read(addr)
+	if !ro.Hit {
+		return nil, false
+	}
+	return line[:], true
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.slots) }
+
+func main() {
+	cfg := esd.DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 30
+	sys, err := esd.NewSystem(cfg, esd.SchemeESD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := NewStore(sys)
+
+	// A session store: 10k users, but only a handful of distinct session
+	// templates (real stores are full of near-identical records).
+	templates := [][]byte{
+		[]byte(`{"plan":"free","region":"eu","flags":0}`),
+		[]byte(`{"plan":"free","region":"us","flags":0}`),
+		[]byte(`{"plan":"pro","region":"eu","flags":3}`),
+		[]byte(`{"plan":"pro","region":"us","flags":3}`),
+		[]byte(`{"plan":"enterprise","region":"eu","flags":7}`),
+	}
+	rng := xrand.New(1)
+	const users = 10000
+	for i := 0; i < users; i++ {
+		key := fmt.Sprintf("session:%06d", i)
+		store.Put(key, templates[rng.Intn(len(templates))])
+	}
+
+	// Verify a few reads.
+	for _, key := range []string{"session:000000", "session:004242", "session:009999"} {
+		v, ok := store.Get(key)
+		if !ok {
+			log.Fatalf("lost key %s", key)
+		}
+		fmt.Printf("%s -> %s\n", key, v[:24])
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\n%d keys stored, %d media writes (%.1f%% eliminated by dedup)\n",
+		store.Len(), st.UniqueWrites, st.DedupRate()*100)
+	fmt.Printf("NVMM footprint: %d distinct lines for %d sessions\n",
+		st.UniqueWrites, users)
+	fmt.Printf("energy: %.1f uJ; simulated time: %v\n", sys.Energy()/1000, sys.Now())
+	fmt.Println("\nBelow the store, ESD collapsed every identical session blob onto")
+	fmt.Println("one physical line — no hashing on the write path, and the store")
+	fmt.Println("itself never changed a line of code.")
+}

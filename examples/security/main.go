@@ -1,0 +1,75 @@
+// Security example: the threat model of encrypted NVMM (§I, §III-E) —
+// a stolen DIMM or a bus attacker must learn nothing, and replayed or
+// modified counters must be detected. This example demonstrates all three
+// properties on the simulator's actual datapath:
+//
+//  1. ciphertext stored in the device shares nothing with the plaintext
+//     (and identical plaintext at two addresses encrypts differently, the
+//     reason dedup must run before encryption);
+//  2. ESD's deduplication never weakens this: the single stored copy is
+//     still ciphertext under the physical line's counter;
+//  3. the Merkle counter tree catches counter tampering/replay.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/crypto"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/integrity"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+func main() {
+	fmt.Println("--- 1. Counter-mode encryption diffusion ---")
+	engine := crypto.NewEngineFromSeed(2026)
+	var secret ecc.Line
+	copy(secret[:], "TOP-SECRET payload that must never appear on the memory bus")
+
+	p1, p2 := secret, secret
+	ct1, _ := engine.Encrypt(100, &p1)
+	ct2, _ := engine.Encrypt(200, &p2)
+
+	fmt.Printf("plaintext prefix:        %q\n", secret[:24])
+	fmt.Printf("ciphertext @100 prefix:  %x\n", ct1[:24])
+	fmt.Printf("ciphertext @200 prefix:  %x\n", ct2[:24])
+	fmt.Printf("ciphertexts share bytes with plaintext: %v\n",
+		bytes.Contains(ct1[:], secret[:16]))
+	fmt.Printf("same plaintext, different addresses, equal ciphertext: %v\n", ct1 == ct2)
+	fmt.Println("=> deduplication AFTER encryption is impossible (DaE fails);")
+	fmt.Println("   ESD deduplicates plaintext inside the trusted chip, then encrypts.")
+
+	fmt.Println("\n--- 2. Successive writes never reuse a pad ---")
+	p3 := secret
+	ct1b, _ := engine.Encrypt(100, &p3)
+	fmt.Printf("rewrite of the same data at the same address changes ciphertext: %v\n", ct1b != ct1)
+
+	fmt.Println("\n--- 3. Counter integrity (Merkle counter tree) ---")
+	lines := uint64(config.Default().PCM.Lines())
+	tree := integrity.New(integrity.DefaultConfig(lines / 4))
+	fmt.Printf("tree depth for %d lines: %d levels, root on chip\n", lines/4, tree.Depth())
+
+	// Honest operation.
+	tree.Update(4242, 1, 0)
+	tree.DropCache() // power cycle: all trust must be re-established
+	if _, err := tree.Verify(4242, sim.Microsecond); err != nil {
+		log.Fatalf("honest verify failed: %v", err)
+	}
+	fmt.Println("honest counter path verifies after a power cycle: ok")
+
+	// Replay attack: an attacker rolls the stored counter back to force
+	// pad reuse. The digest chain catches it.
+	tree.DropCache()
+	tree.TamperCounter(4242, 0)
+	if _, err := tree.Verify(4242, 2*sim.Microsecond); err != nil {
+		fmt.Printf("counter rollback detected: %v\n", err)
+	} else {
+		log.Fatal("ATTACK MISSED — replay went undetected")
+	}
+	fmt.Printf("tree stats: %d verifies, %d node fetches, %d tampers caught\n",
+		tree.Stats.Verifies, tree.Stats.NodeFetches, tree.Stats.TamperCaught)
+	fmt.Println("\nRun the overhead study: go run ./cmd/figures -fig ablation-integrity")
+}

@@ -1,0 +1,49 @@
+// Tail-latency (QoS) study: large-scale services care about P99/P99.9
+// latency, not means (§IV-D). This example reproduces the Fig. 15 analysis
+// interactively: it replays the paper's eight selected applications under
+// the three deduplicating schemes and prints the write-latency tail.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	esd "github.com/esdsim/esd"
+)
+
+var apps = []string{"gcc", "leela", "bodytrack", "dedup", "facesim", "fluidanimate", "wrf", "x264"}
+
+var schemes = []string{esd.SchemeSHA1, esd.SchemeDeWrite, esd.SchemeESD}
+
+func main() {
+	const (
+		seed    = 7
+		warmup  = 15000
+		measure = 30000
+	)
+	fmt.Println("Write-latency tails (ns) across the paper's Fig. 15 applications")
+	fmt.Printf("%-14s %-11s %8s %8s %8s %8s\n", "app", "scheme", "p50", "p90", "p99", "p99.9")
+	for _, app := range apps {
+		for _, scheme := range schemes {
+			cfg := esd.DefaultConfig()
+			cfg.PCM.CapacityBytes = 1 << 30
+			sys, err := esd.NewSystem(cfg, scheme)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys.SetWarmup(warmup)
+			res, err := sys.RunWorkload(app, seed, warmup+measure)
+			if err != nil {
+				log.Fatal(err)
+			}
+			h := &res.WriteHist
+			fmt.Printf("%-14s %-11s %8.0f %8.0f %8.0f %8.0f\n", app, scheme,
+				h.Percentile(0.5).Nanoseconds(), h.Percentile(0.9).Nanoseconds(),
+				h.Percentile(0.99).Nanoseconds(), h.Percentile(0.999).Nanoseconds())
+		}
+		fmt.Println()
+	}
+	fmt.Println("ESD's tail stays short because the write path never waits for a")
+	fmt.Println("hash unit or a fingerprint fetch from NVMM: its worst case is one")
+	fmt.Println("candidate read plus one media write.")
+}

@@ -1,0 +1,3 @@
+module github.com/esdsim/esd
+
+go 1.22

@@ -1,0 +1,317 @@
+// Package cache implements the set-associative SRAM cache model used for
+// every on-chip lookup structure in the simulator: the CPU cache hierarchy
+// (L1/L2/L3), the fingerprint caches of the dedup schemes, ESD's EFIT
+// cache, the AMT hot-entry cache, and the encryption-counter cache.
+//
+// The cache is generic over its value type and supports three replacement
+// policies:
+//
+//   - LRU: least-recently-used, for ordinary caches;
+//   - FIFO: insertion order, as a cheap baseline for ablations;
+//   - LRCU: the paper's Least-Reference-Count-Used policy (§III-D), which
+//     evicts the entry with the lowest reference count (ties broken by
+//     recency) so that hot fingerprints survive, plus a periodic DecayAll
+//     "regular refresh" that subtracts a fixed value from every count.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Supported replacement policies.
+const (
+	LRU Policy = iota
+	FIFO
+	LRCU
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case LRCU:
+		return "lrcu"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry[V any] struct {
+	key   uint64
+	value V
+	valid bool
+	last  uint64 // tick of last touch (LRU ordering)
+	born  uint64 // tick of insertion (FIFO ordering)
+	ref   int    // reference count (LRCU ordering)
+}
+
+// Cache is a set-associative cache mapping uint64 keys to values of type V.
+// It is not safe for concurrent use.
+type Cache[V any] struct {
+	sets   [][]entry[V]
+	ways   int
+	policy Policy
+	tick   uint64
+	len    int
+
+	Stats Stats
+}
+
+// New creates a cache with the given total entry capacity, associativity
+// and policy. ways <= 0 or ways >= capacity yields a fully-associative
+// cache. Capacity is rounded down to a multiple of the way count and must
+// be at least 1.
+func New[V any](capacity, ways int, policy Policy) *Cache[V] {
+	if capacity < 1 {
+		panic("cache: capacity must be >= 1")
+	}
+	if ways <= 0 || ways >= capacity {
+		ways = capacity
+	}
+	numSets := capacity / ways
+	if numSets < 1 {
+		numSets = 1
+	}
+	sets := make([][]entry[V], numSets)
+	for i := range sets {
+		sets[i] = make([]entry[V], ways)
+	}
+	return &Cache[V]{sets: sets, ways: ways, policy: policy}
+}
+
+// Capacity returns the total number of entries the cache can hold.
+func (c *Cache[V]) Capacity() int { return len(c.sets) * c.ways }
+
+// Len returns the number of valid entries.
+func (c *Cache[V]) Len() int { return c.len }
+
+// Policy returns the replacement policy.
+func (c *Cache[V]) Policy() Policy { return c.policy }
+
+// mix is a splitmix64-style finalizer, decorrelating set indices from
+// low-order key bits (fingerprints and line addresses both need this).
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (c *Cache[V]) set(key uint64) []entry[V] {
+	return c.sets[mix(key)%uint64(len(c.sets))]
+}
+
+// Get looks up key, counting a hit or miss and refreshing recency (and,
+// under LRCU, the reference count is NOT bumped by Get — only Touch and
+// Put bump it, mirroring the paper where the count tracks duplicate
+// writes, not probes).
+func (c *Cache[V]) Get(key uint64) (V, bool) {
+	set := c.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			c.tick++
+			set[i].last = c.tick
+			c.Stats.Hits++
+			return set[i].value, true
+		}
+	}
+	c.Stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Peek looks up key without updating recency or statistics.
+func (c *Cache[V]) Peek(key uint64) (V, bool) {
+	set := c.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return set[i].value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is cached, without side effects.
+func (c *Cache[V]) Contains(key uint64) bool {
+	_, ok := c.Peek(key)
+	return ok
+}
+
+// Touch bumps the reference count (saturating at refMax if refMax > 0)
+// and recency of key. It reports whether the key was present.
+func (c *Cache[V]) Touch(key uint64, refMax int) bool {
+	set := c.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			c.tick++
+			set[i].last = c.tick
+			if refMax <= 0 || set[i].ref < refMax {
+				set[i].ref++
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Ref returns the reference count of key (0 if absent).
+func (c *Cache[V]) Ref(key uint64) int {
+	set := c.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			return set[i].ref
+		}
+	}
+	return 0
+}
+
+// Evicted describes an entry displaced by Put.
+type Evicted[V any] struct {
+	Key   uint64
+	Value V
+	Ref   int
+}
+
+// Put inserts or updates key. If an existing entry is updated, its value is
+// replaced and recency refreshed (reference count unchanged). On insertion
+// into a full set, the policy victim is evicted and returned.
+func (c *Cache[V]) Put(key uint64, value V) (ev Evicted[V], evicted bool) {
+	return c.PutWithRef(key, value, 1)
+}
+
+// PutWithRef inserts key with an explicit initial reference count, which
+// matters for LRCU: a fingerprint re-inserted after tracking in NVMM may
+// re-enter hot.
+func (c *Cache[V]) PutWithRef(key uint64, value V, ref int) (ev Evicted[V], evicted bool) {
+	set := c.set(key)
+	c.tick++
+	// Update in place.
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].value = value
+			set[i].last = c.tick
+			return ev, false
+		}
+	}
+	c.Stats.Inserts++
+	// Free slot.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = entry[V]{key: key, value: value, valid: true, last: c.tick, born: c.tick, ref: ref}
+			c.len++
+			return ev, false
+		}
+	}
+	// Evict the policy victim.
+	v := c.victim(set)
+	ev = Evicted[V]{Key: set[v].key, Value: set[v].value, Ref: set[v].ref}
+	set[v] = entry[V]{key: key, value: value, valid: true, last: c.tick, born: c.tick, ref: ref}
+	c.Stats.Evictions++
+	return ev, true
+}
+
+func (c *Cache[V]) victim(set []entry[V]) int {
+	v := 0
+	switch c.policy {
+	case FIFO:
+		for i := 1; i < len(set); i++ {
+			if set[i].born < set[v].born {
+				v = i
+			}
+		}
+	case LRCU:
+		// Lowest reference count first — the paper prioritizes evicting
+		// refcount-1 fingerprints so hot ones stay — recency breaks ties.
+		for i := 1; i < len(set); i++ {
+			if set[i].ref < set[v].ref ||
+				(set[i].ref == set[v].ref && set[i].last < set[v].last) {
+				v = i
+			}
+		}
+	default: // LRU
+		for i := 1; i < len(set); i++ {
+			if set[i].last < set[v].last {
+				v = i
+			}
+		}
+	}
+	return v
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *Cache[V]) Delete(key uint64) bool {
+	set := c.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			var zero entry[V]
+			set[i] = zero
+			c.len--
+			return true
+		}
+	}
+	return false
+}
+
+// DecayAll subtracts delta from every entry's reference count (floor 0).
+// This is the paper's "regular refresh" (§III-D) that keeps LRCU counts
+// from staleness; entries decayed to 0 become prime eviction victims.
+func (c *Cache[V]) DecayAll(delta int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				set[i].ref -= delta
+				if set[i].ref < 0 {
+					set[i].ref = 0
+				}
+			}
+		}
+	}
+}
+
+// Range calls fn for every valid entry until fn returns false. Iteration
+// order is unspecified but deterministic.
+func (c *Cache[V]) Range(fn func(key uint64, value V, ref int) bool) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				if !fn(set[i].key, set[i].value, set[i].ref) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clear removes all entries and resets statistics.
+func (c *Cache[V]) Clear() {
+	for _, set := range c.sets {
+		for i := range set {
+			var zero entry[V]
+			set[i] = zero
+		}
+	}
+	c.len = 0
+	c.tick = 0
+	c.Stats = Stats{}
+}

@@ -1,0 +1,26 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/cache"
+)
+
+// LRCU keeps high-reference-count entries alive through churn that would
+// flush an LRU cache — the property ESD's EFIT depends on (§III-D).
+func ExampleNew_lrcu() {
+	c := cache.New[string](2, 2, cache.LRCU)
+
+	c.Put(1, "hot fingerprint")
+	c.Touch(1, 255) // duplicate writes bump the reference count
+	c.Touch(1, 255)
+
+	c.Put(2, "cold fingerprint") // ref 1
+	c.Put(3, "new fingerprint")  // set full: LRCU evicts the lowest ref
+
+	_, hotSurvives := c.Peek(1)
+	_, coldSurvives := c.Peek(2)
+	fmt.Println(hotSurvives, coldSurvives)
+	// Output:
+	// true false
+}

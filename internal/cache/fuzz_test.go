@@ -1,0 +1,41 @@
+package cache
+
+import "testing"
+
+// FuzzCacheOperations drives arbitrary operation sequences against the
+// cache and checks the structural invariants: Len never exceeds capacity,
+// a just-inserted key is always retrievable, and Delete leaves no trace.
+func FuzzCacheOperations(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, uint8(8), uint8(2), uint8(0))
+	f.Add([]byte{9, 9, 9, 1, 1}, uint8(4), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, ops []byte, capRaw, waysRaw, policyRaw uint8) {
+		capacity := int(capRaw%32) + 1
+		ways := int(waysRaw%8) + 1
+		policy := Policy(policyRaw % 3)
+		c := New[uint64](capacity, ways, policy)
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := uint64(ops[i])
+			switch ops[i+1] % 5 {
+			case 0:
+				c.Put(key, key*10)
+				if v, ok := c.Peek(key); !ok || v != key*10 {
+					t.Fatalf("just-inserted key %d not retrievable", key)
+				}
+			case 1:
+				c.Get(key)
+			case 2:
+				c.Touch(key, 255)
+			case 3:
+				c.Delete(key)
+				if c.Contains(key) {
+					t.Fatalf("deleted key %d still present", key)
+				}
+			case 4:
+				c.DecayAll(int(ops[i+1]) % 3)
+			}
+			if c.Len() > c.Capacity() {
+				t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package config
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := Default()
+	if c.CPU.Cores != 8 || c.CPU.ClockHz != 2e9 {
+		t.Errorf("CPU = %+v, want 8 cores at 2 GHz", c.CPU)
+	}
+	if c.L1.Size != 32<<10 || c.L2.Size != 256<<10 || c.L3.Size != 16<<20 {
+		t.Errorf("cache sizes = %d/%d/%d", c.L1.Size, c.L2.Size, c.L3.Size)
+	}
+	if c.L1.Ways != 8 || c.L2.Ways != 8 || c.L3.Ways != 8 {
+		t.Error("all cache levels must be 8-way")
+	}
+	if c.PCM.CapacityBytes != 16<<30 {
+		t.Errorf("PCM capacity = %d, want 16 GiB", c.PCM.CapacityBytes)
+	}
+	if c.PCM.ReadLatency != 75*sim.Nanosecond || c.PCM.WriteLatency != 150*sim.Nanosecond {
+		t.Errorf("PCM latencies = %v/%v, want 75ns/150ns", c.PCM.ReadLatency, c.PCM.WriteLatency)
+	}
+	if c.PCM.ReadEnergy != 1.49 || c.PCM.WriteEnergy != 6.75 {
+		t.Errorf("PCM energies = %v/%v, want 1.49/6.75 nJ", c.PCM.ReadEnergy, c.PCM.WriteEnergy)
+	}
+	if c.Meta.EFITCacheBytes != 512<<10 || c.Meta.AMTCacheBytes != 512<<10 {
+		t.Error("metadata caches must default to 512 KB each")
+	}
+	if c.FP.SHA1Latency != 321*sim.Nanosecond || c.FP.MD5Latency != 312*sim.Nanosecond {
+		t.Errorf("hash latencies = %v/%v", c.FP.SHA1Latency, c.FP.MD5Latency)
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if msg := Default().Validate(); msg != "" {
+		t.Fatalf("default config invalid: %s", msg)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"cores":      func(c *Config) { c.CPU.Cores = 0 },
+		"clock":      func(c *Config) { c.CPU.ClockHz = 0 },
+		"banks":      func(c *Config) { c.PCM.Banks = 0 },
+		"capacity":   func(c *Config) { c.PCM.CapacityBytes = 1 },
+		"readLat":    func(c *Config) { c.PCM.ReadLatency = 0 },
+		"writeQ":     func(c *Config) { c.PCM.WriteQueueDepth = 0 },
+		"efitCache":  func(c *Config) { c.Meta.EFITCacheBytes = 0 },
+		"referHHigh": func(c *Config) { c.ESD.ReferHMax = 300 },
+		"referHZero": func(c *Config) { c.ESD.ReferHMax = 0 },
+		"refresh":    func(c *Config) { c.ESD.RefreshInterval = 0 },
+	}
+	for name, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		if c.Validate() == "" {
+			t.Errorf("%s: invalid config passed validation", name)
+		}
+	}
+}
+
+func TestEntrySizesMatchPaper(t *testing.T) {
+	c := Default()
+	// §III-B: EFIT entry = ECC(8) + Addr_base(4) + Addr_offsets(1) + referH(1).
+	if c.Meta.EFITEntryBytes != 14 {
+		t.Errorf("EFIT entry = %d B, want 14", c.Meta.EFITEntryBytes)
+	}
+	// AMT entry = InitAddr(5) + Addr_base(4) + Addr_offsets(1).
+	if c.Meta.AMTEntryBytes != 10 {
+		t.Errorf("AMT entry = %d B, want 10", c.Meta.AMTEntryBytes)
+	}
+	// §IV-G: DeWrite maintains 16 B + 3 bits per line; we round to 17 B.
+	if c.DeWrite.FPEntryBytes != 17 {
+		t.Errorf("DeWrite entry = %d B, want 17", c.DeWrite.FPEntryBytes)
+	}
+	// SHA-1 entry: 160-bit digest + address + refcount = 26 B.
+	if c.SHA1.FPEntryBytes != 26 {
+		t.Errorf("SHA1 entry = %d B, want 26", c.SHA1.FPEntryBytes)
+	}
+}
+
+func TestCycleTime(t *testing.T) {
+	c := Default()
+	if ct := c.CPU.CycleTime(); ct != 500*sim.Picosecond {
+		t.Errorf("2 GHz cycle = %v, want 500ps", ct)
+	}
+}
+
+func TestPCMLines(t *testing.T) {
+	c := Default()
+	if lines := c.PCM.Lines(); lines != (16<<30)/64 {
+		t.Errorf("PCM lines = %d", lines)
+	}
+}

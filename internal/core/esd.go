@@ -1,0 +1,256 @@
+// Package core implements ESD, the paper's contribution: an ECC-assisted,
+// selective deduplication scheme for encrypted non-volatile main memory.
+//
+// The write path (§III):
+//
+//  1. The ECC word the memory controller computes anyway for each evicted
+//     64-byte line doubles as a zero-cost fingerprint. Different ECC =>
+//     definitively different content, with no hash latency or energy.
+//  2. The EFIT (ECC-based Fingerprint Index Table) lives *only* in the
+//     memory-controller SRAM cache — never in NVMM — and is managed by the
+//     LRCU (Least-Reference-Count-Used) policy so fingerprints with high
+//     reference counts survive. An EFIT miss means "treat as unique and
+//     write": selective deduplication never performs a fingerprint lookup
+//     in NVMM, eliminating the NVMM_lookup bottleneck of full dedup.
+//  3. On an EFIT hit, the candidate line is read from NVMM (cheap relative
+//     to a write, by NVM read/write asymmetry) and compared byte by byte,
+//     so an ECC collision can never deduplicate different data.
+//  4. The AMT maps logical to physical lines; it is NVMM-resident with a
+//     hot-entry SRAM cache (shared plumbing in package memctrl).
+//
+// referH saturates at one byte; a duplicate whose entry exceeds the limit
+// is rewritten as new content, exactly as §III-D prescribes, and the EFIT
+// undergoes a periodic refresh that decays every reference count.
+package core
+
+import (
+	"github.com/esdsim/esd/internal/cache"
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// ESD is the ECC-assisted selective deduplication scheme.
+type ESD struct {
+	dedup.Base
+	efit   *cache.Cache[uint64] // ECC fingerprint -> physical line
+	physFP map[uint64]uint64    // physical line -> fingerprint (for purge)
+
+	// DisableLRCU switches the EFIT cache to plain LRU; used by the
+	// Fig. 18 "w/o LRCU" ablation.
+	DisableLRCU bool
+	// DisableCompare skips the byte-by-byte verification (UNSAFE: an
+	// ablation quantifying what the comparison read costs and why it is
+	// required for correctness).
+	DisableCompare bool
+}
+
+// Option configures an ESD instance at construction.
+type Option func(*options)
+
+type options struct {
+	efitBytes int
+	policy    cache.Policy
+	compare   bool
+}
+
+// WithEFITCacheBytes overrides the EFIT cache capacity (Fig. 18 sweep).
+func WithEFITCacheBytes(n int) Option {
+	return func(o *options) { o.efitBytes = n }
+}
+
+// WithLRU replaces LRCU with plain LRU (Fig. 18 "w/o LRCU").
+func WithLRU() Option {
+	return func(o *options) { o.policy = cache.LRU }
+}
+
+// WithoutCompare disables byte-by-byte verification (unsafe ablation).
+func WithoutCompare() Option {
+	return func(o *options) { o.compare = false }
+}
+
+// New constructs ESD on env.
+func New(env *memctrl.Env, opts ...Option) *ESD {
+	o := options{
+		efitBytes: env.Cfg.Meta.EFITCacheBytes,
+		policy:    cache.LRCU,
+		compare:   true,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	entries := o.efitBytes / env.Cfg.Meta.EFITEntryBytes
+	if entries < 1 {
+		entries = 1
+	}
+	s := &ESD{
+		Base:           dedup.NewBase(env),
+		efit:           cache.New[uint64](entries, 8, o.policy),
+		physFP:         make(map[uint64]uint64),
+		DisableLRCU:    o.policy != cache.LRCU,
+		DisableCompare: !o.compare,
+	}
+	s.OnFree = s.purge
+	return s
+}
+
+// purge drops the EFIT entry pointing at a recycled physical line so stale
+// fingerprints can never deduplicate onto freed storage.
+func (s *ESD) purge(phys uint64) {
+	fp, ok := s.physFP[phys]
+	if !ok {
+		return
+	}
+	delete(s.physFP, phys)
+	if cur, hit := s.efit.Peek(fp); hit && cur == phys {
+		s.efit.Delete(fp)
+	}
+}
+
+// Name implements memctrl.Scheme.
+func (s *ESD) Name() string { return "esd" }
+
+// Write implements memctrl.Scheme: the ESD write path of Fig. 9.
+func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOutcome {
+	s.St.Writes++
+	cfg := s.Env.Cfg
+
+	// The ECC fingerprint is a by-product of the controller's ECC logic:
+	// zero marginal latency and energy (§III-C).
+	fp := uint64(ecc.EncodeLine(data))
+
+	// The only serial front-end work is the EFIT SRAM probe.
+	s.Env.ChargeSRAM()
+	feStart, feEnd := s.Env.Frontend.Reserve(at, cfg.Meta.SRAMLatency)
+	bd := stats.Breakdown{
+		Queue:        feStart - at,
+		FPLookupSRAM: cfg.Meta.SRAMLatency,
+	}
+	t := feEnd
+
+	if candidate, hit := s.efit.Get(fp); hit {
+		s.St.FPCacheHits++
+		equal := true
+		if !s.DisableCompare {
+			// Similar, not yet identical: fetch the candidate and compare
+			// byte by byte (§III-D), exploiting cheap NVM reads.
+			ct, ok, rr := s.Env.Device.Read(candidate, t)
+			s.St.CompareReads++
+			s.Env.ChargeCompare()
+			tv := rr.Done + cfg.FP.CompareTime
+			bd.ReadCompare = tv - t
+			t = tv
+			if ok {
+				pt := s.Env.Crypto.Decrypt(candidate, &ct)
+				equal = pt == *data
+			} else {
+				equal = false
+			}
+		}
+		if equal {
+			// Duplicate confirmed. Saturating referH: beyond the limit the
+			// line is treated as brand-new content (§III-D).
+			if s.efit.Ref(fp) >= cfg.ESD.ReferHMax {
+				s.St.ReferHOverflows++
+				return s.writeUnique(logical, data, fp, t, bd, true)
+			}
+			s.efit.Touch(fp, cfg.ESD.ReferHMax)
+			s.St.DupByCache++
+			mapLat := s.DedupHit(logical, candidate, t)
+			bd.Metadata = mapLat
+			return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
+		}
+		// ECC collision: genuinely different content behind the same
+		// fingerprint. The line is unique; the existing entry stays.
+		s.St.CompareMismatches++
+		return s.writeUnique(logical, data, fp, t, bd, false)
+	}
+
+	// EFIT miss: selective deduplication treats the line as non-duplicate
+	// immediately — no fingerprint store in NVMM, no NVMM lookup, ever.
+	s.St.FPCacheMisses++
+	return s.writeUnique(logical, data, fp, t, bd, true)
+}
+
+// writeUnique encrypts and stores a unique line, optionally (re)pointing
+// the EFIT entry for fp at the new physical line.
+func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, t sim.Time, bd stats.Breakdown, installFP bool) memctrl.WriteOutcome {
+	cfg := s.Env.Cfg
+	// The dedicated AES engine adds latency without occupying the
+	// controller pipeline.
+	bd.Encrypt = cfg.Crypto.EncryptLatency
+	phys, wr, mapLat := s.StoreUnique(logical, data, t+cfg.Crypto.EncryptLatency)
+	if installFP {
+		// Re-pointing an existing entry (e.g. after a referH overflow)
+		// starts a fresh reference count, so delete-then-insert.
+		if old, had := s.efit.Peek(fp); had {
+			delete(s.physFP, old)
+			s.efit.Delete(fp)
+		}
+		if ev, evicted := s.efit.PutWithRef(fp, phys, 1); evicted {
+			// LRCU victim: the fingerprint simply leaves the controller;
+			// there is no NVMM copy to maintain (selective dedup).
+			if v, ok := s.physFP[ev.Value]; ok && v == ev.Key {
+				delete(s.physFP, ev.Value)
+			}
+		}
+		s.physFP[phys] = fp
+	}
+	bd.Queue += wr.Stall
+	bd.Media = cfg.PCM.WriteLatency
+	bd.Metadata = mapLat
+	return memctrl.WriteOutcome{
+		Done:      wr.AcceptedAt + cfg.PCM.WriteLatency,
+		Breakdown: bd,
+		PhysAddr:  phys,
+	}
+}
+
+// Read implements memctrl.Scheme.
+func (s *ESD) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
+	return s.ReadPath(logical, at)
+}
+
+// Tick implements memctrl.Scheme: the periodic LRCU refresh that subtracts
+// a fixed value from every cached reference count (§III-D).
+func (s *ESD) Tick(sim.Time) {
+	if !s.DisableLRCU {
+		s.efit.DecayAll(s.Env.Cfg.ESD.RefreshDecay)
+	}
+}
+
+// TickInterval implements memctrl.Scheme.
+func (s *ESD) TickInterval() sim.Time {
+	if s.DisableLRCU {
+		return 0
+	}
+	return s.Env.Cfg.ESD.RefreshInterval
+}
+
+// MetadataNVMM implements memctrl.Scheme: only the AMT lives in NVMM; the
+// EFIT has no NVMM-resident copy at all — the headline space saving of
+// Fig. 19.
+func (s *ESD) MetadataNVMM() int64 { return s.AMT.NVMMBytes() }
+
+// MetadataSRAM implements memctrl.Scheme.
+func (s *ESD) MetadataSRAM() int64 {
+	return int64(s.efit.Capacity())*int64(s.Env.Cfg.Meta.EFITEntryBytes) + s.MetadataSRAMBase()
+}
+
+// EFITStats exposes EFIT cache statistics (Fig. 18).
+func (s *ESD) EFITStats() cache.Stats { return s.efit.Stats }
+
+// EFITLen reports the number of live EFIT entries.
+func (s *ESD) EFITLen() int { return s.efit.Len() }
+
+// Crash implements memctrl.Crasher. ESD's entire fingerprint state — the
+// EFIT — is volatile by design and simply vanishes: there is no NVMM copy
+// to recover or keep consistent (§III-E), deduplication restarts cold, and
+// every logical line remains readable through the (eADR-drained) AMT.
+func (s *ESD) Crash(now sim.Time) {
+	s.CrashBase(now)
+	s.efit.Clear()
+	s.physFP = make(map[uint64]uint64)
+}

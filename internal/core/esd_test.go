@@ -1,0 +1,414 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/workload"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 28
+	return cfg
+}
+
+func newEnv(t *testing.T) *memctrl.Env {
+	t.Helper()
+	cfg := testCfg()
+	if msg := cfg.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	return memctrl.NewEnv(cfg)
+}
+
+func line(b byte) ecc.Line {
+	var l ecc.Line
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+func TestESDWriteReadRoundTrip(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	data := line(7)
+	out := s.Write(1, &data, 0)
+	if out.Deduplicated {
+		t.Fatal("first write deduplicated")
+	}
+	r := s.Read(1, 10*sim.Microsecond)
+	if !r.Hit || r.Data != data {
+		t.Fatal("read-back failed")
+	}
+}
+
+func TestESDDeduplicatesViaEFIT(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	data := line(3)
+	d1 := data
+	out1 := s.Write(1, &d1, 0)
+	d2 := data
+	out2 := s.Write(2, &d2, 10*sim.Microsecond)
+	if !out2.Deduplicated || out2.PhysAddr != out1.PhysAddr {
+		t.Fatalf("duplicate not eliminated: %+v vs %+v", out2, out1)
+	}
+	// Byte comparison must have run before deduplicating.
+	if s.Stats().CompareReads == 0 {
+		t.Fatal("ESD deduplicated without the byte-by-byte comparison")
+	}
+	for _, addr := range []uint64{1, 2} {
+		if r := s.Read(addr, 20*sim.Microsecond); r.Data != data {
+			t.Fatalf("read-back of %d failed", addr)
+		}
+	}
+}
+
+func TestESDZeroFingerprintCostOnWritePath(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	data := line(5)
+	out := s.Write(1, &data, 0)
+	if out.Breakdown.FPCompute != 0 {
+		t.Fatalf("ESD charged %v fingerprint latency; the ECC is free", out.Breakdown.FPCompute)
+	}
+	if env.Energy.Fingerprint != 0 {
+		t.Fatalf("ESD charged %v nJ fingerprint energy", env.Energy.Fingerprint)
+	}
+	// Compare with the 321 ns a SHA-1 write pays: ESD's unique-write path
+	// is probe + encrypt + media.
+	cfg := env.Cfg
+	minimum := cfg.Meta.SRAMLatency + cfg.Crypto.EncryptLatency + cfg.PCM.WriteLatency
+	if out.Done < minimum || out.Done > minimum+cfg.PCM.BusLatency {
+		t.Fatalf("unique write done at %v, want about %v", out.Done, minimum)
+	}
+}
+
+func TestESDNeverLooksUpFingerprintsInNVMM(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	r := xrand.New(1)
+	// A mix of unique and duplicate writes.
+	var contents []ecc.Line
+	for i := 0; i < 10; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		contents = append(contents, d)
+	}
+	for i := 0; i < 200; i++ {
+		d := contents[r.Intn(len(contents))]
+		s.Write(r.Uint64n(1000), &d, sim.Time(i)*sim.Microsecond)
+	}
+	if st := s.Stats(); st.FPNVMMLookups != 0 || st.DupByNVMM != 0 {
+		t.Fatalf("selective dedup performed NVMM fingerprint lookups: %+v", st)
+	}
+}
+
+func TestESDCollisionSafety(t *testing.T) {
+	// Find two different 8-byte words with identical ECC bytes, build two
+	// lines differing only in that word: identical ECC fingerprints,
+	// different content. ESD must NOT deduplicate them.
+	seen := map[uint8]uint64{}
+	var w1, w2 uint64
+	found := false
+	for w := uint64(0); w < 1<<16 && !found; w++ {
+		e := ecc.EncodeWord(w)
+		if prev, ok := seen[e]; ok {
+			w1, w2, found = prev, w, true
+		} else {
+			seen[e] = w
+		}
+	}
+	if !found {
+		t.Fatal("could not construct an ECC word collision")
+	}
+	var a, b ecc.Line
+	a.SetWord(0, w1)
+	b.SetWord(0, w2)
+	if ecc.EncodeLine(&a) != ecc.EncodeLine(&b) {
+		t.Fatal("constructed lines do not collide")
+	}
+
+	env := newEnv(t)
+	s := New(env)
+	da := a
+	s.Write(1, &da, 0)
+	db := b
+	out := s.Write(2, &db, 10*sim.Microsecond)
+	if out.Deduplicated {
+		t.Fatal("ECC collision deduplicated different content — data loss")
+	}
+	if s.Stats().CompareMismatches != 1 {
+		t.Fatalf("collision not detected: %+v", s.Stats())
+	}
+	if r := s.Read(1, 20*sim.Microsecond); r.Data != a {
+		t.Fatal("line A corrupted")
+	}
+	if r := s.Read(2, 30*sim.Microsecond); r.Data != b {
+		t.Fatal("line B corrupted")
+	}
+}
+
+func TestESDWithoutCompareIsUnsafe(t *testing.T) {
+	// The ablation documents WHY the comparison is mandatory: with it
+	// disabled, the same collision corrupts data (and the controller's
+	// oracle would catch it).
+	seen := map[uint8]uint64{}
+	var w1, w2 uint64
+	for w := uint64(0); w < 1<<16; w++ {
+		e := ecc.EncodeWord(w)
+		if prev, ok := seen[e]; ok {
+			w1, w2 = prev, w
+			break
+		}
+		seen[e] = w
+	}
+	var a, b ecc.Line
+	a.SetWord(0, w1)
+	b.SetWord(0, w2)
+	env := newEnv(t)
+	s := New(env, WithoutCompare())
+	da := a
+	s.Write(1, &da, 0)
+	db := b
+	out := s.Write(2, &db, 10*sim.Microsecond)
+	if !out.Deduplicated {
+		t.Fatal("compare-disabled ESD did not trust the fingerprint")
+	}
+	if r := s.Read(2, 20*sim.Microsecond); r.Data == b {
+		t.Fatal("expected corruption with comparison disabled, but data survived")
+	}
+}
+
+func TestESDReferHOverflowRewrites(t *testing.T) {
+	cfg := testCfg()
+	cfg.ESD.ReferHMax = 3
+	env := memctrl.NewEnv(cfg)
+	s := New(env)
+	data := line(9)
+	unique := 0
+	for i := 0; i < 12; i++ {
+		d := data
+		out := s.Write(uint64(i), &d, sim.Time(i)*10*sim.Microsecond)
+		if !out.Deduplicated {
+			unique++
+		}
+	}
+	st := s.Stats()
+	if st.ReferHOverflows == 0 {
+		t.Fatalf("referH never overflowed with max=3 over 12 dup writes: %+v", st)
+	}
+	if unique < 3 {
+		t.Fatalf("overflow should force periodic rewrites; unique=%d", unique)
+	}
+	// All 12 logical addresses must still read back correctly.
+	for i := 0; i < 12; i++ {
+		if r := s.Read(uint64(i), sim.Millisecond); r.Data != data {
+			t.Fatalf("read-back of %d failed after overflow rewrites", i)
+		}
+	}
+}
+
+func TestESDLRCUKeepsHotFingerprints(t *testing.T) {
+	// Tiny EFIT: 2 entries. One hot content (many refs) and a stream of
+	// cold uniques. The hot fingerprint must survive the cold churn.
+	cfg := testCfg()
+	cfg.Meta.EFITCacheBytes = 2 * cfg.Meta.EFITEntryBytes
+	env := memctrl.NewEnv(cfg)
+	s := New(env)
+	hot := line(1)
+	now := sim.Time(0)
+	write := func(addr uint64, d ecc.Line) memctrl.WriteOutcome {
+		now += 10 * sim.Microsecond
+		dd := d
+		return s.Write(addr, &dd, now)
+	}
+	write(0, hot)
+	for i := 0; i < 5; i++ {
+		write(uint64(100+i), hot) // heat it up
+	}
+	r := xrand.New(7)
+	for i := 0; i < 50; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		d.SetWord(1, 0xABCD)
+		write(uint64(1000+i), d)
+	}
+	out := write(999, hot)
+	if !out.Deduplicated {
+		t.Fatal("LRCU evicted the hot fingerprint under cold churn")
+	}
+}
+
+func TestESDLRUAblationLosesHotFingerprint(t *testing.T) {
+	// Same scenario with plain LRU: the cold churn evicts the hot entry.
+	cfg := testCfg()
+	cfg.Meta.EFITCacheBytes = 2 * cfg.Meta.EFITEntryBytes
+	env := memctrl.NewEnv(cfg)
+	s := New(env, WithLRU())
+	hot := line(1)
+	now := sim.Time(0)
+	write := func(addr uint64, d ecc.Line) memctrl.WriteOutcome {
+		now += 10 * sim.Microsecond
+		dd := d
+		return s.Write(addr, &dd, now)
+	}
+	write(0, hot)
+	for i := 0; i < 5; i++ {
+		write(uint64(100+i), hot)
+	}
+	r := xrand.New(7)
+	for i := 0; i < 50; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		d.SetWord(1, 0xABCD)
+		write(uint64(1000+i), d)
+	}
+	out := write(999, hot)
+	if out.Deduplicated {
+		t.Skip("LRU happened to keep the hot entry (set mapping luck); not a failure")
+	}
+}
+
+func TestESDDecayTick(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	if s.TickInterval() != env.Cfg.ESD.RefreshInterval {
+		t.Fatalf("tick interval %v", s.TickInterval())
+	}
+	data := line(2)
+	d := data
+	s.Write(1, &d, 0)
+	for i := 0; i < 5; i++ {
+		d = data
+		s.Write(uint64(2+i), &d, sim.Time(i+1)*10*sim.Microsecond)
+	}
+	// Decay many times: reference counts drop to the floor, but
+	// correctness is unaffected.
+	for i := 0; i < 300; i++ {
+		s.Tick(sim.Time(i) * env.Cfg.ESD.RefreshInterval)
+	}
+	d = data
+	out := s.Write(100, &d, sim.Second)
+	if !out.Deduplicated {
+		t.Fatal("entry vanished after decay (decay must floor at 0, not delete)")
+	}
+}
+
+func TestESDPurgeOnFreePreventsStaleDedup(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	a, b := line(1), line(2)
+	d := a
+	out1 := s.Write(1, &d, 0)
+	// Overwrite logical 1: content A's physical line is freed.
+	d = b
+	s.Write(1, &d, 10*sim.Microsecond)
+	// Writing A again must not dedup onto the freed line.
+	d = a
+	out3 := s.Write(2, &d, 20*sim.Microsecond)
+	if out3.Deduplicated && out3.PhysAddr == out1.PhysAddr {
+		t.Fatal("stale EFIT entry deduplicated onto freed storage")
+	}
+	if r := s.Read(2, 30*sim.Microsecond); r.Data != a {
+		t.Fatal("content corrupted")
+	}
+}
+
+func TestESDMetadataNVMMIsAMTOnly(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	r := xrand.New(3)
+	for i := 0; i < 20; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		s.Write(uint64(i), &d, sim.Time(i)*sim.Microsecond)
+	}
+	want := int64(20 * env.Cfg.Meta.AMTEntryBytes)
+	if got := s.MetadataNVMM(); got != want {
+		t.Fatalf("MetadataNVMM = %d, want %d (AMT only, no fingerprint store)", got, want)
+	}
+}
+
+func TestESDEndToEndOnWorkloadsWithVerification(t *testing.T) {
+	for _, name := range []string{"gcc", "deepsjeng", "lbm", "blackscholes"} {
+		profile, _ := workload.ByName(name)
+		env := newEnv(t)
+		ctl := memctrl.NewController(env, New(env))
+		ctl.VerifyReads = true
+		res, err := ctl.Run(workload.Stream(profile, 31, 8000))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Scheme.DedupWrites == 0 {
+			t.Errorf("%s: ESD eliminated nothing", name)
+		}
+	}
+}
+
+func TestESDSelectiveDedupMissesSomeButAvoidsLookups(t *testing.T) {
+	// The paper's core trade-off (Fig. 11): ESD removes fewer duplicates
+	// than full dedup but never touches NVMM for fingerprints.
+	profile, _ := workload.ByName("x264")
+	const n = 12000
+
+	envF := memctrl.NewEnv(testCfg())
+	full := dedup.NewSHA1(envF)
+	ctlF := memctrl.NewController(envF, full)
+	resF, err := ctlF.Run(workload.Stream(profile, 8, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	envE := memctrl.NewEnv(testCfg())
+	esd := New(envE)
+	ctlE := memctrl.NewController(envE, esd)
+	resE, err := ctlE.Run(workload.Stream(profile, 8, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resE.Scheme.DedupWrites == 0 {
+		t.Fatal("ESD eliminated nothing")
+	}
+	if resE.Scheme.DedupWrites > resF.Scheme.DedupWrites {
+		t.Fatalf("selective dedup (%d) eliminated more than full dedup (%d)",
+			resE.Scheme.DedupWrites, resF.Scheme.DedupWrites)
+	}
+	if resE.Scheme.FPNVMMLookups != 0 {
+		t.Fatal("ESD performed fingerprint NVMM lookups")
+	}
+	if resF.Scheme.FPNVMMLookups == 0 {
+		t.Fatal("full dedup performed no NVMM lookups (model broken)")
+	}
+	// And the headline: ESD's mean write latency beats full dedup's.
+	if resE.WriteHist.Mean() >= resF.WriteHist.Mean() {
+		t.Errorf("ESD mean write %v not faster than Dedup_SHA1 %v",
+			resE.WriteHist.Mean(), resF.WriteHist.Mean())
+	}
+}
+
+func TestESDEFITSizeSweepImprovesHitRate(t *testing.T) {
+	profile, _ := workload.ByName("mcf")
+	hitRates := make([]float64, 0, 3)
+	for _, kb := range []int{4, 64, 512} {
+		cfg := testCfg()
+		env := memctrl.NewEnv(cfg)
+		s := New(env, WithEFITCacheBytes(kb<<10))
+		ctl := memctrl.NewController(env, s)
+		if _, err := ctl.Run(workload.Stream(profile, 17, 10000)); err != nil {
+			t.Fatal(err)
+		}
+		hitRates = append(hitRates, s.EFITStats().HitRate())
+	}
+	if !(hitRates[0] <= hitRates[1]+0.02 && hitRates[1] <= hitRates[2]+0.02) {
+		t.Errorf("EFIT hit rate not improving with size: %v", hitRates)
+	}
+}

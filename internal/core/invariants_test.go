@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// checkInternalInvariants validates ESD's metadata cross-references:
+// every EFIT entry's physical line is reverse-mapped and still referenced,
+// and every reverse-map entry matches a live EFIT entry.
+func checkInternalInvariants(t *testing.T, s *ESD) {
+	t.Helper()
+	s.efit.Range(func(fp uint64, phys uint64, _ int) bool {
+		if got, ok := s.physFP[phys]; !ok || got != fp {
+			t.Fatalf("EFIT entry %#x -> %d has no matching reverse map", fp, phys)
+		}
+		if s.Refs.Count(phys) == 0 {
+			t.Fatalf("EFIT points at unreferenced physical line %d", phys)
+		}
+		return true
+	})
+	for phys, fp := range s.physFP {
+		if cur, ok := s.efit.Peek(fp); !ok || cur != phys {
+			t.Fatalf("reverse map %d -> %#x has no matching EFIT entry", phys, fp)
+		}
+	}
+}
+
+func TestESDInvariantsUnderChurn(t *testing.T) {
+	cfg := testCfg()
+	cfg.Meta.EFITCacheBytes = 8 * cfg.Meta.EFITEntryBytes // force evictions
+	cfg.ESD.ReferHMax = 5                                 // force overflows
+	check := func(seed uint64) bool {
+		env := memctrl.NewEnv(cfg)
+		s := New(env)
+		r := xrand.New(seed)
+		var pool [6]ecc.Line
+		for i := range pool {
+			pool[i].SetWord(0, r.Uint64())
+		}
+		now := sim.Time(0)
+		for i := 0; i < 400; i++ {
+			now += 10 * sim.Microsecond
+			addr := r.Uint64n(40)
+			if r.Bool(0.7) {
+				line := pool[r.Intn(len(pool))]
+				s.Write(addr, &line, now)
+			} else {
+				s.Read(addr, now)
+			}
+			if i%50 == 0 {
+				s.Tick(now)
+			}
+		}
+		checkInternalInvariants(t, s)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestESDInvariantsAfterCrash(t *testing.T) {
+	env := newEnv(t)
+	s := New(env)
+	line := ecc.Line{1}
+	s.Write(1, &line, 0)
+	s.Crash(10 * sim.Microsecond)
+	if s.EFITLen() != 0 || len(s.physFP) != 0 {
+		t.Fatal("crash left volatile state")
+	}
+	// Post-crash writes rebuild consistent state.
+	s.Write(2, &line, 20*sim.Microsecond)
+	checkInternalInvariants(t, s)
+}
+
+func TestESDTinyEFITStillCorrect(t *testing.T) {
+	// A one-entry EFIT is the most hostile configuration: constant
+	// evictions, constant re-installs. Correctness must be unaffected.
+	cfg := testCfg()
+	cfg.Meta.EFITCacheBytes = 1
+	env := memctrl.NewEnv(cfg)
+	s := New(env)
+	ctl := memctrl.NewController(env, s)
+	ctl.VerifyReads = true
+	if _, err := ctl.Run(streamFor(t, "fluidanimate", 4000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// streamFor builds a workload stream or fails the test.
+func streamFor(t *testing.T, app string, n int) trace.Stream {
+	t.Helper()
+	p, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	return workload.Stream(p, 3, n)
+}

@@ -1,0 +1,233 @@
+// Package cpucache models the CPU-side cache hierarchy of Table I: private
+// L1 and L2 plus a shared L3 (the last-level cache), all write-back,
+// write-allocate, LRU, with 64-byte lines. Its job in this reproduction is
+// the same as gem5's cache model in the paper's artifact: converting a
+// CPU-level access stream into the stream the memory controller actually
+// sees — demand reads on LLC misses and dirty-line write-backs on LLC
+// evictions.
+//
+// The hierarchy is exclusive (victim-caching) and content-carrying: each
+// line lives at exactly one level, stores deposit full 64-byte lines, hits
+// in lower levels promote the line back to L1, victims percolate down
+// level by level, and only lines leaving the LLC become memory traffic.
+// This is what makes the "duplicate rate of cache lines evicted from the
+// LLC" (Fig. 1) a well-defined, measurable quantity rather than an
+// assumption.
+package cpucache
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/cache"
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/trace"
+)
+
+// lineState is the per-line cache payload: content plus a dirty bit.
+type lineState struct {
+	data  ecc.Line
+	dirty bool
+}
+
+// level is one cache level.
+type level struct {
+	name    string
+	c       *cache.Cache[lineState]
+	latency sim.Time
+}
+
+func newLevel(name string, cfg config.CacheLevel) *level {
+	entries := cfg.Size / config.CacheLineSize
+	if entries < 1 {
+		entries = 1
+	}
+	return &level{
+		name:    name,
+		c:       cache.New[lineState](entries, cfg.Ways, cache.LRU),
+		latency: cfg.Latency,
+	}
+}
+
+// Stats aggregates hierarchy activity.
+type Stats struct {
+	Accesses    uint64
+	L1Hits      uint64
+	L2Hits      uint64
+	L3Hits      uint64
+	LLCMisses   uint64
+	WriteBacks  uint64 // dirty lines evicted from the LLC
+	CleanEvicts uint64 // clean lines dropped from the LLC
+}
+
+// MissRate returns LLC misses per access.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.LLCMisses) / float64(s.Accesses)
+}
+
+// Hierarchy is a 3-level inclusive cache hierarchy.
+type Hierarchy struct {
+	levels []*level
+	Stats  Stats
+}
+
+// New builds the hierarchy from the three Table I cache levels.
+func New(l1, l2, l3 config.CacheLevel) *Hierarchy {
+	return &Hierarchy{levels: []*level{
+		newLevel("L1", l1),
+		newLevel("L2", l2),
+		newLevel("L3", l3),
+	}}
+}
+
+// Result reports one access: the latency to the hit level (or through to
+// memory) and the memory-controller events it generated, in issue order.
+type Result struct {
+	// HitLevel is 1..3 for cache hits, 0 for an LLC miss served by memory.
+	HitLevel int
+	// Latency is the on-chip lookup latency (memory latency is the memory
+	// controller's business).
+	Latency sim.Time
+	// Events are the resulting memory requests: at most one OpRead (the
+	// demand fill on an LLC miss) and any number of OpWrite write-backs.
+	Events []trace.Record
+}
+
+// llc returns the last-level cache.
+func (h *Hierarchy) llc() *level { return h.levels[len(h.levels)-1] }
+
+// insert places a line into level i, percolating the victim downwards;
+// a dirty victim leaving the LLC becomes an OpWrite event.
+func (h *Hierarchy) insert(i int, addr uint64, st lineState, at sim.Time, events *[]trace.Record) {
+	ev, evicted := h.levels[i].c.Put(addr, st)
+	if !evicted {
+		return
+	}
+	if i+1 < len(h.levels) {
+		// Victim moves down one level (exclusive hierarchy: it cannot
+		// already be present below).
+		h.insert(i+1, ev.Key, ev.Value, at, events)
+		return
+	}
+	// Leaving the LLC.
+	if ev.Value.dirty {
+		h.Stats.WriteBacks++
+		*events = append(*events, trace.Record{
+			Op:   trace.OpWrite,
+			Addr: ev.Key,
+			At:   at,
+			Data: ev.Value.data,
+		})
+	} else {
+		h.Stats.CleanEvicts++
+	}
+}
+
+// Access performs one CPU access to a line address. For stores, data is
+// the full new line content (the CPU merges its bytes before the access
+// reaches the hierarchy). Loads return the current content when the line
+// is on chip.
+func (h *Hierarchy) Access(addr uint64, write bool, data *ecc.Line, at sim.Time) Result {
+	h.Stats.Accesses++
+	var res Result
+	var lat sim.Time
+
+	for i, lv := range h.levels {
+		lat += lv.latency
+		if st, ok := lv.c.Get(addr); ok {
+			switch i {
+			case 0:
+				h.Stats.L1Hits++
+			case 1:
+				h.Stats.L2Hits++
+			default:
+				h.Stats.L3Hits++
+			}
+			res.HitLevel = i + 1
+			res.Latency = lat
+			if write {
+				st.data = *data
+				st.dirty = true
+			}
+			if i > 0 {
+				// Promote to L1; the displaced victims cascade downwards.
+				lv.c.Delete(addr)
+				h.insert(0, addr, st, at, &res.Events)
+			} else {
+				lv.c.Put(addr, st)
+			}
+			return res
+		}
+	}
+
+	// LLC miss: demand read from memory, then fill.
+	h.Stats.LLCMisses++
+	res.HitLevel = 0
+	res.Latency = lat
+	res.Events = append(res.Events, trace.Record{Op: trace.OpRead, Addr: addr, At: at})
+	st := lineState{}
+	if write {
+		st.data = *data
+		st.dirty = true
+	}
+	h.insert(0, addr, st, at, &res.Events)
+	return res
+}
+
+// Flush drains every dirty line from the hierarchy as OpWrite events (in
+// unspecified but deterministic order), leaving all levels clean.
+func (h *Hierarchy) Flush(at sim.Time) []trace.Record {
+	var events []trace.Record
+	seen := map[uint64]bool{}
+	// Upper levels hold the freshest copies; walk top-down.
+	for _, lv := range h.levels {
+		lv.c.Range(func(key uint64, st lineState, _ int) bool {
+			if st.dirty && !seen[key] {
+				seen[key] = true
+				h.Stats.WriteBacks++
+				events = append(events, trace.Record{Op: trace.OpWrite, Addr: key, At: at, Data: st.data})
+			}
+			return true
+		})
+	}
+	for _, lv := range h.levels {
+		lv.c.Clear()
+	}
+	return events
+}
+
+// Contains reports whether addr is present at any level.
+func (h *Hierarchy) Contains(addr uint64) bool {
+	for _, lv := range h.levels {
+		if lv.c.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Content returns the freshest on-chip copy of addr, if cached.
+func (h *Hierarchy) Content(addr uint64) (ecc.Line, bool) {
+	for _, lv := range h.levels {
+		if st, ok := lv.c.Peek(addr); ok {
+			return st.data, true
+		}
+	}
+	return ecc.Line{}, false
+}
+
+// String summarizes the hierarchy geometry.
+func (h *Hierarchy) String() string {
+	s := ""
+	for i, lv := range h.levels {
+		if i > 0 {
+			s += " / "
+		}
+		s += fmt.Sprintf("%s %d lines", lv.name, lv.c.Capacity())
+	}
+	return s
+}

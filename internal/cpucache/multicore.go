@@ -1,0 +1,152 @@
+package cpucache
+
+import (
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/trace"
+)
+
+// MultiCore models Table I's actual topology: per-core private L1 and L2
+// caches in front of one shared L3 (the LLC). Each private hierarchy is
+// exclusive and content-carrying like Hierarchy; victims leaving a private
+// L2 drop into the shared L3, and only L3 victims become memory traffic.
+//
+// Coherence is modeled at the only granularity the memory system cares
+// about: a core's access checks the other cores' private caches and steals
+// (migrates) the line if found, so exactly one copy of a line exists
+// on-chip — a simple MI protocol, sufficient for single-writer streams.
+type MultiCore struct {
+	priv  [][2]*level // [core][L1, L2]
+	l3    *level
+	Stats Stats
+	// Migrations counts cross-core line transfers.
+	Migrations uint64
+}
+
+// NewMultiCore builds cores private L1/L2 hierarchies over a shared L3.
+func NewMultiCore(cores int, l1, l2, l3 config.CacheLevel) *MultiCore {
+	if cores < 1 {
+		cores = 1
+	}
+	m := &MultiCore{l3: newLevel("L3", l3)}
+	for c := 0; c < cores; c++ {
+		m.priv = append(m.priv, [2]*level{newLevel("L1", l1), newLevel("L2", l2)})
+	}
+	return m
+}
+
+// Cores returns the core count.
+func (m *MultiCore) Cores() int { return len(m.priv) }
+
+// insertPrivate places a line into core's L1; victims cascade to L2 and
+// then into the shared L3, whose victims become memory events.
+func (m *MultiCore) insertPrivate(core int, addr uint64, st lineState, at sim.Time, events *[]trace.Record) {
+	ev, evicted := m.priv[core][0].c.Put(addr, st)
+	if !evicted {
+		return
+	}
+	ev2, evicted2 := m.priv[core][1].c.Put(ev.Key, ev.Value)
+	if !evicted2 {
+		return
+	}
+	m.insertL3(ev2.Key, ev2.Value, at, events)
+}
+
+func (m *MultiCore) insertL3(addr uint64, st lineState, at sim.Time, events *[]trace.Record) {
+	ev, evicted := m.l3.c.Put(addr, st)
+	if !evicted {
+		return
+	}
+	if ev.Value.dirty {
+		m.Stats.WriteBacks++
+		*events = append(*events, trace.Record{Op: trace.OpWrite, Addr: ev.Key, At: at, Data: ev.Value.data})
+	} else {
+		m.Stats.CleanEvicts++
+	}
+}
+
+// lookup searches core's private caches, the shared L3, then the other
+// cores' private caches (coherence steal). It removes the line from where
+// it was found and returns it.
+func (m *MultiCore) lookup(core int, addr uint64) (lineState, int, bool) {
+	for i, lv := range m.priv[core] {
+		if st, ok := lv.c.Get(addr); ok {
+			lv.c.Delete(addr)
+			if i == 0 {
+				m.Stats.L1Hits++
+			} else {
+				m.Stats.L2Hits++
+			}
+			return st, i + 1, true
+		}
+	}
+	if st, ok := m.l3.c.Get(addr); ok {
+		m.l3.c.Delete(addr)
+		m.Stats.L3Hits++
+		return st, 3, true
+	}
+	for other := range m.priv {
+		if other == core {
+			continue
+		}
+		for _, lv := range m.priv[other] {
+			if st, ok := lv.c.Get(addr); ok {
+				lv.c.Delete(addr)
+				m.Migrations++
+				m.Stats.L3Hits++ // steals cost about an L3 round trip
+				return st, 3, true
+			}
+		}
+	}
+	return lineState{}, 0, false
+}
+
+// Access performs one access by core to a line address. The returned
+// events are the memory requests it caused.
+func (m *MultiCore) Access(core int, addr uint64, write bool, data *ecc.Line, at sim.Time) Result {
+	m.Stats.Accesses++
+	var res Result
+	st, hitLevel, ok := m.lookup(core%len(m.priv), addr)
+	res.HitLevel = hitLevel
+	lat := m.priv[core%len(m.priv)][0].latency
+	switch hitLevel {
+	case 2:
+		lat += m.priv[core%len(m.priv)][1].latency
+	case 3:
+		lat += m.priv[core%len(m.priv)][1].latency + m.l3.latency
+	}
+	res.Latency = lat
+	if !ok {
+		m.Stats.LLCMisses++
+		res.Latency += m.l3.latency
+		res.Events = append(res.Events, trace.Record{Op: trace.OpRead, Addr: addr, At: at})
+	}
+	if write {
+		st.data = *data
+		st.dirty = true
+	}
+	m.insertPrivate(core%len(m.priv), addr, st, at, &res.Events)
+	return res
+}
+
+// Flush drains every dirty line from all cores and the L3.
+func (m *MultiCore) Flush(at sim.Time) []trace.Record {
+	var events []trace.Record
+	drain := func(lv *level) {
+		lv.c.Range(func(key uint64, st lineState, _ int) bool {
+			if st.dirty {
+				m.Stats.WriteBacks++
+				events = append(events, trace.Record{Op: trace.OpWrite, Addr: key, At: at, Data: st.data})
+			}
+			return true
+		})
+		lv.c.Clear()
+	}
+	for _, pair := range m.priv {
+		drain(pair[0])
+		drain(pair[1])
+	}
+	drain(m.l3)
+	return events
+}

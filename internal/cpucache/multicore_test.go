@@ -1,0 +1,209 @@
+package cpucache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func tinyMC(cores int) *MultiCore {
+	mk := func(lines int, lat sim.Time) config.CacheLevel {
+		return config.CacheLevel{Size: lines * config.CacheLineSize, Ways: 2, Latency: lat}
+	}
+	return NewMultiCore(cores, mk(4, 1), mk(8, 4), mk(32, 12))
+}
+
+func TestMultiCorePrivateHit(t *testing.T) {
+	m := tinyMC(2)
+	m.Access(0, 5, false, nil, 0)
+	res := m.Access(0, 5, false, nil, 10)
+	if res.HitLevel != 1 {
+		t.Fatalf("second access hit level %d, want L1", res.HitLevel)
+	}
+	if m.Stats.L1Hits != 1 || m.Stats.LLCMisses != 1 {
+		t.Fatalf("stats %+v", m.Stats)
+	}
+}
+
+func TestMultiCoreCoherenceMigration(t *testing.T) {
+	m := tinyMC(2)
+	payload := ecc.Line{7}
+	m.Access(0, 5, true, &payload, 0)
+	// Core 1 reads the line: it must find core 0's dirty copy (not memory)
+	// and the content must travel with it.
+	res := m.Access(1, 5, false, nil, 10)
+	if res.HitLevel == 0 {
+		t.Fatal("coherence miss: line re-fetched from memory")
+	}
+	if m.Migrations != 1 {
+		t.Fatalf("migrations = %d", m.Migrations)
+	}
+	got, ok := m.contentOf(5)
+	if !ok || got != payload {
+		t.Fatal("content lost in migration")
+	}
+	// Exactly one on-chip copy exists.
+	if n := m.copiesOf(5); n != 1 {
+		t.Fatalf("%d copies on chip", n)
+	}
+}
+
+func TestMultiCoreSingleCopyInvariant(t *testing.T) {
+	check := func(seed uint64) bool {
+		m := tinyMC(4)
+		r := xrand.New(seed)
+		var payload ecc.Line
+		for i := 0; i < 600; i++ {
+			core := r.Intn(4)
+			addr := r.Uint64n(64)
+			if r.Bool(0.4) {
+				payload.SetWord(0, r.Uint64())
+				m.Access(core, addr, true, &payload, sim.Time(i))
+			} else {
+				m.Access(core, addr, false, nil, sim.Time(i))
+			}
+		}
+		for addr := uint64(0); addr < 64; addr++ {
+			if m.copiesOf(addr) > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCoreNoLostDirtyData(t *testing.T) {
+	check := func(seed uint64) bool {
+		m := tinyMC(2)
+		r := xrand.New(seed)
+		latest := map[uint64]ecc.Line{}
+		written := map[uint64]ecc.Line{}
+		record := func(evs []trace.Record) {
+			for _, e := range evs {
+				if e.Op == trace.OpWrite {
+					written[e.Addr] = e.Data
+				}
+			}
+		}
+		var payload ecc.Line
+		for i := 0; i < 400; i++ {
+			core := r.Intn(2)
+			addr := r.Uint64n(96)
+			if r.Bool(0.5) {
+				payload.SetWord(0, r.Uint64())
+				payload.SetWord(1, addr)
+				record(m.Access(core, addr, true, &payload, sim.Time(i)).Events)
+				latest[addr] = payload
+			} else {
+				record(m.Access(core, addr, false, nil, sim.Time(i)).Events)
+			}
+		}
+		record(m.Flush(10000))
+		for addr, want := range latest {
+			if got, ok := written[addr]; !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCoreTableIGeometry(t *testing.T) {
+	cfg := config.Default()
+	m := NewMultiCore(cfg.CPU.Cores, cfg.L1, cfg.L2, cfg.L3)
+	if m.Cores() != 8 {
+		t.Fatalf("cores = %d", m.Cores())
+	}
+	// Shared L3 capacity: 16 MB / 64 B.
+	if m.l3.c.Capacity() != (16<<20)/64 {
+		t.Fatalf("L3 capacity %d lines", m.l3.c.Capacity())
+	}
+}
+
+// contentOf finds the on-chip copy of addr, if any.
+func (m *MultiCore) contentOf(addr uint64) (ecc.Line, bool) {
+	for _, pair := range m.priv {
+		for _, lv := range pair {
+			if st, ok := lv.c.Peek(addr); ok {
+				return st.data, true
+			}
+		}
+	}
+	if st, ok := m.l3.c.Peek(addr); ok {
+		return st.data, true
+	}
+	return ecc.Line{}, false
+}
+
+// copiesOf counts on-chip copies of addr.
+func (m *MultiCore) copiesOf(addr uint64) int {
+	n := 0
+	for _, pair := range m.priv {
+		for _, lv := range pair {
+			if lv.c.Contains(addr) {
+				n++
+			}
+		}
+	}
+	if m.l3.c.Contains(addr) {
+		n++
+	}
+	return n
+}
+
+func TestMultiCoreTraceProducesLLCStream(t *testing.T) {
+	p, _ := workload.ByName("mcf")
+	cfg := config.Default()
+	cfg.L3.Size = 1 << 20
+	records, st, migrations := MultiCoreTrace(p, 4, cfg.L1, cfg.L2, cfg.L3, 7, 40000)
+	if len(records) == 0 {
+		t.Fatal("no LLC traffic")
+	}
+	if st.Accesses != 40000 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if migrations == 0 {
+		t.Fatal("no cross-core sharing observed despite 5% sharing traffic")
+	}
+	for i := 1; i < len(records); i++ {
+		if records[i].At < records[i-1].At {
+			t.Fatal("timestamps regressed")
+		}
+	}
+	// The LLC write-back stream still carries dedupable content.
+	ds, err := workload.MeasureDup(trace.NewSliceStream(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Writes == 0 || ds.DupRate < 0.3 {
+		t.Fatalf("write-backs=%d dup=%.2f", ds.Writes, ds.DupRate)
+	}
+}
+
+func TestMultiCoreTraceDeterministic(t *testing.T) {
+	p, _ := workload.ByName("leela")
+	cfg := config.Default()
+	cfg.L3.Size = 1 << 19
+	a, _, _ := MultiCoreTrace(p, 2, cfg.L1, cfg.L2, cfg.L3, 9, 5000)
+	b, _, _ := MultiCoreTrace(p, 2, cfg.L1, cfg.L2, cfg.L3, 9, 5000)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

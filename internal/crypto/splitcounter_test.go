@@ -1,0 +1,158 @@
+package crypto
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// splitStore is a toy ciphertext store implementing the re-encryption
+// callbacks: it remembers plaintexts (as the NVMM data path would via
+// decrypt-then-re-encrypt) and ciphertexts.
+type splitStore struct {
+	plain  map[uint64]ecc.Line
+	cipher map[uint64]ecc.Line
+}
+
+func newSplitStore() *splitStore {
+	return &splitStore{plain: map[uint64]ecc.Line{}, cipher: map[uint64]ecc.Line{}}
+}
+
+func (s *splitStore) getPlain(addr uint64) (ecc.Line, bool) {
+	p, ok := s.plain[addr]
+	return p, ok
+}
+
+func (s *splitStore) storeCipher(addr uint64, ct ecc.Line) { s.cipher[addr] = ct }
+
+func (s *splitStore) write(e *SplitCounterEngine, addr uint64, pt ecc.Line) {
+	s.plain[addr] = pt
+	ct, _ := e.Encrypt(addr, &pt, s.getPlain, s.storeCipher)
+	s.cipher[addr] = ct
+}
+
+func (s *splitStore) read(e *SplitCounterEngine, addr uint64) ecc.Line {
+	ct := s.cipher[addr]
+	return e.Decrypt(addr, &ct)
+}
+
+func TestSplitCounterRoundTrip(t *testing.T) {
+	e := NewSplitCounterEngine(1, 7)
+	st := newSplitStore()
+	var pt ecc.Line
+	pt.SetWord(0, 0xABCD)
+	st.write(e, 10, pt)
+	if got := st.read(e, 10); got != pt {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestSplitCounterMinorOverflowRekeysPage(t *testing.T) {
+	e := NewSplitCounterEngine(2, 3) // minor saturates at 7
+	st := newSplitStore()
+	// Two lines in the same page.
+	a, b := uint64(LinesPerPage*5), uint64(LinesPerPage*5+1)
+	var ptA, ptB ecc.Line
+	ptA.SetWord(0, 0xA)
+	ptB.SetWord(0, 0xB)
+	st.write(e, b, ptB)
+	// Hammer line a past its 3-bit minor.
+	for i := 0; i < 20; i++ {
+		ptA.SetWord(1, uint64(i))
+		st.write(e, a, ptA)
+	}
+	if e.MinorOverflows == 0 || e.PagesReencrypted == 0 {
+		t.Fatalf("no overflow after 20 writes with 3-bit minors: %+v", e)
+	}
+	if e.LinesReencrypted == 0 {
+		t.Fatal("sibling line was not re-encrypted on page rekey")
+	}
+	// Both lines still decrypt correctly after the storms.
+	if got := st.read(e, a); got != ptA {
+		t.Fatal("hammered line corrupted")
+	}
+	if got := st.read(e, b); got != ptB {
+		t.Fatal("sibling line corrupted by page re-encryption")
+	}
+}
+
+func TestSplitCounterPadFreshness(t *testing.T) {
+	// The same plaintext written repeatedly must never repeat ciphertext,
+	// across minor bumps AND across page rekeys.
+	e := NewSplitCounterEngine(3, 2) // overflow every 3 writes
+	st := newSplitStore()
+	var pt ecc.Line
+	pt.SetWord(0, 42)
+	seen := map[ecc.Line]int{}
+	for i := 0; i < 30; i++ {
+		st.write(e, 7, pt)
+		ct := st.cipher[7]
+		if prev, dup := seen[ct]; dup {
+			t.Fatalf("ciphertext repeated at writes %d and %d (pad reuse!)", prev, i)
+		}
+		seen[ct] = i
+	}
+}
+
+func TestSplitCounterManyLinesProperty(t *testing.T) {
+	e := NewSplitCounterEngine(4, 4)
+	st := newSplitStore()
+	r := xrand.New(9)
+	latest := map[uint64]ecc.Line{}
+	for i := 0; i < 3000; i++ {
+		addr := r.Uint64n(4 * LinesPerPage)
+		var pt ecc.Line
+		pt.SetWord(0, r.Uint64())
+		pt.SetWord(1, addr)
+		st.write(e, addr, pt)
+		latest[addr] = pt
+	}
+	for addr, want := range latest {
+		if got := st.read(e, addr); got != want {
+			t.Fatalf("line %d corrupted (overflows=%d reencrypted=%d)",
+				addr, e.MinorOverflows, e.LinesReencrypted)
+		}
+	}
+	if e.MinorOverflows == 0 {
+		t.Fatal("4-bit minors never overflowed under 3000 writes")
+	}
+}
+
+func TestSplitCounterMetadataSavings(t *testing.T) {
+	e := NewSplitCounterEngine(5, 7)
+	bits := e.MetadataBitsPerLine()
+	if bits >= FlatMetadataBitsPerLine/4 {
+		t.Fatalf("split counters cost %.2f bits/line, want far below the flat 64", bits)
+	}
+	// DEUCE-style 7-bit minors: 64/64 + 7 = 8 bits/line.
+	if bits != 8 {
+		t.Fatalf("bits/line = %v, want 8", bits)
+	}
+}
+
+func TestSplitCounterBadMinorBitsPanics(t *testing.T) {
+	for _, bits := range []uint{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("minorBits=%d accepted", bits)
+				}
+			}()
+			NewSplitCounterEngine(1, bits)
+		}()
+	}
+}
+
+func TestSplitCounterNilCallbacksSafe(t *testing.T) {
+	e := NewSplitCounterEngine(6, 1)
+	var pt ecc.Line
+	for i := 0; i < 10; i++ {
+		if ct, _ := e.Encrypt(3, &pt, nil, nil); ct == pt {
+			t.Fatal("ciphertext equals plaintext")
+		}
+	}
+	if e.MinorOverflows == 0 {
+		t.Fatal("1-bit minor never overflowed")
+	}
+}

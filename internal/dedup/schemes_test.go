@@ -1,0 +1,399 @@
+package dedup
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func testCfg() config.Config {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 28 // 256 MiB
+	return cfg
+}
+
+func newEnv(t *testing.T) *memctrl.Env {
+	t.Helper()
+	cfg := testCfg()
+	if msg := cfg.Validate(); msg != "" {
+		t.Fatal(msg)
+	}
+	return memctrl.NewEnv(cfg)
+}
+
+func line(b byte) ecc.Line {
+	var l ecc.Line
+	for i := range l {
+		l[i] = b
+	}
+	return l
+}
+
+// --- Baseline ---
+
+func TestBaselineWriteReadRoundTrip(t *testing.T) {
+	env := newEnv(t)
+	s := NewBaseline(env)
+	data := line(7)
+	out := s.Write(42, &data, 0)
+	if out.Deduplicated {
+		t.Fatal("baseline deduplicated")
+	}
+	if out.Done < env.Cfg.Crypto.EncryptLatency+env.Cfg.PCM.WriteLatency {
+		t.Fatalf("baseline write done at %v, too fast", out.Done)
+	}
+	r := s.Read(42, 10*sim.Microsecond)
+	if !r.Hit || r.Data != data {
+		t.Fatal("baseline read-back failed")
+	}
+	if st := s.Stats(); st.Writes != 1 || st.UniqueWrites != 1 || st.Reads != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBaselineNeverDedups(t *testing.T) {
+	env := newEnv(t)
+	s := NewBaseline(env)
+	data := line(9)
+	for i := uint64(0); i < 50; i++ {
+		d := data
+		if out := s.Write(i, &d, sim.Time(i)*sim.Microsecond); out.Deduplicated {
+			t.Fatal("baseline deduplicated identical content")
+		}
+	}
+	if s.Stats().UniqueWrites != 50 {
+		t.Fatalf("unique writes = %d", s.Stats().UniqueWrites)
+	}
+	if s.MetadataNVMM() != 0 || s.MetadataSRAM() != 0 {
+		t.Fatal("baseline reported metadata")
+	}
+}
+
+func TestBaselineColdRead(t *testing.T) {
+	env := newEnv(t)
+	s := NewBaseline(env)
+	r := s.Read(999, 0)
+	if r.Hit {
+		t.Fatal("cold read hit")
+	}
+}
+
+// --- Dedup_SHA1 ---
+
+func TestSHA1DeduplicatesIdenticalContent(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	data := line(3)
+	d1 := data
+	out1 := s.Write(1, &d1, 0)
+	if out1.Deduplicated {
+		t.Fatal("first write deduplicated")
+	}
+	d2 := data
+	out2 := s.Write(2, &d2, 10*sim.Microsecond)
+	if !out2.Deduplicated {
+		t.Fatal("duplicate not detected")
+	}
+	if out2.PhysAddr != out1.PhysAddr {
+		t.Fatal("duplicate mapped to different physical line")
+	}
+	// Both logical addresses read back the same content.
+	for _, addr := range []uint64{1, 2} {
+		r := s.Read(addr, 20*sim.Microsecond)
+		if !r.Hit || r.Data != data {
+			t.Fatalf("read-back of %d failed", addr)
+		}
+	}
+	st := s.Stats()
+	if st.UniqueWrites != 1 || st.DedupWrites != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSHA1WriteLatencyIncludesHash(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	data := line(5)
+	out := s.Write(1, &data, 0)
+	if out.Breakdown.FPCompute != env.Cfg.FP.SHA1Latency {
+		t.Fatalf("FPCompute = %v, want SHA-1 latency", out.Breakdown.FPCompute)
+	}
+	if out.Done < env.Cfg.FP.SHA1Latency {
+		t.Fatal("write completed before the hash could finish")
+	}
+}
+
+func TestSHA1FullDedupUsesNVMMLookups(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	// Every first-seen content misses the FP cache and must fetch the
+	// fingerprint bucket from NVMM (full deduplication).
+	r := xrand.New(1)
+	for i := 0; i < 20; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		s.Write(uint64(i), &d, sim.Time(i)*sim.Microsecond)
+	}
+	st := s.Stats()
+	if st.FPNVMMLookups != 20 {
+		t.Fatalf("NVMM lookups = %d, want 20", st.FPNVMMLookups)
+	}
+	if st.FPCacheMisses != 20 {
+		t.Fatalf("cache misses = %d", st.FPCacheMisses)
+	}
+}
+
+func TestSHA1CacheHitAvoidsNVMMLookup(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	data := line(8)
+	d1 := data
+	s.Write(1, &d1, 0)
+	before := s.Stats().FPNVMMLookups
+	d2 := data
+	out := s.Write(2, &d2, 10*sim.Microsecond)
+	if !out.Deduplicated {
+		t.Fatal("dup missed")
+	}
+	if s.Stats().FPNVMMLookups != before {
+		t.Fatal("cache-hit dup still looked up NVMM")
+	}
+	if s.Stats().DupByCache != 1 {
+		t.Fatalf("DupByCache = %d", s.Stats().DupByCache)
+	}
+}
+
+func TestSHA1OverwriteFreesAndPurges(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	a, b := line(1), line(2)
+	d := a
+	out1 := s.Write(1, &d, 0)
+	d = b
+	s.Write(1, &d, 10*sim.Microsecond) // overwrites; content A now unreferenced
+	// Re-writing content A must NOT dedup onto the freed line.
+	d = a
+	out3 := s.Write(2, &d, 20*sim.Microsecond)
+	if out3.Deduplicated && out3.PhysAddr == out1.PhysAddr {
+		t.Fatal("deduplicated onto a freed physical line")
+	}
+	r := s.Read(1, 30*sim.Microsecond)
+	if r.Data != b {
+		t.Fatal("overwritten logical line lost its new content")
+	}
+	r = s.Read(2, 40*sim.Microsecond)
+	if r.Data != a {
+		t.Fatal("content A unreadable after free/rewrite")
+	}
+}
+
+func TestSHA1MetadataFootprint(t *testing.T) {
+	env := newEnv(t)
+	s := NewSHA1(env)
+	r := xrand.New(2)
+	for i := 0; i < 10; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		s.Write(uint64(i), &d, sim.Time(i)*sim.Microsecond)
+	}
+	// 10 unique fingerprints at 26 B each plus 10 AMT entries at 10 B.
+	want := int64(10*env.Cfg.SHA1.FPEntryBytes + 10*env.Cfg.Meta.AMTEntryBytes)
+	if got := s.MetadataNVMM(); got != want {
+		t.Fatalf("MetadataNVMM = %d, want %d", got, want)
+	}
+	if s.MetadataSRAM() <= 0 {
+		t.Fatal("SRAM metadata not reported")
+	}
+}
+
+// --- DeWrite ---
+
+func TestDeWriteDeduplicatesWithVerification(t *testing.T) {
+	env := newEnv(t)
+	s := NewDeWrite(env)
+	data := line(4)
+	d1 := data
+	s.Write(1, &d1, 0)
+	d2 := data
+	out := s.Write(2, &d2, 10*sim.Microsecond)
+	if !out.Deduplicated {
+		t.Fatal("duplicate missed")
+	}
+	if s.Stats().CompareReads == 0 {
+		t.Fatal("DeWrite deduplicated without a verification read")
+	}
+	for _, addr := range []uint64{1, 2} {
+		if r := s.Read(addr, 20*sim.Microsecond); r.Data != data {
+			t.Fatalf("read-back of %d failed", addr)
+		}
+	}
+}
+
+func TestDeWritePredictorLearns(t *testing.T) {
+	env := newEnv(t)
+	s := NewDeWrite(env)
+	data := line(6)
+	// Repeated duplicate writes to the same logical address train the
+	// predictor towards "duplicate".
+	for i := 0; i < 10; i++ {
+		d := data
+		s.Write(7, &d, sim.Time(i+1)*10*sim.Microsecond)
+	}
+	st := s.Stats()
+	if st.PredDup == 0 {
+		t.Fatal("predictor never predicted duplicate despite a perfect dup stream")
+	}
+}
+
+func TestDeWriteWastedEncryptionOnMisprediction(t *testing.T) {
+	env := newEnv(t)
+	s := NewDeWrite(env)
+	// Fresh predictor predicts unique; writing duplicate content triggers
+	// the F4 path: speculative encryption is wasted.
+	data := line(11)
+	d1 := data
+	s.Write(1, &d1, 0)
+	d2 := data
+	out := s.Write(2, &d2, 10*sim.Microsecond) // different addr: predictor cold => predicted unique
+	if !out.Deduplicated {
+		t.Fatal("dup missed")
+	}
+	st := s.Stats()
+	if st.WastedEncryptions == 0 || st.Mispredicts == 0 {
+		t.Fatalf("F4 path not exercised: %+v", st)
+	}
+}
+
+func TestDeWriteCRCEnergyChargedForAllWrites(t *testing.T) {
+	env := newEnv(t)
+	s := NewDeWrite(env)
+	r := xrand.New(3)
+	const n = 30
+	for i := 0; i < n; i++ {
+		var d ecc.Line
+		d.SetWord(0, r.Uint64())
+		s.Write(uint64(i), &d, sim.Time(i)*sim.Microsecond)
+	}
+	want := float64(n) * env.Cfg.FP.CRCEnergy
+	if env.Energy.Fingerprint < want*0.999 || env.Energy.Fingerprint > want*1.001 {
+		t.Fatalf("fingerprint energy = %v, want %v (CRC on every write)", env.Energy.Fingerprint, want)
+	}
+}
+
+func TestDeWriteCollisionSafety(t *testing.T) {
+	env := newEnv(t)
+	s := NewDeWrite(env)
+	// Construct two different lines with identical CRC32 by brute force
+	// over a small population; with 16-bit truncation this is quick, but
+	// CRC32 needs structured search — instead just verify that a cache-hit
+	// candidate with different content is NOT deduplicated (simulate the
+	// collision by forcing the index).
+	a, b := line(1), line(2)
+	d := a
+	s.Write(1, &d, 0)
+	// Force the CRC bucket of b's fingerprint at a's physical line.
+	dB := s.fper.Fingerprint(&b)
+	physA := uint64(0)
+	if p, ok := s.fpIndex[s.fper.Fingerprint(&a).Short]; ok {
+		physA = p
+	}
+	s.fpIndex[dB.Short] = physA
+	s.fpCache.Put(dB.Short, physA)
+	d = b
+	out := s.Write(2, &d, 10*sim.Microsecond)
+	if out.Deduplicated {
+		t.Fatal("collision deduplicated different content")
+	}
+	if s.Stats().CompareMismatches == 0 {
+		t.Fatal("collision not counted")
+	}
+	if r := s.Read(2, 20*sim.Microsecond); r.Data != b {
+		t.Fatal("content corrupted by collision")
+	}
+}
+
+// --- cross-scheme integration ---
+
+func TestAllSchemesPreserveDataOnWorkloadTraces(t *testing.T) {
+	profile, _ := workload.ByName("gcc")
+	const n = 8000
+	build := func(env *memctrl.Env, name string) memctrl.Scheme {
+		switch name {
+		case "baseline":
+			return NewBaseline(env)
+		case "sha1":
+			return NewSHA1(env)
+		default:
+			return NewDeWrite(env)
+		}
+	}
+	for _, name := range []string{"baseline", "sha1", "dewrite"} {
+		env := newEnv(t)
+		ctl := memctrl.NewController(env, build(env, name))
+		ctl.VerifyReads = true
+		if _, err := ctl.Run(workload.Stream(profile, 99, n)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDedupSchemesReduceDeviceWrites(t *testing.T) {
+	profile, _ := workload.ByName("dedup") // 78% duplicate rate
+	const n = 8000
+	run := func(mk func(*memctrl.Env) memctrl.Scheme) *memctrl.RunResult {
+		env := newEnv(t)
+		ctl := memctrl.NewController(env, mk(env))
+		res, err := ctl.Run(workload.Stream(profile, 5, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(func(e *memctrl.Env) memctrl.Scheme { return NewBaseline(e) })
+	sha := run(func(e *memctrl.Env) memctrl.Scheme { return NewSHA1(e) })
+	dw := run(func(e *memctrl.Env) memctrl.Scheme { return NewDeWrite(e) })
+	if sha.DataWrites >= base.DataWrites || dw.DataWrites >= base.DataWrites {
+		t.Fatalf("dedup did not reduce writes: base=%d sha=%d dw=%d",
+			base.DataWrites, sha.DataWrites, dw.DataWrites)
+	}
+	// Full dedup on a 78%-dup workload should eliminate most writes.
+	if red := sha.WriteReductionVs(base); red < 0.6 {
+		t.Errorf("SHA1 write reduction = %.2f, want > 0.6", red)
+	}
+	if red := dw.WriteReductionVs(base); red < 0.6 {
+		t.Errorf("DeWrite write reduction = %.2f, want > 0.6", red)
+	}
+}
+
+func TestTraceReplayIsDeterministic(t *testing.T) {
+	profile, _ := workload.ByName("leela")
+	run := func() *memctrl.RunResult {
+		env := newEnv(t)
+		ctl := memctrl.NewController(env, NewSHA1(env))
+		res, err := ctl.Run(workload.Stream(profile, 42, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.DataWrites != b.DataWrites || a.WriteHist.Mean() != b.WriteHist.Mean() ||
+		a.Energy.Total() != b.Energy.Total() {
+		t.Fatal("same-seed replays diverged")
+	}
+}
+
+func TestSchemesHandleEmptyTrace(t *testing.T) {
+	env := newEnv(t)
+	ctl := memctrl.NewController(env, NewDeWrite(env))
+	res, err := ctl.Run(trace.NewSliceStream(nil))
+	if err != nil || res.Requests != 0 {
+		t.Fatalf("empty trace: %+v, err=%v", res, err)
+	}
+}

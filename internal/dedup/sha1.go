@@ -1,0 +1,155 @@
+package dedup
+
+import (
+	"encoding/binary"
+
+	"github.com/esdsim/esd/internal/cache"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/fingerprint"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// SHA1 is the traditional full inline deduplication scheme (Dedup_SHA1 in
+// the paper): every evicted line is SHA-1 hashed on the critical path, the
+// full fingerprint index lives in NVMM, and a small on-chip fingerprint
+// cache filters lookups. A fingerprint-cache miss forces a fingerprint
+// fetch from NVMM before the write can proceed — the NVMM_lookup
+// bottleneck of §II-B. Like its real-world counterparts, it trusts the
+// cryptographic hash and performs no byte comparison.
+type SHA1 struct {
+	Base
+	fper    fingerprint.Fingerprinter
+	fpCache *cache.Cache[uint64] // digest summary -> physical line
+	fpIndex map[[20]byte]uint64  // NVMM-resident full index
+	physFP  map[uint64][20]byte  // reverse map for freeing
+}
+
+// NewSHA1 constructs the Dedup_SHA1 scheme on env.
+func NewSHA1(env *memctrl.Env) *SHA1 {
+	s := &SHA1{
+		Base:    NewBase(env),
+		fper:    fingerprint.New(fingerprint.KindSHA1, env.Cfg.FP),
+		fpIndex: make(map[[20]byte]uint64),
+		physFP:  make(map[uint64][20]byte),
+	}
+	entries := env.Cfg.SHA1.FPCacheBytes / env.Cfg.SHA1.FPEntryBytes
+	if entries < 1 {
+		entries = 1
+	}
+	s.fpCache = cache.New[uint64](entries, 8, cache.LRU)
+	s.OnFree = s.purge
+	return s
+}
+
+func (s *SHA1) purge(phys uint64) {
+	key, ok := s.physFP[phys]
+	if !ok {
+		return
+	}
+	delete(s.physFP, phys)
+	delete(s.fpIndex, key)
+	s.fpCache.Delete(binary.LittleEndian.Uint64(key[:8]))
+}
+
+// Name implements memctrl.Scheme.
+func (s *SHA1) Name() string { return "dedup-sha1" }
+
+// Write implements memctrl.Scheme.
+func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOutcome {
+	s.St.Writes++
+	cfg := s.Env.Cfg
+	d := s.fper.Fingerprint(data)
+	s.Env.Energy.Fingerprint += s.fper.Energy()
+	s.Env.ChargeSRAM()
+
+	// The hash unit and fingerprint-cache probe occupy the controller
+	// front end serially: this is what cascade-blocks queued requests.
+	feStart, feEnd := s.Env.Frontend.Reserve(at, s.fper.Latency()+cfg.Meta.SRAMLatency)
+	bd := stats.Breakdown{
+		// Waiting for the hash unit is part of the fingerprint-computation
+		// cost: it is the cascade blocking expensive hashes cause (§II-B).
+		FPCompute:    (feStart - at) + s.fper.Latency(),
+		FPLookupSRAM: cfg.Meta.SRAMLatency,
+	}
+	t := feEnd
+
+	if phys, hit := s.fpCache.Get(d.Short); hit {
+		s.St.FPCacheHits++
+		s.St.DupByCache++
+		mapLat := s.DedupHit(logical, phys, t)
+		bd.Metadata = mapLat
+		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
+	}
+	s.St.FPCacheMisses++
+
+	// Full deduplication: the authoritative index is in NVMM, so the miss
+	// costs a serial metadata read on the critical write path.
+	_, _, rr := s.Env.Device.Read(s.Env.MetaLineFor(d.Short), t)
+	s.St.FPNVMMLookups++
+	bd.FPLookupNVMM = rr.Done - t
+	t = rr.Done
+
+	if phys, ok := s.fpIndex[d.Key]; ok {
+		s.St.DupByNVMM++
+		s.fpCache.Put(d.Short, phys)
+		mapLat := s.DedupHit(logical, phys, t)
+		bd.Metadata = mapLat
+		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
+	}
+
+	// Unique line: encrypt (serially, after the lookup resolved) and write.
+	// The AES engine is dedicated, so encryption adds latency without
+	// occupying the controller pipeline.
+	bd.Encrypt = cfg.Crypto.EncryptLatency
+	phys, wr, mapLat := s.StoreUnique(logical, data, t+cfg.Crypto.EncryptLatency)
+	s.fpIndex[d.Key] = phys
+	s.physFP[phys] = d.Key
+	s.fpCache.Put(d.Short, phys)
+	// The new fingerprint entry is persisted to NVMM off the critical path.
+	s.Env.Device.Write(s.Env.MetaLineFor(d.Short), metaPayload(d.Short, phys), wr.AcceptedAt)
+	bd.Queue += wr.Stall
+	bd.Media = cfg.PCM.WriteLatency
+	bd.Metadata = mapLat
+	return memctrl.WriteOutcome{
+		Done:      wr.AcceptedAt + cfg.PCM.WriteLatency,
+		Breakdown: bd,
+		PhysAddr:  phys,
+	}
+}
+
+// Read implements memctrl.Scheme.
+func (s *SHA1) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
+	return s.ReadPath(logical, at)
+}
+
+// MetadataNVMM implements memctrl.Scheme: the full SHA-1 index plus the
+// AMT backing store.
+func (s *SHA1) MetadataNVMM() int64 {
+	return int64(len(s.fpIndex))*int64(s.Env.Cfg.SHA1.FPEntryBytes) + s.AMT.NVMMBytes()
+}
+
+// MetadataSRAM implements memctrl.Scheme.
+func (s *SHA1) MetadataSRAM() int64 {
+	return int64(s.Env.Cfg.SHA1.FPCacheBytes) + s.MetadataSRAMBase()
+}
+
+// FPCacheStats exposes fingerprint-cache statistics for experiments.
+func (s *SHA1) FPCacheStats() cache.Stats { return s.fpCache.Stats }
+
+// metaPayload fabricates a deterministic metadata line for posted
+// fingerprint-store writes.
+func metaPayload(key, value uint64) (l ecc.Line) {
+	binary.LittleEndian.PutUint64(l[0:8], key)
+	binary.LittleEndian.PutUint64(l[8:16], value)
+	return l
+}
+
+// Crash implements memctrl.Crasher: the on-chip fingerprint cache is lost;
+// the NVMM-resident fingerprint index and AMT survive, so deduplication
+// resumes (with cold caches) and no data is lost.
+func (s *SHA1) Crash(now sim.Time) {
+	s.CrashBase(now)
+	s.fpCache.Clear()
+}

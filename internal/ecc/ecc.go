@@ -1,0 +1,237 @@
+// Package ecc implements the (72,64) Hamming SEC-DED error-correcting code
+// that the ESD paper piggybacks on for deduplication fingerprints.
+//
+// Commodity ECC memory protects each 8-byte word with 8 check bits: seven
+// Hamming parity bits (single-error correction) plus one overall parity bit
+// (double-error detection). A 64-byte cache line therefore carries
+// 8 x 8 = 64 bits of ECC. ESD reuses those 64 bits — which the memory
+// controller computes anyway on every LLC eviction — as a zero-cost
+// fingerprint: if two lines have different ECC words they are definitively
+// different; if the ECC words match the lines are *probably* equal and a
+// byte-by-byte comparison resolves the collision.
+//
+// This is a complete, functional codec: it corrects any single-bit error
+// and detects any double-bit error in a 72-bit codeword, and those
+// guarantees are exercised by exhaustive and property-based tests.
+package ecc
+
+import "fmt"
+
+// LineSize is the cache-line size in bytes; fixed at 64 throughout the
+// system, matching the paper's configuration.
+const LineSize = 64
+
+// WordSize is the protected word size in bytes.
+const WordSize = 8
+
+// WordsPerLine is the number of ECC words per cache line.
+const WordsPerLine = LineSize / WordSize
+
+// Status reports the outcome of decoding one word.
+type Status int
+
+const (
+	// OK means the word and its check bits were consistent.
+	OK Status = iota
+	// CorrectedData means a single flipped data bit was repaired.
+	CorrectedData
+	// CorrectedCheck means a single flipped check bit was repaired; the
+	// data itself was intact.
+	CorrectedCheck
+	// Uncorrectable means a double-bit (or detectable multi-bit) error was
+	// found and could not be repaired.
+	Uncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Codeword geometry. Positions 1..71 hold the Hamming code: check bits at
+// the seven power-of-two positions (1, 2, 4, 8, 16, 32, 64) and the 64 data
+// bits at the remaining positions. The overall (DED) parity bit sits
+// conceptually at position 0 and covers every other bit.
+var (
+	// dataPos[i] is the codeword position of data bit i.
+	dataPos [64]int
+	// posData[p] is the data bit stored at codeword position p, or -1.
+	posData [72]int
+)
+
+func init() {
+	for i := range posData {
+		posData[i] = -1
+	}
+	bit := 0
+	for pos := 1; pos <= 71 && bit < 64; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit slot
+			continue
+		}
+		dataPos[bit] = pos
+		posData[pos] = bit
+		bit++
+	}
+	if bit != 64 {
+		panic("ecc: internal geometry error")
+	}
+}
+
+func parity64(x uint64) uint8 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return uint8(x & 1)
+}
+
+// hammingChecks computes the seven Hamming check bits over the 64 data bits.
+// Check bit j (j in 0..6) is the XOR of all data bits whose codeword
+// position has bit j set.
+func hammingChecks(data uint64) uint8 {
+	var checks uint8
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			checks ^= uint8(dataPos[i] & 0x7F)
+		}
+	}
+	return checks
+}
+
+// EncodeWord returns the 8-bit ECC for an 8-byte word: seven Hamming check
+// bits in bits 0..6 and the overall parity bit in bit 7.
+func EncodeWord(data uint64) uint8 {
+	checks := hammingChecks(data)
+	// Overall parity covers data bits and the seven check bits.
+	overall := parity64(data) ^ parity8(checks)
+	return checks | overall<<7
+}
+
+func parity8(x uint8) uint8 {
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// DecodeWord validates and, when possible, repairs a word given its stored
+// ECC byte. It returns the (possibly corrected) data, the (possibly
+// corrected) ECC byte, and the decode status.
+func DecodeWord(data uint64, storedECC uint8) (uint64, uint8, Status) {
+	checks := hammingChecks(data)
+	syndrome := (checks ^ storedECC) & 0x7F
+	// Recompute the overall parity across everything received, including
+	// the stored overall bit; zero means overall parity holds.
+	overallErr := parity64(data) ^ parity8(storedECC)
+
+	switch {
+	case syndrome == 0 && overallErr == 0:
+		return data, storedECC, OK
+	case syndrome == 0 && overallErr == 1:
+		// Only the overall parity bit itself flipped.
+		return data, storedECC ^ 0x80, CorrectedCheck
+	case overallErr == 1:
+		// Single-bit error at codeword position == syndrome.
+		pos := int(syndrome)
+		if pos > 71 {
+			return data, storedECC, Uncorrectable
+		}
+		if pos&(pos-1) == 0 {
+			// A Hamming check bit flipped; data is intact.
+			var j uint
+			for 1<<j != pos {
+				j++
+			}
+			return data, storedECC ^ 1<<j, CorrectedCheck
+		}
+		bit := posData[pos]
+		return data ^ 1<<uint(bit), storedECC, CorrectedData
+	default:
+		// syndrome != 0 with intact overall parity: double-bit error.
+		return data, storedECC, Uncorrectable
+	}
+}
+
+// Line is a 64-byte cache line.
+type Line [LineSize]byte
+
+// IsZero reports whether the line is all zero bytes.
+func (l *Line) IsZero() bool {
+	for _, b := range l {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Word extracts the i-th 8-byte word (little-endian), i in [0, 8).
+func (l *Line) Word(i int) uint64 {
+	off := i * WordSize
+	var w uint64
+	for b := 0; b < WordSize; b++ {
+		w |= uint64(l[off+b]) << uint(8*b)
+	}
+	return w
+}
+
+// SetWord stores w into the i-th 8-byte word (little-endian).
+func (l *Line) SetWord(i int, w uint64) {
+	off := i * WordSize
+	for b := 0; b < WordSize; b++ {
+		l[off+b] = byte(w >> uint(8*b))
+	}
+}
+
+// Fingerprint is the 64-bit ECC word of a cache line: the concatenation of
+// the eight per-word ECC bytes. Equal lines always have equal fingerprints;
+// unequal lines usually, but not always, have unequal fingerprints.
+type Fingerprint uint64
+
+// EncodeLine computes the ECC fingerprint of a line.
+func EncodeLine(l *Line) Fingerprint {
+	var fp uint64
+	for i := 0; i < WordsPerLine; i++ {
+		fp |= uint64(EncodeWord(l.Word(i))) << uint(8*i)
+	}
+	return Fingerprint(fp)
+}
+
+// ECCByte returns the ECC byte protecting word i of the fingerprinted line.
+func (f Fingerprint) ECCByte(i int) uint8 { return uint8(f >> uint(8*i)) }
+
+// DecodeLine validates and repairs a line in place given its stored
+// fingerprint. It returns the possibly corrected fingerprint and the worst
+// per-word status encountered (Uncorrectable > CorrectedData >
+// CorrectedCheck > OK).
+func DecodeLine(l *Line, stored Fingerprint) (Fingerprint, Status) {
+	var out uint64
+	worst := OK
+	for i := 0; i < WordsPerLine; i++ {
+		data, eccByte, st := DecodeWord(l.Word(i), stored.ECCByte(i))
+		l.SetWord(i, data)
+		out |= uint64(eccByte) << uint(8*i)
+		if st > worst {
+			worst = st
+		}
+	}
+	return Fingerprint(out), worst
+}
+
+// FlipBit flips bit (0..511) of the line; a test and fault-injection helper.
+func FlipBit(l *Line, bit int) {
+	l[bit/8] ^= 1 << uint(bit%8)
+}

@@ -1,0 +1,37 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// Encoding a word and repairing a single-bit fault.
+func ExampleDecodeWord() {
+	data := uint64(0xDEADBEEF)
+	check := ecc.EncodeWord(data)
+
+	corrupted := data ^ (1 << 17) // cosmic ray
+	repaired, _, status := ecc.DecodeWord(corrupted, check)
+
+	fmt.Println(status, repaired == data)
+	// Output:
+	// corrected-data true
+}
+
+// The line fingerprint is the concatenation of the eight per-word ECC
+// bytes: equal lines always share it, different lines almost always don't.
+func ExampleEncodeLine() {
+	var a, b ecc.Line
+	copy(a[:], "identical content")
+	copy(b[:], "identical content")
+
+	var c ecc.Line
+	copy(c[:], "different content")
+
+	fmt.Println(ecc.EncodeLine(&a) == ecc.EncodeLine(&b))
+	fmt.Println(ecc.EncodeLine(&a) == ecc.EncodeLine(&c))
+	// Output:
+	// true
+	// false
+}

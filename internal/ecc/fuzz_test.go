@@ -1,0 +1,49 @@
+package ecc
+
+import "testing"
+
+// FuzzDecodeWord checks the SEC-DED decoder against arbitrary (data, ecc)
+// pairs: it must never panic, and whatever it returns must be
+// self-consistent — re-encoding a word it calls clean or corrected must
+// reproduce the returned check byte.
+func FuzzDecodeWord(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEF), EncodeWord(0xDEADBEEF))
+	f.Add(^uint64(0), uint8(0x7F))
+	f.Fuzz(func(t *testing.T, data uint64, eccByte uint8) {
+		got, gotECC, st := DecodeWord(data, eccByte)
+		switch st {
+		case OK, CorrectedData, CorrectedCheck:
+			if EncodeWord(got) != gotECC {
+				t.Fatalf("decoder returned inconsistent pair: data=%#x ecc=%#x status=%v",
+					got, gotECC, st)
+			}
+		case Uncorrectable:
+			// Nothing to check beyond not panicking.
+		default:
+			t.Fatalf("unknown status %v", st)
+		}
+	})
+}
+
+// FuzzDecodeLine does the same at line granularity.
+func FuzzDecodeLine(f *testing.F) {
+	var l Line
+	l.SetWord(0, 0x123456789ABCDEF0)
+	fp := EncodeLine(&l)
+	f.Add(l[:], uint64(fp))
+	f.Add(make([]byte, 64), uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, fpRaw uint64) {
+		if len(raw) < LineSize {
+			return
+		}
+		var line Line
+		copy(line[:], raw)
+		gotFP, st := DecodeLine(&line, Fingerprint(fpRaw))
+		if st != Uncorrectable {
+			if EncodeLine(&line) != gotFP {
+				t.Fatalf("line decoder inconsistent: status %v", st)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// RenderChart draws a terminal chart for the figures that have a natural
+// graphical form: grouped bars for the per-application comparisons
+// (fig11-fig14, fig16) and log-scale CDFs for fig15. Figures without a
+// chart form return an error directing the caller to the table output.
+func RenderChart(name string, opts Options, w io.Writer) error {
+	switch name {
+	case "fig11":
+		rows, _, err := Fig11(opts)
+		if err != nil {
+			return err
+		}
+		return renderAppBars(w, "Fig. 11 — NVMM write reduction vs Baseline", "%", rows)
+	case "fig12":
+		rows, _, err := Fig12(opts)
+		if err != nil {
+			return err
+		}
+		return renderAppBars(w, "Fig. 12 — Write speedup vs Baseline", "x", rows)
+	case "fig13":
+		rows, _, err := Fig13(opts)
+		if err != nil {
+			return err
+		}
+		return renderAppBars(w, "Fig. 13 — Read speedup vs Baseline", "x", rows)
+	case "fig14":
+		rows, _, err := Fig14(opts)
+		if err != nil {
+			return err
+		}
+		return renderAppBars(w, "Fig. 14 — IPC normalized to Baseline", "x", rows)
+	case "fig16":
+		rows, _, err := Fig16(opts)
+		if err != nil {
+			return err
+		}
+		return renderAppBars(w, "Fig. 16 — Energy normalized to Baseline (lower is better)", "x", rows)
+	case "fig15":
+		rows, _, err := Fig15(opts)
+		if err != nil {
+			return err
+		}
+		byApp := map[string]map[string][]stats.CDFPoint{}
+		for _, r := range rows {
+			if byApp[r.App] == nil {
+				byApp[r.App] = map[string][]stats.CDFPoint{}
+			}
+			byApp[r.App][r.Scheme] = r.CDF
+		}
+		for _, app := range Fig15Apps {
+			series, ok := byApp[app]
+			if !ok {
+				continue
+			}
+			if err := stats.RenderCDF(w,
+				fmt.Sprintf("Fig. 15 — write latency CDF (%s)", app),
+				series, 64, 14); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("experiments: %q has no chart form; use the table output", name)
+	}
+}
+
+func renderAppBars(w io.Writer, title, unit string, rows []AppRow) error {
+	chart := stats.NewBarChart(title, unit, DedupSchemes()...)
+	for _, r := range rows {
+		for _, scheme := range DedupSchemes() {
+			chart.Set(scheme, r.App, r.Values[scheme])
+		}
+	}
+	return chart.Render(w)
+}

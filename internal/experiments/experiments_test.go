@@ -1,0 +1,620 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/fingerprint"
+)
+
+// smallOpts keeps unit-test campaigns fast: a handful of applications and
+// short traces. Shape assertions use generous tolerances accordingly.
+func smallOpts(apps ...string) Options {
+	opts := DefaultOptions()
+	opts.Requests = 6000
+	opts.Apps = apps
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 28
+	opts.Cfg = cfg
+	return opts
+}
+
+func TestFig1AverageMatchesPaper(t *testing.T) {
+	opts := smallOpts() // all 20 applications
+	opts.Requests = 10000
+	rows, tb, err := Fig1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(rows))
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.DupRate
+	}
+	avg := sum / float64(len(rows))
+	if math.Abs(avg-0.629) > 0.03 {
+		t.Errorf("average duplicate rate %.3f, paper reports 0.629", avg)
+	}
+	if tb.NumRows() != 21 { // 20 apps + average
+		t.Errorf("table rows = %d", tb.NumRows())
+	}
+}
+
+func TestFig3ContentLocality(t *testing.T) {
+	rows, _, err := Fig3(smallOpts("lbm", "mcf", "x264", "dedup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		hotU := r.UniqueShares[3] + r.UniqueShares[4]
+		hotW := r.WriteShares[3] + r.WriteShares[4]
+		if hotU > 0.05 {
+			t.Errorf("%s: hot unique share %.4f too large", r.App, hotU)
+		}
+		if hotW < 0.10 {
+			t.Errorf("%s: hot write share %.3f too small for content locality", r.App, hotW)
+		}
+	}
+}
+
+func TestFig5FullDedupLookupCost(t *testing.T) {
+	rows, _, err := Fig5(smallOpts("gcc", "x264", "mcf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DupByCacheShare <= 0 {
+			t.Errorf("%s: no duplicates filtered by cache", r.App)
+		}
+		if r.LookupLatencyShare <= 0 {
+			t.Errorf("%s: NVMM lookup cost not observed", r.App)
+		}
+	}
+}
+
+func TestFig8CollisionOrdering(t *testing.T) {
+	opts := smallOpts("lbm", "dedup", "imagick", "fluidanimate")
+	opts.Requests = 8000
+	rows, _, err := Fig8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[fingerprint.Kind]Fig8Row{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+	}
+	if byKind[fingerprint.KindCRC16].Collisions == 0 {
+		t.Fatal("CRC-16 never collided; pool too clean to be meaningful")
+	}
+	if byKind[fingerprint.KindCRC16].Collisions < byKind[fingerprint.KindCRC32].Collisions {
+		t.Error("CRC-16 collided less than CRC-32")
+	}
+	if byKind[fingerprint.KindSHA1].Collisions != 0 || byKind[fingerprint.KindMD5].Collisions != 0 {
+		t.Error("cryptographic hashes collided")
+	}
+	if byKind[fingerprint.KindECC].Collisions > byKind[fingerprint.KindCRC16].Collisions {
+		t.Error("64-bit ECC collided more than CRC-16")
+	}
+	if byKind[fingerprint.KindCRC16].Normalized != 1 {
+		t.Error("normalization base is not CRC-16")
+	}
+}
+
+func TestFig11WriteReductionShape(t *testing.T) {
+	rows, _, err := Fig11(smallOpts("gcc", "x264", "dedup", "leela", "blackscholes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var esdSum, shaSum float64
+	for _, r := range rows {
+		if r.Values[SchemeESD] <= 0 {
+			t.Errorf("%s: ESD eliminated no writes", r.App)
+		}
+		esdSum += r.Values[SchemeESD]
+		shaSum += r.Values[SchemeSHA1]
+	}
+	// Full dedup removes at least as much as selective dedup (Fig. 11:
+	// ESD trails full dedup by ~18pp on average).
+	if esdSum > shaSum+1 {
+		t.Errorf("selective dedup (%f) beat full dedup (%f) on write reduction", esdSum, shaSum)
+	}
+}
+
+func TestFig12WriteSpeedupShape(t *testing.T) {
+	rows, _, err := Fig12(smallOpts("gcc", "x264", "dedup", "mcf", "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's headline: ESD speeds up writes vs Baseline for all
+		// applications, and beats Dedup_SHA1 everywhere.
+		if r.Values[SchemeESD] <= 1.0 {
+			t.Errorf("%s: ESD write speedup %.2f <= 1", r.App, r.Values[SchemeESD])
+		}
+		if r.Values[SchemeESD] <= r.Values[SchemeSHA1] {
+			t.Errorf("%s: ESD (%.2f) not faster than Dedup_SHA1 (%.2f)",
+				r.App, r.Values[SchemeESD], r.Values[SchemeSHA1])
+		}
+	}
+}
+
+func TestFig13ReadSpeedupShape(t *testing.T) {
+	rows, _, err := Fig13(smallOpts("lbm", "mcf", "dedup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Reduced write traffic must not hurt reads; for write-intensive
+		// apps it helps. Allow a tiny tolerance for AMT overhead.
+		if r.Values[SchemeESD] < 0.9 {
+			t.Errorf("%s: ESD read speedup %.2f", r.App, r.Values[SchemeESD])
+		}
+		// Dedup_SHA1's hashing blocks the controller and hurts reads
+		// relative to ESD.
+		if r.Values[SchemeESD] < r.Values[SchemeSHA1]*0.95 {
+			t.Errorf("%s: ESD reads (%.2f) slower than Dedup_SHA1 (%.2f)",
+				r.App, r.Values[SchemeESD], r.Values[SchemeSHA1])
+		}
+	}
+}
+
+func TestFig14IPCShape(t *testing.T) {
+	rows, _, err := Fig14(smallOpts("lbm", "mcf", "gcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Values[SchemeESD] < 0.95 {
+			t.Errorf("%s: ESD normalized IPC %.3f < 0.95", r.App, r.Values[SchemeESD])
+		}
+		if r.Values[SchemeESD] < r.Values[SchemeSHA1] {
+			t.Errorf("%s: ESD IPC below Dedup_SHA1", r.App)
+		}
+	}
+}
+
+func TestFig15TailShape(t *testing.T) {
+	opts := smallOpts()
+	opts.Requests = 5000
+	rows, _, err := Fig15(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig15Apps)*3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byApp := map[string]map[string]Fig15Row{}
+	for _, r := range rows {
+		if byApp[r.App] == nil {
+			byApp[r.App] = map[string]Fig15Row{}
+		}
+		byApp[r.App][r.Scheme] = r
+		if r.P50 > r.P99 || r.P99 > r.Max {
+			t.Errorf("%s/%s: percentiles not monotone", r.App, r.Scheme)
+		}
+		if len(r.CDF) == 0 {
+			t.Errorf("%s/%s: empty CDF", r.App, r.Scheme)
+		}
+	}
+	better := 0
+	for app, schemes := range byApp {
+		if schemes[SchemeESD].P99 <= schemes[SchemeSHA1].P99 {
+			better++
+		} else {
+			t.Logf("%s: ESD P99 %v vs SHA1 %v", app, schemes[SchemeESD].P99, schemes[SchemeSHA1].P99)
+		}
+	}
+	if better < len(byApp)*3/4 {
+		t.Errorf("ESD beat Dedup_SHA1 P99 on only %d/%d apps", better, len(byApp))
+	}
+}
+
+func TestFig16EnergyShape(t *testing.T) {
+	rows, _, err := Fig16(smallOpts("dedup", "x264", "mcf", "lbm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Values[SchemeESD] >= 1.0 {
+			t.Errorf("%s: ESD energy %.3f not below Baseline", r.App, r.Values[SchemeESD])
+		}
+		if r.Values[SchemeESD] >= r.Values[SchemeSHA1] {
+			t.Errorf("%s: ESD energy (%.3f) not below Dedup_SHA1 (%.3f)",
+				r.App, r.Values[SchemeESD], r.Values[SchemeSHA1])
+		}
+	}
+}
+
+func TestFig17ProfileShape(t *testing.T) {
+	rows, _, err := Fig17(smallOpts("gcc", "x264", "leela"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]Fig17Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+		total := r.FPCompute + r.FPLookupNVMM + r.ReadCompare + r.WriteUnique
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: profile sums to %f", r.Scheme, total)
+		}
+	}
+	// Paper Fig. 17: SHA-1's write latency is dominated by fingerprint
+	// computation (~80%); ESD spends nothing on fingerprints or NVMM
+	// lookups.
+	if byScheme[SchemeSHA1].FPCompute < 0.4 {
+		t.Errorf("Dedup_SHA1 fp-compute share %.2f, want dominant", byScheme[SchemeSHA1].FPCompute)
+	}
+	if byScheme[SchemeESD].FPLookupNVMM != 0 {
+		t.Error("ESD shows NVMM fingerprint lookups")
+	}
+	if byScheme[SchemeESD].FPCompute > 0.1 {
+		t.Errorf("ESD fp share %.2f, want tiny", byScheme[SchemeESD].FPCompute)
+	}
+	if byScheme[SchemeDeWrite].FPLookupNVMM <= 0 {
+		t.Error("DeWrite shows no NVMM lookups despite full dedup")
+	}
+}
+
+func TestFig18SweepShape(t *testing.T) {
+	opts := smallOpts("mcf", "x264")
+	opts.Requests = 5000
+	rows, _, err := Fig18(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig18Sizes) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EFITHitLRCU+0.05 < rows[i-1].EFITHitLRCU {
+			t.Errorf("EFIT hit rate regressed with size: %v", rows)
+		}
+	}
+	// LRCU should not be worse than LRU at small sizes (where the policy
+	// matters most).
+	if rows[0].EFITHitLRCU+0.02 < rows[0].EFITHitLRU {
+		t.Errorf("LRCU (%.3f) below LRU (%.3f) at the smallest size",
+			rows[0].EFITHitLRCU, rows[0].EFITHitLRU)
+	}
+}
+
+func TestFig19MetadataShape(t *testing.T) {
+	rows, _, err := Fig19(smallOpts("gcc", "x264", "dedup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]Fig19Row{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	if byScheme[SchemeSHA1].Normalized != 1 {
+		t.Error("normalization base is not Dedup_SHA1")
+	}
+	if byScheme[SchemeESD].Normalized >= byScheme[SchemeDeWrite].Normalized {
+		t.Errorf("ESD metadata (%.3f) not below DeWrite (%.3f)",
+			byScheme[SchemeESD].Normalized, byScheme[SchemeDeWrite].Normalized)
+	}
+	if byScheme[SchemeESD].Normalized >= 0.6 {
+		t.Errorf("ESD metadata %.3f, paper reports ~0.19", byScheme[SchemeESD].Normalized)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	opts := smallOpts("x264", "mcf")
+	opts.Requests = 4000
+
+	policies, _, err := AblationEFITPolicy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(policies) != 2 {
+		t.Fatalf("%d policy rows", len(policies))
+	}
+
+	refs, _, err := AblationReferH(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger referH means fewer overflows.
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Overflows > refs[i-1].Overflows {
+			t.Errorf("overflows increased with referH: %+v", refs)
+		}
+	}
+
+	sel, _, err := AblationSelective(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sel {
+		if r.Scheme == SchemeESD && r.FPNVMMLookups != 0 {
+			t.Error("ESD performed NVMM lookups")
+		}
+	}
+}
+
+func TestRegistryCompleteAndRunnable(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"ablation-policy", "ablation-referh", "ablation-selective",
+	}
+	reg := Registry()
+	for _, name := range want {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if _, err := Run("nope", DefaultOptions()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Smoke-run one cheap experiment through the registry path.
+	tb, err := Run("fig1", smallOpts("leela", "nab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "leela") {
+		t.Error("fig1 table missing app row")
+	}
+}
+
+func TestSuiteCachesResults(t *testing.T) {
+	s := NewSuite(smallOpts("leela"))
+	a, err := s.Result("leela", SchemeBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Result("leela", SchemeBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("suite re-ran a cached result")
+	}
+	if len(s.sortedKeys()) != 1 {
+		t.Fatalf("cache keys: %v", s.sortedKeys())
+	}
+	if _, err := s.Result("nosuch", SchemeBaseline); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestNewSchemeRejectsUnknown(t *testing.T) {
+	if _, err := NewScheme(nil, "bogus"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestRenderChartSmoke(t *testing.T) {
+	opts := smallOpts("leela", "gcc")
+	var sb strings.Builder
+	if err := RenderChart("fig12", opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 12", "leela", "gcc", "esd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q", want)
+		}
+	}
+	sb.Reset()
+	fig15opts := opts
+	fig15opts.Requests = 3000
+	if err := RenderChart("fig15", fig15opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "log scale") {
+		t.Error("fig15 chart missing CDF axis")
+	}
+	if err := RenderChart("fig19", opts, &sb); err == nil {
+		t.Error("chartless figure accepted")
+	}
+}
+
+func TestWriteReportSmoke(t *testing.T) {
+	opts := smallOpts("leela", "x264")
+	opts.Requests = 4000
+	opts.Warmup = 2000
+	var sb strings.Builder
+	if err := WriteReport(opts, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# EXPERIMENTS", "Fig. 1", "Fig. 11", "Fig. 19", "Ablations",
+		"**Paper:**", "Shape",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFPCacheScaleShrinksCaches(t *testing.T) {
+	opts := DefaultOptions()
+	opts.FPCacheScale = 16
+	cfg := opts.effectiveCfg()
+	if cfg.Meta.EFITCacheBytes != opts.Cfg.Meta.EFITCacheBytes/16 {
+		t.Fatalf("EFIT not scaled: %d", cfg.Meta.EFITCacheBytes)
+	}
+	if cfg.SHA1.FPCacheBytes != opts.Cfg.SHA1.FPCacheBytes/16 {
+		t.Fatalf("SHA1 cache not scaled")
+	}
+	// AMT deliberately unscaled.
+	if cfg.Meta.AMTCacheBytes != opts.Cfg.Meta.AMTCacheBytes {
+		t.Fatal("AMT cache must not scale")
+	}
+	// Extreme scales floor at one entry.
+	opts.FPCacheScale = 1 << 30
+	cfg = opts.effectiveCfg()
+	if cfg.Meta.EFITCacheBytes < cfg.Meta.EFITEntryBytes {
+		t.Fatal("EFIT scaled below one entry")
+	}
+}
+
+func TestAblationCapacityBCDWins(t *testing.T) {
+	opts := smallOpts()
+	opts.Requests = 10000
+	opts.Warmup = 5000
+	rows, _, err := AblationCapacity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]AblationCapacityRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = r
+	}
+	bcd := byScheme[SchemeBCD]
+	esd := byScheme[SchemeESD]
+	if bcd.EffectiveCapacity <= esd.EffectiveCapacity {
+		t.Errorf("BCD capacity %.2f not above exact dedup %.2f on near-dup workload",
+			bcd.EffectiveCapacity, esd.EffectiveCapacity)
+	}
+	if bcd.DedupRate <= esd.DedupRate {
+		t.Error("BCD did not eliminate more writes than exact dedup")
+	}
+	// The price: reconstruction reads make BCD reads slower than ESD's.
+	if bcd.MeanReadNs <= esd.MeanReadNs {
+		t.Error("BCD reads unexpectedly free")
+	}
+}
+
+func TestMultiSeedAggregates(t *testing.T) {
+	opts := smallOpts("leela")
+	opts.Requests = 3000
+	opts.Warmup = 1500
+	rows, tb, err := MultiSeed("fig12", opts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // one app x three dedup schemes
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.N != 3 {
+			t.Errorf("%s/%s: N = %d", r.App, r.Scheme, r.N)
+		}
+		if r.Mean <= 0 {
+			t.Errorf("%s/%s: mean %v", r.App, r.Scheme, r.Mean)
+		}
+		// Different seeds must produce some variation, and bounded
+		// variation: a coefficient of variation above 50% would mean the
+		// figures are noise.
+		if r.Mean > 0 && r.Std/r.Mean > 0.5 {
+			t.Errorf("%s/%s: cv %.2f too high", r.App, r.Scheme, r.Std/r.Mean)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("table rows %d", tb.NumRows())
+	}
+	if _, _, err := MultiSeed("fig15", opts, 3); err == nil {
+		t.Error("unsupported figure accepted")
+	}
+	if _, _, err := MultiSeed("fig12", opts, 1); err == nil {
+		t.Error("single seed accepted")
+	}
+}
+
+func TestAblationIntegrityShape(t *testing.T) {
+	opts := smallOpts("x264")
+	opts.Requests = 4000
+	opts.Warmup = 2000
+	rows, _, err := AblationIntegrity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanReadNsProt < r.MeanReadNs*0.99 {
+			t.Errorf("%s: integrity made reads faster (%.1f -> %.1f)",
+				r.Scheme, r.MeanReadNs, r.MeanReadNsProt)
+		}
+		if r.TreeNodeFetches == 0 {
+			t.Errorf("%s: integrity tree never fetched a node", r.Scheme)
+		}
+	}
+}
+
+func TestIntegrityEndToEndCorrectness(t *testing.T) {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 28
+	cfg.Crypto.IntegrityEnabled = true
+	opts := Options{Cfg: cfg, Requests: 4000, Warmup: 1000, Seed: 9, Apps: []string{"gcc"}}
+	s := NewSuite(opts)
+	for _, scheme := range Schemes() {
+		if _, err := s.Result("gcc", scheme); err != nil {
+			t.Fatalf("%s with integrity: %v", scheme, err)
+		}
+	}
+}
+
+func TestAblationPredictionShape(t *testing.T) {
+	opts := smallOpts("lbm", "leela")
+	opts.Requests = 8000
+	opts.Warmup = 5000
+	rows, _, err := AblationPrediction(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		total := r.T1 + r.F2 + r.T3 + r.F4
+		if total == 0 {
+			t.Fatalf("%s: no predictions recorded", r.App)
+		}
+		if r.Accuracy < 0.5 {
+			t.Errorf("%s: prediction accuracy %.2f below chance", r.App, r.Accuracy)
+		}
+		if r.F4 != r.WastedCrypto {
+			t.Errorf("%s: F4 (%d) != wasted encryptions (%d)", r.App, r.F4, r.WastedCrypto)
+		}
+	}
+	// lbm's prediction should be strong (the paper singles it out).
+	if rows[0].App == "lbm" && rows[0].Accuracy < 0.7 {
+		t.Errorf("lbm accuracy %.2f, want strong prediction", rows[0].Accuracy)
+	}
+}
+
+func TestAblationRecoveryShape(t *testing.T) {
+	opts := smallOpts("x264")
+	opts.Requests = 9000
+	opts.Warmup = 4000
+	rows, _, err := AblationRecovery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Losing all volatile state must hurt, then heal.
+		if r.PostCrashNs <= r.PreCrashWriteNs {
+			t.Errorf("%s: no post-crash transient (%.0f -> %.0f)",
+				r.Scheme, r.PreCrashWriteNs, r.PostCrashNs)
+		}
+		if r.RecoveredNs > r.PostCrashNs {
+			t.Errorf("%s: no recovery (%.0f stayed above %.0f)",
+				r.Scheme, r.RecoveredNs, r.PostCrashNs)
+		}
+	}
+}
+
+func TestVerifyAllPasses(t *testing.T) {
+	opts := smallOpts("leela", "deepsjeng")
+	opts.Requests = 4000
+	opts.Warmup = 1000
+	rows, _, err := VerifyAll(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*5 { // 2 apps x (4 schemes + bcd)
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Passed {
+			t.Errorf("%s/%s failed: %s", r.App, r.Scheme, r.Err)
+		}
+	}
+}

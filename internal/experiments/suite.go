@@ -1,0 +1,224 @@
+// Package experiments regenerates every table and figure of the ESD
+// paper's evaluation (§IV). Each FigN function produces both structured
+// rows (for tests and programmatic use) and a rendered plain-text table
+// (for the cmd/figures tool), reusing a shared cache of per-(application,
+// scheme) simulation runs so the whole evaluation costs one pass.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/core"
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// Scheme names in canonical presentation order.
+const (
+	SchemeBaseline = "baseline"
+	SchemeSHA1     = "dedup-sha1"
+	SchemeDeWrite  = "dewrite"
+	SchemeESD      = "esd"
+)
+
+// Schemes lists the four evaluated schemes in presentation order.
+func Schemes() []string {
+	return []string{SchemeBaseline, SchemeSHA1, SchemeDeWrite, SchemeESD}
+}
+
+// DedupSchemes lists the three deduplicating schemes.
+func DedupSchemes() []string {
+	return []string{SchemeSHA1, SchemeDeWrite, SchemeESD}
+}
+
+// SchemeBCD is the extension scheme beyond the paper's four: a simplified
+// Base-and-Compressed-Difference design (ASPLOS'21 related work). It is
+// not part of the per-figure scheme set but is available to NewScheme and
+// the capacity ablation.
+const SchemeBCD = "bcd"
+
+// NewScheme builds a scheme by name on env.
+func NewScheme(env *memctrl.Env, name string) (memctrl.Scheme, error) {
+	switch name {
+	case SchemeBaseline:
+		return dedup.NewBaseline(env), nil
+	case SchemeSHA1:
+		return dedup.NewSHA1(env), nil
+	case SchemeDeWrite:
+		return dedup.NewDeWrite(env), nil
+	case SchemeESD:
+		return core.New(env), nil
+	case SchemeBCD:
+		return dedup.NewBCD(env), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// Options parameterizes an evaluation campaign.
+type Options struct {
+	// Cfg is the system configuration (Table I defaults).
+	Cfg config.Config
+	// Requests is the measured trace length per application.
+	Requests int
+	// Warmup is the number of unmeasured warm-up records preceding the
+	// measured window (the paper warms the system before each evaluation).
+	Warmup int
+	// Seed drives all generators.
+	Seed uint64
+	// Apps restricts the evaluation to a subset (nil/empty = all 20).
+	Apps []string
+	// FPCacheScale shrinks the fingerprint caches (EFIT, the SHA-1 and
+	// DeWrite fingerprint caches) by this factor — scaled-down-simulation
+	// methodology: the paper's 10^9-request runs make the unique
+	// fingerprint population vastly exceed the 512 KB caches, which a
+	// laptop-scale trace cannot; dividing the caches instead reproduces
+	// the same pressure ratio. 1 (default) disables scaling. The AMT
+	// cache is not scaled: its pressure tracks the address footprint,
+	// which the profiles already size realistically.
+	FPCacheScale int
+}
+
+// DefaultOptions returns a campaign sized to finish in seconds while
+// keeping the statistics stable.
+func DefaultOptions() Options {
+	return Options{Cfg: config.Default(), Requests: 30000, Warmup: 20000, Seed: 1}
+}
+
+// effectiveCfg applies FPCacheScale to the fingerprint caches.
+func (o Options) effectiveCfg() config.Config {
+	cfg := o.Cfg
+	if o.FPCacheScale > 1 {
+		cfg.Meta.EFITCacheBytes /= o.FPCacheScale
+		if cfg.Meta.EFITCacheBytes < cfg.Meta.EFITEntryBytes {
+			cfg.Meta.EFITCacheBytes = cfg.Meta.EFITEntryBytes
+		}
+		cfg.SHA1.FPCacheBytes /= o.FPCacheScale
+		if cfg.SHA1.FPCacheBytes < cfg.SHA1.FPEntryBytes {
+			cfg.SHA1.FPCacheBytes = cfg.SHA1.FPEntryBytes
+		}
+		cfg.DeWrite.FPCacheBytes /= o.FPCacheScale
+		if cfg.DeWrite.FPCacheBytes < cfg.DeWrite.FPEntryBytes {
+			cfg.DeWrite.FPCacheBytes = cfg.DeWrite.FPEntryBytes
+		}
+	}
+	return cfg
+}
+
+func (o Options) apps() []workload.Profile {
+	if len(o.Apps) == 0 {
+		return workload.Profiles()
+	}
+	var out []workload.Profile
+	for _, name := range o.Apps {
+		if p, ok := workload.ByName(name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Suite lazily runs and caches one simulation per (application, scheme).
+// Results are additionally memoized process-wide keyed by the full
+// campaign parameters, so regenerating several figures with identical
+// Options (e.g. `figures -fig all`) simulates each (app, scheme) pair
+// exactly once.
+type Suite struct {
+	Opts    Options
+	results map[string]*memctrl.RunResult
+}
+
+// NewSuite creates an empty result cache for opts.
+func NewSuite(opts Options) *Suite {
+	return &Suite{Opts: opts, results: make(map[string]*memctrl.RunResult)}
+}
+
+// memoKey identifies one simulation across Suites. config.Config contains
+// only value types, so the whole key is comparable.
+type memoKey struct {
+	cfg      config.Config
+	requests int
+	warmup   int
+	seed     uint64
+	app      string
+	scheme   string
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[memoKey]*memctrl.RunResult{}
+)
+
+// Result returns (running on first use) the simulation of app under scheme.
+func (s *Suite) Result(app, scheme string) (*memctrl.RunResult, error) {
+	key := app + "/" + scheme
+	if r, ok := s.results[key]; ok {
+		return r, nil
+	}
+	profile, ok := workload.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown application %q", app)
+	}
+	cfg := s.Opts.effectiveCfg()
+	mk := memoKey{
+		cfg:      cfg,
+		requests: s.Opts.Requests,
+		warmup:   s.Opts.Warmup,
+		seed:     s.Opts.Seed,
+		app:      app,
+		scheme:   scheme,
+	}
+	memoMu.Lock()
+	if r, ok := memo[mk]; ok {
+		memoMu.Unlock()
+		s.results[key] = r
+		return r, nil
+	}
+	memoMu.Unlock()
+
+	env := memctrl.NewEnv(cfg)
+	sch, err := NewScheme(env, scheme)
+	if err != nil {
+		return nil, err
+	}
+	ctl := memctrl.NewController(env, sch)
+	ctl.Warmup = s.Opts.Warmup
+	res, err := ctl.Run(workload.Stream(profile, s.Opts.Seed, s.Opts.Warmup+s.Opts.Requests))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", app, scheme, err)
+	}
+	memoMu.Lock()
+	memo[mk] = res
+	memoMu.Unlock()
+	s.results[key] = res
+	return res, nil
+}
+
+// AppNames returns the evaluated application names in suite order.
+func (s *Suite) AppNames() []string {
+	var out []string
+	for _, p := range s.Opts.apps() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// profileOf returns the workload profile for app (must exist).
+func (s *Suite) profileOf(app string) workload.Profile {
+	p, _ := workload.ByName(app)
+	return p
+}
+
+// sortedKeys is a test helper exposing the cached run keys.
+func (s *Suite) sortedKeys() []string {
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"github.com/esdsim/esd/internal/core"
+	"github.com/esdsim/esd/internal/dedup"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// Fig18Sizes are the metadata-cache capacities the paper sweeps.
+var Fig18Sizes = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10, 1024 << 10, 2048 << 10}
+
+// Fig18Row is one cache-size point of the sensitivity study.
+type Fig18Row struct {
+	SizeBytes int
+	// EFITHitLRCU and EFITHitLRU are the EFIT cache hit rates with and
+	// without the LRCU policy (Fig. 18a).
+	EFITHitLRCU float64
+	EFITHitLRU  float64
+	// AMTHit is the AMT hot-entry cache hit rate (Fig. 18b).
+	AMTHit float64
+	// DedupRateLRCU tracks how much the cache size buys in eliminated
+	// writes (not in the paper's plot, but the mechanism behind it).
+	DedupRateLRCU float64
+}
+
+// Fig18 sweeps the EFIT and AMT cache sizes (paper Fig. 18: hit rates
+// saturate around 512 KB, validating selective deduplication).
+// The sweep aggregates over the evaluated applications.
+func Fig18(opts Options) ([]Fig18Row, *stats.Table, error) {
+	apps := opts.apps()
+	tb := stats.NewTable("Fig. 18 — Cache hit rates vs cache size",
+		"size-KB", "efit-hit-lrcu", "efit-hit-lru", "amt-hit", "dedup-rate")
+	var rows []Fig18Row
+	for _, size := range Fig18Sizes {
+		row := Fig18Row{SizeBytes: size}
+		var n float64
+		for _, p := range apps {
+			// LRCU run (EFIT size under test; AMT cache scales with the
+			// same sweep for Fig. 18b).
+			cfg := opts.Cfg
+			cfg.Meta.EFITCacheBytes = size
+			cfg.Meta.AMTCacheBytes = size
+			env := memctrl.NewEnv(cfg)
+			esd := core.New(env)
+			ctl := memctrl.NewController(env, esd)
+			ctl.Warmup = opts.Warmup
+			if _, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests)); err != nil {
+				return nil, nil, err
+			}
+			row.EFITHitLRCU += esd.EFITStats().HitRate()
+			row.AMTHit += esd.AMT.CacheStats().HitRate()
+			row.DedupRateLRCU += esd.Stats().DedupRate()
+
+			// LRU ablation run.
+			envL := memctrl.NewEnv(cfg)
+			esdL := core.New(envL, core.WithLRU())
+			ctlL := memctrl.NewController(envL, esdL)
+			ctlL.Warmup = opts.Warmup
+			if _, err := ctlL.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests)); err != nil {
+				return nil, nil, err
+			}
+			row.EFITHitLRU += esdL.EFITStats().HitRate()
+			n++
+		}
+		if n > 0 {
+			row.EFITHitLRCU /= n
+			row.EFITHitLRU /= n
+			row.AMTHit /= n
+			row.DedupRateLRCU /= n
+		}
+		rows = append(rows, row)
+		tb.AddRow(size>>10, row.EFITHitLRCU, row.EFITHitLRU, row.AMTHit, row.DedupRateLRCU)
+	}
+	return rows, tb, nil
+}
+
+// AblationPolicyRow compares EFIT replacement policies at the default
+// cache size — an ablation beyond the paper's LRCU-vs-LRU sweep.
+type AblationPolicyRow struct {
+	Policy    string
+	HitRate   float64
+	DedupRate float64
+}
+
+// AblationEFITPolicy evaluates LRCU vs LRU for the EFIT cache.
+func AblationEFITPolicy(opts Options) ([]AblationPolicyRow, *stats.Table, error) {
+	apps := opts.apps()
+	build := map[string][]core.Option{
+		"lrcu": nil,
+		"lru":  {core.WithLRU()},
+	}
+	order := []string{"lrcu", "lru"}
+	tb := stats.NewTable("Ablation — EFIT replacement policy", "policy", "hit-rate", "dedup-rate")
+	var rows []AblationPolicyRow
+	for _, name := range order {
+		row := AblationPolicyRow{Policy: name}
+		var n float64
+		for _, p := range apps {
+			env := memctrl.NewEnv(opts.Cfg)
+			esd := core.New(env, build[name]...)
+			ctl := memctrl.NewController(env, esd)
+			ctl.Warmup = opts.Warmup
+			if _, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests)); err != nil {
+				return nil, nil, err
+			}
+			row.HitRate += esd.EFITStats().HitRate()
+			row.DedupRate += esd.Stats().DedupRate()
+			n++
+		}
+		if n > 0 {
+			row.HitRate /= n
+			row.DedupRate /= n
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Policy, row.HitRate, row.DedupRate)
+	}
+	return rows, tb, nil
+}
+
+// AblationReferHRow sweeps the referH saturation limit (§III-B sets one
+// byte; this quantifies the design choice).
+type AblationReferHRow struct {
+	ReferHMax int
+	DedupRate float64
+	Overflows uint64
+}
+
+// AblationReferH sweeps the reference-count saturation limit.
+func AblationReferH(opts Options) ([]AblationReferHRow, *stats.Table, error) {
+	apps := opts.apps()
+	tb := stats.NewTable("Ablation — referH saturation limit", "referH-max", "dedup-rate", "overflows")
+	var rows []AblationReferHRow
+	for _, max := range []int{3, 15, 63, 255} {
+		row := AblationReferHRow{ReferHMax: max}
+		var n float64
+		for _, p := range apps {
+			cfg := opts.Cfg
+			cfg.ESD.ReferHMax = max
+			env := memctrl.NewEnv(cfg)
+			esd := core.New(env)
+			ctl := memctrl.NewController(env, esd)
+			ctl.Warmup = opts.Warmup
+			if _, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests)); err != nil {
+				return nil, nil, err
+			}
+			row.DedupRate += esd.Stats().DedupRate()
+			row.Overflows += esd.Stats().ReferHOverflows
+			n++
+		}
+		if n > 0 {
+			row.DedupRate /= n
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.ReferHMax, row.DedupRate, row.Overflows)
+	}
+	return rows, tb, nil
+}
+
+// AblationSelectiveRow contrasts ESD's selective dedup against a
+// hypothetical "ESD with full dedup" (the SHA-1 scheme's lookup structure
+// with free fingerprints is approximated by comparing eliminated writes
+// and NVMM metadata traffic).
+type AblationSelectiveRow struct {
+	Scheme        string
+	DedupRate     float64
+	FPNVMMLookups uint64
+	MeanWriteNs   float64
+}
+
+// AblationSelective quantifies the selective-vs-full trade-off using the
+// measured schemes.
+func AblationSelective(opts Options) ([]AblationSelectiveRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	tb := stats.NewTable("Ablation — selective (ESD) vs full (Dedup_SHA1/DeWrite) deduplication",
+		"scheme", "dedup-rate", "fp-nvmm-lookups", "mean-write-ns")
+	var rows []AblationSelectiveRow
+	for _, scheme := range DedupSchemes() {
+		row := AblationSelectiveRow{Scheme: scheme}
+		var dedupSum float64
+		var n float64
+		for _, app := range s.AppNames() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			dedupSum += r.Scheme.DedupRate()
+			row.FPNVMMLookups += r.Scheme.FPNVMMLookups
+			row.MeanWriteNs += r.WriteHist.Mean().Nanoseconds()
+			n++
+		}
+		if n > 0 {
+			row.DedupRate = dedupSum / n
+			row.MeanWriteNs /= n
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Scheme, row.DedupRate, row.FPNVMMLookups, row.MeanWriteNs)
+	}
+	return rows, tb, nil
+}
+
+// AblationCapacityRow compares effective storage capacity across dedup
+// designs — the axis on which the BCD extension (partial-line compression)
+// improves over exact-only deduplication.
+type AblationCapacityRow struct {
+	Scheme            string
+	EffectiveCapacity float64
+	DedupRate         float64
+	MeanWriteNs       float64
+	MeanReadNs        float64
+}
+
+// AblationCapacity runs Dedup_SHA1, ESD and the BCD extension on a
+// near-duplicate workload (30% exact repeats, 40% partial duplicates, 30%
+// unique among writes) and compares effective capacity (logical bytes per
+// physical byte) alongside the latency cost of BCD's base+delta reads.
+// Partial duplicates are invisible to exact-only dedup; BCD compresses
+// them.
+func AblationCapacity(opts Options) ([]AblationCapacityRow, *stats.Table, error) {
+	tb := stats.NewTable("Ablation — effective capacity on a near-duplicate workload",
+		"scheme", "effective-capacity", "dedup-rate", "mean-write-ns", "mean-read-ns")
+	schemes := []string{SchemeSHA1, SchemeESD, SchemeBCD}
+	var rows []AblationCapacityRow
+	for _, name := range schemes {
+		row := AblationCapacityRow{Scheme: name}
+		env := memctrl.NewEnv(opts.effectiveCfg())
+		sch, err := NewScheme(env, name)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctl := memctrl.NewController(env, sch)
+		ctl.Warmup = opts.Warmup
+		stream := workload.NearDupStream(opts.Seed, opts.Warmup+opts.Requests, 1<<15, dedup.MaxDeltaWords)
+		res, err := ctl.Run(stream)
+		if err != nil {
+			return nil, nil, err
+		}
+		row.DedupRate = res.Scheme.DedupRate()
+		row.MeanWriteNs = res.WriteHist.Mean().Nanoseconds()
+		row.MeanReadNs = res.ReadHist.Mean().Nanoseconds()
+		if bcd, ok := sch.(*dedup.BCD); ok {
+			row.EffectiveCapacity = bcd.EffectiveCapacity()
+		} else {
+			row.EffectiveCapacity = capacityOf(env, sch)
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Scheme, row.EffectiveCapacity, row.DedupRate, row.MeanWriteNs, row.MeanReadNs)
+	}
+	return rows, tb, nil
+}
+
+// capacityOf computes logical/physical line ratio for exact-dedup schemes
+// via their shared Base plumbing.
+func capacityOf(env *memctrl.Env, sch memctrl.Scheme) float64 {
+	type based interface {
+		LogicalPhysical() (int64, int64)
+	}
+	if b, ok := sch.(based); ok {
+		l, p := b.LogicalPhysical()
+		if p > 0 {
+			return float64(l) / float64(p)
+		}
+	}
+	return 0
+}
+
+// AblationIntegrityRow quantifies the cost of counter-integrity protection
+// (Merkle counter tree) per scheme.
+type AblationIntegrityRow struct {
+	Scheme          string
+	MeanReadNs      float64
+	MeanReadNsProt  float64
+	ReadOverheadPct float64
+	TreeNodeFetches uint64
+}
+
+// AblationIntegrity runs each scheme with and without the Merkle counter
+// tree and reports the read-path overhead of counter authentication — the
+// secure-NVMM tax the paper's citations (Synergy, Triad-NVM, Anubis) work
+// to reduce, orthogonal to deduplication.
+func AblationIntegrity(opts Options) ([]AblationIntegrityRow, *stats.Table, error) {
+	apps := opts.apps()
+	if len(apps) > 4 {
+		apps = apps[:4]
+	}
+	tb := stats.NewTable("Ablation — Merkle counter-tree integrity overhead",
+		"scheme", "read-ns", "read-ns-protected", "overhead-%", "tree-fetches")
+	var rows []AblationIntegrityRow
+	for _, name := range Schemes() {
+		row := AblationIntegrityRow{Scheme: name}
+		var n float64
+		for _, p := range apps {
+			for _, protected := range []bool{false, true} {
+				cfg := opts.effectiveCfg()
+				cfg.Crypto.IntegrityEnabled = protected
+				env := memctrl.NewEnv(cfg)
+				sch, err := NewScheme(env, name)
+				if err != nil {
+					return nil, nil, err
+				}
+				ctl := memctrl.NewController(env, sch)
+				ctl.Warmup = opts.Warmup
+				res, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests))
+				if err != nil {
+					return nil, nil, err
+				}
+				if protected {
+					row.MeanReadNsProt += res.ReadHist.Mean().Nanoseconds()
+					row.TreeNodeFetches += env.Integrity.Stats.NodeFetches
+				} else {
+					row.MeanReadNs += res.ReadHist.Mean().Nanoseconds()
+				}
+			}
+			n++
+		}
+		if n > 0 {
+			row.MeanReadNs /= n
+			row.MeanReadNsProt /= n
+		}
+		if row.MeanReadNs > 0 {
+			row.ReadOverheadPct = (row.MeanReadNsProt/row.MeanReadNs - 1) * 100
+		}
+		rows = append(rows, row)
+		tb.AddRow(row.Scheme, row.MeanReadNs, row.MeanReadNsProt, row.ReadOverheadPct, row.TreeNodeFetches)
+	}
+	return rows, tb, nil
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// Fig15Apps are the eight applications the paper selects for the write
+// latency CDF study.
+var Fig15Apps = []string{
+	"gcc", "leela", "bodytrack", "dedup", "facesim", "fluidanimate", "wrf", "x264",
+}
+
+// Fig15Row holds one (application, scheme) write-latency distribution.
+type Fig15Row struct {
+	App    string
+	Scheme string
+	P50    sim.Time
+	P90    sim.Time
+	P99    sim.Time
+	P999   sim.Time
+	Max    sim.Time
+	CDF    []stats.CDFPoint
+}
+
+// Fig15 reproduces the write-latency CDF / tail-latency study (paper
+// Fig. 15) for the three dedup schemes over the eight selected
+// applications.
+func Fig15(opts Options) ([]Fig15Row, *stats.Table, error) {
+	opts.Apps = Fig15Apps
+	s := NewSuite(opts)
+	tb := stats.NewTable("Fig. 15 — Write latency distribution (ns)",
+		"app", "scheme", "p50", "p90", "p99", "p99.9", "max")
+	var rows []Fig15Row
+	for _, app := range s.AppNames() {
+		for _, scheme := range DedupSchemes() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := Fig15Row{
+				App:    app,
+				Scheme: scheme,
+				P50:    r.WriteHist.Percentile(0.5),
+				P90:    r.WriteHist.Percentile(0.9),
+				P99:    r.WriteHist.Percentile(0.99),
+				P999:   r.WriteHist.Percentile(0.999),
+				Max:    r.WriteHist.Max(),
+				CDF:    r.WriteHist.CDF(),
+			}
+			rows = append(rows, row)
+			tb.AddRow(app, scheme,
+				row.P50.Nanoseconds(), row.P90.Nanoseconds(),
+				row.P99.Nanoseconds(), row.P999.Nanoseconds(), row.Max.Nanoseconds())
+		}
+	}
+	return rows, tb, nil
+}
+
+// Fig17Row is one scheme's write-latency profile, as fractions of the
+// total write-path time, folded into the paper's four categories.
+type Fig17Row struct {
+	Scheme string
+	// FPCompute is fingerprint computation (hashing + on-chip probes).
+	FPCompute float64
+	// FPLookupNVMM is fingerprint fetches from NVMM.
+	FPLookupNVMM float64
+	// ReadCompare is reading similar lines for comparison.
+	ReadCompare float64
+	// WriteUnique is everything spent writing unique lines: encryption,
+	// queueing, media, and metadata upkeep.
+	WriteUnique float64
+}
+
+// Fig17 aggregates the write-latency breakdown over all applications
+// (paper Fig. 17: Dedup_SHA1 ≈ 80% fingerprint computation; DeWrite pays
+// both CRC and NVMM lookups; ESD is dominated by the reads and writes of
+// cache lines).
+func Fig17(opts Options) ([]Fig17Row, *stats.Table, error) {
+	s := NewSuite(opts)
+	tb := stats.NewTable("Fig. 17 — Write latency profile (fraction of write-path time)",
+		"scheme", "fp-compute", "fp-nvmm-lookup", "read-compare", "write-unique")
+	var rows []Fig17Row
+	for _, scheme := range DedupSchemes() {
+		var agg stats.Breakdown
+		for _, app := range s.AppNames() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			agg.Add(r.Breakdown)
+		}
+		total := float64(agg.Total())
+		if total <= 0 {
+			total = 1
+		}
+		row := Fig17Row{
+			Scheme:       scheme,
+			FPCompute:    float64(agg.FPCompute+agg.FPLookupSRAM) / total,
+			FPLookupNVMM: float64(agg.FPLookupNVMM) / total,
+			ReadCompare:  float64(agg.ReadCompare) / total,
+			WriteUnique:  float64(agg.Encrypt+agg.Queue+agg.Media+agg.Metadata) / total,
+		}
+		rows = append(rows, row)
+		tb.AddRow(scheme, row.FPCompute, row.FPLookupNVMM, row.ReadCompare, row.WriteUnique)
+	}
+	return rows, tb, nil
+}
+
+// Fig19Row is one scheme's dedup-metadata footprint, normalized to
+// Dedup_SHA1 (paper Fig. 19: ESD −81.2%, DeWrite −60.9% vs SHA-1).
+type Fig19Row struct {
+	Scheme     string
+	NVMMBytes  int64
+	SRAMBytes  int64
+	Normalized float64
+}
+
+// Fig19 measures the NVMM-resident deduplication-metadata footprint per
+// scheme. The paper's Fig. 19 compares the metadata that consumes NVMM
+// space (fingerprint stores and mapping tables); the fixed on-chip SRAM
+// caches are identical across schemes and reported separately here.
+func Fig19(opts Options) ([]Fig19Row, *stats.Table, error) {
+	s := NewSuite(opts)
+	totals := map[string]*Fig19Row{}
+	for _, scheme := range DedupSchemes() {
+		totals[scheme] = &Fig19Row{Scheme: scheme}
+		for _, app := range s.AppNames() {
+			r, err := s.Result(app, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			totals[scheme].NVMMBytes += r.MetadataNVMM
+			totals[scheme].SRAMBytes += r.MetadataSRAM
+		}
+	}
+	base := float64(totals[SchemeSHA1].NVMMBytes)
+	tb := stats.NewTable("Fig. 19 — NVMM metadata overhead normalized to Dedup_SHA1",
+		"scheme", "nvmm-bytes", "sram-bytes", "normalized")
+	var rows []Fig19Row
+	for _, scheme := range DedupSchemes() {
+		row := totals[scheme]
+		if base > 0 {
+			row.Normalized = float64(row.NVMMBytes) / base
+		}
+		rows = append(rows, *row)
+		tb.AddRow(row.Scheme, row.NVMMBytes, row.SRAMBytes, row.Normalized)
+	}
+	return rows, tb, nil
+}

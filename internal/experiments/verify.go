@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/workload"
+)
+
+// VerifyRow is one scheme x application correctness check.
+type VerifyRow struct {
+	App       string
+	Scheme    string
+	Requests  uint64
+	DedupRate float64
+	Passed    bool
+	Err       string
+}
+
+// VerifyAll replays every (application, scheme) pair — including the BCD
+// extension — with the read-back oracle enabled: any read returning data
+// that differs from the latest write fails the pair. This is the
+// repository's end-to-end correctness harness, runnable as the `verify`
+// experiment; deduplication must never trade correctness for speed.
+func VerifyAll(opts Options) ([]VerifyRow, *stats.Table, error) {
+	schemes := append(Schemes(), SchemeBCD)
+	tb := stats.NewTable("Correctness — oracle-verified replay of every scheme x application",
+		"app", "scheme", "requests", "dedup-rate", "result")
+	var rows []VerifyRow
+	failures := 0
+	for _, p := range opts.apps() {
+		for _, scheme := range schemes {
+			env := memctrl.NewEnv(opts.effectiveCfg())
+			sch, err := NewScheme(env, scheme)
+			if err != nil {
+				return nil, nil, err
+			}
+			ctl := memctrl.NewController(env, sch)
+			ctl.VerifyReads = true
+			row := VerifyRow{App: p.Name, Scheme: scheme}
+			res, err := ctl.Run(workload.Stream(p, opts.Seed, opts.Warmup+opts.Requests))
+			if err != nil {
+				row.Err = err.Error()
+				failures++
+			} else {
+				row.Passed = true
+				row.Requests = res.Requests + uint64(opts.Warmup)
+				row.DedupRate = res.Scheme.DedupRate()
+			}
+			rows = append(rows, row)
+			result := "PASS"
+			if !row.Passed {
+				result = "FAIL: " + row.Err
+			}
+			tb.AddRow(p.Name, scheme, row.Requests, row.DedupRate, result)
+		}
+	}
+	tb.AddRow("total", fmt.Sprintf("%d pairs", len(rows)), "", "",
+		fmt.Sprintf("%d failures", failures))
+	if failures > 0 {
+		return rows, tb, fmt.Errorf("experiments: %d scheme/application pairs failed verification", failures)
+	}
+	return rows, tb, nil
+}

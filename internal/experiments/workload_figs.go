@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/fingerprint"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/workload"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// Fig1Row is one bar of Fig. 1: the duplicate rate of LLC-evicted cache
+// lines for one application.
+type Fig1Row struct {
+	App     string
+	Suite   workload.Suite
+	DupRate float64
+}
+
+// Fig1 measures the duplicate cache-line rate per application (paper:
+// 33.1%–99.9%, average 62.9%).
+func Fig1(opts Options) ([]Fig1Row, *stats.Table, error) {
+	var rows []Fig1Row
+	tb := stats.NewTable("Fig. 1 — Duplicate rate of cache lines", "app", "suite", "dup-rate-%")
+	sum := 0.0
+	for _, p := range opts.apps() {
+		st, err := workload.MeasureDup(workload.Stream(p, opts.Seed, opts.Requests))
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, Fig1Row{App: p.Name, Suite: p.Suite, DupRate: st.DupRate})
+		tb.AddRow(p.Name, string(p.Suite), st.DupRate*100)
+		sum += st.DupRate
+	}
+	if len(rows) > 0 {
+		tb.AddRow("average", "", sum/float64(len(rows))*100)
+	}
+	return rows, tb, nil
+}
+
+// Fig3Row is one application's reference-count distribution: the share of
+// unique cache lines (3a) and of pre-dedup write volume (3b) per class.
+type Fig3Row struct {
+	App          string
+	UniqueShares [workload.NumClasses]float64
+	WriteShares  [workload.NumClasses]float64
+}
+
+// Fig3 measures the content-locality distributions behind Fig. 3.
+func Fig3(opts Options) ([]Fig3Row, *stats.Table, error) {
+	var rows []Fig3Row
+	tb := stats.NewTable(
+		"Fig. 3 — Cache-line distribution before dedup (u-*) and occupied volume (w-*), %",
+		"app", "u-num1", "u-num10", "u-num100", "u-num1000", "u-1000+",
+		"w-num1", "w-num10", "w-num100", "w-num1000", "w-1000+")
+	var agg Fig3Row
+	for _, p := range opts.apps() {
+		st, err := workload.MeasureDup(workload.Stream(p, opts.Seed, opts.Requests))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig3Row{App: p.Name}
+		for c := workload.Num1; c < workload.NumClasses; c++ {
+			row.UniqueShares[c] = st.UniqueShare(c)
+			row.WriteShares[c] = st.WriteShare(c)
+			agg.UniqueShares[c] += st.UniqueShare(c)
+			agg.WriteShares[c] += st.WriteShare(c)
+		}
+		rows = append(rows, row)
+		tb.AddRow(p.Name,
+			row.UniqueShares[0]*100, row.UniqueShares[1]*100, row.UniqueShares[2]*100,
+			row.UniqueShares[3]*100, row.UniqueShares[4]*100,
+			row.WriteShares[0]*100, row.WriteShares[1]*100, row.WriteShares[2]*100,
+			row.WriteShares[3]*100, row.WriteShares[4]*100)
+	}
+	if n := float64(len(rows)); n > 0 {
+		agg.App = "average"
+		for c := range agg.UniqueShares {
+			agg.UniqueShares[c] /= n
+			agg.WriteShares[c] /= n
+		}
+		tb.AddRow(agg.App,
+			agg.UniqueShares[0]*100, agg.UniqueShares[1]*100, agg.UniqueShares[2]*100,
+			agg.UniqueShares[3]*100, agg.UniqueShares[4]*100,
+			agg.WriteShares[0]*100, agg.WriteShares[1]*100, agg.WriteShares[2]*100,
+			agg.WriteShares[3]*100, agg.WriteShares[4]*100)
+	}
+	return rows, tb, nil
+}
+
+// Fig8Row reports the measured fingerprint-collision probability of one
+// algorithm over the pooled application contents, normalized to CRC-16.
+type Fig8Row struct {
+	Kind        fingerprint.Kind
+	Collisions  int
+	UniquePairs int
+	Normalized  float64 // collision count / CRC-16 collision count
+}
+
+// Fig8 compares collision probabilities of CRC, ECC and cryptographic
+// fingerprints (paper Fig. 8, normalized to the CRC-based method).
+// It pools unique contents from every application plus low-entropy
+// perturbations, then counts distinct-content fingerprint collisions.
+func Fig8(opts Options) ([]Fig8Row, *stats.Table, error) {
+	// Build a pooled population of unique lines.
+	var pool []ecc.Line
+	seen := map[ecc.Line]bool{}
+	perApp := opts.Requests / 4
+	if perApp < 1000 {
+		perApp = 1000
+	}
+	for _, p := range opts.apps() {
+		g := workload.NewGenerator(p, opts.Seed, perApp)
+		for i := 0; i < perApp; i++ {
+			rec, err := g.Next()
+			if err != nil {
+				return nil, nil, err
+			}
+			if !seen[rec.Data] {
+				seen[rec.Data] = true
+				pool = append(pool, rec.Data)
+			}
+		}
+	}
+	// Add clustered low-entropy variants to stress narrow fingerprints the
+	// way similar real-world lines do.
+	r := xrand.New(opts.Seed ^ 0xF18)
+	base := len(pool)
+	for i := 0; i < base/4; i++ {
+		l := pool[r.Intn(base)]
+		ecc.FlipBit(&l, r.Intn(512))
+		if !seen[l] {
+			seen[l] = true
+			pool = append(pool, l)
+		}
+	}
+
+	kinds := []fingerprint.Kind{
+		fingerprint.KindCRC16, fingerprint.KindCRC32, fingerprint.KindCRC64,
+		fingerprint.KindECC, fingerprint.KindMD5, fingerprint.KindSHA1,
+	}
+	costs := config.Default().FP
+	rows := make([]Fig8Row, 0, len(kinds))
+	for _, kind := range kinds {
+		fp := fingerprint.New(kind, costs)
+		byDigest := map[fingerprint.Digest]int{}
+		collisions := 0
+		for i := range pool {
+			d := fp.Fingerprint(&pool[i])
+			if prev, ok := byDigest[d]; ok && pool[prev] != pool[i] {
+				collisions++
+			} else if !ok {
+				byDigest[d] = i
+			}
+		}
+		rows = append(rows, Fig8Row{Kind: kind, Collisions: collisions, UniquePairs: len(pool)})
+	}
+	crcBase := rows[0].Collisions
+	tb := stats.NewTable(
+		fmt.Sprintf("Fig. 8 — Fingerprint collisions over %d unique lines (normalized to CRC-16)", len(pool)),
+		"fingerprint", "bits", "collisions", "normalized")
+	for i := range rows {
+		if crcBase > 0 {
+			rows[i].Normalized = float64(rows[i].Collisions) / float64(crcBase)
+		}
+		tb.AddRow(rows[i].Kind.String(), rows[i].Kind.Bits(), rows[i].Collisions, rows[i].Normalized)
+	}
+	return rows, tb, nil
+}

@@ -1,0 +1,259 @@
+// Package fingerprint provides the data fingerprints used by the
+// deduplication schemes the paper compares:
+//
+//   - SHA-1 and MD5 cryptographic digests (Dedup_SHA1 and classic inline
+//     dedup), computed with the standard library;
+//   - CRC-16/32/64 lightweight fingerprints (DeWrite), implemented from
+//     scratch with table-driven generators;
+//   - the ECC fingerprint (ESD) lives in package ecc, since it is a
+//     by-product of the error-correction substrate.
+//
+// Each fingerprinter also reports the latency/energy cost charged by the
+// timing model, so schemes stay honest about what their fingerprints cost.
+package fingerprint
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// Kind identifies a fingerprint algorithm.
+type Kind int
+
+// Supported fingerprint kinds.
+const (
+	KindSHA1 Kind = iota
+	KindMD5
+	KindCRC16
+	KindCRC32
+	KindCRC64
+	KindECC
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSHA1:
+		return "sha1"
+	case KindMD5:
+		return "md5"
+	case KindCRC16:
+		return "crc16"
+	case KindCRC32:
+		return "crc32"
+	case KindCRC64:
+		return "crc64"
+	case KindECC:
+		return "ecc"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Bits returns the fingerprint width in bits.
+func (k Kind) Bits() int {
+	switch k {
+	case KindSHA1:
+		return 160
+	case KindMD5:
+		return 128
+	case KindCRC16:
+		return 16
+	case KindCRC32:
+		return 32
+	case KindCRC64, KindECC:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// Digest is a fingerprint value. Key carries a collision-safe map key for
+// full-width digests; Short is a 64-bit summary used for cheap indexing.
+type Digest struct {
+	Kind  Kind
+	Key   [20]byte // full digest, zero-padded (SHA-1 needs all 20 bytes)
+	Short uint64
+}
+
+// Fingerprinter computes fingerprints of cache lines and reports their
+// modelled hardware cost.
+type Fingerprinter interface {
+	Kind() Kind
+	Fingerprint(l *ecc.Line) Digest
+	// Latency is the serial computation latency per line.
+	Latency() sim.Time
+	// Energy is the energy per line in nJ.
+	Energy() float64
+}
+
+// New returns the fingerprinter for kind using the cost model in costs.
+func New(kind Kind, costs config.FingerprintCosts) Fingerprinter {
+	switch kind {
+	case KindSHA1:
+		return sha1FP{costs}
+	case KindMD5:
+		return md5FP{costs}
+	case KindCRC16:
+		return crcFP{kind: KindCRC16, costs: costs}
+	case KindCRC32:
+		return crcFP{kind: KindCRC32, costs: costs}
+	case KindCRC64:
+		return crcFP{kind: KindCRC64, costs: costs}
+	case KindECC:
+		return eccFP{}
+	default:
+		panic(fmt.Sprintf("fingerprint: unknown kind %v", kind))
+	}
+}
+
+type sha1FP struct{ costs config.FingerprintCosts }
+
+func (sha1FP) Kind() Kind { return KindSHA1 }
+func (f sha1FP) Fingerprint(l *ecc.Line) Digest {
+	sum := sha1.Sum(l[:])
+	var d Digest
+	d.Kind = KindSHA1
+	copy(d.Key[:], sum[:])
+	d.Short = binary.LittleEndian.Uint64(sum[:8])
+	return d
+}
+func (f sha1FP) Latency() sim.Time { return f.costs.SHA1Latency }
+func (f sha1FP) Energy() float64   { return f.costs.SHA1Energy }
+
+type md5FP struct{ costs config.FingerprintCosts }
+
+func (md5FP) Kind() Kind { return KindMD5 }
+func (f md5FP) Fingerprint(l *ecc.Line) Digest {
+	sum := md5.Sum(l[:])
+	var d Digest
+	d.Kind = KindMD5
+	copy(d.Key[:16], sum[:])
+	d.Short = binary.LittleEndian.Uint64(sum[:8])
+	return d
+}
+func (f md5FP) Latency() sim.Time { return f.costs.MD5Latency }
+func (f md5FP) Energy() float64   { return f.costs.MD5Energy }
+
+type crcFP struct {
+	kind  Kind
+	costs config.FingerprintCosts
+}
+
+func (f crcFP) Kind() Kind { return f.kind }
+func (f crcFP) Fingerprint(l *ecc.Line) Digest {
+	var v uint64
+	switch f.kind {
+	case KindCRC16:
+		v = uint64(CRC16(l[:]))
+	case KindCRC32:
+		v = uint64(CRC32(l[:]))
+	default:
+		v = CRC64(l[:])
+	}
+	var d Digest
+	d.Kind = f.kind
+	binary.LittleEndian.PutUint64(d.Key[:8], v)
+	d.Short = v
+	return d
+}
+func (f crcFP) Latency() sim.Time { return f.costs.CRCLatency }
+func (f crcFP) Energy() float64   { return f.costs.CRCEnergy }
+
+type eccFP struct{}
+
+func (eccFP) Kind() Kind { return KindECC }
+func (eccFP) Fingerprint(l *ecc.Line) Digest {
+	fp := uint64(ecc.EncodeLine(l))
+	var d Digest
+	d.Kind = KindECC
+	binary.LittleEndian.PutUint64(d.Key[:8], fp)
+	d.Short = fp
+	return d
+}
+
+// Latency is zero: the memory controller computes the ECC anyway, so the
+// fingerprint is free on the write path (§III-C).
+func (eccFP) Latency() sim.Time { return 0 }
+
+// Energy is zero marginal cost for the same reason.
+func (eccFP) Energy() float64 { return 0 }
+
+// --- CRC generators (from scratch; table-driven) ---
+
+// crc16Poly is the CCITT polynomial x^16 + x^12 + x^5 + 1, reflected.
+const crc16Poly = 0x8408
+
+// crc32Poly is the IEEE 802.3 polynomial, reflected (same as hash/crc32).
+const crc32Poly = 0xEDB88320
+
+// crc64Poly is the ECMA-182 polynomial, reflected.
+const crc64Poly = 0xC96C5795D7870F42
+
+var (
+	crc16Table [256]uint16
+	crc32Table [256]uint32
+	crc64Table [256]uint64
+)
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c16 := uint16(i)
+		c32 := uint32(i)
+		c64 := uint64(i)
+		for k := 0; k < 8; k++ {
+			if c16&1 == 1 {
+				c16 = c16>>1 ^ crc16Poly
+			} else {
+				c16 >>= 1
+			}
+			if c32&1 == 1 {
+				c32 = c32>>1 ^ crc32Poly
+			} else {
+				c32 >>= 1
+			}
+			if c64&1 == 1 {
+				c64 = c64>>1 ^ crc64Poly
+			} else {
+				c64 >>= 1
+			}
+		}
+		crc16Table[i] = c16
+		crc32Table[i] = c32
+		crc64Table[i] = c64
+	}
+}
+
+// CRC16 computes the reflected CRC-16/CCITT of p.
+func CRC16(p []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range p {
+		crc = crc>>8 ^ crc16Table[byte(crc)^b]
+	}
+	return ^crc
+}
+
+// CRC32 computes the IEEE CRC-32 of p (bit-compatible with hash/crc32).
+func CRC32(p []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range p {
+		crc = crc>>8 ^ crc32Table[byte(crc)^b]
+	}
+	return ^crc
+}
+
+// CRC64 computes the ECMA CRC-64 of p (bit-compatible with hash/crc64's
+// ECMA table).
+func CRC64(p []byte) uint64 {
+	crc := ^uint64(0)
+	for _, b := range p {
+		crc = crc>>8 ^ crc64Table[byte(crc)^b]
+	}
+	return ^crc
+}

@@ -1,0 +1,245 @@
+package fingerprint
+
+import (
+	"hash/crc32"
+	"hash/crc64"
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func costs() config.FingerprintCosts { return config.Default().FP }
+
+func randLine(r *xrand.Rand) *ecc.Line {
+	var l ecc.Line
+	for i := range l {
+		l[i] = byte(r.Uint64())
+	}
+	return &l
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	check := func(p []byte) bool {
+		return CRC32(p) == crc32.ChecksumIEEE(p)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if CRC32(nil) != crc32.ChecksumIEEE(nil) {
+		t.Fatal("empty-input CRC32 mismatch")
+	}
+}
+
+func TestCRC64MatchesStdlib(t *testing.T) {
+	table := crc64.MakeTable(crc64.ECMA)
+	check := func(p []byte) bool {
+		return CRC64(p) == crc64.Checksum(p, table)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/X-25 ("123456789") = 0x906E.
+	if got := CRC16([]byte("123456789")); got != 0x906E {
+		t.Fatalf("CRC16 check value = %#x, want 0x906E", got)
+	}
+}
+
+func TestCRCsDetectSingleBitChanges(t *testing.T) {
+	r := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		l := randLine(r)
+		c16, c32, c64 := CRC16(l[:]), CRC32(l[:]), CRC64(l[:])
+		bit := r.Intn(512)
+		ecc.FlipBit(l, bit)
+		if CRC16(l[:]) == c16 {
+			t.Errorf("CRC16 missed single-bit change at %d", bit)
+		}
+		if CRC32(l[:]) == c32 {
+			t.Errorf("CRC32 missed single-bit change at %d", bit)
+		}
+		if CRC64(l[:]) == c64 {
+			t.Errorf("CRC64 missed single-bit change at %d", bit)
+		}
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		name string
+		bits int
+	}{
+		{KindSHA1, "sha1", 160},
+		{KindMD5, "md5", 128},
+		{KindCRC16, "crc16", 16},
+		{KindCRC32, "crc32", 32},
+		{KindCRC64, "crc64", 64},
+		{KindECC, "ecc", 64},
+	}
+	for _, c := range cases {
+		if c.kind.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.kind, c.kind.String(), c.name)
+		}
+		if c.kind.Bits() != c.bits {
+			t.Errorf("%v.Bits() = %d, want %d", c.kind, c.kind.Bits(), c.bits)
+		}
+	}
+	if Kind(99).Bits() != 0 {
+		t.Error("unknown kind should report 0 bits")
+	}
+}
+
+func TestFingerprintersAreDeterministicAndDiscriminating(t *testing.T) {
+	r := xrand.New(2)
+	for _, kind := range []Kind{KindSHA1, KindMD5, KindCRC16, KindCRC32, KindCRC64, KindECC} {
+		fp := New(kind, costs())
+		if fp.Kind() != kind {
+			t.Errorf("New(%v).Kind() = %v", kind, fp.Kind())
+		}
+		a := randLine(r)
+		dup := *a
+		d1 := fp.Fingerprint(a)
+		d2 := fp.Fingerprint(&dup)
+		if d1 != d2 {
+			t.Errorf("%v: equal lines produced different digests", kind)
+		}
+		b := randLine(r)
+		if db := fp.Fingerprint(b); db == d1 {
+			t.Errorf("%v: two random lines produced the same digest", kind)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := costs()
+	sha := New(KindSHA1, c)
+	if sha.Latency() != 321*sim.Nanosecond {
+		t.Errorf("SHA-1 latency = %v, want 321ns (paper §III-C)", sha.Latency())
+	}
+	md := New(KindMD5, c)
+	if md.Latency() != 312*sim.Nanosecond {
+		t.Errorf("MD5 latency = %v, want 312ns (paper §III-C)", md.Latency())
+	}
+	crc := New(KindCRC32, c)
+	if crc.Latency() >= sha.Latency() {
+		t.Error("CRC must be cheaper than SHA-1")
+	}
+	eccFP := New(KindECC, c)
+	if eccFP.Latency() != 0 || eccFP.Energy() != 0 {
+		t.Error("ECC fingerprint must have zero marginal cost (paper's core claim)")
+	}
+	if sha.Energy() <= crc.Energy() {
+		t.Error("SHA-1 energy must exceed CRC energy")
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(unknown) did not panic")
+		}
+	}()
+	New(Kind(42), costs())
+}
+
+func TestShortSummaryConsistentWithKey(t *testing.T) {
+	r := xrand.New(3)
+	fp := New(KindSHA1, costs())
+	seen := map[uint64][20]byte{}
+	for i := 0; i < 1000; i++ {
+		d := fp.Fingerprint(randLine(r))
+		if prev, ok := seen[d.Short]; ok && prev != d.Key {
+			// Short is only 64 bits, collisions possible but vanishingly
+			// unlikely over 1000 random lines — treat as failure.
+			t.Fatal("Short summary collided with different full keys")
+		}
+		seen[d.Short] = d.Key
+	}
+}
+
+func TestCollisionRatesOrderAcrossWidths(t *testing.T) {
+	// Fig. 8 intuition: narrower fingerprints collide more. Generate a pool
+	// of similar lines (low-entropy words) and count pairwise collisions of
+	// distinct contents sharing a fingerprint, per kind.
+	r := xrand.New(4)
+	const n = 20000
+	lines := make([]*ecc.Line, n)
+	for i := range lines {
+		var l ecc.Line
+		// Low-entropy content: few distinct byte values, zero runs.
+		v := byte(r.Intn(8))
+		for j := range l {
+			if r.Bool(0.2) {
+				v = byte(r.Intn(8))
+			}
+			l[j] = v
+		}
+		lines[i] = &l
+	}
+	collide := func(kind Kind) int {
+		fp := New(kind, costs())
+		byDigest := map[Digest]*ecc.Line{}
+		collisions := 0
+		for _, l := range lines {
+			d := fp.Fingerprint(l)
+			if prev, ok := byDigest[d]; ok {
+				if *prev != *l {
+					collisions++
+				}
+			} else {
+				byDigest[d] = l
+			}
+		}
+		return collisions
+	}
+	c16 := collide(KindCRC16)
+	c32 := collide(KindCRC32)
+	cECC := collide(KindECC)
+	cSHA := collide(KindSHA1)
+	if c16 == 0 {
+		t.Skip("pool too small to collide CRC16; unexpected but not a correctness bug")
+	}
+	if !(c16 >= c32 && c32 >= cSHA) {
+		t.Errorf("collision ordering broken: crc16=%d crc32=%d sha1=%d", c16, c32, cSHA)
+	}
+	if cSHA != 0 {
+		t.Errorf("SHA-1 collided %d times on 20k lines", cSHA)
+	}
+	if cECC > c16 {
+		t.Errorf("64-bit ECC fingerprint collided more than CRC16: %d > %d", cECC, c16)
+	}
+}
+
+func BenchmarkFingerprintSHA1(b *testing.B) {
+	fp := New(KindSHA1, costs())
+	l := randLine(xrand.New(9))
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(l)
+	}
+}
+
+func BenchmarkFingerprintCRC32(b *testing.B) {
+	fp := New(KindCRC32, costs())
+	l := randLine(xrand.New(9))
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(l)
+	}
+}
+
+func BenchmarkFingerprintECC(b *testing.B) {
+	fp := New(KindECC, costs())
+	l := randLine(xrand.New(9))
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		fp.Fingerprint(l)
+	}
+}

@@ -1,0 +1,166 @@
+package integrity
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func testTree(lines uint64) *Tree {
+	cfg := DefaultConfig(lines)
+	cfg.NodeCacheBytes = 1 << 12 // small cache: walks actually happen
+	return New(cfg)
+}
+
+func TestDepthScalesWithLines(t *testing.T) {
+	cases := map[uint64]int{
+		1:         1,
+		8:         1,
+		64:        1,
+		65:        2,
+		512:       2,
+		1 << 20:   6, // 2^20 lines -> 2^17 blocks -> ceil(17/3)=6
+		256 << 20: 9, // 16 GB of lines
+	}
+	for lines, want := range cases {
+		if got := New(DefaultConfig(lines)).Depth(); got != want {
+			t.Errorf("Depth(%d lines) = %d, want %d", lines, got, want)
+		}
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	tr := testTree(1 << 16)
+	lat := tr.Update(100, 1, 0)
+	if lat <= 0 {
+		t.Fatal("update charged nothing")
+	}
+	// Force an uncached verification.
+	tr.DropCache()
+	vlat, err := tr.Verify(100, sim.Microsecond)
+	if err != nil {
+		t.Fatalf("verify failed on honest state: %v", err)
+	}
+	if vlat <= 0 {
+		t.Fatal("cold verify charged nothing")
+	}
+	// A second verify is a cache hit: trusted, free.
+	vlat2, err := tr.Verify(100, 2*sim.Microsecond)
+	if err != nil || vlat2 != 0 {
+		t.Fatalf("warm verify: lat=%v err=%v", vlat2, err)
+	}
+}
+
+func TestTamperedCounterDetected(t *testing.T) {
+	tr := testTree(1 << 16)
+	tr.Update(7, 3, 0)
+	tr.DropCache()
+	tr.TamperCounter(7, 99)
+	_, err := tr.Verify(7, sim.Microsecond)
+	if !errors.Is(err, ErrTampered) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+	if tr.Stats.TamperCaught == 0 {
+		t.Fatal("tamper stat not counted")
+	}
+}
+
+func TestTamperNeighborLineDetected(t *testing.T) {
+	// Tampering one line's counter must not be masked by a sibling's
+	// legitimate update.
+	tr := testTree(1 << 16)
+	tr.Update(8, 1, 0)
+	tr.Update(9, 1, 0) // same counter block as 8
+	tr.DropCache()
+	tr.TamperCounter(8, 1234)
+	if _, err := tr.Verify(9, sim.Microsecond); !errors.Is(err, ErrTampered) {
+		t.Fatalf("sibling tampering not detected: %v", err)
+	}
+}
+
+func TestRootChangesWithUpdates(t *testing.T) {
+	tr := testTree(1 << 12)
+	r0 := tr.Root()
+	tr.Update(5, 1, 0)
+	r1 := tr.Root()
+	if r0 == r1 {
+		t.Fatal("root unchanged by update")
+	}
+	tr.Update(5, 2, 0)
+	if tr.Root() == r1 {
+		t.Fatal("root unchanged by counter bump")
+	}
+}
+
+func TestHonestStateAlwaysVerifies(t *testing.T) {
+	check := func(seed uint64) bool {
+		tr := testTree(1 << 14)
+		r := xrand.New(seed)
+		lines := make([]uint64, 0, 50)
+		counters := map[uint64]uint64{}
+		for i := 0; i < 200; i++ {
+			line := r.Uint64n(1 << 14)
+			counters[line]++
+			tr.Update(line, counters[line], sim.Time(i)*sim.Microsecond)
+			lines = append(lines, line)
+		}
+		tr.DropCache()
+		for _, line := range lines {
+			if _, err := tr.Verify(line, sim.Second); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheShortensWalks(t *testing.T) {
+	cfg := DefaultConfig(1 << 20)
+	cfg.NodeCacheBytes = 1 << 20 // large cache
+	tr := New(cfg)
+	tr.Update(1000, 1, 0)
+	fetchesAfterUpdate := tr.Stats.NodeFetches
+	// Verifying a line sharing ancestry should stop at a cached node
+	// quickly instead of walking to the root.
+	tr.Update(1001, 1, sim.Microsecond) // same block: all nodes cached
+	if tr.Stats.NodeFetches != fetchesAfterUpdate {
+		t.Fatalf("sibling update re-fetched nodes: %d -> %d",
+			fetchesAfterUpdate, tr.Stats.NodeFetches)
+	}
+	if _, err := tr.Verify(1000, 2*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.CacheHits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestVerifyColdWalkCostsPerLevel(t *testing.T) {
+	cfg := DefaultConfig(1 << 20) // depth 6
+	cfg.NodeCacheBytes = 64       // effectively no cache
+	tr := New(cfg)
+	tr.Update(0, 1, 0)
+	tr.DropCache()
+	lat, err := tr.Verify(0, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold walk: counter block + up to depth nodes, each a fetch + hash.
+	min := cfg.NVMMReadLatency + cfg.HashLatency
+	if lat < min {
+		t.Fatalf("cold verify lat %v below one level's cost", lat)
+	}
+}
+
+func BenchmarkTreeUpdate(b *testing.B) {
+	tr := New(DefaultConfig(1 << 20))
+	for i := 0; i < b.N; i++ {
+		tr.Update(uint64(i)&0xFFFF, uint64(i), sim.Time(i))
+	}
+}

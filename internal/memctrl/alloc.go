@@ -1,0 +1,87 @@
+package memctrl
+
+import "fmt"
+
+// Allocator hands out physical data lines for unique content. Freed lines
+// are recycled in LIFO order.
+type Allocator struct {
+	next  uint64
+	limit uint64
+	free  []uint64
+	live  uint64
+}
+
+// NewAllocator creates an allocator over [0, limit) physical lines.
+func NewAllocator(limit uint64) *Allocator {
+	return &Allocator{limit: limit}
+}
+
+// Alloc returns a free physical line. It panics when the device is truly
+// full, which indicates a capacity-planning bug in the experiment.
+func (a *Allocator) Alloc() uint64 {
+	a.live++
+	if n := len(a.free); n > 0 {
+		addr := a.free[n-1]
+		a.free = a.free[:n-1]
+		return addr
+	}
+	if a.next >= a.limit {
+		panic(fmt.Sprintf("memctrl: physical space exhausted (%d lines)", a.limit))
+	}
+	addr := a.next
+	a.next++
+	return addr
+}
+
+// Free returns a line to the pool.
+func (a *Allocator) Free(addr uint64) {
+	if a.live == 0 {
+		panic("memctrl: Free without matching Alloc")
+	}
+	a.live--
+	a.free = append(a.free, addr)
+}
+
+// Live reports the number of allocated lines.
+func (a *Allocator) Live() uint64 { return a.live }
+
+// HighWater reports how many distinct lines have ever been allocated.
+func (a *Allocator) HighWater() uint64 { return a.next }
+
+// RefStore tracks per-physical-line reference counts for deduplicating
+// schemes: how many logical addresses currently map to each physical line.
+type RefStore struct {
+	refs map[uint64]uint32
+}
+
+// NewRefStore returns an empty reference store.
+func NewRefStore() *RefStore {
+	return &RefStore{refs: make(map[uint64]uint32)}
+}
+
+// Inc increments the reference count of phys and returns the new count.
+func (r *RefStore) Inc(phys uint64) uint32 {
+	r.refs[phys]++
+	return r.refs[phys]
+}
+
+// Dec decrements the reference count of phys and reports whether the line
+// became unreferenced (and was removed from the store).
+func (r *RefStore) Dec(phys uint64) bool {
+	c, ok := r.refs[phys]
+	if !ok {
+		panic("memctrl: Dec of untracked physical line")
+	}
+	if c <= 1 {
+		delete(r.refs, phys)
+		return true
+	}
+	r.refs[phys] = c - 1
+	return false
+}
+
+// Count returns the current reference count of phys.
+func (r *RefStore) Count(phys uint64) uint32 { return r.refs[phys] }
+
+// Lines returns the number of referenced physical lines.
+func (r *RefStore) Lines() int { return len(r.refs) }

@@ -1,0 +1,130 @@
+package memctrl
+
+import (
+	"github.com/esdsim/esd/internal/cache"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// amtEntry is the cached mapping value: the physical line backing a
+// logical line, plus a dirty bit for write-back to the NVMM-resident table.
+// mapped=false is a negative entry: the bucket was fetched and the logical
+// line is known to be unmapped, so repeated cold reads stay on-chip.
+type amtEntry struct {
+	phys   uint64
+	mapped bool
+	dirty  bool
+}
+
+// AMT is the Address Mapping Table (§III-B): a many-to-one map from logical
+// line addresses to physical line addresses. The full table lives in NVMM;
+// hot entries are buffered in an SRAM cache inside the memory controller.
+// The cache is write-back: updates dirty the cached entry and only
+// evictions of dirty entries cost an NVMM metadata write, so steady-state
+// remapping traffic is amortized exactly as an on-chip buffer would.
+type AMT struct {
+	env     *Env
+	cache   *cache.Cache[amtEntry]
+	backing map[uint64]uint64
+
+	// NVMMReads and NVMMWrites count metadata traffic to the NVMM-resident
+	// table (cache misses and dirty write-backs).
+	NVMMReads  uint64
+	NVMMWrites uint64
+}
+
+// NewAMT builds an AMT whose SRAM cache holds cacheBytes of entries.
+func NewAMT(env *Env, cacheBytes int) *AMT {
+	entries := cacheBytes / env.Cfg.Meta.AMTEntryBytes
+	if entries < 1 {
+		entries = 1
+	}
+	return &AMT{
+		env:     env,
+		cache:   cache.New[amtEntry](entries, 8, cache.LRU),
+		backing: make(map[uint64]uint64),
+	}
+}
+
+// evict handles a displaced cache entry, writing it back if dirty.
+func (a *AMT) evict(ev cache.Evicted[amtEntry], now sim.Time) {
+	if !ev.Value.dirty {
+		return
+	}
+	a.NVMMWrites++
+	a.env.Device.Write(a.env.MetaLineFor(ev.Key), lineForMeta(ev.Key, ev.Value.phys), now)
+}
+
+// Lookup resolves a logical address, returning the physical address (ok
+// reports whether a mapping exists) and the latency incurred on the
+// critical path: one SRAM probe, plus one NVMM read when the entry is not
+// cached.
+func (a *AMT) Lookup(logical uint64, at sim.Time) (phys uint64, ok bool, lat sim.Time) {
+	lat = a.env.Cfg.Meta.SRAMLatency
+	a.env.ChargeSRAM()
+	if e, hit := a.cache.Get(logical); hit {
+		return e.phys, e.mapped, lat
+	}
+	phys, ok = a.backing[logical]
+	// The miss costs an NVMM metadata read whether or not the entry
+	// exists: the table bucket must be fetched to know. The fetched state
+	// is cached either way (negative caching for unmapped lines).
+	_, _, rr := a.env.Device.Read(a.env.MetaLineFor(logical), at+lat)
+	a.NVMMReads++
+	lat = rr.Done - at
+	if ev, evicted := a.cache.Put(logical, amtEntry{phys: phys, mapped: ok}); evicted {
+		a.evict(ev, at+lat)
+	}
+	return phys, ok, lat
+}
+
+// Update installs or replaces the mapping logical -> phys. The visible
+// latency is one SRAM probe; persistence is deferred to dirty write-back.
+// It returns the previous physical mapping, if any, so the caller can
+// maintain reference counts.
+func (a *AMT) Update(logical, phys uint64, at sim.Time) (prevPhys uint64, hadPrev bool, lat sim.Time) {
+	lat = a.env.Cfg.Meta.SRAMLatency
+	a.env.ChargeSRAM()
+	prevPhys, hadPrev = a.backing[logical]
+	a.backing[logical] = phys
+	if ev, evicted := a.cache.Put(logical, amtEntry{phys: phys, mapped: true, dirty: true}); evicted {
+		a.evict(ev, at+lat)
+	}
+	return prevPhys, hadPrev, lat
+}
+
+// CrashFlush models an eADR-backed power-failure drain (§III-E): every
+// dirty cached entry is written back to the NVMM-resident table, then the
+// volatile cache is dropped. Mappings are never lost because the backing
+// table plus the drained entries are complete.
+func (a *AMT) CrashFlush(now sim.Time) {
+	a.cache.Range(func(key uint64, e amtEntry, _ int) bool {
+		if e.dirty {
+			a.NVMMWrites++
+			a.env.Device.Write(a.env.MetaLineFor(key), lineForMeta(key, e.phys), now)
+		}
+		return true
+	})
+	a.cache.Clear()
+}
+
+// Entries reports the number of mappings in the NVMM-resident table.
+func (a *AMT) Entries() int { return len(a.backing) }
+
+// CacheStats exposes the SRAM cache statistics.
+func (a *AMT) CacheStats() cache.Stats { return a.cache.Stats }
+
+// NVMMBytes reports the NVMM footprint of the table.
+func (a *AMT) NVMMBytes() int64 {
+	return int64(len(a.backing)) * int64(a.env.Cfg.Meta.AMTEntryBytes)
+}
+
+// lineForMeta fabricates deterministic metadata line content so that
+// metadata writes carry real (if synthetic) payloads.
+func lineForMeta(key, value uint64) (l ecc.Line) {
+	for i := 0; i < 8; i++ {
+		l[i] = byte(key >> (8 * i))
+		l[8+i] = byte(value >> (8 * i))
+	}
+	return l
+}

@@ -1,0 +1,303 @@
+package memctrl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/trace"
+)
+
+func testEnv() *Env {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 26 // 64 MiB keeps maps small in tests
+	return NewEnv(cfg)
+}
+
+func TestAllocatorReuseAndExhaustion(t *testing.T) {
+	a := NewAllocator(3)
+	x := a.Alloc()
+	y := a.Alloc()
+	if x == y {
+		t.Fatal("allocator returned duplicate lines")
+	}
+	a.Free(x)
+	if got := a.Alloc(); got != x {
+		t.Fatalf("freed line not reused: got %d, want %d", got, x)
+	}
+	a.Alloc() // third distinct line
+	if a.Live() != 3 {
+		t.Fatalf("live = %d, want 3", a.Live())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted allocator did not panic")
+		}
+	}()
+	a.Alloc()
+}
+
+func TestAllocatorFreeWithoutAllocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free without Alloc did not panic")
+		}
+	}()
+	NewAllocator(10).Free(0)
+}
+
+func TestRefStore(t *testing.T) {
+	r := NewRefStore()
+	if r.Inc(5) != 1 || r.Inc(5) != 2 {
+		t.Fatal("Inc sequence wrong")
+	}
+	if r.Dec(5) {
+		t.Fatal("Dec from 2 reported freed")
+	}
+	if !r.Dec(5) {
+		t.Fatal("Dec from 1 did not report freed")
+	}
+	if r.Count(5) != 0 || r.Lines() != 0 {
+		t.Fatal("freed line still tracked")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dec of untracked line did not panic")
+		}
+	}()
+	r.Dec(99)
+}
+
+func TestMetaLineForStaysInMetadataRegion(t *testing.T) {
+	env := testEnv()
+	total := uint64(env.Cfg.PCM.Lines())
+	for key := uint64(0); key < 10000; key += 7 {
+		line := env.MetaLineFor(key)
+		if line < env.DataLines || line >= total {
+			t.Fatalf("MetaLineFor(%d) = %d outside [%d, %d)", key, line, env.DataLines, total)
+		}
+	}
+}
+
+func TestAMTLookupMissThenHit(t *testing.T) {
+	env := testEnv()
+	amt := NewAMT(env, 1<<16)
+	// Unmapped lookup: miss, costs an NVMM read.
+	_, ok, lat := amt.Lookup(42, 0)
+	if ok {
+		t.Fatal("unmapped logical resolved")
+	}
+	if lat < env.Cfg.PCM.ReadLatency {
+		t.Fatalf("miss latency %v < one NVMM read", lat)
+	}
+	if amt.NVMMReads != 1 {
+		t.Fatalf("NVMMReads = %d", amt.NVMMReads)
+	}
+	// Map and look up: the update caches the entry, so the hit is SRAM-fast.
+	if _, had, _ := amt.Update(42, 1000, 1000*sim.Nanosecond); had {
+		t.Fatal("fresh mapping reported a previous value")
+	}
+	phys, ok, lat := amt.Lookup(42, 2000*sim.Nanosecond)
+	if !ok || phys != 1000 {
+		t.Fatalf("lookup after update = %d, %v", phys, ok)
+	}
+	if lat != env.Cfg.Meta.SRAMLatency {
+		t.Fatalf("cached lookup latency %v, want SRAM %v", lat, env.Cfg.Meta.SRAMLatency)
+	}
+}
+
+func TestAMTUpdateReturnsPrevMapping(t *testing.T) {
+	env := testEnv()
+	amt := NewAMT(env, 1<<16)
+	amt.Update(7, 100, 0)
+	prev, had, _ := amt.Update(7, 200, 0)
+	if !had || prev != 100 {
+		t.Fatalf("prev = %d, had=%v", prev, had)
+	}
+	if amt.Entries() != 1 {
+		t.Fatalf("entries = %d", amt.Entries())
+	}
+	if amt.NVMMBytes() != int64(env.Cfg.Meta.AMTEntryBytes) {
+		t.Fatalf("NVMM bytes = %d", amt.NVMMBytes())
+	}
+}
+
+func TestAMTDirtyWriteBackOnEviction(t *testing.T) {
+	env := testEnv()
+	amt := NewAMT(env, 16*env.Cfg.Meta.AMTEntryBytes) // 16 entries only
+	for i := uint64(0); i < 200; i++ {
+		amt.Update(i, i+1000, sim.Time(i)*sim.Microsecond)
+	}
+	if amt.NVMMWrites == 0 {
+		t.Fatal("dirty evictions produced no NVMM write-backs")
+	}
+	// Backing store remains authoritative for evicted entries.
+	phys, ok, _ := amt.Lookup(0, sim.Time(1)*sim.Millisecond)
+	if !ok || phys != 1000 {
+		t.Fatalf("evicted mapping lost: %d, %v", phys, ok)
+	}
+}
+
+func TestAMTCacheMissAfterEvictionCostsNVMMRead(t *testing.T) {
+	env := testEnv()
+	amt := NewAMT(env, 8*env.Cfg.Meta.AMTEntryBytes)
+	for i := uint64(0); i < 100; i++ {
+		amt.Update(i, i, sim.Time(i)*sim.Microsecond)
+	}
+	before := amt.NVMMReads
+	_, ok, lat := amt.Lookup(0, sim.Millisecond)
+	if !ok {
+		t.Fatal("mapping lost")
+	}
+	if amt.NVMMReads != before+1 {
+		t.Fatal("evicted-entry lookup did not read NVMM")
+	}
+	if lat < env.Cfg.PCM.ReadLatency {
+		t.Fatalf("miss latency %v too small", lat)
+	}
+}
+
+// fakeScheme is a controller test double: identity mapping, fixed latency.
+type fakeScheme struct {
+	env  *Env
+	st   SchemeStats
+	tick int
+	data map[uint64]ecc.Line
+}
+
+func (f *fakeScheme) Name() string { return "fake" }
+func (f *fakeScheme) Write(logical uint64, data *ecc.Line, at sim.Time) WriteOutcome {
+	f.st.Writes++
+	f.st.UniqueWrites++
+	f.data[logical] = *data
+	return WriteOutcome{Done: at + 100*sim.Nanosecond, Breakdown: stats.Breakdown{Media: 100 * sim.Nanosecond}}
+}
+func (f *fakeScheme) Read(logical uint64, at sim.Time) ReadOutcome {
+	f.st.Reads++
+	d, ok := f.data[logical]
+	return ReadOutcome{Done: at + 75*sim.Nanosecond, Data: d, Hit: ok}
+}
+func (f *fakeScheme) Tick(sim.Time)          { f.tick++ }
+func (f *fakeScheme) TickInterval() sim.Time { return sim.Microsecond }
+func (f *fakeScheme) MetadataNVMM() int64    { return 123 }
+func (f *fakeScheme) MetadataSRAM() int64    { return 456 }
+func (f *fakeScheme) Stats() SchemeStats     { return f.st }
+
+func TestControllerRunAggregates(t *testing.T) {
+	env := testEnv()
+	fs := &fakeScheme{env: env, data: map[uint64]ecc.Line{}}
+	c := NewController(env, fs)
+	c.VerifyReads = true
+	recs := []trace.Record{
+		{Op: trace.OpWrite, Addr: 1, At: 0, Data: ecc.Line{1}},
+		{Op: trace.OpRead, Addr: 1, At: 500 * sim.Nanosecond},
+		{Op: trace.OpWrite, Addr: 2, At: 3 * sim.Microsecond, Data: ecc.Line{2}},
+		{Op: trace.OpRead, Addr: 2, At: 4 * sim.Microsecond},
+	}
+	res, err := c.Run(trace.NewSliceStream(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4 || res.Writes != 2 || res.Reads != 2 {
+		t.Fatalf("counts: %+v", res)
+	}
+	if res.WriteHist.Count() != 2 || res.ReadHist.Count() != 2 {
+		t.Fatal("histograms not populated")
+	}
+	if res.WriteHist.Mean() != 100*sim.Nanosecond {
+		t.Fatalf("write mean %v", res.WriteHist.Mean())
+	}
+	if fs.tick < 3 {
+		t.Fatalf("tick ran %d times, want >= 3 (1us interval over 4us)", fs.tick)
+	}
+	if res.MetadataNVMM != 123 || res.MetadataSRAM != 456 {
+		t.Fatal("metadata sizes not propagated")
+	}
+	if res.SumReadLatency != 150*sim.Nanosecond {
+		t.Fatalf("SumReadLatency = %v", res.SumReadLatency)
+	}
+}
+
+func TestControllerVerifyCatchesCorruption(t *testing.T) {
+	env := testEnv()
+	fs := &fakeScheme{env: env, data: map[uint64]ecc.Line{}}
+	c := NewController(env, fs)
+	c.VerifyReads = true
+	recs := []trace.Record{
+		{Op: trace.OpWrite, Addr: 1, At: 0, Data: ecc.Line{1}},
+		{Op: trace.OpWrite, Addr: 1, At: 100, Data: ecc.Line{9}},
+		{Op: trace.OpRead, Addr: 1, At: 200},
+	}
+	// Sabotage the scheme's store between write and read.
+	fs.data[1] = ecc.Line{1} // stale value
+	recs2 := recs[:2]
+	if _, err := c.Run(trace.NewSliceStream(recs2)); err != nil {
+		t.Fatal(err)
+	}
+	fs.data[1] = ecc.Line{1}
+	_, err := c.Run(trace.NewSliceStream([]trace.Record{{Op: trace.OpRead, Addr: 1, At: 300}}))
+	if !errors.Is(err, ErrReadCorruption) {
+		t.Fatalf("corruption not detected: %v", err)
+	}
+}
+
+func TestControllerRejectsRegressedTime(t *testing.T) {
+	env := testEnv()
+	fs := &fakeScheme{env: env, data: map[uint64]ecc.Line{}}
+	c := NewController(env, fs)
+	recs := []trace.Record{
+		{Op: trace.OpWrite, Addr: 1, At: 1000},
+		{Op: trace.OpWrite, Addr: 2, At: 500},
+	}
+	if _, err := c.Run(trace.NewSliceStream(recs)); err == nil ||
+		!strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("time regression not rejected: %v", err)
+	}
+}
+
+func TestIPCModel(t *testing.T) {
+	cpu := config.Default().CPU
+	r := &RunResult{Requests: 10000, SumReadLatency: 10000 * 300 * sim.Nanosecond}
+	ipc := r.IPC(cpu, 10)
+	if ipc <= 0 {
+		t.Fatalf("IPC = %v", ipc)
+	}
+	// Fewer stalls must give higher IPC.
+	r2 := &RunResult{Requests: 10000, SumReadLatency: 10000 * 100 * sim.Nanosecond}
+	if r2.IPC(cpu, 10) <= ipc {
+		t.Fatal("IPC not monotone in read latency")
+	}
+	// Write stalls reduce IPC.
+	r3 := &RunResult{Requests: 10000, SumReadLatency: r.SumReadLatency, SumWriteStall: 10000 * 100 * sim.Nanosecond}
+	if r3.IPC(cpu, 10) >= ipc {
+		t.Fatal("IPC ignores write stalls")
+	}
+	if (&RunResult{}).IPC(cpu, 10) != 0 {
+		t.Fatal("empty result IPC != 0")
+	}
+}
+
+func TestWriteReductionVs(t *testing.T) {
+	base := &RunResult{DataWrites: 1000}
+	r := &RunResult{DataWrites: 500}
+	if wr := r.WriteReductionVs(base); wr != 0.5 {
+		t.Fatalf("write reduction = %v", wr)
+	}
+	if (&RunResult{}).WriteReductionVs(&RunResult{}) != 0 {
+		t.Fatal("zero baseline not handled")
+	}
+}
+
+func TestSchemeStatsDedupRate(t *testing.T) {
+	s := SchemeStats{Writes: 100, DedupWrites: 25}
+	if s.DedupRate() != 0.25 {
+		t.Fatalf("dedup rate = %v", s.DedupRate())
+	}
+	if (SchemeStats{}).DedupRate() != 0 {
+		t.Fatal("empty dedup rate != 0")
+	}
+}

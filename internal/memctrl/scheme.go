@@ -1,0 +1,228 @@
+// Package memctrl models the CPU-side memory controller in which every
+// deduplication scheme lives (§III-A: ESD "locates inside the memory
+// controller on the CPU-side"). It provides:
+//
+//   - the Scheme interface implemented by Baseline, Dedup_SHA1, DeWrite
+//     (package dedup) and ESD (package core);
+//   - the shared machinery those schemes compose: the Address Mapping
+//     Table (AMT) with an SRAM hot-entry cache backed by NVMM, a physical
+//     line allocator with reference counting, and the controller front-end
+//     pipeline whose occupancy creates the cascade blocking the paper
+//     attributes to expensive fingerprints;
+//   - the Controller that replays a trace through a scheme and collects
+//     the latency, energy, endurance and breakdown metrics behind the
+//     paper's figures.
+package memctrl
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/crypto"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/integrity"
+	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// WriteOutcome reports how a scheme handled one dirty-eviction write.
+type WriteOutcome struct {
+	// Done is the CPU-visible completion time of the write path.
+	Done sim.Time
+	// Breakdown decomposes the write latency (Fig. 17 components).
+	Breakdown stats.Breakdown
+	// Deduplicated reports whether the line was eliminated.
+	Deduplicated bool
+	// PhysAddr is the physical line that now backs the logical address.
+	PhysAddr uint64
+}
+
+// ReadOutcome reports how a scheme served one demand read.
+type ReadOutcome struct {
+	// Done is when decrypted data is available.
+	Done sim.Time
+	// Data is the plaintext line content (zero line for cold reads).
+	Data ecc.Line
+	// Hit reports whether the logical address had ever been written.
+	Hit bool
+}
+
+// SchemeStats counts scheme-level events; not every field is meaningful
+// for every scheme.
+type SchemeStats struct {
+	Writes       uint64
+	Reads        uint64
+	UniqueWrites uint64 // lines actually written to NVMM
+	DedupWrites  uint64 // lines eliminated by deduplication
+
+	FPCacheHits   uint64
+	FPCacheMisses uint64
+	FPNVMMLookups uint64 // fingerprint fetches from NVMM (full dedup only)
+	DupByCache    uint64 // duplicates detected via the on-chip FP cache
+	DupByNVMM     uint64 // duplicates detected via NVMM-resident fingerprints
+
+	CompareReads      uint64 // candidate-line reads for byte comparison
+	CompareMismatches uint64 // fingerprint collisions caught by comparison
+
+	PredDup           uint64 // DeWrite: predicted-duplicate writes
+	PredUnique        uint64 // DeWrite: predicted-unique writes
+	Mispredicts       uint64 // DeWrite: wrong predictions
+	WastedEncryptions uint64 // DeWrite: speculative encryptions discarded
+
+	ReferHOverflows uint64 // ESD: reference counts that exceeded referH
+}
+
+// Sub returns s minus base, field-wise; used to discard warm-up activity.
+func (s SchemeStats) Sub(base SchemeStats) SchemeStats {
+	return SchemeStats{
+		Writes:            s.Writes - base.Writes,
+		Reads:             s.Reads - base.Reads,
+		UniqueWrites:      s.UniqueWrites - base.UniqueWrites,
+		DedupWrites:       s.DedupWrites - base.DedupWrites,
+		FPCacheHits:       s.FPCacheHits - base.FPCacheHits,
+		FPCacheMisses:     s.FPCacheMisses - base.FPCacheMisses,
+		FPNVMMLookups:     s.FPNVMMLookups - base.FPNVMMLookups,
+		DupByCache:        s.DupByCache - base.DupByCache,
+		DupByNVMM:         s.DupByNVMM - base.DupByNVMM,
+		CompareReads:      s.CompareReads - base.CompareReads,
+		CompareMismatches: s.CompareMismatches - base.CompareMismatches,
+		PredDup:           s.PredDup - base.PredDup,
+		PredUnique:        s.PredUnique - base.PredUnique,
+		Mispredicts:       s.Mispredicts - base.Mispredicts,
+		WastedEncryptions: s.WastedEncryptions - base.WastedEncryptions,
+		ReferHOverflows:   s.ReferHOverflows - base.ReferHOverflows,
+	}
+}
+
+// DedupRate returns the fraction of writes eliminated.
+func (s SchemeStats) DedupRate() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.DedupWrites) / float64(s.Writes)
+}
+
+// Scheme is a write-path deduplication/encryption policy living in the
+// memory controller.
+type Scheme interface {
+	// Name identifies the scheme ("baseline", "dedup-sha1", "dewrite",
+	// "esd").
+	Name() string
+	// Write handles a dirty LLC eviction arriving at `at`.
+	Write(logical uint64, data *ecc.Line, at sim.Time) WriteOutcome
+	// Read serves a demand read arriving at `at`.
+	Read(logical uint64, at sim.Time) ReadOutcome
+	// Tick performs periodic maintenance (e.g. ESD's LRCU refresh);
+	// the controller calls it on the scheme's TickInterval.
+	Tick(now sim.Time)
+	// TickInterval returns the maintenance period (0 = no maintenance).
+	TickInterval() sim.Time
+	// MetadataNVMM returns the bytes of scheme metadata resident in NVMM
+	// (fingerprint stores, AMT backing); used by Fig. 19.
+	MetadataNVMM() int64
+	// MetadataSRAM returns the bytes of on-chip metadata cache in use.
+	MetadataSRAM() int64
+	// Stats returns the scheme's event counters.
+	Stats() SchemeStats
+}
+
+// Crasher is implemented by schemes that support simulated power failure:
+// Crash drains eADR-protected dirty metadata to NVMM and discards all
+// volatile SRAM state (fingerprint caches, predictors, hot-entry caches).
+// Data must remain fully readable afterwards — the property §III-E argues
+// for ESD, which keeps no fingerprint state that needs recovery at all.
+type Crasher interface {
+	Crash(now sim.Time)
+}
+
+// Env bundles the shared hardware a scheme operates on. One Env must be
+// used by exactly one scheme instance.
+type Env struct {
+	Cfg    config.Config
+	Device *nvm.Device
+	Crypto *crypto.Engine
+	// Frontend is the controller's processing pipeline. Serial compute
+	// (hashing, probes) reserves it, so an expensive fingerprint on one
+	// write delays every queued request behind it (cascade blocking).
+	Frontend sim.Resource
+	// Energy accumulates scheme-side energy; media energy is accounted by
+	// the device.
+	Energy stats.EnergyLedger
+
+	// Integrity, when non-nil, is the Merkle counter tree authenticating
+	// encryption counters (config.Crypto.IntegrityEnabled).
+	Integrity *integrity.Tree
+
+	// Address space layout: data lines occupy [0, DataLines); metadata
+	// structures hash into [DataLines, total lines).
+	DataLines uint64
+	metaLines uint64
+}
+
+// NewEnv builds an Env from a validated config. A quarter of the device is
+// reserved for metadata structures, mirroring the generous worst case of
+// full-dedup schemes (§II-B: up to 25% overhead).
+func NewEnv(cfg config.Config) *Env {
+	total := uint64(cfg.PCM.Lines())
+	meta := total / 4
+	e := &Env{
+		Cfg:       cfg,
+		Device:    nvm.New(cfg.PCM),
+		Crypto:    crypto.NewEngineFromSeed(cfg.Seed),
+		DataLines: total - meta,
+		metaLines: meta,
+	}
+	if cfg.Crypto.IntegrityEnabled {
+		e.Integrity = integrity.New(integrity.DefaultConfig(e.DataLines))
+	}
+	return e
+}
+
+// IntegrityUpdate refreshes the counter tree after a write to phys (no-op
+// without integrity). The returned latency is off the critical write path
+// (eADR-protected), but is reported so schemes can account it as metadata
+// work.
+func (e *Env) IntegrityUpdate(phys, counter uint64, at sim.Time) sim.Time {
+	if e.Integrity == nil {
+		return 0
+	}
+	before := e.Integrity.Stats.HashOps
+	lat := e.Integrity.Update(phys, counter, at)
+	e.Energy.Fingerprint += float64(e.Integrity.Stats.HashOps-before) * 0.9
+	return lat
+}
+
+// IntegrityVerify authenticates phys's counter before a read's plaintext
+// may be released (no-op without integrity). Tampering is a model
+// invariant violation and panics.
+func (e *Env) IntegrityVerify(phys uint64, at sim.Time) sim.Time {
+	if e.Integrity == nil {
+		return 0
+	}
+	before := e.Integrity.Stats.HashOps
+	lat, err := e.Integrity.Verify(phys, at)
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: %v at line %d", err, phys))
+	}
+	e.Energy.Fingerprint += float64(e.Integrity.Stats.HashOps-before) * 0.9
+	return lat
+}
+
+// MetaLineFor maps a metadata key (e.g. a fingerprint or an AMT bucket) to
+// a line address inside the metadata region.
+func (e *Env) MetaLineFor(key uint64) uint64 {
+	if e.metaLines == 0 {
+		return e.DataLines
+	}
+	key = (key ^ (key >> 33)) * 0xFF51AFD7ED558CCD
+	key ^= key >> 33
+	return e.DataLines + key%e.metaLines
+}
+
+// ChargeSRAM charges one metadata-SRAM probe (latency is composed by the
+// caller; energy lands in the ledger).
+func (e *Env) ChargeSRAM() { e.Energy.SRAM += e.Cfg.Meta.SRAMEnergy }
+
+// ChargeCompare charges one byte-by-byte line comparison.
+func (e *Env) ChargeCompare() { e.Energy.Compare += e.Cfg.FP.CompareEnery }

@@ -1,0 +1,315 @@
+// Package nvm models the PCM-based non-volatile main memory device: the
+// functional backing store (what every line currently holds), the timing
+// behaviour of its banks (75 ns reads, 150 ns writes, per-bank queues with
+// read priority over posted writes), per-line wear counters for endurance
+// studies, and a media energy meter.
+//
+// The model follows the structure of NVMain's PCM backend at the level the
+// paper's evaluation depends on: requests interleave over independent
+// banks, writes are posted into a bounded per-bank write queue that drains
+// when the bank is idle, and demand reads bypass queued writes. Reduced
+// write traffic therefore directly shortens read queueing delay — the
+// effect behind the paper's read speedups (§IV-C).
+package nvm
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// pendingWrite is a posted write waiting for its bank.
+type pendingWrite struct {
+	enq sim.Time
+}
+
+// bank tracks the timing state of one PCM bank.
+type bank struct {
+	busyUntil sim.Time
+	busy      sim.Time // accumulated service time
+	writeQ    []pendingWrite
+	// openLine is the line currently latched in the row buffer; repeated
+	// reads of it are row hits and bypass the full media read.
+	openLine uint64
+	hasOpen  bool
+}
+
+// drainTo opportunistically services queued writes during idle time before
+// now, stopping as soon as the bank is busy at or past now.
+func (b *bank) drainTo(now sim.Time, tWrite sim.Time) int {
+	served := 0
+	for len(b.writeQ) > 0 && b.busyUntil < now {
+		w := b.writeQ[0]
+		start := b.busyUntil
+		if w.enq > start {
+			start = w.enq
+		}
+		if start >= now {
+			break
+		}
+		b.writeQ = b.writeQ[1:]
+		b.busyUntil = start + tWrite
+		b.busy += tWrite
+		served++
+	}
+	return served
+}
+
+// ReadResult reports the timing of a demand read.
+type ReadResult struct {
+	// Start is when the bank began servicing the read.
+	Start sim.Time
+	// Done is when the data is available at the controller (media + bus).
+	Done sim.Time
+	// QueueDelay is Start minus submission time.
+	QueueDelay sim.Time
+}
+
+// WriteResult reports the timing of a posted write.
+type WriteResult struct {
+	// AcceptedAt is when the write entered the bank's write queue; it
+	// equals the submission time unless the queue was full.
+	AcceptedAt sim.Time
+	// Stall is AcceptedAt minus submission time (back-pressure).
+	Stall sim.Time
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	RowHits        uint64
+	ReadQueueTime  sim.Time
+	WriteStallTime sim.Time
+	MediaEnergy    float64 // nJ
+}
+
+// Device is the PCM device. It is not safe for concurrent use.
+type Device struct {
+	cfg   config.PCM
+	banks []bank
+	data  map[uint64]ecc.Line
+	wear  map[uint64]uint64
+
+	Stats Stats
+}
+
+// New constructs a device from cfg. It panics on an invalid configuration;
+// validation belongs to config.Config.Validate.
+func New(cfg config.PCM) *Device {
+	if cfg.Banks <= 0 {
+		panic("nvm: need at least one bank")
+	}
+	return &Device{
+		cfg:   cfg,
+		banks: make([]bank, cfg.Banks),
+		data:  make(map[uint64]ecc.Line),
+		wear:  make(map[uint64]uint64),
+	}
+}
+
+// Lines returns the device capacity in cache lines.
+func (d *Device) Lines() int64 { return d.cfg.Lines() }
+
+func (d *Device) bankOf(addr uint64) *bank {
+	return &d.banks[addr%uint64(len(d.banks))]
+}
+
+func (d *Device) checkAddr(addr uint64) {
+	if int64(addr) >= d.cfg.Lines() {
+		panic(fmt.Sprintf("nvm: line address %d beyond capacity (%d lines)", addr, d.cfg.Lines()))
+	}
+}
+
+// Read performs a timed demand read of line addr. The returned line is the
+// current content (zero line if never written; ok reports which).
+func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
+	d.checkAddr(addr)
+	b := d.bankOf(addr)
+	b.drainTo(now, d.cfg.WriteLatency)
+	// Write-drain policy: a queue at or above the high watermark forces
+	// the bank to retire writes down to the low watermark before this
+	// read is served.
+	if d.cfg.DrainHigh > 0 && len(b.writeQ) >= d.cfg.DrainHigh {
+		for len(b.writeQ) > d.cfg.DrainLow {
+			w := b.writeQ[0]
+			b.writeQ = b.writeQ[1:]
+			start := b.busyUntil
+			if w.enq > start {
+				start = w.enq
+			}
+			if now > start {
+				start = now
+			}
+			b.busyUntil = start + d.cfg.WriteLatency
+			b.busy += d.cfg.WriteLatency
+		}
+	}
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	lat := d.cfg.ReadLatency
+	if b.hasOpen && b.openLine == addr && d.cfg.RowHitLatency > 0 {
+		lat = d.cfg.RowHitLatency
+		d.Stats.RowHits++
+	}
+	b.openLine, b.hasOpen = addr, true
+	b.busyUntil = start + lat
+	b.busy += lat
+	res := ReadResult{
+		Start:      start,
+		Done:       b.busyUntil + d.cfg.BusLatency,
+		QueueDelay: start - now,
+	}
+	d.Stats.Reads++
+	d.Stats.ReadQueueTime += res.QueueDelay
+	d.Stats.MediaEnergy += d.cfg.ReadEnergy
+	line, ok := d.data[addr]
+	return line, ok, res
+}
+
+// Write performs a timed posted write of line to addr. The functional state
+// updates immediately; the media operation drains from the bank's write
+// queue in the background. If the queue is full the writer stalls until the
+// bank frees a slot.
+func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
+	d.checkAddr(addr)
+	b := d.bankOf(addr)
+	b.drainTo(now, d.cfg.WriteLatency)
+	ack := now
+	// Full queue: force-drain the oldest writes until a slot frees; the
+	// writer observes the completion time of the last forced drain.
+	for len(b.writeQ) >= d.cfg.WriteQueueDepth {
+		w := b.writeQ[0]
+		b.writeQ = b.writeQ[1:]
+		start := b.busyUntil
+		if w.enq > start {
+			start = w.enq
+		}
+		if ack > start {
+			start = ack
+		}
+		b.busyUntil = start + d.cfg.WriteLatency
+		b.busy += d.cfg.WriteLatency
+		ack = b.busyUntil
+	}
+	b.writeQ = append(b.writeQ, pendingWrite{enq: ack})
+	// A write to the open line invalidates the row buffer (the queued
+	// media write will re-open its own row later).
+	if b.hasOpen && b.openLine == addr {
+		b.hasOpen = false
+	}
+	d.data[addr] = line
+	d.wear[addr]++
+	d.Stats.Writes++
+	d.Stats.MediaEnergy += d.cfg.WriteEnergy
+	res := WriteResult{AcceptedAt: ack, Stall: ack - now}
+	d.Stats.WriteStallTime += res.Stall
+	return res
+}
+
+// Flush drains every queued write, returning the time the device goes idle
+// (at least now).
+func (d *Device) Flush(now sim.Time) sim.Time {
+	idle := now
+	for i := range d.banks {
+		b := &d.banks[i]
+		for len(b.writeQ) > 0 {
+			w := b.writeQ[0]
+			b.writeQ = b.writeQ[1:]
+			start := b.busyUntil
+			if w.enq > start {
+				start = w.enq
+			}
+			if now > start {
+				start = now
+			}
+			b.busyUntil = start + d.cfg.WriteLatency
+			b.busy += d.cfg.WriteLatency
+		}
+		if b.busyUntil > idle {
+			idle = b.busyUntil
+		}
+	}
+	return idle
+}
+
+// Load returns the functional content of addr without timing side effects.
+func (d *Device) Load(addr uint64) (ecc.Line, bool) {
+	d.checkAddr(addr)
+	l, ok := d.data[addr]
+	return l, ok
+}
+
+// Store updates the functional content of addr without timing side effects
+// (used to pre-populate state during warm-up).
+func (d *Device) Store(addr uint64, line ecc.Line) {
+	d.checkAddr(addr)
+	d.data[addr] = line
+}
+
+// LinesWritten reports how many distinct lines hold data.
+func (d *Device) LinesWritten() int { return len(d.data) }
+
+// WearOf returns the write count of addr.
+func (d *Device) WearOf(addr uint64) uint64 { return d.wear[addr] }
+
+// WearSummary summarizes per-line wear for endurance analysis.
+type WearSummary struct {
+	TotalWrites  uint64
+	LinesTouched int
+	MaxWear      uint64
+	MeanWear     float64
+	// P99Wear is the 99th-percentile per-line write count.
+	P99Wear uint64
+}
+
+// Wear computes the device wear summary.
+func (d *Device) Wear() WearSummary {
+	var s WearSummary
+	if len(d.wear) == 0 {
+		return s
+	}
+	counts := make([]uint64, 0, len(d.wear))
+	for _, c := range d.wear {
+		counts = append(counts, c)
+		s.TotalWrites += c
+		if c > s.MaxWear {
+			s.MaxWear = c
+		}
+	}
+	s.LinesTouched = len(counts)
+	s.MeanWear = float64(s.TotalWrites) / float64(len(counts))
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	s.P99Wear = counts[len(counts)*99/100]
+	return s
+}
+
+// Utilization reports mean bank utilization over [0, horizon].
+func (d *Device) Utilization(horizon sim.Time) float64 {
+	if horizon <= 0 || len(d.banks) == 0 {
+		return 0
+	}
+	var busy sim.Time
+	for i := range d.banks {
+		busy += d.banks[i].busy
+	}
+	u := float64(busy) / float64(int64(horizon)*int64(len(d.banks)))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// QueuedWrites reports the total number of writes currently queued.
+func (d *Device) QueuedWrites() int {
+	n := 0
+	for i := range d.banks {
+		n += len(d.banks[i].writeQ)
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func TestStartGapMappingIsBijective(t *testing.T) {
+	check := func(seed uint64, nRaw uint8, moves uint8) bool {
+		n := uint64(nRaw%60) + 2
+		sg := NewStartGap(n, 1)
+		// Apply a random number of gap moves.
+		for i := 0; i < int(moves); i++ {
+			sg.OnWrite()
+		}
+		seen := map[uint64]bool{}
+		for la := uint64(0); la < n; la++ {
+			pa := sg.Map(la)
+			if pa >= sg.Slots() {
+				return false
+			}
+			if pa == sg.GapSlot() {
+				return false // mapped onto the hole
+			}
+			if seen[pa] {
+				return false // collision
+			}
+			seen[pa] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartGapMoveSequencePreservesData(t *testing.T) {
+	// Simulate the data movements literally on a slot array and verify
+	// every logical line's content survives arbitrary numbers of moves.
+	const n = 16
+	sg := NewStartGap(n, 1)
+	slots := make([]uint64, sg.Slots())
+	const hole = ^uint64(0)
+	for i := range slots {
+		slots[i] = hole
+	}
+	// Fill: logical line la holds value 1000+la.
+	for la := uint64(0); la < n; la++ {
+		slots[sg.Map(la)] = 1000 + la
+	}
+	for step := 0; step < 5*n*(n+1); step++ {
+		if m, due := sg.OnWrite(); due {
+			if slots[m.To] != hole {
+				t.Fatalf("step %d: move target %d not the hole", step, m.To)
+			}
+			slots[m.To] = slots[m.From]
+			slots[m.From] = hole
+		}
+		for la := uint64(0); la < n; la++ {
+			if got := slots[sg.Map(la)]; got != 1000+la {
+				t.Fatalf("step %d: line %d reads %d", step, la, got)
+			}
+		}
+	}
+	if sg.Moves == 0 {
+		t.Fatal("no gap moves happened")
+	}
+}
+
+func TestStartGapPsiThrottlesMoves(t *testing.T) {
+	sg := NewStartGap(8, 10)
+	moves := 0
+	for i := 0; i < 100; i++ {
+		if _, due := sg.OnWrite(); due {
+			moves++
+		}
+	}
+	if moves != 10 {
+		t.Fatalf("100 writes at psi=10 produced %d moves, want 10", moves)
+	}
+}
+
+func TestStartGapPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zeroLines": func() { NewStartGap(0, 1) },
+		"zeroPsi":   func() { NewStartGap(4, 0) },
+		"mapRange":  func() { NewStartGap(4, 1).Map(4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLeveledDeviceRoundTrip(t *testing.T) {
+	cfg := testCfg()
+	dev := New(cfg)
+	ld := NewLeveledDevice(dev, 1024, 4)
+	r := xrand.New(5)
+	want := map[uint64]ecc.Line{}
+	now := sim.Time(0)
+	for i := 0; i < 3000; i++ {
+		la := r.Uint64n(1024)
+		var l ecc.Line
+		l.SetWord(0, r.Uint64())
+		l.SetWord(1, la)
+		ld.Write(la, l, now)
+		want[la] = l
+		now += 200 * sim.Nanosecond
+	}
+	for la, w := range want {
+		got, ok, _ := ld.Read(la, now)
+		if !ok || got != w {
+			t.Fatalf("line %d lost through wear leveling", la)
+		}
+	}
+	if ld.Leveler().Moves == 0 {
+		t.Fatal("no gap moves during 3000 writes at psi=4")
+	}
+}
+
+func TestLeveledDeviceSpreadsWear(t *testing.T) {
+	// One pathological workload: hammer a single logical line. Without
+	// leveling the one physical cell takes all writes; with Start-Gap the
+	// writes sweep across slots as the mapping rotates.
+	cfg := testCfg()
+	dev := New(cfg)
+	const lines, psi, writes = 64, 2, 20000
+	ld := NewLeveledDevice(dev, lines, psi)
+	var l ecc.Line
+	now := sim.Time(0)
+	for i := 0; i < writes; i++ {
+		l.SetWord(0, uint64(i))
+		ld.Write(7, l, now)
+		now += 200 * sim.Nanosecond
+	}
+	w := dev.Wear()
+	// writes + move traffic all land on the device; max wear must be far
+	// below the total (the hot line visited many slots).
+	if w.MaxWear >= writes/2 {
+		t.Fatalf("max wear %d of %d writes: wear not levelled", w.MaxWear, writes)
+	}
+	if w.LinesTouched < lines/2 {
+		t.Fatalf("only %d slots touched", w.LinesTouched)
+	}
+}
+
+func TestLeveledDeviceNeedsSpareSlot(t *testing.T) {
+	cfg := testCfg()
+	dev := New(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Start-Gap accepted")
+		}
+	}()
+	NewLeveledDevice(dev, uint64(dev.Lines()), 4)
+}

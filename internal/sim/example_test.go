@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// A resource serializes reservations: the second request queues behind the
+// first, exactly how a PCM bank or a hash unit behaves.
+func ExampleResource_Reserve() {
+	var hashUnit sim.Resource
+
+	start1, end1 := hashUnit.Reserve(0, 321*sim.Nanosecond)
+	start2, _ := hashUnit.Reserve(10*sim.Nanosecond, 321*sim.Nanosecond)
+
+	fmt.Println(start1, end1)
+	fmt.Println("second waits:", start2-10*sim.Nanosecond)
+	// Output:
+	// 0ps 321ns
+	// second waits: 311ns
+}
+
+// The kernel runs events in time order with deterministic FIFO ties.
+func ExampleKernel() {
+	k := sim.NewKernel()
+	k.At(20*sim.Nanosecond, func(*sim.Kernel) { fmt.Println("second") })
+	k.At(10*sim.Nanosecond, func(kk *sim.Kernel) {
+		fmt.Println("first at", kk.Now())
+	})
+	k.Run()
+	// Output:
+	// first at 10ns
+	// second
+}

@@ -1,0 +1,194 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used to drive the NVMM system model.
+//
+// Time is measured in integer picoseconds so that sub-nanosecond device
+// parameters (SRAM probes, bus transfers) never lose precision to rounding.
+// Helper constants make construction readable: 75*sim.Nanosecond.
+//
+// The kernel is intentionally single-threaded: events execute in strictly
+// non-decreasing time order, with FIFO ordering among events scheduled for
+// the same instant, so simulations are bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a floating-point nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports t as a floating-point second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// Event is a scheduled callback. The callback receives the kernel so it can
+// schedule follow-up events.
+type Event struct {
+	at   Time
+	seq  uint64
+	fire func(*Kernel)
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop. The zero value is ready to use.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fire to run at absolute time at. Scheduling in the past
+// panics: it indicates a causality bug in the model.
+func (k *Kernel) At(at Time, fire func(*Kernel)) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before now %v", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &Event{at: at, seq: k.seq, fire: fire})
+}
+
+// After schedules fire to run d after the current time.
+func (k *Kernel) After(d Time, fire func(*Kernel)) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now+d, fire)
+}
+
+// Every schedules fire to run periodically with the given period, starting
+// one period from now, until the kernel drains or stop returns true.
+func (k *Kernel) Every(period Time, fire func(*Kernel) (stop bool)) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	var tick func(*Kernel)
+	tick = func(kk *Kernel) {
+		if fire(kk) {
+			return
+		}
+		kk.After(period, tick)
+	}
+	k.After(period, tick)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.at
+	e.fire(k)
+	return true
+}
+
+// Run executes events until none remain.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to deadline. Events scheduled beyond the deadline stay pending.
+func (k *Kernel) RunUntil(deadline Time) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// Resource models a single server that processes reservations back to back,
+// e.g. one NVM bank or a hash unit. Reservations are not preemptible.
+type Resource struct {
+	// FreeAt is the earliest time the resource can begin a new reservation.
+	FreeAt Time
+	// Busy accumulates total occupied time, for utilization accounting.
+	Busy Time
+}
+
+// Reserve books the resource for dur starting no earlier than at, and
+// returns the reservation's start and end times. The queueing delay
+// experienced by the caller is start - at.
+func (r *Resource) Reserve(at Time, dur Time) (start, end Time) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative reservation %v", dur))
+	}
+	start = at
+	if r.FreeAt > start {
+		start = r.FreeAt
+	}
+	end = start + dur
+	r.FreeAt = end
+	r.Busy += dur
+	return start, end
+}
+
+// Utilization reports the fraction of [0, horizon] the resource was busy.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(r.Busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500 * Picosecond:  "500ps",
+		75 * Nanosecond:   "75ns",
+		2 * Microsecond:   "2us",
+		15 * Millisecond:  "15ms",
+		3 * Second:        "3s",
+		1500 * Nanosecond: "1.5us",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestKernelRunsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.At(30*Nanosecond, func(*Kernel) { order = append(order, 3) })
+	k.At(10*Nanosecond, func(*Kernel) { order = append(order, 1) })
+	k.At(20*Nanosecond, func(*Kernel) { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v", order)
+	}
+	if k.Now() != 30*Nanosecond {
+		t.Fatalf("final time %v, want 30ns", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5*Nanosecond, func(*Kernel) { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.At(10, func(kk *Kernel) {
+		times = append(times, kk.Now())
+		kk.After(5, func(kk2 *Kernel) {
+			times = append(times, kk2.Now())
+		})
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("nested event times %v", times)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(100, func(kk *Kernel) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		kk.At(50, func(*Kernel) {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	NewKernel().After(-1, func(*Kernel) {})
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	k := NewKernel()
+	ran := 0
+	k.At(10, func(*Kernel) { ran++ })
+	k.At(20, func(*Kernel) { ran++ })
+	k.At(30, func(*Kernel) { ran++ })
+	k.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if k.Now() != 20 {
+		t.Fatalf("Now() = %v after RunUntil(20)", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if ran != 3 {
+		t.Fatalf("Run() after RunUntil: ran = %d, want 3", ran)
+	}
+}
+
+func TestEveryRunsPeriodicallyAndStops(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	k.Every(10, func(kk *Kernel) bool {
+		ticks = append(ticks, kk.Now())
+		return len(ticks) >= 4
+	})
+	k.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestResourceBackToBackReservations(t *testing.T) {
+	var r Resource
+	start, end := r.Reserve(0, 75)
+	if start != 0 || end != 75 {
+		t.Fatalf("first reservation = [%v, %v]", start, end)
+	}
+	// A request arriving while busy queues.
+	start, end = r.Reserve(10, 75)
+	if start != 75 || end != 150 {
+		t.Fatalf("queued reservation = [%v, %v], want [75, 150]", start, end)
+	}
+	// A request arriving after the resource is free starts immediately.
+	start, end = r.Reserve(500, 75)
+	if start != 500 || end != 575 {
+		t.Fatalf("idle reservation = [%v, %v], want [500, 575]", start, end)
+	}
+	if r.Busy != 225 {
+		t.Fatalf("busy time = %v, want 225", r.Busy)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 100)
+	r.Reserve(0, 100)
+	if u := r.Utilization(400); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := r.Utilization(100); u != 1 {
+		t.Fatalf("utilization clamps at 1, got %v", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization with zero horizon = %v", u)
+	}
+}
+
+func TestResourceReservationNeverOverlaps(t *testing.T) {
+	check := func(arrivals []uint16, durs []uint8) bool {
+		var r Resource
+		var lastEnd Time
+		n := len(arrivals)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		at := Time(0)
+		for i := 0; i < n; i++ {
+			at += Time(arrivals[i] % 100)
+			start, end := r.Reserve(at, Time(durs[i]%50)+1)
+			if start < at || start < lastEnd || end != start+Time(durs[i]%50)+1 {
+				return false
+			}
+			lastEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelMassiveEventLoad(t *testing.T) {
+	k := NewKernel()
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		k.At(Time(n-i), func(*Kernel) { count++ })
+	}
+	k.Run()
+	if count != n {
+		t.Fatalf("ran %d events, want %d", count, n)
+	}
+}
+
+func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 1000; j++ {
+			k.At(Time(j%97), func(*Kernel) {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,200 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// BarChart renders grouped horizontal bars as plain text — the terminal
+// equivalent of the paper's per-application bar figures. Series are drawn
+// per label in the given series order, scaled to a shared maximum.
+type BarChart struct {
+	Title  string
+	Unit   string
+	Width  int // bar width in characters (default 40)
+	labels []string
+	series []string
+	values map[string]map[string]float64 // series -> label -> value
+}
+
+// NewBarChart creates an empty chart with the given series names (legend
+// order is preserved).
+func NewBarChart(title, unit string, series ...string) *BarChart {
+	return &BarChart{
+		Title:  title,
+		Unit:   unit,
+		Width:  40,
+		series: series,
+		values: make(map[string]map[string]float64),
+	}
+}
+
+// Set records one value. Labels appear in first-Set order.
+func (c *BarChart) Set(series, label string, value float64) {
+	if c.values[series] == nil {
+		c.values[series] = make(map[string]float64)
+	}
+	if _, known := c.values[series][label]; !known {
+		seen := false
+		for _, l := range c.labels {
+			if l == label {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			c.labels = append(c.labels, label)
+		}
+	}
+	c.values[series][label] = value
+}
+
+// markers are the per-series bar glyphs.
+var markers = []rune{'█', '▓', '▒', '░', '◆', '○'}
+
+// Render writes the chart.
+func (c *BarChart) Render(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, byLabel := range c.values {
+		for _, v := range byLabel {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, l := range c.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	seriesW := 0
+	for _, s := range c.series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for i, s := range c.series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[i%len(markers)], s)
+	}
+	for _, label := range c.labels {
+		for i, s := range c.series {
+			v, ok := c.values[s][label]
+			if !ok {
+				continue
+			}
+			n := int(math.Round(v / max * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			name := ""
+			if i == 0 {
+				name = label
+			}
+			fmt.Fprintf(&sb, "%-*s %-*s %s %.3g%s\n",
+				labelW, name, seriesW, s,
+				strings.Repeat(string(markers[i%len(markers)]), n), v, c.Unit)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders to a string.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	_ = c.Render(&sb)
+	return sb.String()
+}
+
+// RenderCDF draws a set of CDFs as a plain-text scatter grid (latency on
+// the x axis, cumulative fraction on the y axis), one glyph per series —
+// the terminal analogue of the paper's Fig. 15.
+func RenderCDF(w io.Writer, title string, series map[string][]CDFPoint, width, height int) error {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Log-scale x over the pooled latency range.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, pts := range series {
+		for _, p := range pts {
+			ns := p.Latency.Nanoseconds()
+			if ns <= 0 {
+				ns = 0.5
+			}
+			minX = math.Min(minX, ns)
+			maxX = math.Max(maxX, ns)
+		}
+	}
+	if math.IsInf(minX, 1) || maxX <= minX {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return err
+	}
+	logMin, logMax := math.Log10(minX), math.Log10(maxX)
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, name := range names {
+		glyph := markers[si%len(markers)]
+		for _, p := range series[name] {
+			ns := p.Latency.Nanoseconds()
+			if ns <= 0 {
+				ns = 0.5
+			}
+			x := int((math.Log10(ns) - logMin) / (logMax - logMin) * float64(width-1))
+			y := int((1 - p.Frac) * float64(height-1))
+			if x < 0 {
+				x = 0
+			}
+			if x >= width {
+				x = width - 1
+			}
+			if y < 0 {
+				y = 0
+			}
+			if y >= height {
+				y = height - 1
+			}
+			grid[y][x] = glyph
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for si, name := range names {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], name)
+	}
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%5.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&sb, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&sb, "      %-*.3g%*.3g ns (log scale)\n", width/2, minX, width/2, maxX)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

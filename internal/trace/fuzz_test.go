@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText checks that arbitrary text input never panics the parser
+// and that anything it accepts round-trips through WriteText.
+func FuzzParseText(f *testing.F) {
+	f.Add("R 5 1000\n")
+	f.Add("W 6 2000 " + strings.Repeat("ab", 64) + "\n")
+	f.Add("# comment\n\nR 1 2\n")
+	f.Add("X bogus line\n")
+	f.Add("R 99999999999999999999 5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		records, err := ParseText(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, records); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := ParseText(&buf)
+		if err != nil {
+			t.Fatalf("serialized records failed to re-parse: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(records), len(again))
+		}
+		for i := range again {
+			if again[i] != records[i] {
+				t.Fatalf("record %d changed in round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzBinaryReader checks that arbitrary bytes never panic the binary
+// decoder.
+func FuzzBinaryReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Record{Op: OpWrite, Addr: 42, At: 7})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("ESDT\x01"))
+	f.Add([]byte("JUNK"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, input []byte) {
+		r := NewReader(bytes.NewReader(input))
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,382 @@
+// Package trace defines the memory-trace format consumed by the simulator:
+// a time-ordered sequence of last-level-cache events — demand reads and
+// dirty evictions (writes) — each carrying a logical line address and, for
+// writes, the 64-byte line content.
+//
+// The paper's artifact runs on traces generated jointly by gem5 and the
+// SPEC CPU 2017 / PARSEC applications; this package provides the same role
+// with two interchangeable encodings:
+//
+//   - a compact binary format ("ESDT") for bulk simulation input, and
+//   - a line-oriented text format ("R <addr> <ns>" / "W <addr> <ns> <hex>")
+//     for hand-written fixtures and inspection.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// Op is the request type.
+type Op uint8
+
+// Request types.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Record is one trace event.
+type Record struct {
+	Op   Op
+	Addr uint64   // logical line address (line index, not byte address)
+	At   sim.Time // arrival time at the memory controller
+	Data ecc.Line // line content; meaningful only for OpWrite
+}
+
+// Stream yields trace records in time order. Next returns io.EOF when the
+// stream is exhausted.
+type Stream interface {
+	Next() (Record, error)
+}
+
+// SliceStream adapts an in-memory record slice to a Stream.
+type SliceStream struct {
+	records []Record
+	pos     int
+}
+
+// NewSliceStream wraps records (not copied) as a Stream.
+func NewSliceStream(records []Record) *SliceStream {
+	return &SliceStream{records: records}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, error) {
+	if s.pos >= len(s.records) {
+		return Record{}, io.EOF
+	}
+	r := s.records[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// Len returns the total record count.
+func (s *SliceStream) Len() int { return len(s.records) }
+
+// Collect drains a stream into a slice (primarily for tests and tools).
+func Collect(s Stream) ([]Record, error) {
+	var out []Record
+	for {
+		r, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// Limit returns a stream that yields at most n records from s.
+func Limit(s Stream, n int) Stream { return &limitStream{s: s, left: n} }
+
+type limitStream struct {
+	s    Stream
+	left int
+}
+
+func (l *limitStream) Next() (Record, error) {
+	if l.left <= 0 {
+		return Record{}, io.EOF
+	}
+	l.left--
+	return l.s.Next()
+}
+
+// --- binary encoding ---
+
+var magic = [4]byte{'E', 'S', 'D', 'T'}
+
+const formatVersion = 1
+
+// recordSize is the fixed on-disk record size: op(1) + pad(3) + addr(8) +
+// time(8) + data(64).
+const recordSize = 1 + 3 + 8 + 8 + 64
+
+// Writer encodes records to the binary format.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	begun bool
+}
+
+// NewWriter returns a binary trace writer on w. The header is emitted
+// lazily on the first record (or on Close for an empty trace).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (tw *Writer) writeHeader() error {
+	if tw.begun {
+		return nil
+	}
+	tw.begun = true
+	if _, err := tw.w.Write(magic[:]); err != nil {
+		return err
+	}
+	return tw.w.WriteByte(formatVersion)
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	buf[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(buf[4:12], r.Addr)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(r.At))
+	copy(buf[20:], r.Data[:])
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count reports how many records have been written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Close flushes buffered output. It does not close the underlying writer.
+func (tw *Writer) Close() error {
+	if err := tw.writeHeader(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes the binary format as a Stream.
+type Reader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewReader returns a binary trace reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (tr *Reader) readHeader() error {
+	if tr.header {
+		return nil
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: truncated header: %w", io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return fmt.Errorf("trace: unsupported version %d", hdr[4])
+	}
+	tr.header = true
+	return nil
+}
+
+// Next implements Stream.
+func (tr *Reader) Next() (Record, error) {
+	if err := tr.readHeader(); err != nil {
+		return Record{}, err
+	}
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	var r Record
+	r.Op = Op(buf[0])
+	if r.Op != OpRead && r.Op != OpWrite {
+		return Record{}, fmt.Errorf("trace: invalid op %d", buf[0])
+	}
+	r.Addr = binary.LittleEndian.Uint64(buf[4:12])
+	r.At = sim.Time(binary.LittleEndian.Uint64(buf[12:20]))
+	copy(r.Data[:], buf[20:])
+	return r, nil
+}
+
+// --- text encoding ---
+
+// WriteText encodes records in the line-oriented text format:
+//
+//	R <addr> <time-ps>
+//	W <addr> <time-ps> <128 hex digits>
+func WriteText(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		var err error
+		switch r.Op {
+		case OpRead:
+			_, err = fmt.Fprintf(bw, "R %d %d\n", r.Addr, int64(r.At))
+		case OpWrite:
+			_, err = fmt.Fprintf(bw, "W %d %d %s\n", r.Addr, int64(r.At),
+				hex.EncodeToString(r.Data[:]))
+		default:
+			err = fmt.Errorf("trace: invalid op %v", r.Op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseText decodes the text format. Blank lines and lines starting with
+// '#' are ignored.
+func ParseText(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("trace: line %d: want at least 3 fields, got %d", lineNo, len(fields))
+		}
+		var rec Record
+		switch fields[0] {
+		case "R":
+			rec.Op = OpRead
+		case "W":
+			rec.Op = OpWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %w", lineNo, err)
+		}
+		rec.Addr = addr
+		at, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %w", lineNo, err)
+		}
+		rec.At = sim.Time(at)
+		if rec.Op == OpWrite {
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: write needs hex payload", lineNo)
+			}
+			raw, err := hex.DecodeString(fields[3])
+			if err != nil || len(raw) != ecc.LineSize {
+				return nil, fmt.Errorf("trace: line %d: bad payload", lineNo)
+			}
+			copy(rec.Data[:], raw)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Merge interleaves multiple streams into one time-ordered stream (k-way
+// merge by arrival time; ties resolve by stream order). It models
+// multi-programmed workloads sharing one memory controller. The inputs
+// must each be time-ordered; addresses are NOT remapped — use disjoint
+// address regions per input (see workload.Mix).
+func Merge(streams ...Stream) Stream {
+	m := &mergeStream{streams: streams, heads: make([]*Record, len(streams))}
+	return m
+}
+
+type mergeStream struct {
+	streams []Stream
+	heads   []*Record
+	primed  bool
+}
+
+func (m *mergeStream) prime() error {
+	for i, s := range m.streams {
+		rec, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		r := rec
+		m.heads[i] = &r
+	}
+	m.primed = true
+	return nil
+}
+
+// Next implements Stream.
+func (m *mergeStream) Next() (Record, error) {
+	if !m.primed {
+		if err := m.prime(); err != nil {
+			return Record{}, err
+		}
+	}
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best == -1 || h.At < m.heads[best].At {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Record{}, io.EOF
+	}
+	out := *m.heads[best]
+	rec, err := m.streams[best].Next()
+	switch {
+	case err == io.EOF:
+		m.heads[best] = nil
+	case err != nil:
+		return Record{}, err
+	default:
+		r := rec
+		m.heads[best] = &r
+	}
+	return out, nil
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+func randRecords(seed uint64, n int) []Record {
+	r := xrand.New(seed)
+	out := make([]Record, n)
+	at := sim.Time(0)
+	for i := range out {
+		at += sim.Time(r.Intn(1000)) * sim.Nanosecond
+		rec := Record{Addr: r.Uint64n(1 << 30), At: at}
+		if r.Bool(0.6) {
+			rec.Op = OpWrite
+			for j := range rec.Data {
+				rec.Data[j] = byte(r.Uint64())
+			}
+		} else {
+			rec.Op = OpRead
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		records := randRecords(seed, int(nRaw%50)+1)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range records {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		got, err := Collect(NewReader(&buf))
+		if err != nil || len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if got[i] != records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewReader(&buf))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty trace: %d records, err=%v", len(got), err)
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	r := NewReader(strings.NewReader("NOPE\x01"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	r := NewReader(strings.NewReader("ESDT\x7f"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBinaryRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{Op: OpWrite, Addr: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestBinaryRejectsInvalidOp(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{Op: OpRead}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] = 99 // first record's op byte, right after the 5-byte header
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	records := randRecords(3, 20)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("parsed %d records, want %d", len(got), len(records))
+	}
+	for i := range got {
+		if got[i] != records[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+R 5 1000
+
+W 6 2000 ` + strings.Repeat("ab", ecc.LineSize) + `
+`
+	got, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Op != OpRead || got[1].Op != OpWrite {
+		t.Fatalf("parsed %+v", got)
+	}
+	if got[1].Data[0] != 0xab {
+		t.Fatal("payload not decoded")
+	}
+}
+
+func TestTextRejectsMalformedLines(t *testing.T) {
+	bad := []string{
+		"X 1 2",
+		"R 1",
+		"R notanumber 5",
+		"R 1 notatime",
+		"W 1 2",      // missing payload
+		"W 1 2 zz",   // bad hex
+		"W 1 2 abcd", // wrong length
+	}
+	for _, line := range bad {
+		if _, err := ParseText(strings.NewReader(line)); err == nil {
+			t.Errorf("malformed line %q accepted", line)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	records := randRecords(9, 5)
+	s := NewSliceStream(records)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := Collect(s)
+	if err != nil || len(got) != 5 {
+		t.Fatalf("collect: %d records, err=%v", len(got), err)
+	}
+	if _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("exhausted stream did not return EOF")
+	}
+	s.Reset()
+	if r, err := s.Next(); err != nil || r != records[0] {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	records := randRecords(10, 10)
+	got, err := Collect(Limit(NewSliceStream(records), 3))
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Limit(3): %d records, err=%v", len(got), err)
+	}
+	got, err = Collect(Limit(NewSliceStream(records), 0))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Limit(0): %d records", len(got))
+	}
+	got, err = Collect(Limit(NewSliceStream(records), 100))
+	if err != nil || len(got) != 10 {
+		t.Fatalf("Limit(100): %d records", len(got))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "R" || OpWrite.String() != "W" {
+		t.Fatal("unexpected op strings")
+	}
+	if Op(7).String() != "Op(7)" {
+		t.Fatal("unknown op string")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 7; i++ {
+		if err := w.Write(Record{Op: OpRead, Addr: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", w.Count())
+	}
+}
+
+func BenchmarkBinaryWrite(b *testing.B) {
+	records := randRecords(1, 1000)
+	b.SetBytes(int64(len(records)) * recordSize)
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		for _, r := range records {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	records := randRecords(1, 1000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(NewReader(bytes.NewReader(raw))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := []Record{
+		{Op: OpRead, Addr: 1, At: 10},
+		{Op: OpRead, Addr: 2, At: 30},
+	}
+	b := []Record{
+		{Op: OpWrite, Addr: 3, At: 20},
+		{Op: OpWrite, Addr: 4, At: 40},
+	}
+	got, err := Collect(Merge(NewSliceStream(a), NewSliceStream(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAddrs := []uint64{1, 3, 2, 4}
+	if len(got) != len(wantAddrs) {
+		t.Fatalf("%d records", len(got))
+	}
+	for i, w := range wantAddrs {
+		if got[i].Addr != w {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestMergeHandlesEmptyAndSingle(t *testing.T) {
+	got, err := Collect(Merge(NewSliceStream(nil), NewSliceStream([]Record{{At: 5}})))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("%d records, err=%v", len(got), err)
+	}
+	got, err = Collect(Merge())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty merge: %d records", len(got))
+	}
+}
+
+func TestMergePropertyMonotone(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		mk := func() Stream {
+			var recs []Record
+			at := sim.Time(0)
+			for i := 0; i < r.Intn(50); i++ {
+				at += sim.Time(r.Intn(100)) * sim.Nanosecond
+				recs = append(recs, Record{Op: OpRead, Addr: r.Uint64(), At: at})
+			}
+			return NewSliceStream(recs)
+		}
+		merged, err := Collect(Merge(mk(), mk(), mk()))
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i].At < merged[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/esdsim/esd/internal/trace"
+)
+
+func TestTwentyProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 20 {
+		t.Fatalf("got %d profiles, want 20", len(ps))
+	}
+	spec, parsec := 0, 0
+	for _, p := range ps {
+		switch p.Suite {
+		case SPEC:
+			spec++
+		case PARSEC:
+			parsec++
+		default:
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if spec != 12 || parsec != 8 {
+		t.Fatalf("suite split = %d SPEC / %d PARSEC, want 12/8", spec, parsec)
+	}
+}
+
+func TestProfilesMatchFig1Statistics(t *testing.T) {
+	ps := Profiles()
+	sum, lo, hi := 0.0, 1.0, 0.0
+	for _, p := range ps {
+		sum += p.DupRate
+		lo = math.Min(lo, p.DupRate)
+		hi = math.Max(hi, p.DupRate)
+	}
+	avg := sum / float64(len(ps))
+	if math.Abs(avg-0.629) > 0.005 {
+		t.Errorf("mean dup rate = %.3f, want 0.629 (Fig. 1)", avg)
+	}
+	if math.Abs(lo-0.331) > 0.001 {
+		t.Errorf("min dup rate = %.3f, want 0.331", lo)
+	}
+	if math.Abs(hi-0.999) > 0.001 {
+		t.Errorf("max dup rate = %.3f, want 0.999", hi)
+	}
+	// deepsjeng and roms are dominated by zero lines (paper §II-A).
+	for _, name := range []string{"deepsjeng", "roms"} {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing profile %s", name)
+		}
+		if p.DupRate < 0.99 || p.ZeroFrac < 0.9 {
+			t.Errorf("%s: dup=%.3f zero=%.3f, want zero-dominated", name, p.DupRate, p.ZeroFrac)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("lbm")
+	if !ok || p.Name != "lbm" || p.Suite != SPEC {
+		t.Fatalf("ByName(lbm) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nosuchapp"); ok {
+		t.Fatal("ByName accepted unknown app")
+	}
+}
+
+func TestProfileValidity(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.DupRate < 0 || p.DupRate > 1 {
+			t.Errorf("%s: dup rate %v out of range", p.Name, p.DupRate)
+		}
+		if p.ZeroFrac < 0 || p.ZeroFrac > p.DupRate {
+			t.Errorf("%s: zero frac %v exceeds dup rate %v", p.Name, p.ZeroFrac, p.DupRate)
+		}
+		if p.WriteRatio <= 0 || p.WriteRatio >= 1 {
+			t.Errorf("%s: write ratio %v out of range", p.Name, p.WriteRatio)
+		}
+		if p.FootprintLines <= 0 || p.MeanInterarrival <= 0 {
+			t.Errorf("%s: non-positive footprint or interarrival", p.Name)
+		}
+		if p.AlphabetBits < 1 || p.AlphabetBits > 8 {
+			t.Errorf("%s: alphabet bits %d", p.Name, p.AlphabetBits)
+		}
+		if p.MissesPerKiloInstr <= 0 {
+			t.Errorf("%s: MPKI must be positive", p.Name)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := map[uint64]RefClass{
+		0: Num1, 1: Num1, 2: Num10, 10: Num10, 11: Num100,
+		100: Num100, 101: Num1000, 1000: Num1000, 1001: Num1000Plus, 50000: Num1000Plus,
+	}
+	for n, want := range cases {
+		if got := ClassOf(n); got != want {
+			t.Errorf("ClassOf(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestRefClassString(t *testing.T) {
+	want := []string{"num1", "num10", "num100", "num1000", "num1000+"}
+	for c := Num1; c < NumClasses; c++ {
+		if c.String() != want[c] {
+			t.Errorf("class %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("gcc")
+	a := NewGenerator(p, 7, 1000).Records(200)
+	b := NewGenerator(p, 7, 1000).Records(200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed generators diverged at record %d", i)
+		}
+	}
+	c := NewGenerator(p, 8, 1000).Records(200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedDupRateMatchesTarget(t *testing.T) {
+	const n = 60000
+	for _, name := range []string{"blackscholes", "gcc", "lbm", "deepsjeng", "mcf"} {
+		p, _ := ByName(name)
+		st, err := MeasureDup(Stream(p, 11, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Writes == 0 {
+			t.Fatalf("%s: no writes generated", name)
+		}
+		if math.Abs(st.DupRate-p.DupRate) > 0.04 {
+			t.Errorf("%s: measured dup rate %.3f, target %.3f", name, st.DupRate, p.DupRate)
+		}
+	}
+}
+
+func TestGeneratedZeroLineShare(t *testing.T) {
+	p, _ := ByName("deepsjeng")
+	st, err := MeasureDup(Stream(p, 3, 40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroShare := float64(st.ZeroWrites) / float64(st.Writes)
+	if math.Abs(zeroShare-p.ZeroFrac) > 0.02 {
+		t.Errorf("zero-line share %.3f, want %.3f", zeroShare, p.ZeroFrac)
+	}
+}
+
+func TestContentLocalitySkewMatchesFig3(t *testing.T) {
+	// Fig. 3: high-reference uniques are a tiny fraction of unique lines
+	// but a large fraction of pre-dedup volume. Use a dup-heavy non-zero
+	// profile where the effect is strongest.
+	p, _ := ByName("lbm")
+	st, err := MeasureDup(Stream(p, 5, 120000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotUniques := st.UniqueShare(Num1000) + st.UniqueShare(Num1000Plus)
+	hotWrites := st.WriteShare(Num1000) + st.WriteShare(Num1000Plus)
+	if hotUniques > 0.02 {
+		t.Errorf("hot uniques share %.4f, want < 2%%", hotUniques)
+	}
+	if hotWrites < 0.25 {
+		t.Errorf("hot write share %.3f, want > 25%% (content locality)", hotWrites)
+	}
+	// num1 class must dominate the unique count.
+	if st.UniqueShare(Num1) < 0.5 {
+		t.Errorf("num1 unique share %.3f, want > 50%%", st.UniqueShare(Num1))
+	}
+}
+
+func TestContentDistinctness(t *testing.T) {
+	p, _ := ByName("wrf")
+	g := NewGenerator(p, 9, 10000)
+	seen := map[[64]byte]uint64{}
+	for id := uint64(0); id < 5000; id++ {
+		c := g.Content(id)
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("contents %d and %d identical", prev, id)
+		}
+		seen[c] = id
+	}
+}
+
+func TestContentZeroID(t *testing.T) {
+	p, _ := ByName("roms")
+	g := NewGenerator(p, 1, 100)
+	if c := g.Content(0); !c.IsZero() {
+		t.Fatal("content id 0 is not the zero line")
+	}
+}
+
+func TestContentIsDeterministicAcrossGenerators(t *testing.T) {
+	p, _ := ByName("nab")
+	a := NewGenerator(p, 77, 100)
+	b := NewGenerator(p, 77, 100)
+	for id := uint64(0); id < 100; id++ {
+		if a.Content(id) != b.Content(id) {
+			t.Fatalf("content %d differs between same-seed generators", id)
+		}
+	}
+}
+
+func TestStreamLengthAndOrdering(t *testing.T) {
+	p, _ := ByName("x264")
+	recs, err := trace.Collect(Stream(p, 2, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5000 {
+		t.Fatalf("stream yielded %d records, want 5000", len(recs))
+	}
+	writes := 0
+	for i, r := range recs {
+		if i > 0 && r.At < recs[i-1].At {
+			t.Fatal("timestamps regressed")
+		}
+		if int(r.Addr) >= p.FootprintLines {
+			t.Fatalf("address %d beyond footprint %d", r.Addr, p.FootprintLines)
+		}
+		if r.Op == trace.OpWrite {
+			writes++
+		}
+	}
+	ratio := float64(writes) / float64(len(recs))
+	if math.Abs(ratio-p.WriteRatio) > 0.03 {
+		t.Errorf("write ratio %.3f, want %.3f", ratio, p.WriteRatio)
+	}
+}
+
+func TestAddressesAreSkewed(t *testing.T) {
+	p, _ := ByName("xalancbmk") // theta = 1.0
+	recs, err := trace.Collect(Stream(p, 4, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	for _, r := range recs {
+		counts[r.Addr]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// With theta=1 over 128k lines, the hottest address should absorb far
+	// more than a uniform share (20000/131072 < 1).
+	if max < 100 {
+		t.Errorf("hottest address got %d accesses, expected strong skew", max)
+	}
+}
+
+func TestMeasureDupEmptyStream(t *testing.T) {
+	st, err := MeasureDup(trace.NewSliceStream(nil))
+	if err != nil || st.Writes != 0 || st.DupRate != 0 {
+		t.Fatalf("empty stream stats %+v, err=%v", st, err)
+	}
+	if st.UniqueShare(Num1) != 0 || st.WriteShare(Num1) != 0 {
+		t.Fatal("empty stream shares non-zero")
+	}
+}
+
+func TestSortedProfileNames(t *testing.T) {
+	names := SortedProfileNames()
+	if len(names) != 20 {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, _ := ByName("gcc")
+	g := NewGenerator(p, 1, b.N+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestNearDupStream(t *testing.T) {
+	recs, err := trace.Collect(NearDupStream(7, 5000, 1024, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5000 {
+		t.Fatalf("%d records", len(recs))
+	}
+	st, err := MeasureDup(trace.NewSliceStream(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact duplicates exist (the 30% repeat class) but most writes are
+	// unique-or-near-dup, which exact measurement counts as unique.
+	if st.DupRate < 0.1 || st.DupRate > 0.6 {
+		t.Errorf("exact dup rate %.2f out of expected band", st.DupRate)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatal("timestamps regressed")
+		}
+	}
+}
+
+func TestNearDupStreamDeterministic(t *testing.T) {
+	a, _ := trace.Collect(NearDupStream(3, 1000, 512, 2))
+	b, _ := trace.Collect(NearDupStream(3, 1000, 512, 2))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed near-dup streams diverged")
+		}
+	}
+}
+
+func TestMixMergesDisjointAddressSpaces(t *testing.T) {
+	stream, err := Mix(5, 6000, "lbm", "leela")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Collect(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 5000 {
+		t.Fatalf("%d records", len(recs))
+	}
+	regions := map[uint64]int{}
+	for i, r := range recs {
+		if i > 0 && r.At < recs[i-1].At {
+			t.Fatal("mix not time-ordered")
+		}
+		regions[r.Addr>>32]++
+	}
+	if len(regions) != 2 || regions[0] == 0 || regions[1] == 0 {
+		t.Fatalf("address regions: %v", regions)
+	}
+	if _, err := Mix(1, 10, "nosuch"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := Mix(1, 10); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators and samplers used throughout the simulator.
+//
+// The simulator must be bit-reproducible across runs and platforms, so it
+// does not use math/rand's global state. Every component that needs
+// randomness owns an explicitly seeded generator. The core generator is
+// xoshiro256** (Blackman & Vigna) seeded via SplitMix64, which is the
+// recommended seeding procedure for the xoshiro family.
+package xrand
+
+import "math"
+
+// SplitMix64 is a tiny 64-bit PRNG mainly used to expand a single seed word
+// into the larger state of other generators. It is also a perfectly fine
+// standalone generator for non-critical uses.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is not usable; construct
+// with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Uint64()
+	}
+	// xoshiro must not be seeded with an all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, so this is already guaranteed, but we
+	// keep a defensive fix-up so a future seeding change cannot break it.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Lemire rejection sampling on the high 64 bits of a 128-bit product.
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= n || lo >= (-n)%n {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	w0 := t & mask32
+	t = aHi*bLo + t>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + t>>32
+	lo = t<<32 | w0
+	return hi, lo
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the elements addressed by swap using the Fisher-Yates
+// algorithm, matching the contract of math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1,
+// computed by inversion. Multiply by a mean to rescale.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal value using the Marsaglia polar
+// method. It is not the fastest method but needs no tables and is exact.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Zipf samples from a bounded Zipf distribution over {0, 1, ..., n-1} with
+// exponent s > 0 (probability of rank k proportional to 1/(k+1)^s).
+// It uses an explicit cumulative table with binary search, which keeps the
+// sampler exact for any s (including s <= 1, which rejection inversion
+// cannot handle) at the cost of O(n) memory.
+type Zipf struct {
+	cdf []float64
+	rng *Rand
+}
+
+// NewZipf constructs a bounded Zipf sampler. It panics if n <= 0 or s < 0.
+func NewZipf(rng *Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf requires n > 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf requires s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the support size of the sampler.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sample in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weighted samples an index in [0, len(weights)) with probability
+// proportional to weights[i], using Walker's alias method: O(n) setup and
+// O(1) per sample.
+type Weighted struct {
+	prob  []float64
+	alias []int
+	rng   *Rand
+}
+
+// NewWeighted builds an alias table for weights. Negative weights panic;
+// all-zero weights panic.
+func NewWeighted(rng *Rand, weights []float64) *Weighted {
+	n := len(weights)
+	if n == 0 {
+		panic("xrand: NewWeighted requires at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("xrand: NewWeighted weight must be non-negative")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("xrand: NewWeighted requires a positive total weight")
+	}
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &Weighted{prob: prob, alias: alias, rng: rng}
+}
+
+// Next returns the next weighted sample.
+func (w *Weighted) Next() int {
+	i := w.rng.Intn(len(w.prob))
+	if w.rng.Float64() < w.prob[i] {
+		return i
+	}
+	return w.alias[i]
+}

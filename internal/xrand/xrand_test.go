@@ -1,0 +1,286 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownSequence(t *testing.T) {
+	// Reference values for seed 0 from the public-domain splitmix64.c.
+	want := []uint64{
+		0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F,
+		0xF88BB8A8724C81EC, 0x1B39896A51A8749B,
+	}
+	s := NewSplitMix64(0)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64 value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := New(54321)
+	same := 0
+	a = New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 identical outputs", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		for i := 0; i < 2000; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(99)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := trials / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: got %d, want about %d", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) hit rate = %v", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	check := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element sum: %d != %d", got, sum)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	sum := 0.0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / trials; math.Abs(mean-1) > 0.02 {
+		t.Errorf("ExpFloat64 mean = %v, want about 1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(19)
+	const trials = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < trials; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormFloat64 mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("NormFloat64 variance = %v, want about 1", variance)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(23)
+	z := NewZipf(r, 1.2, 1000)
+	const trials = 200000
+	counts := make([]int, 1000)
+	for i := 0; i < trials; i++ {
+		k := z.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Errorf("Zipf counts not monotonically skewed: c0=%d c1=%d c10=%d c100=%d",
+			counts[0], counts[1], counts[10], counts[100])
+	}
+	// Rank 0 should dominate: with s=1.2 and n=1000 its mass is roughly 17%.
+	p0 := float64(counts[0]) / trials
+	if p0 < 0.12 || p0 > 0.25 {
+		t.Errorf("Zipf p(0) = %v, want roughly 0.17", p0)
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	r := New(29)
+	z := NewZipf(r, 0, 10)
+	const trials = 100000
+	counts := make([]int, 10)
+	for i := 0; i < trials; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < trials/10*9/10 || c > trials/10*11/10 {
+			t.Errorf("Zipf(s=0) bucket %d = %d, want about %d", i, c, trials/10)
+		}
+	}
+}
+
+func TestWeightedMatchesWeights(t *testing.T) {
+	r := New(31)
+	weights := []float64{1, 2, 3, 4}
+	w := NewWeighted(r, weights)
+	const trials = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[w.Next()]++
+	}
+	for i, wt := range weights {
+		want := wt / 10 * trials
+		got := float64(counts[i])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("weight %d: got %v samples, want about %v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverSampled(t *testing.T) {
+	r := New(37)
+	w := NewWeighted(r, []float64{0, 1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		if k := w.Next(); k == 0 || k == 2 {
+			t.Fatalf("sampled zero-weight index %d", k)
+		}
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"negative": {1, -1},
+		"allZero":  {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeighted(%s) did not panic", name)
+				}
+			}()
+			NewWeighted(New(1), weights)
+		}()
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkWeightedNext(b *testing.B) {
+	r := New(1)
+	w := NewWeighted(r, []float64{5, 1, 3, 2, 9, 4})
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = w.Next()
+	}
+	_ = sink
+}
