@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures examples clean
+.PHONY: all build test race vet bench figures examples clean
 
 all: build vet test
 
@@ -14,6 +14,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Same suite under the race detector — what CI runs. Telemetry is
+# scraped over HTTP concurrently with the simulation thread, so the
+# race detector is the gate for any Sink/Registry change.
+race:
+	$(GO) test -race ./...
 
 # Full test log, as recorded in test_output.txt.
 test-log:
@@ -33,6 +39,7 @@ examples:
 	$(GO) run ./examples/endurance
 	$(GO) run ./examples/taillatency
 	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/observability
 
 clean:
 	rm -rf results/ test_output.txt bench_output.txt

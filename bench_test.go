@@ -10,6 +10,7 @@ package esd
 // per iteration. Use -benchtime=1x for a single regeneration.
 
 import (
+	"io"
 	"testing"
 
 	"github.com/esdsim/esd/internal/experiments"
@@ -366,4 +367,36 @@ func BenchmarkAblationRecovery(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead measures the write-path cost of the
+// telemetry hooks in three configurations: telemetry disabled (every
+// hook is a nil-receiver no-op), metrics only (atomic counter updates,
+// no tracer), and full event tracing to io.Discard at the default
+// sampling rate. The off/metrics gap is the regression budget for new
+// hooks — keep it under a few percent.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, opts ...SystemOption) {
+		cfg := DefaultConfig()
+		cfg.PCM.CapacityBytes = 1 << 30
+		sys, err := NewSystem(cfg, SchemeESD, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var line Line
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			line.SetWord(0, uint64(i)%512)
+			sys.Write(uint64(i)%65536, line)
+		}
+		b.StopTimer()
+		if err := sys.CloseTrace(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("metrics", func(b *testing.B) { run(b, WithMetrics()) })
+	b.Run("trace", func(b *testing.B) {
+		run(b, WithEventTrace(io.Discard), WithTraceSampling(64))
+	})
 }

@@ -7,6 +7,8 @@
 //
 //	esdsim -scheme 3 -app lbm -n 200000
 //	esdsim -scheme esd -trace lbm.esdt -latency lbm_lat.txt
+//	esdsim -scheme esd -app lbm -metrics-addr :9090 -pprof
+//	esdsim -scheme esd -app lbm -trace-out events.jsonl -trace-sample 64
 //	esdsim -list
 //	esdsim -config
 package main
@@ -43,79 +45,140 @@ func resolveScheme(s string) (string, error) {
 	return "", fmt.Errorf("unknown scheme %q (use 0-3 or %s)", s, strings.Join(valid, ", "))
 }
 
+// metricsServerHook, when set (by tests), is invoked after a run completes
+// while the -metrics-addr server is still up, with the server's base URL.
+var metricsServerHook func(url string)
+
 func main() {
+	if err := cliMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "esdsim:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the testable body of the command: it parses args, runs the
+// requested simulation and writes human-readable output to stdout.
+func cliMain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("esdsim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		schemeFlag = flag.String("scheme", "3", "scheme: 0/baseline, 1/dedup-sha1, 2/dewrite, 3/esd")
-		app        = flag.String("app", "", "built-in application profile (see -list)")
-		mix        = flag.String("mix", "", "comma-separated applications run as a multi-programmed mix")
-		traceFile  = flag.String("trace", "", "binary trace file (overrides -app)")
-		n          = flag.Int("n", 100000, "measured requests")
-		warmup     = flag.Int("warmup", 50000, "unmeasured warm-up requests (profiles only)")
-		seed       = flag.Uint64("seed", 1, "generator seed")
-		verify     = flag.Bool("verify", false, "verify every read against the last written content")
-		latency    = flag.String("latency", "", "write the write-latency CDF to this file")
-		list       = flag.Bool("list", false, "list application profiles and exit")
-		showConfig = flag.Bool("config", false, "print the system configuration and exit")
-		compare    = flag.Bool("compare", false, "run all four schemes on the workload and print a comparison")
-		withTree   = flag.Bool("integrity", false, "enable the Merkle counter tree (replay protection for encryption counters)")
-		jsonOut    = flag.Bool("json", false, "emit the result as JSON instead of text")
+		schemeFlag  = fs.String("scheme", "3", "scheme: 0/baseline, 1/dedup-sha1, 2/dewrite, 3/esd")
+		app         = fs.String("app", "", "built-in application profile (see -list)")
+		mix         = fs.String("mix", "", "comma-separated applications run as a multi-programmed mix")
+		traceFile   = fs.String("trace", "", "binary trace file (overrides -app)")
+		n           = fs.Int("n", 100000, "measured requests")
+		warmup      = fs.Int("warmup", 50000, "unmeasured warm-up requests (profiles only)")
+		seed        = fs.Uint64("seed", 1, "generator seed")
+		verify      = fs.Bool("verify", false, "verify every read against the last written content")
+		latency     = fs.String("latency", "", "write the write-latency CDF to this file")
+		list        = fs.Bool("list", false, "list application profiles and exit")
+		showConfig  = fs.Bool("config", false, "print the system configuration and exit")
+		compare     = fs.Bool("compare", false, "run all four schemes on the workload and print a comparison")
+		withTree    = fs.Bool("integrity", false, "enable the Merkle counter tree (replay protection for encryption counters)")
+		jsonOut     = fs.Bool("json", false, "emit the result as JSON instead of text")
+		metricsAddr = fs.String("metrics-addr", "", "serve live metrics over HTTP on this address (/metrics, /debug/vars)")
+		pprofFlag   = fs.Bool("pprof", false, "also mount net/http/pprof on the metrics server (needs -metrics-addr)")
+		traceOut    = fs.String("trace-out", "", "write sampled write-path events to this file")
+		traceFormat = fs.String("trace-format", "jsonl", "event trace encoding: jsonl or chrome")
+		traceSample = fs.Int("trace-sample", 1, "trace every Nth write/read event (rare events always traced)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("Available application profiles:")
+		fmt.Fprintln(stdout, "Available application profiles:")
 		for _, p := range esd.Profiles() {
-			fmt.Printf("  %-14s %-13s dup=%5.1f%%  zero=%5.1f%%  writes=%4.0f%%  footprint=%6d lines\n",
+			fmt.Fprintf(stdout, "  %-14s %-13s dup=%5.1f%%  zero=%5.1f%%  writes=%4.0f%%  footprint=%6d lines\n",
 				p.Name, p.Suite, p.DupRate*100, p.ZeroFrac*100, p.WriteRatio*100, p.FootprintLines)
 		}
-		return
+		return nil
 	}
 
 	cfg := esd.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Crypto.IntegrityEnabled = *withTree
 	if *showConfig {
-		fmt.Printf("Table I configuration:\n")
-		fmt.Printf("  CPU:    %d cores @ %.0f GHz, %d outstanding requests\n",
+		fmt.Fprintf(stdout, "Table I configuration:\n")
+		fmt.Fprintf(stdout, "  CPU:    %d cores @ %.0f GHz, %d outstanding requests\n",
 			cfg.CPU.Cores, cfg.CPU.ClockHz/1e9, cfg.CPU.MaxOutstanding)
-		fmt.Printf("  L1/L2/L3: %dKB / %dKB / %dMB, all %d-way, 64 B lines\n",
+		fmt.Fprintf(stdout, "  L1/L2/L3: %dKB / %dKB / %dMB, all %d-way, 64 B lines\n",
 			cfg.L1.Size>>10, cfg.L2.Size>>10, cfg.L3.Size>>20, cfg.L3.Ways)
-		fmt.Printf("  PCM:    %d GB, %d banks, read %v / write %v, %.2f/%.2f nJ\n",
+		fmt.Fprintf(stdout, "  PCM:    %d GB, %d banks, read %v / write %v, %.2f/%.2f nJ\n",
 			cfg.PCM.CapacityBytes>>30, cfg.PCM.Banks, cfg.PCM.ReadLatency,
 			cfg.PCM.WriteLatency, cfg.PCM.ReadEnergy, cfg.PCM.WriteEnergy)
-		fmt.Printf("  Meta:   EFIT cache %d KB, AMT cache %d KB\n",
+		fmt.Fprintf(stdout, "  Meta:   EFIT cache %d KB, AMT cache %d KB\n",
 			cfg.Meta.EFITCacheBytes>>10, cfg.Meta.AMTCacheBytes>>10)
-		fmt.Printf("  Hashes: SHA-1 %v, MD5 %v, CRC %v; AES %v\n",
+		fmt.Fprintf(stdout, "  Hashes: SHA-1 %v, MD5 %v, CRC %v; AES %v\n",
 			cfg.FP.SHA1Latency, cfg.FP.MD5Latency, cfg.FP.CRCLatency, cfg.Crypto.EncryptLatency)
-		return
+		return nil
 	}
 
 	if *compare {
 		if *app == "" {
-			fatal(fmt.Errorf("-compare needs -app"))
+			return fmt.Errorf("-compare needs -app")
 		}
-		if err := compareSchemes(cfg, *app, *seed, *warmup, *n); err != nil {
-			fatal(err)
-		}
-		return
+		return compareSchemes(stdout, cfg, *app, *seed, *warmup, *n)
 	}
 
 	scheme, err := resolveScheme(*schemeFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	sys, err := esd.NewSystem(cfg, scheme)
+	if *pprofFlag && *metricsAddr == "" {
+		return fmt.Errorf("-pprof needs -metrics-addr")
+	}
+
+	// Telemetry options: any observability flag switches the Sink on.
+	var sysOpts []esd.SystemOption
+	if *metricsAddr != "" {
+		sysOpts = append(sysOpts, esd.WithMetrics())
+	}
+	var traceW *os.File
+	if *traceOut != "" {
+		traceW, err = os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer traceW.Close()
+		switch *traceFormat {
+		case "jsonl":
+			sysOpts = append(sysOpts, esd.WithEventTrace(traceW))
+		case "chrome":
+			sysOpts = append(sysOpts, esd.WithChromeTrace(traceW))
+		default:
+			return fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat)
+		}
+		if *traceSample > 1 {
+			sysOpts = append(sysOpts, esd.WithTraceSampling(*traceSample))
+		}
+	}
+
+	sys, err := esd.NewSystem(cfg, scheme, sysOpts...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	sys.SetVerifyReads(*verify)
+
+	var srv *esd.MetricsServer
+	if *metricsAddr != "" {
+		srv, err = sys.ServeMetrics(*metricsAddr, *pprofFlag)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: %s/metrics\n", srv.URL())
+		if *pprofFlag {
+			fmt.Fprintf(stdout, "pprof:   %s/debug/pprof/\n", srv.URL())
+		}
+	}
 
 	var stream esd.Stream
 	switch {
 	case *traceFile != "":
 		f, err := os.Open(*traceFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		stream = trace.NewReader(f)
@@ -123,42 +186,52 @@ func main() {
 		sys.SetWarmup(*warmup)
 		stream, err = esd.MixStream(*seed, *warmup+*n, strings.Split(*mix, ",")...)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case *app != "":
 		sys.SetWarmup(*warmup)
 		stream, err = esd.WorkloadStream(*app, *seed, *warmup+*n)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("need -app, -mix or -trace (see -list)"))
+		return fmt.Errorf("need -app, -mix or -trace (see -list)")
 	}
 
 	res, err := sys.Run(stream)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	if *traceOut != "" {
+		if err := sys.CloseTrace(); err != nil {
+			return fmt.Errorf("event trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "event trace (%s) written to %s\n", *traceFormat, *traceOut)
+	}
+	if srv != nil && metricsServerHook != nil {
+		metricsServerHook(srv.URL())
 	}
 	if *jsonOut {
-		if err := printJSON(os.Stdout, res); err != nil {
-			fatal(err)
+		if err := printJSON(stdout, res); err != nil {
+			return err
 		}
 	} else {
-		printResult(sys, res)
+		printResult(stdout, res)
 	}
 
 	if *latency != "" {
 		f, err := os.Create(*latency)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		fmt.Fprintf(f, "# write-latency CDF, scheme=%s\n# latency_ns cumulative_fraction\n", scheme)
 		for _, p := range res.WriteHist.CDF() {
 			fmt.Fprintf(f, "%.1f %.6f\n", p.Latency.Nanoseconds(), p.Frac)
 		}
-		fmt.Printf("write-latency CDF written to %s\n", *latency)
+		fmt.Fprintf(stdout, "write-latency CDF written to %s\n", *latency)
 	}
+	return nil
 }
 
 // jsonResult is the machine-readable shape of a run.
@@ -205,37 +278,36 @@ func printJSON(w io.Writer, res *esd.RunResult) error {
 	return enc.Encode(out)
 }
 
-func printResult(sys *esd.System, res *esd.RunResult) {
-	fmt.Printf("scheme=%s requests=%d (reads=%d writes=%d) simulated=%v\n",
+func printResult(w io.Writer, res *esd.RunResult) {
+	fmt.Fprintf(w, "scheme=%s requests=%d (reads=%d writes=%d) simulated=%v\n",
 		res.SchemeName, res.Requests, res.Reads, res.Writes, res.Elapsed)
-	fmt.Printf("writes:  mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+	fmt.Fprintf(w, "writes:  mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
 		res.WriteHist.Mean(), res.WriteHist.Percentile(0.5), res.WriteHist.Percentile(0.99),
 		res.WriteHist.Percentile(0.999), res.WriteHist.Max())
-	fmt.Printf("reads:   mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+	fmt.Fprintf(w, "reads:   mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
 		res.ReadHist.Mean(), res.ReadHist.Percentile(0.5), res.ReadHist.Percentile(0.99),
 		res.ReadHist.Percentile(0.999), res.ReadHist.Max())
 	st := res.Scheme
-	fmt.Printf("dedup:   eliminated=%d/%d (%.1f%%)  unique-writes=%d  fp-nvmm-lookups=%d\n",
+	fmt.Fprintf(w, "dedup:   eliminated=%d/%d (%.1f%%)  unique-writes=%d  fp-nvmm-lookups=%d\n",
 		st.DedupWrites, st.Writes, st.DedupRate()*100, st.UniqueWrites, st.FPNVMMLookups)
-	fmt.Printf("energy:  total=%.1f uJ (media=%.1f fp=%.1f crypto=%.1f sram=%.2f)\n",
+	fmt.Fprintf(w, "energy:  total=%.1f uJ (media=%.1f fp=%.1f crypto=%.1f sram=%.2f)\n",
 		res.Energy.Total()/1000, res.Energy.Media/1000, res.Energy.Fingerprint/1000,
 		res.Energy.Crypto/1000, res.Energy.SRAM/1000)
-	fmt.Printf("device:  media-writes=%d  metadata-nvmm=%d B  wear(max=%d mean=%.2f)\n",
+	fmt.Fprintf(w, "device:  media-writes=%d  metadata-nvmm=%d B  wear(max=%d mean=%.2f)\n",
 		res.DeviceWrites, res.MetadataNVMM, res.Wear.MaxWear, res.Wear.MeanWear)
 	b := res.Breakdown
 	if total := b.Total(); total > 0 {
-		fmt.Printf("write-path profile: fp-compute=%.1f%% fp-nvmm=%.1f%% read-compare=%.1f%% write=%.1f%%\n",
+		fmt.Fprintf(w, "write-path profile: fp-compute=%.1f%% fp-nvmm=%.1f%% read-compare=%.1f%% write=%.1f%%\n",
 			pct(b.FPCompute+b.FPLookupSRAM, total), pct(b.FPLookupNVMM, total),
 			pct(b.ReadCompare, total), pct(b.Encrypt+b.Queue+b.Media+b.Metadata, total))
 	}
-	_ = sys
 }
 
 func pct(part, total esd.Time) float64 { return 100 * float64(part) / float64(total) }
 
 // compareSchemes replays the same workload under every scheme and prints a
 // side-by-side summary with baseline-normalized columns.
-func compareSchemes(cfg esd.Config, app string, seed uint64, warmup, n int) error {
+func compareSchemes(w io.Writer, cfg esd.Config, app string, seed uint64, warmup, n int) error {
 	type row struct {
 		name string
 		res  *esd.RunResult
@@ -254,11 +326,11 @@ func compareSchemes(cfg esd.Config, app string, seed uint64, warmup, n int) erro
 		rows = append(rows, row{name, res})
 	}
 	base := rows[0].res
-	fmt.Printf("workload=%s requests=%d (after %d warm-up)\n\n", app, n, warmup)
-	fmt.Printf("%-12s %10s %10s %9s %9s %9s %10s %11s\n",
+	fmt.Fprintf(w, "workload=%s requests=%d (after %d warm-up)\n\n", app, n, warmup)
+	fmt.Fprintf(w, "%-12s %10s %10s %9s %9s %9s %10s %11s\n",
 		"scheme", "wMean", "rMean", "wSpeedup", "rSpeedup", "dedup-%", "energy-rel", "data-writes")
 	for _, r := range rows {
-		fmt.Printf("%-12s %9.0fns %9.0fns %8.2fx %8.2fx %9.1f %10.2f %11d\n",
+		fmt.Fprintf(w, "%-12s %9.0fns %9.0fns %8.2fx %8.2fx %9.1f %10.2f %11d\n",
 			r.name,
 			r.res.WriteHist.Mean().Nanoseconds(), r.res.ReadHist.Mean().Nanoseconds(),
 			ratioOf(base.WriteHist.Mean(), r.res.WriteHist.Mean()),
@@ -275,9 +347,4 @@ func ratioOf(a, b esd.Time) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "esdsim:", err)
-	os.Exit(1)
 }

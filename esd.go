@@ -23,7 +23,9 @@
 package esd
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"github.com/esdsim/esd/internal/config"
 	"github.com/esdsim/esd/internal/core"
@@ -34,6 +36,7 @@ import (
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 	"github.com/esdsim/esd/internal/trace"
 	"github.com/esdsim/esd/internal/workload"
 )
@@ -152,6 +155,7 @@ type System struct {
 	env    *memctrl.Env
 	scheme memctrl.Scheme
 	ctl    *memctrl.Controller
+	tel    *telemetry.Sink
 
 	now Time
 	// IssueGap is the simulated time advanced between self-clocked
@@ -159,13 +163,69 @@ type System struct {
 	IssueGap Time
 }
 
+// SystemOption configures optional System features (telemetry) at
+// construction. Telemetry must be wired before the scheme exists so that
+// scheme-owned caches (the EFIT, fingerprint caches) attach their probes,
+// which is why these are NewSystem options rather than setters.
+type SystemOption func(*sysOptions)
+
+type sysOptions struct {
+	metrics     bool
+	traceW      io.Writer
+	traceFormat telemetry.Format
+	sampleEvery int
+}
+
+func (o *sysOptions) enabled() bool { return o.metrics || o.traceW != nil }
+
+// WithMetrics enables the telemetry metrics registry: live counters, gauges
+// and latency histograms for every layer, exposed via WriteMetrics,
+// WriteMetricsJSON and ServeMetrics.
+func WithMetrics() SystemOption {
+	return func(o *sysOptions) { o.metrics = true }
+}
+
+// WithEventTrace streams sampled write-path events to w as JSONL (one JSON
+// object per line; decode with ReadTraceEvents). Implies WithMetrics.
+func WithEventTrace(w io.Writer) SystemOption {
+	return func(o *sysOptions) { o.traceW = w; o.traceFormat = telemetry.FormatJSONL }
+}
+
+// WithChromeTrace streams sampled write-path events to w as a Chrome
+// trace_event JSON array, loadable in chrome://tracing or Perfetto.
+// Implies WithMetrics.
+func WithChromeTrace(w io.Writer) SystemOption {
+	return func(o *sysOptions) { o.traceW = w; o.traceFormat = telemetry.FormatChrome }
+}
+
+// WithTraceSampling emits only every n-th write/read event to the trace
+// (rare events — evictions, crashes, run markers — are always emitted).
+// n <= 1 traces every request.
+func WithTraceSampling(n int) SystemOption {
+	return func(o *sysOptions) { o.sampleEvery = n }
+}
+
 // NewSystem builds a System running the named scheme. The configuration is
-// validated.
-func NewSystem(cfg Config, scheme string) (*System, error) {
+// validated. Options enable telemetry; with none, every instrumentation
+// hook stays nil and the hot path pays a single predictable branch.
+func NewSystem(cfg Config, scheme string, opts ...SystemOption) (*System, error) {
 	if msg := cfg.Validate(); msg != "" {
 		return nil, fmt.Errorf("esd: %s", msg)
 	}
+	var o sysOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
 	env := memctrl.NewEnv(cfg)
+	var tel *telemetry.Sink
+	if o.enabled() {
+		var tracer *telemetry.Tracer
+		if o.traceW != nil {
+			tracer = telemetry.NewTracer(o.traceW, o.traceFormat)
+		}
+		tel = telemetry.NewSink(telemetry.Options{Tracer: tracer, SampleEvery: o.sampleEvery})
+		env.AttachTelemetry(tel)
+	}
 	sch, err := experiments.NewScheme(env, scheme)
 	if err != nil {
 		return nil, fmt.Errorf("esd: %w", err)
@@ -175,6 +235,7 @@ func NewSystem(cfg Config, scheme string) (*System, error) {
 		env:      env,
 		scheme:   sch,
 		ctl:      memctrl.NewController(env, sch),
+		tel:      tel,
 		IssueGap: 10 * Nanosecond,
 	}, nil
 }
@@ -262,6 +323,79 @@ func (s *System) Crash() {
 	if c, ok := s.scheme.(memctrl.Crasher); ok {
 		c.Crash(s.now)
 	}
+	s.tel.OnCrash(s.now)
+}
+
+// ErrTelemetryDisabled is returned by telemetry accessors on a System built
+// without WithMetrics or a trace option.
+var ErrTelemetryDisabled = errors.New("esd: telemetry not enabled (pass WithMetrics or a trace option to NewSystem)")
+
+// TelemetryEnabled reports whether the System was built with telemetry.
+func (s *System) TelemetryEnabled() bool { return s.tel != nil }
+
+// WriteMetrics renders the current metrics in the Prometheus text
+// exposition format (the same payload ServeMetrics serves at /metrics).
+func (s *System) WriteMetrics(w io.Writer) error {
+	if s.tel == nil {
+		return ErrTelemetryDisabled
+	}
+	return s.tel.Registry().WritePrometheus(w)
+}
+
+// WriteMetricsJSON renders the current metrics as a flat expvar-style JSON
+// object (the /debug/vars payload).
+func (s *System) WriteMetricsJSON(w io.Writer) error {
+	if s.tel == nil {
+		return ErrTelemetryDisabled
+	}
+	return s.tel.Registry().WriteJSON(w)
+}
+
+// MetricsServer is a live telemetry HTTP endpoint serving /metrics
+// (Prometheus text format), /debug/vars (JSON) and, when enabled,
+// /debug/pprof.
+type MetricsServer struct{ srv *telemetry.Server }
+
+// Addr returns the bound listen address (host:port).
+func (m *MetricsServer) Addr() string { return m.srv.Addr() }
+
+// URL returns the server's base URL.
+func (m *MetricsServer) URL() string { return m.srv.URL() }
+
+// Close shuts the server down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// ServeMetrics starts a background HTTP server on addr (":0" picks a free
+// port; use Addr to discover it) exposing this System's live metrics.
+// enablePprof additionally mounts net/http/pprof under /debug/pprof/.
+func (s *System) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, error) {
+	if s.tel == nil {
+		return nil, ErrTelemetryDisabled
+	}
+	srv, err := telemetry.NewServer(s.tel.Registry(), telemetry.ServerOptions{Addr: addr, Pprof: enablePprof})
+	if err != nil {
+		return nil, fmt.Errorf("esd: %w", err)
+	}
+	return &MetricsServer{srv: srv}, nil
+}
+
+// TraceEvent is one decoded structured trace event.
+type TraceEvent = telemetry.Event
+
+// ReadTraceEvents decodes a JSONL event trace written via WithEventTrace —
+// the round-trip counterpart of the tracer's encoder.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) {
+	return telemetry.ReadEvents(r)
+}
+
+// CloseTrace finalizes the event trace (for Chrome format, the closing
+// bracket) and flushes it to the underlying writer, returning the first
+// error the tracer encountered. It is a no-op without an active trace.
+func (s *System) CloseTrace() error {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Tracer().Close()
 }
 
 // Stats returns the scheme's event counters.

@@ -57,6 +57,16 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// Probe receives cache events as they happen, in addition to the Stats
+// counters. It exists so an external telemetry layer can observe live
+// hit/miss/eviction rates without polling; telemetry's CacheProbe satisfies
+// it structurally, keeping this package dependency-free.
+type Probe interface {
+	Hit()
+	Miss()
+	Evict()
+}
+
 type entry[V any] struct {
 	key   uint64
 	value V
@@ -74,6 +84,7 @@ type Cache[V any] struct {
 	policy Policy
 	tick   uint64
 	len    int
+	probe  Probe
 
 	Stats Stats
 }
@@ -109,6 +120,11 @@ func (c *Cache[V]) Len() int { return c.len }
 // Policy returns the replacement policy.
 func (c *Cache[V]) Policy() Policy { return c.policy }
 
+// SetProbe attaches an event probe (nil detaches). Callers holding only a
+// possibly-nil concrete pointer must guard the call themselves: storing a
+// typed nil here would make the probe checks non-nil.
+func (c *Cache[V]) SetProbe(p Probe) { c.probe = p }
+
 // mix is a splitmix64-style finalizer, decorrelating set indices from
 // low-order key bits (fingerprints and line addresses both need this).
 func mix(x uint64) uint64 {
@@ -132,10 +148,16 @@ func (c *Cache[V]) Get(key uint64) (V, bool) {
 			c.tick++
 			set[i].last = c.tick
 			c.Stats.Hits++
+			if c.probe != nil {
+				c.probe.Hit()
+			}
 			return set[i].value, true
 		}
 	}
 	c.Stats.Misses++
+	if c.probe != nil {
+		c.probe.Miss()
+	}
 	var zero V
 	return zero, false
 }
@@ -228,6 +250,9 @@ func (c *Cache[V]) PutWithRef(key uint64, value V, ref int) (ev Evicted[V], evic
 	ev = Evicted[V]{Key: set[v].key, Value: set[v].value, Ref: set[v].ref}
 	set[v] = entry[V]{key: key, value: value, valid: true, last: c.tick, born: c.tick, ref: ref}
 	c.Stats.Evictions++
+	if c.probe != nil {
+		c.probe.Evict()
+	}
 	return ev, true
 }
 

@@ -30,6 +30,7 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // ESD is the ECC-assisted selective deduplication scheme.
@@ -91,6 +92,9 @@ func New(env *memctrl.Env, opts ...Option) *ESD {
 		physFP:         make(map[uint64]uint64),
 		DisableLRCU:    o.policy != cache.LRCU,
 		DisableCompare: !o.compare,
+	}
+	if env.Tel != nil {
+		s.efit.SetProbe(env.Tel.CacheProbe("efit"))
 	}
 	s.OnFree = s.purge
 	return s
@@ -154,29 +158,31 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 			// line is treated as brand-new content (§III-D).
 			if s.efit.Ref(fp) >= cfg.ESD.ReferHMax {
 				s.St.ReferHOverflows++
-				return s.writeUnique(logical, data, fp, t, bd, true)
+				return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueReferH)
 			}
 			s.efit.Touch(fp, cfg.ESD.ReferHMax)
 			s.St.DupByCache++
 			mapLat := s.DedupHit(logical, candidate, t)
 			bd.Metadata = mapLat
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat)
 			return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 		}
 		// ECC collision: genuinely different content behind the same
 		// fingerprint. The line is unique; the existing entry stays.
 		s.St.CompareMismatches++
-		return s.writeUnique(logical, data, fp, t, bd, false)
+		return s.writeUnique(logical, data, fp, at, t, bd, false, telemetry.DecUniqueCollision)
 	}
 
 	// EFIT miss: selective deduplication treats the line as non-duplicate
 	// immediately — no fingerprint store in NVMM, no NVMM lookup, ever.
 	s.St.FPCacheMisses++
-	return s.writeUnique(logical, data, fp, t, bd, true)
+	return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueFPMiss)
 }
 
 // writeUnique encrypts and stores a unique line, optionally (re)pointing
-// the EFIT entry for fp at the new physical line.
-func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, t sim.Time, bd stats.Breakdown, installFP bool) memctrl.WriteOutcome {
+// the EFIT entry for fp at the new physical line. at is the write's arrival
+// time, t the current pipeline time, dec the telemetry decision to report.
+func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, at, t sim.Time, bd stats.Breakdown, installFP bool, dec telemetry.Decision) memctrl.WriteOutcome {
 	cfg := s.Env.Cfg
 	// The dedicated AES engine adds latency without occupying the
 	// controller pipeline.
@@ -195,14 +201,18 @@ func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, t sim.Time,
 			if v, ok := s.physFP[ev.Value]; ok && v == ev.Key {
 				delete(s.physFP, ev.Value)
 			}
+			s.Env.Tel.OnEFITEvict(ev.Key, ev.Ref, t)
 		}
 		s.physFP[phys] = fp
+		s.Env.Tel.OnEFITInsert(s.efit.Len())
 	}
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency
 	bd.Metadata = mapLat
+	done := wr.AcceptedAt + cfg.PCM.WriteLatency
+	s.Env.Tel.OnWrite(s.Name(), dec, logical, phys, false, at, done)
 	return memctrl.WriteOutcome{
-		Done:      wr.AcceptedAt + cfg.PCM.WriteLatency,
+		Done:      done,
 		Breakdown: bd,
 		PhysAddr:  phys,
 	}
@@ -210,7 +220,9 @@ func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, t sim.Time,
 
 // Read implements memctrl.Scheme.
 func (s *ESD) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
-	return s.ReadPath(logical, at)
+	out := s.ReadPath(logical, at)
+	s.Env.Tel.OnRead(s.Name(), logical, out.Hit, at, out.Done)
+	return out
 }
 
 // Tick implements memctrl.Scheme: the periodic LRCU refresh that subtracts

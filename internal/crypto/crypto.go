@@ -20,6 +20,15 @@ import (
 	"github.com/esdsim/esd/internal/ecc"
 )
 
+// Probe receives crypto events as they happen, mirroring the Stats fields
+// for a concurrently scraped telemetry layer (telemetry's Sink satisfies it
+// structurally; this package stays dependency-free).
+type Probe interface {
+	CryptoEncrypt()
+	CryptoDecrypt()
+	CounterOverflow(linesRekeyed int)
+}
+
 // Engine is a counter-mode encryption engine with per-line counters.
 // It is not safe for concurrent use; the simulator is single-threaded.
 type Engine struct {
@@ -29,6 +38,9 @@ type Engine struct {
 	// Stats.
 	Encryptions uint64
 	Decryptions uint64
+
+	// Probe, when non-nil, observes every encryption and decryption.
+	Probe Probe
 }
 
 // NewEngine creates an engine from a 16-, 24- or 32-byte AES key.
@@ -87,6 +99,9 @@ func (e *Engine) Encrypt(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uin
 		ct[i] = plain[i] ^ p[i]
 	}
 	e.Encryptions++
+	if e.Probe != nil {
+		e.Probe.CryptoEncrypt()
+	}
 	return ct, counter
 }
 
@@ -102,6 +117,9 @@ func (e *Engine) EncryptSpeculative(addr uint64, plain *ecc.Line) (ct ecc.Line, 
 		ct[i] = plain[i] ^ p[i]
 	}
 	e.Encryptions++
+	if e.Probe != nil {
+		e.Probe.CryptoEncrypt()
+	}
 	return ct, counter
 }
 
@@ -123,6 +141,9 @@ func (e *Engine) DecryptAt(addr, counter uint64, ct *ecc.Line) ecc.Line {
 		pt[i] = ct[i] ^ p[i]
 	}
 	e.Decryptions++
+	if e.Probe != nil {
+		e.Probe.CryptoDecrypt()
+	}
 	return pt
 }
 

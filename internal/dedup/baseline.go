@@ -5,6 +5,7 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // Baseline is the paper's comparison point without deduplication: every
@@ -34,6 +35,7 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	wr := s.env.Device.Write(logical, ct, at+s.env.Cfg.Crypto.EncryptLatency)
 	metaLat := s.env.IntegrityUpdate(logical, counter, at)
 	done := wr.AcceptedAt + s.env.Cfg.PCM.WriteLatency
+	s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, logical, logical, false, at, done)
 	return memctrl.WriteOutcome{
 		Done:     done,
 		PhysAddr: logical,
@@ -61,6 +63,7 @@ func (s *Baseline) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
 		}
 		out.Data = s.env.Crypto.Decrypt(logical, &ct)
 	}
+	s.env.Tel.OnRead(s.Name(), logical, ok, at, out.Done)
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // BCD implements a simplified Base-and-Compressed-Difference scheme in the
@@ -182,6 +183,7 @@ func (s *BCD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 				s.dropDelta(logical)
 				mapLat := s.DedupHit(logical, candidate, t)
 				bd.Metadata = mapLat
+				s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat)
 				return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 			}
 			s.St.CompareMismatches++
@@ -199,7 +201,7 @@ func (s *BCD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 		if found {
 			basePT := s.Env.Crypto.Decrypt(base, &ct)
 			if mask, words, n := diff(&basePT, data); n > 0 && n <= MaxDeltaWords {
-				return s.storeDelta(logical, base, mask, words, n, t, bd)
+				return s.storeDelta(logical, base, mask, words, n, at, t, bd)
 			}
 		}
 	}
@@ -213,7 +215,9 @@ func (s *BCD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency
 	bd.Metadata = mapLat
-	return memctrl.WriteOutcome{Done: wr.AcceptedAt + cfg.PCM.WriteLatency, Breakdown: bd, PhysAddr: phys}
+	done := wr.AcceptedAt + cfg.PCM.WriteLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecBaseWrite, logical, phys, false, at, done)
+	return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: phys}
 }
 
 func (s *BCD) installIndexes(fp, phys uint64) {
@@ -234,8 +238,9 @@ func (s *BCD) installIndexes(fp, phys uint64) {
 	s.physSim[phys] = [2]uint32{lo, hi}
 }
 
-// storeDelta records logical as a compressed patch against base.
-func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n int, t sim.Time, bd stats.Breakdown) memctrl.WriteOutcome {
+// storeDelta records logical as a compressed patch against base; at is the
+// write's arrival time, t the current pipeline time.
+func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n int, at, t sim.Time, bd stats.Breakdown) memctrl.WriteOutcome {
 	cfg := s.Env.Cfg
 	s.DeltaWrites++
 
@@ -282,8 +287,10 @@ func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n in
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency
 	bd.Metadata = mapLat
+	done := wr.AcceptedAt + cfg.PCM.WriteLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecDeltaWrite, logical, base, true, at, done)
 	return memctrl.WriteOutcome{
-		Done:         wr.AcceptedAt + cfg.PCM.WriteLatency,
+		Done:         done,
 		Breakdown:    bd,
 		Deduplicated: true,
 		PhysAddr:     base,
@@ -295,7 +302,9 @@ func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n in
 func (s *BCD) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
 	de, ok := s.deltas[logical]
 	if !ok {
-		return s.ReadPath(logical, at)
+		out := s.ReadPath(logical, at)
+		s.Env.Tel.OnRead(s.Name(), logical, out.Hit, at, out.Done)
+		return out
 	}
 	s.St.Reads++
 	s.DeltaReads++
@@ -303,6 +312,7 @@ func (s *BCD) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
 	// Base line read.
 	ct, found, rr := s.Env.Device.Read(de.basePhys, feEnd)
 	if !found {
+		s.Env.Tel.OnRead(s.Name(), logical, false, at, rr.Done)
 		return memctrl.ReadOutcome{Done: rr.Done, Hit: false}
 	}
 	base := s.Env.Crypto.Decrypt(de.basePhys, &ct)
@@ -314,6 +324,7 @@ func (s *BCD) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
 			out.SetWord(w, de.words[w])
 		}
 	}
+	s.Env.Tel.OnRead(s.Name(), logical, true, at, rr2.Done)
 	return memctrl.ReadOutcome{Done: rr2.Done, Data: out, Hit: true}
 }
 

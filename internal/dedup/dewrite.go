@@ -7,6 +7,7 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // DeWrite reproduces the MICRO'18 scheme the paper uses as its
@@ -49,6 +50,9 @@ func NewDeWrite(env *memctrl.Env) *DeWrite {
 		entries = 1
 	}
 	s.fpCache = cache.New[uint64](entries, 8, cache.LRU)
+	if env.Tel != nil {
+		s.fpCache.SetProbe(env.Tel.CacheProbe("dewrite-fp"))
+	}
 	// Entries start weak (1), not confidently-unique (0): an address never
 	// seen should defer to the global duplicate-rate majority.
 	for i := range s.predictor {
@@ -179,6 +183,7 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 				mapLat := s.DedupHit(logical, candidate, t)
 				bd.Metadata = mapLat
 				s.train(logical, true)
+				s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupDup, logical, candidate, true, at, t+mapLat)
 				return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 			}
 		}
@@ -191,7 +196,9 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 		bd.Queue += wr.Stall
 		bd.Media = cfg.PCM.WriteLatency
 		bd.Metadata = mapLat
-		return memctrl.WriteOutcome{Done: wr.AcceptedAt + cfg.PCM.WriteLatency, Breakdown: bd, PhysAddr: phys}
+		done := wr.AcceptedAt + cfg.PCM.WriteLatency
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupUnique, logical, phys, false, at, done)
+		return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: phys}
 	}
 
 	// Predicted unique: CRC and encryption run in parallel — the pipeline
@@ -219,6 +226,7 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 			mapLat := s.DedupHit(logical, candidate, t)
 			bd.Metadata = mapLat
 			s.train(logical, true)
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueDup, logical, candidate, true, at, t+mapLat)
 			return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 		}
 	}
@@ -234,7 +242,9 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency
 	bd.Metadata = mapLat
-	return memctrl.WriteOutcome{Done: wr.AcceptedAt + cfg.PCM.WriteLatency, Breakdown: bd, PhysAddr: specPhys}
+	done := wr.AcceptedAt + cfg.PCM.WriteLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueUnique, logical, specPhys, false, at, done)
+	return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: specPhys}
 }
 
 // installFP points the CRC bucket at phys and persists the entry off the
@@ -251,7 +261,9 @@ func (s *DeWrite) installFP(crc, phys uint64, at sim.Time) {
 
 // Read implements memctrl.Scheme.
 func (s *DeWrite) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
-	return s.ReadPath(logical, at)
+	out := s.ReadPath(logical, at)
+	s.Env.Tel.OnRead(s.Name(), logical, out.Hit, at, out.Done)
+	return out
 }
 
 // MetadataNVMM implements memctrl.Scheme.

@@ -9,6 +9,7 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // SHA1 is the traditional full inline deduplication scheme (Dedup_SHA1 in
@@ -39,6 +40,9 @@ func NewSHA1(env *memctrl.Env) *SHA1 {
 		entries = 1
 	}
 	s.fpCache = cache.New[uint64](entries, 8, cache.LRU)
+	if env.Tel != nil {
+		s.fpCache.SetProbe(env.Tel.CacheProbe("sha1-fp"))
+	}
 	s.OnFree = s.purge
 	return s
 }
@@ -80,6 +84,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 		s.St.DupByCache++
 		mapLat := s.DedupHit(logical, phys, t)
 		bd.Metadata = mapLat
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, phys, true, at, t+mapLat)
 		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
 	}
 	s.St.FPCacheMisses++
@@ -96,6 +101,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 		s.fpCache.Put(d.Short, phys)
 		mapLat := s.DedupHit(logical, phys, t)
 		bd.Metadata = mapLat
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPNVMM, logical, phys, true, at, t+mapLat)
 		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
 	}
 
@@ -112,8 +118,10 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency
 	bd.Metadata = mapLat
+	done := wr.AcceptedAt + cfg.PCM.WriteLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecUniqueFPMiss, logical, phys, false, at, done)
 	return memctrl.WriteOutcome{
-		Done:      wr.AcceptedAt + cfg.PCM.WriteLatency,
+		Done:      done,
 		Breakdown: bd,
 		PhysAddr:  phys,
 	}
@@ -121,7 +129,9 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 
 // Read implements memctrl.Scheme.
 func (s *SHA1) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
-	return s.ReadPath(logical, at)
+	out := s.ReadPath(logical, at)
+	s.Env.Tel.OnRead(s.Name(), logical, out.Hit, at, out.Done)
+	return out
 }
 
 // MetadataNVMM implements memctrl.Scheme: the full SHA-1 index plus the

@@ -52,6 +52,7 @@ func (a *AMT) evict(ev cache.Evicted[amtEntry], now sim.Time) {
 		return
 	}
 	a.NVMMWrites++
+	a.env.Tel.OnAMTWriteback()
 	a.env.Device.Write(a.env.MetaLineFor(ev.Key), lineForMeta(ev.Key, ev.Value.phys), now)
 }
 
@@ -63,8 +64,10 @@ func (a *AMT) Lookup(logical uint64, at sim.Time) (phys uint64, ok bool, lat sim
 	lat = a.env.Cfg.Meta.SRAMLatency
 	a.env.ChargeSRAM()
 	if e, hit := a.cache.Get(logical); hit {
+		a.env.Tel.OnAMT(true)
 		return e.phys, e.mapped, lat
 	}
+	a.env.Tel.OnAMT(false)
 	phys, ok = a.backing[logical]
 	// The miss costs an NVMM metadata read whether or not the entry
 	// exists: the table bucket must be fetched to know. The fetched state
@@ -101,6 +104,7 @@ func (a *AMT) CrashFlush(now sim.Time) {
 	a.cache.Range(func(key uint64, e amtEntry, _ int) bool {
 		if e.dirty {
 			a.NVMMWrites++
+			a.env.Tel.OnAMTWriteback()
 			a.env.Device.Write(a.env.MetaLineFor(key), lineForMeta(key, e.phys), now)
 		}
 		return true

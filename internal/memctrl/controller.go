@@ -135,6 +135,10 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 	var mediaEnergyBase float64
 	var energyBase stats.EnergyLedger
 	var lagBase sim.Time
+	c.env.Tel.OnRunMark("run-start", 0, c.scheme.Name())
+	if warmLeft == 0 {
+		c.env.Tel.OnRunMark("run-measure", 0, "no warmup")
+	}
 	for {
 		rec, err := s.Next()
 		if errors.Is(err, io.EOF) {
@@ -206,6 +210,7 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 		}
 		doneRing[ringIdx] = done
 		ringIdx = (ringIdx + 1) % maxOut
+		c.env.Tel.OnRunProgress(lag)
 		if !measuring {
 			warmLeft--
 			if warmLeft == 0 {
@@ -214,10 +219,12 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 				mediaEnergyBase = c.env.Device.Stats.MediaEnergy
 				energyBase = c.env.Energy
 				lagBase = lag
+				c.env.Tel.OnRunMark("run-measure", arrival, "warmup complete")
 			}
 		}
 	}
 	idle := c.env.Device.Flush(last + lag)
+	c.env.Tel.OnRunMark("run-end", idle, c.scheme.Name())
 	res.Elapsed = idle
 	res.Stall = lag - lagBase
 

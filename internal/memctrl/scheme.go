@@ -24,6 +24,7 @@ import (
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // WriteOutcome reports how a scheme handled one dirty-eviction write.
@@ -154,6 +155,12 @@ type Env struct {
 	// encryption counters (config.Crypto.IntegrityEnabled).
 	Integrity *integrity.Tree
 
+	// Tel is the telemetry sink every layer reports into. It is nil when
+	// telemetry is off — all Sink hooks are nil-safe, so instrumented hot
+	// paths pay only one predictable branch per hook. Set it (via
+	// AttachTelemetry) before constructing a scheme so cache probes attach.
+	Tel *telemetry.Sink
+
 	// Address space layout: data lines occupy [0, DataLines); metadata
 	// structures hash into [DataLines, total lines).
 	DataLines uint64
@@ -177,6 +184,17 @@ func NewEnv(cfg config.Config) *Env {
 		e.Integrity = integrity.New(integrity.DefaultConfig(e.DataLines))
 	}
 	return e
+}
+
+// AttachTelemetry wires tel into the environment and the hardware it owns:
+// the device's media probe and the crypto engine's probe. Call before
+// constructing a scheme so scheme-owned caches pick up probes too.
+func (e *Env) AttachTelemetry(tel *telemetry.Sink) {
+	e.Tel = tel
+	if tel != nil {
+		e.Device.Probe = tel
+		e.Crypto.Probe = tel
+	}
 }
 
 // IntegrityUpdate refreshes the counter tree after a write to phys (no-op

@@ -87,6 +87,16 @@ type Stats struct {
 	MediaEnergy    float64 // nJ
 }
 
+// Probe receives media-level events as they happen. The Stats struct is
+// read by the single simulation thread only; a telemetry layer that must be
+// scraped concurrently mirrors activity through this interface instead
+// (telemetry's Sink satisfies it structurally).
+type Probe interface {
+	DeviceRead(rowHit bool)
+	DeviceWrite()
+	GapMove(from, to uint64, at sim.Time)
+}
+
 // Device is the PCM device. It is not safe for concurrent use.
 type Device struct {
 	cfg   config.PCM
@@ -95,6 +105,9 @@ type Device struct {
 	wear  map[uint64]uint64
 
 	Stats Stats
+	// Probe, when non-nil, observes every media read/write (and StartGap
+	// line move, fired by LeveledDevice).
+	Probe Probe
 }
 
 // New constructs a device from cfg. It panics on an invalid configuration;
@@ -153,9 +166,13 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 		start = b.busyUntil
 	}
 	lat := d.cfg.ReadLatency
-	if b.hasOpen && b.openLine == addr && d.cfg.RowHitLatency > 0 {
+	rowHit := b.hasOpen && b.openLine == addr && d.cfg.RowHitLatency > 0
+	if rowHit {
 		lat = d.cfg.RowHitLatency
 		d.Stats.RowHits++
+	}
+	if d.Probe != nil {
+		d.Probe.DeviceRead(rowHit)
 	}
 	b.openLine, b.hasOpen = addr, true
 	b.busyUntil = start + lat
@@ -207,6 +224,9 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	d.wear[addr]++
 	d.Stats.Writes++
 	d.Stats.MediaEnergy += d.cfg.WriteEnergy
+	if d.Probe != nil {
+		d.Probe.DeviceWrite()
+	}
 	res := WriteResult{AcceptedAt: ack, Stall: ack - now}
 	d.Stats.WriteStallTime += res.Stall
 	return res

@@ -75,6 +75,24 @@ func (h *Histogram) Record(t sim.Time) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n }
 
+// Sum returns the summed latency of all observations in picoseconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// EachBucket calls fn for every non-empty bucket in latency order with the
+// bucket's upper latency bound and its (non-cumulative) count, stopping
+// early if fn returns false. Exposition formats (e.g. Prometheus histogram
+// text) are built on this without touching the internal layout.
+func (h *Histogram) EachBucket(fn func(upper sim.Time, count uint64) bool) {
+	for b := 0; b < histBuckets; b++ {
+		if h.counts[b] == 0 {
+			continue
+		}
+		if !fn(bucketUpper(b), h.counts[b]) {
+			return
+		}
+	}
+}
+
 // Mean returns the mean latency (0 if empty).
 func (h *Histogram) Mean() sim.Time {
 	if h.n == 0 {

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 0 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 0 {
+		t.Errorf("Sum = %v", h.Sum())
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%v) = %v on empty histogram", p, got)
+		}
+	}
+	if pts := h.CDF(); len(pts) != 0 {
+		t.Errorf("CDF on empty histogram returned %d points", len(pts))
+	}
+	called := false
+	h.EachBucket(func(sim.Time, uint64) bool { called = true; return true })
+	if called {
+		t.Error("EachBucket visited a bucket of an empty histogram")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(250 * sim.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 250*sim.Nanosecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != 250*sim.Nanosecond || h.Max() != 250*sim.Nanosecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	// Every percentile of a single sample is that sample.
+	for _, p := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := h.Percentile(p); got != 250*sim.Nanosecond {
+			t.Errorf("Percentile(%v) = %v, want 250ns", p, got)
+		}
+	}
+	pts := h.CDF()
+	if len(pts) != 1 || pts[0].Frac != 1 {
+		t.Errorf("CDF = %v, want single point at Frac=1", pts)
+	}
+}
+
+func TestHistogramEachBucketEarlyStop(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Record(sim.Time(i) * sim.Microsecond)
+	}
+	visits := 0
+	h.EachBucket(func(sim.Time, uint64) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("EachBucket ignored stop: %d visits", visits)
+	}
+	var total uint64
+	h.EachBucket(func(_ sim.Time, n uint64) bool {
+		total += n
+		return true
+	})
+	if total != 10 {
+		t.Errorf("bucket counts sum to %d, want 10", total)
+	}
+}
+
+// TestBarChartManySeries exercises the marker wrap-around: with more
+// series than glyphs, markers repeat rather than index out of range.
+func TestBarChartManySeries(t *testing.T) {
+	names := []string{"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	c := NewBarChart("many", "x", names...)
+	for i, name := range names {
+		c.Set(name, "only", float64(i+1))
+	}
+	out := c.String()
+	for _, name := range names {
+		if !strings.Contains(out, name) {
+			t.Errorf("series %s missing from chart:\n%s", name, out)
+		}
+	}
+	// Series 0 and 6 (and 1 and 7) share a glyph after wrap-around.
+	lines := strings.Split(out, "\n")
+	legend := map[string]rune{}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && strings.HasPrefix(fields[1], "s") {
+			legend[fields[1]] = []rune(fields[0])[0]
+		}
+	}
+	if len(legend) != len(names) {
+		t.Fatalf("legend has %d entries, want %d:\n%s", len(legend), len(names), out)
+	}
+	if legend["s0"] != legend["s6"] || legend["s1"] != legend["s7"] {
+		t.Errorf("glyphs did not wrap around after 6 series: %v", legend)
+	}
+}
+
+// TestRenderCDFManySeries checks the CDF plot handles more series than
+// marker glyphs without panicking and lists every series in its legend.
+func TestRenderCDFManySeries(t *testing.T) {
+	series := map[string][]CDFPoint{}
+	for i := 0; i < 9; i++ {
+		name := string(rune('a' + i))
+		series[name] = []CDFPoint{
+			{Latency: sim.Time(100+10*i) * sim.Nanosecond, Frac: 0.5},
+			{Latency: sim.Time(500+50*i) * sim.Nanosecond, Frac: 1},
+		}
+	}
+	var sb strings.Builder
+	if err := RenderCDF(&sb, "wrap", series, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for name := range series {
+		if !strings.Contains(out, " "+name+"\n") {
+			t.Errorf("series %q missing from legend:\n%s", name, out)
+		}
+	}
+}

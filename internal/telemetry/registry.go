@@ -1,0 +1,321 @@
+// Package telemetry is the simulator's observability substrate: a
+// low-overhead metrics registry (atomic counters, gauges and log-bucketed
+// latency histograms) with Prometheus text-format and expvar-style JSON
+// exposition, a sampled structured event tracer for the write path
+// (JSONL and Chrome trace_event export), and an opt-in HTTP server that
+// serves the metrics plus net/http/pprof.
+//
+// The simulator itself is single-threaded, but the HTTP endpoint scrapes
+// metrics live while a run is in flight, so every metric primitive is safe
+// for concurrent use: counters and gauges are atomics, histograms take a
+// mutex per observation. The per-layer hooks are reached through a nil-safe
+// *Sink (see sink.go), so with telemetry off the hot path pays exactly one
+// predictable branch per instrumentation point.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter discards
+// increments, so call sites never need their own guard.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a settable instantaneous value. A nil *Gauge discards updates.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// TimeHistogram is a concurrency-safe latency histogram reusing the
+// log-bucketed stats.Histogram underneath: the simulation thread records,
+// the scrape goroutine snapshots under the same mutex.
+type TimeHistogram struct {
+	name string
+	help string
+	mu   sync.Mutex
+	h    stats.Histogram
+}
+
+// Observe records one latency sample.
+func (t *TimeHistogram) Observe(d sim.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.h.Record(d)
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (t *TimeHistogram) Snapshot() stats.Histogram {
+	if t == nil {
+		return stats.Histogram{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.h
+}
+
+// Registry holds the metric set of one telemetry instance. Metrics are
+// registered once (at Sink construction) and then only read or bumped, so
+// the registry lock is uncontended in steady state.
+type Registry struct {
+	mu     sync.RWMutex
+	order  []string // registration order of metric names
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*TimeHistogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*TimeHistogram),
+	}
+}
+
+// baseName strips a {label="value"} suffix: families share HELP/TYPE lines.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter returns the counter registered under name (which may carry a
+// {label="value"} suffix), creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.ctrs[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.ctrs[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// Histogram returns the latency histogram registered under name, creating
+// it on first use. Exposed bucket bounds are in nanoseconds.
+func (r *Registry) Histogram(name, help string) *TimeHistogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &TimeHistogram{name: name, help: help}
+	r.hists[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers per family, counters with a
+// _total-style value line, histograms as cumulative le-bucketed series
+// with _sum and _count. Latency buckets are exposed in nanoseconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seenFamily := make(map[string]bool)
+	for _, name := range r.order {
+		fam := baseName(name)
+		if c, ok := r.ctrs[name]; ok {
+			if !seenFamily[fam] {
+				seenFamily[fam] = true
+				if err := writeHeader(w, fam, c.help, "counter"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			if !seenFamily[fam] {
+				seenFamily[fam] = true
+				if err := writeHeader(w, fam, g.help, "gauge"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, g.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if th, ok := r.hists[name]; ok {
+			if !seenFamily[fam] {
+				seenFamily[fam] = true
+				if err := writeHeader(w, fam, th.help, "histogram"); err != nil {
+					return err
+				}
+			}
+			if err := writePromHistogram(w, name, th); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, fam, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+	return err
+}
+
+func writePromHistogram(w io.Writer, name string, th *TimeHistogram) error {
+	h := th.Snapshot()
+	var cum uint64
+	var err error
+	h.EachBucket(func(upper sim.Time, count uint64) bool {
+		cum += count
+		_, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, upper.Nanoseconds(), cum)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	// The internal sum is in picoseconds; expose nanoseconds to match the
+	// bucket bounds.
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum()/float64(sim.Nanosecond)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// WriteJSON renders the metrics as one flat JSON object in the spirit of
+// expvar's /debug/vars: metric name -> value, histograms expanded into
+// count/mean/p50/p99/max sub-keys, plus runtime memory stats. It is served
+// at /debug/vars on the telemetry server without touching the process-wide
+// expvar registry (which would collide across Systems).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	first := true
+	emit := func(key string, format string, args ...interface{}) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%q: ", key)
+		fmt.Fprintf(&sb, format, args...)
+	}
+	r.mu.RLock()
+	for _, name := range names {
+		switch {
+		case r.ctrs[name] != nil:
+			emit(name, "%d", r.ctrs[name].Value())
+		case r.gauges[name] != nil:
+			emit(name, "%d", r.gauges[name].Value())
+		case r.hists[name] != nil:
+			h := r.hists[name].Snapshot()
+			emit(name, `{"count": %d, "mean_ns": %g, "p50_ns": %g, "p99_ns": %g, "max_ns": %g}`,
+				h.Count(), h.Mean().Nanoseconds(), h.Percentile(0.5).Nanoseconds(),
+				h.Percentile(0.99).Nanoseconds(), h.Max().Nanoseconds())
+		}
+	}
+	r.mu.RUnlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	emit("memstats", `{"alloc": %d, "total_alloc": %d, "sys": %d, "num_gc": %d}`,
+		ms.Alloc, ms.TotalAlloc, ms.Sys, ms.NumGC)
+	sb.WriteString("\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServerOptions configures the telemetry HTTP server.
+type ServerOptions struct {
+	// Addr is the listen address (e.g. ":9090" or "127.0.0.1:0").
+	Addr string
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
+	Pprof bool
+}
+
+// Server serves the live metrics endpoint:
+//
+//	/metrics      Prometheus text exposition
+//	/debug/vars   expvar-style JSON (registry metrics + memstats)
+//	/debug/pprof  net/http/pprof (opt-in)
+//
+// The server runs on its own mux — never the process-global
+// http.DefaultServeMux — so multiple Systems can serve concurrently and
+// pprof exposure stays opt-in per server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Handler builds the telemetry mux for reg. Usable standalone (e.g. to
+// mount under an existing application server).
+func Handler(reg *Registry, enablePprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	if enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "esd telemetry\n  /metrics\n  /debug/vars\n")
+		if enablePprof {
+			fmt.Fprintf(w, "  /debug/pprof/\n")
+		}
+	})
+	return mux
+}
+
+// NewServer listens on opts.Addr and starts serving reg in a background
+// goroutine. Use Addr to discover the bound address (":0" supported) and
+// Close to shut down.
+func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", opts.Addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, opts.Pprof),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,438 @@
+package telemetry
+
+import (
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// Decision is the write-path verdict a scheme reached for one request. The
+// taxonomy covers every branch of the five schemes' Fig. 9/Fig. 4 write
+// paths, so per-decision counters explain *why* a run behaved as it did.
+type Decision uint8
+
+// Write-path decisions.
+const (
+	DecNone Decision = iota
+	// DecBaseline: no deduplication attempted (Baseline scheme).
+	DecBaseline
+	// DecDupFPCache: duplicate found via the on-chip fingerprint cache
+	// (SHA1/DeWrite) or the EFIT (ESD).
+	DecDupFPCache
+	// DecDupFPNVMM: duplicate found via the NVMM-resident fingerprint
+	// index (full-dedup schemes only).
+	DecDupFPNVMM
+	// DecUniqueFPMiss: fingerprint probe missed; line written as unique.
+	DecUniqueFPMiss
+	// DecUniqueCollision: fingerprint matched but the byte comparison
+	// found different content (collision caught); written as unique.
+	DecUniqueCollision
+	// DecUniqueReferH: duplicate found but the EFIT entry's reference
+	// count saturated at referH; rewritten as new content (ESD §III-D).
+	DecUniqueReferH
+	// DecPredDupDup: DeWrite T1 — predicted duplicate, was duplicate.
+	DecPredDupDup
+	// DecPredDupUnique: DeWrite F2 — predicted duplicate, was unique.
+	DecPredDupUnique
+	// DecPredUniqueUnique: DeWrite T3 — predicted unique, was unique.
+	DecPredUniqueUnique
+	// DecPredUniqueDup: DeWrite F4 — predicted unique, was duplicate
+	// (speculative encryption wasted).
+	DecPredUniqueDup
+	// DecDeltaWrite: BCD — stored as a compressed delta against a base.
+	DecDeltaWrite
+	// DecBaseWrite: BCD — stored as a new base line.
+	DecBaseWrite
+
+	numDecisions
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecBaseline:
+		return "baseline"
+	case DecDupFPCache:
+		return "dup-fp-cache"
+	case DecDupFPNVMM:
+		return "dup-fp-nvmm"
+	case DecUniqueFPMiss:
+		return "unique-fp-miss"
+	case DecUniqueCollision:
+		return "unique-collision"
+	case DecUniqueReferH:
+		return "unique-referh-overflow"
+	case DecPredDupDup:
+		return "pred-dup-dup"
+	case DecPredDupUnique:
+		return "pred-dup-unique"
+	case DecPredUniqueUnique:
+		return "pred-unique-unique"
+	case DecPredUniqueDup:
+		return "pred-unique-dup"
+	case DecDeltaWrite:
+		return "bcd-delta"
+	case DecBaseWrite:
+		return "bcd-base"
+	default:
+		return "none"
+	}
+}
+
+// Options configures a Sink.
+type Options struct {
+	// Tracer, when non-nil, receives sampled write/read events and every
+	// rare event; nil means counters/histograms only.
+	Tracer *Tracer
+	// SampleEvery emits one write/read event per N requests (default 1 =
+	// every request). Rare events (evictions, gap moves, counter
+	// overflows, crashes, run markers) are never sampled out.
+	SampleEvery int
+}
+
+// Sink is the per-System telemetry hub: the layers of the request path
+// call its hook methods, which bump registry metrics and (when tracing)
+// emit sampled events. A nil *Sink is fully valid and makes every hook a
+// single-branch no-op — this is the only cost telemetry-off hot paths pay.
+//
+// Hook methods are called by the (single) simulation thread; the registry
+// they update is safe to scrape concurrently.
+type Sink struct {
+	reg    *Registry
+	tracer *Tracer
+	sample uint64
+	nSeen  uint64 // write/read events considered for sampling (sim thread only)
+
+	writes    *Counter
+	reads     *Counter
+	dedup     *Counter
+	unique    *Counter
+	decisions [numDecisions]*Counter
+
+	writeLat *TimeHistogram
+	readLat  *TimeHistogram
+
+	efitInserts *Counter
+	efitEvicts  *Counter
+	efitEntries *Gauge
+	amtHits     *Counter
+	amtMisses   *Counter
+	amtWB       *Counter
+
+	devReads   *Counter
+	devWrites  *Counter
+	devRowHits *Counter
+	gapMoves   *Counter
+
+	encrypts     *Counter
+	decrypts     *Counter
+	ctrOverflows *Counter
+	reencrypts   *Counter
+
+	crashes    *Counter
+	events     *Counter
+	simNow     *Gauge
+	runReqs    *Counter
+	runStalled *Gauge
+}
+
+// NewSink builds a live sink with its own registry.
+func NewSink(opts Options) *Sink {
+	s := &Sink{
+		reg:    NewRegistry(),
+		tracer: opts.Tracer,
+		sample: uint64(opts.SampleEvery),
+	}
+	if s.sample < 1 {
+		s.sample = 1
+	}
+	r := s.reg
+	s.writes = r.Counter("esd_writes_total", "dirty-eviction writes handled by the scheme")
+	s.reads = r.Counter("esd_reads_total", "demand reads served")
+	s.dedup = r.Counter("esd_dedup_writes_total", "writes eliminated by deduplication")
+	s.unique = r.Counter("esd_unique_writes_total", "lines written to NVMM as unique content")
+	for d := Decision(1); d < numDecisions; d++ {
+		s.decisions[d] = r.Counter(
+			`esd_write_decision_total{decision="`+d.String()+`"}`,
+			"write-path decisions by verdict")
+	}
+	s.writeLat = r.Histogram("esd_write_latency_ns", "CPU-visible write latency (simulated)")
+	s.readLat = r.Histogram("esd_read_latency_ns", "CPU-visible read latency (simulated)")
+
+	s.efitInserts = r.Counter("esd_efit_inserts_total", "fingerprint entries installed in the EFIT")
+	s.efitEvicts = r.Counter("esd_efit_evictions_total", "EFIT entries displaced by the LRCU policy")
+	s.efitEntries = r.Gauge("esd_efit_entries", "live EFIT entries")
+	s.amtHits = r.Counter("esd_amt_cache_hits_total", "AMT SRAM cache hits")
+	s.amtMisses = r.Counter("esd_amt_cache_misses_total", "AMT SRAM cache misses (NVMM bucket fetch)")
+	s.amtWB = r.Counter("esd_amt_writebacks_total", "dirty AMT entries written back to NVMM")
+
+	s.devReads = r.Counter("esd_device_reads_total", "PCM media reads")
+	s.devWrites = r.Counter("esd_device_writes_total", "PCM media writes (data and metadata)")
+	s.devRowHits = r.Counter("esd_device_row_hits_total", "row-buffer hits")
+	s.gapMoves = r.Counter("esd_startgap_moves_total", "Start-Gap wear-leveling rotations")
+
+	s.encrypts = r.Counter("esd_crypto_encrypts_total", "counter-mode line encryptions")
+	s.decrypts = r.Counter("esd_crypto_decrypts_total", "counter-mode line decryptions")
+	s.ctrOverflows = r.Counter("esd_counter_overflows_total", "minor-counter overflows forcing page re-encryption")
+	s.reencrypts = r.Counter("esd_lines_reencrypted_total", "lines re-encrypted by counter-overflow rekeys")
+
+	s.crashes = r.Counter("esd_crashes_total", "simulated power failures")
+	s.events = r.Counter("esd_trace_events_total", "events emitted to the tracer")
+	s.simNow = r.Gauge("esd_sim_now_ps", "simulated clock (picoseconds)")
+	s.runReqs = r.Counter("esd_run_requests_total", "trace records replayed (including warm-up)")
+	s.runStalled = r.Gauge("esd_run_lag_ps", "accumulated closed-loop back-pressure lag")
+	return s
+}
+
+// Registry exposes the sink's metric set for exposition (nil-safe).
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the attached tracer, if any.
+func (s *Sink) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// emit forwards a non-sampled (rare) event to the tracer.
+func (s *Sink) emit(ev Event) {
+	if s.tracer == nil {
+		return
+	}
+	s.events.Inc()
+	s.tracer.Emit(ev)
+}
+
+// sampled reports whether the next write/read event falls on the sampling
+// grid. Called from the simulation thread only.
+func (s *Sink) sampledTick() bool {
+	s.nSeen++
+	return s.nSeen%s.sample == 0
+}
+
+// OnWrite records one scheme write: decision counter, latency histogram,
+// and (sampled) a structured trace event.
+func (s *Sink) OnWrite(scheme string, d Decision, logical, phys uint64, dedup bool, at, done sim.Time) {
+	if s == nil {
+		return
+	}
+	s.writes.Inc()
+	if dedup {
+		s.dedup.Inc()
+	} else {
+		s.unique.Inc()
+	}
+	if d > DecNone && d < numDecisions {
+		s.decisions[d].Inc()
+	}
+	s.writeLat.Observe(done - at)
+	s.simNow.Set(int64(done))
+	if s.tracer != nil && s.sampledTick() {
+		s.events.Inc()
+		s.tracer.Emit(Event{
+			At: int64(at), Kind: "write", Scheme: scheme,
+			Decision: d.String(), Logical: logical, Phys: phys,
+			Dedup: dedup, Lat: int64(done - at),
+		})
+	}
+}
+
+// OnRead records one demand read.
+func (s *Sink) OnRead(scheme string, logical uint64, hit bool, at, done sim.Time) {
+	if s == nil {
+		return
+	}
+	s.reads.Inc()
+	s.readLat.Observe(done - at)
+	s.simNow.Set(int64(done))
+	if s.tracer != nil && s.sampledTick() {
+		s.events.Inc()
+		detail := "miss"
+		if hit {
+			detail = "hit"
+		}
+		s.tracer.Emit(Event{
+			At: int64(at), Kind: "read", Scheme: scheme,
+			Logical: logical, Lat: int64(done - at), Detail: detail,
+		})
+	}
+}
+
+// OnEFITInsert records a fingerprint installation and the resulting entry
+// count.
+func (s *Sink) OnEFITInsert(entries int) {
+	if s == nil {
+		return
+	}
+	s.efitInserts.Inc()
+	s.efitEntries.Set(int64(entries))
+}
+
+// OnEFITEvict records an LRCU eviction (fp's entry with the given
+// reference count left the controller).
+func (s *Sink) OnEFITEvict(fp uint64, ref int, at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.efitEvicts.Inc()
+	s.emit(Event{At: int64(at), Kind: "efit-evict", Phys: fp,
+		Detail: "ref=" + itoa(ref)})
+}
+
+// OnAMT records one AMT SRAM cache probe.
+func (s *Sink) OnAMT(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.amtHits.Inc()
+	} else {
+		s.amtMisses.Inc()
+	}
+}
+
+// OnAMTWriteback records a dirty-entry write-back to the NVMM table.
+func (s *Sink) OnAMTWriteback() {
+	if s == nil {
+		return
+	}
+	s.amtWB.Inc()
+}
+
+// OnCrash records a simulated power failure.
+func (s *Sink) OnCrash(at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.crashes.Inc()
+	s.emit(Event{At: int64(at), Kind: "crash"})
+}
+
+// OnRunProgress is the controller's per-record hook (warm-up included).
+func (s *Sink) OnRunProgress(lag sim.Time) {
+	if s == nil {
+		return
+	}
+	s.runReqs.Inc()
+	s.runStalled.Set(int64(lag))
+}
+
+// OnRunMark emits a run lifecycle marker ("run-start", "run-measure",
+// "run-end").
+func (s *Sink) OnRunMark(kind string, at sim.Time, detail string) {
+	if s == nil {
+		return
+	}
+	s.emit(Event{At: int64(at), Kind: kind, Detail: detail})
+}
+
+// DeviceRead implements the nvm.Probe hook for media reads.
+func (s *Sink) DeviceRead(rowHit bool) {
+	if s == nil {
+		return
+	}
+	s.devReads.Inc()
+	if rowHit {
+		s.devRowHits.Inc()
+	}
+}
+
+// DeviceWrite implements the nvm.Probe hook for media writes.
+func (s *Sink) DeviceWrite() {
+	if s == nil {
+		return
+	}
+	s.devWrites.Inc()
+}
+
+// GapMove implements the nvm.Probe hook for Start-Gap rotations.
+func (s *Sink) GapMove(from, to uint64, at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.gapMoves.Inc()
+	s.emit(Event{At: int64(at), Kind: "gap-move", Logical: from, Phys: to})
+}
+
+// CryptoEncrypt implements the crypto.Probe hook.
+func (s *Sink) CryptoEncrypt() {
+	if s == nil {
+		return
+	}
+	s.encrypts.Inc()
+}
+
+// CryptoDecrypt implements the crypto.Probe hook.
+func (s *Sink) CryptoDecrypt() {
+	if s == nil {
+		return
+	}
+	s.decrypts.Inc()
+}
+
+// CounterOverflow implements the crypto.Probe hook for a minor-counter
+// overflow that re-encrypted linesRekeyed lines.
+func (s *Sink) CounterOverflow(linesRekeyed int) {
+	if s == nil {
+		return
+	}
+	s.ctrOverflows.Inc()
+	s.reencrypts.Add(uint64(linesRekeyed))
+	s.emit(Event{Kind: "ctr-overflow", Detail: "lines=" + itoa(linesRekeyed)})
+}
+
+// CacheProbe is a per-cache instance of the cache.Probe hook interface,
+// labeling hit/miss/eviction counters with the cache's role.
+type CacheProbe struct {
+	hits, misses, evicts *Counter
+}
+
+// CacheProbe returns a probe whose counters carry the given cache label
+// (e.g. "efit", "amt"). Returns nil (a valid no-op probe slot) on a nil
+// sink; callers assign the result to an interface field only when non-nil.
+func (s *Sink) CacheProbe(label string) *CacheProbe {
+	if s == nil {
+		return nil
+	}
+	return &CacheProbe{
+		hits:   s.reg.Counter(`esd_cache_hits_total{cache="`+label+`"}`, "SRAM cache hits by cache"),
+		misses: s.reg.Counter(`esd_cache_misses_total{cache="`+label+`"}`, "SRAM cache misses by cache"),
+		evicts: s.reg.Counter(`esd_cache_evictions_total{cache="`+label+`"}`, "SRAM cache evictions by cache"),
+	}
+}
+
+// Hit implements cache.Probe.
+func (p *CacheProbe) Hit() { p.hits.Inc() }
+
+// Miss implements cache.Probe.
+func (p *CacheProbe) Miss() { p.misses.Inc() }
+
+// Evict implements cache.Probe.
+func (p *CacheProbe) Evict() { p.evicts.Inc() }
+
+// itoa is a tiny strconv.Itoa for small non-negative values on hook paths.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

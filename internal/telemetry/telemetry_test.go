@@ -1,0 +1,419 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+func TestNilPrimitivesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *TimeHistogram
+	h.Observe(sim.Microsecond)
+	snap := h.Snapshot()
+	if snap.Count() != 0 {
+		t.Error("nil histogram recorded")
+	}
+}
+
+func TestNilSinkHooksAreNoOps(t *testing.T) {
+	var s *Sink
+	s.OnWrite("esd", DecDupFPCache, 1, 2, true, 0, 10)
+	s.OnRead("esd", 1, true, 0, 10)
+	s.OnEFITInsert(3)
+	s.OnEFITEvict(1, 2, 0)
+	s.OnAMT(true)
+	s.OnAMTWriteback()
+	s.OnCrash(0)
+	s.OnRunProgress(0)
+	s.OnRunMark("run-start", 0, "")
+	s.DeviceRead(true)
+	s.DeviceWrite()
+	s.GapMove(0, 1, 0)
+	s.CryptoEncrypt()
+	s.CryptoDecrypt()
+	s.CounterOverflow(4)
+	if s.Registry() != nil || s.Tracer() != nil {
+		t.Error("nil sink leaked non-nil accessors")
+	}
+	if p := s.CacheProbe("x"); p != nil {
+		t.Error("nil sink returned a probe")
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_ops_total", "operations")
+	c.Add(3)
+	// Two labeled counters in one family: HELP/TYPE must appear once.
+	a := r.Counter(`t_hits_total{kind="a"}`, "hits by kind")
+	b := r.Counter(`t_hits_total{kind="b"}`, "hits by kind")
+	a.Inc()
+	b.Add(2)
+	g := r.Gauge("t_depth", "queue depth")
+	g.Set(-4)
+	h := r.Histogram("t_lat_ns", "latency")
+	h.Observe(10 * sim.Nanosecond)
+	h.Observe(100 * sim.Nanosecond)
+	h.Observe(100 * sim.Nanosecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP t_ops_total operations",
+		"# TYPE t_ops_total counter",
+		"t_ops_total 3",
+		"# TYPE t_hits_total counter",
+		`t_hits_total{kind="a"} 1`,
+		`t_hits_total{kind="b"} 2`,
+		"# TYPE t_depth gauge",
+		"t_depth -4",
+		"# TYPE t_lat_ns histogram",
+		`t_lat_ns_bucket{le="+Inf"} 3`,
+		"t_lat_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE t_hits_total counter") != 1 {
+		t.Error("family header repeated for labeled series")
+	}
+	// Histogram buckets must be cumulative and non-decreasing.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "t_lat_ns_bucket") || strings.Contains(line, "+Inf") {
+			continue
+		}
+		var le float64
+		var n int64
+		if _, err := fmtSscanf(line, &le, &n); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		last = n
+	}
+}
+
+// fmtSscanf parses `name_bucket{le="X"} N`.
+func fmtSscanf(line string, le *float64, n *int64) (int, error) {
+	i := strings.Index(line, `le="`)
+	j := strings.Index(line[i+4:], `"`)
+	if i < 0 || j < 0 {
+		return 0, errors.New("no le label")
+	}
+	if _, err := jsonNumber(line[i+4:i+4+j], le); err != nil {
+		return 0, err
+	}
+	k := strings.LastIndexByte(line, ' ')
+	return 2, json.Unmarshal([]byte(line[k+1:]), n)
+}
+
+func jsonNumber(s string, f *float64) (int, error) {
+	return 1, json.Unmarshal([]byte(s), f)
+}
+
+func TestRegistryJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_ops_total", "").Add(9)
+	r.Gauge("j_depth", "").Set(2)
+	r.Histogram("j_lat_ns", "").Observe(50 * sim.Nanosecond)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if m["j_ops_total"].(float64) != 9 {
+		t.Errorf("j_ops_total = %v", m["j_ops_total"])
+	}
+	if _, ok := m["memstats"]; !ok {
+		t.Error("memstats missing")
+	}
+	hist, ok := m["j_lat_ns"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Errorf("histogram sub-object wrong: %v", m["j_lat_ns"])
+	}
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb, FormatJSONL)
+	tr.Emit(Event{At: 100, Kind: "write", Scheme: "esd", Decision: "dup-fp-cache", Logical: 7, Phys: 9, Dedup: true, Lat: 5000})
+	tr.Emit(Event{At: 200, Kind: "run-end", Detail: "esd"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	if events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Errorf("sequence numbers wrong: %d, %d", events[0].Seq, events[1].Seq)
+	}
+	want := Event{Seq: 1, At: 100, Kind: "write", Scheme: "esd", Decision: "dup-fp-cache", Logical: 7, Phys: 9, Dedup: true, Lat: 5000}
+	if events[0] != want {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", events[0], want)
+	}
+	if tr.Events() != 2 {
+		t.Errorf("Events() = %d", tr.Events())
+	}
+	// Close is idempotent.
+	if err := tr.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracerChromeFormat(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb, FormatChrome)
+	tr.Emit(Event{At: int64(2 * sim.Microsecond), Kind: "write", Scheme: "esd", Decision: "unique-fp-miss", Lat: int64(sim.Microsecond)})
+	tr.Emit(Event{At: 0, Kind: "efit-evict", Detail: "ref=1"})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal([]byte(sb.String()), &evs); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Ph != "X" || evs[0].Ts != 2 || evs[0].Dur != 1 {
+		t.Errorf("complete event wrong: %+v", evs[0])
+	}
+	if evs[0].Name != "esd:write" || evs[0].Args["decision"] != "unique-fp-miss" {
+		t.Errorf("names/args wrong: %+v", evs[0])
+	}
+	if evs[1].Ph != "i" || evs[1].Name != "efit-evict" {
+		t.Errorf("instant event wrong: %+v", evs[1])
+	}
+}
+
+func TestTracerChromeEmptyIsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb, FormatChrome)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal([]byte(sb.String()), &evs); err != nil {
+		t.Fatalf("empty chrome trace invalid: %v\n%q", err, sb.String())
+	}
+	if len(evs) != 0 {
+		t.Errorf("got %d events from empty trace", len(evs))
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > 1<<16 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTracerStickyError(t *testing.T) {
+	tr := NewTracer(&failWriter{}, FormatJSONL)
+	for i := 0; i < 5000; i++ {
+		tr.Emit(Event{At: int64(i), Kind: "write"})
+	}
+	if err := tr.Close(); err == nil {
+		t.Fatal("write error not surfaced by Close")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat(""); err != nil || f != FormatJSONL {
+		t.Errorf("ParseFormat(\"\") = %v, %v", f, err)
+	}
+	if f, err := ParseFormat("chrome"); err != nil || f != FormatChrome {
+		t.Errorf("ParseFormat(chrome) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("bogus format accepted")
+	}
+}
+
+func TestSinkCountersAndSampling(t *testing.T) {
+	var sb strings.Builder
+	tr := NewTracer(&sb, FormatJSONL)
+	s := NewSink(Options{Tracer: tr, SampleEvery: 3})
+	for i := 0; i < 9; i++ {
+		s.OnWrite("esd", DecUniqueFPMiss, uint64(i), uint64(i), false, 0, sim.Time(100*(i+1)))
+	}
+	s.OnWrite("esd", DecDupFPCache, 9, 0, true, 0, 50)
+	s.OnRead("esd", 1, true, 0, 200)
+	s.OnEFITEvict(42, 1, 500) // rare: always traced regardless of sampling
+	s.OnCrash(1000)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(name string) uint64 { return s.Registry().Counter(name, "").Value() }
+	if got := get("esd_writes_total"); got != 10 {
+		t.Errorf("writes = %d", got)
+	}
+	if got := get("esd_dedup_writes_total"); got != 1 {
+		t.Errorf("dedup = %d", got)
+	}
+	if got := get("esd_unique_writes_total"); got != 9 {
+		t.Errorf("unique = %d", got)
+	}
+	if got := get(`esd_write_decision_total{decision="unique-fp-miss"}`); got != 9 {
+		t.Errorf("decision counter = %d", got)
+	}
+	events, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes, rare int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "write", "read":
+			writes++
+		case "efit-evict", "crash":
+			rare++
+		}
+	}
+	// 11 sampled-class events at 1-in-3 → 3; both rare events always pass.
+	if writes != 3 {
+		t.Errorf("sampled events = %d, want 3", writes)
+	}
+	if rare != 2 {
+		t.Errorf("rare events = %d, want 2", rare)
+	}
+}
+
+func TestSinkHistogramExposition(t *testing.T) {
+	s := NewSink(Options{})
+	s.OnWrite("esd", DecBaseline, 0, 0, false, 0, 150*sim.Nanosecond)
+	var sb strings.Builder
+	if err := s.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "esd_write_latency_ns_count 1") {
+		t.Errorf("write latency histogram not exposed:\n%s", out)
+	}
+}
+
+func TestCacheProbeLabels(t *testing.T) {
+	s := NewSink(Options{})
+	p := s.CacheProbe("efit")
+	p.Hit()
+	p.Hit()
+	p.Miss()
+	p.Evict()
+	r := s.Registry()
+	if got := r.Counter(`esd_cache_hits_total{cache="efit"}`, "").Value(); got != 2 {
+		t.Errorf("hits = %d", got)
+	}
+	if got := r.Counter(`esd_cache_misses_total{cache="efit"}`, "").Value(); got != 1 {
+		t.Errorf("misses = %d", got)
+	}
+	if got := r.Counter(`esd_cache_evictions_total{cache="efit"}`, "").Value(); got != 1 {
+		t.Errorf("evicts = %d", got)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s := NewSink(Options{})
+	s.OnWrite("esd", DecBaseline, 1, 1, false, 0, 100)
+	srv, err := NewServer(s.Registry(), ServerOptions{Addr: "127.0.0.1:0", Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Errorf("/metrics status=%d content-type=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.Contains(string(body), "esd_writes_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Errorf("/debug/vars invalid JSON: %v", err)
+	}
+
+	resp, err = http.Get(srv.URL() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/cmdline status=%d with pprof on", resp.StatusCode)
+	}
+}
+
+func TestServerPprofOffByDefault(t *testing.T) {
+	srv, err := NewServer(NewRegistry(), ServerOptions{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/pprof/ status=%d, want 404 when pprof is off", resp.StatusCode)
+	}
+}
+
+func TestDecisionStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for d := Decision(1); d < numDecisions; d++ {
+		s := d.String()
+		if s == "none" || s == "" {
+			t.Errorf("decision %d has no name", d)
+		}
+		if seen[s] {
+			t.Errorf("duplicate decision name %q", s)
+		}
+		seen[s] = true
+	}
+}

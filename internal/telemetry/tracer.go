@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// Event is one structured write-path trace event. Events are flat and
+// JSON-friendly so a trace is greppable line by line; a zero field is
+// omitted from the encoding.
+type Event struct {
+	// Seq is the event's sequence number within its tracer.
+	Seq uint64 `json:"seq"`
+	// At is the simulated timestamp in picoseconds.
+	At int64 `json:"at_ps"`
+	// Kind classifies the event: "write", "read", "efit-evict",
+	// "gap-move", "ctr-overflow", "crash", "run-start", "run-measure",
+	// "run-end".
+	Kind string `json:"kind"`
+	// Scheme is the emitting scheme's name (write/read events).
+	Scheme string `json:"scheme,omitempty"`
+	// Decision is the write-path verdict (see Decision constants).
+	Decision string `json:"decision,omitempty"`
+	Logical  uint64 `json:"logical,omitempty"`
+	Phys     uint64 `json:"phys,omitempty"`
+	// Dedup reports whether the write was eliminated.
+	Dedup bool `json:"dedup,omitempty"`
+	// Lat is the request's CPU-visible latency in picoseconds.
+	Lat int64 `json:"lat_ps,omitempty"`
+	// Detail carries event-specific context (e.g. evicted ref count).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Format selects the tracer's on-disk encoding.
+type Format int
+
+// Trace encodings.
+const (
+	// FormatJSONL writes one JSON object per line; ReadEvents decodes it.
+	FormatJSONL Format = iota
+	// FormatChrome writes a Chrome trace_event JSON array loadable in
+	// chrome://tracing / Perfetto: write and read events become complete
+	// ("X") slices on one timeline, everything else becomes an instant
+	// ("i") event, with the simulated picosecond clock mapped onto the
+	// trace's microsecond axis.
+	FormatChrome
+)
+
+// ParseFormat resolves a format name ("jsonl" or "chrome").
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl", "":
+		return FormatJSONL, nil
+	case "chrome":
+		return FormatChrome, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown trace format %q (want jsonl or chrome)", s)
+	}
+}
+
+// Tracer encodes events to a writer. Emit is called by the simulation
+// thread only; Close may be called once from any goroutine after the run.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	format Format
+	seq    uint64
+	opened bool
+	closed bool
+	err    error
+}
+
+// NewTracer returns a tracer writing the given format to w. The caller
+// owns w; Close flushes but does not close it.
+func NewTracer(w io.Writer, format Format) *Tracer {
+	return &Tracer{w: bufio.NewWriterSize(w, 1<<16), format: format}
+}
+
+// Emit appends one event, assigning its sequence number. Encoding errors
+// are sticky and surfaced by Close.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	t.seq++
+	ev.Seq = t.seq
+	switch t.format {
+	case FormatChrome:
+		t.emitChrome(ev)
+	default:
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.err = err
+			return
+		}
+		if _, err := t.w.Write(b); err != nil {
+			t.err = err
+			return
+		}
+		t.err = t.w.WriteByte('\n')
+	}
+}
+
+// chromeEvent is the trace_event JSON shape chrome://tracing loads.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args"`
+}
+
+func (t *Tracer) emitChrome(ev Event) {
+	if !t.opened {
+		t.opened = true
+		if _, err := t.w.WriteString("[\n"); err != nil {
+			t.err = err
+			return
+		}
+	} else {
+		if _, err := t.w.WriteString(",\n"); err != nil {
+			t.err = err
+			return
+		}
+	}
+	const psPerUs = float64(sim.Microsecond)
+	ce := chromeEvent{
+		Name: ev.Kind,
+		Ph:   "i",
+		Ts:   float64(ev.At) / psPerUs,
+		Pid:  1,
+		Tid:  1,
+		Args: map[string]interface{}{"seq": ev.Seq},
+	}
+	if ev.Kind == "write" || ev.Kind == "read" {
+		ce.Ph = "X"
+		ce.Dur = float64(ev.Lat) / psPerUs
+	}
+	if ev.Scheme != "" {
+		ce.Name = ev.Scheme + ":" + ev.Kind
+		ce.Args["scheme"] = ev.Scheme
+	}
+	if ev.Decision != "" {
+		ce.Args["decision"] = ev.Decision
+	}
+	if ev.Kind == "write" || ev.Kind == "read" {
+		ce.Args["logical"] = ev.Logical
+		ce.Args["phys"] = ev.Phys
+		ce.Args["dedup"] = ev.Dedup
+	}
+	if ev.Detail != "" {
+		ce.Args["detail"] = ev.Detail
+	}
+	b, err := json.Marshal(ce)
+	if err != nil {
+		t.err = err
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// Events reports how many events have been emitted.
+func (t *Tracer) Events() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Close terminates the encoding (for Chrome, the closing bracket) and
+// flushes, returning the first error the tracer encountered.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	if t.format == FormatChrome {
+		if !t.opened {
+			if _, err := t.w.WriteString("["); err != nil {
+				t.err = err
+				return t.err
+			}
+		}
+		if _, err := t.w.WriteString("\n]\n"); err != nil {
+			t.err = err
+			return t.err
+		}
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// ReadEvents decodes a JSONL event trace back into events — the round-trip
+// counterpart of FormatJSONL. Decoding stops with an error at the first
+// malformed line.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return out, fmt.Errorf("telemetry: event %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}

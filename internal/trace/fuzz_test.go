@@ -38,23 +38,101 @@ func FuzzParseText(f *testing.F) {
 	})
 }
 
-// FuzzBinaryReader checks that arbitrary bytes never panic the binary
-// decoder.
-func FuzzBinaryReader(f *testing.F) {
+// validTrace encodes n records and returns the raw bytes.
+func validTrace(n int) []byte {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	_ = w.Write(Record{Op: OpWrite, Addr: 42, At: 7})
+	for i := 0; i < n; i++ {
+		_ = w.Write(Record{Op: Op(i % 2), Addr: uint64(i) * 64, At: 7})
+	}
 	_ = w.Close()
-	f.Add(buf.Bytes())
-	f.Add([]byte("ESDT\x01"))
-	f.Add([]byte("JUNK"))
+	return buf.Bytes()
+}
+
+// FuzzBinaryReader checks that arbitrary bytes never panic the binary
+// decoder, and that any prefix of records it does accept survives a
+// re-encode/re-decode round trip.
+func FuzzBinaryReader(f *testing.F) {
+	full := validTrace(3)
+	f.Add(full)
+	f.Add(full[:len(full)-1])          // truncated mid-record
+	f.Add(full[:len(full)-recordSize]) // clean truncation at a record boundary
+	f.Add([]byte("ESDT\x01"))          // header only
+	f.Add([]byte("ESDT\x02"))          // bogus version
+	f.Add([]byte("ESDT"))              // truncated header
+	f.Add([]byte("JUNK\x01"))          // bad magic
 	f.Add([]byte{})
+	f.Add(append([]byte("ESDT\x01"), bytes.Repeat([]byte{0xff}, recordSize)...)) // invalid op
 	f.Fuzz(func(t *testing.T, input []byte) {
 		r := NewReader(bytes.NewReader(input))
-		for i := 0; i < 100; i++ {
-			if _, err := r.Next(); err != nil {
-				return
+		var accepted []Record
+		for i := 0; i < 1000; i++ {
+			rec, err := r.Next()
+			if err != nil {
+				break
+			}
+			accepted = append(accepted, rec)
+		}
+		if len(accepted) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range accepted {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Collect(NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(accepted) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(accepted), len(again))
+		}
+		for i := range again {
+			if again[i] != accepted[i] {
+				t.Fatalf("record %d changed in round trip", i)
 			}
 		}
 	})
+}
+
+// TestBinaryReaderMalformed pins the decoder's behaviour on specific
+// malformed inputs: every case must error without panicking, and the
+// error text must identify the failure.
+func TestBinaryReaderMalformed(t *testing.T) {
+	full := validTrace(2)
+	cases := []struct {
+		name    string
+		input   []byte
+		wantErr string
+	}{
+		{"empty", nil, "truncated header"},
+		{"short magic", []byte("ES"), "truncated header"},
+		{"bad magic", []byte("XXXX\x01"), "bad magic"},
+		{"bad version", []byte("ESDT\x7f"), "unsupported version"},
+		{"truncated record", full[:len(full)-5], "truncated record"},
+		{"invalid op", append([]byte("ESDT\x01"), bytes.Repeat([]byte{0x09}, recordSize)...), "invalid op"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewReader(bytes.NewReader(tc.input))
+			var err error
+			for i := 0; i < 10; i++ {
+				if _, err = r.Next(); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				t.Fatal("malformed input decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
 }
