@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures examples clean
+.PHONY: all build test race vet bench figures examples serve-smoke clean
 
 all: build vet test
 
@@ -33,6 +33,11 @@ bench:
 # EXPERIMENTS.md used exactly this invocation).
 figures:
 	$(GO) run ./cmd/figures -fig all -requests 150000 -warmup 100000 -o results/
+
+# End-to-end smoke of the serving stack: boot esdserve, drive 1k
+# requests through esdload over HTTP and TCP, assert a clean drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -10,7 +10,9 @@ package esd
 // per iteration. Use -benchtime=1x for a single regeneration.
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"github.com/esdsim/esd/internal/experiments"
@@ -399,4 +401,64 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("trace", func(b *testing.B) {
 		run(b, WithEventTrace(io.Discard), WithTraceSampling(64))
 	})
+}
+
+// BenchmarkShardedThroughput measures end-to-end write throughput of the
+// sharded engine at 1/2/4/8 shards, with a duplicate-heavy stream (most
+// content drawn from a small pool, so the dedup fast path dominates) and
+// a unique-heavy one (every line distinct, so full write cost dominates).
+// A fixed worker count drives each configuration, so the shard sweep
+// isolates engine parallelism from client parallelism; speedups track the
+// host's core count (a single-core CI runner shows queueing behavior, not
+// parallel scaling).
+func BenchmarkShardedThroughput(b *testing.B) {
+	const workers = 8
+	run := func(b *testing.B, shards int, dupHeavy bool) {
+		cfg := DefaultConfig()
+		cfg.PCM.CapacityBytes = 1 << 30
+		sys, err := NewShardedSystem(cfg, SchemeESD, WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sys.Close()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var line Line
+				for i := 0; i < per; i++ {
+					addr := uint64(w*1_000_000 + i%65536)
+					if dupHeavy {
+						line.SetWord(0, uint64(i)%16)
+					} else {
+						line.SetWord(0, uint64(w)<<32|uint64(i))
+						line.SetWord(1, ^uint64(i))
+					}
+					if _, err := sys.Write(addr, line); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		elapsed := b.Elapsed().Seconds()
+		if elapsed > 0 {
+			b.ReportMetric(float64(per*workers)/elapsed, "writes/s")
+		}
+	}
+	for _, mix := range []struct {
+		name string
+		dup  bool
+	}{{"dup-heavy", true}, {"unique-heavy", false}} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/shards=%d", mix.name, shards), func(b *testing.B) {
+				run(b, shards, mix.dup)
+			})
+		}
+	}
 }

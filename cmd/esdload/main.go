@@ -1,0 +1,198 @@
+// Command esdload is a concurrent load generator for esdserve: it drives
+// the HTTP/JSON or raw-TCP API from N workers with a configurable
+// read/write mix and duplicate rate, then reports throughput, latency
+// percentiles and flow-control counts (shed / timeout).
+//
+// Examples:
+//
+//	esdload -addr http://localhost:8080 -n 100000 -workers 8
+//	esdload -addr localhost:8081 -proto tcp -writes 0.7 -dup 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/server"
+)
+
+func main() {
+	if err := cliMain(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "esdload:", err)
+		os.Exit(1)
+	}
+}
+
+// workerStats accumulates one worker's measurements (merged after the
+// run; no cross-worker sharing on the hot path).
+type workerStats struct {
+	latencies []time.Duration // wire round-trip per successful request
+	ok        uint64
+	shed      uint64
+	timeout   uint64
+	errs      uint64
+	lastErr   error
+}
+
+func cliMain(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("esdload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr     = fs.String("addr", "http://localhost:8080", "server base URL (http) or host:port (tcp)")
+		proto    = fs.String("proto", "http", "protocol: http or tcp")
+		n        = fs.Int("n", 10000, "total requests across all workers")
+		workers  = fs.Int("workers", 4, "concurrent workers (one connection each)")
+		writes   = fs.Float64("writes", 0.5, "fraction of requests that are writes")
+		dup      = fs.Float64("dup", 0.3, "fraction of written lines drawn from a small duplicate pool")
+		space    = fs.Uint64("space", 1<<20, "logical address space (lines)")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		flush    = fs.Bool("flush", true, "flush the engine after the run")
+		statsOut = fs.Bool("stats", true, "fetch and print server-side /v1/stats after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers <= 0 || *n <= 0 {
+		return fmt.Errorf("-n and -workers must be positive")
+	}
+	if *writes < 0 || *writes > 1 || *dup < 0 || *dup > 1 {
+		return fmt.Errorf("-writes and -dup must be in [0,1]")
+	}
+
+	newClient := func() (server.Client, error) {
+		switch *proto {
+		case "http":
+			base := *addr
+			if !strings.Contains(base, "://") {
+				base = "http://" + base
+			}
+			return server.NewHTTPClient(base), nil
+		case "tcp":
+			return server.DialTCP(*addr)
+		default:
+			return nil, fmt.Errorf("unknown -proto %q (want http or tcp)", *proto)
+		}
+	}
+
+	perWorker := *n / *workers
+	stats := make([]workerStats, *workers)
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	start := time.Now()
+	for wi := 0; wi < *workers; wi++ {
+		c, err := newClient()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(wi int, c server.Client) {
+			defer wg.Done()
+			defer c.Close()
+			st := &stats[wi]
+			st.latencies = make([]time.Duration, 0, perWorker)
+			rng := rand.New(rand.NewSource(*seed + int64(wi)))
+			for i := 0; i < perWorker && !aborted.Load(); i++ {
+				addr := rng.Uint64() % *space
+				reqStart := time.Now()
+				var err error
+				if rng.Float64() < *writes {
+					var line ecc.Line
+					if rng.Float64() < *dup {
+						line.SetWord(0, uint64(rng.Intn(16))) // 16-line duplicate pool
+					} else {
+						line.SetWord(0, rng.Uint64())
+						line.SetWord(1, rng.Uint64())
+					}
+					_, err = c.Write(addr, line)
+				} else {
+					_, err = c.Read(addr)
+				}
+				switch {
+				case err == nil:
+					st.latencies = append(st.latencies, time.Since(reqStart))
+					st.ok++
+				case err == server.ErrOverloaded:
+					st.shed++
+				case err == server.ErrTimeout:
+					st.timeout++
+				default:
+					st.errs++
+					st.lastErr = err
+					if st.errs > 100 { // broken server/connection: stop hammering
+						aborted.Store(true)
+						return
+					}
+				}
+			}
+		}(wi, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var ok, shed, timeouts, errs uint64
+	var lastErr error
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		ok += stats[i].ok
+		shed += stats[i].shed
+		timeouts += stats[i].timeout
+		errs += stats[i].errs
+		if stats[i].lastErr != nil {
+			lastErr = stats[i].lastErr
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	fmt.Fprintf(stdout, "esdload: %d ok, %d shed, %d timeout, %d errors in %v (%s, %d workers)\n",
+		ok, shed, timeouts, errs, elapsed.Round(time.Millisecond), *proto, *workers)
+	if ok > 0 {
+		fmt.Fprintf(stdout, "throughput: %.0f req/s\n", float64(ok)/elapsed.Seconds())
+		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	}
+	if lastErr != nil {
+		fmt.Fprintf(stdout, "last error: %v\n", lastErr)
+	}
+
+	if *flush || *statsOut {
+		c, err := newClient()
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		if *flush {
+			if err := c.Flush(); err != nil {
+				return fmt.Errorf("flush: %w", err)
+			}
+		}
+		if *statsOut {
+			st, err := c.Stats()
+			if err != nil {
+				return fmt.Errorf("stats: %w", err)
+			}
+			fmt.Fprintf(stdout, "server: scheme=%s shards=%d writes=%d reads=%d dedup=%.1f%% coalesced=%d shed=%d\n",
+				st.Scheme, st.Shards, st.Writes, st.Reads, st.DedupRate*100, st.Coalesced, st.Shed)
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("%d requests failed (last: %v)", errs, lastErr)
+	}
+	return nil
+}

@@ -81,6 +81,8 @@ func cliMain(args []string, stdout io.Writer) error {
 		traceOut    = fs.String("trace-out", "", "write sampled write-path events to this file")
 		traceFormat = fs.String("trace-format", "jsonl", "event trace encoding: jsonl or chrome")
 		traceSample = fs.Int("trace-sample", 1, "trace every Nth write/read event (rare events always traced)")
+		shards      = fs.Int("shards", 1, "partition the address space across N concurrent shards (sharded replay; ignores -warmup)")
+		coalesce    = fs.Bool("coalesce", false, "with -shards: coalesce same-address writes within a batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +129,24 @@ func cliMain(args []string, stdout io.Writer) error {
 	}
 	if *pprofFlag && *metricsAddr == "" {
 		return fmt.Errorf("-pprof needs -metrics-addr")
+	}
+
+	if *shards > 1 {
+		if *verify || *traceOut != "" {
+			return fmt.Errorf("-shards does not support -verify or -trace-out (per-request oracle and event traces are single-shard features)")
+		}
+		stream, err := pickStream(*traceFile, *mix, *app, *seed, *n)
+		if err != nil {
+			return err
+		}
+		return runSharded(stdout, cfg, scheme, stream, shardRun{
+			shards:      *shards,
+			coalesce:    *coalesce,
+			metricsAddr: *metricsAddr,
+			pprof:       *pprofFlag,
+			jsonOut:     *jsonOut,
+			latency:     *latency,
+		})
 	}
 
 	// Telemetry options: any observability flag switches the Sink on.
@@ -232,6 +252,147 @@ func cliMain(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "write-latency CDF written to %s\n", *latency)
 	}
 	return nil
+}
+
+// pickStream resolves the workload source for a sharded replay: a binary
+// trace file, a multi-programmed mix, or a built-in application profile.
+// The caller replays every record (no warm-up split).
+func pickStream(traceFile, mix, app string, seed uint64, n int) (esd.Stream, error) {
+	switch {
+	case traceFile != "":
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		// The process exits right after the replay; the descriptor rides
+		// along until then.
+		return trace.NewReader(f), nil
+	case mix != "":
+		return esd.MixStream(seed, n, strings.Split(mix, ",")...)
+	case app != "":
+		return esd.WorkloadStream(app, seed, n)
+	default:
+		return nil, fmt.Errorf("need -app, -mix or -trace (see -list)")
+	}
+}
+
+// shardRun bundles the sharded-replay knobs.
+type shardRun struct {
+	shards      int
+	coalesce    bool
+	metricsAddr string
+	pprof       bool
+	jsonOut     bool
+	latency     string
+}
+
+// runSharded replays the stream through a ShardedSystem and prints the
+// merged summary.
+func runSharded(w io.Writer, cfg esd.Config, scheme string, stream esd.Stream, opts shardRun) error {
+	sysOpts := []esd.ShardOption{esd.WithShards(opts.shards)}
+	if opts.coalesce {
+		sysOpts = append(sysOpts, esd.WithWriteCoalescing())
+	}
+	if opts.metricsAddr != "" {
+		sysOpts = append(sysOpts, esd.WithShardMetrics())
+	}
+	sys, err := esd.NewShardedSystem(cfg, scheme, sysOpts...)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if opts.metricsAddr != "" {
+		srv, err := sys.ServeMetrics(opts.metricsAddr, opts.pprof)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(w, "metrics: %s/metrics (per-shard labels)\n", srv.URL())
+	}
+	res, err := sys.Run(stream)
+	if err != nil {
+		return err
+	}
+	if opts.jsonOut {
+		if err := printShardedJSON(w, scheme, res); err != nil {
+			return err
+		}
+	} else {
+		printShardedResult(w, scheme, res)
+	}
+	if opts.latency != "" {
+		f, err := os.Create(opts.latency)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "# write-latency CDF, scheme=%s shards=%d\n# latency_ns cumulative_fraction\n", scheme, res.Shards)
+		for _, p := range res.WriteHist.CDF() {
+			fmt.Fprintf(f, "%.1f %.6f\n", p.Latency.Nanoseconds(), p.Frac)
+		}
+		fmt.Fprintf(w, "write-latency CDF written to %s\n", opts.latency)
+	}
+	return nil
+}
+
+// shardedJSON is the machine-readable shape of a sharded replay.
+type shardedJSON struct {
+	Scheme       string  `json:"scheme"`
+	Shards       int     `json:"shards"`
+	Requests     uint64  `json:"requests"`
+	Reads        uint64  `json:"reads"`
+	Writes       uint64  `json:"writes"`
+	WriteMeanNs  float64 `json:"write_mean_ns"`
+	WriteP99Ns   float64 `json:"write_p99_ns"`
+	ReadMeanNs   float64 `json:"read_mean_ns"`
+	ReadP99Ns    float64 `json:"read_p99_ns"`
+	DedupRate    float64 `json:"dedup_rate"`
+	UniqueWrites uint64  `json:"unique_writes"`
+	EnergyNJ     float64 `json:"energy_nj"`
+	MediaWrites  uint64  `json:"media_writes"`
+	MetadataNVMM int64   `json:"metadata_nvmm_bytes"`
+	MaxWear      uint64  `json:"max_wear"`
+	Coalesced    uint64  `json:"coalesced_writes"`
+	ElapsedNs    float64 `json:"simulated_ns"`
+}
+
+func printShardedJSON(w io.Writer, scheme string, res *esd.ShardReplayResult) error {
+	out := shardedJSON{
+		Scheme:       scheme,
+		Shards:       res.Shards,
+		Requests:     res.Requests,
+		Reads:        res.Reads,
+		Writes:       res.Writes,
+		WriteMeanNs:  res.WriteHist.Mean().Nanoseconds(),
+		WriteP99Ns:   res.WriteHist.Percentile(0.99).Nanoseconds(),
+		ReadMeanNs:   res.ReadHist.Mean().Nanoseconds(),
+		ReadP99Ns:    res.ReadHist.Percentile(0.99).Nanoseconds(),
+		DedupRate:    res.Scheme.DedupRate(),
+		UniqueWrites: res.Scheme.UniqueWrites,
+		EnergyNJ:     res.Energy.Total(),
+		MediaWrites:  res.DeviceWrites,
+		MetadataNVMM: res.MetadataNVMM,
+		MaxWear:      res.MaxWear,
+		Coalesced:    res.Coalesced,
+		ElapsedNs:    res.Now.Nanoseconds(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func printShardedResult(w io.Writer, scheme string, res *esd.ShardReplayResult) {
+	fmt.Fprintf(w, "scheme=%s shards=%d requests=%d (reads=%d writes=%d) simulated=%v\n",
+		scheme, res.Shards, res.Requests, res.Reads, res.Writes, res.Now)
+	fmt.Fprintf(w, "writes:  mean=%v p50=%v p99=%v max=%v\n",
+		res.WriteHist.Mean(), res.WriteHist.Percentile(0.5), res.WriteHist.Percentile(0.99), res.WriteHist.Max())
+	fmt.Fprintf(w, "reads:   mean=%v p50=%v p99=%v max=%v\n",
+		res.ReadHist.Mean(), res.ReadHist.Percentile(0.5), res.ReadHist.Percentile(0.99), res.ReadHist.Max())
+	st := res.Scheme
+	fmt.Fprintf(w, "dedup:   eliminated=%d/%d (%.1f%%)  unique-writes=%d  coalesced=%d\n",
+		st.DedupWrites, st.Writes, st.DedupRate()*100, st.UniqueWrites, res.Coalesced)
+	fmt.Fprintf(w, "energy:  total=%.1f uJ   device: media-writes=%d  metadata-nvmm=%d B  wear(max=%d mean=%.2f)\n",
+		res.Energy.Total()/1000, res.DeviceWrites, res.MetadataNVMM, res.MaxWear, res.MeanWear)
 }
 
 // jsonResult is the machine-readable shape of a run.

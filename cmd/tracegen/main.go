@@ -23,38 +23,54 @@ import (
 )
 
 func main() {
-	var (
-		app     = flag.String("app", "", "application profile to generate")
-		n       = flag.Int("n", 100000, "number of records")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("o", "-", "output path ('-' = stdout)")
-		format  = flag.String("format", "bin", "output format: bin or text")
-		stats   = flag.Bool("stats", false, "print duplicate statistics instead of a trace")
-		inspect = flag.String("inspect", "", "summarize an existing binary trace file")
-		cpu     = flag.Bool("cpu", false, "derive the trace by driving the Table I L1/L2/L3 hierarchy with -n CPU accesses (gem5-style)")
-		cores   = flag.Int("cores", 1, "with -cpu: use this many cores with private L1/L2 over a shared L3")
-	)
-	flag.Parse()
-
-	switch {
-	case *inspect != "":
-		if err := inspectTrace(*inspect); err != nil {
-			fatal(err)
-		}
-	case *stats:
-		if err := printStats(*app, *seed, *n); err != nil {
-			fatal(err)
-		}
-	case *app != "":
-		if err := generate(*app, *seed, *n, *out, *format, *cpu, *cores); err != nil {
-			fatal(err)
-		}
-	default:
-		fatal(fmt.Errorf("need -app, -stats or -inspect"))
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
 	}
 }
 
-func generate(app string, seed uint64, n int, out, format string, cpu bool, cores int) error {
+// run is the testable body of the command: trace data goes to stdout (or
+// -o), progress notes to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app     = fs.String("app", "", "application profile to generate")
+		n       = fs.Int("n", 100000, "number of records")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		out     = fs.String("o", "-", "output path ('-' = stdout)")
+		format  = fs.String("format", "bin", "output format: bin or text")
+		stats   = fs.Bool("stats", false, "print duplicate statistics instead of a trace")
+		inspect = fs.String("inspect", "", "summarize an existing binary trace file")
+		cpu     = fs.Bool("cpu", false, "derive the trace by driving the Table I L1/L2/L3 hierarchy with -n CPU accesses (gem5-style)")
+		cores   = fs.Int("cores", 1, "with -cpu: use this many cores with private L1/L2 over a shared L3")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive, got %d", *n)
+	}
+	if *cores < 1 {
+		return fmt.Errorf("-cores must be at least 1, got %d", *cores)
+	}
+	if *cores > 1 && !*cpu {
+		return fmt.Errorf("-cores needs -cpu")
+	}
+
+	switch {
+	case *inspect != "":
+		return inspectTrace(stdout, *inspect)
+	case *stats:
+		return printStats(stdout, *app, *seed, *n)
+	case *app != "":
+		return generate(stdout, stderr, *app, *seed, *n, *out, *format, *cpu, *cores)
+	default:
+		return fmt.Errorf("need -app, -stats or -inspect")
+	}
+}
+
+func generate(stdout, stderr io.Writer, app string, seed uint64, n int, out, format string, cpu bool, cores int) error {
 	var stream trace.Stream
 	if cpu {
 		p, ok := workload.ByName(app)
@@ -64,12 +80,12 @@ func generate(app string, seed uint64, n int, out, format string, cpu bool, core
 		cfg := config.Default()
 		if cores > 1 {
 			records, st, migrations := cpucache.MultiCoreTrace(p, cores, cfg.L1, cfg.L2, cfg.L3, seed, n)
-			fmt.Fprintf(os.Stderr, "cpu mode (%d cores): %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs, %d migrations)\n",
+			fmt.Fprintf(stderr, "cpu mode (%d cores): %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs, %d migrations)\n",
 				cores, st.Accesses, len(records), st.MissRate()*100, st.WriteBacks, migrations)
 			stream = trace.NewSliceStream(records)
 		} else {
 			records, st := cpucache.CPUTrace(p, cfg.L1, cfg.L2, cfg.L3, seed, n)
-			fmt.Fprintf(os.Stderr, "cpu mode: %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs)\n",
+			fmt.Fprintf(stderr, "cpu mode: %d accesses -> %d LLC events (miss rate %.1f%%, %d write-backs)\n",
 				st.Accesses, len(records), st.MissRate()*100, st.WriteBacks)
 			stream = trace.NewSliceStream(records)
 		}
@@ -80,7 +96,7 @@ func generate(app string, seed uint64, n int, out, format string, cpu bool, core
 			return err
 		}
 	}
-	var w io.Writer = os.Stdout
+	w := stdout
 	if out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -107,7 +123,7 @@ func generate(app string, seed uint64, n int, out, format string, cpu bool, core
 		if err := tw.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d records\n", tw.Count())
+		fmt.Fprintf(stderr, "wrote %d records\n", tw.Count())
 	case "text":
 		records, err := trace.Collect(stream)
 		if err != nil {
@@ -122,7 +138,7 @@ func generate(app string, seed uint64, n int, out, format string, cpu bool, core
 	return nil
 }
 
-func printStats(app string, seed uint64, n int) error {
+func printStats(w io.Writer, app string, seed uint64, n int) error {
 	stream, err := esd.WorkloadStream(app, seed, n)
 	if err != nil {
 		return err
@@ -131,17 +147,17 @@ func printStats(app string, seed uint64, n int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("app=%s records=%d writes=%d unique=%d\n", app, n, st.Writes, st.UniqueLines)
-	fmt.Printf("duplicate rate: %.1f%%   zero-line writes: %.1f%%\n",
+	fmt.Fprintf(w, "app=%s records=%d writes=%d unique=%d\n", app, n, st.Writes, st.UniqueLines)
+	fmt.Fprintf(w, "duplicate rate: %.1f%%   zero-line writes: %.1f%%\n",
 		st.DupRate*100, 100*float64(st.ZeroWrites)/float64(st.Writes))
-	fmt.Println("reference-count classes (unique-share / write-volume-share):")
+	fmt.Fprintln(w, "reference-count classes (unique-share / write-volume-share):")
 	for c := workload.Num1; c < workload.NumClasses; c++ {
-		fmt.Printf("  %-9s %6.2f%% / %6.2f%%\n", c, st.UniqueShare(c)*100, st.WriteShare(c)*100)
+		fmt.Fprintf(w, "  %-9s %6.2f%% / %6.2f%%\n", c, st.UniqueShare(c)*100, st.WriteShare(c)*100)
 	}
 	return nil
 }
 
-func inspectTrace(path string) error {
+func inspectTrace(w io.Writer, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -170,14 +186,9 @@ func inspectTrace(path string) error {
 			reads++
 		}
 	}
-	fmt.Printf("%s: %d records (%d reads, %d writes)\n", path, n, reads, writes)
+	fmt.Fprintf(w, "%s: %d records (%d reads, %d writes)\n", path, n, reads, writes)
 	if n > 0 {
-		fmt.Printf("time span: %v .. %v\n", first.At, last.At)
+		fmt.Fprintf(w, "time span: %v .. %v\n", first.At, last.At)
 	}
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenTextTraces locks down the generator's determinism: for a
+// fixed profile and seed, the text-format trace must be byte-identical
+// across runs and machines. Regenerate with `go test ./cmd/tracegen
+// -update` after an intentional workload-model change.
+func TestGoldenTextTraces(t *testing.T) {
+	for _, app := range []string{"lbm", "gcc"} {
+		t.Run(app, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run([]string{"-app", app, "-n", "40", "-seed", "7", "-format", "text"}, &stdout, &stderr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", app+"_n40_seed7.txt")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./cmd/tracegen -update` to create goldens)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output diverged from %s:\ngot:\n%s\nwant:\n%s", golden, stdout.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestGoldenStats locks the -stats report (Fig.1/Fig.3 inputs) the same
+// way.
+func TestGoldenStats(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", "-app", "mcf", "-n", "5000", "-seed", "7"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "mcf_stats_n5000_seed7.txt")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/tracegen -update` to create goldens)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("stats output diverged from %s:\ngot:\n%s\nwant:\n%s", golden, stdout.Bytes(), want)
+	}
+}
+
+// TestBinaryRoundTrip generates a binary trace to a file and checks
+// -inspect reads back the same record counts.
+func TestBinaryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.esdt")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-app", "lbm", "-n", "100", "-o", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "wrote 100 records") {
+		t.Fatalf("generate note = %q, want 'wrote 100 records'", stderr.String())
+	}
+	stdout.Reset()
+	if err := run([]string{"-inspect", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "100 records") {
+		t.Fatalf("inspect output = %q, want it to mention 100 records", stdout.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"no mode", nil, "need -app, -stats or -inspect"},
+		{"unknown app", []string{"-app", "nosuchapp", "-n", "10"}, "unknown application"},
+		{"bad format", []string{"-app", "lbm", "-n", "10", "-format", "xml"}, "unknown format"},
+		{"negative n", []string{"-app", "lbm", "-n", "-5"}, "-n must be positive"},
+		{"cores without cpu", []string{"-app", "lbm", "-n", "10", "-cores", "4"}, "-cores needs -cpu"},
+		{"zero cores", []string{"-app", "lbm", "-n", "10", "-cpu", "-cores", "0"}, "-cores must be at least 1"},
+		{"unknown flag", []string{"-nope"}, "flag provided but not defined"},
+		{"missing inspect file", []string{"-inspect", "/nonexistent/t.esdt"}, "no such file"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", tc.args, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

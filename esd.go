@@ -23,6 +23,7 @@
 package esd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -34,6 +35,7 @@ import (
 	"github.com/esdsim/esd/internal/experiments"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/shard"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
 	"github.com/esdsim/esd/internal/telemetry"
@@ -257,6 +259,11 @@ func (s *System) tick() Time {
 // Write stores a 64-byte line at a logical line address, advancing the
 // internal clock. It returns the scheme's outcome (latency, whether the
 // line was deduplicated, the backing physical line).
+//
+// Write is NOT safe for concurrent use: the scheme's metadata caches and
+// the device model are single-threaded, mirroring one memory controller
+// pipeline. Concurrent callers must use NewShardedSystem, which partitions
+// the address space across independently locked shards.
 func (s *System) Write(addr uint64, line Line) WriteOutcome {
 	at := s.tick()
 	out := s.scheme.Write(addr, &line, at)
@@ -281,6 +288,9 @@ func (s *System) WriteAt(addr uint64, line Line, at Time) WriteOutcome {
 
 // Read fetches the plaintext line at a logical address, advancing the
 // internal clock. Hit reports whether the address was ever written.
+//
+// Like Write, Read is NOT safe for concurrent use — see NewShardedSystem
+// for a goroutine-safe front.
 func (s *System) Read(addr uint64) (Line, ReadOutcome) {
 	at := s.tick()
 	out := s.scheme.Read(addr, at)
@@ -362,8 +372,14 @@ func (m *MetricsServer) Addr() string { return m.srv.Addr() }
 // URL returns the server's base URL.
 func (m *MetricsServer) URL() string { return m.srv.URL() }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight scrapes.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Shutdown gracefully stops the server: it stops accepting new
+// connections and waits for in-flight scrapes to finish, up to ctx's
+// deadline (after which remaining connections are force-closed and
+// ctx.Err() is returned).
+func (m *MetricsServer) Shutdown(ctx context.Context) error { return m.srv.Shutdown(ctx) }
 
 // ServeMetrics starts a background HTTP server on addr (":0" picks a free
 // port; use Addr to discover it) exposing this System's live metrics.
@@ -416,6 +432,178 @@ func (s *System) MetadataNVMM() int64 { return s.scheme.MetadataNVMM() }
 // DeviceWrites returns the number of media writes performed (data and
 // metadata).
 func (s *System) DeviceWrites() uint64 { return s.env.Device.Stats.Writes }
+
+// Flow-control errors surfaced by ShardedSystem.
+var (
+	// ErrOverloaded reports a Try* request shed because the target shard's
+	// queue was full.
+	ErrOverloaded = shard.ErrOverloaded
+	// ErrClosed reports a request submitted after ShardedSystem.Close.
+	ErrClosed = shard.ErrClosed
+)
+
+// ReadResult is a completed sharded read: the plaintext line, whether the
+// address was ever written, and the simulated service latency.
+type ReadResult = shard.ReadResult
+
+// ShardSnapshot is one shard's view of its counters.
+type ShardSnapshot = shard.Snapshot
+
+// ShardSummary merges per-shard snapshots into aggregate counters shaped
+// like the single-shard System's reports.
+type ShardSummary = shard.Summary
+
+// ShardReplayResult reports a sharded trace replay.
+type ShardReplayResult = shard.ReplayResult
+
+// ShardOption configures a ShardedSystem at construction.
+type ShardOption func(*shard.Options)
+
+// WithShards sets the number of independent shards (default 1). Logical
+// address a routes to shard a mod n; each shard owns 1/n of the device
+// capacity as its private bank group.
+func WithShards(n int) ShardOption {
+	return func(o *shard.Options) { o.Shards = n }
+}
+
+// WithShardQueueDepth bounds each shard's request queue (default 128). A
+// full queue blocks Write/Read and sheds TryWrite/TryRead with
+// ErrOverloaded.
+func WithShardQueueDepth(n int) ShardOption {
+	return func(o *shard.Options) { o.QueueDepth = n }
+}
+
+// WithShardBatching sets how many queued requests a shard worker drains
+// per wakeup (default 32).
+func WithShardBatching(n int) ShardOption {
+	return func(o *shard.Options) { o.Batch = n }
+}
+
+// WithWriteCoalescing collapses same-address writes within one drained
+// batch (never across an intervening read of that address). Off by
+// default because coalescing changes the dedup statistics: absorbed
+// writes never reach the scheme.
+func WithWriteCoalescing() ShardOption {
+	return func(o *shard.Options) { o.Coalesce = true }
+}
+
+// WithShardMetrics enables per-shard telemetry sinks on one shared
+// registry; every metric carries a shard="i" label. See
+// ShardedSystem.WriteMetrics.
+func WithShardMetrics() ShardOption {
+	return func(o *shard.Options) { o.Metrics = true }
+}
+
+// ShardedSystem is the goroutine-safe counterpart of System: it
+// partitions the line-address space across N independent shards (each its
+// own scheme instance, metadata caches and PCM bank group) driven by one
+// worker goroutine per shard behind bounded queues. Any number of
+// goroutines may call its methods concurrently; requests to the same
+// shard execute in submission order.
+//
+// Deduplication happens only within a shard — cross-shard duplicate
+// content occupies one physical line per shard. See DESIGN.md §7 for the
+// rationale and the determinism contract.
+type ShardedSystem struct {
+	eng *shard.Engine
+}
+
+// NewShardedSystem builds a sharded engine running the named scheme on
+// every shard.
+func NewShardedSystem(cfg Config, scheme string, opts ...ShardOption) (*ShardedSystem, error) {
+	var o shard.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	eng, err := shard.New(cfg, scheme, o)
+	if err != nil {
+		return nil, fmt.Errorf("esd: %w", err)
+	}
+	return &ShardedSystem{eng: eng}, nil
+}
+
+// NumShards returns the shard count.
+func (s *ShardedSystem) NumShards() int { return s.eng.NumShards() }
+
+// SchemeName returns the scheme every shard runs.
+func (s *ShardedSystem) SchemeName() string { return s.eng.SchemeName() }
+
+// Write stores a line, blocking while the owning shard's queue is full
+// and until the shard has processed it. Safe for concurrent use.
+func (s *ShardedSystem) Write(addr uint64, line Line) (WriteOutcome, error) {
+	return s.eng.Write(addr, line)
+}
+
+// TryWrite is Write with load shedding (ErrOverloaded on a full queue)
+// and a deadline (ctx expiring while queued abandons the wait; the shard
+// still executes the write).
+func (s *ShardedSystem) TryWrite(ctx context.Context, addr uint64, line Line) (WriteOutcome, error) {
+	return s.eng.TryWrite(ctx, addr, line)
+}
+
+// Read fetches the plaintext line at a logical address (blocking).
+func (s *ShardedSystem) Read(addr uint64) (ReadResult, error) {
+	return s.eng.Read(addr)
+}
+
+// TryRead is Read with load shedding and a deadline (see TryWrite).
+func (s *ShardedSystem) TryRead(ctx context.Context, addr uint64) (ReadResult, error) {
+	return s.eng.TryRead(ctx, addr)
+}
+
+// Flush is a full barrier: every request enqueued before the call has
+// executed and every shard's device write queue has drained on return.
+func (s *ShardedSystem) Flush() error { return s.eng.Flush() }
+
+// Summary snapshots and merges every shard's counters (a barrier like
+// Flush).
+func (s *ShardedSystem) Summary() (ShardSummary, error) { return s.eng.Summary() }
+
+// Snapshots returns the per-shard views behind Summary.
+func (s *ShardedSystem) Snapshots() ([]ShardSnapshot, error) { return s.eng.Snapshots() }
+
+// Run replays a trace stream, routing each record to its owning shard,
+// and returns the merged result. Arrival timestamps are ignored (each
+// shard self-clocks).
+func (s *ShardedSystem) Run(stream Stream) (*ShardReplayResult, error) {
+	return s.eng.Replay(stream)
+}
+
+// Shed returns the number of Try* requests rejected with ErrOverloaded.
+func (s *ShardedSystem) Shed() uint64 { return s.eng.Shed() }
+
+// TelemetryEnabled reports whether the system was built with
+// WithShardMetrics.
+func (s *ShardedSystem) TelemetryEnabled() bool { return s.eng.Registry() != nil }
+
+// WriteMetrics renders the current per-shard metrics in the Prometheus
+// text exposition format.
+func (s *ShardedSystem) WriteMetrics(w io.Writer) error {
+	reg := s.eng.Registry()
+	if reg == nil {
+		return ErrTelemetryDisabled
+	}
+	return reg.WritePrometheus(w)
+}
+
+// ServeMetrics starts a background HTTP server exposing the per-shard
+// metrics (see System.ServeMetrics). Requires WithShardMetrics.
+func (s *ShardedSystem) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, error) {
+	reg := s.eng.Registry()
+	if reg == nil {
+		return nil, ErrTelemetryDisabled
+	}
+	srv, err := telemetry.NewServer(reg, telemetry.ServerOptions{Addr: addr, Pprof: enablePprof})
+	if err != nil {
+		return nil, fmt.Errorf("esd: %w", err)
+	}
+	return &MetricsServer{srv: srv}, nil
+}
+
+// Close drains every shard queue, flushes the devices and stops the
+// workers. Requests submitted after Close fail with ErrClosed; Close is
+// idempotent.
+func (s *ShardedSystem) Close() error { return s.eng.Close() }
 
 // Compile-time checks that the schemes satisfy the Scheme interface.
 var (

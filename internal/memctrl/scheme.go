@@ -96,6 +96,29 @@ func (s SchemeStats) Sub(base SchemeStats) SchemeStats {
 	}
 }
 
+// Add returns s plus other, field-wise; used by the sharded engine to
+// aggregate per-shard counters into one system-wide view.
+func (s SchemeStats) Add(other SchemeStats) SchemeStats {
+	return SchemeStats{
+		Writes:            s.Writes + other.Writes,
+		Reads:             s.Reads + other.Reads,
+		UniqueWrites:      s.UniqueWrites + other.UniqueWrites,
+		DedupWrites:       s.DedupWrites + other.DedupWrites,
+		FPCacheHits:       s.FPCacheHits + other.FPCacheHits,
+		FPCacheMisses:     s.FPCacheMisses + other.FPCacheMisses,
+		FPNVMMLookups:     s.FPNVMMLookups + other.FPNVMMLookups,
+		DupByCache:        s.DupByCache + other.DupByCache,
+		DupByNVMM:         s.DupByNVMM + other.DupByNVMM,
+		CompareReads:      s.CompareReads + other.CompareReads,
+		CompareMismatches: s.CompareMismatches + other.CompareMismatches,
+		PredDup:           s.PredDup + other.PredDup,
+		PredUnique:        s.PredUnique + other.PredUnique,
+		Mispredicts:       s.Mispredicts + other.Mispredicts,
+		WastedEncryptions: s.WastedEncryptions + other.WastedEncryptions,
+		ReferHOverflows:   s.ReferHOverflows + other.ReferHOverflows,
+	}
+}
+
 // DedupRate returns the fraction of writes eliminated.
 func (s SchemeStats) DedupRate() float64 {
 	if s.Writes == 0 {

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// Client-visible flow-control errors, shared by the HTTP and TCP clients.
+var (
+	// ErrOverloaded reports HTTP 429 / StatusOverloaded: the target shard
+	// queue was full and the request was shed.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrTimeout reports HTTP 504 / StatusTimeout.
+	ErrTimeout = errors.New("server: request timed out")
+	// ErrClosing reports HTTP 503 / StatusClosing: the server is draining.
+	ErrClosing = errors.New("server: closing")
+)
+
+// Client issues requests against a Server. Implemented by HTTPClient and
+// TCPClient; esdload picks one via -proto.
+type Client interface {
+	Write(addr uint64, line ecc.Line) (WriteResponse, error)
+	Read(addr uint64) (ReadResponse, error)
+	Flush() error
+	Stats() (StatsResponse, error)
+	Close() error
+}
+
+// HTTPClient talks to the JSON API. Safe for concurrent use.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewHTTPClient(base string) *HTTPClient {
+	return &HTTPClient{base: base, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func httpErr(code int, body []byte) error {
+	switch code {
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusGatewayTimeout:
+		return ErrTimeout
+	case http.StatusServiceUnavailable:
+		return ErrClosing
+	default:
+		return fmt.Errorf("server: HTTP %d: %s", code, bytes.TrimSpace(body))
+	}
+}
+
+func (c *HTTPClient) doJSON(method, path string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return httpErr(resp.StatusCode, b)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *HTTPClient) Write(addr uint64, line ecc.Line) (WriteResponse, error) {
+	body, _ := json.Marshal(WriteRequest{Addr: addr, Data: line[:]})
+	var out WriteResponse
+	err := c.doJSON(http.MethodPost, "/v1/write", bytes.NewReader(body), &out)
+	return out, err
+}
+
+func (c *HTTPClient) Read(addr uint64) (ReadResponse, error) {
+	var out ReadResponse
+	err := c.doJSON(http.MethodGet, "/v1/read?addr="+url.QueryEscape(fmt.Sprint(addr)), nil, &out)
+	return out, err
+}
+
+func (c *HTTPClient) Flush() error {
+	return c.doJSON(http.MethodPost, "/v1/flush", nil, nil)
+}
+
+func (c *HTTPClient) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.doJSON(http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+func (c *HTTPClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// TCPClient speaks the binary protocol over one connection. NOT safe for
+// concurrent use (frames strictly alternate); esdload opens one per
+// worker.
+type TCPClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// DialTCP connects a binary-protocol client to addr.
+func DialTCP(addr string) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+func statusErr(st byte) error {
+	switch st {
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusTimeout:
+		return ErrTimeout
+	case StatusClosing:
+		return ErrClosing
+	default:
+		return fmt.Errorf("server: %s", statusText(st))
+	}
+}
+
+// roundTrip sends one request frame and reads the status byte.
+func (c *TCPClient) roundTrip(frame []byte) (byte, error) {
+	if _, err := c.bw.Write(frame); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	var st [1]byte
+	if err := readFull(c.br, st[:]); err != nil {
+		return 0, err
+	}
+	return st[0], nil
+}
+
+func (c *TCPClient) Write(addr uint64, line ecc.Line) (WriteResponse, error) {
+	frame := make([]byte, 1+writeReqLen)
+	frame[0] = OpWrite
+	putU64(frame[1:9], addr)
+	copy(frame[9:], line[:])
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return WriteResponse{}, err
+	}
+	if st != StatusOK {
+		return WriteResponse{}, statusErr(st)
+	}
+	var payload [1 + 8 + 8]byte
+	if err := readFull(c.br, payload[:]); err != nil {
+		return WriteResponse{}, err
+	}
+	return WriteResponse{
+		Dedup:     payload[0] == 1,
+		PhysAddr:  getU64(payload[1:9]),
+		LatencyNs: float64(getU64(payload[9:])),
+	}, nil
+}
+
+func (c *TCPClient) Read(addr uint64) (ReadResponse, error) {
+	frame := make([]byte, 1+readReqLen)
+	frame[0] = OpRead
+	putU64(frame[1:], addr)
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return ReadResponse{}, err
+	}
+	if st != StatusOK {
+		return ReadResponse{}, statusErr(st)
+	}
+	var payload [1 + ecc.LineSize + 8]byte
+	if err := readFull(c.br, payload[:]); err != nil {
+		return ReadResponse{}, err
+	}
+	return ReadResponse{
+		Hit:       payload[0] == 1,
+		Data:      append([]byte(nil), payload[1:1+ecc.LineSize]...),
+		LatencyNs: float64(getU64(payload[1+ecc.LineSize:])),
+	}, nil
+}
+
+func (c *TCPClient) Flush() error {
+	st, err := c.roundTrip([]byte{OpFlush})
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st)
+	}
+	return nil
+}
+
+func (c *TCPClient) Stats() (StatsResponse, error) {
+	st, err := c.roundTrip([]byte{OpStats})
+	if err != nil {
+		return StatsResponse{}, err
+	}
+	if st != StatusOK {
+		return StatsResponse{}, statusErr(st)
+	}
+	var lenBuf [4]byte
+	if err := readFull(c.br, lenBuf[:]); err != nil {
+		return StatsResponse{}, err
+	}
+	n := int(lenBuf[0]) | int(lenBuf[1])<<8 | int(lenBuf[2])<<16 | int(lenBuf[3])<<24
+	if n < 0 || n > 1<<20 {
+		return StatsResponse{}, fmt.Errorf("server: stats payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if err := readFull(c.br, payload); err != nil {
+		return StatsResponse{}, err
+	}
+	var out StatsResponse
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return StatsResponse{}, err
+	}
+	return out, nil
+}
+
+func (c *TCPClient) Close() error { return c.conn.Close() }

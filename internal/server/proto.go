@@ -1,0 +1,83 @@
+// Package server is the network service front-end over the sharded
+// engine: an HTTP/JSON API and a raw-TCP binary protocol exposing
+// read/write/flush/stats, with per-request timeouts, backpressure
+// (bounded shard queues surfaced as 429-style shedding) and graceful
+// drain on shutdown. The package also provides the matching clients used
+// by cmd/esdload and the tests.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// Binary protocol ops (one request per frame, one response per frame,
+// strictly alternating per connection).
+//
+// Request frames:
+//
+//	write: 'W' addr:8 line:64
+//	read:  'R' addr:8
+//	flush: 'F'
+//	stats: 'S'
+//
+// Response frames:
+//
+//	write: status:1 [dedup:1 phys:8 latNs:8]     (payload on StatusOK)
+//	read:  status:1 [hit:1 line:64 latNs:8]
+//	flush: status:1
+//	stats: status:1 [len:4 json:len]
+//
+// All integers are little-endian. A non-OK status ends the frame after
+// the status byte.
+const (
+	OpWrite byte = 'W'
+	OpRead  byte = 'R'
+	OpFlush byte = 'F'
+	OpStats byte = 'S'
+)
+
+// Response status codes shared by the TCP protocol and, by analogy, the
+// HTTP status mapping (429/504/503/400).
+const (
+	StatusOK         byte = 0
+	StatusOverloaded byte = 1 // shard queue full — retry with backoff
+	StatusTimeout    byte = 2 // request exceeded the server's per-request budget
+	StatusClosing    byte = 3 // server is draining
+	StatusBadRequest byte = 4
+)
+
+func statusText(s byte) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusTimeout:
+		return "timeout"
+	case StatusClosing:
+		return "closing"
+	case StatusBadRequest:
+		return "bad request"
+	default:
+		return fmt.Sprintf("status %d", s)
+	}
+}
+
+// writeReq/readReq sizes after the op byte.
+const (
+	writeReqLen = 8 + ecc.LineSize
+	readReqLen  = 8
+)
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+
+// readFull is io.ReadFull with the usual EOF propagation.
+func readFull(r io.Reader, b []byte) error {
+	_, err := io.ReadFull(r, b)
+	return err
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/shard"
+	"github.com/esdsim/esd/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the HTTP listen address (":0" picks a free port).
+	Addr string
+	// TCPAddr, when non-empty, additionally serves the raw binary
+	// protocol on this address.
+	TCPAddr string
+	// RequestTimeout bounds each request's wait for its shard (default
+	// 2s). On expiry the HTTP API returns 504 and the TCP protocol
+	// StatusTimeout.
+	RequestTimeout time.Duration
+	// Pprof mounts net/http/pprof under /debug/pprof/ when the engine
+	// has telemetry enabled.
+	Pprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Server fronts a shard.Engine over HTTP/JSON and (optionally) raw TCP.
+//
+// Flow control: enqueueing on a full shard queue is never waited out —
+// the request is shed immediately (HTTP 429 / StatusOverloaded), keeping
+// the accept loops responsive under overload. Requests that enqueue but
+// exceed RequestTimeout waiting for their shard return 504 /
+// StatusTimeout (the shard still executes them; only the response is
+// abandoned).
+type Server struct {
+	eng *shard.Engine
+	cfg Config
+
+	httpLn net.Listener
+	httpSr *http.Server
+	tcpLn  net.Listener
+
+	inflight sync.WaitGroup // TCP connection handlers
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining chan struct{}
+	closedMu sync.Once
+}
+
+// New listens and starts serving eng in background goroutines. The
+// engine's lifetime stays with the caller: Shutdown drains the server but
+// does not Close the engine.
+func New(eng *shard.Engine, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		conns:    make(map[net.Conn]struct{}),
+		draining: make(chan struct{}),
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s.httpLn = ln
+	s.httpSr = &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = s.httpSr.Serve(ln) }()
+	if cfg.TCPAddr != "" {
+		tln, err := net.Listen("tcp", cfg.TCPAddr)
+		if err != nil {
+			_ = s.httpSr.Close()
+			return nil, fmt.Errorf("server: listen tcp %s: %w", cfg.TCPAddr, err)
+		}
+		s.tcpLn = tln
+		go s.acceptTCP()
+	}
+	return s, nil
+}
+
+// Addr returns the bound HTTP address.
+func (s *Server) Addr() string { return s.httpLn.Addr().String() }
+
+// URL returns the HTTP base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// TCPAddr returns the bound binary-protocol address ("" when disabled).
+func (s *Server) TCPAddr() string {
+	if s.tcpLn == nil {
+		return ""
+	}
+	return s.tcpLn.Addr().String()
+}
+
+// Shutdown gracefully drains the server: stop accepting, finish in-flight
+// HTTP requests and TCP frames, then flush the engine so every accepted
+// write reached the device model. On ctx expiry remaining connections are
+// forcibly closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closedMu.Do(func() { close(s.draining) })
+	var firstErr error
+	if s.tcpLn != nil {
+		_ = s.tcpLn.Close()
+	}
+	if err := s.httpSr.Shutdown(ctx); err != nil {
+		firstErr = err
+		_ = s.httpSr.Close()
+	}
+	// Wait for TCP handlers; on ctx expiry cut the connections and wait
+	// again (handlers exit on read error).
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
+	if err := s.eng.Flush(); err != nil && firstErr == nil && !errors.Is(err, shard.ErrClosed) {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (s *Server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/write", s.handleWrite)
+	mux.HandleFunc("/v1/read", s.handleRead)
+	mux.HandleFunc("/v1/flush", s.handleFlush)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	if reg := s.eng.Registry(); reg != nil {
+		mux.Handle("/metrics", telemetry.Handler(reg, s.cfg.Pprof))
+		mux.Handle("/debug/", telemetry.Handler(reg, s.cfg.Pprof))
+	}
+	return mux
+}
+
+// WriteRequest is the /v1/write JSON body.
+type WriteRequest struct {
+	Addr uint64 `json:"addr"`
+	// Data is the base64-encoded 64-byte line.
+	Data []byte `json:"data"`
+}
+
+// WriteResponse is the /v1/write JSON reply. LatencyNs is the simulated
+// write-path service latency (not the wire round trip).
+type WriteResponse struct {
+	Dedup     bool    `json:"dedup"`
+	PhysAddr  uint64  `json:"phys_addr"`
+	LatencyNs float64 `json:"latency_ns"`
+	Shard     int     `json:"shard"`
+}
+
+// ReadResponse is the /v1/read JSON reply.
+type ReadResponse struct {
+	Hit       bool    `json:"hit"`
+	Data      []byte  `json:"data"`
+	LatencyNs float64 `json:"latency_ns"`
+	Shard     int     `json:"shard"`
+}
+
+// StatsResponse is the /v1/stats JSON reply: the merged engine summary
+// plus serving-side counters.
+type StatsResponse struct {
+	Scheme       string  `json:"scheme"`
+	Shards       int     `json:"shards"`
+	Writes       uint64  `json:"writes"`
+	Reads        uint64  `json:"reads"`
+	DedupWrites  uint64  `json:"dedup_writes"`
+	UniqueWrites uint64  `json:"unique_writes"`
+	DedupRate    float64 `json:"dedup_rate"`
+	DeviceWrites uint64  `json:"device_writes"`
+	WriteMeanNs  float64 `json:"write_mean_ns"`
+	WriteP99Ns   float64 `json:"write_p99_ns"`
+	ReadMeanNs   float64 `json:"read_mean_ns"`
+	ReadP99Ns    float64 `json:"read_p99_ns"`
+	EnergyNJ     float64 `json:"energy_nj"`
+	MetadataNVMM int64   `json:"metadata_nvmm_bytes"`
+	MaxWear      uint64  `json:"max_wear"`
+	Coalesced    uint64  `json:"coalesced_writes"`
+	Shed         uint64  `json:"shed_requests"`
+	SimNowNs     float64 `json:"sim_now_ns"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// mapErr translates engine errors to HTTP status codes.
+func (s *Server) mapErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, shard.ErrOverloaded):
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "shard queue full", http.StatusTooManyRequests)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "request timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, shard.ErrClosed):
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req WriteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&req); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Data) != ecc.LineSize {
+		http.Error(w, fmt.Sprintf("data must be %d bytes, got %d", ecc.LineSize, len(req.Data)), http.StatusBadRequest)
+		return
+	}
+	var line ecc.Line
+	copy(line[:], req.Data)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	out, err := s.eng.TryWrite(ctx, req.Addr, line)
+	if err != nil {
+		s.mapErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, WriteResponse{
+		Dedup:     out.Deduplicated,
+		PhysAddr:  out.PhysAddr,
+		LatencyNs: out.Breakdown.Total().Nanoseconds(),
+		Shard:     s.eng.ShardOf(req.Addr),
+	})
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	addr, err := strconv.ParseUint(r.URL.Query().Get("addr"), 10, 64)
+	if err != nil {
+		http.Error(w, "addr query parameter must be an unsigned integer", http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	res, err := s.eng.TryRead(ctx, addr)
+	if err != nil {
+		s.mapErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ReadResponse{
+		Hit:       res.Hit,
+		Data:      res.Data[:],
+		LatencyNs: res.Lat.Nanoseconds(),
+		Shard:     s.eng.ShardOf(addr),
+	})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.eng.Flush(); err != nil {
+		s.mapErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.eng.Summary()
+	if err != nil {
+		s.mapErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, statsFrom(s.eng, sum))
+}
+
+func statsFrom(eng *shard.Engine, sum shard.Summary) StatsResponse {
+	return StatsResponse{
+		Scheme:       eng.SchemeName(),
+		Shards:       sum.Shards,
+		Writes:       sum.Scheme.Writes,
+		Reads:        sum.Scheme.Reads,
+		DedupWrites:  sum.Scheme.DedupWrites,
+		UniqueWrites: sum.Scheme.UniqueWrites,
+		DedupRate:    sum.Scheme.DedupRate(),
+		DeviceWrites: sum.DeviceWrites,
+		WriteMeanNs:  sum.WriteHist.Mean().Nanoseconds(),
+		WriteP99Ns:   sum.WriteHist.Percentile(0.99).Nanoseconds(),
+		ReadMeanNs:   sum.ReadHist.Mean().Nanoseconds(),
+		ReadP99Ns:    sum.ReadHist.Percentile(0.99).Nanoseconds(),
+		EnergyNJ:     sum.Energy.Total(),
+		MetadataNVMM: sum.MetadataNVMM,
+		MaxWear:      sum.MaxWear,
+		Coalesced:    sum.Coalesced,
+		Shed:         sum.Shed,
+		SimNowNs:     sum.Now.Nanoseconds(),
+	}
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/shard"
+)
+
+func testEngine(t *testing.T, opts shard.Options) *shard.Engine {
+	t.Helper()
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 28
+	e, err := shard.New(cfg, "esd", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func testServer(t *testing.T, opts shard.Options, cfg Config) (*shard.Engine, *Server) {
+	t.Helper()
+	e := testEngine(t, opts)
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.TCPAddr != "" {
+		cfg.TCPAddr = "127.0.0.1:0"
+	}
+	s, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return e, s
+}
+
+func line(words ...uint64) ecc.Line {
+	var l ecc.Line
+	for i, w := range words {
+		l.SetWord(i, w)
+	}
+	return l
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 2}, Config{})
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+
+	content := line(42, 7)
+	w1, err := c.Write(100, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Dedup {
+		t.Fatal("first write reported dedup")
+	}
+	if w1.LatencyNs <= 0 {
+		t.Fatalf("write latency %v, want > 0", w1.LatencyNs)
+	}
+	// Same content, same shard (102 ≡ 100 mod 2) → deduplicated.
+	w2, err := c.Write(102, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w2.Dedup {
+		t.Fatal("duplicate content on the same shard not deduplicated")
+	}
+
+	r, err := c.Read(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Hit {
+		t.Fatal("read miss for a written address")
+	}
+	var got ecc.Line
+	copy(got[:], r.Data)
+	if got != content {
+		t.Fatalf("read returned %v, want %v", got, content)
+	}
+	if r.LatencyNs <= 0 {
+		t.Fatalf("read latency %v, want > 0", r.LatencyNs)
+	}
+	if r.Shard != 0 {
+		t.Fatalf("addr 100 routed to shard %d, want 0", r.Shard)
+	}
+
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scheme != "esd" || st.Shards != 2 {
+		t.Fatalf("stats scheme=%q shards=%d, want esd/2", st.Scheme, st.Shards)
+	}
+	if st.Writes != 2 || st.Reads != 1 || st.DedupWrites != 1 {
+		t.Fatalf("stats writes=%d reads=%d dedup=%d, want 2/1/1", st.Writes, st.Reads, st.DedupWrites)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 1}, Config{})
+	post := func(body string) int {
+		resp, err := http.Post(s.URL()+"/v1/write", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{bad json`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: got %d, want 400", code)
+	}
+	short, _ := json.Marshal(WriteRequest{Addr: 1, Data: []byte{1, 2, 3}})
+	if code := post(string(short)); code != http.StatusBadRequest {
+		t.Errorf("short line: got %d, want 400", code)
+	}
+	resp, err := http.Get(s.URL() + "/v1/read?addr=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad addr: got %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(s.URL() + "/v1/write") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/write: got %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 2}, Config{TCPAddr: "placeholder"})
+	c, err := DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	content := line(9, 9, 9)
+	w, err := c.Write(5, content)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dedup || w.LatencyNs <= 0 {
+		t.Fatalf("write outcome dedup=%v lat=%v", w.Dedup, w.LatencyNs)
+	}
+	r, err := c.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ecc.Line
+	copy(got[:], r.Data)
+	if !r.Hit || got != content {
+		t.Fatalf("read hit=%v data=%v, want %v", r.Hit, got, content)
+	}
+	if _, err := c.Read(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes != 1 || st.Reads != 2 {
+		t.Fatalf("stats writes=%d reads=%d, want 1/2", st.Writes, st.Reads)
+	}
+}
+
+func TestTCPUnknownOp(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 1}, Config{TCPAddr: "placeholder"})
+	c, err := DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := c.roundTrip([]byte{'X'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusBadRequest {
+		t.Fatalf("unknown op: status %d, want StatusBadRequest", st)
+	}
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 4, QueueDepth: 64}, Config{})
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewHTTPClient(s.URL())
+			defer c.Close()
+			for i := 0; i < per; i++ {
+				addr := uint64(w*1000 + i)
+				if _, err := c.Write(addr, line(uint64(i%5))); err != nil && !errors.Is(err, ErrOverloaded) {
+					errCh <- err
+					return
+				}
+				if _, err := c.Read(addr); err != nil && !errors.Is(err, ErrOverloaded) {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Writes == 0 || st.Reads == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	e, s := testServer(t, shard.Options{Shards: 2}, Config{TCPAddr: "placeholder"})
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+	for i := uint64(0); i < 20; i++ {
+		if _, err := c.Write(i, line(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The engine outlives the server and has every accepted write flushed.
+	sum, err := e.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Scheme.Writes != 20 {
+		t.Fatalf("after drain engine saw %d writes, want 20", sum.Scheme.Writes)
+	}
+	// New requests are refused (connection error or 5xx — the listener is
+	// closed).
+	if _, err := c.Write(99, line(1)); err == nil {
+		t.Fatal("write after Shutdown succeeded")
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestClosedEngineMapsTo503(t *testing.T) {
+	e, s := testServer(t, shard.Options{Shards: 1}, Config{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+	_, err := c.Write(1, line(1))
+	if !errors.Is(err, ErrClosing) {
+		t.Fatalf("write on closed engine: got %v, want ErrClosing", err)
+	}
+}
+
+func TestMetricsEndpointServed(t *testing.T) {
+	_, s := testServer(t, shard.Options{Shards: 2, Metrics: true}, Config{})
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+	if _, err := c.Write(3, line(1)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `esd_writes_total{shard="1"}`) {
+		t.Fatalf("/metrics missing per-shard series; got:\n%.500s", buf.String())
+	}
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"time"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/shard"
+)
+
+// acceptTCP runs the binary-protocol accept loop until the listener is
+// closed by Shutdown.
+func (s *Server) acceptTCP() {
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		select {
+		case <-s.draining:
+			_ = conn.Close()
+			continue
+		default:
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.inflight.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		_ = conn.Close()
+		s.inflight.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var op [1]byte
+	for {
+		// Between frames the connection idles; poll the read with a short
+		// deadline so draining connections notice Shutdown promptly.
+		_ = conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		if err := readFull(br, op[:]); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				select {
+				case <-s.draining:
+					return
+				default:
+					continue
+				}
+			}
+			return // EOF or broken connection
+		}
+		// A frame has begun: finish it even while draining.
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if !s.serveFrame(br, bw, op[0]) {
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// serveFrame reads the rest of one request frame and writes the response
+// frame to bw. It returns false when the connection should be dropped
+// (malformed frame).
+func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	switch op {
+	case OpWrite:
+		var req [writeReqLen]byte
+		if readFull(br, req[:]) != nil {
+			return false
+		}
+		var line ecc.Line
+		copy(line[:], req[8:])
+		out, err := s.eng.TryWrite(ctx, getU64(req[:8]), line)
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		resp := make([]byte, 1+1+8+8)
+		resp[0] = StatusOK
+		if out.Deduplicated {
+			resp[1] = 1
+		}
+		putU64(resp[2:], out.PhysAddr)
+		putU64(resp[10:], uint64(out.Breakdown.Total().Nanoseconds()))
+		_, werr := bw.Write(resp)
+		return werr == nil
+	case OpRead:
+		var req [readReqLen]byte
+		if readFull(br, req[:]) != nil {
+			return false
+		}
+		res, err := s.eng.TryRead(ctx, getU64(req[:]))
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		resp := make([]byte, 1+1+ecc.LineSize+8)
+		resp[0] = StatusOK
+		if res.Hit {
+			resp[1] = 1
+		}
+		copy(resp[2:], res.Data[:])
+		putU64(resp[2+ecc.LineSize:], uint64(res.Lat.Nanoseconds()))
+		_, werr := bw.Write(resp)
+		return werr == nil
+	case OpFlush:
+		if err := s.eng.Flush(); err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		return writeStatus(bw, StatusOK)
+	case OpStats:
+		sum, err := s.eng.Summary()
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		payload, err := json.Marshal(statsFrom(s.eng, sum))
+		if err != nil {
+			return writeStatus(bw, StatusBadRequest)
+		}
+		head := make([]byte, 5)
+		head[0] = StatusOK
+		head[1] = byte(len(payload))
+		head[2] = byte(len(payload) >> 8)
+		head[3] = byte(len(payload) >> 16)
+		head[4] = byte(len(payload) >> 24)
+		if _, err := bw.Write(head); err != nil {
+			return false
+		}
+		_, werr := bw.Write(payload)
+		return werr == nil
+	default:
+		return writeStatus(bw, StatusBadRequest)
+	}
+}
+
+func writeStatus(bw *bufio.Writer, st byte) bool {
+	return bw.WriteByte(st) == nil
+}
+
+// errStatus maps engine errors to protocol statuses (mirror of mapErr).
+func errStatus(err error) byte {
+	switch {
+	case errors.Is(err, shard.ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusTimeout
+	case errors.Is(err, shard.ErrClosed):
+		return StatusClosing
+	default:
+		return StatusBadRequest
+	}
+}

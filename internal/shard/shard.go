@@ -1,0 +1,331 @@
+// Package shard implements the sharded concurrent engine: it partitions
+// the physical line-address space across N independent single-threaded
+// scheme instances ("shards"), each owning its own EFIT, AMT, counter
+// cache and NVM bank group, and drives them through per-shard bounded
+// request queues served by one worker goroutine per shard.
+//
+// The design mirrors the hardware's inherent parallelism (independent PCM
+// bank groups and address regions) while keeping every shard exactly as
+// deterministic as the single-threaded System it replaces: a shard is the
+// unit of ordering, and requests to one shard execute in submission
+// order. Deduplication is intentionally *not* attempted across shards —
+// like the paper's per-region selective dedup, content is deduplicated
+// only within the region (shard) it maps to, which removes all cross-shard
+// synchronization from the write path (see DESIGN.md §7).
+//
+// Address routing is deterministic: logical line address a maps to shard
+// a mod N and shard-local address a div N, so adjacent lines stripe
+// round-robin across shards for load balance and the mapping is a
+// bijection per shard.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/telemetry"
+)
+
+// Engine lifecycle and flow-control errors.
+var (
+	// ErrClosed is returned by requests submitted after Close.
+	ErrClosed = errors.New("shard: engine closed")
+	// ErrOverloaded is returned by Try* calls when the target shard's
+	// queue is full; callers shed load (the server maps it to HTTP 429).
+	ErrOverloaded = errors.New("shard: shard queue full")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of independent shards (default 1). Each shard
+	// owns 1/Shards of the device capacity as its private bank group.
+	Shards int
+	// QueueDepth bounds each shard's request queue (default 128). A full
+	// queue blocks Write/Read and fails TryWrite/TryRead with
+	// ErrOverloaded.
+	QueueDepth int
+	// Batch is the maximum number of queued requests a shard worker
+	// drains per wakeup (default 32); batching amortizes scheduling and
+	// enables write coalescing.
+	Batch int
+	// Coalesce collapses same-address writes within one drained batch:
+	// only the newest survives (older ones complete with its outcome) —
+	// never across an intervening read of that address, which pins every
+	// older write. Off by default because it changes dedup statistics.
+	Coalesce bool
+	// IssueGap is the simulated time each shard's clock advances per
+	// request (default 10 ns), matching System.IssueGap.
+	IssueGap sim.Time
+	// Metrics enables per-shard telemetry sinks on one shared registry;
+	// every metric carries a shard="i" label.
+	Metrics bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.IssueGap <= 0 {
+		o.IssueGap = 10 * sim.Nanosecond
+	}
+	return o
+}
+
+// Engine is the sharded concurrent front of the simulator: N independent
+// scheme instances behind bounded queues, safe for concurrent use by any
+// number of goroutines.
+type Engine struct {
+	cfg    config.Config
+	opts   Options
+	scheme string
+	shards []*shard
+	reg    *telemetry.Registry
+
+	mu     sync.RWMutex // guards closed against in-flight submits
+	closed bool
+	wg     sync.WaitGroup
+	shed   atomic.Uint64
+}
+
+// New builds an Engine running the named scheme on every shard. The
+// configuration is validated once; each shard receives a copy whose PCM
+// capacity is its 1/Shards slice of the device (its bank group), while
+// metadata SRAM caches stay full-sized per shard (each shard is its own
+// memory controller slice).
+func New(cfg config.Config, scheme string, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if msg := cfg.Validate(); msg != "" {
+		return nil, fmt.Errorf("shard: %s", msg)
+	}
+	if opts.Shards > 1024 {
+		return nil, fmt.Errorf("shard: %d shards (max 1024)", opts.Shards)
+	}
+	shardCfg := cfg
+	shardCfg.PCM.CapacityBytes = cfg.PCM.CapacityBytes / int64(opts.Shards)
+	shardCfg.PCM.CapacityBytes -= shardCfg.PCM.CapacityBytes % config.CacheLineSize
+	if msg := shardCfg.Validate(); msg != "" {
+		return nil, fmt.Errorf("shard: per-shard config: %s", msg)
+	}
+	e := &Engine{cfg: cfg, opts: opts, scheme: scheme}
+	if opts.Metrics {
+		e.reg = telemetry.NewRegistry()
+	}
+	for i := 0; i < opts.Shards; i++ {
+		env := memctrl.NewEnv(shardCfg)
+		if e.reg != nil {
+			env.AttachTelemetry(telemetry.NewSink(telemetry.Options{
+				Registry: e.reg,
+				Labels:   fmt.Sprintf("shard=%q", fmt.Sprint(i)),
+			}))
+		}
+		sch, err := experiments.NewScheme(env, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		s := &shard{
+			id:       i,
+			env:      env,
+			sch:      sch,
+			reqs:     make(chan request, opts.QueueDepth),
+			gap:      opts.IssueGap,
+			batch:    opts.Batch,
+			coalesce: opts.Coalesce,
+			interval: sch.TickInterval(),
+		}
+		s.nextTick = s.interval
+		e.shards = append(e.shards, s)
+		e.wg.Add(1)
+		go s.run(&e.wg)
+	}
+	return e, nil
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// SchemeName returns the scheme every shard runs.
+func (e *Engine) SchemeName() string { return e.scheme }
+
+// Config returns the engine-level (whole device) configuration.
+func (e *Engine) Config() config.Config { return e.cfg }
+
+// Registry returns the shared telemetry registry (nil without
+// Options.Metrics). Metric names carry shard="i" labels.
+func (e *Engine) Registry() *telemetry.Registry { return e.reg }
+
+// ShardOf returns the shard that owns logical line address addr.
+func (e *Engine) ShardOf(addr uint64) int { return int(addr % uint64(len(e.shards))) }
+
+// localAddr translates a global logical address to the owning shard's
+// address space (the router's bijection: addr = local*N + shard).
+func (e *Engine) localAddr(addr uint64) uint64 { return addr / uint64(len(e.shards)) }
+
+// Shed returns the number of Try* requests rejected with ErrOverloaded.
+func (e *Engine) Shed() uint64 { return e.shed.Load() }
+
+// submit enqueues r on shard sh. When block is false a full queue fails
+// with ErrOverloaded instead of waiting.
+func (e *Engine) submit(sh int, r request, block bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if block {
+		e.shards[sh].reqs <- r
+		return nil
+	}
+	select {
+	case e.shards[sh].reqs <- r:
+		return nil
+	default:
+		e.shed.Add(1)
+		return ErrOverloaded
+	}
+}
+
+// Write stores a 64-byte line at a logical line address, blocking while
+// the owning shard's queue is full (backpressure) and until the shard has
+// processed it.
+func (e *Engine) Write(addr uint64, line ecc.Line) (memctrl.WriteOutcome, error) {
+	done := make(chan response, 1)
+	sh := e.ShardOf(addr)
+	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, done: done}, true); err != nil {
+		return memctrl.WriteOutcome{}, err
+	}
+	return (<-done).write, nil
+}
+
+// TryWrite is Write with shedding and a deadline: a full shard queue
+// fails immediately with ErrOverloaded, and a ctx expiring while the
+// request waits in queue abandons the wait (the shard still executes the
+// write; only the caller stops waiting).
+func (e *Engine) TryWrite(ctx context.Context, addr uint64, line ecc.Line) (memctrl.WriteOutcome, error) {
+	done := make(chan response, 1)
+	sh := e.ShardOf(addr)
+	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, done: done}, false); err != nil {
+		return memctrl.WriteOutcome{}, err
+	}
+	select {
+	case resp := <-done:
+		return resp.write, nil
+	case <-ctx.Done():
+		return memctrl.WriteOutcome{}, ctx.Err()
+	}
+}
+
+// ReadResult is a completed read: the plaintext line, whether the
+// address was ever written, and the simulated service latency.
+type ReadResult struct {
+	Data ecc.Line
+	Hit  bool
+	Lat  sim.Time
+}
+
+// Read fetches the plaintext line at a logical address (blocking).
+func (e *Engine) Read(addr uint64) (ReadResult, error) {
+	done := make(chan response, 1)
+	sh := e.ShardOf(addr)
+	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), done: done}, true); err != nil {
+		return ReadResult{}, err
+	}
+	resp := <-done
+	return ReadResult{Data: resp.read.Data, Hit: resp.read.Hit, Lat: resp.lat}, nil
+}
+
+// TryRead is Read with shedding and a deadline (see TryWrite).
+func (e *Engine) TryRead(ctx context.Context, addr uint64) (ReadResult, error) {
+	done := make(chan response, 1)
+	sh := e.ShardOf(addr)
+	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), done: done}, false); err != nil {
+		return ReadResult{}, err
+	}
+	select {
+	case resp := <-done:
+		return ReadResult{Data: resp.read.Data, Hit: resp.read.Hit, Lat: resp.lat}, nil
+	case <-ctx.Done():
+		return ReadResult{}, ctx.Err()
+	}
+}
+
+// Flush is a full barrier: it waits until every request enqueued before
+// the call has executed and every shard's device write queue has drained.
+func (e *Engine) Flush() error {
+	return e.fanout(kFlush, nil)
+}
+
+// Summary snapshots and merges every shard's counters. It is a barrier
+// like Flush: the snapshot is taken in queue order, so it covers every
+// request enqueued before the call.
+func (e *Engine) Summary() (Summary, error) {
+	snaps := make([]Snapshot, len(e.shards))
+	if err := e.fanout(kSnap, snaps); err != nil {
+		return Summary{}, err
+	}
+	return merge(e, snaps), nil
+}
+
+// Snapshots returns the per-shard views behind Summary.
+func (e *Engine) Snapshots() ([]Snapshot, error) {
+	snaps := make([]Snapshot, len(e.shards))
+	if err := e.fanout(kSnap, snaps); err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// fanout sends one request of the given kind to every shard concurrently
+// and waits for all responses; snaps (when non-nil) receives shard i's
+// snapshot at index i.
+func (e *Engine) fanout(k kind, snaps []Snapshot) error {
+	chans := make([]chan response, len(e.shards))
+	for i := range e.shards {
+		chans[i] = make(chan response, 1)
+		if err := e.submit(i, request{kind: k, done: chans[i]}, true); err != nil {
+			// Collect responses already in flight before bailing.
+			for j := 0; j < i; j++ {
+				<-chans[j]
+			}
+			return err
+		}
+	}
+	for i, ch := range chans {
+		resp := <-ch
+		if snaps != nil && resp.snap != nil {
+			snaps[i] = *resp.snap
+		}
+	}
+	return nil
+}
+
+// Close drains every shard queue, flushes the devices and stops the
+// workers. Requests submitted after Close fail with ErrClosed; Close is
+// idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.reqs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"sync"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// kind is the request discriminator on the shard queues.
+type kind uint8
+
+const (
+	kWrite kind = iota
+	kRead
+	kFlush // drain the shard's device write queue
+	kSnap  // snapshot the shard's counters
+)
+
+// request is one unit of work on a shard queue. done (buffered, capacity
+// 1) receives the response; a nil done is fire-and-forget (used by trace
+// replay, which only needs the aggregate counters).
+type request struct {
+	kind kind
+	addr uint64 // shard-local line address
+	line ecc.Line
+	done chan response
+}
+
+type response struct {
+	write memctrl.WriteOutcome
+	read  memctrl.ReadOutcome
+	lat   sim.Time // simulated service latency (write/read)
+	snap  *Snapshot
+}
+
+// shard is one independent partition: a scheme instance plus its private
+// environment (EFIT, AMT, counter cache, bank group), owned exclusively
+// by its worker goroutine. All fields below the queue are worker-private.
+type shard struct {
+	id   int
+	reqs chan request
+
+	env      *memctrl.Env
+	sch      memctrl.Scheme
+	gap      sim.Time
+	batch    int
+	coalesce bool
+
+	now      sim.Time
+	interval sim.Time
+	nextTick sim.Time
+
+	writeHist stats.Histogram
+	readHist  stats.Histogram
+	coalesced uint64
+}
+
+// run is the worker loop: it blocks for one request, then drains up to
+// batch-1 more without blocking, optionally coalesces writes, and
+// executes the batch in order. It exits when the queue is closed and
+// fully drained.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	buf := make([]request, 0, s.batch)
+	var superseded []bool
+	lastWrite := make(map[uint64]int)
+	for {
+		req, ok := <-s.reqs
+		if !ok {
+			return
+		}
+		buf = append(buf[:0], req)
+		open := true
+	drain:
+		for len(buf) < s.batch {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					open = false
+					break drain
+				}
+				buf = append(buf, r)
+			default:
+				break drain
+			}
+		}
+		if s.coalesce && len(buf) > 1 {
+			superseded = s.markSuperseded(buf, superseded, lastWrite)
+			s.execCoalesced(buf, superseded)
+		} else {
+			for i := range buf {
+				resp := s.exec(&buf[i])
+				if buf[i].done != nil {
+					buf[i].done <- resp
+				}
+			}
+		}
+		if !open {
+			// Queue closed mid-drain: finish anything still buffered in
+			// the channel, then exit.
+			for r := range s.reqs {
+				resp := s.exec(&r)
+				if r.done != nil {
+					r.done <- resp
+				}
+			}
+			return
+		}
+	}
+}
+
+// markSuperseded flags every write that a newer same-address write in the
+// same batch makes redundant. Scanning backwards: lastWrite[a] set means
+// a later write to a exists with no intervening read of a (reads pin
+// older writes; flush/snapshot barriers pin everything before them).
+func (s *shard) markSuperseded(buf []request, superseded []bool, lastWrite map[uint64]int) []bool {
+	superseded = append(superseded[:0], make([]bool, len(buf))...)
+	clear(lastWrite)
+	for i := len(buf) - 1; i >= 0; i-- {
+		switch buf[i].kind {
+		case kWrite:
+			if _, ok := lastWrite[buf[i].addr]; ok {
+				superseded[i] = true
+			}
+			lastWrite[buf[i].addr] = i
+		case kRead:
+			delete(lastWrite, buf[i].addr)
+		default: // kFlush, kSnap: barriers
+			clear(lastWrite)
+		}
+	}
+	return superseded
+}
+
+// execCoalesced executes a batch honoring superseded marks: a skipped
+// write completes with the outcome of the surviving (newer) write to its
+// address, which always appears later in the same batch.
+func (s *shard) execCoalesced(buf []request, superseded []bool) {
+	var waiters map[uint64][]chan response
+	for i := range buf {
+		if superseded[i] {
+			s.coalesced++
+			if buf[i].done != nil {
+				if waiters == nil {
+					waiters = make(map[uint64][]chan response)
+				}
+				waiters[buf[i].addr] = append(waiters[buf[i].addr], buf[i].done)
+			}
+			continue
+		}
+		resp := s.exec(&buf[i])
+		if buf[i].kind == kWrite && waiters != nil {
+			for _, ch := range waiters[buf[i].addr] {
+				ch <- resp
+			}
+			delete(waiters, buf[i].addr)
+		}
+		if buf[i].done != nil {
+			buf[i].done <- resp
+		}
+	}
+}
+
+// exec runs one request on the shard's scheme, advancing the shard clock
+// exactly like System: self-clocked arrivals IssueGap apart, with the
+// clock catching up to each completion.
+func (s *shard) exec(r *request) response {
+	switch r.kind {
+	case kWrite:
+		at := s.tick()
+		out := s.sch.Write(r.addr, &r.line, at)
+		if out.Done > s.now {
+			s.now = out.Done
+		}
+		s.writeHist.Record(out.Done - at)
+		return response{write: out, lat: out.Done - at}
+	case kRead:
+		at := s.tick()
+		out := s.sch.Read(r.addr, at)
+		if out.Done > s.now {
+			s.now = out.Done
+		}
+		s.readHist.Record(out.Done - at)
+		return response{read: out, lat: out.Done - at}
+	case kFlush:
+		if idle := s.env.Device.Flush(s.now); idle > s.now {
+			s.now = idle
+		}
+		return response{}
+	default: // kSnap
+		return response{snap: s.snapshot()}
+	}
+}
+
+func (s *shard) tick() sim.Time {
+	s.now += s.gap
+	for s.interval > 0 && s.nextTick <= s.now {
+		s.sch.Tick(s.nextTick)
+		s.nextTick += s.interval
+	}
+	return s.now
+}
+
+func (s *shard) snapshot() *Snapshot {
+	return &Snapshot{
+		Shard:        s.id,
+		Scheme:       s.sch.Stats(),
+		WriteHist:    s.writeHist,
+		ReadHist:     s.readHist,
+		Energy:       s.env.Energy,
+		MediaEnergy:  s.env.Device.Stats.MediaEnergy,
+		DeviceWrites: s.env.Device.Stats.Writes,
+		DeviceReads:  s.env.Device.Stats.Reads,
+		Wear:         s.env.Device.Wear(),
+		MetadataNVMM: s.sch.MetadataNVMM(),
+		MetadataSRAM: s.sch.MetadataSRAM(),
+		Now:          s.now,
+		Coalesced:    s.coalesced,
+		QueueLen:     len(s.reqs),
+	}
+}

@@ -195,45 +195,60 @@ func (r *Registry) Histogram(name, help string) *TimeHistogram {
 // format (version 0.0.4): HELP/TYPE headers per family, counters with a
 // _total-style value line, histograms as cumulative le-bucketed series
 // with _sum and _count. Latency buckets are exposed in nanoseconds.
+//
+// Series are emitted grouped by family in first-registration order, even
+// when sinks sharing the registry registered them interleaved (the
+// sharded engine registers one metric set per shard): the format requires
+// all samples of a family to be contiguous.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	seenFamily := make(map[string]bool)
+	var famOrder []string
+	famSeries := make(map[string][]string)
 	for _, name := range r.order {
 		fam := baseName(name)
-		if c, ok := r.ctrs[name]; ok {
-			if !seenFamily[fam] {
-				seenFamily[fam] = true
-				if err := writeHeader(w, fam, c.help, "counter"); err != nil {
-					return err
-				}
-			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
-				return err
-			}
-			continue
+		if _, seen := famSeries[fam]; !seen {
+			famOrder = append(famOrder, fam)
 		}
-		if g, ok := r.gauges[name]; ok {
-			if !seenFamily[fam] {
-				seenFamily[fam] = true
-				if err := writeHeader(w, fam, g.help, "gauge"); err != nil {
+		famSeries[fam] = append(famSeries[fam], name)
+	}
+	for _, fam := range famOrder {
+		headed := false
+		for _, name := range famSeries[fam] {
+			if c, ok := r.ctrs[name]; ok {
+				if !headed {
+					headed = true
+					if err := writeHeader(w, fam, c.help, "counter"); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
 					return err
 				}
+				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", name, g.Value()); err != nil {
-				return err
-			}
-			continue
-		}
-		if th, ok := r.hists[name]; ok {
-			if !seenFamily[fam] {
-				seenFamily[fam] = true
-				if err := writeHeader(w, fam, th.help, "histogram"); err != nil {
+			if g, ok := r.gauges[name]; ok {
+				if !headed {
+					headed = true
+					if err := writeHeader(w, fam, g.help, "gauge"); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %d\n", name, g.Value()); err != nil {
 					return err
 				}
+				continue
 			}
-			if err := writePromHistogram(w, name, th); err != nil {
-				return err
+			if th, ok := r.hists[name]; ok {
+				if !headed {
+					headed = true
+					if err := writeHeader(w, fam, th.help, "histogram"); err != nil {
+						return err
+					}
+				}
+				if err := writePromHistogram(w, name, th); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -251,26 +266,36 @@ func writeHeader(w io.Writer, fam, help, typ string) error {
 }
 
 func writePromHistogram(w io.Writer, name string, th *TimeHistogram) error {
+	// A labeled histogram name ("esd_write_latency_ns{shard=\"0\"}") must
+	// fold its labels into each sample's label block next to "le".
+	fam, inner := baseName(name), ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		inner = name[i+1:len(name)-1] + ","
+	}
 	h := th.Snapshot()
 	var cum uint64
 	var err error
 	h.EachBucket(func(upper sim.Time, count uint64) bool {
 		cum += count
-		_, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, upper.Nanoseconds(), cum)
+		_, err = fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", fam, inner, upper.Nanoseconds(), cum)
 		return err == nil
 	})
 	if err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", fam, inner, h.Count()); err != nil {
 		return err
+	}
+	suffix := ""
+	if inner != "" {
+		suffix = "{" + strings.TrimSuffix(inner, ",") + "}"
 	}
 	// The internal sum is in picoseconds; expose nanoseconds to match the
 	// bucket bounds.
-	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum()/float64(sim.Nanosecond)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", fam, suffix, h.Sum()/float64(sim.Nanosecond)); err != nil {
 		return err
 	}
-	_, err = fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	_, err = fmt.Fprintf(w, "%s_count%s %d\n", fam, suffix, h.Count())
 	return err
 }
 

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -87,5 +88,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns the server's base URL.
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close stops the server.
+// Close stops the server immediately, aborting any in-flight scrapes.
+// For a clean drain use Shutdown.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully stops the server: it stops accepting new
+// connections and waits for in-flight scrapes to finish, up to ctx's
+// deadline (after which remaining connections are forcibly closed, and
+// ctx.Err() is returned). Close remains the immediate, non-draining
+// variant.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		_ = s.srv.Close()
+	}
+	return err
+}

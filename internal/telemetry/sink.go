@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"strings"
+
 	"github.com/esdsim/esd/internal/sim"
 )
 
@@ -86,6 +88,30 @@ type Options struct {
 	// every request). Rare events (evictions, gap moves, counter
 	// overflows, crashes, run markers) are never sampled out.
 	SampleEvery int
+	// Registry, when non-nil, is where this sink registers its metrics
+	// instead of a fresh private registry. The sharded engine passes one
+	// shared registry to every per-shard sink so a single scrape endpoint
+	// exposes the whole engine.
+	Registry *Registry
+	// Labels, when non-empty, is a label set (e.g. `shard="3"`) merged
+	// into every metric name this sink registers, distinguishing sinks
+	// that share a Registry.
+	Labels string
+}
+
+// labeled merges a constant label set into a metric name, preserving any
+// labels the name already carries:
+//
+//	labeled(`esd_writes_total`, `shard="0"`)                    → esd_writes_total{shard="0"}
+//	labeled(`esd_cache_hits_total{cache="amt"}`, `shard="0"`)   → esd_cache_hits_total{cache="amt",shard="0"}
+func labeled(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + labels + "}"
+	}
+	return name + "{" + labels + "}"
 }
 
 // Sink is the per-System telemetry hub: the layers of the request path
@@ -99,6 +125,7 @@ type Sink struct {
 	reg    *Registry
 	tracer *Tracer
 	sample uint64
+	labels string
 	nSeen  uint64 // write/read events considered for sampling (sim thread only)
 
 	writes    *Counter
@@ -134,51 +161,59 @@ type Sink struct {
 	runStalled *Gauge
 }
 
-// NewSink builds a live sink with its own registry.
+// NewSink builds a live sink. Without Options.Registry it owns a private
+// registry; with one, its metrics (suffixed by Options.Labels) join the
+// shared registry.
 func NewSink(opts Options) *Sink {
 	s := &Sink{
-		reg:    NewRegistry(),
+		reg:    opts.Registry,
 		tracer: opts.Tracer,
 		sample: uint64(opts.SampleEvery),
+		labels: opts.Labels,
+	}
+	if s.reg == nil {
+		s.reg = NewRegistry()
 	}
 	if s.sample < 1 {
 		s.sample = 1
 	}
-	r := s.reg
-	s.writes = r.Counter("esd_writes_total", "dirty-eviction writes handled by the scheme")
-	s.reads = r.Counter("esd_reads_total", "demand reads served")
-	s.dedup = r.Counter("esd_dedup_writes_total", "writes eliminated by deduplication")
-	s.unique = r.Counter("esd_unique_writes_total", "lines written to NVMM as unique content")
+	ctr := func(name, help string) *Counter { return s.reg.Counter(labeled(name, s.labels), help) }
+	gauge := func(name, help string) *Gauge { return s.reg.Gauge(labeled(name, s.labels), help) }
+	hist := func(name, help string) *TimeHistogram { return s.reg.Histogram(labeled(name, s.labels), help) }
+	s.writes = ctr("esd_writes_total", "dirty-eviction writes handled by the scheme")
+	s.reads = ctr("esd_reads_total", "demand reads served")
+	s.dedup = ctr("esd_dedup_writes_total", "writes eliminated by deduplication")
+	s.unique = ctr("esd_unique_writes_total", "lines written to NVMM as unique content")
 	for d := Decision(1); d < numDecisions; d++ {
-		s.decisions[d] = r.Counter(
+		s.decisions[d] = ctr(
 			`esd_write_decision_total{decision="`+d.String()+`"}`,
 			"write-path decisions by verdict")
 	}
-	s.writeLat = r.Histogram("esd_write_latency_ns", "CPU-visible write latency (simulated)")
-	s.readLat = r.Histogram("esd_read_latency_ns", "CPU-visible read latency (simulated)")
+	s.writeLat = hist("esd_write_latency_ns", "CPU-visible write latency (simulated)")
+	s.readLat = hist("esd_read_latency_ns", "CPU-visible read latency (simulated)")
 
-	s.efitInserts = r.Counter("esd_efit_inserts_total", "fingerprint entries installed in the EFIT")
-	s.efitEvicts = r.Counter("esd_efit_evictions_total", "EFIT entries displaced by the LRCU policy")
-	s.efitEntries = r.Gauge("esd_efit_entries", "live EFIT entries")
-	s.amtHits = r.Counter("esd_amt_cache_hits_total", "AMT SRAM cache hits")
-	s.amtMisses = r.Counter("esd_amt_cache_misses_total", "AMT SRAM cache misses (NVMM bucket fetch)")
-	s.amtWB = r.Counter("esd_amt_writebacks_total", "dirty AMT entries written back to NVMM")
+	s.efitInserts = ctr("esd_efit_inserts_total", "fingerprint entries installed in the EFIT")
+	s.efitEvicts = ctr("esd_efit_evictions_total", "EFIT entries displaced by the LRCU policy")
+	s.efitEntries = gauge("esd_efit_entries", "live EFIT entries")
+	s.amtHits = ctr("esd_amt_cache_hits_total", "AMT SRAM cache hits")
+	s.amtMisses = ctr("esd_amt_cache_misses_total", "AMT SRAM cache misses (NVMM bucket fetch)")
+	s.amtWB = ctr("esd_amt_writebacks_total", "dirty AMT entries written back to NVMM")
 
-	s.devReads = r.Counter("esd_device_reads_total", "PCM media reads")
-	s.devWrites = r.Counter("esd_device_writes_total", "PCM media writes (data and metadata)")
-	s.devRowHits = r.Counter("esd_device_row_hits_total", "row-buffer hits")
-	s.gapMoves = r.Counter("esd_startgap_moves_total", "Start-Gap wear-leveling rotations")
+	s.devReads = ctr("esd_device_reads_total", "PCM media reads")
+	s.devWrites = ctr("esd_device_writes_total", "PCM media writes (data and metadata)")
+	s.devRowHits = ctr("esd_device_row_hits_total", "row-buffer hits")
+	s.gapMoves = ctr("esd_startgap_moves_total", "Start-Gap wear-leveling rotations")
 
-	s.encrypts = r.Counter("esd_crypto_encrypts_total", "counter-mode line encryptions")
-	s.decrypts = r.Counter("esd_crypto_decrypts_total", "counter-mode line decryptions")
-	s.ctrOverflows = r.Counter("esd_counter_overflows_total", "minor-counter overflows forcing page re-encryption")
-	s.reencrypts = r.Counter("esd_lines_reencrypted_total", "lines re-encrypted by counter-overflow rekeys")
+	s.encrypts = ctr("esd_crypto_encrypts_total", "counter-mode line encryptions")
+	s.decrypts = ctr("esd_crypto_decrypts_total", "counter-mode line decryptions")
+	s.ctrOverflows = ctr("esd_counter_overflows_total", "minor-counter overflows forcing page re-encryption")
+	s.reencrypts = ctr("esd_lines_reencrypted_total", "lines re-encrypted by counter-overflow rekeys")
 
-	s.crashes = r.Counter("esd_crashes_total", "simulated power failures")
-	s.events = r.Counter("esd_trace_events_total", "events emitted to the tracer")
-	s.simNow = r.Gauge("esd_sim_now_ps", "simulated clock (picoseconds)")
-	s.runReqs = r.Counter("esd_run_requests_total", "trace records replayed (including warm-up)")
-	s.runStalled = r.Gauge("esd_run_lag_ps", "accumulated closed-loop back-pressure lag")
+	s.crashes = ctr("esd_crashes_total", "simulated power failures")
+	s.events = ctr("esd_trace_events_total", "events emitted to the tracer")
+	s.simNow = gauge("esd_sim_now_ps", "simulated clock (picoseconds)")
+	s.runReqs = ctr("esd_run_requests_total", "trace records replayed (including warm-up)")
+	s.runStalled = gauge("esd_run_lag_ps", "accumulated closed-loop back-pressure lag")
 	return s
 }
 
@@ -399,9 +434,9 @@ func (s *Sink) CacheProbe(label string) *CacheProbe {
 		return nil
 	}
 	return &CacheProbe{
-		hits:   s.reg.Counter(`esd_cache_hits_total{cache="`+label+`"}`, "SRAM cache hits by cache"),
-		misses: s.reg.Counter(`esd_cache_misses_total{cache="`+label+`"}`, "SRAM cache misses by cache"),
-		evicts: s.reg.Counter(`esd_cache_evictions_total{cache="`+label+`"}`, "SRAM cache evictions by cache"),
+		hits:   s.reg.Counter(labeled(`esd_cache_hits_total{cache="`+label+`"}`, s.labels), "SRAM cache hits by cache"),
+		misses: s.reg.Counter(labeled(`esd_cache_misses_total{cache="`+label+`"}`, s.labels), "SRAM cache misses by cache"),
+		evicts: s.reg.Counter(labeled(`esd_cache_evictions_total{cache="`+label+`"}`, s.labels), "SRAM cache evictions by cache"),
 	}
 }
 
