@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures examples serve-smoke clean
+.PHONY: all build test race vet bench bench-smoke bench-all figures examples serve-smoke clean
 
 all: build vet test
 
@@ -25,8 +25,19 @@ race:
 test-log:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
-# Substrate micro-benchmarks and the per-figure harness.
+# Perf-regression harness: kernel micro-benchmarks + sharded throughput,
+# emitted as a machine-readable BENCH_<label>.json trajectory point.
+# Override with BENCH_LABEL=PR4 / BENCHTIME=100ms as needed.
 bench:
+	sh scripts/bench.sh
+
+# One-iteration smoke of the same harness; CI runs this to catch build
+# and metric breakage without paying for a full measurement.
+bench-smoke:
+	BENCHTIME=1x BENCH_OUT=/tmp/bench_smoke.json sh scripts/bench.sh
+
+# Every benchmark in the repo, including the per-figure campaign.
+bench-all:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Regenerate every paper figure into results/ (the run recorded in

@@ -1,0 +1,98 @@
+package esd
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/crypto"
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// Steady-state allocation gates. The write path is the simulator's inner
+// loop — every figure campaign and throughput benchmark lives on it — so
+// the hot-path kernels (table-driven ECC, in-place counter-mode crypto,
+// ring-buffered bank queues, scratch line buffers) are required to keep it
+// allocation-free once the working set is warm. These tests fail the build
+// the moment a change reintroduces a per-write or per-read heap allocation.
+
+// allocSystem builds a System, warms a bounded working set until the
+// scheme's maps and caches reach steady state, and returns closures that
+// advance through it one request at a time.
+func allocSystem(t *testing.T, scheme string) (write, read func()) {
+	t.Helper()
+	sys, err := NewSystem(DefaultConfig(), scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addrs = 512
+	var lines [8]Line
+	for i := range lines {
+		for j := range lines[i] {
+			lines[i][j] = byte(i*31 + j + 1)
+		}
+	}
+	n := 0
+	write = func() {
+		sys.Write(uint64(n%addrs), lines[n%len(lines)])
+		n++
+	}
+	m := 0
+	read = func() {
+		sys.Read(uint64(m % addrs))
+		m++
+	}
+	// Warm-up: touch every address several times so the AMT, counter store
+	// and device maps stop growing before the measurement window.
+	for i := 0; i < addrs*8; i++ {
+		write()
+	}
+	for i := 0; i < addrs; i++ {
+		read()
+	}
+	return write, read
+}
+
+func TestSteadyStateWriteAllocs(t *testing.T) {
+	for _, scheme := range []string{SchemeBaseline, SchemeSHA1, SchemeDeWrite, SchemeESD} {
+		t.Run(scheme, func(t *testing.T) {
+			write, _ := allocSystem(t, scheme)
+			if avg := testing.AllocsPerRun(2000, write); avg != 0 {
+				t.Errorf("%s steady-state write: %v allocs/op, want 0", scheme, avg)
+			}
+		})
+	}
+}
+
+func TestSteadyStateReadAllocs(t *testing.T) {
+	for _, scheme := range []string{SchemeBaseline, SchemeSHA1, SchemeDeWrite, SchemeESD} {
+		t.Run(scheme, func(t *testing.T) {
+			_, read := allocSystem(t, scheme)
+			if avg := testing.AllocsPerRun(2000, read); avg != 0 {
+				t.Errorf("%s steady-state read: %v allocs/op, want 0", scheme, avg)
+			}
+		})
+	}
+}
+
+// TestKernelAllocs pins the two per-line kernels themselves: ECC
+// fingerprinting and in-place counter-mode encrypt/decrypt must never
+// allocate, independent of any scheme plumbing around them.
+func TestKernelAllocs(t *testing.T) {
+	var line ecc.Line
+	for i := range line {
+		line[i] = byte(i * 7)
+	}
+	var sink ecc.Fingerprint
+	if avg := testing.AllocsPerRun(1000, func() { sink = ecc.EncodeLine(&line) }); avg != 0 {
+		t.Errorf("ecc.EncodeLine: %v allocs/op, want 0", avg)
+	}
+	_ = sink
+
+	eng := crypto.NewEngineFromSeed(42)
+	eng.EncryptInPlace(7, &line) // warm the counter map
+	if avg := testing.AllocsPerRun(1000, func() {
+		eng.EncryptInPlace(7, &line)
+		eng.DecryptInPlace(7, &line)
+	}); avg != 0 {
+		t.Errorf("crypto in-place encrypt/decrypt: %v allocs/op, want 0", avg)
+	}
+}

@@ -49,6 +49,7 @@ func reportAverage(b *testing.B, rows []experiments.AppRow, metric string) {
 // BenchmarkFig01DuplicateRate regenerates Fig. 1 (duplicate rate of evicted
 // cache lines per application; paper: mean 62.9%).
 func BenchmarkFig01DuplicateRate(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig1(opts)
@@ -66,6 +67,7 @@ func BenchmarkFig01DuplicateRate(b *testing.B) {
 // BenchmarkFig02WorstCase regenerates Fig. 2 (normalized performance of the
 // dedup schemes in the worst case, leela and lbm).
 func BenchmarkFig02WorstCase(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig2(opts)
@@ -84,6 +86,7 @@ func BenchmarkFig02WorstCase(b *testing.B) {
 // BenchmarkFig03ContentLocality regenerates Fig. 3 (reference-count
 // distribution; paper: tiny hot fraction holds ~42.7% of write volume).
 func BenchmarkFig03ContentLocality(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig3(opts)
@@ -105,6 +108,7 @@ func BenchmarkFig03ContentLocality(b *testing.B) {
 // cached vs NVMM fingerprints under full dedup, and the lookup latency
 // share; paper: 51.0% / 13.7% / 49.2%).
 func BenchmarkFig05LookupBottleneck(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig5(opts)
@@ -127,6 +131,7 @@ func BenchmarkFig05LookupBottleneck(b *testing.B) {
 // BenchmarkFig08Collisions regenerates Fig. 8 (fingerprint collision
 // probability, normalized to CRC).
 func BenchmarkFig08Collisions(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig8(opts)
@@ -147,6 +152,7 @@ func BenchmarkFig08Collisions(b *testing.B) {
 // BenchmarkFig11WriteReduction regenerates Fig. 11 (write reduction vs
 // Baseline; paper: ESD 47.8% average).
 func BenchmarkFig11WriteReduction(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig11(opts)
@@ -160,6 +166,7 @@ func BenchmarkFig11WriteReduction(b *testing.B) {
 // BenchmarkFig12WriteSpeedup regenerates Fig. 12 (write speedup vs
 // Baseline; paper: ESD up to 3.4x).
 func BenchmarkFig12WriteSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig12(opts)
@@ -173,6 +180,7 @@ func BenchmarkFig12WriteSpeedup(b *testing.B) {
 // BenchmarkFig13ReadSpeedup regenerates Fig. 13 (read speedup vs Baseline;
 // paper: ESD up to 5.3x).
 func BenchmarkFig13ReadSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig13(opts)
@@ -186,6 +194,7 @@ func BenchmarkFig13ReadSpeedup(b *testing.B) {
 // BenchmarkFig14IPC regenerates Fig. 14 (IPC normalized to Baseline; paper:
 // ESD up to 2.4x).
 func BenchmarkFig14IPC(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig14(opts)
@@ -199,6 +208,7 @@ func BenchmarkFig14IPC(b *testing.B) {
 // BenchmarkFig15TailLatency regenerates Fig. 15 (write latency CDF for the
 // eight selected applications).
 func BenchmarkFig15TailLatency(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig15(opts)
@@ -224,6 +234,7 @@ func BenchmarkFig15TailLatency(b *testing.B) {
 // BenchmarkFig16Energy regenerates Fig. 16 (energy normalized to Baseline;
 // lower is better).
 func BenchmarkFig16Energy(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig16(opts)
@@ -237,6 +248,7 @@ func BenchmarkFig16Energy(b *testing.B) {
 // BenchmarkFig17WriteProfile regenerates Fig. 17 (write latency profile;
 // paper: SHA-1 ~80% fingerprint computation, ESD dominated by media).
 func BenchmarkFig17WriteProfile(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig17(opts)
@@ -258,6 +270,7 @@ func BenchmarkFig17WriteProfile(b *testing.B) {
 // size, with and without LRCU). The sweep runs 12 simulations per
 // application, so it uses a reduced application set.
 func BenchmarkFig18CacheSweep(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Apps = []string{"lbm", "mcf", "x264", "gcc"}
 	for i := 0; i < b.N; i++ {
@@ -277,6 +290,7 @@ func BenchmarkFig18CacheSweep(b *testing.B) {
 // BenchmarkFig19Metadata regenerates Fig. 19 (NVMM metadata overhead
 // normalized to Dedup_SHA1; paper: ESD -81.2%, DeWrite -60.9%).
 func BenchmarkFig19Metadata(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Fig19(opts)
@@ -293,6 +307,7 @@ func BenchmarkFig19Metadata(b *testing.B) {
 // scale (16 GB device), validating that capacity-level structures stay
 // sparse.
 func BenchmarkTableIConfig(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys, err := NewSystem(DefaultConfig(), SchemeESD)
 		if err != nil {
@@ -307,6 +322,7 @@ func BenchmarkTableIConfig(b *testing.B) {
 // BenchmarkSystemWriteESD measures raw simulator throughput on the ESD
 // write path (requests simulated per second).
 func BenchmarkSystemWriteESD(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig()
 	cfg.PCM.CapacityBytes = 1 << 30
 	sys, err := NewSystem(cfg, SchemeESD)
@@ -324,6 +340,7 @@ func BenchmarkSystemWriteESD(b *testing.B) {
 // BenchmarkSystemWriteSHA1 is the same workload under Dedup_SHA1, showing
 // the simulation-throughput cost of cryptographic fingerprinting.
 func BenchmarkSystemWriteSHA1(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig()
 	cfg.PCM.CapacityBytes = 1 << 30
 	sys, err := NewSystem(cfg, SchemeSHA1)
@@ -341,6 +358,7 @@ func BenchmarkSystemWriteSHA1(b *testing.B) {
 // BenchmarkAblationCapacity regenerates the effective-capacity ablation
 // (BCD base+delta vs exact dedup on a near-duplicate workload).
 func BenchmarkAblationCapacity(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.AblationCapacity(opts)
@@ -355,6 +373,7 @@ func BenchmarkAblationCapacity(b *testing.B) {
 
 // BenchmarkAblationRecovery regenerates the crash-recovery transient study.
 func BenchmarkAblationRecovery(b *testing.B) {
+	b.ReportAllocs()
 	opts := benchOpts()
 	opts.Apps = []string{"x264", "dedup"}
 	for i := 0; i < b.N; i++ {
@@ -379,6 +398,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // hooks — keep it under a few percent.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	run := func(b *testing.B, opts ...SystemOption) {
+		b.ReportAllocs()
 		cfg := DefaultConfig()
 		cfg.PCM.CapacityBytes = 1 << 30
 		sys, err := NewSystem(cfg, SchemeESD, opts...)
@@ -414,6 +434,7 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 func BenchmarkShardedThroughput(b *testing.B) {
 	const workers = 8
 	run := func(b *testing.B, shards int, dupHeavy bool) {
+		b.ReportAllocs()
 		cfg := DefaultConfig()
 		cfg.PCM.CapacityBytes = 1 << 30
 		sys, err := NewShardedSystem(cfg, SchemeESD, WithShards(shards))

@@ -1,0 +1,179 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable JSON document the repo's perf-regression trajectory
+// stores (BENCH_*.json): one entry per benchmark with ns/op, B/op,
+// allocs/op, MB/s and any custom metrics (e.g. the sharded engine's
+// writes/s), plus enough environment metadata to interpret the numbers.
+//
+// It reads benchmark output from stdin (or the files given as arguments)
+// and writes JSON to stdout or -o. scripts/bench.sh is the canonical
+// driver:
+//
+//	go test -bench=... -benchmem ./... | benchjson -label PR3 -o BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// GOMAXPROCS suffix (e.g. "BenchmarkFingerprintECC-8").
+	Name string `json:"name"`
+	// Package is the import path from the preceding "pkg:" line.
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// MBPerS and the allocation pair are present only when the benchmark
+	// reported them (-benchmem, b.SetBytes).
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	BPerOp      *float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "writes/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document: a labeled, environment-stamped point of
+// the perf trajectory.
+type Doc struct {
+	Label      string      `json:"label"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Generated  string      `json:"generated"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "trajectory label stamped into the document (e.g. PR3)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchjson [-label NAME] [-o FILE] [bench-output files...]\n\nReads `go test -bench` output (stdin when no files) and emits BENCH_*.json.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	doc := Doc{
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	readers := []io.Reader{}
+	if flag.NArg() == 0 {
+		readers = append(readers, os.Stdin)
+	}
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	for _, r := range readers {
+		if err := parse(r, &doc); err != nil {
+			fatal(err)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse scans one `go test -bench` output stream, tracking the current
+// "pkg:" context and collecting every Benchmark* result line into doc.
+func parse(r io.Reader, doc *Doc) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:") && doc.CPU == "":
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return sc.Err()
+}
+
+// parseLine decodes one result line: name, iteration count, then
+// (value, unit) pairs such as "517.9 ns/op" or "439914 writes/s".
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "MB/s":
+			b.MBPerS = ptr(v)
+		case "B/op":
+			b.BPerOp = ptr(v)
+		case "allocs/op":
+			b.AllocsPerOp = ptr(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/esdsim/esd/internal/fingerprint
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFingerprintECC-4   	 2303514	       517.9 ns/op	 123.57 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/esdsim/esd/internal/fingerprint	1.709s
+pkg: github.com/esdsim/esd
+BenchmarkShardedThroughput/dup-heavy/shards=4-4         	  131062	      9097 ns/op	    439914 writes/s	     310 B/op	       3 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	var doc Doc
+	if err := parse(strings.NewReader(sample), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	if doc.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+
+	fp := doc.Benchmarks[0]
+	if fp.Name != "BenchmarkFingerprintECC-4" || fp.Package != "github.com/esdsim/esd/internal/fingerprint" {
+		t.Errorf("first entry = %q in %q", fp.Name, fp.Package)
+	}
+	if fp.Iterations != 2303514 || fp.NsPerOp != 517.9 {
+		t.Errorf("iterations/ns = %d / %v", fp.Iterations, fp.NsPerOp)
+	}
+	if fp.MBPerS == nil || *fp.MBPerS != 123.57 {
+		t.Errorf("MB/s = %v", fp.MBPerS)
+	}
+	if fp.AllocsPerOp == nil || *fp.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v", fp.AllocsPerOp)
+	}
+
+	sh := doc.Benchmarks[1]
+	if sh.Package != "github.com/esdsim/esd" {
+		t.Errorf("second entry package = %q", sh.Package)
+	}
+	if sh.Metrics["writes/s"] != 439914 {
+		t.Errorf("writes/s = %v", sh.Metrics["writes/s"])
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                  // too few fields
+		"BenchmarkBroken notanint 1 ns/op", // bad iteration count
+		"BenchmarkBroken 10 x ns/op",       // bad value
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -163,6 +163,12 @@ type System struct {
 	// IssueGap is the simulated time advanced between self-clocked
 	// Write/Read calls.
 	IssueGap Time
+
+	// lineBuf is the scratch line Write/WriteAt hand to the scheme. The
+	// Scheme interface takes *Line, so a pointer to the parameter itself
+	// would escape and heap-allocate a 64-byte copy per write; a System is
+	// single-threaded by contract, so one buffer serves every call.
+	lineBuf Line
 }
 
 // SystemOption configures optional System features (telemetry) at
@@ -266,7 +272,8 @@ func (s *System) tick() Time {
 // the address space across independently locked shards.
 func (s *System) Write(addr uint64, line Line) WriteOutcome {
 	at := s.tick()
-	out := s.scheme.Write(addr, &line, at)
+	s.lineBuf = line
+	out := s.scheme.Write(addr, &s.lineBuf, at)
 	if out.Done > s.now {
 		s.now = out.Done
 	}
@@ -279,7 +286,8 @@ func (s *System) WriteAt(addr uint64, line Line, at Time) WriteOutcome {
 	if at > s.now {
 		s.now = at
 	}
-	out := s.scheme.Write(addr, &line, s.now)
+	s.lineBuf = line
+	out := s.scheme.Write(addr, &s.lineBuf, s.now)
 	if out.Done > s.now {
 		s.now = out.Done
 	}

@@ -316,6 +316,7 @@ func TestPolicyString(t *testing.T) {
 }
 
 func BenchmarkCachePutGet(b *testing.B) {
+	b.ReportAllocs()
 	c := New[uint64](4096, 8, LRU)
 	r := xrand.New(1)
 	keys := make([]uint64, 8192)
@@ -332,6 +333,7 @@ func BenchmarkCachePutGet(b *testing.B) {
 }
 
 func BenchmarkCacheLRCUVictimScan(b *testing.B) {
+	b.ReportAllocs()
 	c := New[uint64](4096, 16, LRCU)
 	r := xrand.New(2)
 	b.ResetTimer()

@@ -147,8 +147,8 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 			bd.ReadCompare = tv - t
 			t = tv
 			if ok {
-				pt := s.Env.Crypto.Decrypt(candidate, &ct)
-				equal = pt == *data
+				s.Env.Crypto.DecryptInPlace(candidate, &ct)
+				equal = ct == *data
 			} else {
 				equal = false
 			}

@@ -299,6 +299,7 @@ func TestCPUTraceDeterministic(t *testing.T) {
 }
 
 func BenchmarkHierarchyAccess(b *testing.B) {
+	b.ReportAllocs()
 	cfg := config.Default()
 	h := New(cfg.L1, cfg.L2, cfg.L3)
 	r := xrand.New(1)

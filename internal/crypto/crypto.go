@@ -35,6 +35,14 @@ type Engine struct {
 	block    cipher.Block
 	counters map[uint64]uint64
 
+	// padIn/padOut are the AES block scratch buffers. They live on the
+	// (heap-resident) engine rather than the stack because slices of a
+	// stack array passed to the cipher.Block interface escape, costing two
+	// heap allocations per pad; engine-held scratch makes every
+	// encrypt/decrypt allocation-free.
+	padIn  [aes.BlockSize]byte
+	padOut [aes.BlockSize]byte
+
 	// Stats.
 	Encryptions uint64
 	Decryptions uint64
@@ -71,15 +79,23 @@ func NewEngineFromSeed(seed uint64) *Engine {
 	return e
 }
 
-// pad fills dst with the one-time pad for (addr, counter).
-func (e *Engine) pad(addr, counter uint64, dst *ecc.Line) {
-	var in, out [aes.BlockSize]byte
+// xorPad XORs the one-time pad for (addr, counter) into line in place,
+// turning plaintext into ciphertext and vice versa without materializing
+// the pad as a separate 64-byte copy.
+func (e *Engine) xorPad(addr, counter uint64, line *ecc.Line) {
+	in, out := e.padIn[:], e.padOut[:]
 	for blk := 0; blk < ecc.LineSize/aes.BlockSize; blk++ {
 		binary.LittleEndian.PutUint64(in[0:8], addr)
 		binary.LittleEndian.PutUint64(in[8:16], counter)
 		in[15] ^= byte(blk) // distinguish the four 16-byte blocks
-		e.block.Encrypt(out[:], in[:])
-		copy(dst[blk*aes.BlockSize:], out[:])
+		e.block.Encrypt(out, in)
+		off := blk * aes.BlockSize
+		lo := binary.LittleEndian.Uint64(line[off : off+8])
+		hi := binary.LittleEndian.Uint64(line[off+8 : off+16])
+		lo ^= binary.LittleEndian.Uint64(out[0:8])
+		hi ^= binary.LittleEndian.Uint64(out[8:16])
+		binary.LittleEndian.PutUint64(line[off:off+8], lo)
+		binary.LittleEndian.PutUint64(line[off+8:off+16], hi)
 	}
 }
 
@@ -87,44 +103,69 @@ func (e *Engine) pad(addr, counter uint64, dst *ecc.Line) {
 // line has never been written).
 func (e *Engine) Counter(addr uint64) uint64 { return e.counters[addr] }
 
-// Encrypt increments the write counter of addr and returns the ciphertext
-// of plain under the new counter, together with that counter value.
-// The counter increment on every write is what guarantees pad uniqueness.
-func (e *Engine) Encrypt(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uint64) {
+// EncryptInPlace increments the write counter of addr and replaces line's
+// plaintext with the ciphertext under the new counter, returning that
+// counter value. The counter increment on every write is what guarantees
+// pad uniqueness. This is the steady-state write path: no line copies, no
+// allocations.
+func (e *Engine) EncryptInPlace(addr uint64, line *ecc.Line) (counter uint64) {
 	counter = e.counters[addr] + 1
 	e.counters[addr] = counter
-	var p ecc.Line
-	e.pad(addr, counter, &p)
-	for i := range ct {
-		ct[i] = plain[i] ^ p[i]
-	}
+	e.xorPad(addr, counter, line)
 	e.Encryptions++
 	if e.Probe != nil {
 		e.Probe.CryptoEncrypt()
 	}
+	return counter
+}
+
+// Encrypt increments the write counter of addr and returns the ciphertext
+// of plain under the new counter, together with that counter value. Hot
+// paths that can overwrite the buffer should use EncryptInPlace.
+func (e *Engine) Encrypt(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uint64) {
+	ct = *plain
+	counter = e.EncryptInPlace(addr, &ct)
 	return ct, counter
 }
 
-// EncryptSpeculative produces ciphertext for the *next* counter value of
-// addr without committing the increment. DeWrite encrypts in parallel with
-// fingerprinting and discards the work when the line turns out to be a
-// duplicate; Commit makes the speculation durable.
-func (e *Engine) EncryptSpeculative(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uint64) {
+// EncryptSpeculativeInPlace produces ciphertext in place for the *next*
+// counter value of addr without committing the increment. DeWrite encrypts
+// in parallel with fingerprinting and discards the work when the line
+// turns out to be a duplicate; Commit makes the speculation durable.
+func (e *Engine) EncryptSpeculativeInPlace(addr uint64, line *ecc.Line) (counter uint64) {
 	counter = e.counters[addr] + 1
-	var p ecc.Line
-	e.pad(addr, counter, &p)
-	for i := range ct {
-		ct[i] = plain[i] ^ p[i]
-	}
+	e.xorPad(addr, counter, line)
 	e.Encryptions++
 	if e.Probe != nil {
 		e.Probe.CryptoEncrypt()
 	}
+	return counter
+}
+
+// EncryptSpeculative is EncryptSpeculativeInPlace on a copy of plain.
+func (e *Engine) EncryptSpeculative(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uint64) {
+	ct = *plain
+	counter = e.EncryptSpeculativeInPlace(addr, &ct)
 	return ct, counter
 }
 
 // Commit makes a speculative encryption durable by storing its counter.
 func (e *Engine) Commit(addr, counter uint64) { e.counters[addr] = counter }
+
+// DecryptInPlace replaces ct's ciphertext with the plaintext stored at
+// addr under the line's current counter.
+func (e *Engine) DecryptInPlace(addr uint64, ct *ecc.Line) {
+	e.DecryptAtInPlace(addr, e.counters[addr], ct)
+}
+
+// DecryptAtInPlace decrypts in place under an explicit counter value.
+func (e *Engine) DecryptAtInPlace(addr, counter uint64, ct *ecc.Line) {
+	e.xorPad(addr, counter, ct)
+	e.Decryptions++
+	if e.Probe != nil {
+		e.Probe.CryptoDecrypt()
+	}
+}
 
 // Decrypt returns the plaintext of ct stored at addr under the line's
 // current counter.
@@ -134,16 +175,8 @@ func (e *Engine) Decrypt(addr uint64, ct *ecc.Line) ecc.Line {
 
 // DecryptAt decrypts under an explicit counter value.
 func (e *Engine) DecryptAt(addr, counter uint64, ct *ecc.Line) ecc.Line {
-	var p ecc.Line
-	e.pad(addr, counter, &p)
-	var pt ecc.Line
-	for i := range pt {
-		pt[i] = ct[i] ^ p[i]
-	}
-	e.Decryptions++
-	if e.Probe != nil {
-		e.Probe.CryptoDecrypt()
-	}
+	pt := *ct
+	e.DecryptAtInPlace(addr, counter, &pt)
 	return pt
 }
 

@@ -171,6 +171,7 @@ func TestStatsAndCounterEntries(t *testing.T) {
 }
 
 func BenchmarkEncryptLine(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngineFromSeed(1)
 	l := randLine(xrand.New(1))
 	b.SetBytes(64)

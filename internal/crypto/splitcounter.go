@@ -120,23 +120,15 @@ func (e *SplitCounterEngine) Encrypt(addr uint64, plain *ecc.Line,
 // caller must have already settled the minor (bumped on a fresh write,
 // reset on a page rekey).
 func (e *SplitCounterEngine) padEncrypt(addr uint64, plain *ecc.Line) ecc.Line {
-	var pad ecc.Line
-	e.inner.pad(addr, e.counterFor(addr), &pad)
-	var ct ecc.Line
-	for i := range ct {
-		ct[i] = plain[i] ^ pad[i]
-	}
+	ct := *plain
+	e.inner.xorPad(addr, e.counterFor(addr), &ct)
 	return ct
 }
 
 // Decrypt decrypts ct stored at addr under the line's current counters.
 func (e *SplitCounterEngine) Decrypt(addr uint64, ct *ecc.Line) ecc.Line {
-	var pad ecc.Line
-	e.inner.pad(addr, e.counterFor(addr), &pad)
-	var pt ecc.Line
-	for i := range pt {
-		pt[i] = ct[i] ^ pad[i]
-	}
+	pt := *ct
+	e.inner.xorPad(addr, e.counterFor(addr), &pt)
 	if e.Probe != nil {
 		e.Probe.CryptoDecrypt()
 	}

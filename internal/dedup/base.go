@@ -33,6 +33,11 @@ type Base struct {
 	OnFree func(phys uint64)
 
 	St memctrl.SchemeStats
+
+	// ctBuf is the scratch line StoreUnique encrypts into. Schemes are
+	// single-threaded per instance, so one buffer keeps the steady-state
+	// write path free of per-call line copies on the heap.
+	ctBuf ecc.Line
 }
 
 // NewBase wires the shared machinery onto env.
@@ -71,9 +76,10 @@ func (b *Base) MapWrite(logical, phys uint64, at sim.Time) sim.Time {
 // encryption energy is charged here.
 func (b *Base) StoreUnique(logical uint64, data *ecc.Line, at sim.Time) (phys uint64, wr nvm.WriteResult, mapLat sim.Time) {
 	phys = b.Alloc.Alloc()
-	ct, counter := b.Env.Crypto.Encrypt(phys, data)
+	b.ctBuf = *data
+	counter := b.Env.Crypto.EncryptInPlace(phys, &b.ctBuf)
 	b.Env.Energy.Crypto += b.Env.Cfg.Crypto.EncryptEnergy
-	wr = b.Env.Device.Write(phys, ct, at)
+	wr = b.Env.Device.Write(phys, b.ctBuf, at)
 	mapLat = b.MapWrite(logical, phys, at)
 	mapLat += b.Env.IntegrityUpdate(phys, counter, at)
 	b.St.UniqueWrites++
@@ -121,7 +127,8 @@ func (b *Base) ReadPath(logical uint64, at sim.Time) memctrl.ReadOutcome {
 		if vlat := b.Env.IntegrityVerify(phys, t); t+vlat > out.Done {
 			out.Done = t + vlat
 		}
-		out.Data = b.Env.Crypto.Decrypt(phys, &ct)
+		b.Env.Crypto.DecryptInPlace(phys, &ct)
+		out.Data = ct
 	}
 	return out
 }

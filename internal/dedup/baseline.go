@@ -14,6 +14,10 @@ import (
 type Baseline struct {
 	env *memctrl.Env
 	st  memctrl.SchemeStats
+
+	// ctBuf is the scratch line Write encrypts into, keeping the steady
+	// state free of per-call heap copies (schemes are single-threaded).
+	ctBuf ecc.Line
 }
 
 // NewBaseline constructs the baseline scheme on env.
@@ -30,9 +34,10 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	s.st.UniqueWrites++
 	// The AES engine is dedicated and pipelined: encryption adds latency
 	// to this write but does not occupy the controller pipeline.
-	ct, counter := s.env.Crypto.Encrypt(logical, data)
+	s.ctBuf = *data
+	counter := s.env.Crypto.EncryptInPlace(logical, &s.ctBuf)
 	s.env.Energy.Crypto += s.env.Cfg.Crypto.EncryptEnergy
-	wr := s.env.Device.Write(logical, ct, at+s.env.Cfg.Crypto.EncryptLatency)
+	wr := s.env.Device.Write(logical, s.ctBuf, at+s.env.Cfg.Crypto.EncryptLatency)
 	metaLat := s.env.IntegrityUpdate(logical, counter, at)
 	done := wr.AcceptedAt + s.env.Cfg.PCM.WriteLatency
 	s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, logical, logical, false, at, done)
@@ -61,7 +66,8 @@ func (s *Baseline) Read(logical uint64, at sim.Time) memctrl.ReadOutcome {
 		if vlat := s.env.IntegrityVerify(logical, feEnd); feEnd+vlat > out.Done {
 			out.Done = feEnd + vlat
 		}
-		out.Data = s.env.Crypto.Decrypt(logical, &ct)
+		s.env.Crypto.DecryptInPlace(logical, &ct)
+		out.Data = ct
 	}
 	s.env.Tel.OnRead(s.Name(), logical, ok, at, out.Done)
 	return out

@@ -147,8 +147,8 @@ func (s *DeWrite) verify(candidate uint64, data *ecc.Line, t sim.Time, bd *stats
 	if !ok {
 		return false, now
 	}
-	pt := s.Env.Crypto.Decrypt(candidate, &ct)
-	if pt != *data {
+	s.Env.Crypto.DecryptInPlace(candidate, &ct)
+	if ct != *data {
 		s.St.CompareMismatches++
 		return false, now
 	}
@@ -209,7 +209,8 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 	bd.FPCompute = (feStart - at) + s.fper.Latency()
 	bd.FPLookupSRAM = cfg.Meta.SRAMLatency
 	specPhys := s.Alloc.Alloc()
-	specCT, specCounter := s.Env.Crypto.EncryptSpeculative(specPhys, data)
+	s.ctBuf = *data
+	specCounter := s.Env.Crypto.EncryptSpeculativeInPlace(specPhys, &s.ctBuf)
 	s.Env.Energy.Crypto += cfg.Crypto.EncryptEnergy
 	encReady := at + cfg.Crypto.EncryptLatency
 	t := feEnd
@@ -237,7 +238,7 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 		bd.Encrypt = encReady - t
 		t = encReady
 	}
-	wr, mapLat := s.StorePrepared(logical, specPhys, &specCT, specCounter, t)
+	wr, mapLat := s.StorePrepared(logical, specPhys, &s.ctBuf, specCounter, t)
 	s.installFP(d.Short, specPhys, wr.AcceptedAt)
 	bd.Queue += wr.Stall
 	bd.Media = cfg.PCM.WriteLatency

@@ -15,7 +15,11 @@
 // guarantees are exercised by exhaustive and property-based tests.
 package ecc
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
 
 // LineSize is the cache-line size in bytes; fixed at 64 throughout the
 // system, matching the paper's configuration.
@@ -68,6 +72,12 @@ var (
 	dataPos [64]int
 	// posData[p] is the data bit stored at codeword position p, or -1.
 	posData [72]int
+	// laneChecks[k][v] is the XOR of the check contributions of every set
+	// bit of byte value v placed in byte lane k (data bits 8k..8k+7). The
+	// check function is linear over GF(2), so the checks of a word are the
+	// XOR of its eight per-lane table entries — one load per byte instead
+	// of the 64-iteration bit loop retained as hammingChecksRef.
+	laneChecks [8][256]uint8
 )
 
 func init() {
@@ -86,22 +96,23 @@ func init() {
 	if bit != 64 {
 		panic("ecc: internal geometry error")
 	}
+	for lane := 0; lane < 8; lane++ {
+		for v := 0; v < 256; v++ {
+			laneChecks[lane][v] = hammingChecksRef(uint64(v) << uint(8*lane))
+		}
+	}
 }
 
 func parity64(x uint64) uint8 {
-	x ^= x >> 32
-	x ^= x >> 16
-	x ^= x >> 8
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return uint8(x & 1)
+	return uint8(bits.OnesCount64(x) & 1)
 }
 
-// hammingChecks computes the seven Hamming check bits over the 64 data bits.
-// Check bit j (j in 0..6) is the XOR of all data bits whose codeword
-// position has bit j set.
-func hammingChecks(data uint64) uint8 {
+// hammingChecksRef is the per-bit reference implementation of the check
+// function: check bit j (j in 0..6) is the XOR of all data bits whose
+// codeword position has bit j set. It seeds the lane tables and anchors the
+// exhaustive/fuzz equivalence tests that pin hammingChecks to it; the hot
+// path never calls it.
+func hammingChecksRef(data uint64) uint8 {
 	var checks uint8
 	for i := 0; i < 64; i++ {
 		if data>>uint(i)&1 == 1 {
@@ -109,6 +120,19 @@ func hammingChecks(data uint64) uint8 {
 		}
 	}
 	return checks
+}
+
+// hammingChecks computes the seven Hamming check bits over the 64 data bits
+// as eight table lookups, one per byte lane.
+func hammingChecks(data uint64) uint8 {
+	return laneChecks[0][byte(data)] ^
+		laneChecks[1][byte(data>>8)] ^
+		laneChecks[2][byte(data>>16)] ^
+		laneChecks[3][byte(data>>24)] ^
+		laneChecks[4][byte(data>>32)] ^
+		laneChecks[5][byte(data>>40)] ^
+		laneChecks[6][byte(data>>48)] ^
+		laneChecks[7][byte(data>>56)]
 }
 
 // EncodeWord returns the 8-bit ECC for an 8-byte word: seven Hamming check
@@ -121,10 +145,21 @@ func EncodeWord(data uint64) uint8 {
 }
 
 func parity8(x uint8) uint8 {
-	x ^= x >> 4
-	x ^= x >> 2
-	x ^= x >> 1
-	return x & 1
+	return uint8(bits.OnesCount8(x) & 1)
+}
+
+// encodeWordRef composes the retained reference kernels (bit-loop checks,
+// shift-chain parity) into a full reference encoder for equivalence tests.
+func encodeWordRef(data uint64) uint8 {
+	checks := hammingChecksRef(data)
+	p := data ^ uint64(checks)
+	p ^= p >> 32
+	p ^= p >> 16
+	p ^= p >> 8
+	p ^= p >> 4
+	p ^= p >> 2
+	p ^= p >> 1
+	return checks | uint8(p&1)<<7
 }
 
 // DecodeWord validates and, when possible, repairs a word given its stored
@@ -181,19 +216,13 @@ func (l *Line) IsZero() bool {
 // Word extracts the i-th 8-byte word (little-endian), i in [0, 8).
 func (l *Line) Word(i int) uint64 {
 	off := i * WordSize
-	var w uint64
-	for b := 0; b < WordSize; b++ {
-		w |= uint64(l[off+b]) << uint(8*b)
-	}
-	return w
+	return binary.LittleEndian.Uint64(l[off : off+WordSize])
 }
 
 // SetWord stores w into the i-th 8-byte word (little-endian).
 func (l *Line) SetWord(i int, w uint64) {
 	off := i * WordSize
-	for b := 0; b < WordSize; b++ {
-		l[off+b] = byte(w >> uint(8*b))
-	}
+	binary.LittleEndian.PutUint64(l[off:off+WordSize], w)
 }
 
 // Fingerprint is the 64-bit ECC word of a cache line: the concatenation of

@@ -251,6 +251,7 @@ func TestStatusString(t *testing.T) {
 }
 
 func BenchmarkEncodeWord(b *testing.B) {
+	b.ReportAllocs()
 	var sink uint8
 	for i := 0; i < b.N; i++ {
 		sink = EncodeWord(uint64(i) * 0x9E3779B97F4A7C15)
@@ -259,6 +260,7 @@ func BenchmarkEncodeWord(b *testing.B) {
 }
 
 func BenchmarkEncodeLine(b *testing.B) {
+	b.ReportAllocs()
 	var l Line
 	for i := range l {
 		l[i] = byte(i * 37)
@@ -272,6 +274,7 @@ func BenchmarkEncodeLine(b *testing.B) {
 }
 
 func BenchmarkDecodeLineClean(b *testing.B) {
+	b.ReportAllocs()
 	var l Line
 	for i := range l {
 		l[i] = byte(i * 31)

@@ -218,6 +218,7 @@ func TestCollisionRatesOrderAcrossWidths(t *testing.T) {
 }
 
 func BenchmarkFingerprintSHA1(b *testing.B) {
+	b.ReportAllocs()
 	fp := New(KindSHA1, costs())
 	l := randLine(xrand.New(9))
 	b.SetBytes(64)
@@ -227,6 +228,7 @@ func BenchmarkFingerprintSHA1(b *testing.B) {
 }
 
 func BenchmarkFingerprintCRC32(b *testing.B) {
+	b.ReportAllocs()
 	fp := New(KindCRC32, costs())
 	l := randLine(xrand.New(9))
 	b.SetBytes(64)
@@ -236,6 +238,7 @@ func BenchmarkFingerprintCRC32(b *testing.B) {
 }
 
 func BenchmarkFingerprintECC(b *testing.B) {
+	b.ReportAllocs()
 	fp := New(KindECC, costs())
 	l := randLine(xrand.New(9))
 	b.SetBytes(64)

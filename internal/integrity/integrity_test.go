@@ -159,6 +159,7 @@ func TestVerifyColdWalkCostsPerLevel(t *testing.T) {
 }
 
 func BenchmarkTreeUpdate(b *testing.B) {
+	b.ReportAllocs()
 	tr := New(DefaultConfig(1 << 20))
 	for i := 0; i < b.N; i++ {
 		tr.Update(uint64(i)&0xFFFF, uint64(i), sim.Time(i))

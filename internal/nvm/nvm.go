@@ -30,19 +30,42 @@ type pendingWrite struct {
 type bank struct {
 	busyUntil sim.Time
 	busy      sim.Time // accumulated service time
-	writeQ    []pendingWrite
+	// writeQ is a fixed-capacity ring of posted writes, allocated once in
+	// New with capacity WriteQueueDepth. Write force-drains whenever the
+	// ring is full before enqueueing, so it can never overflow, and the
+	// steady state does no slice append/shift churn.
+	writeQ []pendingWrite
+	wqHead int
+	wqLen  int
 	// openLine is the line currently latched in the row buffer; repeated
 	// reads of it are row hits and bypass the full media read.
 	openLine uint64
 	hasOpen  bool
 }
 
+// wqFront returns the oldest queued write without removing it.
+func (b *bank) wqFront() pendingWrite { return b.writeQ[b.wqHead] }
+
+// wqPop removes and returns the oldest queued write.
+func (b *bank) wqPop() pendingWrite {
+	w := b.writeQ[b.wqHead]
+	b.wqHead = (b.wqHead + 1) % len(b.writeQ)
+	b.wqLen--
+	return w
+}
+
+// wqPush appends a posted write; the caller guarantees a free slot.
+func (b *bank) wqPush(w pendingWrite) {
+	b.writeQ[(b.wqHead+b.wqLen)%len(b.writeQ)] = w
+	b.wqLen++
+}
+
 // drainTo opportunistically services queued writes during idle time before
 // now, stopping as soon as the bank is busy at or past now.
 func (b *bank) drainTo(now sim.Time, tWrite sim.Time) int {
 	served := 0
-	for len(b.writeQ) > 0 && b.busyUntil < now {
-		w := b.writeQ[0]
+	for b.wqLen > 0 && b.busyUntil < now {
+		w := b.wqFront()
 		start := b.busyUntil
 		if w.enq > start {
 			start = w.enq
@@ -50,7 +73,7 @@ func (b *bank) drainTo(now sim.Time, tWrite sim.Time) int {
 		if start >= now {
 			break
 		}
-		b.writeQ = b.writeQ[1:]
+		b.wqPop()
 		b.busyUntil = start + tWrite
 		b.busy += tWrite
 		served++
@@ -116,9 +139,17 @@ func New(cfg config.PCM) *Device {
 	if cfg.Banks <= 0 {
 		panic("nvm: need at least one bank")
 	}
+	depth := cfg.WriteQueueDepth
+	if depth < 1 {
+		depth = 1
+	}
+	banks := make([]bank, cfg.Banks)
+	for i := range banks {
+		banks[i].writeQ = make([]pendingWrite, depth)
+	}
 	return &Device{
 		cfg:   cfg,
-		banks: make([]bank, cfg.Banks),
+		banks: banks,
 		data:  make(map[uint64]ecc.Line),
 		wear:  make(map[uint64]uint64),
 	}
@@ -146,10 +177,9 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 	// Write-drain policy: a queue at or above the high watermark forces
 	// the bank to retire writes down to the low watermark before this
 	// read is served.
-	if d.cfg.DrainHigh > 0 && len(b.writeQ) >= d.cfg.DrainHigh {
-		for len(b.writeQ) > d.cfg.DrainLow {
-			w := b.writeQ[0]
-			b.writeQ = b.writeQ[1:]
+	if d.cfg.DrainHigh > 0 && b.wqLen >= d.cfg.DrainHigh {
+		for b.wqLen > d.cfg.DrainLow {
+			w := b.wqPop()
 			start := b.busyUntil
 			if w.enq > start {
 				start = w.enq
@@ -200,9 +230,8 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	ack := now
 	// Full queue: force-drain the oldest writes until a slot frees; the
 	// writer observes the completion time of the last forced drain.
-	for len(b.writeQ) >= d.cfg.WriteQueueDepth {
-		w := b.writeQ[0]
-		b.writeQ = b.writeQ[1:]
+	for b.wqLen >= d.cfg.WriteQueueDepth {
+		w := b.wqPop()
 		start := b.busyUntil
 		if w.enq > start {
 			start = w.enq
@@ -214,7 +243,7 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 		b.busy += d.cfg.WriteLatency
 		ack = b.busyUntil
 	}
-	b.writeQ = append(b.writeQ, pendingWrite{enq: ack})
+	b.wqPush(pendingWrite{enq: ack})
 	// A write to the open line invalidates the row buffer (the queued
 	// media write will re-open its own row later).
 	if b.hasOpen && b.openLine == addr {
@@ -238,9 +267,8 @@ func (d *Device) Flush(now sim.Time) sim.Time {
 	idle := now
 	for i := range d.banks {
 		b := &d.banks[i]
-		for len(b.writeQ) > 0 {
-			w := b.writeQ[0]
-			b.writeQ = b.writeQ[1:]
+		for b.wqLen > 0 {
+			w := b.wqPop()
 			start := b.busyUntil
 			if w.enq > start {
 				start = w.enq
@@ -329,7 +357,7 @@ func (d *Device) Utilization(horizon sim.Time) float64 {
 func (d *Device) QueuedWrites() int {
 	n := 0
 	for i := range d.banks {
-		n += len(d.banks[i].writeQ)
+		n += d.banks[i].wqLen
 	}
 	return n
 }

@@ -269,6 +269,7 @@ func TestTimeNeverRegresses(t *testing.T) {
 }
 
 func BenchmarkDeviceWrite(b *testing.B) {
+	b.ReportAllocs()
 	d := New(testCfg())
 	r := xrand.New(1)
 	addrs := make([]uint64, 4096)

@@ -159,11 +159,13 @@ func (c *TCPClient) roundTrip(frame []byte) (byte, error) {
 }
 
 func (c *TCPClient) Write(addr uint64, line ecc.Line) (WriteResponse, error) {
-	frame := make([]byte, 1+writeReqLen)
+	// Request frames are fixed-size; stack arrays keep the per-call client
+	// path allocation-free (roundTrip's bufio.Writer copies the bytes).
+	var frame [1 + writeReqLen]byte
 	frame[0] = OpWrite
 	putU64(frame[1:9], addr)
 	copy(frame[9:], line[:])
-	st, err := c.roundTrip(frame)
+	st, err := c.roundTrip(frame[:])
 	if err != nil {
 		return WriteResponse{}, err
 	}
@@ -182,10 +184,10 @@ func (c *TCPClient) Write(addr uint64, line ecc.Line) (WriteResponse, error) {
 }
 
 func (c *TCPClient) Read(addr uint64) (ReadResponse, error) {
-	frame := make([]byte, 1+readReqLen)
+	var frame [1 + readReqLen]byte
 	frame[0] = OpRead
 	putU64(frame[1:], addr)
-	st, err := c.roundTrip(frame)
+	st, err := c.roundTrip(frame[:])
 	if err != nil {
 		return ReadResponse{}, err
 	}

@@ -90,14 +90,16 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		resp := make([]byte, 1+1+8+8)
+		// Response frames are fixed-size: build them in stack arrays so the
+		// per-frame path allocates nothing (bufio.Writer.Write copies).
+		var resp [1 + 1 + 8 + 8]byte
 		resp[0] = StatusOK
 		if out.Deduplicated {
 			resp[1] = 1
 		}
 		putU64(resp[2:], out.PhysAddr)
 		putU64(resp[10:], uint64(out.Breakdown.Total().Nanoseconds()))
-		_, werr := bw.Write(resp)
+		_, werr := bw.Write(resp[:])
 		return werr == nil
 	case OpRead:
 		var req [readReqLen]byte
@@ -108,14 +110,14 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		resp := make([]byte, 1+1+ecc.LineSize+8)
+		var resp [1 + 1 + ecc.LineSize + 8]byte
 		resp[0] = StatusOK
 		if res.Hit {
 			resp[1] = 1
 		}
 		copy(resp[2:], res.Data[:])
 		putU64(resp[2+ecc.LineSize:], uint64(res.Lat.Nanoseconds()))
-		_, werr := bw.Write(resp)
+		_, werr := bw.Write(resp[:])
 		return werr == nil
 	case OpFlush:
 		if err := s.eng.Flush(); err != nil {
@@ -131,13 +133,13 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		if err != nil {
 			return writeStatus(bw, StatusBadRequest)
 		}
-		head := make([]byte, 5)
+		var head [5]byte
 		head[0] = StatusOK
 		head[1] = byte(len(payload))
 		head[2] = byte(len(payload) >> 8)
 		head[3] = byte(len(payload) >> 16)
 		head[4] = byte(len(payload) >> 24)
-		if _, err := bw.Write(head); err != nil {
+		if _, err := bw.Write(head[:]); err != nil {
 			return false
 		}
 		_, werr := bw.Write(payload)

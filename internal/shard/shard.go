@@ -177,6 +177,19 @@ func (e *Engine) localAddr(addr uint64) uint64 { return addr / uint64(len(e.shar
 // Shed returns the number of Try* requests rejected with ErrOverloaded.
 func (e *Engine) Shed() uint64 { return e.shed.Load() }
 
+// respChanPool recycles the buffered (capacity 1) response channels a
+// request borrows for its reply, so the steady-state blocking Write/Read
+// path allocates nothing. A channel is returned to the pool only after its
+// single response has been received (or when it was never submitted); a
+// Try* caller that abandons a queued request must NOT recycle its channel,
+// because the worker will still send into it later.
+var respChanPool = sync.Pool{
+	New: func() any { return make(chan response, 1) },
+}
+
+func getRespChan() chan response  { return respChanPool.Get().(chan response) }
+func putRespChan(c chan response) { respChanPool.Put(c) }
+
 // submit enqueues r on shard sh. When block is false a full queue fails
 // with ErrOverloaded instead of waiting.
 func (e *Engine) submit(sh int, r request, block bool) error {
@@ -202,12 +215,15 @@ func (e *Engine) submit(sh int, r request, block bool) error {
 // the owning shard's queue is full (backpressure) and until the shard has
 // processed it.
 func (e *Engine) Write(addr uint64, line ecc.Line) (memctrl.WriteOutcome, error) {
-	done := make(chan response, 1)
+	done := getRespChan()
 	sh := e.ShardOf(addr)
 	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, done: done}, true); err != nil {
+		putRespChan(done)
 		return memctrl.WriteOutcome{}, err
 	}
-	return (<-done).write, nil
+	resp := <-done
+	putRespChan(done)
+	return resp.write, nil
 }
 
 // TryWrite is Write with shedding and a deadline: a full shard queue
@@ -215,15 +231,19 @@ func (e *Engine) Write(addr uint64, line ecc.Line) (memctrl.WriteOutcome, error)
 // request waits in queue abandons the wait (the shard still executes the
 // write; only the caller stops waiting).
 func (e *Engine) TryWrite(ctx context.Context, addr uint64, line ecc.Line) (memctrl.WriteOutcome, error) {
-	done := make(chan response, 1)
+	done := getRespChan()
 	sh := e.ShardOf(addr)
 	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, done: done}, false); err != nil {
+		putRespChan(done)
 		return memctrl.WriteOutcome{}, err
 	}
 	select {
 	case resp := <-done:
+		putRespChan(done)
 		return resp.write, nil
 	case <-ctx.Done():
+		// Abandoned: the shard still executes the write and sends into
+		// done, so the channel cannot be recycled.
 		return memctrl.WriteOutcome{}, ctx.Err()
 	}
 }
@@ -238,26 +258,31 @@ type ReadResult struct {
 
 // Read fetches the plaintext line at a logical address (blocking).
 func (e *Engine) Read(addr uint64) (ReadResult, error) {
-	done := make(chan response, 1)
+	done := getRespChan()
 	sh := e.ShardOf(addr)
 	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), done: done}, true); err != nil {
+		putRespChan(done)
 		return ReadResult{}, err
 	}
 	resp := <-done
+	putRespChan(done)
 	return ReadResult{Data: resp.read.Data, Hit: resp.read.Hit, Lat: resp.lat}, nil
 }
 
 // TryRead is Read with shedding and a deadline (see TryWrite).
 func (e *Engine) TryRead(ctx context.Context, addr uint64) (ReadResult, error) {
-	done := make(chan response, 1)
+	done := getRespChan()
 	sh := e.ShardOf(addr)
 	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), done: done}, false); err != nil {
+		putRespChan(done)
 		return ReadResult{}, err
 	}
 	select {
 	case resp := <-done:
+		putRespChan(done)
 		return ReadResult{Data: resp.read.Data, Hit: resp.read.Hit, Lat: resp.lat}, nil
 	case <-ctx.Done():
+		// Abandoned: the worker still sends into done (see TryWrite).
 		return ReadResult{}, ctx.Err()
 	}
 }
@@ -294,12 +319,14 @@ func (e *Engine) Snapshots() ([]Snapshot, error) {
 func (e *Engine) fanout(k kind, snaps []Snapshot) error {
 	chans := make([]chan response, len(e.shards))
 	for i := range e.shards {
-		chans[i] = make(chan response, 1)
+		chans[i] = getRespChan()
 		if err := e.submit(i, request{kind: k, done: chans[i]}, true); err != nil {
 			// Collect responses already in flight before bailing.
 			for j := 0; j < i; j++ {
 				<-chans[j]
+				putRespChan(chans[j])
 			}
+			putRespChan(chans[i])
 			return err
 		}
 	}
@@ -308,6 +335,7 @@ func (e *Engine) fanout(k kind, snaps []Snapshot) error {
 		if snaps != nil && resp.snap != nil {
 			snaps[i] = *resp.snap
 		}
+		putRespChan(ch)
 	}
 	return nil
 }

@@ -203,6 +203,7 @@ func TestKernelMassiveEventLoad(t *testing.T) {
 }
 
 func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := NewKernel()
 		for j := 0; j < 1000; j++ {

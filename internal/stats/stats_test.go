@@ -237,6 +237,7 @@ func TestMeanMaxPercentile(t *testing.T) {
 }
 
 func BenchmarkHistogramRecord(b *testing.B) {
+	b.ReportAllocs()
 	var h Histogram
 	for i := 0; i < b.N; i++ {
 		h.Record(sim.Time(i%100000) * sim.Nanosecond)

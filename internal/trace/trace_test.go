@@ -235,6 +235,7 @@ func TestWriterCount(t *testing.T) {
 }
 
 func BenchmarkBinaryWrite(b *testing.B) {
+	b.ReportAllocs()
 	records := randRecords(1, 1000)
 	b.SetBytes(int64(len(records)) * recordSize)
 	for i := 0; i < b.N; i++ {
@@ -251,6 +252,7 @@ func BenchmarkBinaryWrite(b *testing.B) {
 }
 
 func BenchmarkBinaryRead(b *testing.B) {
+	b.ReportAllocs()
 	records := randRecords(1, 1000)
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

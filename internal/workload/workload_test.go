@@ -290,6 +290,7 @@ func TestSortedProfileNames(t *testing.T) {
 }
 
 func BenchmarkGeneratorNext(b *testing.B) {
+	b.ReportAllocs()
 	p, _ := ByName("gcc")
 	g := NewGenerator(p, 1, b.N+1)
 	b.ResetTimer()

@@ -267,6 +267,7 @@ func TestWeightedPanics(t *testing.T) {
 }
 
 func BenchmarkRandUint64(b *testing.B) {
+	b.ReportAllocs()
 	r := New(1)
 	var sink uint64
 	for i := 0; i < b.N; i++ {
@@ -276,6 +277,7 @@ func BenchmarkRandUint64(b *testing.B) {
 }
 
 func BenchmarkWeightedNext(b *testing.B) {
+	b.ReportAllocs()
 	r := New(1)
 	w := NewWeighted(r, []float64{5, 1, 3, 2, 9, 4})
 	var sink int

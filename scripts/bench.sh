@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Perf-regression harness: run the hot-path kernel micro-benchmarks and the
+# sharded throughput benchmark, then convert the output into the
+# machine-readable BENCH_<label>.json trajectory point via cmd/benchjson.
+#
+# Usage:
+#   sh scripts/bench.sh                 # full run, writes BENCH_PR3.json
+#   BENCH_LABEL=PR4 sh scripts/bench.sh # next trajectory point
+#   BENCHTIME=1x sh scripts/bench.sh    # CI smoke: one iteration per benchmark
+set -eu
+
+LABEL="${BENCH_LABEL:-PR3}"
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${BENCH_OUT:-BENCH_${LABEL}.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT INT TERM
+
+# Kernel micro-benchmarks: the ECC codec, the CME engine, and the
+# per-line fingerprinters that sit on both.
+go test -run '^$' -bench '.' -benchmem -benchtime "$BENCHTIME" \
+  ./internal/ecc ./internal/crypto ./internal/fingerprint | tee "$TMP"
+
+# System-level: single-threaded write path and the sharded engine's
+# concurrent throughput (writes/s is the headline lines/sec metric).
+go test -run '^$' -bench 'BenchmarkSystemWrite|BenchmarkShardedThroughput' \
+  -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+
+go run ./cmd/benchjson -label "$LABEL" -o "$OUT" "$TMP"
+echo "bench: wrote $OUT"
