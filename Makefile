@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-all figures examples serve-smoke clean
+.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke clean
 
 all: build vet test
 
@@ -36,6 +36,14 @@ bench:
 bench-smoke:
 	BENCHTIME=1x BENCH_OUT=/tmp/bench_smoke.json sh scripts/bench.sh
 
+# Diff a fresh trajectory point against the committed baseline: exits
+# nonzero when any benchmark regressed ns/op by more than 10% or started
+# allocating. Override the baseline with BENCH_BASE=BENCH_PR2.json.
+BENCH_BASE ?= BENCH_PR3.json
+bench-compare:
+	BENCH_LABEL=compare BENCH_OUT=/tmp/bench_compare.json sh scripts/bench.sh
+	$(GO) run ./cmd/benchjson compare $(BENCH_BASE) /tmp/bench_compare.json
+
 # Every benchmark in the repo, including the per-figure campaign.
 bench-all:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
@@ -56,6 +64,7 @@ examples:
 	$(GO) run ./examples/taillatency
 	$(GO) run ./examples/kvstore
 	$(GO) run ./examples/observability
+	$(GO) run ./examples/flightrecorder
 
 clean:
 	rm -rf results/ test_output.txt bench_output.txt

@@ -423,6 +423,38 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkStageTracingOverhead prices the request-tracing additions on
+// the ESD write path. "off" is the telemetry-dark baseline
+// (BenchmarkSystemWriteESD's configuration); "metrics" is a live sink,
+// which since this PR includes the per-stage latency histograms behind
+// /statusz; "metrics+flight" adds the always-on flight-recorder ring.
+// The contract: the tracing additions (stage vectors + flight record)
+// must stay well under 10% of the metrics baseline — and 0 allocs/op in
+// every configuration, because tracing must never put the steady state on
+// the heap.
+func BenchmarkStageTracingOverhead(b *testing.B) {
+	run := func(opts ...SystemOption) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := DefaultConfig()
+			cfg.PCM.CapacityBytes = 1 << 30
+			sys, err := NewSystem(cfg, SchemeESD, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var line Line
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				line.SetWord(0, uint64(i)%512)
+				sys.Write(uint64(i)%65536, line)
+			}
+		}
+	}
+	b.Run("off", run())
+	b.Run("metrics", run(WithMetrics()))
+	b.Run("metrics+flight", run(WithMetrics(), WithFlightRecorder(256)))
+}
+
 // BenchmarkShardedThroughput measures end-to-end write throughput of the
 // sharded engine at 1/2/4/8 shards, with a duplicate-heavy stream (most
 // content drawn from a small pool, so the dedup fast path dominates) and

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runCompare implements `benchjson compare [-max-regress PCT] BASE.json
+// NEW.json`: it diffs two trajectory documents benchmark by benchmark and
+// exits nonzero when any benchmark present in both regressed its ns/op by
+// more than the threshold, or grew allocations from zero. Benchmarks that
+// appear in only one document are reported but never fail the run (the
+// suite is allowed to grow).
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxRegress := fs.Float64("max-regress", 10, "fail when ns/op regresses by more than this percentage")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchjson compare [-max-regress PCT] BASE.json NEW.json\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+	cur, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 2
+	}
+
+	baseByName := make(map[string]*Benchmark, len(base.Benchmarks))
+	for i := range base.Benchmarks {
+		baseByName[base.Benchmarks[i].Name] = &base.Benchmarks[i]
+	}
+
+	fmt.Fprintf(stdout, "comparing %s (base) -> %s, max ns/op regression %.1f%%\n",
+		base.Label, cur.Label, *maxRegress)
+	fmt.Fprintf(stdout, "%-52s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+
+	failed := 0
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		nb := &cur.Benchmarks[i]
+		seen[nb.Name] = true
+		ob, ok := baseByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-52s %14s %14.1f %9s\n", nb.Name, "-", nb.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		verdict := ""
+		if delta > *maxRegress {
+			verdict = "  REGRESSED"
+			failed++
+		}
+		if allocRegressed(ob, nb) {
+			verdict += "  ALLOCS " + fmt.Sprintf("%.0f -> %.0f", *ob.AllocsPerOp, *nb.AllocsPerOp)
+			failed++
+		}
+		fmt.Fprintf(stdout, "%-52s %14.1f %14.1f %+8.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, delta, verdict)
+	}
+	var gone []string
+	for name := range baseByName {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(stdout, "%-52s %14.1f %14s %9s\n", name, baseByName[name].NsPerOp, "-", "gone")
+	}
+	if failed > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d benchmark(s) regressed beyond %.1f%%\n", failed, *maxRegress)
+		return 1
+	}
+	fmt.Fprintln(stdout, "PASS: no regression beyond threshold")
+	return 0
+}
+
+// allocRegressed reports a zero-alloc benchmark that started allocating —
+// the one alloc change a percentage threshold cannot express.
+func allocRegressed(base, cur *Benchmark) bool {
+	return base.AllocsPerOp != nil && cur.AllocsPerOp != nil &&
+		*base.AllocsPerOp == 0 && *cur.AllocsPerOp > 0
+}
+
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	return &doc, nil
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns float64, allocs float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1000, NsPerOp: ns, AllocsPerOp: ptr(allocs)}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", Doc{Label: "PR3", Benchmarks: []Benchmark{
+		bench("BenchmarkWrite-8", 1000, 0),
+		bench("BenchmarkRead-8", 500, 0),
+		bench("BenchmarkGone-8", 200, 0),
+	}})
+
+	cases := []struct {
+		name     string
+		cur      []Benchmark
+		args     []string
+		wantExit int
+		wantOut  []string
+	}{
+		{
+			name: "within threshold passes",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 1080, 0), // +8%
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			wantExit: 0,
+			wantOut:  []string{"PASS", "+8.0%", "gone"},
+		},
+		{
+			name: "regression beyond threshold fails",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 1200, 0), // +20%
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			wantExit: 1,
+			wantOut:  []string{"REGRESSED", "FAIL"},
+		},
+		{
+			name: "custom threshold admits larger delta",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 1200, 0),
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			args:     []string{"-max-regress", "25"},
+			wantExit: 0,
+			wantOut:  []string{"PASS"},
+		},
+		{
+			name: "new allocations on a zero-alloc benchmark fail",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 1000, 2),
+				bench("BenchmarkRead-8", 500, 0),
+			},
+			wantExit: 1,
+			wantOut:  []string{"ALLOCS 0 -> 2", "FAIL"},
+		},
+		{
+			name: "new benchmarks are informational",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 1000, 0),
+				bench("BenchmarkRead-8", 500, 0),
+				bench("BenchmarkFresh-8", 999, 0),
+			},
+			wantExit: 0,
+			wantOut:  []string{"new", "PASS"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := writeDoc(t, dir, "cur.json", Doc{Label: "PR4", Benchmarks: tc.cur})
+			var out, errOut strings.Builder
+			args := append(append([]string{}, tc.args...), base, cur)
+			exit := runCompare(args, &out, &errOut)
+			if exit != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", exit, tc.wantExit, out.String(), errOut.String())
+			}
+			for _, want := range tc.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if exit := runCompare(nil, &out, &errOut); exit != 2 {
+		t.Errorf("no args: exit = %d, want 2", exit)
+	}
+	if exit := runCompare([]string{"missing.json", "alsomissing.json"}, &out, &errOut); exit != 2 {
+		t.Errorf("missing files: exit = %d, want 2", exit)
+	}
+}

@@ -55,6 +55,9 @@ type Doc struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	label := flag.String("label", "dev", "trajectory label stamped into the document (e.g. PR3)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Usage = func() {

@@ -54,6 +54,9 @@ func cliMain(args []string, stdout io.Writer, ready func(*server.Server) <-chan 
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (needs -metrics)")
 		gapNs     = fs.Int("issue-gap-ns", 10, "simulated time between requests on one shard, in ns")
 		seed      = fs.Uint64("seed", 1, "configuration seed")
+		tracing   = fs.Bool("trace", true, "record per-stage latency histograms (served at /statusz)")
+		slow      = fs.Duration("slow", 0, "log requests slower than this wall-clock duration (0 disables)")
+		flightSz  = fs.Int("flight-size", 0, "per-shard flight-recorder ring size (0 = default 256)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,12 +68,14 @@ func cliMain(args []string, stdout io.Writer, ready func(*server.Server) <-chan 
 	cfg := config.Default()
 	cfg.Seed = *seed
 	eng, err := shard.New(cfg, *scheme, shard.Options{
-		Shards:     *shards,
-		QueueDepth: *queue,
-		Batch:      *batch,
-		Coalesce:   *coalesce,
-		IssueGap:   sim.Time(*gapNs) * sim.Nanosecond,
-		Metrics:    *metrics,
+		Shards:      *shards,
+		QueueDepth:  *queue,
+		Batch:       *batch,
+		Coalesce:    *coalesce,
+		IssueGap:    sim.Time(*gapNs) * sim.Nanosecond,
+		Metrics:     *metrics,
+		Tracing:     *tracing,
+		FlightSlots: *flightSz,
 	})
 	if err != nil {
 		return err
@@ -78,14 +83,26 @@ func cliMain(args []string, stdout io.Writer, ready func(*server.Server) <-chan 
 	defer eng.Close()
 
 	srv, err := server.New(eng, server.Config{
-		Addr:           *addr,
-		TCPAddr:        *tcpAddr,
-		RequestTimeout: *timeout,
-		Pprof:          *pprofFlag,
+		Addr:                 *addr,
+		TCPAddr:              *tcpAddr,
+		RequestTimeout:       *timeout,
+		Pprof:                *pprofFlag,
+		SlowRequestThreshold: *slow,
 	})
 	if err != nil {
 		return err
 	}
+
+	// SIGQUIT (or kill -QUIT) dumps the flight recorder to stderr without
+	// stopping the server — the classic "what was it just doing?" probe.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			srv.DumpFlightRecorder(os.Stderr)
+		}
+	}()
 	fmt.Fprintf(stdout, "esdserve: scheme=%s shards=%d http=%s", *scheme, eng.NumShards(), srv.Addr())
 	if srv.TCPAddr() != "" {
 		fmt.Fprintf(stdout, " tcp=%s", srv.TCPAddr())

@@ -83,6 +83,8 @@ func cliMain(args []string, stdout io.Writer) error {
 		traceSample = fs.Int("trace-sample", 1, "trace every Nth write/read event (rare events always traced)")
 		shards      = fs.Int("shards", 1, "partition the address space across N concurrent shards (sharded replay; ignores -warmup)")
 		coalesce    = fs.Bool("coalesce", false, "with -shards: coalesce same-address writes within a batch")
+		slow        = fs.Duration("slow", 0, "log requests whose simulated latency reaches this threshold (0 disables)")
+		slowMax     = fs.Int("slow-max", 100, "cap on slow-request log lines (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,6 +181,9 @@ func cliMain(args []string, stdout io.Writer) error {
 		return err
 	}
 	sys.SetVerifyReads(*verify)
+	if *slow > 0 {
+		sys.SetSlowRequestLog(os.Stderr, esd.Time(slow.Nanoseconds())*esd.Nanosecond, *slowMax)
+	}
 
 	var srv *esd.MetricsServer
 	if *metricsAddr != "" {

@@ -164,6 +164,10 @@ type System struct {
 	// Write/Read calls.
 	IssueGap Time
 
+	// reqSeq numbers Write/Read calls so flight-recorder entries and trace
+	// events carry a stable per-request trace id.
+	reqSeq uint64
+
 	// lineBuf is the scratch line Write/WriteAt hand to the scheme. The
 	// Scheme interface takes *Line, so a pointer to the parameter itself
 	// would escape and heap-allocate a 64-byte copy per write; a System is
@@ -182,9 +186,10 @@ type sysOptions struct {
 	traceW      io.Writer
 	traceFormat telemetry.Format
 	sampleEvery int
+	flightSlots int
 }
 
-func (o *sysOptions) enabled() bool { return o.metrics || o.traceW != nil }
+func (o *sysOptions) enabled() bool { return o.metrics || o.traceW != nil || o.flightSlots > 0 }
 
 // WithMetrics enables the telemetry metrics registry: live counters, gauges
 // and latency histograms for every layer, exposed via WriteMetrics,
@@ -213,6 +218,21 @@ func WithTraceSampling(n int) SystemOption {
 	return func(o *sysOptions) { o.sampleEvery = n }
 }
 
+// WithFlightRecorder enables the always-on flight recorder: a fixed ring
+// of the last slots requests (their trace ids, outcomes and per-stage
+// latencies), recorded wait-free on the hot path and retrievable at any
+// moment via FlightRecords — the black box to read after something went
+// wrong. slots is rounded up to a power of two; slots <= 0 picks the
+// default (256).
+func WithFlightRecorder(slots int) SystemOption {
+	return func(o *sysOptions) {
+		if slots <= 0 {
+			slots = telemetry.DefaultFlightSlots
+		}
+		o.flightSlots = slots
+	}
+}
+
 // NewSystem builds a System running the named scheme. The configuration is
 // validated. Options enable telemetry; with none, every instrumentation
 // hook stays nil and the hot path pays a single predictable branch.
@@ -231,7 +251,11 @@ func NewSystem(cfg Config, scheme string, opts ...SystemOption) (*System, error)
 		if o.traceW != nil {
 			tracer = telemetry.NewTracer(o.traceW, o.traceFormat)
 		}
-		tel = telemetry.NewSink(telemetry.Options{Tracer: tracer, SampleEvery: o.sampleEvery})
+		var flight *telemetry.FlightRecorder
+		if o.flightSlots > 0 {
+			flight = telemetry.NewFlightRecorder(o.flightSlots)
+		}
+		tel = telemetry.NewSink(telemetry.Options{Tracer: tracer, SampleEvery: o.sampleEvery, Flight: flight})
 		env.AttachTelemetry(tel)
 	}
 	sch, err := experiments.NewScheme(env, scheme)
@@ -272,6 +296,8 @@ func (s *System) tick() Time {
 // the address space across independently locked shards.
 func (s *System) Write(addr uint64, line Line) WriteOutcome {
 	at := s.tick()
+	s.reqSeq++
+	s.tel.BeginRequest(telemetry.TraceCtx{TraceID: s.reqSeq, Span: 1, StartNs: int64(at)})
 	s.lineBuf = line
 	out := s.scheme.Write(addr, &s.lineBuf, at)
 	if out.Done > s.now {
@@ -286,6 +312,8 @@ func (s *System) WriteAt(addr uint64, line Line, at Time) WriteOutcome {
 	if at > s.now {
 		s.now = at
 	}
+	s.reqSeq++
+	s.tel.BeginRequest(telemetry.TraceCtx{TraceID: s.reqSeq, Span: 1, StartNs: int64(s.now)})
 	s.lineBuf = line
 	out := s.scheme.Write(addr, &s.lineBuf, s.now)
 	if out.Done > s.now {
@@ -301,6 +329,8 @@ func (s *System) WriteAt(addr uint64, line Line, at Time) WriteOutcome {
 // for a goroutine-safe front.
 func (s *System) Read(addr uint64) (Line, ReadOutcome) {
 	at := s.tick()
+	s.reqSeq++
+	s.tel.BeginRequest(telemetry.TraceCtx{TraceID: s.reqSeq, Span: 1, StartNs: int64(at)})
 	out := s.scheme.Read(addr, at)
 	if out.Done > s.now {
 		s.now = out.Done
@@ -392,15 +422,48 @@ func (m *MetricsServer) Shutdown(ctx context.Context) error { return m.srv.Shutd
 // ServeMetrics starts a background HTTP server on addr (":0" picks a free
 // port; use Addr to discover it) exposing this System's live metrics.
 // enablePprof additionally mounts net/http/pprof under /debug/pprof/.
+// With WithFlightRecorder, /debug/flightrecorder serves the current ring.
 func (s *System) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, error) {
 	if s.tel == nil {
 		return nil, ErrTelemetryDisabled
 	}
-	srv, err := telemetry.NewServer(s.tel.Registry(), telemetry.ServerOptions{Addr: addr, Pprof: enablePprof})
+	opts := telemetry.ServerOptions{Addr: addr, Pprof: enablePprof}
+	if fl := s.tel.Flight(); fl != nil {
+		opts.Flight = fl.Snapshot
+	}
+	srv, err := telemetry.NewServer(s.tel.Registry(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("esd: %w", err)
 	}
 	return &MetricsServer{srv: srv}, nil
+}
+
+// FlightRecord is one decoded flight-recorder entry: the trace id, request
+// kind and outcome, and (for writes) the per-stage latency decomposition.
+type FlightRecord = telemetry.FlightRecord
+
+// TraceCtx is the request-scoped trace context threaded through the write
+// and read paths; the zero value means "untraced".
+type TraceCtx = telemetry.TraceCtx
+
+// FlightRecords snapshots the flight-recorder ring, oldest first. It
+// returns nil unless the System was built with WithFlightRecorder. Safe to
+// call from any goroutine (the ring is read with atomic snapshots).
+func (s *System) FlightRecords() []FlightRecord {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.Flight().Snapshot()
+}
+
+// SetSlowRequestLog enables slow-request logging during Run: every replayed
+// request whose simulated latency reaches threshold is printed to w with
+// its trace id and stage breakdown. max caps the number of lines (0 =
+// unlimited). Pass a nil writer to disable.
+func (s *System) SetSlowRequestLog(w io.Writer, threshold Time, max int) {
+	s.ctl.SlowLog = w
+	s.ctl.SlowThreshold = threshold
+	s.ctl.SlowMax = max
 }
 
 // TraceEvent is one decoded structured trace event.
@@ -502,6 +565,21 @@ func WithShardMetrics() ShardOption {
 	return func(o *shard.Options) { o.Metrics = true }
 }
 
+// WithStageTracing enables per-stage latency histograms on every shard
+// (fingerprint, EFIT lookup, NVM read-verify, encrypt, media, AMT, queue
+// wait), summarized as p50/p99 by StageLatencies and the serving
+// front-end's /statusz. The histograms are worker-private and recorded
+// without allocation, so the steady-state write path stays alloc-free.
+func WithStageTracing() ShardOption {
+	return func(o *shard.Options) { o.Tracing = true }
+}
+
+// WithShardFlightSlots sizes each shard's always-on flight-recorder ring
+// (default 256 entries, rounded up to a power of two).
+func WithShardFlightSlots(n int) ShardOption {
+	return func(o *shard.Options) { o.FlightSlots = n }
+}
+
 // ShardedSystem is the goroutine-safe counterpart of System: it
 // partitions the line-address space across N independent shards (each its
 // own scheme instance, metadata caches and PCM bank group) driven by one
@@ -580,6 +658,59 @@ func (s *ShardedSystem) Run(stream Stream) (*ShardReplayResult, error) {
 // Shed returns the number of Try* requests rejected with ErrOverloaded.
 func (s *ShardedSystem) Shed() uint64 { return s.eng.Shed() }
 
+// NewTrace allocates a fresh request-scoped trace context. Pass it to
+// TryWriteTraced/TryReadTraced so the request's flight-recorder entries
+// and slow-request log lines share one id.
+func (s *ShardedSystem) NewTrace() TraceCtx { return s.eng.NewTrace() }
+
+// TryWriteTraced is TryWrite carrying an explicit trace context.
+func (s *ShardedSystem) TryWriteTraced(ctx context.Context, addr uint64, line Line, tc TraceCtx) (WriteOutcome, error) {
+	return s.eng.TryWriteTraced(ctx, addr, line, tc)
+}
+
+// TryReadTraced is TryRead carrying an explicit trace context.
+func (s *ShardedSystem) TryReadTraced(ctx context.Context, addr uint64, tc TraceCtx) (ReadResult, error) {
+	return s.eng.TryReadTraced(ctx, addr, tc)
+}
+
+// FlightRecords merges every shard's flight-recorder ring into one slice
+// (oldest first within each shard). The rings are always on; this is safe
+// to call at any time from any goroutine and never blocks the workers.
+func (s *ShardedSystem) FlightRecords() []FlightRecord { return s.eng.FlightRecords() }
+
+// StageLatency summarizes one write-path stage's latency distribution.
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// StageLatencies merges the per-shard stage histograms and summarizes each
+// stage that has observations. ok is false unless the system was built
+// with WithStageTracing.
+func (s *ShardedSystem) StageLatencies() (out []StageLatency, ok bool) {
+	hists, ok := s.eng.StageSnapshot()
+	if !ok {
+		return nil, false
+	}
+	for i := range hists {
+		h := &hists[i]
+		if h.Count() == 0 {
+			continue
+		}
+		out = append(out, StageLatency{
+			Stage:  telemetry.Stage(i).String(),
+			Count:  h.Count(),
+			MeanNs: h.Mean().Nanoseconds(),
+			P50Ns:  h.Percentile(0.5).Nanoseconds(),
+			P99Ns:  h.Percentile(0.99).Nanoseconds(),
+		})
+	}
+	return out, true
+}
+
 // TelemetryEnabled reports whether the system was built with
 // WithShardMetrics.
 func (s *ShardedSystem) TelemetryEnabled() bool { return s.eng.Registry() != nil }
@@ -595,13 +726,43 @@ func (s *ShardedSystem) WriteMetrics(w io.Writer) error {
 }
 
 // ServeMetrics starts a background HTTP server exposing the per-shard
-// metrics (see System.ServeMetrics). Requires WithShardMetrics.
+// metrics (see System.ServeMetrics), plus /debug/flightrecorder (the
+// merged shard rings) and a /statusz with queue depths and stage
+// latencies. Requires WithShardMetrics.
 func (s *ShardedSystem) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, error) {
 	reg := s.eng.Registry()
 	if reg == nil {
 		return nil, ErrTelemetryDisabled
 	}
-	srv, err := telemetry.NewServer(reg, telemetry.ServerOptions{Addr: addr, Pprof: enablePprof})
+	srv, err := telemetry.NewServer(reg, telemetry.ServerOptions{
+		Addr:   addr,
+		Pprof:  enablePprof,
+		Flight: s.eng.FlightRecords,
+		Status: func() any {
+			st := struct {
+				Scheme      string         `json:"scheme"`
+				Shards      int            `json:"shards"`
+				QueueDepths []int          `json:"queue_depths"`
+				QueueCap    int            `json:"queue_cap"`
+				Shed        uint64         `json:"shed_requests"`
+				Coalescing  bool           `json:"coalescing"`
+				Coalesced   uint64         `json:"coalesced_writes"`
+				Tracing     bool           `json:"tracing"`
+				Stages      []StageLatency `json:"stages,omitempty"`
+			}{
+				Scheme:      s.eng.SchemeName(),
+				Shards:      s.eng.NumShards(),
+				QueueDepths: s.eng.QueueLens(),
+				QueueCap:    s.eng.QueueCap(),
+				Shed:        s.eng.Shed(),
+				Coalescing:  s.eng.CoalesceEnabled(),
+				Coalesced:   s.eng.Coalesced(),
+				Tracing:     s.eng.TracingEnabled(),
+			}
+			st.Stages, _ = s.StageLatencies()
+			return st
+		},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("esd: %w", err)
 	}

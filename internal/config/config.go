@@ -76,6 +76,13 @@ type PCM struct {
 	DrainLow  int
 	// BusLatency is the channel/bus transfer time per 64B line.
 	BusLatency sim.Time
+	// FaultBank and FaultExtraLatency inject a degraded bank: every media
+	// read and write serviced by bank FaultBank takes FaultExtraLatency
+	// longer (<= 0 disables injection). A debugging aid, not part of the
+	// paper's model — examples/flightrecorder uses it to demonstrate
+	// diagnosing a slow bank from a flight-recorder dump.
+	FaultBank         int
+	FaultExtraLatency sim.Time
 }
 
 // Metadata describes the memory-controller SRAM metadata caches.
@@ -286,6 +293,8 @@ func (c Config) Validate() string {
 	case c.PCM.DrainHigh < 0 || c.PCM.DrainLow < 0 || c.PCM.DrainLow > c.PCM.DrainHigh ||
 		c.PCM.DrainHigh > c.PCM.WriteQueueDepth:
 		return "config: PCM drain watermarks must satisfy 0 <= low <= high <= depth"
+	case c.PCM.FaultExtraLatency > 0 && (c.PCM.FaultBank < 0 || c.PCM.FaultBank >= c.PCM.Banks):
+		return "config: PCM.FaultBank must name an existing bank"
 	case c.Meta.EFITCacheBytes <= 0 || c.Meta.AMTCacheBytes <= 0:
 		return "config: metadata caches must be non-empty"
 	case c.ESD.ReferHMax <= 0 || c.ESD.ReferHMax > 255:

@@ -164,7 +164,7 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 			s.St.DupByCache++
 			mapLat := s.DedupHit(logical, candidate, t)
 			bd.Metadata = mapLat
-			s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat)
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat, &bd)
 			return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 		}
 		// ECC collision: genuinely different content behind the same
@@ -207,10 +207,10 @@ func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, at, t sim.T
 		s.Env.Tel.OnEFITInsert(s.efit.Len())
 	}
 	bd.Queue += wr.Stall
-	bd.Media = cfg.PCM.WriteLatency
+	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
-	done := wr.AcceptedAt + cfg.PCM.WriteLatency
-	s.Env.Tel.OnWrite(s.Name(), dec, logical, phys, false, at, done)
+	done := wr.AcceptedAt + wr.ServiceLatency
+	s.Env.Tel.OnWrite(s.Name(), dec, logical, phys, false, at, done, &bd)
 	return memctrl.WriteOutcome{
 		Done:      done,
 		Breakdown: bd,

@@ -39,18 +39,15 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	s.env.Energy.Crypto += s.env.Cfg.Crypto.EncryptEnergy
 	wr := s.env.Device.Write(logical, s.ctBuf, at+s.env.Cfg.Crypto.EncryptLatency)
 	metaLat := s.env.IntegrityUpdate(logical, counter, at)
-	done := wr.AcceptedAt + s.env.Cfg.PCM.WriteLatency
-	s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, logical, logical, false, at, done)
-	return memctrl.WriteOutcome{
-		Done:     done,
-		PhysAddr: logical,
-		Breakdown: stats.Breakdown{
-			Queue:    wr.Stall,
-			Encrypt:  s.env.Cfg.Crypto.EncryptLatency,
-			Media:    s.env.Cfg.PCM.WriteLatency,
-			Metadata: metaLat,
-		},
+	done := wr.AcceptedAt + wr.ServiceLatency
+	bd := stats.Breakdown{
+		Queue:    wr.Stall,
+		Encrypt:  s.env.Cfg.Crypto.EncryptLatency,
+		Media:    wr.ServiceLatency,
+		Metadata: metaLat,
 	}
+	s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, logical, logical, false, at, done, &bd)
+	return memctrl.WriteOutcome{Done: done, PhysAddr: logical, Breakdown: bd}
 }
 
 // Read fetches and decrypts the line. Like every scheme, the read passes

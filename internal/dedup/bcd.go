@@ -183,7 +183,7 @@ func (s *BCD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 				s.dropDelta(logical)
 				mapLat := s.DedupHit(logical, candidate, t)
 				bd.Metadata = mapLat
-				s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat)
+				s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, candidate, true, at, t+mapLat, &bd)
 				return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 			}
 			s.St.CompareMismatches++
@@ -213,10 +213,10 @@ func (s *BCD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 	s.dropDelta(logical)
 	s.installIndexes(fp, phys)
 	bd.Queue += wr.Stall
-	bd.Media = cfg.PCM.WriteLatency
+	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
-	done := wr.AcceptedAt + cfg.PCM.WriteLatency
-	s.Env.Tel.OnWrite(s.Name(), telemetry.DecBaseWrite, logical, phys, false, at, done)
+	done := wr.AcceptedAt + wr.ServiceLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecBaseWrite, logical, phys, false, at, done, &bd)
 	return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: phys}
 }
 
@@ -285,10 +285,10 @@ func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n in
 	s.St.DedupWrites++ // a full line write was avoided
 	bd.Encrypt = cfg.Crypto.EncryptLatency
 	bd.Queue += wr.Stall
-	bd.Media = cfg.PCM.WriteLatency
+	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
-	done := wr.AcceptedAt + cfg.PCM.WriteLatency
-	s.Env.Tel.OnWrite(s.Name(), telemetry.DecDeltaWrite, logical, base, true, at, done)
+	done := wr.AcceptedAt + wr.ServiceLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecDeltaWrite, logical, base, true, at, done, &bd)
 	return memctrl.WriteOutcome{
 		Done:         done,
 		Breakdown:    bd,

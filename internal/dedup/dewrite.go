@@ -183,7 +183,7 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 				mapLat := s.DedupHit(logical, candidate, t)
 				bd.Metadata = mapLat
 				s.train(logical, true)
-				s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupDup, logical, candidate, true, at, t+mapLat)
+				s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupDup, logical, candidate, true, at, t+mapLat, &bd)
 				return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 			}
 		}
@@ -194,10 +194,10 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 		phys, wr, mapLat := s.StoreUnique(logical, data, t+cfg.Crypto.EncryptLatency)
 		s.installFP(d.Short, phys, wr.AcceptedAt)
 		bd.Queue += wr.Stall
-		bd.Media = cfg.PCM.WriteLatency
+		bd.Media = wr.ServiceLatency
 		bd.Metadata = mapLat
-		done := wr.AcceptedAt + cfg.PCM.WriteLatency
-		s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupUnique, logical, phys, false, at, done)
+		done := wr.AcceptedAt + wr.ServiceLatency
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredDupUnique, logical, phys, false, at, done, &bd)
 		return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: phys}
 	}
 
@@ -227,7 +227,7 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 			mapLat := s.DedupHit(logical, candidate, t)
 			bd.Metadata = mapLat
 			s.train(logical, true)
-			s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueDup, logical, candidate, true, at, t+mapLat)
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueDup, logical, candidate, true, at, t+mapLat, &bd)
 			return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: candidate}
 		}
 	}
@@ -241,10 +241,10 @@ func (s *DeWrite) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wri
 	wr, mapLat := s.StorePrepared(logical, specPhys, &s.ctBuf, specCounter, t)
 	s.installFP(d.Short, specPhys, wr.AcceptedAt)
 	bd.Queue += wr.Stall
-	bd.Media = cfg.PCM.WriteLatency
+	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
-	done := wr.AcceptedAt + cfg.PCM.WriteLatency
-	s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueUnique, logical, specPhys, false, at, done)
+	done := wr.AcceptedAt + wr.ServiceLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecPredUniqueUnique, logical, specPhys, false, at, done, &bd)
 	return memctrl.WriteOutcome{Done: done, Breakdown: bd, PhysAddr: specPhys}
 }
 

@@ -84,7 +84,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 		s.St.DupByCache++
 		mapLat := s.DedupHit(logical, phys, t)
 		bd.Metadata = mapLat
-		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, phys, true, at, t+mapLat)
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, logical, phys, true, at, t+mapLat, &bd)
 		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
 	}
 	s.St.FPCacheMisses++
@@ -101,7 +101,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 		s.fpCache.Put(d.Short, phys)
 		mapLat := s.DedupHit(logical, phys, t)
 		bd.Metadata = mapLat
-		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPNVMM, logical, phys, true, at, t+mapLat)
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPNVMM, logical, phys, true, at, t+mapLat, &bd)
 		return memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
 	}
 
@@ -116,10 +116,10 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 	// The new fingerprint entry is persisted to NVMM off the critical path.
 	s.Env.Device.Write(s.Env.MetaLineFor(d.Short), metaPayload(d.Short, phys), wr.AcceptedAt)
 	bd.Queue += wr.Stall
-	bd.Media = cfg.PCM.WriteLatency
+	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
-	done := wr.AcceptedAt + cfg.PCM.WriteLatency
-	s.Env.Tel.OnWrite(s.Name(), telemetry.DecUniqueFPMiss, logical, phys, false, at, done)
+	done := wr.AcceptedAt + wr.ServiceLatency
+	s.Env.Tel.OnWrite(s.Name(), telemetry.DecUniqueFPMiss, logical, phys, false, at, done, &bd)
 	return memctrl.WriteOutcome{
 		Done:      done,
 		Breakdown: bd,

@@ -10,6 +10,7 @@ import (
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 	"github.com/esdsim/esd/internal/trace"
 )
 
@@ -94,7 +95,20 @@ type Controller struct {
 	// system without being measured, mirroring the paper's initialization
 	// phase: caches, predictors and metadata fill before statistics start.
 	Warmup int
-	oracle map[uint64]ecc.Line
+
+	// SlowThreshold enables slow-request logging during replay: any record
+	// whose simulated service latency is at or above the threshold is
+	// printed to SlowLog with its trace id and stage breakdown, so a tail
+	// outlier in a long replay can be tied back to a specific request.
+	SlowThreshold sim.Time
+	SlowLog       io.Writer
+	// SlowMax caps how many slow requests are logged (0 = unlimited), so a
+	// mis-set threshold cannot flood gigabytes of log from one replay.
+	SlowMax int
+
+	oracle  map[uint64]ecc.Line
+	reqSeq  uint64
+	slowHit int
 }
 
 // NewController pairs a scheme with its environment.
@@ -170,7 +184,10 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 		if measuring {
 			res.Requests++
 		}
+		c.reqSeq++
+		c.env.Tel.BeginRequest(telemetry.TraceCtx{TraceID: c.reqSeq, Span: 1, StartNs: int64(arrival)})
 		var done sim.Time
+		var slowBD stats.Breakdown
 		switch rec.Op {
 		case trace.OpWrite:
 			out := c.scheme.Write(rec.Addr, &rec.Data, arrival)
@@ -178,6 +195,7 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 				return res, fmt.Errorf("memctrl: write completed before arrival at request %d", res.Requests)
 			}
 			done = out.Done
+			slowBD = out.Breakdown
 			if measuring {
 				res.Writes++
 				res.WriteHist.Record(out.Done - arrival)
@@ -207,6 +225,9 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 			}
 		default:
 			return res, fmt.Errorf("memctrl: unknown op %v", rec.Op)
+		}
+		if c.SlowThreshold > 0 && c.SlowLog != nil && done-arrival >= c.SlowThreshold {
+			c.logSlow(rec.Op, rec.Addr, arrival, done, &slowBD)
 		}
 		doneRing[ringIdx] = done
 		ringIdx = (ringIdx + 1) % maxOut
@@ -238,6 +259,34 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 	res.MetadataSRAM = c.scheme.MetadataSRAM()
 	return res, nil
 }
+
+// logSlow prints one slow-request line: trace id, simulated arrival and
+// latency, plus (for writes) the non-zero stage decomposition, matching
+// the stage names the live /statusz endpoint reports.
+func (c *Controller) logSlow(op trace.Op, addr uint64, arrival, done sim.Time, bd *stats.Breakdown) {
+	if c.SlowMax > 0 && c.slowHit >= c.SlowMax {
+		return
+	}
+	c.slowHit++
+	kind := "read"
+	if op == trace.OpWrite {
+		kind = "write"
+	}
+	fmt.Fprintf(c.SlowLog, "memctrl: slow %s trace=%d addr=%d at=%s lat=%s",
+		kind, c.reqSeq, addr, arrival, done-arrival)
+	if op == trace.OpWrite {
+		st := telemetry.StagesFromBreakdown(bd)
+		for i := range st {
+			if st[i] > 0 {
+				fmt.Fprintf(c.SlowLog, " %s=%s", telemetry.Stage(i), st[i])
+			}
+		}
+	}
+	fmt.Fprintln(c.SlowLog)
+}
+
+// SlowLogged reports how many slow requests were printed so far.
+func (c *Controller) SlowLogged() int { return c.slowHit }
 
 // Env returns the controller's environment (for inspection in tests and
 // experiments).

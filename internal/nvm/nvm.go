@@ -30,6 +30,10 @@ type pendingWrite struct {
 type bank struct {
 	busyUntil sim.Time
 	busy      sim.Time // accumulated service time
+	// tRead/tWrite are this bank's media latencies — the configured device
+	// latencies, plus FaultExtraLatency on the fault-injected bank.
+	tRead  sim.Time
+	tWrite sim.Time
 	// writeQ is a fixed-capacity ring of posted writes, allocated once in
 	// New with capacity WriteQueueDepth. Write force-drains whenever the
 	// ring is full before enqueueing, so it can never overflow, and the
@@ -98,6 +102,11 @@ type WriteResult struct {
 	AcceptedAt sim.Time
 	// Stall is AcceptedAt minus submission time (back-pressure).
 	Stall sim.Time
+	// ServiceLatency is this write's media service time on its bank — the
+	// configured write latency, plus the fault penalty on a degraded bank.
+	// Schemes charge the media stage with it instead of the device-wide
+	// constant, so a per-bank fault is visible in latency breakdowns.
+	ServiceLatency sim.Time
 }
 
 // Stats aggregates device activity.
@@ -146,6 +155,12 @@ func New(cfg config.PCM) *Device {
 	banks := make([]bank, cfg.Banks)
 	for i := range banks {
 		banks[i].writeQ = make([]pendingWrite, depth)
+		banks[i].tRead = cfg.ReadLatency
+		banks[i].tWrite = cfg.WriteLatency
+		if cfg.FaultExtraLatency > 0 && i == cfg.FaultBank {
+			banks[i].tRead += cfg.FaultExtraLatency
+			banks[i].tWrite += cfg.FaultExtraLatency
+		}
 	}
 	return &Device{
 		cfg:   cfg,
@@ -173,7 +188,7 @@ func (d *Device) checkAddr(addr uint64) {
 func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 	d.checkAddr(addr)
 	b := d.bankOf(addr)
-	b.drainTo(now, d.cfg.WriteLatency)
+	b.drainTo(now, b.tWrite)
 	// Write-drain policy: a queue at or above the high watermark forces
 	// the bank to retire writes down to the low watermark before this
 	// read is served.
@@ -187,15 +202,15 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 			if now > start {
 				start = now
 			}
-			b.busyUntil = start + d.cfg.WriteLatency
-			b.busy += d.cfg.WriteLatency
+			b.busyUntil = start + b.tWrite
+			b.busy += b.tWrite
 		}
 	}
 	start := now
 	if b.busyUntil > start {
 		start = b.busyUntil
 	}
-	lat := d.cfg.ReadLatency
+	lat := b.tRead
 	rowHit := b.hasOpen && b.openLine == addr && d.cfg.RowHitLatency > 0
 	if rowHit {
 		lat = d.cfg.RowHitLatency
@@ -226,7 +241,7 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	d.checkAddr(addr)
 	b := d.bankOf(addr)
-	b.drainTo(now, d.cfg.WriteLatency)
+	b.drainTo(now, b.tWrite)
 	ack := now
 	// Full queue: force-drain the oldest writes until a slot frees; the
 	// writer observes the completion time of the last forced drain.
@@ -239,8 +254,8 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 		if ack > start {
 			start = ack
 		}
-		b.busyUntil = start + d.cfg.WriteLatency
-		b.busy += d.cfg.WriteLatency
+		b.busyUntil = start + b.tWrite
+		b.busy += b.tWrite
 		ack = b.busyUntil
 	}
 	b.wqPush(pendingWrite{enq: ack})
@@ -256,7 +271,7 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	if d.Probe != nil {
 		d.Probe.DeviceWrite()
 	}
-	res := WriteResult{AcceptedAt: ack, Stall: ack - now}
+	res := WriteResult{AcceptedAt: ack, Stall: ack - now, ServiceLatency: b.tWrite}
 	d.Stats.WriteStallTime += res.Stall
 	return res
 }
@@ -276,8 +291,8 @@ func (d *Device) Flush(now sim.Time) sim.Time {
 			if now > start {
 				start = now
 			}
-			b.busyUntil = start + d.cfg.WriteLatency
-			b.busy += d.cfg.WriteLatency
+			b.busyUntil = start + b.tWrite
+			b.busy += b.tWrite
 		}
 		if b.busyUntil > idle {
 			idle = b.busyUntil

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/esdsim/esd/internal/ecc"
@@ -30,11 +33,20 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when the engine
 	// has telemetry enabled.
 	Pprof bool
+	// SlowRequestThreshold, when positive, logs every request (HTTP and
+	// TCP, writes and reads) whose wall-clock service time reaches it.
+	SlowRequestThreshold time.Duration
+	// SlowLog receives slow-request lines and error-path flight-recorder
+	// dumps (default os.Stderr).
+	SlowLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Second
+	}
+	if c.SlowLog == nil {
+		c.SlowLog = os.Stderr
 	}
 	return c
 }
@@ -60,6 +72,10 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining chan struct{}
 	closedMu sync.Once
+
+	start  time.Time
+	slow   atomic.Uint64 // requests at/over SlowRequestThreshold
+	slowMu sync.Mutex    // serializes slow-log lines and flight dumps
 }
 
 // New listens and starts serving eng in background goroutines. The
@@ -72,6 +88,7 @@ func New(eng *shard.Engine, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		conns:    make(map[net.Conn]struct{}),
 		draining: make(chan struct{}),
+		start:    time.Now(),
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -155,11 +172,150 @@ func (s *Server) mux() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Statusz())
+	})
+	// Registered before the catch-all /debug/ telemetry mount below:
+	// ServeMux routes the longer pattern first, so the flight recorder
+	// works with or without -metrics.
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		recs := s.eng.FlightRecords()
+		if recs == nil {
+			recs = []telemetry.FlightRecord{}
+		}
+		s.writeJSON(w, http.StatusOK, recs)
+	})
 	if reg := s.eng.Registry(); reg != nil {
 		mux.Handle("/metrics", telemetry.Handler(reg, s.cfg.Pprof))
 		mux.Handle("/debug/", telemetry.Handler(reg, s.cfg.Pprof))
 	}
 	return mux
+}
+
+// Ready reports serving readiness: true until Shutdown begins draining.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.draining:
+		return false
+	default:
+		return true
+	}
+}
+
+// StageStatus is one pipeline stage's latency summary in /statusz.
+type StageStatus struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
+// StatuszResponse is the /statusz JSON document: the live serving state —
+// queue depths, shed counts, coalescer state, per-stage latency
+// percentiles — gathered without any engine barrier, so it answers even
+// while shards are wedged.
+type StatuszResponse struct {
+	Scheme          string                 `json:"scheme"`
+	Shards          int                    `json:"shards"`
+	Ready           bool                   `json:"ready"`
+	UptimeS         float64                `json:"uptime_s"`
+	QueueDepths     []int                  `json:"queue_depths"`
+	QueueCap        int                    `json:"queue_cap"`
+	Shed            uint64                 `json:"shed_requests"`
+	Coalescing      bool                   `json:"coalescing"`
+	Coalesced       uint64                 `json:"coalesced_writes"`
+	Tracing         bool                   `json:"tracing"`
+	SlowThresholdMs float64                `json:"slow_threshold_ms"`
+	SlowRequests    uint64                 `json:"slow_requests"`
+	FlightRecords   int                    `json:"flight_records"`
+	Stages          map[string]StageStatus `json:"stages,omitempty"`
+}
+
+// Statusz builds the /statusz document.
+func (s *Server) Statusz() StatuszResponse {
+	resp := StatuszResponse{
+		Scheme:          s.eng.SchemeName(),
+		Shards:          s.eng.NumShards(),
+		Ready:           s.Ready(),
+		UptimeS:         time.Since(s.start).Seconds(),
+		QueueDepths:     s.eng.QueueLens(),
+		QueueCap:        s.eng.QueueCap(),
+		Shed:            s.eng.Shed(),
+		Coalescing:      s.eng.CoalesceEnabled(),
+		Coalesced:       s.eng.Coalesced(),
+		Tracing:         s.eng.TracingEnabled(),
+		SlowThresholdMs: float64(s.cfg.SlowRequestThreshold) / float64(time.Millisecond),
+		SlowRequests:    s.slow.Load(),
+		FlightRecords:   len(s.eng.FlightRecords()),
+	}
+	if hists, ok := s.eng.StageSnapshot(); ok {
+		resp.Stages = make(map[string]StageStatus, len(hists))
+		for i := range hists {
+			h := &hists[i]
+			if h.Count() == 0 {
+				continue
+			}
+			resp.Stages[telemetry.Stage(i).String()] = StageStatus{
+				Count:  h.Count(),
+				MeanNs: h.Mean().Nanoseconds(),
+				P50Ns:  h.Percentile(0.5).Nanoseconds(),
+				P99Ns:  h.Percentile(0.99).Nanoseconds(),
+			}
+		}
+	}
+	return resp
+}
+
+// noteRequest applies the slow-request policy to one completed request.
+func (s *Server) noteRequest(proto, op string, tc telemetry.TraceCtx, addr uint64, wall time.Duration, err error) {
+	if s.cfg.SlowRequestThreshold <= 0 || wall < s.cfg.SlowRequestThreshold {
+		return
+	}
+	s.slow.Add(1)
+	status := "ok"
+	if err != nil {
+		status = err.Error()
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.cfg.SlowLog, "server: slow request trace=%d %s %s addr=%d shard=%d wall=%s status=%s\n",
+		tc.TraceID, proto, op, addr, s.eng.ShardOf(addr), wall, status)
+	s.slowMu.Unlock()
+}
+
+// dumpFlight writes the tail of the flight recorder to the slow log — the
+// black-box dump accompanying an unexpected server error.
+func (s *Server) dumpFlight(reason string) {
+	recs := s.eng.FlightRecords()
+	const tail = 8
+	if len(recs) > tail {
+		recs = recs[len(recs)-tail:]
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	fmt.Fprintf(s.cfg.SlowLog, "server: flight recorder dump (%s), last %d records:\n", reason, len(recs))
+	enc := json.NewEncoder(s.cfg.SlowLog)
+	for i := range recs {
+		_ = enc.Encode(&recs[i])
+	}
+}
+
+// DumpFlightRecorder writes the full flight-recorder contents (every
+// shard's ring, oldest first) to w as JSONL — one FlightRecord per line,
+// decodable with encoding/json. esdserve calls it on SIGQUIT.
+func (s *Server) DumpFlightRecorder(w io.Writer) {
+	recs := s.eng.FlightRecords()
+	fmt.Fprintf(w, "server: flight recorder dump, %d records:\n", len(recs))
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		_ = enc.Encode(&recs[i])
+	}
 }
 
 // WriteRequest is the /v1/write JSON body.
@@ -170,12 +326,15 @@ type WriteRequest struct {
 }
 
 // WriteResponse is the /v1/write JSON reply. LatencyNs is the simulated
-// write-path service latency (not the wire round trip).
+// write-path service latency (not the wire round trip). Trace is the
+// request's trace ID: grep it in the event trace or the flight recorder to
+// see where the request's latency went.
 type WriteResponse struct {
 	Dedup     bool    `json:"dedup"`
 	PhysAddr  uint64  `json:"phys_addr"`
 	LatencyNs float64 `json:"latency_ns"`
 	Shard     int     `json:"shard"`
+	Trace     uint64  `json:"trace,omitempty"`
 }
 
 // ReadResponse is the /v1/read JSON reply.
@@ -184,6 +343,7 @@ type ReadResponse struct {
 	Data      []byte  `json:"data"`
 	LatencyNs float64 `json:"latency_ns"`
 	Shard     int     `json:"shard"`
+	Trace     uint64  `json:"trace,omitempty"`
 }
 
 // StatsResponse is the /v1/stats JSON reply: the merged engine summary
@@ -215,7 +375,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// mapErr translates engine errors to HTTP status codes.
+// mapErr translates engine errors to HTTP status codes. An unexpected
+// error (the 500 path) also dumps the flight-recorder tail to the slow
+// log, so the pipeline state that led to it is preserved.
 func (s *Server) mapErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, shard.ErrOverloaded):
@@ -226,6 +388,7 @@ func (s *Server) mapErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, shard.ErrClosed):
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 	default:
+		s.dumpFlight("error: " + err.Error())
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -248,7 +411,10 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 	copy(line[:], req.Data)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	out, err := s.eng.TryWrite(ctx, req.Addr, line)
+	tc := s.eng.NewTrace()
+	tc.StartNs = time.Now().UnixNano()
+	out, err := s.eng.TryWriteTraced(ctx, req.Addr, line, tc)
+	s.noteRequest("http", "write", tc, req.Addr, time.Since(time.Unix(0, tc.StartNs)), err)
 	if err != nil {
 		s.mapErr(w, err)
 		return
@@ -258,6 +424,7 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		PhysAddr:  out.PhysAddr,
 		LatencyNs: out.Breakdown.Total().Nanoseconds(),
 		Shard:     s.eng.ShardOf(req.Addr),
+		Trace:     tc.TraceID,
 	})
 }
 
@@ -269,7 +436,10 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	res, err := s.eng.TryRead(ctx, addr)
+	tc := s.eng.NewTrace()
+	tc.StartNs = time.Now().UnixNano()
+	res, err := s.eng.TryReadTraced(ctx, addr, tc)
+	s.noteRequest("http", "read", tc, addr, time.Since(time.Unix(0, tc.StartNs)), err)
 	if err != nil {
 		s.mapErr(w, err)
 		return
@@ -279,6 +449,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		Data:      res.Data[:],
 		LatencyNs: res.Lat.Nanoseconds(),
 		Shard:     s.eng.ShardOf(addr),
+		Trace:     tc.TraceID,
 	})
 }
 

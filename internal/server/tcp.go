@@ -86,7 +86,11 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		}
 		var line ecc.Line
 		copy(line[:], req[8:])
-		out, err := s.eng.TryWrite(ctx, getU64(req[:8]), line)
+		addr := getU64(req[:8])
+		tc := s.eng.NewTrace()
+		tc.StartNs = time.Now().UnixNano()
+		out, err := s.eng.TryWriteTraced(ctx, addr, line, tc)
+		s.noteRequest("tcp", "write", tc, addr, time.Since(time.Unix(0, tc.StartNs)), err)
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
@@ -106,7 +110,11 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		if readFull(br, req[:]) != nil {
 			return false
 		}
-		res, err := s.eng.TryRead(ctx, getU64(req[:]))
+		addr := getU64(req[:])
+		tc := s.eng.NewTrace()
+		tc.StartNs = time.Now().UnixNano()
+		res, err := s.eng.TryReadTraced(ctx, addr, tc)
+		s.noteRequest("tcp", "read", tc, addr, time.Since(time.Unix(0, tc.StartNs)), err)
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}

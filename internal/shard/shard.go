@@ -31,6 +31,7 @@ import (
 	"github.com/esdsim/esd/internal/experiments"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
 	"github.com/esdsim/esd/internal/telemetry"
 )
 
@@ -67,6 +68,16 @@ type Options struct {
 	// Metrics enables per-shard telemetry sinks on one shared registry;
 	// every metric carries a shard="i" label.
 	Metrics bool
+	// Tracing enables request-scoped stage tracing: per-shard per-stage
+	// latency histograms (the /statusz p50/p99 source) and trace-context
+	// propagation into the telemetry hooks. Off by default; the flight
+	// recorder runs regardless.
+	Tracing bool
+	// FlightSlots sizes each shard's always-on flight-recorder ring
+	// (rounded up to a power of two; <=0 selects
+	// telemetry.DefaultFlightSlots). The recorder cannot be disabled —
+	// it is the post-hoc debugging black box — only sized.
+	FlightSlots int
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +92,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.IssueGap <= 0 {
 		o.IssueGap = 10 * sim.Nanosecond
+	}
+	if o.FlightSlots <= 0 {
+		o.FlightSlots = telemetry.DefaultFlightSlots
 	}
 	return o
 }
@@ -99,6 +113,7 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 	shed   atomic.Uint64
+	trace  atomic.Uint64 // trace-ID allocator (see NewTrace)
 }
 
 // New builds an Engine running the named scheme on every shard. The
@@ -145,6 +160,10 @@ func New(cfg config.Config, scheme string, opts Options) (*Engine, error) {
 			batch:    opts.Batch,
 			coalesce: opts.Coalesce,
 			interval: sch.TickInterval(),
+			flight:   telemetry.NewFlightRecorder(opts.FlightSlots),
+		}
+		if opts.Tracing {
+			s.stages = new(telemetry.StageHistograms)
 		}
 		s.nextTick = s.interval
 		e.shards = append(e.shards, s)
@@ -176,6 +195,74 @@ func (e *Engine) localAddr(addr uint64) uint64 { return addr / uint64(len(e.shar
 
 // Shed returns the number of Try* requests rejected with ErrOverloaded.
 func (e *Engine) Shed() uint64 { return e.shed.Load() }
+
+// NewTrace allocates the next request trace context (monotonic trace IDs,
+// span 1). The serving front end stamps every incoming request with one and
+// threads it through the Traced request variants.
+func (e *Engine) NewTrace() telemetry.TraceCtx {
+	return telemetry.TraceCtx{TraceID: e.trace.Add(1), Span: 1}
+}
+
+// TracingEnabled reports whether stage tracing is on (Options.Tracing).
+func (e *Engine) TracingEnabled() bool { return e.opts.Tracing }
+
+// CoalesceEnabled reports whether write coalescing is on.
+func (e *Engine) CoalesceEnabled() bool { return e.opts.Coalesce }
+
+// QueueCap returns the per-shard queue bound.
+func (e *Engine) QueueCap() int { return e.opts.QueueDepth }
+
+// QueueLens returns each shard's current queue depth. Unlike Snapshots it
+// is not a barrier — it reads the live channel lengths, so it stays
+// responsive even when a shard is wedged (which is exactly when /statusz
+// matters most).
+func (e *Engine) QueueLens() []int {
+	out := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = len(s.reqs)
+	}
+	return out
+}
+
+// Coalesced returns the live total of writes absorbed by coalescing
+// (barrier-free, unlike Summary).
+func (e *Engine) Coalesced() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.coalesced.Load()
+	}
+	return n
+}
+
+// FlightRecords snapshots every shard's flight recorder, ordered by shard
+// then by record age. It is safe to call at any time — including with
+// shards wedged mid-request — because recording is wait-free and the dump
+// only reads published slots.
+func (e *Engine) FlightRecords() []telemetry.FlightRecord {
+	var out []telemetry.FlightRecord
+	for _, s := range e.shards {
+		out = append(out, s.flight.Snapshot()...)
+	}
+	return out
+}
+
+// StageSnapshot merges every shard's per-stage write-latency histograms;
+// ok is false when stage tracing is disabled. Like QueueLens it takes no
+// barrier: each histogram is snapshotted under its own mutex while the
+// workers keep running.
+func (e *Engine) StageSnapshot() ([telemetry.NumStages]stats.Histogram, bool) {
+	var out [telemetry.NumStages]stats.Histogram
+	if !e.opts.Tracing {
+		return out, false
+	}
+	for _, s := range e.shards {
+		snap := s.stages.Snapshot()
+		for i := range out {
+			out[i].Merge(&snap[i])
+		}
+	}
+	return out, true
+}
 
 // respChanPool recycles the buffered (capacity 1) response channels a
 // request borrows for its reply, so the steady-state blocking Write/Read
@@ -231,9 +318,17 @@ func (e *Engine) Write(addr uint64, line ecc.Line) (memctrl.WriteOutcome, error)
 // request waits in queue abandons the wait (the shard still executes the
 // write; only the caller stops waiting).
 func (e *Engine) TryWrite(ctx context.Context, addr uint64, line ecc.Line) (memctrl.WriteOutcome, error) {
+	return e.TryWriteTraced(ctx, addr, line, telemetry.TraceCtx{})
+}
+
+// TryWriteTraced is TryWrite carrying a request trace context (from
+// NewTrace): the shard worker threads it into the scheme's telemetry hooks
+// and the flight recorder, so the write's stage events can be joined back
+// to the network request.
+func (e *Engine) TryWriteTraced(ctx context.Context, addr uint64, line ecc.Line, tc telemetry.TraceCtx) (memctrl.WriteOutcome, error) {
 	done := getRespChan()
 	sh := e.ShardOf(addr)
-	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, done: done}, false); err != nil {
+	if err := e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line, tc: tc, done: done}, false); err != nil {
 		putRespChan(done)
 		return memctrl.WriteOutcome{}, err
 	}
@@ -271,9 +366,15 @@ func (e *Engine) Read(addr uint64) (ReadResult, error) {
 
 // TryRead is Read with shedding and a deadline (see TryWrite).
 func (e *Engine) TryRead(ctx context.Context, addr uint64) (ReadResult, error) {
+	return e.TryReadTraced(ctx, addr, telemetry.TraceCtx{})
+}
+
+// TryReadTraced is TryRead carrying a request trace context (see
+// TryWriteTraced).
+func (e *Engine) TryReadTraced(ctx context.Context, addr uint64, tc telemetry.TraceCtx) (ReadResult, error) {
 	done := getRespChan()
 	sh := e.ShardOf(addr)
-	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), done: done}, false); err != nil {
+	if err := e.submit(sh, request{kind: kRead, addr: e.localAddr(addr), tc: tc, done: done}, false); err != nil {
 		putRespChan(done)
 		return ReadResult{}, err
 	}

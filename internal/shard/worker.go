@@ -2,11 +2,13 @@ package shard
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // kind is the request discriminator on the shard queues.
@@ -26,6 +28,7 @@ type request struct {
 	kind kind
 	addr uint64 // shard-local line address
 	line ecc.Line
+	tc   telemetry.TraceCtx // request-scoped trace context (zero = untraced)
 	done chan response
 }
 
@@ -38,7 +41,9 @@ type response struct {
 
 // shard is one independent partition: a scheme instance plus its private
 // environment (EFIT, AMT, counter cache, bank group), owned exclusively
-// by its worker goroutine. All fields below the queue are worker-private.
+// by its worker goroutine. Fields below the queue are worker-private
+// except flight, stages and coalesced, which are concurrency-safe and
+// read live by the introspection endpoints (no barrier required).
 type shard struct {
 	id   int
 	reqs chan request
@@ -55,7 +60,15 @@ type shard struct {
 
 	writeHist stats.Histogram
 	readHist  stats.Histogram
-	coalesced uint64
+	coalesced atomic.Uint64
+
+	// flight is the shard's always-on black box: the last N requests with
+	// their stage vectors, recorded wait-free by the worker and snapshotted
+	// by dump endpoints at any time.
+	flight *telemetry.FlightRecorder
+	// stages holds the per-stage latency histograms behind /statusz's
+	// p50/p99 columns (nil unless Options.Tracing).
+	stages *telemetry.StageHistograms
 }
 
 // run is the worker loop: it blocks for one request, then drains up to
@@ -142,7 +155,7 @@ func (s *shard) execCoalesced(buf []request, superseded []bool) {
 	var waiters map[uint64][]chan response
 	for i := range buf {
 		if superseded[i] {
-			s.coalesced++
+			s.coalesced.Add(1)
 			if buf[i].done != nil {
 				if waiters == nil {
 					waiters = make(map[uint64][]chan response)
@@ -171,20 +184,28 @@ func (s *shard) exec(r *request) response {
 	switch r.kind {
 	case kWrite:
 		at := s.tick()
+		s.env.Tel.BeginRequest(r.tc)
 		out := s.sch.Write(r.addr, &r.line, at)
 		if out.Done > s.now {
 			s.now = out.Done
 		}
-		s.writeHist.Record(out.Done - at)
-		return response{write: out, lat: out.Done - at}
+		lat := out.Done - at
+		s.writeHist.Record(lat)
+		st := telemetry.StagesFromBreakdown(&out.Breakdown)
+		s.stages.Observe(&st)
+		s.flight.RecordWrite(s.id, r.tc, r.addr, out.PhysAddr, out.Deduplicated, at, lat, &st)
+		return response{write: out, lat: lat}
 	case kRead:
 		at := s.tick()
+		s.env.Tel.BeginRequest(r.tc)
 		out := s.sch.Read(r.addr, at)
 		if out.Done > s.now {
 			s.now = out.Done
 		}
-		s.readHist.Record(out.Done - at)
-		return response{read: out, lat: out.Done - at}
+		lat := out.Done - at
+		s.readHist.Record(lat)
+		s.flight.RecordRead(s.id, r.tc, r.addr, out.Hit, at, lat)
+		return response{read: out, lat: lat}
 	case kFlush:
 		if idle := s.env.Device.Flush(s.now); idle > s.now {
 			s.now = idle
@@ -218,7 +239,7 @@ func (s *shard) snapshot() *Snapshot {
 		MetadataNVMM: s.sch.MetadataNVMM(),
 		MetadataSRAM: s.sch.MetadataSRAM(),
 		Now:          s.now,
-		Coalesced:    s.coalesced,
+		Coalesced:    s.coalesced.Load(),
 		QueueLen:     len(s.reqs),
 	}
 }

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// FlightRecorder is a fixed-size ring that always holds the last N
+// completed requests with their per-stage latency vectors — a black box
+// that can be dumped after the fact (on error, on SIGQUIT, or via the
+// /debug/flightrecorder endpoint) to explain what the pipeline was doing
+// when something went slow or wrong.
+//
+// Recording is allocation-free and never blocks: a writer claims the next
+// sequence number with one atomic add, then publishes the slot under a
+// per-slot try-lock. Only a concurrent Snapshot can hold a slot's lock,
+// and then the writer drops that one record instead of stalling the
+// pipeline — the dump path pays for the hot path, never the reverse. The
+// per-slot mutex (rather than per-field atomics) keeps the record cost at
+// three atomic operations regardless of how many fields a record carries.
+//
+// The intended topology is one recorder per shard worker (single writer);
+// multiple concurrent writers remain safe as long as the ring is large
+// enough that a writer is not lapped mid-record.
+type FlightRecorder struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []flightSlot
+}
+
+// flightSlot is one ring entry. All fields are plain and guarded by mu;
+// seq names the record the slot currently holds (0 = never written), so a
+// reader can tell a live record from one overwritten during its scan.
+type flightSlot struct {
+	mu     sync.Mutex
+	seq    uint64
+	trace  uint64
+	addr   uint64
+	phys   uint64
+	kind   byte
+	shard  int32
+	flag   bool // dedup for writes, hit for reads
+	at     sim.Time
+	lat    sim.Time
+	stages StageTimes
+}
+
+const (
+	flightKindWrite = 0
+	flightKindRead  = 1
+)
+
+// DefaultFlightSlots is the ring size used when none is given.
+const DefaultFlightSlots = 256
+
+// NewFlightRecorder builds a recorder holding the last `slots` records,
+// rounded up to a power of two (<=0 selects DefaultFlightSlots).
+func NewFlightRecorder(slots int) *FlightRecorder {
+	if slots <= 0 {
+		slots = DefaultFlightSlots
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]flightSlot, n)}
+}
+
+// Cap returns the ring capacity (0 for nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Len returns how many records are currently held (0 for nil).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := f.seq.Load()
+	if n > uint64(len(f.slots)) {
+		return len(f.slots)
+	}
+	return int(n)
+}
+
+// RecordWrite appends one completed write. phys is the backing physical
+// line the write landed on (it locates the serving bank, which the logical
+// address does not after remapping). Nil-safe and allocation-free.
+func (f *FlightRecorder) RecordWrite(shard int, tc TraceCtx, addr, phys uint64, dedup bool, at, lat sim.Time, st *StageTimes) {
+	f.record(flightKindWrite, shard, tc, addr, phys, dedup, at, lat, st)
+}
+
+// RecordRead appends one completed read. Nil-safe and allocation-free.
+func (f *FlightRecorder) RecordRead(shard int, tc TraceCtx, addr uint64, hit bool, at, lat sim.Time) {
+	f.record(flightKindRead, shard, tc, addr, 0, hit, at, lat, nil)
+}
+
+func (f *FlightRecorder) record(kind byte, shard int, tc TraceCtx, addr, phys uint64, flag bool, at, lat sim.Time, st *StageTimes) {
+	if f == nil {
+		return
+	}
+	n := f.seq.Add(1)
+	s := &f.slots[n&f.mask]
+	if !s.mu.TryLock() {
+		// A dump holds this slot right now. Drop the record (the sequence
+		// number shows up as a gap) rather than stall the write path.
+		return
+	}
+	s.seq = n
+	s.trace = tc.TraceID
+	s.addr = addr
+	s.phys = phys
+	s.kind = kind
+	s.shard = int32(shard)
+	s.flag = flag
+	s.at = at
+	s.lat = lat
+	if st != nil {
+		s.stages = *st
+	} else {
+		s.stages = StageTimes{}
+	}
+	s.mu.Unlock()
+}
+
+// FlightRecord is one decoded flight-recorder entry, shaped for JSON
+// exposition (/debug/flightrecorder) and offline analysis. Latencies are
+// simulated nanoseconds.
+type FlightRecord struct {
+	// Seq orders records within one recorder (ascending = older to newer).
+	Seq uint64 `json:"seq"`
+	// Trace is the originating request's trace ID (0 = untraced traffic).
+	Trace uint64 `json:"trace,omitempty"`
+	Kind  string `json:"kind"` // "write" or "read"
+	Shard int    `json:"shard"`
+	Addr  uint64 `json:"addr"`
+	// Phys is the physical line backing a write — the freshly written line,
+	// or the existing shared line for a deduplicated write. Always 0 for
+	// reads.
+	Phys uint64 `json:"phys,omitempty"`
+	// Dedup (writes) and Hit (reads) carry the outcome flag.
+	Dedup bool    `json:"dedup,omitempty"`
+	Hit   bool    `json:"hit,omitempty"`
+	AtNs  float64 `json:"at_ns"`
+	LatNs float64 `json:"lat_ns"`
+	// StagesNs is the per-stage latency decomposition (writes only; zero
+	// stages are omitted).
+	StagesNs map[string]float64 `json:"stages_ns,omitempty"`
+}
+
+// Snapshot decodes the ring's current contents, oldest first. It allocates
+// (it is the cold dump path) and may be called concurrently with writers:
+// a slot overwritten between the sequence read and the slot lock is
+// skipped rather than returned torn or duplicated.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	end := f.seq.Load()
+	n := uint64(len(f.slots))
+	start := uint64(1)
+	if end > n {
+		start = end - n + 1
+	}
+	out := make([]FlightRecord, 0, end-start+1)
+	for i := start; i <= end; i++ {
+		s := &f.slots[i&f.mask]
+		s.mu.Lock()
+		if s.seq != i {
+			s.mu.Unlock()
+			continue // overwritten by a newer record, or never completed
+		}
+		rec := FlightRecord{
+			Seq:   i,
+			Trace: s.trace,
+			Shard: int(s.shard),
+			Addr:  s.addr,
+			AtNs:  s.at.Nanoseconds(),
+			LatNs: s.lat.Nanoseconds(),
+		}
+		kind, flag, st, phys := s.kind, s.flag, s.stages, s.phys
+		s.mu.Unlock()
+		if kind == flightKindRead {
+			rec.Kind = "read"
+			rec.Hit = flag
+		} else {
+			rec.Kind = "write"
+			rec.Dedup = flag
+			rec.Phys = phys
+			for j, d := range st {
+				if d > 0 {
+					if rec.StagesNs == nil {
+						rec.StagesNs = make(map[string]float64, NumStages)
+					}
+					rec.StagesNs[Stage(j).String()] = d.Nanoseconds()
+				}
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}

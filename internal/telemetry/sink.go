@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
 )
 
 // Decision is the write-path verdict a scheme reached for one request. The
@@ -97,6 +98,10 @@ type Options struct {
 	// into every metric name this sink registers, distinguishing sinks
 	// that share a Registry.
 	Labels string
+	// Flight, when non-nil, receives one flight record per write/read the
+	// sink observes (the single-System wiring; the sharded engine records
+	// from its workers instead, so per-shard sinks leave this nil).
+	Flight *FlightRecorder
 }
 
 // labeled merges a constant label set into a metric name, preserving any
@@ -124,9 +129,11 @@ func labeled(name, labels string) string {
 type Sink struct {
 	reg    *Registry
 	tracer *Tracer
+	flight *FlightRecorder
 	sample uint64
 	labels string
-	nSeen  uint64 // write/read events considered for sampling (sim thread only)
+	nSeen  uint64   // write/read events considered for sampling (sim thread only)
+	cur    TraceCtx // current request's trace context (sim thread only)
 
 	writes    *Counter
 	reads     *Counter
@@ -136,6 +143,7 @@ type Sink struct {
 
 	writeLat *TimeHistogram
 	readLat  *TimeHistogram
+	stageLat [NumStages]*TimeHistogram
 
 	efitInserts *Counter
 	efitEvicts  *Counter
@@ -168,6 +176,7 @@ func NewSink(opts Options) *Sink {
 	s := &Sink{
 		reg:    opts.Registry,
 		tracer: opts.Tracer,
+		flight: opts.Flight,
 		sample: uint64(opts.SampleEvery),
 		labels: opts.Labels,
 	}
@@ -191,6 +200,11 @@ func NewSink(opts Options) *Sink {
 	}
 	s.writeLat = hist("esd_write_latency_ns", "CPU-visible write latency (simulated)")
 	s.readLat = hist("esd_read_latency_ns", "CPU-visible read latency (simulated)")
+	for st := Stage(0); int(st) < NumStages; st++ {
+		s.stageLat[st] = hist(
+			`esd_stage_latency_ns{stage="`+st.String()+`"}`,
+			"write latency by pipeline stage")
+	}
 
 	s.efitInserts = ctr("esd_efit_inserts_total", "fingerprint entries installed in the EFIT")
 	s.efitEvicts = ctr("esd_efit_evictions_total", "EFIT entries displaced by the LRCU policy")
@@ -233,6 +247,25 @@ func (s *Sink) Tracer() *Tracer {
 	return s.tracer
 }
 
+// Flight returns the attached flight recorder, if any (nil-safe).
+func (s *Sink) Flight() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.flight
+}
+
+// BeginRequest installs the trace context of the request about to enter
+// the scheme; subsequent OnWrite/OnRead events and flight records carry
+// its trace ID. Called by the layer that drives the scheme (System, the
+// controller's replay loop, a shard worker) on the simulation thread.
+func (s *Sink) BeginRequest(tc TraceCtx) {
+	if s == nil {
+		return
+	}
+	s.cur = tc
+}
+
 // emit forwards a non-sampled (rare) event to the tracer.
 func (s *Sink) emit(ev Event) {
 	if s.tracer == nil {
@@ -250,8 +283,9 @@ func (s *Sink) sampledTick() bool {
 }
 
 // OnWrite records one scheme write: decision counter, latency histogram,
+// per-stage attribution from the breakdown (may be nil), a flight record,
 // and (sampled) a structured trace event.
-func (s *Sink) OnWrite(scheme string, d Decision, logical, phys uint64, dedup bool, at, done sim.Time) {
+func (s *Sink) OnWrite(scheme string, d Decision, logical, phys uint64, dedup bool, at, done sim.Time, bd *stats.Breakdown) {
 	if s == nil {
 		return
 	}
@@ -266,10 +300,21 @@ func (s *Sink) OnWrite(scheme string, d Decision, logical, phys uint64, dedup bo
 	}
 	s.writeLat.Observe(done - at)
 	s.simNow.Set(int64(done))
+	if bd != nil {
+		st := StagesFromBreakdown(bd)
+		for i, dur := range st {
+			if dur > 0 {
+				s.stageLat[i].Observe(dur)
+			}
+		}
+		s.flight.RecordWrite(0, s.cur, logical, phys, dedup, at, done-at, &st)
+	} else {
+		s.flight.RecordWrite(0, s.cur, logical, phys, dedup, at, done-at, nil)
+	}
 	if s.tracer != nil && s.sampledTick() {
 		s.events.Inc()
 		s.tracer.Emit(Event{
-			At: int64(at), Kind: "write", Scheme: scheme,
+			At: int64(at), Kind: "write", Scheme: scheme, Trace: s.cur.TraceID,
 			Decision: d.String(), Logical: logical, Phys: phys,
 			Dedup: dedup, Lat: int64(done - at),
 		})
@@ -284,6 +329,7 @@ func (s *Sink) OnRead(scheme string, logical uint64, hit bool, at, done sim.Time
 	s.reads.Inc()
 	s.readLat.Observe(done - at)
 	s.simNow.Set(int64(done))
+	s.flight.RecordRead(0, s.cur, logical, hit, at, done-at)
 	if s.tracer != nil && s.sampledTick() {
 		s.events.Inc()
 		detail := "miss"
@@ -291,7 +337,7 @@ func (s *Sink) OnRead(scheme string, logical uint64, hit bool, at, done sim.Time
 			detail = "hit"
 		}
 		s.tracer.Emit(Event{
-			At: int64(at), Kind: "read", Scheme: scheme,
+			At: int64(at), Kind: "read", Scheme: scheme, Trace: s.cur.TraceID,
 			Logical: logical, Lat: int64(done - at), Detail: detail,
 		})
 	}

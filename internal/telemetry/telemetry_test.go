@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/stats"
 )
 
 func TestNilPrimitivesAreNoOps(t *testing.T) {
@@ -32,9 +33,16 @@ func TestNilPrimitivesAreNoOps(t *testing.T) {
 	}
 }
 
+// TestNilSinkHooksAreNoOps calls EVERY exported Sink method on a nil
+// receiver: the schemes call these unconditionally on the hot path, so a
+// forgotten nil guard on any new hook is a panic in every untelemetered
+// run. Extend this list whenever a hook is added.
 func TestNilSinkHooksAreNoOps(t *testing.T) {
 	var s *Sink
-	s.OnWrite("esd", DecDupFPCache, 1, 2, true, 0, 10)
+	bd := stats.Breakdown{Encrypt: 5}
+	s.BeginRequest(TraceCtx{TraceID: 1, Span: 1})
+	s.OnWrite("esd", DecDupFPCache, 1, 2, true, 0, 10, nil)
+	s.OnWrite("esd", DecDupFPCache, 1, 2, true, 0, 10, &bd)
 	s.OnRead("esd", 1, true, 0, 10)
 	s.OnEFITInsert(3)
 	s.OnEFITEvict(1, 2, 0)
@@ -49,11 +57,36 @@ func TestNilSinkHooksAreNoOps(t *testing.T) {
 	s.CryptoEncrypt()
 	s.CryptoDecrypt()
 	s.CounterOverflow(4)
-	if s.Registry() != nil || s.Tracer() != nil {
+	if s.Registry() != nil || s.Tracer() != nil || s.Flight() != nil {
 		t.Error("nil sink leaked non-nil accessors")
 	}
 	if p := s.CacheProbe("x"); p != nil {
 		t.Error("nil sink returned a probe")
+	}
+}
+
+// TestNilFlightAndStagesAreNoOps covers the new tracing primitives the
+// same way: shard workers call these without checking whether tracing is
+// enabled, relying on nil receivers being no-ops.
+func TestNilFlightAndStagesAreNoOps(t *testing.T) {
+	var f *FlightRecorder
+	st := StageTimes{StageEncrypt: 5}
+	f.RecordWrite(0, TraceCtx{}, 1, 1, true, 0, 10, &st)
+	f.RecordRead(0, TraceCtx{}, 1, true, 0, 10)
+	if f.Cap() != 0 || f.Len() != 0 {
+		t.Error("nil flight recorder has capacity")
+	}
+	if recs := f.Snapshot(); recs != nil {
+		t.Errorf("nil flight recorder snapshot = %v", recs)
+	}
+
+	var h *StageHistograms
+	h.Observe(&st)
+	snap := h.Snapshot()
+	for i := range snap {
+		if snap[i].Count() != 0 {
+			t.Errorf("nil stage histograms recorded stage %v", Stage(i))
+		}
 	}
 }
 
@@ -268,9 +301,9 @@ func TestSinkCountersAndSampling(t *testing.T) {
 	tr := NewTracer(&sb, FormatJSONL)
 	s := NewSink(Options{Tracer: tr, SampleEvery: 3})
 	for i := 0; i < 9; i++ {
-		s.OnWrite("esd", DecUniqueFPMiss, uint64(i), uint64(i), false, 0, sim.Time(100*(i+1)))
+		s.OnWrite("esd", DecUniqueFPMiss, uint64(i), uint64(i), false, 0, sim.Time(100*(i+1)), nil)
 	}
-	s.OnWrite("esd", DecDupFPCache, 9, 0, true, 0, 50)
+	s.OnWrite("esd", DecDupFPCache, 9, 0, true, 0, 50, nil)
 	s.OnRead("esd", 1, true, 0, 200)
 	s.OnEFITEvict(42, 1, 500) // rare: always traced regardless of sampling
 	s.OnCrash(1000)
@@ -315,7 +348,7 @@ func TestSinkCountersAndSampling(t *testing.T) {
 
 func TestSinkHistogramExposition(t *testing.T) {
 	s := NewSink(Options{})
-	s.OnWrite("esd", DecBaseline, 0, 0, false, 0, 150*sim.Nanosecond)
+	s.OnWrite("esd", DecBaseline, 0, 0, false, 0, 150*sim.Nanosecond, nil)
 	var sb strings.Builder
 	if err := s.Registry().WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
@@ -347,7 +380,7 @@ func TestCacheProbeLabels(t *testing.T) {
 
 func TestServerEndpoints(t *testing.T) {
 	s := NewSink(Options{})
-	s.OnWrite("esd", DecBaseline, 1, 1, false, 0, 100)
+	s.OnWrite("esd", DecBaseline, 1, 1, false, 0, 100, nil)
 	srv, err := NewServer(s.Registry(), ServerOptions{Addr: "127.0.0.1:0", Pprof: true})
 	if err != nil {
 		t.Fatal(err)

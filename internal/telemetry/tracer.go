@@ -23,6 +23,9 @@ type Event struct {
 	// "gap-move", "ctr-overflow", "crash", "run-start", "run-measure",
 	// "run-end".
 	Kind string `json:"kind"`
+	// Trace is the originating request's trace ID (0 when the traffic was
+	// not request-scoped, e.g. trace replay without a serving front end).
+	Trace uint64 `json:"trace,omitempty"`
 	// Scheme is the emitting scheme's name (write/read events).
 	Scheme string `json:"scheme,omitempty"`
 	// Decision is the write-path verdict (see Decision constants).
@@ -148,6 +151,9 @@ func (t *Tracer) emitChrome(ev Event) {
 	if ev.Kind == "write" || ev.Kind == "read" {
 		ce.Ph = "X"
 		ce.Dur = float64(ev.Lat) / psPerUs
+	}
+	if ev.Trace != 0 {
+		ce.Args["trace"] = ev.Trace
 	}
 	if ev.Scheme != "" {
 		ce.Name = ev.Scheme + ":" + ev.Kind

@@ -22,7 +22,7 @@ go test -run '^$' -bench '.' -benchmem -benchtime "$BENCHTIME" \
 
 # System-level: single-threaded write path and the sharded engine's
 # concurrent throughput (writes/s is the headline lines/sec metric).
-go test -run '^$' -bench 'BenchmarkSystemWrite|BenchmarkShardedThroughput' \
+go test -run '^$' -bench 'BenchmarkSystemWrite|BenchmarkShardedThroughput|BenchmarkStageTracingOverhead' \
   -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
 
 go run ./cmd/benchjson -label "$LABEL" -o "$OUT" "$TMP"

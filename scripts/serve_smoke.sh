@@ -14,7 +14,7 @@ go build -o "$BIN/esdserve" ./cmd/esdserve
 go build -o "$BIN/esdload" ./cmd/esdload
 
 "$BIN/esdserve" -addr "127.0.0.1:$HTTP_PORT" -tcp-addr "127.0.0.1:$TCP_PORT" \
-  -scheme esd -shards 4 -metrics >"$LOG" 2>&1 &
+  -scheme esd -shards 4 -metrics -trace -slow 500ms >"$LOG" 2>&1 &
 SERVE_PID=$!
 
 # Wait for the listener (up to ~10 s).
@@ -34,6 +34,44 @@ echo "serve-smoke: HTTP load"
 
 echo "serve-smoke: TCP load"
 "$BIN/esdload" -addr "127.0.0.1:$TCP_PORT" -proto tcp -n 1000 -workers 4 -writes 0.6 -dup 0.4
+
+# Introspection surface: every endpoint must answer 200 and the JSON ones
+# must parse and reflect the traffic just driven. curl/python3 are present
+# on the CI runners; skip politely on dev boxes without them.
+if command -v curl >/dev/null 2>&1; then
+  echo "serve-smoke: introspection endpoints"
+  for ep in healthz readyz statusz debug/flightrecorder metrics; do
+    code=$(curl -s -o "$BIN/$(basename "$ep").out" -w '%{http_code}' "http://127.0.0.1:$HTTP_PORT/$ep")
+    if [ "$code" != 200 ]; then
+      echo "serve-smoke: GET /$ep returned $code" >&2
+      cat "$BIN/$(basename "$ep").out" >&2
+      exit 1
+    fi
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$BIN/statusz.out" "$BIN/flightrecorder.out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    st = json.load(f)
+assert st["ready"] is True, st
+assert st["shards"] == 4, st
+assert st["tracing"] is True, st
+assert st["stages"], "statusz has no per-stage latencies: %r" % st
+for name, s in st["stages"].items():
+    assert s["count"] > 0 and s["p99_ns"] >= s["p50_ns"], (name, s)
+with open(sys.argv[2]) as f:
+    recs = json.load(f)
+assert isinstance(recs, list) and recs, "flight recorder empty after load"
+assert all(r["kind"] in ("write", "read") for r in recs), recs[:3]
+print("serve-smoke: statusz has %d stages, flight recorder holds %d records"
+      % (len(st["stages"]), len(recs)))
+EOF
+  else
+    echo "serve-smoke: python3 not found, skipping JSON validation"
+  fi
+else
+  echo "serve-smoke: curl not found, skipping endpoint checks"
+fi
 
 # Graceful drain: SIGTERM, then the process must exit 0 and report a
 # clean drain with traffic accounted for.
