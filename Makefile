@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke clean
+.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke check fuzz-smoke clean
 
 all: build vet test
 
@@ -57,6 +57,17 @@ figures:
 # requests through esdload over HTTP and TCP, assert a clean drain.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Differential checker: every scheme, single + sharded {1,8}, against the
+# map oracle with invariant audits. Any violation prints a replay command
+# (esdcheck -seed N -upto M) that reproduces it exactly.
+check:
+	$(GO) run ./cmd/esdcheck -ops 200000 -seed 1 -shards 1,8
+
+# 30 seconds per fuzz target — catches crashes, hangs and corpus
+# regressions, not deep state-space coverage. FUZZTIME=5s for quick runs.
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

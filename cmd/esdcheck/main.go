@@ -1,0 +1,158 @@
+// Command esdcheck runs the model-based differential and invariant checker
+// (internal/check) against all schemes: one deterministic workload applied
+// to a map-based oracle and every scheme variant (single-threaded plus
+// sharded with and without coalescing), failing loudly on any divergence.
+//
+// Every failure prints the seed and op index; replay the exact failing
+// prefix with:
+//
+//	esdcheck -seed N -upto M+1
+//
+// Exit status is 0 when every seed passes, 1 on violations, 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/esdsim/esd/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("esdcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ops        = fs.Int("ops", 200_000, "operations per seed")
+		seed       = fs.Uint64("seed", 1, "first workload seed")
+		seeds      = fs.Int("seeds", 1, "number of consecutive seeds to run")
+		upto       = fs.Int("upto", 0, "stop after N ops (replay a failing prefix; 0 = all)")
+		every      = fs.Int("every", 2000, "run invariant audits every K ops (<0 disables)")
+		schemes    = fs.String("schemes", "", "comma-separated schemes (default: the four canonical)")
+		shards     = fs.String("shards", "1,2,8", "comma-separated shard counts for the sharded variants ('' disables)")
+		coalesce   = fs.String("coalesce", "both", "coalescing for sharded variants: off, on or both")
+		concurrent = fs.Bool("concurrent", false, "also run the adversarial concurrent schedules")
+		verbose    = fs.Bool("v", false, "progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := check.Config{
+		Gen:        check.DefaultGen(),
+		Upto:       *upto,
+		AuditEvery: *every,
+	}
+	cfg.Gen.Ops = *ops
+	if *schemes != "" {
+		cfg.Schemes = splitList(*schemes)
+	}
+	var err error
+	if cfg.Shards, err = parseInts(*shards); err != nil {
+		fmt.Fprintf(stderr, "esdcheck: bad -shards: %v\n", err)
+		return 2
+	}
+	switch *coalesce {
+	case "off":
+		cfg.Coalesce = []bool{false}
+	case "on":
+		cfg.Coalesce = []bool{true}
+	case "both":
+		cfg.Coalesce = []bool{false, true}
+	default:
+		fmt.Fprintf(stderr, "esdcheck: bad -coalesce %q (want off, on or both)\n", *coalesce)
+		return 2
+	}
+
+	failed := false
+	for s := *seed; s < *seed+uint64(*seeds); s++ {
+		runCfg := cfg
+		runCfg.Seed = s
+		if *verbose {
+			runCfg.Progress = func(done, total int) {
+				fmt.Fprintf(stdout, "seed %d: %d/%d ops\n", s, done, total)
+			}
+		}
+		start := time.Now()
+		res, err := check.Run(runCfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "esdcheck: seed %d: %v\n", s, err)
+			return 2
+		}
+		if res.Ok() {
+			fmt.Fprintf(stdout, "seed %d: OK — %d ops (%d writes, %d reads, %d crashes) across %d engines in %v\n",
+				s, res.Ops, res.Writes, res.Reads, res.Crashes, len(res.Engines), time.Since(start).Round(time.Millisecond))
+		} else {
+			failed = true
+			fmt.Fprintf(stdout, "seed %d: FAIL — %d violation(s):\n", s, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Fprintf(stdout, "  %v\n", v)
+				fmt.Fprintf(stdout, "    replay: esdcheck -seed %d -upto %d\n", s, v.Op+1)
+			}
+		}
+		if *concurrent {
+			schemeSet := cfg.Schemes
+			if len(schemeSet) == 0 {
+				schemeSet = check.DefaultSchemes()
+			}
+			for _, scheme := range schemeSet {
+				ccfg := check.DefaultConcurrent(scheme)
+				ccfg.Seed = s
+				ccfg.FaultBank = 2
+				vios, err := check.RunConcurrent(ccfg)
+				if err != nil {
+					fmt.Fprintf(stderr, "esdcheck: concurrent %s: %v\n", scheme, err)
+					return 2
+				}
+				if len(vios) == 0 {
+					fmt.Fprintf(stdout, "seed %d: concurrent %s OK (%d workers x %d ops)\n",
+						s, scheme, ccfg.Workers, ccfg.OpsPerWorker)
+					continue
+				}
+				failed = true
+				fmt.Fprintf(stdout, "seed %d: concurrent %s FAIL — %d violation(s):\n", s, scheme, len(vios))
+				for _, v := range vios {
+					fmt.Fprintf(stdout, "  %v\n", v)
+				}
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	out := []int{}
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("shard count %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-ops", "1500", "-seed", "1", "-shards", "1", "-coalesce", "on", "-every", "500"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("no OK line in output: %s", out.String())
+	}
+}
+
+func TestRunMultipleSeeds(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-ops", "800", "-seeds", "2", "-shards", "", "-schemes", "esd,baseline"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut.String())
+	}
+	if got := strings.Count(out.String(), "OK"); got != 2 {
+		t.Fatalf("want 2 OK lines, got %d: %s", got, out.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-coalesce", "sideways"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -coalesce: exit %d", code)
+	}
+	if code := run([]string{"-shards", "0"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad -shards: exit %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit %d", code)
+	}
+}
+
+func TestUnknownSchemeFails(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-ops", "100", "-schemes", "nonesuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown scheme: exit %d\nstdout: %s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "nonesuch") {
+		t.Fatalf("error does not name the scheme: %s", errOut.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -239,7 +240,7 @@ func TestCapacityNeverExceeded(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -268,7 +269,7 @@ func TestGetAfterPutAlwaysHitsUntilEvicted(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

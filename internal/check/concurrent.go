@@ -1,0 +1,167 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/shard"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// ConcurrentConfig parameterizes one adversarial concurrent schedule.
+type ConcurrentConfig struct {
+	// Scheme is the scheme every shard runs.
+	Scheme string
+	// Shards and Coalesce configure the engine under test.
+	Shards   int
+	Coalesce bool
+	// Workers is the number of concurrent client goroutines.
+	Workers int
+	// OpsPerWorker is each worker's op count.
+	OpsPerWorker int
+	// Addrs is the shared logical address space (small, to maximize
+	// same-address contention).
+	Addrs uint64
+	// Seed derives every worker's private generator (seed + worker index).
+	Seed uint64
+	// FaultBank, when >= 0, injects extra latency into that bank of every
+	// shard's device — a timing adversary that skews worker interleavings
+	// without changing functional behavior.
+	FaultBank int
+}
+
+// DefaultConcurrent returns a contention-heavy schedule.
+func DefaultConcurrent(scheme string) ConcurrentConfig {
+	return ConcurrentConfig{
+		Scheme:       scheme,
+		Shards:       4,
+		Coalesce:     true,
+		Workers:      8,
+		OpsPerWorker: 2000,
+		Addrs:        256,
+		Seed:         1,
+		FaultBank:    -1,
+	}
+}
+
+// stripeCount is the number of address-stripe locks (power of two).
+const stripeCount = 64
+
+// RunConcurrent hammers one sharded engine from Workers goroutines with a
+// mixed read/write workload and checks per-address linearizability: a
+// striped lock is held across {engine op, model update}, so within one
+// address ops are serialized and every read must return exactly the model's
+// current value, while across addresses the engine sees genuinely
+// concurrent traffic (run it under -race). Async writes ride WriteAsync so
+// the coalescing path engages under contention.
+//
+// It returns harness violations; an error reports engine construction
+// failure.
+func RunConcurrent(cfg ConcurrentConfig) ([]Violation, error) {
+	sys := checkConfig()
+	if cfg.FaultBank >= 0 {
+		sys.PCM.FaultBank = cfg.FaultBank
+		sys.PCM.FaultExtraLatency = 30 * sim.Nanosecond
+	}
+	return runConcurrentOn(sys, cfg)
+}
+
+func runConcurrentOn(sys config.Config, cfg ConcurrentConfig) ([]Violation, error) {
+	eng, err := shard.New(sys, cfg.Scheme, shard.Options{Shards: cfg.Shards, Coalesce: cfg.Coalesce})
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	defer eng.Close()
+
+	label := fmt.Sprintf("%s/concurrent shards=%d", cfg.Scheme, cfg.Shards)
+	type stripe struct {
+		mu  sync.Mutex
+		mem map[uint64]ecc.Line
+	}
+	var stripes [stripeCount]stripe
+	for i := range stripes {
+		stripes[i].mem = make(map[uint64]ecc.Line)
+	}
+
+	var (
+		vioMu sync.Mutex
+		vios  []Violation
+	)
+	fail := func(op int, msg string) {
+		vioMu.Lock()
+		if len(vios) < 32 {
+			vios = append(vios, Violation{Engine: label, Op: op, Msg: msg})
+		}
+		vioMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.New(cfg.Seed + uint64(w)*0x9E37)
+			var line ecc.Line
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				addr := r.Uint64n(cfg.Addrs)
+				st := &stripes[addr&(stripeCount-1)]
+				opIdx := w*cfg.OpsPerWorker + i
+				switch {
+				case r.Bool(0.5): // write
+					fillLine(&line, r)
+					st.mu.Lock()
+					var err error
+					if r.Bool(0.5) {
+						err = eng.WriteAsync(addr, line)
+					} else {
+						_, err = eng.Write(addr, line)
+					}
+					if err != nil {
+						fail(opIdx, fmt.Sprintf("write addr=%d: %v", addr, err))
+					} else {
+						st.mem[addr] = line
+					}
+					st.mu.Unlock()
+				default: // read
+					st.mu.Lock()
+					res, err := eng.Read(addr)
+					want, wantHit := st.mem[addr]
+					st.mu.Unlock()
+					switch {
+					case err != nil:
+						fail(opIdx, fmt.Sprintf("read addr=%d: %v", addr, err))
+					case res.Hit != wantHit:
+						fail(opIdx, fmt.Sprintf("read addr=%d: hit=%v, model says %v", addr, res.Hit, wantHit))
+					case res.Hit && res.Data != want:
+						fail(opIdx, fmt.Sprintf("read addr=%d: data diverges from model", addr))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := eng.Flush(); err != nil {
+		return nil, fmt.Errorf("check: flush: %w", err)
+	}
+
+	// Post-quiescence sweep: with the workers gone, every model entry must
+	// read back exactly.
+	lastOp := cfg.Workers * cfg.OpsPerWorker
+	for i := range stripes {
+		for addr, want := range stripes[i].mem {
+			res, err := eng.Read(addr)
+			switch {
+			case err != nil:
+				fail(lastOp, fmt.Sprintf("sweep addr=%d: %v", addr, err))
+			case !res.Hit:
+				fail(lastOp, fmt.Sprintf("sweep addr=%d: written line lost", addr))
+			case res.Data != want:
+				fail(lastOp, fmt.Sprintf("sweep addr=%d: data diverges from model", addr))
+			}
+		}
+	}
+	return vios, nil
+}

@@ -1,0 +1,209 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/shard"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// engine is one system variant under differential test. write and audit
+// return violation messages (empty = fine); read returns what the variant
+// observes so the runner can compare it against the oracle.
+type engine interface {
+	label() string
+	write(addr uint64, line ecc.Line) []string
+	read(addr uint64) (ecc.Line, bool, error)
+	// crash simulates a power failure; it reports false when the variant
+	// has no crash surface (sharded engines).
+	crash() bool
+	audit() []string
+	close() error
+}
+
+// issueGap is the simulated time between self-clocked requests, matching
+// the root System's default.
+const issueGap = 10 * sim.Nanosecond
+
+// singleEngine drives one raw memctrl.Scheme the way the single-threaded
+// System does (self-clocked, periodic Tick), with two extra checker-only
+// surfaces: the per-write dedup-safety probe and the white-box audits.
+type singleEngine struct {
+	name string
+	env  *memctrl.Env
+	sch  memctrl.Scheme
+
+	now      sim.Time
+	nextTick sim.Time
+	buf      ecc.Line
+
+	// dedupIdentical reports whether a Deduplicated outcome promises the
+	// stored line is byte-identical to the written one. True for every
+	// scheme except BCD, whose delta writes report the base line as their
+	// physical backing while storing a compressed difference elsewhere.
+	dedupIdentical bool
+
+	// Counter-audit shadow state (pad-uniqueness): per-line counters must
+	// never decrease between audits, and the total counter mass must move
+	// in lockstep with the crypto engine's encryption count minus the
+	// scheme's discarded speculative encryptions.
+	shadow     map[uint64]uint64
+	prevSum    uint64
+	prevEnc    uint64
+	prevWasted uint64
+}
+
+func newSingleEngine(cfg config.Config, scheme string) (*singleEngine, error) {
+	env := memctrl.NewEnv(cfg)
+	sch, err := experiments.NewScheme(env, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &singleEngine{
+		name:           scheme + "/single",
+		env:            env,
+		sch:            sch,
+		dedupIdentical: scheme != experiments.SchemeBCD,
+		shadow:         make(map[uint64]uint64),
+	}, nil
+}
+
+func (e *singleEngine) label() string { return e.name }
+
+// step advances the self-clock and drives due maintenance ticks.
+func (e *singleEngine) step() sim.Time {
+	e.now += issueGap
+	if iv := e.sch.TickInterval(); iv > 0 {
+		if e.nextTick == 0 {
+			e.nextTick = iv
+		}
+		for e.nextTick <= e.now {
+			e.sch.Tick(e.nextTick)
+			e.nextTick += iv
+		}
+	}
+	return e.now
+}
+
+func (e *singleEngine) write(addr uint64, line ecc.Line) []string {
+	at := e.step()
+	e.buf = line
+	out := e.sch.Write(addr, &e.buf, at)
+	if out.Done > e.now {
+		e.now = out.Done
+	}
+	if !out.Deduplicated || !e.dedupIdentical {
+		return nil
+	}
+	// Dedup safety: the scheme claims an existing physical line already
+	// holds exactly these bytes. Decrypt what is actually stored there and
+	// call the bluff — this is where an unchecked fingerprint collision
+	// (the crafted CollisionDelta lines) would silently corrupt data.
+	ct, ok := e.env.Device.Load(out.PhysAddr)
+	if !ok {
+		return []string{fmt.Sprintf("dedup write addr=%d: phys %d has no stored line", addr, out.PhysAddr)}
+	}
+	pt := e.env.Crypto.DecryptAt(out.PhysAddr, e.env.Crypto.Counter(out.PhysAddr), &ct)
+	if pt != line {
+		return []string{fmt.Sprintf("dedup write addr=%d: phys %d stores different content (fingerprint collision accepted)", addr, out.PhysAddr)}
+	}
+	return nil
+}
+
+func (e *singleEngine) read(addr uint64) (ecc.Line, bool, error) {
+	at := e.step()
+	out := e.sch.Read(addr, at)
+	if out.Done > e.now {
+		e.now = out.Done
+	}
+	return out.Data, out.Hit, nil
+}
+
+func (e *singleEngine) crash() bool {
+	c, ok := e.sch.(memctrl.Crasher)
+	if !ok {
+		return false
+	}
+	c.Crash(e.now)
+	return true
+}
+
+func (e *singleEngine) audit() []string {
+	bad := AuditScheme(e.sch)
+	bad = append(bad, e.auditCounters()...)
+	return bad
+}
+
+// auditCounters checks counter-mode pad uniqueness: a per-line counter that
+// ever decreases (or a counter bump unaccounted by an encryption) would
+// reuse a one-time pad.
+func (e *singleEngine) auditCounters() []string {
+	var bad []string
+	var sum uint64
+	e.env.Crypto.RangeCounters(func(addr, c uint64) bool {
+		if prev, ok := e.shadow[addr]; ok && c < prev {
+			bad = append(bad, fmt.Sprintf("counter: line %d went backwards %d -> %d (pad reuse)", addr, prev, c))
+		}
+		e.shadow[addr] = c
+		sum += c
+		return true
+	})
+	enc, wasted := e.env.Crypto.Encryptions, e.sch.Stats().WastedEncryptions
+	dSum, dEnc, dWasted := sum-e.prevSum, enc-e.prevEnc, wasted-e.prevWasted
+	if dSum != dEnc-dWasted {
+		bad = append(bad, fmt.Sprintf("counter: counters advanced by %d but engine performed %d encryptions (%d discarded)", dSum, dEnc, dWasted))
+	}
+	e.prevSum, e.prevEnc, e.prevWasted = sum, enc, wasted
+	return bad
+}
+
+func (e *singleEngine) close() error { return nil }
+
+// shardEngine drives a sharded engine variant. Writes go through
+// WriteAsync (fire-and-forget), which both exercises the coalescing path
+// (synchronous writes never batch up) and still guarantees a later read of
+// the same address observes the write: same address means same shard, and
+// a shard executes its queue in submission order.
+type shardEngine struct {
+	name string
+	eng  *shard.Engine
+}
+
+func newShardEngine(cfg config.Config, scheme string, shards int, coalesce bool) (*shardEngine, error) {
+	eng, err := shard.New(cfg, scheme, shard.Options{Shards: shards, Coalesce: coalesce})
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/shards=%d", scheme, shards)
+	if coalesce {
+		name += "+coalesce"
+	}
+	return &shardEngine{name: name, eng: eng}, nil
+}
+
+func (e *shardEngine) label() string { return e.name }
+
+func (e *shardEngine) write(addr uint64, line ecc.Line) []string {
+	if err := e.eng.WriteAsync(addr, line); err != nil {
+		return []string{fmt.Sprintf("write addr=%d: %v", addr, err)}
+	}
+	return nil
+}
+
+func (e *shardEngine) read(addr uint64) (ecc.Line, bool, error) {
+	res, err := e.eng.Read(addr)
+	if err != nil {
+		return ecc.Line{}, false, err
+	}
+	return res.Data, res.Hit, nil
+}
+
+func (e *shardEngine) crash() bool { return false }
+
+func (e *shardEngine) audit() []string { return nil }
+
+func (e *shardEngine) close() error { return e.eng.Close() }

@@ -1,0 +1,212 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/xrand"
+)
+
+// OpKind discriminates generated operations.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota
+	OpRead
+	OpCrash
+)
+
+// Op is one generated operation. Line is meaningful for writes only.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Line ecc.Line
+}
+
+// GenConfig shapes the synthetic adversarial workload. The zero value is
+// not useful; start from DefaultGen.
+type GenConfig struct {
+	// Ops is the number of operations to generate.
+	Ops int
+	// Addrs is the logical line-address space size.
+	Addrs uint64
+	// ReadFrac is the probability an op is a read (the rest are writes,
+	// minus the rare crash ops).
+	ReadFrac float64
+	// DupRatio is the probability a written line is drawn from the shared
+	// content pool (duplicate-heavy traffic) rather than fresh random.
+	DupRatio float64
+	// DupSweep, when set, overrides DupRatio with a ramp across the run —
+	// quarters at 0.1/0.4/0.7/0.9 — so one run exercises dedup-cold,
+	// mixed and dedup-hot regimes.
+	DupSweep bool
+	// ZeroBurst is the probability a write starts a burst of ZeroBurstLen
+	// all-zero lines (the most duplicated content in real traces).
+	ZeroBurst    float64
+	ZeroBurstLen int
+	// HotSkew is the Zipf exponent of the address distribution (0 =
+	// uniform). Skewed addresses force AMT remaps and refcount churn on a
+	// hot set.
+	HotSkew float64
+	// CollisionRate is the probability a written line is an ECC-collision
+	// sibling of a pool line: same ECC fingerprint, different content,
+	// crafted from the code's linearity (see CollisionDelta). These lines
+	// force ESD's byte-by-byte compare to actually decide.
+	CollisionRate float64
+	// CrashRate is the probability of a crash op (honored by single-System
+	// engines; sharded engines have no crash surface and skip it, which is
+	// itself a differential test of crash transparency).
+	CrashRate float64
+	// PoolSize is the shared content-pool size.
+	PoolSize int
+}
+
+// DefaultGen returns the standard adversarial mix.
+func DefaultGen() GenConfig {
+	return GenConfig{
+		Ops:           200_000,
+		Addrs:         1 << 13,
+		ReadFrac:      0.45,
+		DupRatio:      0.5,
+		DupSweep:      true,
+		ZeroBurst:     0.01,
+		ZeroBurstLen:  16,
+		HotSkew:       0.9,
+		CollisionRate: 0.02,
+		CrashRate:     0.0005,
+		PoolSize:      64,
+	}
+}
+
+// Gen is a deterministic, seed-reproducible operation generator: the same
+// (GenConfig, seed) pair always yields the same op sequence, which is what
+// makes `esdcheck -seed N -upto M` an exact replay.
+type Gen struct {
+	cfg  GenConfig
+	r    *xrand.Rand
+	zipf *xrand.Zipf
+	pool []ecc.Line
+	i    int
+	zero int // remaining ops of an active zero burst
+}
+
+// NewGen builds a generator for cfg seeded with seed.
+func NewGen(cfg GenConfig, seed uint64) *Gen {
+	if cfg.PoolSize < 1 {
+		cfg.PoolSize = 1
+	}
+	if cfg.Addrs == 0 {
+		cfg.Addrs = 1 << 13
+	}
+	g := &Gen{cfg: cfg, r: xrand.New(seed)}
+	if cfg.HotSkew > 0 {
+		g.zipf = xrand.NewZipf(g.r, cfg.HotSkew, int(cfg.Addrs))
+	}
+	g.pool = make([]ecc.Line, cfg.PoolSize)
+	for i := range g.pool {
+		fillLine(&g.pool[i], g.r)
+	}
+	return g
+}
+
+func fillLine(l *ecc.Line, r *xrand.Rand) {
+	for w := 0; w < ecc.WordsPerLine; w++ {
+		l.SetWord(w, r.Uint64())
+	}
+}
+
+func (g *Gen) addr() uint64 {
+	if g.zipf != nil {
+		return uint64(g.zipf.Next())
+	}
+	return g.r.Uint64n(g.cfg.Addrs)
+}
+
+// dupRatio is the effective duplicate ratio at the current op index.
+func (g *Gen) dupRatio() float64 {
+	if !g.cfg.DupSweep {
+		return g.cfg.DupRatio
+	}
+	ramp := [4]float64{0.1, 0.4, 0.7, 0.9}
+	q := g.i * 4 / max(g.cfg.Ops, 1)
+	if q > 3 {
+		q = 3
+	}
+	return ramp[q]
+}
+
+// Next returns the next operation; ok is false once Ops were generated.
+func (g *Gen) Next() (op Op, ok bool) {
+	if g.i >= g.cfg.Ops {
+		return Op{}, false
+	}
+	g.i++
+	if g.zero > 0 {
+		g.zero--
+		return Op{Kind: OpWrite, Addr: g.addr()}, true // zero line
+	}
+	switch {
+	case g.r.Bool(g.cfg.CrashRate):
+		return Op{Kind: OpCrash}, true
+	case g.r.Bool(g.cfg.ReadFrac):
+		return Op{Kind: OpRead, Addr: g.addr()}, true
+	}
+	op = Op{Kind: OpWrite, Addr: g.addr()}
+	switch {
+	case g.r.Bool(g.cfg.ZeroBurst):
+		g.zero = g.cfg.ZeroBurstLen - 1
+		// op.Line stays zero.
+	case g.r.Bool(g.cfg.CollisionRate):
+		op.Line = g.pool[g.r.Intn(len(g.pool))]
+		w := g.r.Intn(ecc.WordsPerLine)
+		op.Line.SetWord(w, op.Line.Word(w)^CollisionDelta())
+	case g.r.Bool(g.dupRatio()):
+		op.Line = g.pool[g.r.Intn(len(g.pool))]
+	default:
+		fillLine(&op.Line, g.r)
+	}
+	return op, true
+}
+
+// collisionDelta is the crafted nonzero 64-bit word whose (72,64) SEC-DED
+// code word is all-zero. The code is linear over GF(2), so XORing this
+// delta into any word of a line changes the content while leaving the
+// line's ECC fingerprint untouched — the exact adversary §III-D's
+// byte-by-byte comparison exists to defeat.
+var collisionDelta = findCollisionDelta()
+
+// CollisionDelta returns the crafted fingerprint-preserving word delta.
+func CollisionDelta() uint64 { return collisionDelta }
+
+func findCollisionDelta() uint64 {
+	// A uniformly random word hits the 8-bit-zero-syndrome subspace with
+	// probability 2^-8, so a short deterministic scan always succeeds.
+	sm := xrand.NewSplitMix64(0xECC0)
+	for i := 0; i < 1_000_000; i++ {
+		d := sm.Uint64()
+		if d != 0 && ecc.EncodeWord(d) == 0 {
+			return d
+		}
+	}
+	panic("check: no ECC-collision delta found (code is no longer linear?)")
+}
+
+// String renders an op for failure reports.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpWrite:
+		return fmt.Sprintf("write addr=%d word0=%#x", o.Addr, o.Line.Word(0))
+	case OpRead:
+		return fmt.Sprintf("read addr=%d", o.Addr)
+	default:
+		return "crash"
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/experiments"
+)
+
+// Config parameterizes one differential run.
+type Config struct {
+	// Gen shapes the workload (DefaultGen if zero Ops).
+	Gen GenConfig
+	// Seed drives the generator; the same (Gen, Seed) pair replays the
+	// exact same op stream.
+	Seed uint64
+	// Schemes lists the schemes to check (default: the four canonical).
+	Schemes []string
+	// Shards lists the sharded variants per scheme (default 1, 2, 8; nil
+	// keeps the default, an explicit empty slice disables sharded
+	// variants).
+	Shards []int
+	// Coalesce lists the coalescing settings per sharded variant
+	// (default off and on).
+	Coalesce []bool
+	// AuditEvery runs the invariant audits every K ops on the single
+	// engines (default 2000; <0 disables).
+	AuditEvery int
+	// Upto stops after this many ops (0 = the full Gen.Ops), replaying the
+	// failing prefix of an earlier run.
+	Upto int
+	// MaxViolations stops the run early once this many violations
+	// accumulated (default 10).
+	MaxViolations int
+	// SysCfg overrides the system configuration (zero = checkConfig()).
+	SysCfg *config.Config
+	// Progress, when non-nil, is called every few thousand ops.
+	Progress func(done, total int)
+}
+
+// Result reports one differential run.
+type Result struct {
+	// Ops is the number of ops executed.
+	Ops int
+	// Writes/Reads/Crashes decompose the executed ops.
+	Writes, Reads, Crashes int
+	// Engines lists the engine variants checked.
+	Engines []string
+	// Violations are the failures, each pinned to an op index.
+	Violations []Violation
+}
+
+// Ok reports whether the run found no violations.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// checkConfig returns the system configuration the checker runs under: the
+// Table I defaults shrunk to a 64 MiB device so 28 engine variants fit in
+// memory, with SRAM caches shrunk too so eviction/refill paths actually
+// exercise under a small address footprint.
+func checkConfig() config.Config {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 26
+	cfg.Meta.EFITCacheBytes = 16 << 10
+	cfg.Meta.AMTCacheBytes = 16 << 10
+	cfg.SHA1.FPCacheBytes = 16 << 10
+	cfg.DeWrite.FPCacheBytes = 16 << 10
+	return cfg
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Gen.Ops == 0 {
+		out.Gen = DefaultGen()
+	}
+	if len(out.Schemes) == 0 {
+		out.Schemes = experiments.Schemes()
+	}
+	if out.Shards == nil {
+		out.Shards = []int{1, 2, 8}
+	}
+	if len(out.Coalesce) == 0 {
+		out.Coalesce = []bool{false, true}
+	}
+	if out.AuditEvery == 0 {
+		out.AuditEvery = 2000
+	}
+	if out.MaxViolations == 0 {
+		out.MaxViolations = 10
+	}
+	return out
+}
+
+// Run executes one differential + invariant checking pass: a single
+// generated op stream applied to the oracle and every engine variant, with
+// periodic white-box audits. It returns an error only for harness-level
+// failures (bad scheme name, engine construction); divergences and
+// invariant violations land in Result.Violations.
+func Run(cfg Config) (*Result, error) {
+	rc := cfg.withDefaults()
+	sys := checkConfig()
+	if rc.SysCfg != nil {
+		sys = *rc.SysCfg
+	}
+
+	var engines []engine
+	defer func() {
+		for _, e := range engines {
+			e.close()
+		}
+	}()
+	for _, scheme := range rc.Schemes {
+		se, err := newSingleEngine(sys, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("check: %w", err)
+		}
+		engines = append(engines, se)
+		for _, n := range rc.Shards {
+			for _, co := range rc.Coalesce {
+				sh, err := newShardEngine(sys, scheme, n, co)
+				if err != nil {
+					return nil, fmt.Errorf("check: %w", err)
+				}
+				engines = append(engines, sh)
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, e := range engines {
+		res.Engines = append(res.Engines, e.label())
+	}
+
+	oracle := NewOracle()
+	gen := NewGen(rc.Gen, rc.Seed)
+	limit := rc.Gen.Ops
+	if rc.Upto > 0 && rc.Upto < limit {
+		limit = rc.Upto
+	}
+
+	fail := func(eng string, op int, msg string) {
+		res.Violations = append(res.Violations, Violation{Engine: eng, Op: op, Msg: msg})
+	}
+
+	for i := 0; i < limit; i++ {
+		op, ok := gen.Next()
+		if !ok {
+			break
+		}
+		res.Ops++
+		switch op.Kind {
+		case OpWrite:
+			res.Writes++
+			oracle.Write(op.Addr, op.Line)
+			for _, e := range engines {
+				for _, msg := range e.write(op.Addr, op.Line) {
+					fail(e.label(), i, msg)
+				}
+			}
+		case OpRead:
+			res.Reads++
+			want, wantHit := oracle.Read(op.Addr)
+			for _, e := range engines {
+				got, hit, err := e.read(op.Addr)
+				switch {
+				case err != nil:
+					fail(e.label(), i, fmt.Sprintf("read addr=%d: %v", op.Addr, err))
+				case hit != wantHit:
+					fail(e.label(), i, fmt.Sprintf("read addr=%d: hit=%v, oracle says %v", op.Addr, hit, wantHit))
+				case hit && got != want:
+					fail(e.label(), i, fmt.Sprintf("read addr=%d: data diverges from oracle (got word0=%#x want %#x)", op.Addr, got.Word(0), want.Word(0)))
+				}
+			}
+		case OpCrash:
+			res.Crashes++
+			for _, e := range engines {
+				e.crash()
+			}
+		}
+		if rc.AuditEvery > 0 && (i+1)%rc.AuditEvery == 0 {
+			for _, e := range engines {
+				for _, msg := range e.audit() {
+					fail(e.label(), i, msg)
+				}
+			}
+		}
+		if len(res.Violations) >= rc.MaxViolations {
+			return res, nil
+		}
+		if rc.Progress != nil && (i+1)%10000 == 0 {
+			rc.Progress(i+1, limit)
+		}
+	}
+
+	// Final sweep: every address the oracle ever saw must read back
+	// identically on every engine, then one last audit.
+	lastOp := res.Ops - 1
+	for addr := uint64(0); addr < rc.Gen.Addrs; addr++ {
+		want, wantHit := oracle.Read(addr)
+		if !wantHit {
+			continue
+		}
+		for _, e := range engines {
+			got, hit, err := e.read(addr)
+			switch {
+			case err != nil:
+				fail(e.label(), lastOp, fmt.Sprintf("final sweep addr=%d: %v", addr, err))
+			case !hit:
+				fail(e.label(), lastOp, fmt.Sprintf("final sweep addr=%d: written line lost", addr))
+			case got != want:
+				fail(e.label(), lastOp, fmt.Sprintf("final sweep addr=%d: data diverges from oracle", addr))
+			}
+			if len(res.Violations) >= rc.MaxViolations {
+				return res, nil
+			}
+		}
+	}
+	if rc.AuditEvery >= 0 {
+		for _, e := range engines {
+			for _, msg := range e.audit() {
+				fail(e.label(), lastOp, msg)
+			}
+		}
+	}
+	return res, nil
+}

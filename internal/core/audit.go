@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// AuditEFIT checks the invariants that make ESD's volatile fingerprint
+// index safe (the EFIT lives only in SRAM, so nothing in NVMM can catch a
+// stale entry — the structure itself must never lie):
+//
+//   - EFIT <-> physFP bijection: every entry fp -> phys has a reverse map
+//     entry and vice versa, so purge-on-free can always find and remove
+//     the entry of a recycled line;
+//   - no entry points at an unreferenced physical line (a stale entry
+//     would deduplicate new data onto freed storage);
+//   - fingerprint truth: decrypting the stored ciphertext of every entry's
+//     physical line reproduces a plaintext whose ECC fingerprint equals
+//     the entry's key — the property the byte-by-byte compare relies on to
+//     only ever confirm, never manufacture, a duplicate;
+//   - LRCU consistency: every reference count is within [0, ReferHMax]
+//     (the saturating one-byte referH of §III-D).
+//
+// It returns human-readable violations; empty means consistent. The audit
+// uses the device's functional Load and counter-explicit decryption, so it
+// perturbs no timing, wear or cache state.
+func (s *ESD) AuditEFIT() []string {
+	var bad []string
+	s.efit.Range(func(fp uint64, phys uint64, ref int) bool {
+		if rev, ok := s.physFP[phys]; !ok || rev != fp {
+			bad = append(bad, fmt.Sprintf("efit: entry %#x -> phys %d has no matching reverse map", fp, phys))
+		}
+		if s.Refs.Count(phys) == 0 {
+			bad = append(bad, fmt.Sprintf("efit: entry %#x points at unreferenced phys %d", fp, phys))
+		}
+		if ref < 0 || ref > s.Env.Cfg.ESD.ReferHMax {
+			bad = append(bad, fmt.Sprintf("efit: entry %#x referH %d outside [0, %d]", fp, ref, s.Env.Cfg.ESD.ReferHMax))
+		}
+		ct, ok := s.Env.Device.Load(phys)
+		if !ok {
+			bad = append(bad, fmt.Sprintf("efit: entry %#x points at phys %d with no stored line", fp, phys))
+			return true
+		}
+		pt := s.Env.Crypto.DecryptAt(phys, s.Env.Crypto.Counter(phys), &ct)
+		if got := uint64(ecc.EncodeLine(&pt)); got != fp {
+			bad = append(bad, fmt.Sprintf("efit: entry %#x stored content fingerprints to %#x (index lies about phys %d)", fp, got, phys))
+		}
+		return true
+	})
+	for phys, fp := range s.physFP {
+		if cur, ok := s.efit.Peek(fp); !ok || cur != phys {
+			bad = append(bad, fmt.Sprintf("efit: reverse map phys %d -> %#x not present in the EFIT", phys, fp))
+		}
+	}
+	if n, m := s.efit.Len(), len(s.physFP); n != m {
+		bad = append(bad, fmt.Sprintf("efit: %d entries but %d reverse-map entries", n, m))
+	}
+	return bad
+}

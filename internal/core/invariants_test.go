@@ -10,6 +10,7 @@ import (
 	"github.com/esdsim/esd/internal/trace"
 	"github.com/esdsim/esd/internal/workload"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 // checkInternalInvariants validates ESD's metadata cross-references:
@@ -62,7 +63,7 @@ func TestESDInvariantsUnderChurn(t *testing.T) {
 		checkInternalInvariants(t, s)
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/esdsim/esd/internal/trace"
 	"github.com/esdsim/esd/internal/workload"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 // tiny returns a small hierarchy (8 / 16 / 32 lines) so evictions happen
@@ -193,7 +194,7 @@ func TestExclusiveHierarchyNoDuplicates(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -233,7 +234,7 @@ func TestNoLostDirtyData(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

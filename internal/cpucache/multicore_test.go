@@ -10,6 +10,7 @@ import (
 	"github.com/esdsim/esd/internal/trace"
 	"github.com/esdsim/esd/internal/workload"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func tinyMC(cores int) *MultiCore {
@@ -76,7 +77,7 @@ func TestMultiCoreSingleCopyInvariant(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 25)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -115,7 +116,7 @@ func TestMultiCoreNoLostDirtyData(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

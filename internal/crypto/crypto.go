@@ -183,3 +183,15 @@ func (e *Engine) DecryptAt(addr, counter uint64, ct *ecc.Line) ecc.Line {
 // CounterEntries reports how many per-line counters are live; used for
 // metadata-overhead accounting.
 func (e *Engine) CounterEntries() int { return len(e.counters) }
+
+// RangeCounters calls fn for every (line address, write counter) pair
+// until fn returns false. Iteration order is unspecified. The checker's
+// pad-uniqueness audit snapshots the counters between ops and verifies
+// they only ever grow: a counter that repeats would reuse a one-time pad.
+func (e *Engine) RangeCounters(fn func(addr, counter uint64) bool) {
+	for addr, c := range e.counters {
+		if !fn(addr, c) {
+			return
+		}
+	}
+}

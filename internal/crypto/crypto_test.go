@@ -6,6 +6,7 @@ import (
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func randLine(r *xrand.Rand) ecc.Line {
@@ -37,7 +38,7 @@ func TestEncryptDecryptRoundTrip(t *testing.T) {
 		got := e.Decrypt(addr, &ct)
 		return got == plain
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 300)); err != nil {
 		t.Fatal(err)
 	}
 }

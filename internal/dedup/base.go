@@ -58,6 +58,7 @@ func (b *Base) MapWrite(logical, phys uint64, at sim.Time) sim.Time {
 	if had && prev == phys {
 		return lat
 	}
+	b.Env.Step(memctrl.StepAMTUpdated)
 	b.Refs.Inc(phys)
 	if had {
 		if b.Refs.Dec(prev) {
@@ -79,6 +80,7 @@ func (b *Base) StoreUnique(logical uint64, data *ecc.Line, at sim.Time) (phys ui
 	b.ctBuf = *data
 	counter := b.Env.Crypto.EncryptInPlace(phys, &b.ctBuf)
 	b.Env.Energy.Crypto += b.Env.Cfg.Crypto.EncryptEnergy
+	b.Env.Step(memctrl.StepCounterBumped)
 	wr = b.Env.Device.Write(phys, b.ctBuf, at)
 	mapLat = b.MapWrite(logical, phys, at)
 	mapLat += b.Env.IntegrityUpdate(phys, counter, at)
@@ -92,6 +94,7 @@ func (b *Base) StoreUnique(logical uint64, data *ecc.Line, at sim.Time) (phys ui
 // time. Used by DeWrite's parallel predicted-unique path.
 func (b *Base) StorePrepared(logical, phys uint64, ct *ecc.Line, counter uint64, at sim.Time) (wr nvm.WriteResult, mapLat sim.Time) {
 	b.Env.Crypto.Commit(phys, counter)
+	b.Env.Step(memctrl.StepCounterBumped)
 	wr = b.Env.Device.Write(phys, *ct, at)
 	mapLat = b.MapWrite(logical, phys, at)
 	mapLat += b.Env.IntegrityUpdate(phys, counter, at)

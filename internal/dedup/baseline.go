@@ -37,6 +37,7 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	s.ctBuf = *data
 	counter := s.env.Crypto.EncryptInPlace(logical, &s.ctBuf)
 	s.env.Energy.Crypto += s.env.Cfg.Crypto.EncryptEnergy
+	s.env.Step(memctrl.StepCounterBumped)
 	wr := s.env.Device.Write(logical, s.ctBuf, at+s.env.Cfg.Crypto.EncryptLatency)
 	metaLat := s.env.IntegrityUpdate(logical, counter, at)
 	done := wr.AcceptedAt + wr.ServiceLatency

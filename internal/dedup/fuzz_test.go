@@ -1,0 +1,122 @@
+package dedup
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// fuzzConfig shrinks the device and metadata caches so a few hundred fuzz
+// ops exercise eviction and refill paths.
+func fuzzConfig() config.Config {
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 22 // 64K lines
+	cfg.Meta.AMTCacheBytes = 1 << 10
+	cfg.SHA1.FPCacheBytes = 1 << 10
+	cfg.DeWrite.FPCacheBytes = 1 << 10
+	return cfg
+}
+
+// FuzzSchemeWrite drives one scheme with a fuzzer-chosen op stream against
+// a map model: every read must return exactly the model's content, a crash
+// must lose no data, and the white-box audits must stay clean throughout.
+// The content alphabet is deliberately tiny (four pool lines plus
+// fuzzer-perturbed variants) so duplicate hits, refcount churn and
+// remapping dominate.
+func FuzzSchemeWrite(f *testing.F) {
+	f.Add(byte(0), []byte{0x01, 0x02, 0x41, 0x03, 0x81, 0x02, 0xC1, 0x05})
+	f.Add(byte(1), []byte{0x00, 0x10, 0x00, 0x10, 0x20, 0x10, 0xFF, 0x10})
+	f.Add(byte(2), []byte{0x07, 0x00, 0x17, 0x01, 0x27, 0x02, 0x37, 0x03})
+	f.Add(byte(3), []byte{0xA0, 0x55, 0xB1, 0x55, 0xC2, 0x55, 0xD3, 0x55})
+	f.Fuzz(func(t *testing.T, which byte, data []byte) {
+		env := memctrl.NewEnv(fuzzConfig())
+		var sch memctrl.Scheme
+		switch which % 4 {
+		case 0:
+			sch = NewBaseline(env)
+		case 1:
+			sch = NewSHA1(env)
+		case 2:
+			sch = NewDeWrite(env)
+		case 3:
+			sch = NewBCD(env)
+		}
+
+		var pool [4]ecc.Line
+		for i := range pool {
+			for w := 0; w < ecc.WordsPerLine; w++ {
+				pool[i].SetWord(w, uint64(i+1)*0x9E3779B97F4A7C15+uint64(w))
+			}
+		}
+
+		model := make(map[uint64]ecc.Line)
+		now := sim.Time(0)
+		var buf ecc.Line
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			addr := uint64(arg) & 0x7F
+			now += 10 * sim.Nanosecond
+			switch op % 8 {
+			case 0, 1, 2, 3: // write, content from the pool
+				buf = pool[op%4]
+				if op&0x40 != 0 {
+					// Perturb one word so uniques, partial duplicates and
+					// (for BCD) similar-but-not-identical lines all occur.
+					buf.SetWord(int(op>>4)&7, uint64(arg)<<32|uint64(op))
+				}
+				out := sch.Write(addr, &buf, now)
+				if out.Done > now {
+					now = out.Done
+				}
+				model[addr] = buf
+			case 4, 5: // read
+				out := sch.Read(addr, now)
+				if out.Done > now {
+					now = out.Done
+				}
+				want, wantHit := model[addr]
+				if out.Hit != wantHit {
+					t.Fatalf("op %d: read addr=%d hit=%v, model says %v", i, addr, out.Hit, wantHit)
+				}
+				if out.Hit && out.Data != want {
+					t.Fatalf("op %d: read addr=%d returned wrong data", i, addr)
+				}
+			case 6: // crash: volatile dedup state lost, data survives
+				if c, ok := sch.(memctrl.Crasher); ok {
+					c.Crash(now)
+				}
+			case 7: // mid-stream audit
+				if a, ok := sch.(interface{ AuditBase() []string }); ok {
+					if bad := a.AuditBase(); len(bad) != 0 {
+						t.Fatalf("op %d: audit: %v", i, bad)
+					}
+				}
+			}
+		}
+
+		// Read-back sweep plus final audits.
+		for addr, want := range model {
+			now += 10 * sim.Nanosecond
+			out := sch.Read(addr, now)
+			if !out.Hit {
+				t.Fatalf("sweep: addr %d lost", addr)
+			}
+			if out.Data != want {
+				t.Fatalf("sweep: addr %d returned wrong data", addr)
+			}
+		}
+		if a, ok := sch.(interface{ AuditBase() []string }); ok {
+			if bad := a.AuditBase(); len(bad) != 0 {
+				t.Fatalf("final audit: %v", bad)
+			}
+		}
+		if a, ok := sch.(interface{ AuditIndex() []string }); ok {
+			if bad := a.AuditIndex(); len(bad) != 0 {
+				t.Fatalf("final index audit: %v", bad)
+			}
+		}
+	})
+}

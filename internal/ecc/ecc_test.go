@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func TestEncodeDecodeCleanWord(t *testing.T) {
@@ -98,7 +99,7 @@ func TestDecodeWordPropertySingleFlipRoundTrips(t *testing.T) {
 		got, gotECC, st := DecodeWord(cd, ce)
 		return got == data && gotECC == ecc && (st == CorrectedData || st == CorrectedCheck)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 2000)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -113,7 +114,7 @@ func TestFingerprintEqualLinesEqualFingerprints(t *testing.T) {
 		l2 := l
 		return EncodeLine(&l) == EncodeLine(&l2)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -215,7 +216,7 @@ func TestWordAccessorsRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

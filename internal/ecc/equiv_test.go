@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 // These tests pin the table-driven kernels to the retained reference
@@ -44,7 +45,7 @@ func TestEncodeWordMatchesReferenceProperty(t *testing.T) {
 	check := func(data uint64) bool {
 		return EncodeWord(data) == encodeWordRef(data)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 5000)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func costs() config.FingerprintCosts { return config.Default().FP }
@@ -26,7 +27,7 @@ func TestCRC32MatchesStdlib(t *testing.T) {
 	check := func(p []byte) bool {
 		return CRC32(p) == crc32.ChecksumIEEE(p)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 500)); err != nil {
 		t.Fatal(err)
 	}
 	if CRC32(nil) != crc32.ChecksumIEEE(nil) {
@@ -39,7 +40,7 @@ func TestCRC64MatchesStdlib(t *testing.T) {
 	check := func(p []byte) bool {
 		return CRC64(p) == crc64.Checksum(p, table)
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 500)); err != nil {
 		t.Fatal(err)
 	}
 }

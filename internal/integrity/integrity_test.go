@@ -7,6 +7,7 @@ import (
 
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func testTree(lines uint64) *Tree {
@@ -115,7 +116,7 @@ func TestHonestStateAlwaysVerifies(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

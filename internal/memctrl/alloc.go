@@ -85,3 +85,14 @@ func (r *RefStore) Count(phys uint64) uint32 { return r.refs[phys] }
 
 // Lines returns the number of referenced physical lines.
 func (r *RefStore) Lines() int { return len(r.refs) }
+
+// Range calls fn for every (physical line, reference count) pair until fn
+// returns false. Iteration order is unspecified. Used by the checker's
+// refcount-conservation audit.
+func (r *RefStore) Range(fn func(phys uint64, count uint32) bool) {
+	for phys, c := range r.refs {
+		if !fn(phys, c) {
+			return
+		}
+	}
+}

@@ -115,6 +115,19 @@ func (a *AMT) CrashFlush(now sim.Time) {
 // Entries reports the number of mappings in the NVMM-resident table.
 func (a *AMT) Entries() int { return len(a.backing) }
 
+// Range calls fn for every logical -> physical mapping in the
+// NVMM-resident table until fn returns false. The backing table is
+// authoritative (the SRAM cache is write-through to it), so this is the
+// complete mapping; iteration order is unspecified. Used by the checker's
+// refcount-conservation and dangling-line audits.
+func (a *AMT) Range(fn func(logical, phys uint64) bool) {
+	for logical, phys := range a.backing {
+		if !fn(logical, phys) {
+			return
+		}
+	}
+}
+
 // CacheStats exposes the SRAM cache statistics.
 func (a *AMT) CacheStats() cache.Stats { return a.cache.Stats }
 

@@ -1,0 +1,68 @@
+package memctrl
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+// FuzzAMTRemap drives the AMT with fuzzer-chosen update/lookup/crash
+// sequences against a plain map model. The AMT's SRAM cache is shrunk to a
+// handful of entries so evictions, negative caching and post-crash refills
+// all happen within a short input.
+func FuzzAMTRemap(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x01, 0x01, 0x02, 0x03, 0x00})
+	f.Add([]byte{0x00, 0x10, 0x03, 0x00, 0x00, 0x10, 0x02, 0x10})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x02, 0x01, 0x03, 0x01, 0x04, 0x03, 0x00, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := config.Default()
+		cfg.PCM.CapacityBytes = 1 << 22
+		env := NewEnv(cfg)
+		amt := NewAMT(env, 8*cfg.Meta.AMTEntryBytes) // 8 cached entries
+		model := make(map[uint64]uint64)
+		now := sim.Time(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			logical := uint64(arg) & 0x3F
+			now += 10 * sim.Nanosecond
+			switch op % 4 {
+			case 0, 1: // remap
+				phys := uint64(op)*31 + uint64(arg)&0x0F
+				prev, had, _ := amt.Update(logical, phys, now)
+				wantPrev, wantHad := model[logical]
+				if had != wantHad || (had && prev != wantPrev) {
+					t.Fatalf("op %d: Update(%d) returned prev=(%d,%v), model says (%d,%v)",
+						i, logical, prev, had, wantPrev, wantHad)
+				}
+				model[logical] = phys
+			case 2: // lookup
+				phys, ok, _ := amt.Lookup(logical, now)
+				want, wantOK := model[logical]
+				if ok != wantOK || (ok && phys != want) {
+					t.Fatalf("op %d: Lookup(%d) = (%d,%v), model says (%d,%v)",
+						i, logical, phys, ok, want, wantOK)
+				}
+			case 3: // power failure: dirty entries drain, cache drops
+				amt.CrashFlush(now)
+			}
+		}
+
+		// The backing table must be exactly the model, both directions.
+		if amt.Entries() != len(model) {
+			t.Fatalf("AMT holds %d entries, model %d", amt.Entries(), len(model))
+		}
+		amt.Range(func(logical, phys uint64) bool {
+			if want, ok := model[logical]; !ok || want != phys {
+				t.Fatalf("AMT maps %d -> %d, model says (%d,%v)", logical, phys, want, ok)
+			}
+			return true
+		})
+		for logical, want := range model {
+			phys, ok, _ := amt.Lookup(logical, now)
+			if !ok || phys != want {
+				t.Fatalf("final Lookup(%d) = (%d,%v), want %d", logical, phys, ok, want)
+			}
+		}
+	})
+}

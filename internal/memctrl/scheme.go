@@ -184,10 +184,52 @@ type Env struct {
 	// AttachTelemetry) before constructing a scheme so cache probes attach.
 	Tel *telemetry.Sink
 
+	// StepHook, when non-nil, is invoked at named intermediate points
+	// inside scheme write paths (see StepPoint). It exists for crash-point
+	// testing: a hook may call the scheme's Crash from inside a write to
+	// model power failure between two metadata updates, and the recovered
+	// state must still satisfy every checker invariant. Nil in production;
+	// the hot path pays one predictable branch per point.
+	StepHook func(StepPoint)
+
 	// Address space layout: data lines occupy [0, DataLines); metadata
 	// structures hash into [DataLines, total lines).
 	DataLines uint64
 	metaLines uint64
+}
+
+// StepPoint names an intermediate point inside a scheme's write path where
+// a crash is architecturally possible: after one metadata structure was
+// updated but before the dependent one. The checker's crash tables inject
+// failures exactly here.
+type StepPoint uint8
+
+const (
+	// StepAMTUpdated fires after the AMT mapping was installed but before
+	// the reference counts were adjusted (inside MapWrite).
+	StepAMTUpdated StepPoint = iota
+	// StepCounterBumped fires after the encryption counter was advanced
+	// but before the ciphertext reached the media write queue.
+	StepCounterBumped
+)
+
+// String names the step point for failure reports.
+func (p StepPoint) String() string {
+	switch p {
+	case StepAMTUpdated:
+		return "amt-updated"
+	case StepCounterBumped:
+		return "counter-bumped"
+	default:
+		return "unknown-step"
+	}
+}
+
+// Step invokes the test hook, if any. Schemes call it at each StepPoint.
+func (e *Env) Step(p StepPoint) {
+	if e.StepHook != nil {
+		e.StepHook(p)
+	}
 }
 
 // NewEnv builds an Env from a validated config. A quarter of the device is

@@ -8,6 +8,7 @@ import (
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func testCfg() config.PCM {
@@ -234,7 +235,7 @@ func TestLatestWriteWins(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -263,7 +264,7 @@ func TestTimeNeverRegresses(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func TestStartGapMappingIsBijective(t *testing.T) {
@@ -33,7 +34,7 @@ func TestStartGapMappingIsBijective(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -313,6 +313,16 @@ func (e *Engine) Write(addr uint64, line ecc.Line) (memctrl.WriteOutcome, error)
 	return resp.write, nil
 }
 
+// WriteAsync enqueues a write without waiting for its outcome (blocking
+// only while the owning shard's queue is full). Per-shard FIFO ordering
+// still holds: a later Read of the same address observes the write. The
+// checker uses it to keep shard queues deep enough that batch draining and
+// write coalescing actually engage — blocking per-op writes never batch.
+func (e *Engine) WriteAsync(addr uint64, line ecc.Line) error {
+	sh := e.ShardOf(addr)
+	return e.submit(sh, request{kind: kWrite, addr: e.localAddr(addr), line: line}, true)
+}
+
 // TryWrite is Write with shedding and a deadline: a full shard queue
 // fails immediately with ErrOverloaded, and a ctx expiring while the
 // request waits in queue abandons the wait (the shard still executes the

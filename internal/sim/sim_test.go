@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"testing/quick"
+
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func TestTimeString(t *testing.T) {
@@ -184,7 +186,7 @@ func TestResourceReservationNeverOverlaps(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func TestHistogramBasics(t *testing.T) {
@@ -65,7 +66,7 @@ func TestHistogramPercentileMonotone(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

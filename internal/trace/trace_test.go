@@ -11,6 +11,7 @@ import (
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/xrand"
+	"github.com/esdsim/esd/internal/xrand/quicktest"
 )
 
 func randRecords(seed uint64, n int) []Record {
@@ -57,7 +58,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 50)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -332,7 +333,7 @@ func TestMergePropertyMonotone(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(check, quicktest.Config(t, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

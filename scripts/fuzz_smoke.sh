@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Fuzz smoke: run every fuzz target in the repo for a bounded slice of
+# wall-clock time. This is not a soak — it catches targets that crash,
+# hang or reject their own seed corpus within seconds, which is the
+# failure mode a code change actually introduces. CI runs this on every
+# push; leave FUZZTIME at the default locally for the same coverage.
+#
+# Usage:
+#   sh scripts/fuzz_smoke.sh               # 30s per target
+#   FUZZTIME=5s sh scripts/fuzz_smoke.sh   # quicker local iteration
+set -eu
+
+FUZZTIME="${FUZZTIME:-30s}"
+
+run() {
+  pkg="$1"
+  target="$2"
+  echo "fuzz-smoke: $target ($pkg, $FUZZTIME)"
+  go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+}
+
+run ./internal/dedup   FuzzSchemeWrite
+run ./internal/memctrl FuzzAMTRemap
+run ./internal/server  FuzzTCPFrame
+run ./internal/check   FuzzDifferential
+
+echo "fuzz-smoke: all targets clean"
