@@ -38,8 +38,8 @@ bench-smoke:
 
 # Diff a fresh trajectory point against the committed baseline: exits
 # nonzero when any benchmark regressed ns/op by more than 10% or started
-# allocating. Override the baseline with BENCH_BASE=BENCH_PR2.json.
-BENCH_BASE ?= BENCH_PR3.json
+# allocating. Override the baseline with BENCH_BASE=BENCH_PR3.json.
+BENCH_BASE ?= BENCH_PR6.json
 bench-compare:
 	BENCH_LABEL=compare BENCH_OUT=/tmp/bench_compare.json sh scripts/bench.sh
 	$(GO) run ./cmd/benchjson compare $(BENCH_BASE) /tmp/bench_compare.json

@@ -17,9 +17,9 @@ import (
 // allocSystem builds a System, warms a bounded working set until the
 // scheme's maps and caches reach steady state, and returns closures that
 // advance through it one request at a time.
-func allocSystem(t *testing.T, scheme string) (write, read func()) {
+func allocSystem(t *testing.T, scheme string, opts ...SystemOption) (write, read func()) {
 	t.Helper()
-	sys, err := NewSystem(DefaultConfig(), scheme)
+	sys, err := NewSystem(DefaultConfig(), scheme, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,6 +70,38 @@ func TestSteadyStateReadAllocs(t *testing.T) {
 				t.Errorf("%s steady-state read: %v allocs/op, want 0", scheme, avg)
 			}
 		})
+	}
+}
+
+// TestSteadyStateWriteAllocsWithMetrics re-runs the write gate with the
+// full telemetry sink attached: the metric counters, the dedup
+// effectiveness gauges and the always-on device-health accounting must
+// all stay off the heap on the hot path. (Health accounting itself has no
+// off switch, so the plain gates above already cover it; this variant
+// proves the observable stack adds no allocation either.)
+func TestSteadyStateWriteAllocsWithMetrics(t *testing.T) {
+	for _, scheme := range []string{SchemeBaseline, SchemeSHA1, SchemeDeWrite, SchemeESD} {
+		t.Run(scheme, func(t *testing.T) {
+			write, _ := allocSystem(t, scheme, WithMetrics())
+			if avg := testing.AllocsPerRun(2000, write); avg != 0 {
+				t.Errorf("%s steady-state write with metrics: %v allocs/op, want 0", scheme, avg)
+			}
+		})
+	}
+}
+
+// TestHealthSummaryAllocs pins the scrape-side path the telemetry gauges
+// use: Device.HealthSummary must not allocate.
+func TestHealthSummaryAllocs(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(), SchemeESD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		sys.Write(uint64(i), Line{byte(i)})
+	}
+	if avg := testing.AllocsPerRun(1000, func() { _ = sys.env.Device.HealthSummary() }); avg != 0 {
+		t.Errorf("HealthSummary: %v allocs/op, want 0", avg)
 	}
 }
 

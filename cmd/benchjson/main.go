@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +41,9 @@ type Benchmark struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds custom b.ReportMetric units (e.g. "writes/s").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples is how many runs (go test -count=N) were merged into this
+	// entry; absent for a single run.
+	Samples int `json:"samples,omitempty"`
 }
 
 // Doc is the emitted document: a labeled, environment-stamped point of
@@ -95,6 +99,7 @@ func main() {
 	if len(doc.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found in input"))
 	}
+	mergeRepeats(&doc)
 
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -180,3 +185,109 @@ func parseLine(line string) (Benchmark, bool) {
 }
 
 func ptr(v float64) *float64 { return &v }
+
+// mergeRepeats collapses repeated runs of one benchmark (go test -count=N)
+// into a single entry per (package, name). Timings (ns/op, MB/s, B/op,
+// custom metrics) take the median across runs — a single system-level run
+// on a shared machine is noise-dominated — while allocs/op takes the
+// maximum so one allocating run still trips the regression gate.
+// Iterations report the median run's scale. First-appearance order is kept.
+func mergeRepeats(doc *Doc) {
+	type group struct {
+		runs []Benchmark
+	}
+	order := make([]string, 0, len(doc.Benchmarks))
+	groups := make(map[string]*group, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		key := b.Package + "\x00" + b.Name
+		g, ok := groups[key]
+		if !ok {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.runs = append(g.runs, b)
+	}
+	if len(order) == len(doc.Benchmarks) {
+		return // no repeats
+	}
+	merged := make([]Benchmark, 0, len(order))
+	for _, key := range order {
+		runs := groups[key].runs
+		out := runs[0]
+		if n := len(runs); n > 1 {
+			out.Samples = n
+			out.NsPerOp = medianOf(runs, func(b Benchmark) (float64, bool) { return b.NsPerOp, true })
+			out.Iterations = int64(medianOf(runs, func(b Benchmark) (float64, bool) { return float64(b.Iterations), true }))
+			if v, ok := maybeMedian(runs, func(b Benchmark) *float64 { return b.MBPerS }); ok {
+				out.MBPerS = ptr(v)
+			}
+			if v, ok := maybeMedian(runs, func(b Benchmark) *float64 { return b.BPerOp }); ok {
+				out.BPerOp = ptr(v)
+			}
+			if v, ok := maybeMax(runs, func(b Benchmark) *float64 { return b.AllocsPerOp }); ok {
+				out.AllocsPerOp = ptr(v)
+			}
+			if len(out.Metrics) > 0 {
+				m := make(map[string]float64, len(out.Metrics))
+				for unit := range out.Metrics {
+					m[unit] = medianOf(runs, func(b Benchmark) (float64, bool) {
+						v, ok := b.Metrics[unit]
+						return v, ok
+					})
+				}
+				out.Metrics = m
+			}
+		}
+		merged = append(merged, out)
+	}
+	doc.Benchmarks = merged
+}
+
+// medianOf returns the median of get over the runs where it reports ok.
+func medianOf(runs []Benchmark, get func(Benchmark) (float64, bool)) float64 {
+	vals := make([]float64, 0, len(runs))
+	for _, b := range runs {
+		if v, ok := get(b); ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	if n := len(vals); n%2 == 1 {
+		return vals[n/2]
+	} else {
+		return (vals[n/2-1] + vals[n/2]) / 2
+	}
+}
+
+// maybeMedian is medianOf over an optional field, reporting whether any
+// run carried it.
+func maybeMedian(runs []Benchmark, get func(Benchmark) *float64) (float64, bool) {
+	any := false
+	v := medianOf(runs, func(b Benchmark) (float64, bool) {
+		p := get(b)
+		if p == nil {
+			return 0, false
+		}
+		any = true
+		return *p, true
+	})
+	return v, any
+}
+
+// maybeMax is the maximum of an optional field across runs.
+func maybeMax(runs []Benchmark, get func(Benchmark) *float64) (float64, bool) {
+	max, any := 0.0, false
+	for _, b := range runs {
+		if p := get(b); p != nil {
+			if !any || *p > max {
+				max = *p
+			}
+			any = true
+		}
+	}
+	return max, any
+}

@@ -63,3 +63,54 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeRepeats pins the -count=N collapse: medians for timings and
+// custom metrics, max for allocs, order preserved, Samples recorded.
+func TestMergeRepeats(t *testing.T) {
+	const repeated = `pkg: github.com/esdsim/esd
+BenchmarkSystemWriteESD-4   	 1000000	      1600 ns/op	      75 B/op	       0 allocs/op
+BenchmarkSystemWriteESD-4   	 1000000	      1500 ns/op	      70 B/op	       0 allocs/op
+BenchmarkSystemWriteESD-4   	  900000	      1900 ns/op	      80 B/op	       1 allocs/op
+BenchmarkSystemWriteSHA1-4  	 2000000	       800 ns/op	    500000 writes/s	      34 B/op	       0 allocs/op
+BenchmarkSystemWriteSHA1-4  	 2000000	       900 ns/op	    400000 writes/s	      34 B/op	       0 allocs/op
+`
+	var doc Doc
+	if err := parse(strings.NewReader(repeated), &doc); err != nil {
+		t.Fatal(err)
+	}
+	mergeRepeats(&doc)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("merged to %d entries, want 2", len(doc.Benchmarks))
+	}
+	esd := doc.Benchmarks[0]
+	if esd.Name != "BenchmarkSystemWriteESD-4" || esd.Samples != 3 {
+		t.Errorf("first entry %q samples=%d, want ESD/3", esd.Name, esd.Samples)
+	}
+	if esd.NsPerOp != 1600 {
+		t.Errorf("median ns/op = %v, want 1600", esd.NsPerOp)
+	}
+	if esd.BPerOp == nil || *esd.BPerOp != 75 {
+		t.Errorf("median B/op = %v, want 75", esd.BPerOp)
+	}
+	// One allocating run must survive the merge (max, not median).
+	if esd.AllocsPerOp == nil || *esd.AllocsPerOp != 1 {
+		t.Errorf("max allocs/op = %v, want 1", esd.AllocsPerOp)
+	}
+	sha := doc.Benchmarks[1]
+	if sha.Samples != 2 || sha.NsPerOp != 850 {
+		t.Errorf("even-count median: samples=%d ns/op=%v, want 2/850", sha.Samples, sha.NsPerOp)
+	}
+	if sha.Metrics["writes/s"] != 450000 {
+		t.Errorf("metric median = %v, want 450000", sha.Metrics["writes/s"])
+	}
+
+	// A doc without repeats is untouched (no Samples stamped).
+	var single Doc
+	if err := parse(strings.NewReader(sample), &single); err != nil {
+		t.Fatal(err)
+	}
+	mergeRepeats(&single)
+	if len(single.Benchmarks) != 2 || single.Benchmarks[0].Samples != 0 {
+		t.Errorf("no-repeat doc altered: %+v", single.Benchmarks)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	esd "github.com/esdsim/esd"
+	"github.com/esdsim/esd/internal/server"
 	"github.com/esdsim/esd/internal/trace"
 )
 
@@ -85,6 +86,7 @@ func cliMain(args []string, stdout io.Writer) error {
 		coalesce    = fs.Bool("coalesce", false, "with -shards: coalesce same-address writes within a batch")
 		slow        = fs.Duration("slow", 0, "log requests whose simulated latency reaches this threshold (0 disables)")
 		slowMax     = fs.Int("slow-max", 100, "cap on slow-request log lines (0 = unlimited)")
+		deviceStats = fs.Bool("device-stats", false, "after the run, dump the device-health document (wear shape, per-bank rows, energy split, dedup effectiveness) as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,6 +150,7 @@ func cliMain(args []string, stdout io.Writer) error {
 			pprof:       *pprofFlag,
 			jsonOut:     *jsonOut,
 			latency:     *latency,
+			deviceStats: *deviceStats,
 		})
 	}
 
@@ -243,6 +246,11 @@ func cliMain(args []string, stdout io.Writer) error {
 	} else {
 		printResult(stdout, res)
 	}
+	if *deviceStats {
+		if err := printDeviceStats(stdout, scheme, []esd.DeviceHealthSnapshot{sys.DeviceHealth()}, sys.Stats()); err != nil {
+			return err
+		}
+	}
 
 	if *latency != "" {
 		f, err := os.Create(*latency)
@@ -289,6 +297,15 @@ type shardRun struct {
 	pprof       bool
 	jsonOut     bool
 	latency     string
+	deviceStats bool
+}
+
+// printDeviceStats dumps the same device-health document /debug/device
+// serves, so offline runs and live serving share one JSON shape.
+func printDeviceStats(w io.Writer, scheme string, snaps []esd.DeviceHealthSnapshot, st esd.SchemeStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(server.DeviceFromHealth(scheme, snaps, st))
 }
 
 // runSharded replays the stream through a ShardedSystem and prints the
@@ -324,6 +341,11 @@ func runSharded(w io.Writer, cfg esd.Config, scheme string, stream esd.Stream, o
 		}
 	} else {
 		printShardedResult(w, scheme, res)
+	}
+	if opts.deviceStats {
+		if err := printDeviceStats(w, scheme, sys.DeviceHealths(), sys.LiveStats()); err != nil {
+			return err
+		}
 	}
 	if opts.latency != "" {
 		f, err := os.Create(opts.latency)

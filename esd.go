@@ -35,6 +35,7 @@ import (
 	"github.com/esdsim/esd/internal/experiments"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/server"
 	"github.com/esdsim/esd/internal/shard"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
@@ -90,6 +91,24 @@ type SchemeStats = memctrl.SchemeStats
 
 // WearSummary summarizes per-line device wear (endurance).
 type WearSummary = nvm.WearSummary
+
+// Device-health types: the always-on O(1) accounting the device keeps
+// alongside its wear map — scalar summary, full snapshot with per-bank
+// and per-region rows, and the log2 wear histogram buckets. All are safe
+// to read while a ShardedSystem's workers are driving the devices.
+type (
+	DeviceHealthSummary  = nvm.HealthSummary
+	DeviceHealthSnapshot = nvm.HealthSnapshot
+	BankHealth           = nvm.BankHealth
+	RegionHealth         = nvm.RegionHealth
+	WearBucket           = nvm.WearBucket
+)
+
+// MergeDeviceHealth merges per-shard health snapshots into one
+// device-wide view (banks and regions renumbered in shard order).
+func MergeDeviceHealth(snaps []DeviceHealthSnapshot) DeviceHealthSnapshot {
+	return nvm.MergeHealth(snaps)
+}
 
 // Record is one trace event; Stream yields records in time order.
 type (
@@ -431,6 +450,15 @@ func (s *System) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, er
 	if fl := s.tel.Flight(); fl != nil {
 		opts.Flight = fl.Snapshot
 	}
+	// The wear/energy half of the document reads under the device's health
+	// lock (and may trail the sim thread by one staged batch); the dedup
+	// counters are sampled without synchronization. On a System scraped
+	// while the (single) sim thread is writing, both may trail by a few
+	// events.
+	opts.Device = func() any {
+		return server.DeviceFromHealth(s.SchemeName(),
+			[]DeviceHealthSnapshot{s.env.Device.HealthSnapshot()}, s.scheme.Stats())
+	}
 	srv, err := telemetry.NewServer(s.tel.Registry(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("esd: %w", err)
@@ -488,8 +516,21 @@ func (s *System) CloseTrace() error {
 // Stats returns the scheme's event counters.
 func (s *System) Stats() SchemeStats { return s.scheme.Stats() }
 
-// Wear returns the device's endurance summary.
-func (s *System) Wear() WearSummary { return s.env.Device.Wear() }
+// Wear returns the device's endurance summary. System is single-threaded,
+// so the caller is the simulation thread and staged health accounting can
+// be published first — the summary is always exact.
+func (s *System) Wear() WearSummary {
+	s.env.Device.SyncHealth()
+	return s.env.Device.Wear()
+}
+
+// DeviceHealth returns the device's full health snapshot: totals, wear
+// shape (max/p99/histogram), energy split, and per-bank/per-region rows.
+// Like Wear, it publishes staged accounting first and is always exact.
+func (s *System) DeviceHealth() DeviceHealthSnapshot {
+	s.env.Device.SyncHealth()
+	return s.env.Device.HealthSnapshot()
+}
 
 // Energy returns total energy consumed so far in nJ (scheme + media).
 func (s *System) Energy() float64 {
@@ -658,6 +699,24 @@ func (s *ShardedSystem) Run(stream Stream) (*ShardReplayResult, error) {
 // Shed returns the number of Try* requests rejected with ErrOverloaded.
 func (s *ShardedSystem) Shed() uint64 { return s.eng.Shed() }
 
+// DeviceHealths returns each shard device's health snapshot, in shard
+// order. Unlike Summary this is barrier-free: it never blocks the shard
+// workers and is safe to call at any time from any goroutine.
+func (s *ShardedSystem) DeviceHealths() []DeviceHealthSnapshot { return s.eng.DeviceHealths() }
+
+// DeviceHealth merges the per-shard snapshots into one device-wide view
+// (barrier-free; see DeviceHealths).
+func (s *ShardedSystem) DeviceHealth() DeviceHealthSnapshot { return s.eng.DeviceHealth() }
+
+// WearSummaries returns each shard device's exact wear summary
+// (barrier-free; each summary is consistent per shard).
+func (s *ShardedSystem) WearSummaries() []WearSummary { return s.eng.WearSummaries() }
+
+// LiveStats merges the scheme counter blocks the shard workers republish
+// after every drained batch. Unlike Summary it is barrier-free — the
+// result trails the live state by at most one batch per shard.
+func (s *ShardedSystem) LiveStats() SchemeStats { return s.eng.LiveSchemeStats() }
+
 // NewTrace allocates a fresh request-scoped trace context. Pass it to
 // TryWriteTraced/TryReadTraced so the request's flight-recorder entries
 // and slow-request log lines share one id.
@@ -738,6 +797,9 @@ func (s *ShardedSystem) ServeMetrics(addr string, enablePprof bool) (*MetricsSer
 		Addr:   addr,
 		Pprof:  enablePprof,
 		Flight: s.eng.FlightRecords,
+		Device: func() any {
+			return server.DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+		},
 		Status: func() any {
 			st := struct {
 				Scheme      string         `json:"scheme"`

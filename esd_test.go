@@ -1,6 +1,8 @@
 package esd
 
 import (
+	"encoding/json"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -175,5 +177,78 @@ func TestBCDSchemeViaFacade(t *testing.T) {
 	got, ro := sys.Read(2)
 	if !ro.Hit || got != variant {
 		t.Fatal("delta reconstruction through facade failed")
+	}
+}
+
+// TestDeviceHealthPublicAPI covers the device-health surface end to end:
+// the single-System snapshot, the sharded barrier-free accessors, the
+// merge helper, and the /debug/device endpoint on ServeMetrics.
+func TestDeviceHealthPublicAPI(t *testing.T) {
+	sys, err := NewSystem(smallConfig(), SchemeESD, WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		sys.Write(uint64(i%8), Line{byte(i)})
+	}
+	h := sys.DeviceHealth()
+	if h.Writes == 0 || h.LinesTouched == 0 || h.MaxWear == 0 {
+		t.Fatalf("empty health after 64 writes: %+v", h.HealthSummary)
+	}
+	if w := sys.Wear(); h.MaxWear != w.MaxWear {
+		t.Errorf("health max wear %d != exact %d", h.MaxWear, w.MaxWear)
+	}
+	if len(h.Banks) == 0 || len(h.WearHist) == 0 {
+		t.Errorf("snapshot missing banks/hist: %d/%d", len(h.Banks), len(h.WearHist))
+	}
+
+	ss, err := NewShardedSystem(smallConfig(), SchemeESD, WithShards(2), WithShardMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for i := 0; i < 64; i++ {
+		if _, err := ss.Write(uint64(i), Line{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ss.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snaps := ss.DeviceHealths()
+	if len(snaps) != 2 {
+		t.Fatalf("DeviceHealths len = %d, want 2", len(snaps))
+	}
+	merged := ss.DeviceHealth()
+	if again := MergeDeviceHealth(snaps); again.Writes != merged.Writes {
+		t.Errorf("MergeDeviceHealth writes %d != DeviceHealth %d", again.Writes, merged.Writes)
+	}
+	if st := ss.LiveStats(); st.Writes != 64 {
+		t.Errorf("LiveStats writes = %d, want 64", st.Writes)
+	}
+
+	srv, err := ss.ServeMetrics("127.0.0.1:0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/debug/device")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/device = %d", resp.StatusCode)
+	}
+	var doc struct {
+		Shards      int    `json:"shards"`
+		MediaWrites uint64 `json:"media_writes"`
+		Banks       []any  `json:"banks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shards != 2 || doc.MediaWrites == 0 || len(doc.Banks) == 0 {
+		t.Errorf("device doc = %+v", doc)
 	}
 }

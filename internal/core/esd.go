@@ -152,6 +152,7 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 			} else {
 				equal = false
 			}
+			s.Env.Tel.OnCompare(!equal)
 		}
 		if equal {
 			// Duplicate confirmed. Saturating referH: beyond the limit the

@@ -145,13 +145,16 @@ func (s *DeWrite) verify(candidate uint64, data *ecc.Line, t sim.Time, bd *stats
 	now = rr.Done + s.Env.Cfg.FP.CompareTime
 	bd.ReadCompare += now - t
 	if !ok {
+		s.Env.Tel.OnCompare(false)
 		return false, now
 	}
 	s.Env.Crypto.DecryptInPlace(candidate, &ct)
 	if ct != *data {
 		s.St.CompareMismatches++
+		s.Env.Tel.OnCompare(true)
 		return false, now
 	}
+	s.Env.Tel.OnCompare(false)
 	return true, now
 }
 

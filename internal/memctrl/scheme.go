@@ -252,13 +252,26 @@ func NewEnv(cfg config.Config) *Env {
 }
 
 // AttachTelemetry wires tel into the environment and the hardware it owns:
-// the device's media probe and the crypto engine's probe. Call before
-// constructing a scheme so scheme-owned caches pick up probes too.
+// the device's media probe, the crypto engine's probe, and the
+// device-health gauge family (wear shape and energy split, computed from
+// the device's race-safe health summary at scrape time).
 func (e *Env) AttachTelemetry(tel *telemetry.Sink) {
 	e.Tel = tel
 	if tel != nil {
 		e.Device.Probe = tel
 		e.Crypto.Probe = tel
+		dev := e.Device
+		tel.RegisterDeviceHealth(func() telemetry.DeviceHealth {
+			h := dev.HealthSummary()
+			return telemetry.DeviceHealth{
+				MaxWear:       h.MaxWear,
+				P99Wear:       h.P99Wear,
+				MeanWear:      h.MeanWear(),
+				WearSkew:      h.WearSkew(),
+				ReadEnergyNJ:  h.ReadEnergyNJ,
+				WriteEnergyNJ: h.WriteEnergyNJ,
+			}
+		})
 	}
 }
 

@@ -1,0 +1,490 @@
+// Device-health accounting: cheap, always-on incremental aggregation of
+// media activity that serving endpoints can snapshot while the simulation
+// runs. The Device itself stays single-writer (one shard worker drives it),
+// but wear and health state are guarded by a dedicated mutex so concurrent
+// readers (metrics scrapes, /debug/device, esdtop) see a consistent view.
+//
+// Everything here is O(1) per media operation: per-bank and per-region
+// counters are direct array bumps, and the wear distribution is maintained
+// as a bounded log2-bucketed histogram updated incrementally as lines move
+// between buckets. Snapshots never walk the per-line wear map (that remains
+// the job of the exact, now also lock-protected, Wear()).
+package nvm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// healthRegions is the maximum number of equal-sized address regions the
+// device is carved into for spatial write-locality accounting. Small test
+// devices get one region per line instead.
+const healthRegions = 64
+
+// wearHistBuckets bounds the log2 wear histogram: bucket i counts lines
+// whose wear w satisfies 2^i <= w < 2^(i+1), which covers all of uint64.
+const wearHistBuckets = 64
+
+// Wear counters live in demand-allocated fixed pages indexed by a flat
+// pointer table (device capacity is known at construction), so the
+// per-write wear bump is two array stores — cheaper than the single map
+// operation the pre-health code paid. 4096 lines/page = 32 KiB,
+// allocated only for touched neighbourhoods.
+const (
+	wearPageShift = 12
+	wearPageSize  = 1 << wearPageShift
+	wearPageMask  = wearPageSize - 1
+)
+
+type wearPage [wearPageSize]uint64
+
+// bankHealth is the per-bank slice of the health counters (guarded by
+// health.mu).
+type bankHealth struct {
+	reads   uint64
+	writes  uint64
+	rowHits uint64
+	maxWear uint64
+	lines   uint64 // distinct lines of this bank ever written
+}
+
+// regionHealth is the per-region slice (write/wear only: regions exist for
+// spatial endurance analysis, not timing).
+type regionHealth struct {
+	writes  uint64
+	maxWear uint64
+	lines   uint64
+}
+
+// healthBatch is how many media ops the simulation thread stages privately
+// before folding them into the shared state under the mutex. Staging keeps
+// the hot path free of locked/atomic operations entirely — in a cache-busy
+// workload even an uncontended mutex CAS is a serializing miss — while the
+// fold replays the batch over health lines that then stay hot.
+const healthBatch = 64
+
+// pendKind tags one staged media op.
+const (
+	pendWrite = iota
+	pendRead
+	pendReadHit // read that hit the open row
+)
+
+// pendOp is one staged media op: a write's line address, or a read's
+// row-hit flag, plus the op's bank.
+type pendOp struct {
+	addr uint64
+	bank int32
+	kind int8
+}
+
+// health is the always-on accounting state. Everything below mu is shared
+// with concurrent snapshot readers and guarded by it; the pend buffer is
+// private to the single simulation thread and never locked. Accessors may
+// therefore lag the simulation by up to healthBatch media ops; sync (via
+// Device.SyncHealth or Device.Flush, writer-side) publishes everything.
+type health struct {
+	mu          sync.Mutex
+	banks       []bankHealth
+	regions     []regionHealth
+	regionShift uint // log2 lines per region
+	hist        [wearHistBuckets]uint64
+
+	// Per-line wear: pages[addr>>wearPageShift][addr&wearPageMask],
+	// pages allocated on first touch.
+	pages []*wearPage
+
+	reads        uint64
+	rowHits      uint64
+	writes       uint64
+	linesTouched uint64
+	maxWear      uint64
+
+	// Staged ops, simulation-thread private (not guarded by mu).
+	pend  [healthBatch]pendOp
+	pendN int
+}
+
+func (h *health) init(banks int, lines int64) {
+	h.banks = make([]bankHealth, banks)
+	h.pages = make([]*wearPage, (lines+wearPageSize-1)>>wearPageShift)
+	n := int64(healthRegions)
+	if lines < n {
+		n = lines
+	}
+	if n < 1 {
+		n = 1
+	}
+	per := uint64((lines + n - 1) / n)
+	if per < 1 {
+		per = 1
+	}
+	// Round lines-per-region up to a power of two so the per-write region
+	// index is a shift, not a 64-bit division.
+	h.regionShift = uint(bits.Len64(per - 1))
+	nr := (uint64(lines) + (uint64(1) << h.regionShift) - 1) >> h.regionShift
+	if nr < 1 {
+		nr = 1
+	}
+	h.regions = make([]regionHealth, nr)
+}
+
+// wearBucket returns the log2 bucket index of wear w (w >= 1).
+func wearBucket(w uint64) int { return bits.Len64(w) - 1 }
+
+// page returns the wear page holding addr, allocating it on first touch.
+// Caller holds h.mu.
+func (h *health) page(addr uint64) *wearPage {
+	pg := h.pages[addr>>wearPageShift]
+	if pg == nil {
+		pg = new(wearPage)
+		h.pages[addr>>wearPageShift] = pg
+	}
+	return pg
+}
+
+// wearOf returns addr's write count. Caller holds h.mu.
+func (h *health) wearOf(addr uint64) uint64 {
+	if pg := h.pages[addr>>wearPageShift]; pg != nil {
+		return pg[addr&wearPageMask]
+	}
+	return 0
+}
+
+// noteWrite stages one media write of addr. Simulation thread only; no
+// locking unless the batch fills.
+func (h *health) noteWrite(addr uint64, bank int) {
+	h.pend[h.pendN] = pendOp{addr: addr, bank: int32(bank), kind: pendWrite}
+	h.pendN++
+	if h.pendN == healthBatch {
+		h.sync()
+	}
+}
+
+// noteRead stages one media read against bank. Simulation thread only.
+func (h *health) noteRead(bank int, rowHit bool) {
+	kind := int8(pendRead)
+	if rowHit {
+		kind = pendReadHit
+	}
+	h.pend[h.pendN] = pendOp{bank: int32(bank), kind: kind}
+	h.pendN++
+	if h.pendN == healthBatch {
+		h.sync()
+	}
+}
+
+// sync folds the staged ops into the shared state. Simulation thread only
+// (it reads the private pend buffer); readers block only for the replay.
+func (h *health) sync() {
+	if h.pendN == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i := 0; i < h.pendN; i++ {
+		op := &h.pend[i]
+		if op.kind == pendWrite {
+			h.applyWrite(op.addr, int(op.bank))
+		} else {
+			h.applyRead(int(op.bank), op.kind == pendReadHit)
+		}
+	}
+	h.pendN = 0
+	h.mu.Unlock()
+}
+
+// applyWrite bumps addr's wear counter and every write-side aggregate for
+// one media write. Caller holds h.mu.
+func (h *health) applyWrite(addr uint64, bank int) {
+	pg := h.page(addr)
+	w := pg[addr&wearPageMask] + 1
+	pg[addr&wearPageMask] = w
+
+	h.writes++
+	b := &h.banks[bank]
+	b.writes++
+	r := &h.regions[addr>>h.regionShift]
+	r.writes++
+	if w == 1 {
+		h.linesTouched++
+		b.lines++
+		r.lines++
+		h.hist[0]++
+	} else if b0, b1 := wearBucket(w-1), wearBucket(w); b0 != b1 {
+		h.hist[b0]--
+		h.hist[b1]++
+	}
+	if w > h.maxWear {
+		h.maxWear = w
+	}
+	if w > b.maxWear {
+		b.maxWear = w
+	}
+	if w > r.maxWear {
+		r.maxWear = w
+	}
+}
+
+// applyRead records one media read against bank. Caller holds h.mu.
+func (h *health) applyRead(bank int, rowHit bool) {
+	h.reads++
+	h.banks[bank].reads++
+	if rowHit {
+		h.rowHits++
+		h.banks[bank].rowHits++
+	}
+}
+
+// approxP99 derives the ~99th-percentile per-line wear from the log2
+// histogram: the answer is the upper bound of the bucket holding the 1%
+// most-worn line. Caller holds h.mu.
+func (h *health) approxP99() uint64 {
+	if h.linesTouched == 0 {
+		return 0
+	}
+	need := h.linesTouched - h.linesTouched*99/100
+	if need < 1 {
+		need = 1
+	}
+	var cum uint64
+	for i := wearHistBuckets - 1; i >= 0; i-- {
+		cum += h.hist[i]
+		if cum >= need {
+			p := ^uint64(0)
+			if i < 63 {
+				p = uint64(1)<<(uint(i)+1) - 1
+			}
+			// The bucket's upper bound can exceed the most-worn line; the
+			// true p99 never does.
+			if p > h.maxWear {
+				p = h.maxWear
+			}
+			return p
+		}
+	}
+	return 0
+}
+
+// HealthSummary is the scalar device-health view: totals, wear shape and
+// the media energy split. It contains no slices so the telemetry gauge
+// path can fetch it allocation-free at scrape time.
+type HealthSummary struct {
+	Reads        uint64  `json:"reads"`
+	Writes       uint64  `json:"writes"`
+	RowHits      uint64  `json:"row_hits"`
+	LinesTouched uint64  `json:"lines_touched"`
+	MaxWear      uint64  `json:"max_wear"`
+	P99Wear      uint64  `json:"p99_wear"` // approximate (log2 bucket upper bound)
+	ReadEnergyNJ float64 `json:"read_energy_nj"`
+	WriteEnergyNJ float64 `json:"write_energy_nj"`
+}
+
+// MeanWear is the average write count over lines ever written.
+func (h HealthSummary) MeanWear() float64 {
+	if h.LinesTouched == 0 {
+		return 0
+	}
+	return float64(h.Writes) / float64(h.LinesTouched)
+}
+
+// WearSkew is MaxWear over MeanWear — the wear-leveling early-warning
+// signal (1.0 is perfectly level; a hammered line drives it up).
+func (h HealthSummary) WearSkew() float64 {
+	m := h.MeanWear()
+	if m == 0 {
+		return 0
+	}
+	return float64(h.MaxWear) / m
+}
+
+// BankHealth is one bank's activity counters in a HealthSnapshot.
+type BankHealth struct {
+	Bank         int     `json:"bank"`
+	Reads        uint64  `json:"reads"`
+	Writes       uint64  `json:"writes"`
+	RowHits      uint64  `json:"row_hits"`
+	MaxWear      uint64  `json:"max_wear"`
+	LinesTouched uint64  `json:"lines_touched"`
+	EnergyNJ     float64 `json:"energy_nj"`
+}
+
+// MeanWear is the bank's average per-line write count.
+func (b BankHealth) MeanWear() float64 {
+	if b.LinesTouched == 0 {
+		return 0
+	}
+	return float64(b.Writes) / float64(b.LinesTouched)
+}
+
+// RegionHealth is one address region's write/wear counters.
+type RegionHealth struct {
+	Region       int    `json:"region"`
+	FirstLine    uint64 `json:"first_line"`
+	Lines        uint64 `json:"lines"`
+	Writes       uint64 `json:"writes"`
+	MaxWear      uint64 `json:"max_wear"`
+	LinesTouched uint64 `json:"lines_touched"`
+}
+
+// WearBucket is one non-empty log2 bucket of the wear histogram: Lines
+// lines have a per-line write count in [Lo, Hi].
+type WearBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Lines uint64 `json:"lines"`
+}
+
+// HealthSnapshot is the full device-health view: the scalar summary plus
+// per-bank rows (the wear heatmap), per-region rows and the bounded wear
+// histogram.
+type HealthSnapshot struct {
+	HealthSummary
+	Banks    []BankHealth   `json:"banks"`
+	Regions  []RegionHealth `json:"regions"`
+	WearHist []WearBucket   `json:"wear_hist"`
+}
+
+// HealthSummary returns the scalar health view. Safe to call concurrently
+// with the simulation; does not allocate.
+func (d *Device) HealthSummary() HealthSummary {
+	h := &d.health
+	h.mu.Lock()
+	s := HealthSummary{
+		Reads:         h.reads,
+		Writes:        h.writes,
+		RowHits:       h.rowHits,
+		LinesTouched:  h.linesTouched,
+		MaxWear:       h.maxWear,
+		P99Wear:       h.approxP99(),
+		ReadEnergyNJ:  float64(h.reads) * d.cfg.ReadEnergy,
+		WriteEnergyNJ: float64(h.writes) * d.cfg.WriteEnergy,
+	}
+	h.mu.Unlock()
+	return s
+}
+
+// HealthSnapshot returns the full health view (summary + banks + regions +
+// wear histogram). Safe to call concurrently with the simulation; intended
+// for serving endpoints, so it allocates its result.
+func (d *Device) HealthSnapshot() HealthSnapshot {
+	h := &d.health
+	h.mu.Lock()
+	snap := HealthSnapshot{
+		HealthSummary: HealthSummary{
+			Reads:         h.reads,
+			Writes:        h.writes,
+			RowHits:       h.rowHits,
+			LinesTouched:  h.linesTouched,
+			MaxWear:       h.maxWear,
+			P99Wear:       h.approxP99(),
+			ReadEnergyNJ:  float64(h.reads) * d.cfg.ReadEnergy,
+			WriteEnergyNJ: float64(h.writes) * d.cfg.WriteEnergy,
+		},
+		Banks: make([]BankHealth, len(h.banks)),
+	}
+	for i := range h.banks {
+		b := &h.banks[i]
+		snap.Banks[i] = BankHealth{
+			Bank:         i,
+			Reads:        b.reads,
+			Writes:       b.writes,
+			RowHits:      b.rowHits,
+			MaxWear:      b.maxWear,
+			LinesTouched: b.lines,
+			EnergyNJ:     float64(b.reads)*d.cfg.ReadEnergy + float64(b.writes)*d.cfg.WriteEnergy,
+		}
+	}
+	regionLines := uint64(1) << h.regionShift
+	for i := range h.regions {
+		r := &h.regions[i]
+		if r.writes == 0 {
+			continue
+		}
+		snap.Regions = append(snap.Regions, RegionHealth{
+			Region:       i,
+			FirstLine:    uint64(i) * regionLines,
+			Lines:        regionLines,
+			Writes:       r.writes,
+			MaxWear:      r.maxWear,
+			LinesTouched: r.lines,
+		})
+	}
+	for i := 0; i < wearHistBuckets; i++ {
+		if h.hist[i] == 0 {
+			continue
+		}
+		hi := ^uint64(0)
+		if i < 63 {
+			hi = uint64(1)<<(uint(i)+1) - 1
+		}
+		snap.WearHist = append(snap.WearHist, WearBucket{
+			Lo:    uint64(1) << uint(i),
+			Hi:    hi,
+			Lines: h.hist[i],
+		})
+	}
+	h.mu.Unlock()
+	return snap
+}
+
+// MergeHealth combines per-shard snapshots into one device-wide view: totals
+// sum, banks and regions concatenate (renumbered in shard order), histogram
+// buckets merge, and P99 is re-derived from the merged histogram.
+func MergeHealth(snaps []HealthSnapshot) HealthSnapshot {
+	var out HealthSnapshot
+	var hist [wearHistBuckets]uint64
+	for _, s := range snaps {
+		out.Reads += s.Reads
+		out.Writes += s.Writes
+		out.RowHits += s.RowHits
+		out.LinesTouched += s.LinesTouched
+		out.ReadEnergyNJ += s.ReadEnergyNJ
+		out.WriteEnergyNJ += s.WriteEnergyNJ
+		if s.MaxWear > out.MaxWear {
+			out.MaxWear = s.MaxWear
+		}
+		for _, b := range s.Banks {
+			b.Bank = len(out.Banks)
+			out.Banks = append(out.Banks, b)
+		}
+		for _, r := range s.Regions {
+			r.Region = len(out.Regions)
+			out.Regions = append(out.Regions, r)
+		}
+		for _, wb := range s.WearHist {
+			hist[wearBucket(wb.Lo)] += wb.Lines
+		}
+	}
+	var cum, need uint64
+	if out.LinesTouched > 0 {
+		need = out.LinesTouched - out.LinesTouched*99/100
+		if need < 1 {
+			need = 1
+		}
+	}
+	for i := wearHistBuckets - 1; i >= 0 && need > 0; i-- {
+		cum += hist[i]
+		if cum >= need {
+			if i == 63 {
+				out.P99Wear = ^uint64(0)
+			} else {
+				out.P99Wear = uint64(1)<<(uint(i)+1) - 1
+			}
+			if out.P99Wear > out.MaxWear {
+				out.P99Wear = out.MaxWear
+			}
+			break
+		}
+	}
+	for i := 0; i < wearHistBuckets; i++ {
+		if hist[i] == 0 {
+			continue
+		}
+		hi := ^uint64(0)
+		if i < 63 {
+			hi = uint64(1)<<(uint(i)+1) - 1
+		}
+		out.WearHist = append(out.WearHist, WearBucket{Lo: uint64(1) << uint(i), Hi: hi, Lines: hist[i]})
+	}
+	return out
+}

@@ -129,12 +129,21 @@ type Probe interface {
 	GapMove(from, to uint64, at sim.Time)
 }
 
-// Device is the PCM device. It is not safe for concurrent use.
+// Device is the PCM device. The timing model and functional store are not
+// safe for concurrent use (one simulation thread drives them), but the wear
+// and health accessors — Wear, WearOf, HealthSummary, HealthSnapshot — are
+// safe to call from other goroutines while that thread runs: all shared
+// wear and health state is guarded by an internal mutex (see health.go).
+// The simulation thread stages its accounting in a private buffer, so those
+// accessors may lag the simulation by up to healthBatch media ops; Flush or
+// SyncHealth (simulation-thread calls) publish everything staged.
 type Device struct {
 	cfg   config.PCM
 	banks []bank
 	data  map[uint64]ecc.Line
-	wear  map[uint64]uint64
+	// health holds all wear and health accounting, including the per-line
+	// wear pages (guarded by health.mu; read counters are atomics).
+	health health
 
 	Stats Stats
 	// Probe, when non-nil, observes every media read/write (and StartGap
@@ -162,20 +171,17 @@ func New(cfg config.PCM) *Device {
 			banks[i].tWrite += cfg.FaultExtraLatency
 		}
 	}
-	return &Device{
+	d := &Device{
 		cfg:   cfg,
 		banks: banks,
 		data:  make(map[uint64]ecc.Line),
-		wear:  make(map[uint64]uint64),
 	}
+	d.health.init(cfg.Banks, cfg.Lines())
+	return d
 }
 
 // Lines returns the device capacity in cache lines.
 func (d *Device) Lines() int64 { return d.cfg.Lines() }
-
-func (d *Device) bankOf(addr uint64) *bank {
-	return &d.banks[addr%uint64(len(d.banks))]
-}
 
 func (d *Device) checkAddr(addr uint64) {
 	if int64(addr) >= d.cfg.Lines() {
@@ -187,7 +193,8 @@ func (d *Device) checkAddr(addr uint64) {
 // current content (zero line if never written; ok reports which).
 func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 	d.checkAddr(addr)
-	b := d.bankOf(addr)
+	bi := addr % uint64(len(d.banks))
+	b := &d.banks[bi]
 	b.drainTo(now, b.tWrite)
 	// Write-drain policy: a queue at or above the high watermark forces
 	// the bank to retire writes down to the low watermark before this
@@ -230,6 +237,7 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 	d.Stats.Reads++
 	d.Stats.ReadQueueTime += res.QueueDelay
 	d.Stats.MediaEnergy += d.cfg.ReadEnergy
+	d.health.noteRead(int(bi), rowHit)
 	line, ok := d.data[addr]
 	return line, ok, res
 }
@@ -240,7 +248,8 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 // bank frees a slot.
 func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	d.checkAddr(addr)
-	b := d.bankOf(addr)
+	bi := addr % uint64(len(d.banks))
+	b := &d.banks[bi]
 	b.drainTo(now, b.tWrite)
 	ack := now
 	// Full queue: force-drain the oldest writes until a slot frees; the
@@ -265,7 +274,7 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 		b.hasOpen = false
 	}
 	d.data[addr] = line
-	d.wear[addr]++
+	d.health.noteWrite(addr, int(bi))
 	d.Stats.Writes++
 	d.Stats.MediaEnergy += d.cfg.WriteEnergy
 	if d.Probe != nil {
@@ -276,9 +285,16 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	return res
 }
 
+// SyncHealth publishes all staged health accounting to the concurrent
+// wear/health accessors. It must be called from the simulation thread (the
+// one calling Read/Write); Flush does it implicitly.
+func (d *Device) SyncHealth() { d.health.sync() }
+
 // Flush drains every queued write, returning the time the device goes idle
-// (at least now).
+// (at least now). It also publishes staged health accounting, so wear and
+// health accessors are exact after a flush.
 func (d *Device) Flush(now sim.Time) sim.Time {
+	d.health.sync()
 	idle := now
 	for i := range d.banks {
 		b := &d.banks[i]
@@ -318,8 +334,15 @@ func (d *Device) Store(addr uint64, line ecc.Line) {
 // LinesWritten reports how many distinct lines hold data.
 func (d *Device) LinesWritten() int { return len(d.data) }
 
-// WearOf returns the write count of addr.
-func (d *Device) WearOf(addr uint64) uint64 { return d.wear[addr] }
+// WearOf returns the write count of addr. Safe to call concurrently with
+// the simulation; may lag it by up to healthBatch media ops (exact after
+// Flush/SyncHealth).
+func (d *Device) WearOf(addr uint64) uint64 {
+	d.health.mu.Lock()
+	w := d.health.wearOf(addr)
+	d.health.mu.Unlock()
+	return w
+}
 
 // WearSummary summarizes per-line wear for endurance analysis.
 type WearSummary struct {
@@ -331,18 +354,31 @@ type WearSummary struct {
 	P99Wear uint64
 }
 
-// Wear computes the device wear summary.
+// Wear computes the exact device wear summary by walking the per-line wear
+// pages. Safe to call concurrently with the simulation (it snapshots under
+// the device health lock) but may lag it by up to healthBatch media ops
+// (exact after Flush/SyncHealth); prefer HealthSummary for cheap polling.
 func (d *Device) Wear() WearSummary {
 	var s WearSummary
-	if len(d.wear) == 0 {
+	d.health.mu.Lock()
+	defer d.health.mu.Unlock()
+	if d.health.linesTouched == 0 {
 		return s
 	}
-	counts := make([]uint64, 0, len(d.wear))
-	for _, c := range d.wear {
-		counts = append(counts, c)
-		s.TotalWrites += c
-		if c > s.MaxWear {
-			s.MaxWear = c
+	counts := make([]uint64, 0, d.health.linesTouched)
+	for _, pg := range d.health.pages {
+		if pg == nil {
+			continue
+		}
+		for _, c := range pg {
+			if c == 0 {
+				continue
+			}
+			counts = append(counts, c)
+			s.TotalWrites += c
+			if c > s.MaxWear {
+				s.MaxWear = c
+			}
 		}
 	}
 	s.LinesTouched = len(counts)

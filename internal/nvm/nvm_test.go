@@ -159,6 +159,7 @@ func TestWearTracking(t *testing.T) {
 		d.Write(7, ecc.Line{byte(i)}, sim.Time(i)*sim.Microsecond)
 	}
 	d.Write(8, ecc.Line{}, 0)
+	d.SyncHealth() // publish staged accounting before exact assertions
 	if d.WearOf(7) != 5 || d.WearOf(8) != 1 {
 		t.Fatalf("wear = %d/%d, want 5/1", d.WearOf(7), d.WearOf(8))
 	}

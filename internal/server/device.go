@@ -1,0 +1,154 @@
+package server
+
+import (
+	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/nvm"
+)
+
+// DeviceResponse is the /debug/device JSON document: the merged
+// device-health view — wear shape, media energy split, live dedup
+// effectiveness, and the per-bank rows behind the esdtop wear heatmap.
+// It is built entirely from barrier-free state, so it answers even while
+// shards are wedged mid-request.
+type DeviceResponse struct {
+	Scheme        string `json:"scheme"`
+	Shards        int    `json:"shards"`
+	BanksPerShard int    `json:"banks_per_shard"`
+
+	MediaReads   uint64 `json:"media_reads"`
+	MediaWrites  uint64 `json:"media_writes"`
+	RowHits      uint64 `json:"row_hits"`
+	LinesTouched uint64 `json:"lines_touched"`
+
+	Wear     WearStatus       `json:"wear"`
+	Energy   EnergyStatus     `json:"energy"`
+	Dedup    DedupStatus      `json:"dedup"`
+	Banks    []BankRow        `json:"banks"`
+	Regions  []RegionRow      `json:"regions"`
+	WearHist []nvm.WearBucket `json:"wear_hist"`
+}
+
+// WearStatus summarizes the per-line wear distribution.
+type WearStatus struct {
+	Max  uint64  `json:"max"`
+	P99  uint64  `json:"p99"`
+	Mean float64 `json:"mean"`
+	// Skew is max/mean — the wear-leveling early-warning ratio (1.0 is
+	// perfectly level).
+	Skew float64 `json:"skew"`
+}
+
+// EnergyStatus is the media energy split.
+type EnergyStatus struct {
+	ReadNJ  float64 `json:"read_nj"`
+	WriteNJ float64 `json:"write_nj"`
+}
+
+// DedupStatus is the live dedup-effectiveness view, from the per-shard
+// published scheme counters.
+type DedupStatus struct {
+	Writes            uint64  `json:"writes"`
+	Reads             uint64  `json:"reads"`
+	DedupWrites       uint64  `json:"dedup_writes"`
+	UniqueWrites      uint64  `json:"unique_writes"`
+	HitRate           float64 `json:"hit_rate"`
+	BytesSaved        uint64  `json:"bytes_saved"`
+	CompareReads      uint64  `json:"compare_reads"`
+	CompareMismatches uint64  `json:"compare_mismatches"`
+	CollisionRate     float64 `json:"collision_rate"`
+	ReferHOverflows   uint64  `json:"referh_overflows"`
+}
+
+// BankRow is one bank's wear-heatmap row.
+type BankRow struct {
+	Shard    int     `json:"shard"`
+	Bank     int     `json:"bank"`
+	Reads    uint64  `json:"reads"`
+	Writes   uint64  `json:"writes"`
+	RowHits  uint64  `json:"row_hits"`
+	MaxWear  uint64  `json:"max_wear"`
+	Lines    uint64  `json:"lines"`
+	MeanWear float64 `json:"mean_wear"`
+}
+
+// RegionRow is one address region's write-locality row.
+type RegionRow struct {
+	Shard     int    `json:"shard"`
+	Region    int    `json:"region"`
+	FirstLine uint64 `json:"first_line"`
+	Lines     uint64 `json:"lines"`
+	Writes    uint64 `json:"writes"`
+	MaxWear   uint64 `json:"max_wear"`
+}
+
+// DeviceFromHealth assembles the /debug/device document from per-shard
+// health snapshots and a (live or final) scheme counter block. It is
+// shared by the serving endpoint, the single-System metrics server and
+// esdsim's -device-stats dump.
+func DeviceFromHealth(scheme string, snaps []nvm.HealthSnapshot, st memctrl.SchemeStats) DeviceResponse {
+	merged := nvm.MergeHealth(snaps)
+	resp := DeviceResponse{
+		Scheme:       scheme,
+		Shards:       len(snaps),
+		MediaReads:   merged.Reads,
+		MediaWrites:  merged.Writes,
+		RowHits:      merged.RowHits,
+		LinesTouched: merged.LinesTouched,
+		Wear: WearStatus{
+			Max:  merged.MaxWear,
+			P99:  merged.P99Wear,
+			Mean: merged.MeanWear(),
+			Skew: merged.WearSkew(),
+		},
+		Energy:   EnergyStatus{ReadNJ: merged.ReadEnergyNJ, WriteNJ: merged.WriteEnergyNJ},
+		WearHist: merged.WearHist,
+		Dedup: DedupStatus{
+			Writes:            st.Writes,
+			Reads:             st.Reads,
+			DedupWrites:       st.DedupWrites,
+			UniqueWrites:      st.UniqueWrites,
+			HitRate:           st.DedupRate(),
+			BytesSaved:        st.DedupWrites * 64,
+			CompareReads:      st.CompareReads,
+			CompareMismatches: st.CompareMismatches,
+			ReferHOverflows:   st.ReferHOverflows,
+		},
+	}
+	if st.CompareReads > 0 {
+		resp.Dedup.CollisionRate = float64(st.CompareMismatches) / float64(st.CompareReads)
+	}
+	for sh, snap := range snaps {
+		if len(snap.Banks) > resp.BanksPerShard {
+			resp.BanksPerShard = len(snap.Banks)
+		}
+		for _, b := range snap.Banks {
+			resp.Banks = append(resp.Banks, BankRow{
+				Shard:    sh,
+				Bank:     b.Bank,
+				Reads:    b.Reads,
+				Writes:   b.Writes,
+				RowHits:  b.RowHits,
+				MaxWear:  b.MaxWear,
+				Lines:    b.LinesTouched,
+				MeanWear: b.MeanWear(),
+			})
+		}
+		for _, rg := range snap.Regions {
+			resp.Regions = append(resp.Regions, RegionRow{
+				Shard:     sh,
+				Region:    rg.Region,
+				FirstLine: rg.FirstLine,
+				Lines:     rg.Lines,
+				Writes:    rg.Writes,
+				MaxWear:   rg.MaxWear,
+			})
+		}
+	}
+	return resp
+}
+
+// Device builds the live /debug/device document for the engine behind
+// this server.
+func (s *Server) Device() DeviceResponse {
+	return DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+}

@@ -185,6 +185,88 @@ func TestObservabilityEndpointsAfterTraffic(t *testing.T) {
 	}
 }
 
+// TestDeviceEndpoint drives a hot-line workload (one hammered address
+// plus duplicate content) and asserts /debug/device exposes the wear
+// heatmap rows, dedup effectiveness and histogram needed to diagnose it,
+// and that /statusz carries the compact device + rates sections.
+func TestDeviceEndpoint(t *testing.T) {
+	eng, s := testServer(t, shard.Options{Shards: 2}, Config{})
+	c := NewHTTPClient(s.URL())
+	defer c.Close()
+
+	// 32 writes of changing content to one address (a hot line — each
+	// write is unique so the media line really rewrites), plus 16 writes
+	// of identical content across distinct addresses (dedup hits).
+	for i := 0; i < 32; i++ {
+		if _, err := c.Write(7, line(uint64(i), 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := c.Write(uint64(100+i*64), line(42)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Read(7); err != nil {
+		t.Fatal(err)
+	}
+	// Flush barriers every worker, publishing the last batch's staged
+	// health accounting before the assertions below read it.
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, s.URL()+"/debug/device")
+	if code != http.StatusOK {
+		t.Fatalf("debug/device = %d\n%s", code, body)
+	}
+	var dev DeviceResponse
+	if err := json.Unmarshal([]byte(body), &dev); err != nil {
+		t.Fatalf("debug/device not JSON: %v\n%s", err, body)
+	}
+	if dev.Scheme == "" || dev.Shards != 2 {
+		t.Errorf("scheme=%q shards=%d, want esd/2", dev.Scheme, dev.Shards)
+	}
+	if dev.MediaWrites == 0 || dev.LinesTouched == 0 {
+		t.Errorf("no media writes recorded: %+v", dev)
+	}
+	if len(dev.Banks) == 0 || len(dev.WearHist) == 0 {
+		t.Errorf("banks=%d hist=%d, want both nonempty", len(dev.Banks), len(dev.WearHist))
+	}
+	var bankWrites uint64
+	for _, b := range dev.Banks {
+		bankWrites += b.Writes
+	}
+	if bankWrites != dev.MediaWrites {
+		t.Errorf("bank writes %d != media writes %d", bankWrites, dev.MediaWrites)
+	}
+	// The hammered line must make the wear distribution visibly skewed.
+	if dev.Wear.Max < 16 || dev.Wear.Skew <= 1 {
+		t.Errorf("wear max=%d skew=%.2f, want hammered line to dominate", dev.Wear.Max, dev.Wear.Skew)
+	}
+	if dev.Dedup.Writes != 48 {
+		t.Errorf("dedup.writes = %d, want 48", dev.Dedup.Writes)
+	}
+	if dev.Dedup.DedupWrites == 0 || dev.Dedup.HitRate <= 0 || dev.Dedup.BytesSaved == 0 {
+		t.Errorf("duplicate content not deduped: %+v", dev.Dedup)
+	}
+
+	var st StatuszResponse
+	_, body = get(t, s.URL()+"/statusz")
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Device == nil || st.Rates == nil {
+		t.Fatalf("statusz missing device/rates sections: %s", body)
+	}
+	if st.Device.MediaWrites != dev.MediaWrites || st.Device.MaxWear != dev.Wear.Max {
+		t.Errorf("statusz device %+v disagrees with /debug/device %+v", st.Device, dev.Wear)
+	}
+	if st.Rates.WindowS <= 0 {
+		t.Errorf("rates window = %v", st.Rates.WindowS)
+	}
+}
+
 // TestReadyzWhileDraining exercises the not-ready state: once Shutdown
 // has begun, /readyz must flip to 503 and /statusz must report
 // ready=false, while /healthz (liveness) stays 200. The handlers are

@@ -76,6 +76,12 @@ type Server struct {
 	start  time.Time
 	slow   atomic.Uint64 // requests at/over SlowRequestThreshold
 	slowMu sync.Mutex    // serializes slow-log lines and flight dumps
+
+	// Rolling-window rate trackers, sampled lazily on each /statusz
+	// render: between scrapes they cost nothing.
+	rateWrites *telemetry.Rolling
+	rateReads  *telemetry.Rolling
+	rateShed   *telemetry.Rolling
 }
 
 // New listens and starts serving eng in background goroutines. The
@@ -84,11 +90,14 @@ type Server struct {
 func New(eng *shard.Engine, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		eng:      eng,
-		cfg:      cfg,
-		conns:    make(map[net.Conn]struct{}),
-		draining: make(chan struct{}),
-		start:    time.Now(),
+		eng:        eng,
+		cfg:        cfg,
+		conns:      make(map[net.Conn]struct{}),
+		draining:   make(chan struct{}),
+		start:      time.Now(),
+		rateWrites: telemetry.NewRolling(rateWindow, rateSlots),
+		rateReads:  telemetry.NewRolling(rateWindow, rateSlots),
+		rateShed:   telemetry.NewRolling(rateWindow, rateSlots),
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -192,6 +201,9 @@ func (s *Server) mux() http.Handler {
 		}
 		s.writeJSON(w, http.StatusOK, recs)
 	})
+	mux.HandleFunc("/debug/device", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.Device())
+	})
 	if reg := s.eng.Registry(); reg != nil {
 		mux.Handle("/metrics", telemetry.Handler(reg, s.cfg.Pprof))
 		mux.Handle("/debug/", telemetry.Handler(reg, s.cfg.Pprof))
@@ -207,6 +219,37 @@ func (s *Server) Ready() bool {
 	default:
 		return true
 	}
+}
+
+// Rolling-rate window for the /statusz rates section: ~15 s of history in
+// 1.5 s sub-windows smooths dashboard polling without hiding bursts.
+const (
+	rateWindow = 15 * time.Second
+	rateSlots  = 10
+)
+
+// RateStatus is the /statusz rolling-window throughput section, derived
+// from the engine's live op counters sampled at each render.
+type RateStatus struct {
+	WindowS    float64 `json:"window_s"`
+	WritesPerS float64 `json:"writes_per_s"`
+	ReadsPerS  float64 `json:"reads_per_s"`
+	ShedPerS   float64 `json:"shed_per_s"`
+}
+
+// DeviceStatus is the compact device section of /statusz (the full
+// per-bank view lives at /debug/device).
+type DeviceStatus struct {
+	MediaReads    uint64  `json:"media_reads"`
+	MediaWrites   uint64  `json:"media_writes"`
+	MaxWear       uint64  `json:"max_wear"`
+	MeanWear      float64 `json:"mean_wear"`
+	P99Wear       uint64  `json:"p99_wear"`
+	WearSkew      float64 `json:"wear_skew"`
+	EnergyReadNJ  float64 `json:"energy_read_nj"`
+	EnergyWriteNJ float64 `json:"energy_write_nj"`
+	DedupHitRate  float64 `json:"dedup_hit_rate"`
+	BytesSaved    uint64  `json:"dedup_bytes_saved"`
 }
 
 // StageStatus is one pipeline stage's latency summary in /statusz.
@@ -235,6 +278,8 @@ type StatuszResponse struct {
 	SlowThresholdMs float64                `json:"slow_threshold_ms"`
 	SlowRequests    uint64                 `json:"slow_requests"`
 	FlightRecords   int                    `json:"flight_records"`
+	Rates           *RateStatus            `json:"rates,omitempty"`
+	Device          *DeviceStatus          `json:"device,omitempty"`
 	Stages          map[string]StageStatus `json:"stages,omitempty"`
 }
 
@@ -254,6 +299,28 @@ func (s *Server) Statusz() StatuszResponse {
 		SlowThresholdMs: float64(s.cfg.SlowRequestThreshold) / float64(time.Millisecond),
 		SlowRequests:    s.slow.Load(),
 		FlightRecords:   len(s.eng.FlightRecords()),
+	}
+	now := time.Now()
+	writes, reads, _ := s.eng.LiveOps()
+	resp.Rates = &RateStatus{
+		WindowS:    s.rateWrites.Window().Seconds(),
+		WritesPerS: s.rateWrites.ObserveRate(now, writes),
+		ReadsPerS:  s.rateReads.ObserveRate(now, reads),
+		ShedPerS:   s.rateShed.ObserveRate(now, resp.Shed),
+	}
+	h := s.eng.DeviceHealth()
+	st := s.eng.LiveSchemeStats()
+	resp.Device = &DeviceStatus{
+		MediaReads:    h.Reads,
+		MediaWrites:   h.Writes,
+		MaxWear:       h.MaxWear,
+		MeanWear:      h.MeanWear(),
+		P99Wear:       h.P99Wear,
+		WearSkew:      h.WearSkew(),
+		EnergyReadNJ:  h.ReadEnergyNJ,
+		EnergyWriteNJ: h.WriteEnergyNJ,
+		DedupHitRate:  st.DedupRate(),
+		BytesSaved:    st.DedupWrites * 64,
 	}
 	if hists, ok := s.eng.StageSnapshot(); ok {
 		resp.Stages = make(map[string]StageStatus, len(hists))

@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWearReadsRaceWithEngine exercises every barrier-free health accessor
+// against a running sharded engine. Run under -race it proves wear and
+// health reads are safe while shard workers drive their devices — the
+// guarantee the serving endpoints (/statusz, /debug/device) depend on.
+func TestWearReadsRaceWithEngine(t *testing.T) {
+	eng, err := New(testConfig(), "esd", Options{Shards: 4, QueueDepth: 64, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ws := range eng.WearSummaries() {
+					_ = ws.MaxWear
+				}
+				for _, hs := range eng.DeviceHealths() {
+					_ = hs.MaxWear
+				}
+				_ = eng.DeviceHealth()
+				_, _, _ = eng.LiveOps()
+				_ = eng.LiveSchemeStats()
+			}
+		}()
+	}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		addr := uint64(i % 1024)
+		if err := eng.WriteAsync(addr, lineWith(uint64(i%37))); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if _, err := eng.Read(addr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	writes, reads, _ := eng.LiveOps()
+	if writes != n || reads != n/5 {
+		t.Fatalf("LiveOps = %d writes / %d reads, want %d/%d", writes, reads, n, n/5)
+	}
+	// The live merged health must agree with the exact wear summaries.
+	var exactTotal uint64
+	for _, ws := range eng.WearSummaries() {
+		exactTotal += ws.TotalWrites
+	}
+	h := eng.DeviceHealth()
+	if h.Writes < exactTotal {
+		// Health writes include metadata-region media writes too, so it can
+		// only be >= the data wear total.
+		t.Fatalf("merged health writes=%d < exact wear total %d", h.Writes, exactTotal)
+	}
+	st := eng.LiveSchemeStats()
+	if st.Writes == 0 {
+		t.Fatalf("published scheme stats empty after %d writes: %+v", n, st)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

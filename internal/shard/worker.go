@@ -62,6 +62,18 @@ type shard struct {
 	readHist  stats.Histogram
 	coalesced atomic.Uint64
 
+	// Live op counters, bumped per executed request: the barrier-free
+	// throughput view behind /statusz rates (a wedged shard must not make
+	// the serving endpoints hang on a snapshot barrier).
+	opWrites atomic.Uint64
+	opReads  atomic.Uint64
+	opDedup  atomic.Uint64
+	// pubStats is a copy of the scheme's counter block, republished after
+	// every drained batch; /debug/device reads dedup effectiveness from it
+	// without a barrier.
+	statsMu  sync.Mutex
+	pubStats memctrl.SchemeStats
+
 	// flight is the shard's always-on black box: the last N requests with
 	// their stage vectors, recorded wait-free by the worker and snapshotted
 	// by dump endpoints at any time.
@@ -111,6 +123,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				}
 			}
 		}
+		s.publishStats()
 		if !open {
 			// Queue closed mid-drain: finish anything still buffered in
 			// the channel, then exit.
@@ -120,6 +133,7 @@ func (s *shard) run(wg *sync.WaitGroup) {
 					r.done <- resp
 				}
 			}
+			s.publishStats()
 			return
 		}
 	}
@@ -190,6 +204,10 @@ func (s *shard) exec(r *request) response {
 			s.now = out.Done
 		}
 		lat := out.Done - at
+		s.opWrites.Add(1)
+		if out.Deduplicated {
+			s.opDedup.Add(1)
+		}
 		s.writeHist.Record(lat)
 		st := telemetry.StagesFromBreakdown(&out.Breakdown)
 		s.stages.Observe(&st)
@@ -203,6 +221,7 @@ func (s *shard) exec(r *request) response {
 			s.now = out.Done
 		}
 		lat := out.Done - at
+		s.opReads.Add(1)
 		s.readHist.Record(lat)
 		s.flight.RecordRead(s.id, r.tc, r.addr, out.Hit, at, lat)
 		return response{read: out, lat: lat}
@@ -216,6 +235,20 @@ func (s *shard) exec(r *request) response {
 	}
 }
 
+// publishStats republishes the scheme's counter block for the barrier-free
+// readers (a struct copy under a short mutex; the scheme itself stays
+// worker-private).
+func (s *shard) publishStats() {
+	// Publish the device's staged health accounting at the same batch
+	// boundary, so the barrier-free health surface is at most one batch
+	// stale — same doctrine as the live scheme stats below.
+	s.env.Device.SyncHealth()
+	st := s.sch.Stats()
+	s.statsMu.Lock()
+	s.pubStats = st
+	s.statsMu.Unlock()
+}
+
 func (s *shard) tick() sim.Time {
 	s.now += s.gap
 	for s.interval > 0 && s.nextTick <= s.now {
@@ -226,6 +259,7 @@ func (s *shard) tick() sim.Time {
 }
 
 func (s *shard) snapshot() *Snapshot {
+	s.env.Device.SyncHealth()
 	return &Snapshot{
 		Shard:        s.id,
 		Scheme:       s.sch.Stats(),

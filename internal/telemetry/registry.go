@@ -16,6 +16,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -122,6 +123,29 @@ func (t *TimeHistogram) Snapshot() stats.Histogram {
 	return t.h
 }
 
+// FloatFunc is a float gauge whose value is computed by a callback at
+// exposition time. It costs the instrumented code nothing between scrapes,
+// is always fresh, and is race-safe as long as the callback reads from
+// concurrency-safe sources (atomics, or state behind its own lock). Used
+// for derived rates (dedup hit rate) and device-health values (wear skew,
+// energy split) that would otherwise need hot-path bookkeeping.
+type FloatFunc struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// Value invokes the callback (0 for nil).
+func (f *FloatFunc) Value() float64 {
+	if f == nil || f.fn == nil {
+		return 0
+	}
+	return f.fn()
+}
+
+// Name returns the registered metric name.
+func (f *FloatFunc) Name() string { return f.name }
+
 // Registry holds the metric set of one telemetry instance. Metrics are
 // registered once (at Sink construction) and then only read or bumped, so
 // the registry lock is uncontended in steady state.
@@ -131,6 +155,7 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*TimeHistogram
+	funcs  map[string]*FloatFunc
 }
 
 // NewRegistry returns an empty registry.
@@ -139,6 +164,7 @@ func NewRegistry() *Registry {
 		ctrs:   make(map[string]*Counter),
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*TimeHistogram),
+		funcs:  make(map[string]*FloatFunc),
 	}
 }
 
@@ -189,6 +215,22 @@ func (r *Registry) Histogram(name, help string) *TimeHistogram {
 	r.hists[name] = h
 	r.order = append(r.order, name)
 	return h
+}
+
+// FloatFunc registers a callback-backed float gauge under name. Re-
+// registering an existing name swaps in the new callback (registration is
+// setup-time only; the latest wiring wins).
+func (r *Registry) FloatFunc(name, help string, fn func() float64) *FloatFunc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.funcs[name]; ok {
+		f.fn = fn
+		return f
+	}
+	f := &FloatFunc{name: name, help: help, fn: fn}
+	r.funcs[name] = f
+	r.order = append(r.order, name)
+	return f
 }
 
 // WritePrometheus renders every metric in the Prometheus text exposition
@@ -247,6 +289,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					}
 				}
 				if err := writePromHistogram(w, name, th); err != nil {
+					return err
+				}
+				continue
+			}
+			if f, ok := r.funcs[name]; ok {
+				if !headed {
+					headed = true
+					if err := writeHeader(w, fam, f.help, "gauge"); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s %g\n", name, f.Value()); err != nil {
 					return err
 				}
 			}
@@ -333,6 +387,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			emit(name, `{"count": %d, "mean_ns": %g, "p50_ns": %g, "p99_ns": %g, "max_ns": %g}`,
 				h.Count(), h.Mean().Nanoseconds(), h.Percentile(0.5).Nanoseconds(),
 				h.Percentile(0.99).Nanoseconds(), h.Max().Nanoseconds())
+		case r.funcs[name] != nil:
+			v := r.funcs[name].Value()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0 // keep the JSON valid whatever a callback returns
+			}
+			emit(name, "%g", v)
 		}
 	}
 	r.mu.RUnlock()

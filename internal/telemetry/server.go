@@ -25,6 +25,10 @@ type HandlerOptions struct {
 	// Flight snapshots the flight recorder for /debug/flightrecorder; nil
 	// (or a drained recorder) serves an empty JSON array.
 	Flight func() []FlightRecord
+	// Device builds the /debug/device payload (the device-health document:
+	// wear heatmap rows, energy split, dedup effectiveness); nil leaves the
+	// endpoint unmounted.
+	Device func() any
 }
 
 // ServerOptions configures the telemetry HTTP server.
@@ -33,11 +37,12 @@ type ServerOptions struct {
 	Addr string
 	// Pprof mounts net/http/pprof under /debug/pprof/ when true.
 	Pprof bool
-	// Ready, Status and Flight feed the introspection endpoints (see
-	// HandlerOptions).
+	// Ready, Status, Flight and Device feed the introspection endpoints
+	// (see HandlerOptions).
 	Ready  func() bool
 	Status func() any
 	Flight func() []FlightRecord
+	Device func() any
 }
 
 // Server serves the live metrics endpoint:
@@ -106,6 +111,11 @@ func NewHandler(reg *Registry, opts HandlerOptions) http.Handler {
 		}
 		writeJSON(w, recs)
 	})
+	if opts.Device != nil {
+		mux.HandleFunc("/debug/device", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, opts.Device())
+		})
+	}
 	if opts.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -119,6 +129,9 @@ func NewHandler(reg *Registry, opts HandlerOptions) http.Handler {
 			return
 		}
 		fmt.Fprintf(w, "esd telemetry\n  /metrics\n  /debug/vars\n  /healthz\n  /readyz\n  /statusz\n  /debug/flightrecorder\n")
+		if opts.Device != nil {
+			fmt.Fprintf(w, "  /debug/device\n")
+		}
 		if opts.Pprof {
 			fmt.Fprintf(w, "  /debug/pprof/\n")
 		}
@@ -154,6 +167,7 @@ func NewServer(reg *Registry, opts ServerOptions) (*Server, error) {
 				Ready:  opts.Ready,
 				Status: opts.Status,
 				Flight: opts.Flight,
+				Device: opts.Device,
 			}),
 			ReadHeaderTimeout: 5 * time.Second,
 		},

@@ -141,6 +141,10 @@ type Sink struct {
 	unique    *Counter
 	decisions [numDecisions]*Counter
 
+	compareReads *Counter
+	compareMism  *Counter
+	bytesSaved   *Counter
+
 	writeLat *TimeHistogram
 	readLat  *TimeHistogram
 	stageLat [NumStages]*TimeHistogram
@@ -223,6 +227,27 @@ func NewSink(opts Options) *Sink {
 	s.ctrOverflows = ctr("esd_counter_overflows_total", "minor-counter overflows forcing page re-encryption")
 	s.reencrypts = ctr("esd_lines_reencrypted_total", "lines re-encrypted by counter-overflow rekeys")
 
+	s.compareReads = ctr("esd_compare_reads_total", "byte-compare verifications of fingerprint-matched dedup candidates")
+	s.compareMism = ctr("esd_compare_mismatches_total", "byte-compares that caught an ECC fingerprint collision")
+	s.bytesSaved = ctr("esd_dedup_bytes_saved_total", "bytes of media write traffic eliminated by deduplication")
+
+	// Dedup-effectiveness gauge family: derived from the counters above at
+	// scrape time, so the hot path pays nothing for them.
+	ff := func(name, help string, fn func() float64) { s.reg.FloatFunc(labeled(name, s.labels), help, fn) }
+	ratio := func(num, den *Counter) func() float64 {
+		return func() float64 {
+			d := den.Value()
+			if d == 0 {
+				return 0
+			}
+			return float64(num.Value()) / float64(d)
+		}
+	}
+	ff("esd_dedup_hit_rate", "fraction of scheme writes eliminated by deduplication", ratio(s.dedup, s.writes))
+	ff("esd_fp_collision_rate", "fraction of byte-compares that caught an ECC fingerprint collision", ratio(s.compareMism, s.compareReads))
+	ff("esd_compare_verify_rate", "byte-compare verifications per scheme write", ratio(s.compareReads, s.writes))
+	ff("esd_counter_overflow_pressure", "lines re-encrypted by overflow rekeys per unique line written", ratio(s.reencrypts, s.unique))
+
 	s.crashes = ctr("esd_crashes_total", "simulated power failures")
 	s.events = ctr("esd_trace_events_total", "events emitted to the tracer")
 	s.simNow = gauge("esd_sim_now_ps", "simulated clock (picoseconds)")
@@ -292,6 +317,7 @@ func (s *Sink) OnWrite(scheme string, d Decision, logical, phys uint64, dedup bo
 	s.writes.Inc()
 	if dedup {
 		s.dedup.Inc()
+		s.bytesSaved.Add(64)
 	} else {
 		s.unique.Inc()
 	}
@@ -382,6 +408,56 @@ func (s *Sink) OnAMTWriteback() {
 		return
 	}
 	s.amtWB.Inc()
+}
+
+// OnCompare records one byte-compare verification of a fingerprint-matched
+// dedup candidate; mismatch means the compare caught an ECC collision that
+// the fingerprint alone would have mis-deduplicated.
+func (s *Sink) OnCompare(mismatch bool) {
+	if s == nil {
+		return
+	}
+	s.compareReads.Inc()
+	if mismatch {
+		s.compareMism.Inc()
+	}
+}
+
+// DeviceHealth is the scalar device-health sample exposed as a gauge
+// family. The device layer fills it via the callback handed to
+// RegisterDeviceHealth, keeping telemetry free of an nvm dependency.
+type DeviceHealth struct {
+	MaxWear       uint64
+	P99Wear       uint64
+	MeanWear      float64
+	WearSkew      float64
+	ReadEnergyNJ  float64
+	WriteEnergyNJ float64
+}
+
+// RegisterDeviceHealth registers the device-health gauge family (wear
+// max/p99/mean/skew, media energy split), each gauge computed by fn at
+// scrape time. fn must be safe to call concurrently with the simulation;
+// nvm's HealthSummary is. Nil-safe on both receiver and fn.
+func (s *Sink) RegisterDeviceHealth(fn func() DeviceHealth) {
+	if s == nil || fn == nil {
+		return
+	}
+	ff := func(name, help string, get func(DeviceHealth) float64) {
+		s.reg.FloatFunc(labeled(name, s.labels), help, func() float64 { return get(fn()) })
+	}
+	ff("esd_device_wear_max", "highest per-line write count",
+		func(h DeviceHealth) float64 { return float64(h.MaxWear) })
+	ff("esd_device_wear_p99", "approximate 99th-percentile per-line write count",
+		func(h DeviceHealth) float64 { return float64(h.P99Wear) })
+	ff("esd_device_wear_mean", "mean write count over lines ever written",
+		func(h DeviceHealth) float64 { return h.MeanWear })
+	ff("esd_device_wear_skew", "max/mean wear ratio (wear-leveling early warning; 1.0 is level)",
+		func(h DeviceHealth) float64 { return h.WearSkew })
+	ff("esd_device_energy_read_nj", "media energy spent on reads (nJ)",
+		func(h DeviceHealth) float64 { return h.ReadEnergyNJ })
+	ff("esd_device_energy_write_nj", "media energy spent on writes (nJ)",
+		func(h DeviceHealth) float64 { return h.WriteEnergyNJ })
 }
 
 // OnCrash records a simulated power failure.

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Rolling turns a monotonically increasing counter into a rate over
+// (approximately) the last window of wall time. It keeps a ring of fixed
+// sub-windows; each Observe files the counter value into the sub-window the
+// timestamp falls in, and Rate divides the counter delta between the oldest
+// and newest in-window samples by their time span. Observations are pulls,
+// not pushes: the caller samples the counter whenever convenient (each
+// /statusz render, each dashboard poll) and stale sub-windows age out of
+// the ring automatically.
+//
+// A counter that restarts (value goes backwards — process restart, metric
+// reset) clears the ring and the rate rebuilds from the new baseline
+// instead of reporting a huge negative or wrapped delta.
+//
+// All methods take explicit timestamps so tests drive a synthetic clock;
+// production callers pass time.Now(). Safe for concurrent use.
+type Rolling struct {
+	mu     sync.Mutex
+	width  time.Duration
+	slots  []rollSlot
+	last   uint64
+	seeded bool
+}
+
+type rollSlot struct {
+	epoch  int64 // absolute sub-window index, -1 when empty
+	firstT time.Time
+	lastT  time.Time
+	firstV uint64
+	lastV  uint64
+}
+
+// NewRolling builds an aggregator covering `window` with `slots` fixed
+// sub-windows (more slots = smoother aging, finer granularity).
+func NewRolling(window time.Duration, slots int) *Rolling {
+	if slots < 2 {
+		slots = 2
+	}
+	if window <= 0 {
+		window = 10 * time.Second
+	}
+	width := window / time.Duration(slots)
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	r := &Rolling{width: width, slots: make([]rollSlot, slots)}
+	r.reset()
+	return r
+}
+
+// Window reports the configured span (slot width times slot count).
+func (r *Rolling) Window() time.Duration {
+	return r.width * time.Duration(len(r.slots))
+}
+
+func (r *Rolling) reset() {
+	for i := range r.slots {
+		r.slots[i] = rollSlot{epoch: -1}
+	}
+}
+
+// Observe files one sample of the counter taken at now.
+func (r *Rolling) Observe(now time.Time, v uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seeded && v < r.last {
+		r.reset() // counter restarted; rebuild from the new baseline
+	}
+	r.last, r.seeded = v, true
+	e := now.UnixNano() / int64(r.width)
+	s := &r.slots[((e%int64(len(r.slots)))+int64(len(r.slots)))%int64(len(r.slots))]
+	if s.epoch != e {
+		*s = rollSlot{epoch: e, firstT: now, lastT: now, firstV: v, lastV: v}
+		return
+	}
+	s.lastT, s.lastV = now, v
+}
+
+// Rate returns the counter's per-second rate over the in-window samples.
+// With fewer than two samples in the window (fresh aggregator, idle or
+// unscraped counter) it returns 0.
+func (r *Rolling) Rate(now time.Time) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	minEpoch := now.UnixNano()/int64(r.width) - int64(len(r.slots)) + 1
+	var oldest, newest *rollSlot
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.epoch < minEpoch || s.epoch == -1 {
+			continue
+		}
+		if oldest == nil || s.epoch < oldest.epoch {
+			oldest = s
+		}
+		if newest == nil || s.epoch > newest.epoch {
+			newest = s
+		}
+	}
+	if oldest == nil || newest == nil {
+		return 0
+	}
+	dt := newest.lastT.Sub(oldest.firstT).Seconds()
+	if dt <= 0 || newest.lastV < oldest.firstV {
+		return 0
+	}
+	return float64(newest.lastV-oldest.firstV) / dt
+}
+
+// ObserveRate files a sample and returns the updated rate in one call —
+// the natural shape for poll-time use (statusz render, dashboard tick).
+func (r *Rolling) ObserveRate(now time.Time, v uint64) float64 {
+	if r == nil {
+		return 0
+	}
+	r.Observe(now, v)
+	return r.Rate(now)
+}

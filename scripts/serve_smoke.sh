@@ -12,6 +12,7 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
 
 go build -o "$BIN/esdserve" ./cmd/esdserve
 go build -o "$BIN/esdload" ./cmd/esdload
+go build -o "$BIN/esdtop" ./cmd/esdtop
 
 "$BIN/esdserve" -addr "127.0.0.1:$HTTP_PORT" -tcp-addr "127.0.0.1:$TCP_PORT" \
   -scheme esd -shards 4 -metrics -trace -slow 500ms >"$LOG" 2>&1 &
@@ -40,7 +41,7 @@ echo "serve-smoke: TCP load"
 # on the CI runners; skip politely on dev boxes without them.
 if command -v curl >/dev/null 2>&1; then
   echo "serve-smoke: introspection endpoints"
-  for ep in healthz readyz statusz debug/flightrecorder metrics; do
+  for ep in healthz readyz statusz debug/flightrecorder debug/device metrics; do
     code=$(curl -s -o "$BIN/$(basename "$ep").out" -w '%{http_code}' "http://127.0.0.1:$HTTP_PORT/$ep")
     if [ "$code" != 200 ]; then
       echo "serve-smoke: GET /$ep returned $code" >&2
@@ -49,7 +50,7 @@ if command -v curl >/dev/null 2>&1; then
     fi
   done
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "$BIN/statusz.out" "$BIN/flightrecorder.out" <<'EOF'
+    python3 - "$BIN/statusz.out" "$BIN/flightrecorder.out" "$BIN/device.out" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     st = json.load(f)
@@ -59,15 +60,42 @@ assert st["tracing"] is True, st
 assert st["stages"], "statusz has no per-stage latencies: %r" % st
 for name, s in st["stages"].items():
     assert s["count"] > 0 and s["p99_ns"] >= s["p50_ns"], (name, s)
+assert st["device"]["media_writes"] > 0, st.get("device")
+assert st["device"]["max_wear"] >= 1, st["device"]
+assert st["rates"]["window_s"] > 0, st.get("rates")
 with open(sys.argv[2]) as f:
     recs = json.load(f)
 assert isinstance(recs, list) and recs, "flight recorder empty after load"
 assert all(r["kind"] in ("write", "read") for r in recs), recs[:3]
-print("serve-smoke: statusz has %d stages, flight recorder holds %d records"
-      % (len(st["stages"]), len(recs)))
+with open(sys.argv[3]) as f:
+    dev = json.load(f)
+assert dev["shards"] == 4 and dev["media_writes"] > 0, dev
+assert dev["banks"], "device document has no bank rows"
+for b in dev["banks"]:
+    assert {"shard", "bank", "writes", "max_wear"} <= set(b), b
+assert dev["wear"]["max"] >= 1 and dev["wear"]["mean"] > 0, dev["wear"]
+assert dev["dedup"]["writes"] > 0, dev["dedup"]
+assert dev["wear_hist"], "wear histogram empty after load"
+assert dev["media_writes"] == sum(b["writes"] for b in dev["banks"]), \
+    "bank rows do not sum to media writes"
+print("serve-smoke: statusz has %d stages, flight recorder holds %d records, "
+      "device doc has %d bank rows (max wear %d)"
+      % (len(st["stages"]), len(recs), len(dev["banks"]), dev["wear"]["max"]))
 EOF
   else
     echo "serve-smoke: python3 not found, skipping JSON validation"
+  fi
+
+  echo "serve-smoke: esdtop one-frame render"
+  if ! "$BIN/esdtop" -once -addr "http://127.0.0.1:$HTTP_PORT" >"$BIN/esdtop.out" 2>&1; then
+    echo "serve-smoke: esdtop -once failed:" >&2
+    cat "$BIN/esdtop.out" >&2
+    exit 1
+  fi
+  if ! grep -q "wear heatmap" "$BIN/esdtop.out"; then
+    echo "serve-smoke: esdtop frame missing wear heatmap:" >&2
+    cat "$BIN/esdtop.out" >&2
+    exit 1
   fi
 else
   echo "serve-smoke: curl not found, skipping endpoint checks"
