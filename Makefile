@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke check fuzz-smoke clean
+.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke cluster-smoke check check-cluster fuzz-smoke clean
 
 all: build vet test
 
@@ -58,11 +58,23 @@ figures:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# End-to-end smoke of the cluster stack: 3 esdserve nodes + esdrouter
+# (R=2), load through the router, SIGTERM one node, assert zero
+# client-visible errors and a truthful /statusz ring section.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # Differential checker: every scheme, single + sharded {1,8}, against the
 # map oracle with invariant audits. Any violation prints a replay command
 # (esdcheck -seed N -upto M) that reproduces it exactly.
 check:
 	$(GO) run ./cmd/esdcheck -ops 200000 -seed 1 -shards 1,8
+
+# Routed differential checker: oracle vs the consistent-hash router over
+# 3 real TCP nodes, with a reshard cutover at 40% and a node kill at 70%
+# of the stream. Replay violations with esdcheck -cluster -seed N -upto M.
+check-cluster:
+	$(GO) run ./cmd/esdcheck -cluster -ops 200000 -seed 1
 
 # 30 seconds per fuzz target — catches crashes, hangs and corpus
 # regressions, not deep state-space coverage. FUZZTIME=5s for quick runs.

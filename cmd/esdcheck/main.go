@@ -42,9 +42,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		coalesce   = fs.String("coalesce", "both", "coalescing for sharded variants: off, on or both")
 		concurrent = fs.Bool("concurrent", false, "also run the adversarial concurrent schedules")
 		verbose    = fs.Bool("v", false, "progress output")
+
+		// Cluster mode: differential-check a consistent-hash router over
+		// real in-process nodes instead of the engine matrix.
+		clusterMode  = fs.Bool("cluster", false, "check the cluster router over N in-process nodes (TCP data path)")
+		clusterNodes = fs.Int("cluster-nodes", 3, "initial backend count (cluster mode)")
+		replication  = fs.Int("replication", 2, "router replica factor (cluster mode)")
+		killAt       = fs.Int("kill-at", 0, "kill one node after this op index (0 = 70% of ops, <0 disables; cluster mode)")
+		reshardAt    = fs.Int("reshard-at", 0, "grow the ring by one node after this op index (0 = 40% of ops, <0 disables; cluster mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *clusterMode {
+		return runCluster(stdout, stderr, clusterArgs{
+			ops: *ops, seed: *seed, seeds: *seeds, upto: *upto,
+			nodes: *clusterNodes, replication: *replication,
+			killAt: *killAt, reshardAt: *reshardAt, verbose: *verbose,
+		})
 	}
 
 	cfg := check.Config{
@@ -124,6 +140,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stdout, "  %v\n", v)
 				}
 			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+type clusterArgs struct {
+	ops, seeds, upto   int
+	seed               uint64
+	nodes, replication int
+	killAt, reshardAt  int
+	verbose            bool
+}
+
+// runCluster drives the routed differential checker: oracle vs a
+// consistent-hash router over real TCP backends, with a node kill and a
+// reshard cutover injected mid-stream at deterministic op indices.
+func runCluster(stdout, stderr io.Writer, a clusterArgs) int {
+	failed := false
+	for s := a.seed; s < a.seed+uint64(a.seeds); s++ {
+		cfg := check.ClusterConfig{
+			Gen:         check.DefaultGen(),
+			Seed:        s,
+			Nodes:       a.nodes,
+			Replication: a.replication,
+			KillAt:      a.killAt,
+			ReshardAt:   a.reshardAt,
+			Upto:        a.upto,
+		}
+		cfg.Gen.Ops = a.ops
+		if a.verbose {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(stdout, "cluster seed %d: %d/%d ops\n", s, done, total)
+			}
+		}
+		start := time.Now()
+		res, err := check.RunCluster(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "esdcheck: cluster seed %d: %v\n", s, err)
+			return 2
+		}
+		if res.Ok() {
+			fmt.Fprintf(stdout, "cluster seed %d: OK — %d ops (%d writes, %d reads) routed over %d nodes r=%d in %v\n",
+				s, res.Ops, res.Writes, res.Reads, a.nodes, a.replication, time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		failed = true
+		fmt.Fprintf(stdout, "cluster seed %d: FAIL — %d violation(s):\n", s, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(stdout, "  %v\n", v)
+			fmt.Fprintf(stdout, "    replay: esdcheck -cluster -seed %d -upto %d\n", s, v.Op+1)
 		}
 	}
 	if failed {

@@ -27,6 +27,24 @@ func TestRunMultipleSeeds(t *testing.T) {
 	}
 }
 
+func TestRunClusterSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-cluster", "-ops", "3000", "-seed", "1"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "cluster seed 1: OK") {
+		t.Fatalf("no cluster OK line in output: %s", out.String())
+	}
+}
+
+func TestRunClusterRejectsUnreplicatedKill(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-cluster", "-ops", "100", "-replication", "1"}, &out, &errOut); code != 2 {
+		t.Fatalf("replication=1 with kill enabled: exit %d, want 2", code)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-coalesce", "sideways"}, &out, &errOut); code != 2 {

@@ -41,6 +41,7 @@ type workerStats struct {
 	timeout   uint64
 	errs      uint64
 	lastErr   error
+	target    string
 }
 
 func cliMain(args []string, stdout io.Writer) error {
@@ -48,6 +49,7 @@ func cliMain(args []string, stdout io.Writer) error {
 	fs.SetOutput(stdout)
 	var (
 		addr     = fs.String("addr", "http://localhost:8080", "server base URL (http) or host:port (tcp)")
+		targets  = fs.String("targets", "", "comma-separated endpoints; workers round-robin across them (overrides -addr)")
 		proto    = fs.String("proto", "http", "protocol: http or tcp")
 		n        = fs.Int("n", 10000, "total requests across all workers")
 		workers  = fs.Int("workers", 4, "concurrent workers (one connection each)")
@@ -68,16 +70,31 @@ func cliMain(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-writes and -dup must be in [0,1]")
 	}
 
-	newClient := func() (server.Client, error) {
+	// Workers pin to targets round-robin, so a multi-target run (e.g. the
+	// nodes of a cluster, or N routers) gets an even worker split and
+	// per-target latency attribution.
+	targetList := []string{*addr}
+	if *targets != "" {
+		targetList = targetList[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+		if len(targetList) == 0 {
+			return fmt.Errorf("-targets is empty after trimming")
+		}
+	}
+
+	newClient := func(target string) (server.Client, error) {
 		switch *proto {
 		case "http":
-			base := *addr
-			if !strings.Contains(base, "://") {
-				base = "http://" + base
+			if !strings.Contains(target, "://") {
+				target = "http://" + target
 			}
-			return server.NewHTTPClient(base), nil
+			return server.NewHTTPClient(target), nil
 		case "tcp":
-			return server.DialTCP(*addr)
+			return server.DialTCP(target)
 		default:
 			return nil, fmt.Errorf("unknown -proto %q (want http or tcp)", *proto)
 		}
@@ -89,10 +106,12 @@ func cliMain(args []string, stdout io.Writer) error {
 	var aborted atomic.Bool
 	start := time.Now()
 	for wi := 0; wi < *workers; wi++ {
-		c, err := newClient()
+		target := targetList[wi%len(targetList)]
+		c, err := newClient(target)
 		if err != nil {
 			return err
 		}
+		stats[wi].target = target
 		wg.Add(1)
 		go func(wi int, c server.Client) {
 			defer wg.Done()
@@ -152,27 +171,39 @@ func cliMain(args []string, stdout io.Writer) error {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
-	}
 	fmt.Fprintf(stdout, "esdload: %d ok, %d shed, %d timeout, %d errors in %v (%s, %d workers)\n",
 		ok, shed, timeouts, errs, elapsed.Round(time.Millisecond), *proto, *workers)
 	if ok > 0 {
 		fmt.Fprintf(stdout, "throughput: %.0f req/s\n", float64(ok)/elapsed.Seconds())
 		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
-			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+			pctOf(all, 0.50).Round(time.Microsecond), pctOf(all, 0.90).Round(time.Microsecond),
+			pctOf(all, 0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+	}
+	if len(targetList) > 1 {
+		perTarget := make(map[string][]time.Duration, len(targetList))
+		perOK := make(map[string]uint64, len(targetList))
+		for i := range stats {
+			perTarget[stats[i].target] = append(perTarget[stats[i].target], stats[i].latencies...)
+			perOK[stats[i].target] += stats[i].ok
+		}
+		for _, t := range targetList {
+			lat := perTarget[t]
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if len(lat) == 0 {
+				fmt.Fprintf(stdout, "target %s: %d ok\n", t, perOK[t])
+				continue
+			}
+			fmt.Fprintf(stdout, "target %s: %d ok  p50=%v p90=%v p99=%v\n", t, perOK[t],
+				pctOf(lat, 0.50).Round(time.Microsecond), pctOf(lat, 0.90).Round(time.Microsecond),
+				pctOf(lat, 0.99).Round(time.Microsecond))
+		}
 	}
 	if lastErr != nil {
 		fmt.Fprintf(stdout, "last error: %v\n", lastErr)
 	}
 
 	if *flush || *statsOut {
-		c, err := newClient()
+		c, err := newClient(targetList[0])
 		if err != nil {
 			return err
 		}
@@ -195,4 +226,12 @@ func cliMain(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d requests failed (last: %v)", errs, lastErr)
 	}
 	return nil
+}
+
+// pctOf indexes a sorted latency slice at quantile p.
+func pctOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/server"
+	"github.com/esdsim/esd/internal/shard"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	cfg := config.Default()
+	cfg.PCM.CapacityBytes = 1 << 26
+	cfg.Meta.EFITCacheBytes = 16 << 10
+	cfg.Meta.AMTCacheBytes = 16 << 10
+	eng, err := shard.New(cfg, "esd", shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(eng, server.Config{Addr: "127.0.0.1:0", TCPAddr: "127.0.0.1:0"})
+	if err != nil {
+		_ = eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = eng.Close()
+	})
+	return srv
+}
+
+func TestLoadSingleTarget(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	err := cliMain([]string{"-addr", srv.TCPAddr(), "-proto", "tcp", "-n", "400", "-workers", "2", "-space", "1024"}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "throughput:") {
+		t.Fatalf("no throughput line:\n%s", out.String())
+	}
+	// Single target: no per-target breakdown.
+	if strings.Contains(out.String(), "target ") {
+		t.Fatalf("unexpected per-target lines with one target:\n%s", out.String())
+	}
+}
+
+func TestLoadMultipleTargets(t *testing.T) {
+	a, b := startServer(t), startServer(t)
+	var out strings.Builder
+	args := []string{
+		"-targets", a.TCPAddr() + "," + b.TCPAddr(),
+		"-proto", "tcp", "-n", "400", "-workers", "4", "-space", "1024",
+	}
+	if err := cliMain(args, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	// Both targets must appear with their own latency percentiles.
+	for _, addr := range []string{a.TCPAddr(), b.TCPAddr()} {
+		if !strings.Contains(out.String(), "target "+addr+":") {
+			t.Fatalf("missing per-target line for %s:\n%s", addr, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "p99=") {
+		t.Fatalf("no percentile output:\n%s", out.String())
+	}
+}
+
+func TestLoadBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := cliMain([]string{"-n", "0"}, &out); err == nil {
+		t.Fatal("-n 0 accepted")
+	}
+	if err := cliMain([]string{"-targets", " , "}, &out); err == nil {
+		t.Fatal("blank -targets accepted")
+	}
+	if err := cliMain([]string{"-proto", "carrier-pigeon", "-n", "10", "-workers", "1"}, &out); err == nil {
+		t.Fatal("unknown -proto accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Command esdrouter fronts N esdserve nodes with a consistent-hash
+// router: it speaks the same binary TCP protocol as esdserve, hashes
+// each line address onto a virtual-node ring, probes node health, fails
+// over between replicas, and supports live resharding through an admin
+// endpoint.
+//
+// Serve mode:
+//
+//	esdrouter -tcp-addr :9000 -addr :9001 \
+//	    -nodes 127.0.0.1:8081@127.0.0.1:8080,127.0.0.1:8181@127.0.0.1:8180 \
+//	    -replication 2
+//
+// Each -nodes entry is tcpaddr[@httpaddr][=name]: the TCP address is the
+// data path, the optional HTTP address enables /readyz probing (TCP dial
+// probes otherwise), and the optional name pins the node's ring identity
+// (defaults to the TCP address — keep names stable across restarts or
+// the ring reshuffles).
+//
+// Admin mode (talks to a running router):
+//
+//	esdrouter -reshard -router http://localhost:9001 \
+//	    -add 127.0.0.1:8281@127.0.0.1:8280 -space 1000000
+//	esdrouter -reshard -router http://localhost:9001 -remove 127.0.0.1:8081 -space 1000000
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/esdsim/esd/internal/cluster"
+)
+
+func main() {
+	if err := cliMain(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "esdrouter:", err)
+		os.Exit(1)
+	}
+}
+
+// cliMain is the testable body. ready, when non-nil, receives the running
+// front-end and returns a channel whose close triggers shutdown.
+func cliMain(args []string, stdout io.Writer, ready func(*cluster.Server) <-chan struct{}) error {
+	fs := flag.NewFlagSet("esdrouter", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		tcpAddr     = fs.String("tcp-addr", ":9000", "binary-protocol listen address")
+		addr        = fs.String("addr", ":9001", "HTTP introspection/admin listen address (empty disables)")
+		nodesFlag   = fs.String("nodes", "", "comma-separated backends, each tcpaddr[@httpaddr][=name]")
+		vnodes      = fs.Int("vnodes", cluster.DefaultVNodes, "virtual ring points per node")
+		replication = fs.Int("replication", 1, "replicas per address (2 = primary + follower)")
+		retries     = fs.Int("retries", 1, "extra attempts per node before failing over")
+		timeout     = fs.Duration("timeout", 2*time.Second, "per-backend request deadline")
+		hedge       = fs.Duration("hedge", 0, "hedge reads at the follower after this delay (0 disables)")
+		readRepair  = fs.Int("read-repair", 64, "sample every Nth read for replica divergence (0 disables)")
+		probe       = fs.Duration("probe", time.Second, "health-probe interval")
+		poolCap     = fs.Int("pool-cap", 8, "idle connections kept per backend")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+
+		// Admin mode.
+		reshard   = fs.Bool("reshard", false, "admin mode: POST a reshard to a running router and exit")
+		routerURL = fs.String("router", "http://localhost:9001", "running router's HTTP address (admin mode)")
+		addFlag   = fs.String("add", "", "nodes to add, same syntax as -nodes (admin mode)")
+		remove    = fs.String("remove", "", "comma-separated node names to remove (admin mode)")
+		space     = fs.Uint64("space", 0, "logical address-space bound to scan (admin mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *reshard {
+		return runReshard(stdout, *routerURL, *addFlag, *remove, *space)
+	}
+
+	nodes, err := parseNodes(*nodesFlag)
+	if err != nil {
+		return err
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("-nodes is required (comma-separated tcpaddr[@httpaddr][=name])")
+	}
+
+	r, err := cluster.NewRouter(cluster.Config{
+		Nodes:           nodes,
+		VNodes:          *vnodes,
+		Replication:     *replication,
+		RetriesPerNode:  *retries,
+		RequestTimeout:  *timeout,
+		HedgeAfter:      *hedge,
+		ReadRepairEvery: *readRepair,
+		ProbeInterval:   *probe,
+		PoolMaxIdle:     *poolCap,
+		Log:             os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	srv, err := cluster.NewServer(r, cluster.ServeConfig{TCPAddr: *tcpAddr, HTTPAddr: *addr})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "esdrouter: nodes=%d replication=%d tcp=%s", len(nodes), *replication, srv.TCPAddr())
+	if srv.HTTPAddr() != "" {
+		fmt.Fprintf(stdout, " http=%s", srv.HTTPAddr())
+	}
+	fmt.Fprintln(stdout)
+
+	var stop <-chan struct{}
+	if ready != nil {
+		stop = ready(srv)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		ch := make(chan struct{})
+		go func() { <-sig; close(ch) }()
+		stop = ch
+	}
+	<-stop
+
+	fmt.Fprintln(stdout, "esdrouter: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "esdrouter: drained clean")
+	return nil
+}
+
+// parseNodes parses the -nodes syntax: comma-separated entries of
+// tcpaddr[@httpaddr][=name].
+func parseNodes(s string) ([]cluster.Node, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []cluster.Node
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		var n cluster.Node
+		if at := strings.LastIndex(entry, "="); at >= 0 {
+			n.Name = entry[at+1:]
+			entry = entry[:at]
+		}
+		if at := strings.LastIndex(entry, "@"); at >= 0 {
+			n.HTTPAddr = entry[at+1:]
+			entry = entry[:at]
+		}
+		n.TCPAddr = entry
+		if n.TCPAddr == "" {
+			return nil, fmt.Errorf("node entry %q has no TCP address", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runReshard POSTs a membership delta to a running router's
+// /admin/reshard and prints the migration report.
+func runReshard(stdout io.Writer, routerURL, addSpec, removeSpec string, space uint64) error {
+	if space == 0 {
+		return fmt.Errorf("-reshard needs -space (the logical address bound the workload uses)")
+	}
+	add, err := parseNodes(addSpec)
+	if err != nil {
+		return err
+	}
+	var remove []string
+	for _, name := range strings.Split(removeSpec, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			remove = append(remove, name)
+		}
+	}
+	if len(add) == 0 && len(remove) == 0 {
+		return fmt.Errorf("-reshard needs -add and/or -remove")
+	}
+	body, err := json.Marshal(cluster.ReshardRequest{Add: add, Remove: remove, Space: space})
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(routerURL, "/") + "/admin/reshard"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reshard failed: %s: %s", resp.Status, bytes.TrimSpace(payload))
+	}
+	var rep cluster.ReshardReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return fmt.Errorf("bad reshard report: %w", err)
+	}
+	fmt.Fprintf(stdout, "esdrouter: resharded epoch %d -> %d: moved=%d skipped_dirty=%d unreadable=%d in %.1fms\n",
+		rep.FromEpoch, rep.ToEpoch, rep.Moved, rep.SkippedDirty, rep.Unreadable, rep.DurationMs)
+	for node, n := range rep.PerNode {
+		fmt.Fprintf(stdout, "esdrouter:   %s += %d records\n", node, n)
+	}
+	return nil
+}

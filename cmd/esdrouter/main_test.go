@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseNodes(t *testing.T) {
+	nodes, err := parseNodes("127.0.0.1:8081@127.0.0.1:8080=alpha, 127.0.0.1:8181@127.0.0.1:8180, 127.0.0.1:8281")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("parsed %d nodes, want 3", len(nodes))
+	}
+	if nodes[0].TCPAddr != "127.0.0.1:8081" || nodes[0].HTTPAddr != "127.0.0.1:8080" || nodes[0].Name != "alpha" {
+		t.Fatalf("node 0 = %+v", nodes[0])
+	}
+	if nodes[1].TCPAddr != "127.0.0.1:8181" || nodes[1].HTTPAddr != "127.0.0.1:8180" || nodes[1].Name != "" {
+		t.Fatalf("node 1 = %+v", nodes[1])
+	}
+	if nodes[2].TCPAddr != "127.0.0.1:8281" || nodes[2].HTTPAddr != "" {
+		t.Fatalf("node 2 = %+v", nodes[2])
+	}
+}
+
+func TestParseNodesEmpty(t *testing.T) {
+	nodes, err := parseNodes("  ")
+	if err != nil || nodes != nil {
+		t.Fatalf("blank spec: nodes=%v err=%v", nodes, err)
+	}
+	if _, err := parseNodes("@127.0.0.1:8080"); err == nil {
+		t.Fatal("entry without a TCP address accepted")
+	}
+}
+
+func TestCliMainRejectsBadFlags(t *testing.T) {
+	var sink discard
+	if err := cliMain([]string{"-tcp-addr", ":0", "-addr", ""}, &sink, nil); err == nil {
+		t.Fatal("missing -nodes accepted")
+	}
+	if err := cliMain([]string{"-reshard", "-space", "100"}, &sink, nil); err == nil {
+		t.Fatal("reshard with no delta accepted")
+	}
+	if err := cliMain([]string{"-reshard", "-add", "127.0.0.1:1"}, &sink, nil); err == nil {
+		t.Fatal("reshard without -space accepted")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

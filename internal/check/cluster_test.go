@@ -1,0 +1,60 @@
+package check
+
+import "testing"
+
+// A modest routed run with both fault injections live: reshard at 40%,
+// node kill at 70%. Any divergence from the oracle fails.
+func TestRunClusterDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed differential run is TCP-heavy")
+	}
+	cfg := ClusterConfig{Gen: DefaultGen(), Seed: 1}
+	cfg.Gen.Ops = 20_000
+	cfg.Gen.Addrs = 1 << 11
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			t.Errorf("%v", v)
+		}
+		t.Fatalf("cluster differential run found %d violation(s)", len(res.Violations))
+	}
+	if res.Ops != 20_000 {
+		t.Fatalf("executed %d ops, want 20000", res.Ops)
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate op mix: writes=%d reads=%d", res.Writes, res.Reads)
+	}
+}
+
+// The guard that keeps the kill injection honest: with R=1 a node kill
+// loses data, so the checker refuses the configuration outright.
+func TestRunClusterRejectsUnreplicatedKill(t *testing.T) {
+	cfg := ClusterConfig{Gen: DefaultGen(), Seed: 1, Replication: 1}
+	cfg.Gen.Ops = 100
+	if _, err := RunCluster(cfg); err == nil {
+		t.Fatal("kill injection with replication=1 accepted")
+	}
+}
+
+// Prefix replay: -upto stops before the injections without error.
+func TestRunClusterUptoPrefix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed differential run is TCP-heavy")
+	}
+	cfg := ClusterConfig{Gen: DefaultGen(), Seed: 7, Upto: 500}
+	cfg.Gen.Ops = 20_000
+	cfg.Gen.Addrs = 1 << 10
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("prefix run violations: %v", res.Violations)
+	}
+	if res.Ops != 500 {
+		t.Fatalf("prefix executed %d ops, want 500", res.Ops)
+	}
+}

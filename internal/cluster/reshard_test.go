@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// Growing the cluster mid-flight: data written under the old ring must be
+// readable after the cutover, the epoch must bump, and the new node must
+// actually own (and serve) part of the space.
+func TestReshardGrowsCluster(t *testing.T) {
+	_, r := startCluster(t, 3, Config{})
+	const space = 512
+	for a := uint64(0); a < space; a++ {
+		if _, err := r.Write(a, lineFor(a)); err != nil {
+			t.Fatalf("write %d: %v", a, err)
+		}
+	}
+
+	added := startBackend(t, "node3")
+	newNodes := append(append([]Node{}, r.Ring().Nodes()...), added.node)
+	rep, err := r.Reshard(newNodes, space)
+	if err != nil {
+		t.Fatalf("reshard: %v", err)
+	}
+	if rep.FromEpoch != 1 || rep.ToEpoch != 2 {
+		t.Fatalf("epochs = %d -> %d, want 1 -> 2", rep.FromEpoch, rep.ToEpoch)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("router epoch = %d after reshard, want 2", r.Epoch())
+	}
+	if rep.Moved == 0 {
+		t.Fatal("reshard moved nothing — new node owns no ranges?")
+	}
+	if rep.Unreadable != 0 {
+		t.Fatalf("reshard could not read %d addresses with all nodes up", rep.Unreadable)
+	}
+	if rep.PerNode["node3"] == 0 {
+		t.Fatal("no records replayed onto the added node")
+	}
+	if r.Resharding() {
+		t.Fatal("router still reports resharding after cutover")
+	}
+
+	// Every address reads back its pre-reshard content through the new ring.
+	for a := uint64(0); a < space; a++ {
+		resp, err := r.Read(a)
+		if err != nil {
+			t.Fatalf("read %d after reshard: %v", a, err)
+		}
+		if !resp.Hit {
+			t.Fatalf("read %d after reshard: data lost in migration", a)
+		}
+		want := lineFor(a)
+		if string(resp.Data) != string(want[:]) {
+			t.Fatalf("read %d after reshard: wrong bytes", a)
+		}
+	}
+	// The added node serves a share of reads under the new ring.
+	if reads := r.state["node3"].reads.Load(); reads == 0 {
+		t.Fatal("added node served no reads after cutover")
+	}
+	if r.LastReshard() == nil {
+		t.Fatal("LastReshard lost the report")
+	}
+}
+
+// Shrinking: data homed on a departing node must move to survivors before
+// its pool is dropped.
+func TestReshardRemovesNode(t *testing.T) {
+	_, r := startCluster(t, 3, Config{})
+	const space = 384
+	for a := uint64(0); a < space; a++ {
+		if _, err := r.Write(a, lineFor(a + 7)); err != nil {
+			t.Fatalf("write %d: %v", a, err)
+		}
+	}
+
+	victim := r.Ring().Node(0).Name
+	newNodes, err := r.reshardNodes(nil, []string{victim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Reshard(newNodes, space)
+	if err != nil {
+		t.Fatalf("reshard: %v", err)
+	}
+	if rep.Moved == 0 {
+		t.Fatal("removing a node moved no data")
+	}
+	if _, ok := r.Ring().NodeByName(victim); ok {
+		t.Fatalf("removed node %s still in the ring", victim)
+	}
+	r.mu.RLock()
+	_, tracked := r.state[victim]
+	r.mu.RUnlock()
+	if tracked {
+		t.Fatalf("removed node %s still tracked (pool not dropped)", victim)
+	}
+	for a := uint64(0); a < space; a++ {
+		resp, err := r.Read(a)
+		if err != nil {
+			t.Fatalf("read %d after shrink: %v", a, err)
+		}
+		if !resp.Hit {
+			t.Fatalf("read %d after shrink: data lost", a)
+		}
+		want := lineFor(a + 7)
+		if string(resp.Data) != string(want[:]) {
+			t.Fatalf("read %d after shrink: wrong bytes", a)
+		}
+	}
+}
+
+func TestReshardNodesDelta(t *testing.T) {
+	_, r := startCluster(t, 2, Config{})
+	if _, err := r.reshardNodes(nil, []string{"nope"}); err == nil {
+		t.Fatal("removing an unknown node accepted")
+	}
+	all := []string{r.Ring().Node(0).Name, r.Ring().Node(1).Name}
+	if _, err := r.reshardNodes(nil, all); err == nil {
+		t.Fatal("emptying the ring accepted")
+	}
+	out, err := r.reshardNodes([]Node{{TCPAddr: "127.0.0.1:1"}}, all[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("delta yielded %d nodes, want 2", len(out))
+	}
+}

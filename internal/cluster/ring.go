@@ -1,0 +1,178 @@
+// Package cluster scales the serving stack past one machine: a stateless
+// router consistent-hashes logical line addresses over N backend esdserve
+// nodes and speaks the existing binary TCP protocol to them, with
+// per-node health probing (/readyz), bounded retry/failover/hedging
+// budgets, optional R=2 replication with read repair, and live
+// resharding (snapshot + replay + epoch flip) when the node set changes.
+//
+// Address-partitioned routing deliberately mirrors the single-machine
+// sharding story (DESIGN.md §7): a logical address has exactly one home
+// node per ring epoch, so dedup locality — the paper's per-region
+// selective dedup — is preserved per node and no cross-node coordination
+// exists on the data path. The router keeps no durable state of its own:
+// everything it knows is reconstructed from its node list and live
+// probes, so any number of routers can front the same node set.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Node identifies one backend esdserve process.
+type Node struct {
+	// Name is the stable identity used for ring placement; it defaults to
+	// TCPAddr. Renaming a node moves its ring ranges.
+	Name string `json:"name"`
+	// TCPAddr is the binary-protocol data-path address.
+	TCPAddr string `json:"tcp_addr"`
+	// HTTPAddr, when non-empty, is probed at /readyz for health; when
+	// empty the prober falls back to TCP dial probes.
+	HTTPAddr string `json:"http_addr,omitempty"`
+}
+
+func (n Node) String() string { return n.Name }
+
+// withDefaults fills Name from TCPAddr.
+func (n Node) withDefaults() Node {
+	if n.Name == "" {
+		n.Name = n.TCPAddr
+	}
+	return n
+}
+
+// Ring is an immutable consistent-hash ring: each node contributes
+// VNodes virtual points, and a logical address is owned by the first
+// point at or after its hash (wrapping). Replicas are the first R
+// distinct nodes clockwise from that point, so losing a node sheds its
+// ranges onto ring successors instead of rehashing the world — the
+// property that makes both failover and resharding incremental.
+type Ring struct {
+	nodes  []Node
+	vnodes int
+	points []ringPoint // sorted by hash
+	epoch  uint64
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultVNodes is the default virtual-node count per node: enough that
+// a 3-node ring splits within a few percent of evenly.
+const DefaultVNodes = 64
+
+// NewRing builds a ring of nodes with vnodes virtual points per node
+// (DefaultVNodes when <= 0) at the given epoch. Node names must be
+// unique.
+func NewRing(nodes []Node, vnodes int, epoch uint64) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, epoch: epoch}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		n = n.withDefaults()
+		if n.TCPAddr == "" {
+			return nil, fmt.Errorf("cluster: node %q has no TCP address", n.Name)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+		r.nodes = append(r.nodes, n)
+	}
+	r.points = make([]ringPoint, 0, len(r.nodes)*vnodes)
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(n.Name, v), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// pointHash places virtual point v of the named node on the ring. The
+// FNV sum of short similar strings clusters, so it is passed through the
+// same finalizer as addrHash to spread points uniformly.
+func pointHash(name string, v int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	_, _ = h.Write([]byte{'#', byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	return addrHash(h.Sum64())
+}
+
+// addrHash maps a logical line address onto the ring (splitmix64
+// finalizer: cheap, well-mixed, and independent of the shard-striping
+// modulus the backends use internally).
+func addrHash(addr uint64) uint64 {
+	x := addr + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Epoch returns the ring's configuration epoch (bumped by each reshard).
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
+// VNodes returns the virtual points per node.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Nodes returns the member nodes (do not mutate).
+func (r *Ring) Nodes() []Node { return r.nodes }
+
+// Node returns the i'th member.
+func (r *Ring) Node(i int) Node { return r.nodes[i] }
+
+// NodeByName finds a member by name.
+func (r *Ring) NodeByName(name string) (Node, bool) {
+	for _, n := range r.nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// ReplicasInto writes the indices of the first min(want, len(nodes))
+// distinct nodes clockwise from addr's ring position into buf (the
+// replica set: buf[0] is the primary) and returns how many it wrote. It
+// allocates nothing, keeping the per-request routing path cheap.
+func (r *Ring) ReplicasInto(addr uint64, want int, buf []int) int {
+	if want > len(r.nodes) {
+		want = len(r.nodes)
+	}
+	if want > len(buf) {
+		want = len(buf)
+	}
+	h := addrHash(addr)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	n := 0
+	for i := 0; i < len(r.points) && n < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		dup := false
+		for j := 0; j < n; j++ {
+			if buf[j] == p.node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf[n] = p.node
+			n++
+		}
+	}
+	return n
+}
+
+// Owner returns addr's primary node.
+func (r *Ring) Owner(addr uint64) Node {
+	var buf [1]int
+	r.ReplicasInto(addr, 1, buf[:])
+	return r.nodes[buf[0]]
+}

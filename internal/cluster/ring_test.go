@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func testNodes(n int) []Node {
+	var out []Node
+	for i := 0; i < n; i++ {
+		out = append(out, Node{Name: string(rune('a' + i)), TCPAddr: "127.0.0.1:0"})
+	}
+	return out
+}
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	r1, err := NewRing(testNodes(3), 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(testNodes(3), 64, 1)
+	for addr := uint64(0); addr < 4096; addr++ {
+		if r1.Owner(addr).Name != r2.Owner(addr).Name {
+			t.Fatalf("addr %d: ownership differs between identical rings", addr)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testNodes(4), DefaultVNodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const addrs = 1 << 14
+	for addr := uint64(0); addr < addrs; addr++ {
+		counts[r.Owner(addr).Name]++
+	}
+	want := addrs / 4
+	for name, got := range counts {
+		// Virtual nodes keep the split within a 2x envelope of even; in
+		// practice it is far tighter, but the test should not flake on a
+		// hash nudge.
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %s owns %d of %d addresses (even share %d)", name, got, addrs, want)
+		}
+	}
+}
+
+func TestRingReplicasDistinct(t *testing.T) {
+	r, err := NewRing(testNodes(3), 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [3]int
+	for addr := uint64(0); addr < 4096; addr++ {
+		n := r.ReplicasInto(addr, 2, buf[:])
+		if n != 2 {
+			t.Fatalf("addr %d: got %d replicas, want 2", addr, n)
+		}
+		if buf[0] == buf[1] {
+			t.Fatalf("addr %d: duplicate replica node %d", addr, buf[0])
+		}
+	}
+}
+
+func TestRingReplicasCappedByMembership(t *testing.T) {
+	r, err := NewRing(testNodes(2), 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [4]int
+	if n := r.ReplicasInto(7, 4, buf[:]); n != 2 {
+		t.Fatalf("2-node ring yielded %d replicas, want 2", n)
+	}
+}
+
+// Consistent hashing's point: adding a node moves only ~1/N of the
+// address space, not everything.
+func TestRingIncrementalMovement(t *testing.T) {
+	old, err := NewRing(testNodes(3), DefaultVNodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing(testNodes(4), DefaultVNodes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const addrs = 1 << 14
+	moved := 0
+	for addr := uint64(0); addr < addrs; addr++ {
+		if old.Owner(addr).Name != grown.Owner(addr).Name {
+			moved++
+		}
+	}
+	// Ideal movement is 1/4 of addresses; fail above 1/2.
+	if moved > addrs/2 {
+		t.Fatalf("adding one node to three moved %d/%d addresses (want about 1/4)", moved, addrs)
+	}
+	if moved == 0 {
+		t.Fatal("adding a node moved nothing — ring ignores membership?")
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 8, 1); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	dup := []Node{{Name: "x", TCPAddr: "a:1"}, {Name: "x", TCPAddr: "b:1"}}
+	if _, err := NewRing(dup, 8, 1); err == nil {
+		t.Fatal("duplicate node name accepted")
+	}
+	if _, err := NewRing([]Node{{Name: "x"}}, 8, 1); err == nil {
+		t.Fatal("node without TCP address accepted")
+	}
+}

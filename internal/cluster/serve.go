@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/server"
+)
+
+// ServeConfig parameterizes a cluster Server.
+type ServeConfig struct {
+	// TCPAddr is the binary-protocol data-path listen address (":0"
+	// picks a free port).
+	TCPAddr string
+	// HTTPAddr, when non-empty, serves /healthz, /readyz, /statusz and
+	// the /admin/reshard endpoint.
+	HTTPAddr string
+}
+
+// Server fronts a Router with the same binary TCP protocol esdserve
+// speaks, so esdload (and any protocol client) talks to a cluster
+// exactly as it talks to one node, plus an HTTP introspection surface
+// whose /statusz carries the ring section.
+type Server struct {
+	r *Router
+
+	tcpLn  net.Listener
+	httpLn net.Listener
+	httpSr *http.Server
+
+	inflight sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining chan struct{}
+	drainMu  sync.Once
+	start    time.Time
+}
+
+// NewServer listens and starts serving the router. The router's
+// lifetime stays with the caller: Shutdown stops the listeners but does
+// not Close the router.
+func NewServer(r *Router, cfg ServeConfig) (*Server, error) {
+	s := &Server{
+		r:        r,
+		conns:    make(map[net.Conn]struct{}),
+		draining: make(chan struct{}),
+		start:    time.Now(),
+	}
+	ln, err := net.Listen("tcp", cfg.TCPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen tcp %s: %w", cfg.TCPAddr, err)
+	}
+	s.tcpLn = ln
+	go s.acceptTCP()
+	if cfg.HTTPAddr != "" {
+		hln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("cluster: listen http %s: %w", cfg.HTTPAddr, err)
+		}
+		s.httpLn = hln
+		s.httpSr = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+		go func() { _ = s.httpSr.Serve(hln) }()
+	}
+	return s, nil
+}
+
+// TCPAddr returns the bound data-path address.
+func (s *Server) TCPAddr() string { return s.tcpLn.Addr().String() }
+
+// HTTPAddr returns the bound introspection address ("" when disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Ready reports readiness: serving and at least one healthy node.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.draining:
+		return false
+	default:
+	}
+	return s.r.HealthyNodes() > 0
+}
+
+// Shutdown stops accepting, finishes in-flight frames and closes the
+// listeners. On ctx expiry remaining connections are cut.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Do(func() { close(s.draining) })
+	var firstErr error
+	_ = s.tcpLn.Close()
+	if s.httpSr != nil {
+		if err := s.httpSr.Shutdown(ctx); err != nil {
+			firstErr = err
+			_ = s.httpSr.Close()
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		if firstErr == nil {
+			firstErr = ctx.Err()
+		}
+	}
+	return firstErr
+}
+
+func (s *Server) acceptTCP() {
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			return
+		}
+		select {
+		case <-s.draining:
+			_ = conn.Close()
+			continue
+		default:
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.inflight.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		_ = conn.Close()
+		s.inflight.Done()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var op [1]byte
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		if err := readFull(br, op[:]); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				select {
+				case <-s.draining:
+					return
+				default:
+					continue
+				}
+			}
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if !s.serveFrame(br, bw, op[0]) {
+			return
+		}
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// serveFrame proxies one protocol frame through the router. The wire
+// format is identical to internal/server's (proto.go); only the
+// execution differs — the router fans the op out to the owning nodes.
+func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
+	switch op {
+	case server.OpWrite:
+		var req [8 + ecc.LineSize]byte
+		if readFull(br, req[:]) != nil {
+			return false
+		}
+		var line ecc.Line
+		copy(line[:], req[8:])
+		addr := binary.LittleEndian.Uint64(req[:8])
+		out, err := s.r.Write(addr, line)
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		var resp [1 + 1 + 8 + 8]byte
+		resp[0] = server.StatusOK
+		if out.Dedup {
+			resp[1] = 1
+		}
+		binary.LittleEndian.PutUint64(resp[2:], out.PhysAddr)
+		binary.LittleEndian.PutUint64(resp[10:], uint64(out.LatencyNs))
+		_, werr := bw.Write(resp[:])
+		return werr == nil
+	case server.OpRead:
+		var req [8]byte
+		if readFull(br, req[:]) != nil {
+			return false
+		}
+		addr := binary.LittleEndian.Uint64(req[:])
+		res, err := s.r.Read(addr)
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		var resp [1 + 1 + ecc.LineSize + 8]byte
+		resp[0] = server.StatusOK
+		if res.Hit {
+			resp[1] = 1
+		}
+		copy(resp[2:], res.Data)
+		binary.LittleEndian.PutUint64(resp[2+ecc.LineSize:], uint64(res.LatencyNs))
+		_, werr := bw.Write(resp[:])
+		return werr == nil
+	case server.OpFlush:
+		if err := s.r.Flush(); err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		return writeStatus(bw, server.StatusOK)
+	case server.OpStats:
+		sum, err := s.r.Stats()
+		if err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		payload, err := json.Marshal(sum)
+		if err != nil {
+			return writeStatus(bw, server.StatusBadRequest)
+		}
+		var head [5]byte
+		head[0] = server.StatusOK
+		binary.LittleEndian.PutUint32(head[1:], uint32(len(payload)))
+		if _, err := bw.Write(head[:]); err != nil {
+			return false
+		}
+		_, werr := bw.Write(payload)
+		return werr == nil
+	default:
+		return writeStatus(bw, server.StatusBadRequest)
+	}
+}
+
+// errStatus maps router errors onto protocol statuses. A replica-level
+// flow-control error that survived the retry budget keeps its own
+// status; total routing failure is StatusUnavailable.
+func errStatus(err error) byte {
+	switch {
+	case errors.Is(err, ErrNoReplica):
+		return server.StatusUnavailable
+	case errors.Is(err, server.ErrOverloaded):
+		return server.StatusOverloaded
+	case errors.Is(err, server.ErrTimeout):
+		return server.StatusTimeout
+	case errors.Is(err, server.ErrClosing):
+		return server.StatusClosing
+	default:
+		return server.StatusBadRequest
+	}
+}
+
+func writeStatus(bw *bufio.Writer, st byte) bool {
+	return bw.WriteByte(st) == nil
+}
+
+func readFull(r io.Reader, b []byte) error {
+	_, err := io.ReadFull(r, b)
+	return err
+}
+
+// NodeStatus is one backend's row in the /statusz ring section.
+type NodeStatus struct {
+	Name      string `json:"name"`
+	TCPAddr   string `json:"tcp_addr"`
+	HTTPAddr  string `json:"http_addr,omitempty"`
+	Healthy   bool   `json:"healthy"`
+	Writes    uint64 `json:"writes"`
+	Reads     uint64 `json:"reads"`
+	Errors    uint64 `json:"errors"`
+	ProbeErrs uint64 `json:"probe_errors"`
+}
+
+// Status is the router's /statusz document: the ring section plus the
+// routing budgets and counters.
+type Status struct {
+	Epoch       uint64         `json:"epoch"`
+	VNodes      int            `json:"vnodes"`
+	Replication int            `json:"replication"`
+	Nodes       []NodeStatus   `json:"nodes"`
+	Healthy     int            `json:"healthy_nodes"`
+	Resharding  bool           `json:"resharding"`
+	LastReshard *ReshardReport `json:"last_reshard,omitempty"`
+	Retries     uint64         `json:"retries"`
+	Failovers   uint64         `json:"failovers"`
+	Hedges      uint64         `json:"hedges"`
+	ReadRepairs uint64         `json:"read_repairs"`
+	UptimeS     float64        `json:"uptime_s"`
+}
+
+// Status builds the live router status document.
+func (s *Server) Status() Status {
+	r := s.r
+	ring := r.Ring()
+	st := Status{
+		Epoch:       ring.Epoch(),
+		VNodes:      ring.VNodes(),
+		Replication: r.cfg.Replication,
+		Resharding:  r.Resharding(),
+		LastReshard: r.LastReshard(),
+		Retries:     r.retries.Load(),
+		Failovers:   r.failovers.Load(),
+		Hedges:      r.hedges.Load(),
+		ReadRepairs: r.repairs.Load(),
+		UptimeS:     time.Since(s.start).Seconds(),
+	}
+	for _, ns := range r.allStates() {
+		row := NodeStatus{
+			Name:      ns.node.Name,
+			TCPAddr:   ns.node.TCPAddr,
+			HTTPAddr:  ns.node.HTTPAddr,
+			Healthy:   ns.up.Load(),
+			Writes:    ns.writes.Load(),
+			Reads:     ns.reads.Load(),
+			Errors:    ns.errs.Load(),
+			ProbeErrs: ns.probeErrs.Load(),
+		}
+		if row.Healthy {
+			st.Healthy++
+		}
+		st.Nodes = append(st.Nodes, row)
+	}
+	return st
+}
+
+func (s *Server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		if !s.Ready() {
+			http.Error(w, "no healthy backend", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, s.Status())
+	})
+	mux.HandleFunc("/admin/reshard", s.handleReshard)
+	return mux
+}
+
+// ReshardRequest is the /admin/reshard POST body: a membership delta
+// plus the address-space bound to scan.
+type ReshardRequest struct {
+	Add    []Node   `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+	Space  uint64   `json:"space"`
+}
+
+func (s *Server) handleReshard(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var body ReshardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20)).Decode(&body); err != nil {
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if body.Space == 0 {
+		http.Error(w, "space must be positive (the scanned logical address bound)", http.StatusBadRequest)
+		return
+	}
+	if len(body.Add) == 0 && len(body.Remove) == 0 {
+		http.Error(w, "nothing to do: empty add and remove", http.StatusBadRequest)
+		return
+	}
+	nodes, err := s.r.reshardNodes(body.Add, body.Remove)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.r.Reshard(nodes, body.Space)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/esdsim/esd/internal/server"
+)
+
+func startClusterServer(t *testing.T, n int, cfg Config) ([]*testBackend, *Router, *Server) {
+	t.Helper()
+	backends, r := startCluster(t, n, cfg)
+	s, err := NewServer(r, ServeConfig{TCPAddr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return backends, r, s
+}
+
+// The cluster front-end speaks the exact same wire protocol as a single
+// esdserve node: a stock TCPClient must work against it unmodified.
+func TestClusterServerProxiesProtocol(t *testing.T) {
+	_, _, s := startClusterServer(t, 2, Config{Replication: 2})
+	c, err := server.DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const addrs = 64
+	for a := uint64(0); a < addrs; a++ {
+		if _, err := c.Write(a, lineFor(a)); err != nil {
+			t.Fatalf("write %d through cluster server: %v", a, err)
+		}
+	}
+	for a := uint64(0); a < addrs; a++ {
+		resp, err := c.Read(a)
+		if err != nil {
+			t.Fatalf("read %d through cluster server: %v", a, err)
+		}
+		if !resp.Hit {
+			t.Fatalf("read %d: miss after write", a)
+		}
+		want := lineFor(a)
+		if string(resp.Data) != string(want[:]) {
+			t.Fatalf("read %d: wrong bytes", a)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush through cluster server: %v", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats through cluster server: %v", err)
+	}
+	// R=2 on a 2-node ring: every write lands on both nodes.
+	if stats.Writes < addrs {
+		t.Fatalf("aggregated stats report %d writes, want >= %d", stats.Writes, addrs)
+	}
+	if stats.Shards == 0 {
+		t.Fatal("aggregated stats report zero shards")
+	}
+}
+
+func TestClusterServerStatuszAndReadyz(t *testing.T) {
+	backends, r, s := startClusterServer(t, 2, Config{Replication: 2})
+
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d with healthy backends, want 200", resp.StatusCode)
+	}
+
+	var st Status
+	getJSON(t, "http://"+s.HTTPAddr()+"/statusz", &st)
+	if st.Epoch != 1 {
+		t.Fatalf("statusz epoch = %d, want 1", st.Epoch)
+	}
+	if st.Replication != 2 {
+		t.Fatalf("statusz replication = %d, want 2", st.Replication)
+	}
+	if len(st.Nodes) != 2 || st.Healthy != 2 {
+		t.Fatalf("statusz nodes=%d healthy=%d, want 2/2", len(st.Nodes), st.Healthy)
+	}
+
+	// Kill every backend: the prober marks them down and /readyz flips.
+	for _, b := range backends {
+		b.kill(t)
+	}
+	for _, b := range backends {
+		name := b.node.Name
+		deadline := time.Now().Add(5 * time.Second)
+		for r.Healthy(name) {
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s still healthy long after being killed", name)
+			}
+			r.ProbeOnce()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	resp, err = http.Get("http://" + s.HTTPAddr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with all backends down, want 503", resp.StatusCode)
+	}
+}
+
+func TestClusterServerAdminReshard(t *testing.T) {
+	_, r, s := startClusterServer(t, 2, Config{})
+	const space = 256
+	for a := uint64(0); a < space; a++ {
+		if _, err := r.Write(a, lineFor(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	url := "http://" + s.HTTPAddr() + "/admin/reshard"
+
+	// GET is rejected; malformed and empty requests are 400s.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/reshard = %d, want 405", resp.StatusCode)
+	}
+	for _, bad := range []string{"{not json", `{"space":0,"add":[{"tcp_addr":"x"}]}`, `{"space":10}`} {
+		resp, err = http.Post(url, "application/json", bytes.NewBufferString(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("POST %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// A real grow: add a third node, verify the report and the epoch flip.
+	added := startBackend(t, "grown")
+	body, _ := json.Marshal(ReshardRequest{
+		Add:   []Node{added.node},
+		Space: space,
+	})
+	resp, err = http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ReshardReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reshard POST = %d, want 200", resp.StatusCode)
+	}
+	if rep.ToEpoch != 2 || rep.Moved == 0 {
+		t.Fatalf("reshard report epoch=%d moved=%d, want epoch 2 and moved > 0", rep.ToEpoch, rep.Moved)
+	}
+
+	var st Status
+	getJSON(t, "http://"+s.HTTPAddr()+"/statusz", &st)
+	if st.Epoch != 2 || len(st.Nodes) != 3 {
+		t.Fatalf("post-reshard statusz epoch=%d nodes=%d, want 2/3", st.Epoch, len(st.Nodes))
+	}
+	if st.LastReshard == nil {
+		t.Fatal("statusz missing last_reshard after a reshard")
+	}
+	for a := uint64(0); a < space; a++ {
+		got, err := r.Read(a)
+		if err != nil || !got.Hit {
+			t.Fatalf("read %d after admin reshard: err=%v hit=%v", a, err, got.Hit)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(fmt.Errorf("decode %s: %w", url, err))
+	}
+}

@@ -24,6 +24,10 @@ var (
 	ErrTimeout = errors.New("server: request timed out")
 	// ErrClosing reports HTTP 503 / StatusClosing: the server is draining.
 	ErrClosing = errors.New("server: closing")
+	// ErrUnavailable reports StatusUnavailable: a cluster router found no
+	// healthy replica for the address (every candidate node was down or
+	// exhausted its retry budget).
+	ErrUnavailable = errors.New("server: no healthy replica")
 )
 
 // Client issues requests against a Server. Implemented by HTTPClient and
@@ -138,6 +142,8 @@ func statusErr(st byte) error {
 		return ErrTimeout
 	case StatusClosing:
 		return ErrClosing
+	case StatusUnavailable:
+		return ErrUnavailable
 	default:
 		return fmt.Errorf("server: %s", statusText(st))
 	}
@@ -242,5 +248,12 @@ func (c *TCPClient) Stats() (StatsResponse, error) {
 	}
 	return out, nil
 }
+
+// SetDeadline bounds every subsequent round trip on the underlying
+// connection (zero clears it). The cluster router sets a per-request
+// deadline so a wedged backend costs a bounded wait, not a hang; after an
+// expired deadline the connection's framing is unusable and it must be
+// discarded, not reused.
+func (c *TCPClient) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 func (c *TCPClient) Close() error { return c.conn.Close() }

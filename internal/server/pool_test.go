@@ -1,0 +1,148 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// poolBackend is a minimal TCP acceptor: the pool only dials and closes
+// connections in these tests, so no protocol handling is needed.
+func poolBackend(t *testing.T) (addr string, accepted func() int) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	count := make(chan struct{}, 128)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			count <- struct{}{}
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						_ = c.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() int { return len(count) }
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	addr, _ := poolBackend(t)
+	p := NewPool(addr, 4, time.Minute)
+	defer p.Close()
+
+	for i := 0; i < 5; i++ {
+		c, err := p.Get()
+		if err != nil {
+			t.Fatalf("Get %d: %v", i, err)
+		}
+		p.Put(c)
+	}
+	if d := p.Dials(); d != 1 {
+		t.Fatalf("serial Get/Put dialed %d times, want 1", d)
+	}
+	if r := p.Reuses(); r != 4 {
+		t.Fatalf("reuses = %d, want 4", r)
+	}
+	if n := p.IdleLen(); n != 1 {
+		t.Fatalf("idle = %d, want 1", n)
+	}
+}
+
+func TestPoolCapBoundsIdleList(t *testing.T) {
+	addr, _ := poolBackend(t)
+	p := NewPool(addr, 2, time.Minute)
+	defer p.Close()
+
+	// Borrow three concurrently, return all three: only cap survive idle.
+	var conns []*TCPClient
+	for i := 0; i < 3; i++ {
+		c, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	if d := p.Dials(); d != 3 {
+		t.Fatalf("dials = %d, want 3", d)
+	}
+	for _, c := range conns {
+		p.Put(c)
+	}
+	if n := p.IdleLen(); n != 2 {
+		t.Fatalf("idle = %d, want cap 2", n)
+	}
+}
+
+func TestPoolIdleReap(t *testing.T) {
+	addr, _ := poolBackend(t)
+	const idleTimeout = 20 * time.Millisecond
+	p := NewPool(addr, 4, idleTimeout)
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c1)
+	p.Put(c2)
+	if n := p.IdleLen(); n != 2 {
+		t.Fatalf("idle = %d, want 2", n)
+	}
+
+	// Nothing expires before the timeout...
+	if reaped := p.Reap(time.Now()); reaped != 0 {
+		t.Fatalf("premature reap closed %d connections", reaped)
+	}
+	// ...and everything expires after it (explicit clock, no sleep).
+	if reaped := p.Reap(time.Now().Add(2 * idleTimeout)); reaped != 2 {
+		t.Fatalf("reap closed %d connections, want 2", reaped)
+	}
+	if n := p.IdleLen(); n != 0 {
+		t.Fatalf("idle = %d after reap, want 0", n)
+	}
+
+	// The next Get must dial fresh rather than hand out a reaped conn.
+	before := p.Dials()
+	c3, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c3)
+	if d := p.Dials(); d != before+1 {
+		t.Fatalf("dials = %d after reap, want %d", d, before+1)
+	}
+}
+
+func TestPoolCloseRejectsGet(t *testing.T) {
+	addr, _ := poolBackend(t)
+	p := NewPool(addr, 2, time.Minute)
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.Get(); err != ErrPoolClosed {
+		t.Fatalf("Get after Close: err = %v, want ErrPoolClosed", err)
+	}
+	// A borrowed conn returned after Close is closed, not retained.
+	p.Put(c)
+	if n := p.IdleLen(); n != 0 {
+		t.Fatalf("idle = %d after Close, want 0", n)
+	}
+}

@@ -43,11 +43,12 @@ const (
 // Response status codes shared by the TCP protocol and, by analogy, the
 // HTTP status mapping (429/504/503/400).
 const (
-	StatusOK         byte = 0
-	StatusOverloaded byte = 1 // shard queue full — retry with backoff
-	StatusTimeout    byte = 2 // request exceeded the server's per-request budget
-	StatusClosing    byte = 3 // server is draining
-	StatusBadRequest byte = 4
+	StatusOK          byte = 0
+	StatusOverloaded  byte = 1 // shard queue full — retry with backoff
+	StatusTimeout     byte = 2 // request exceeded the server's per-request budget
+	StatusClosing     byte = 3 // server is draining
+	StatusBadRequest  byte = 4
+	StatusUnavailable byte = 5 // cluster router: no healthy replica for the address
 )
 
 func statusText(s byte) string {
@@ -62,6 +63,8 @@ func statusText(s byte) string {
 		return "closing"
 	case StatusBadRequest:
 		return "bad request"
+	case StatusUnavailable:
+		return "no healthy replica"
 	default:
 		return fmt.Sprintf("status %d", s)
 	}

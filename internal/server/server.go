@@ -211,6 +211,16 @@ func (s *Server) mux() http.Handler {
 	return mux
 }
 
+// BeginDrain flips the server unready — /readyz answers 503 and new TCP
+// connections are rejected — without closing the listeners or touching
+// in-flight work. It is the advance drain announcement: a load balancer or
+// cluster router polling /readyz stops sending traffic within one probe
+// interval, after which Shutdown proceeds with an already-quiet server.
+// Idempotent; Shutdown implies it.
+func (s *Server) BeginDrain() {
+	s.closedMu.Do(func() { close(s.draining) })
+}
+
 // Ready reports serving readiness: true until Shutdown begins draining.
 func (s *Server) Ready() bool {
 	select {
