@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke bench-compare bench-all figures examples serve-smoke cluster-smoke check check-cluster fuzz-smoke clean
+.PHONY: all build test race vet bench bench-smoke bench-compare bench-gate bench-all figures examples serve-smoke cluster-smoke check check-cluster fuzz-smoke clean
 
 all: build vet test
 
@@ -39,10 +39,18 @@ bench-smoke:
 # Diff a fresh trajectory point against the committed baseline: exits
 # nonzero when any benchmark regressed ns/op by more than 10% or started
 # allocating. Override the baseline with BENCH_BASE=BENCH_PR3.json.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR8.json
 bench-compare:
 	BENCH_LABEL=compare BENCH_OUT=/tmp/bench_compare.json sh scripts/bench.sh
 	$(GO) run ./cmd/benchjson compare $(BENCH_BASE) /tmp/bench_compare.json
+
+# Machine-check the batch-throughput claim of the PR8 trajectory point:
+# the sharded throughput rows must be at least 3x the PR6 baseline, with
+# no other benchmark regressed beyond the usual 10% gate. Compares the
+# two committed trajectory points, so it is deterministic in CI.
+bench-gate:
+	$(GO) run ./cmd/benchjson compare -max-regress 10 \
+		-require 'BenchmarkShardedThroughput=3' BENCH_PR6.json BENCH_PR8.json
 
 # Every benchmark in the repo, including the per-figure campaign.
 bench-all:

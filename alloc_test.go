@@ -73,6 +73,42 @@ func TestSteadyStateReadAllocs(t *testing.T) {
 	}
 }
 
+// TestSteadyStateBatchWriteAllocs pins the batched write path: once warm,
+// System.WriteBatch must stay off the heap for every scheme — both the
+// schemes with native batch kernels (esd, sha1, baseline) and the ones
+// the memctrl fallback drives through their scalar path (dewrite). The
+// per-call scratch is reused inside System, so a steady stream of 16-op
+// batches is required to allocate nothing at all.
+func TestSteadyStateBatchWriteAllocs(t *testing.T) {
+	for _, scheme := range []string{SchemeBaseline, SchemeSHA1, SchemeDeWrite, SchemeESD} {
+		t.Run(scheme, func(t *testing.T) {
+			sys, err := NewSystem(DefaultConfig(), scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const addrs = 512
+			ops := make([]WriteBatchOp, 16)
+			n := 0
+			batchWrite := func() {
+				for j := range ops {
+					ops[j].Addr = uint64(n % addrs)
+					ops[j].Line.SetWord(0, uint64(n%8)*0x9E3779B9+1)
+					n++
+				}
+				sys.WriteBatch(ops)
+			}
+			// Warm-up: cycle the working set until the AMT, counter store
+			// and batch scratch stop growing.
+			for i := 0; i < addrs; i++ {
+				batchWrite()
+			}
+			if avg := testing.AllocsPerRun(500, batchWrite); avg != 0 {
+				t.Errorf("%s steady-state batched write: %v allocs/op, want 0", scheme, avg)
+			}
+		})
+	}
+}
+
 // TestSteadyStateWriteAllocsWithMetrics re-runs the write gate with the
 // full telemetry sink attached: the metric counters, the dedup
 // effectiveness gauges and the always-on device-health accounting must

@@ -455,6 +455,39 @@ func BenchmarkStageTracingOverhead(b *testing.B) {
 	b.Run("metrics+flight", run(WithMetrics(), WithFlightRecorder(256)))
 }
 
+// BenchmarkSystemWriteBatch measures the batched single-engine write path
+// (System.WriteBatch at 64 ops per call) on the same address/content
+// stream as BenchmarkSystemWriteESD. ns/op is per line, so the gap to
+// BenchmarkSystemWriteESD is the amortization won by the batch kernels
+// (one ECC pass, one multi-block AES pad pass, one arrival group).
+// The batch path must stay at 0 allocs/op — alloc_test.go pins the same
+// contract as a plain test.
+func BenchmarkSystemWriteBatch(b *testing.B) {
+	b.ReportAllocs()
+	cfg := DefaultConfig()
+	cfg.PCM.CapacityBytes = 1 << 30
+	sys, err := NewSystem(cfg, SchemeESD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	ops := make([]WriteBatchOp, batch)
+	fill := func(base int) {
+		for j := range ops {
+			k := base + j
+			ops[j].Addr = uint64(k) % 65536
+			ops[j].Line.SetWord(0, uint64(k)%512)
+		}
+	}
+	fill(0)
+	sys.WriteBatch(ops) // warm the reusable scratch before the clock starts
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		fill(i)
+		sys.WriteBatch(ops)
+	}
+}
+
 // BenchmarkShardedThroughput measures end-to-end write throughput of the
 // sharded engine at 1/2/4/8 shards, with a duplicate-heavy stream (most
 // content drawn from a small pool, so the dedup fast path dominates) and
@@ -462,9 +495,15 @@ func BenchmarkStageTracingOverhead(b *testing.B) {
 // A fixed worker count drives each configuration, so the shard sweep
 // isolates engine parallelism from client parallelism; speedups track the
 // host's core count (a single-core CI runner shows queueing behavior, not
-// parallel scaling).
+// parallel scaling). Since the batch-kernel pass, each worker submits
+// 256-op batches through ShardedSystem.WriteBatch — one shard handoff and
+// one batched AES+ECC pass per sub-batch instead of one per line — which
+// is where the headline multiple over the scalar PR6 baseline comes from.
+// The client batch is sized so that even at 8 shards the router's per-shard
+// sub-batches stay deep enough (~32 ops) to amortize the handoff.
 func BenchmarkShardedThroughput(b *testing.B) {
 	const workers = 8
+	const batch = 256
 	run := func(b *testing.B, shards int, dupHeavy bool) {
 		b.ReportAllocs()
 		cfg := DefaultConfig()
@@ -481,20 +520,43 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				var line Line
-				for i := 0; i < per; i++ {
-					addr := uint64(w*1_000_000 + i%65536)
-					if dupHeavy {
-						line.SetWord(0, uint64(i)%16)
-					} else {
-						line.SetWord(0, uint64(w)<<32|uint64(i))
-						line.SetWord(1, ^uint64(i))
+				// The op buffer is reused across batches and filled in
+				// place — a steady-state batching client keeps one request
+				// buffer, it does not rebuild 64-byte lines per op.
+				ops := make([]WriteBatchOp, batch)
+				n := 0
+				flush := func() bool {
+					if n == 0 {
+						return true
 					}
-					if _, err := sys.Write(addr, line); err != nil {
+					if err := sys.WriteBatch(ops[:n]); err != nil {
 						b.Error(err)
+						return false
+					}
+					for j := 0; j < n; j++ {
+						if ops[j].Err != nil {
+							b.Error(ops[j].Err)
+							return false
+						}
+					}
+					n = 0
+					return true
+				}
+				for i := 0; i < per; i++ {
+					op := &ops[n]
+					op.Addr = uint64(w*1_000_000 + i%65536)
+					if dupHeavy {
+						op.Line.SetWord(0, uint64(i)%16)
+					} else {
+						op.Line.SetWord(0, uint64(w)<<32|uint64(i))
+						op.Line.SetWord(1, ^uint64(i))
+					}
+					n++
+					if n == batch && !flush() {
 						return
 					}
 				}
+				flush()
 			}(w)
 		}
 		wg.Wait()

@@ -7,20 +7,56 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
-// runCompare implements `benchjson compare [-max-regress PCT] BASE.json
-// NEW.json`: it diffs two trajectory documents benchmark by benchmark and
-// exits nonzero when any benchmark present in both regressed its ns/op by
-// more than the threshold, or grew allocations from zero. Benchmarks that
-// appear in only one document are reported but never fail the run (the
-// suite is allowed to grow).
+// requirement is one parsed -require clause: every benchmark whose name
+// contains the substring must have sped up by at least the given factor
+// (base ns/op / new ns/op >= factor).
+type requirement struct {
+	substr  string
+	factor  float64
+	matched int
+}
+
+// parseRequirements parses a comma-separated "substr=FACTOR,..." spec.
+func parseRequirements(spec string) ([]requirement, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var reqs []requirement
+	for _, part := range strings.Split(spec, ",") {
+		sub, factorStr, ok := strings.Cut(part, "=")
+		if !ok || sub == "" {
+			return nil, fmt.Errorf("bad -require clause %q (want substr=FACTOR)", part)
+		}
+		f, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad -require factor in %q", part)
+		}
+		reqs = append(reqs, requirement{substr: sub, factor: f})
+	}
+	return reqs, nil
+}
+
+// runCompare implements `benchjson compare [-max-regress PCT] [-require
+// SPEC] BASE.json NEW.json`: it diffs two trajectory documents benchmark
+// by benchmark and exits nonzero when any benchmark present in both
+// regressed its ns/op by more than the threshold, or grew allocations from
+// zero. -require additionally demands minimum speedup factors: every
+// benchmark whose name contains the clause's substring must have base/new
+// ns/op at or above the factor, and a clause matching no benchmark fails
+// the run (a renamed benchmark must not silently void the gate).
+// Benchmarks that appear in only one document are reported but never fail
+// the run (the suite is allowed to grow).
 func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	maxRegress := fs.Float64("max-regress", 10, "fail when ns/op regresses by more than this percentage")
+	requireSpec := fs.String("require", "", "comma-separated substr=FACTOR clauses: matching benchmarks must be at least FACTOR times faster than base")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: benchjson compare [-max-regress PCT] BASE.json NEW.json\n\n")
+		fmt.Fprintf(stderr, "usage: benchjson compare [-max-regress PCT] [-require SPEC] BASE.json NEW.json\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -28,6 +64,11 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
+		return 2
+	}
+	reqs, err := parseRequirements(*requireSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
 		return 2
 	}
 	base, err := loadDoc(fs.Arg(0))
@@ -69,6 +110,22 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 			verdict = "  REGRESSED"
 			failed++
 		}
+		for r := range reqs {
+			if !strings.Contains(nb.Name, reqs[r].substr) {
+				continue
+			}
+			reqs[r].matched++
+			factor := 0.0
+			if nb.NsPerOp > 0 {
+				factor = ob.NsPerOp / nb.NsPerOp
+			}
+			if factor < reqs[r].factor {
+				verdict += fmt.Sprintf("  BELOW x%.2g (x%.2f)", reqs[r].factor, factor)
+				failed++
+			} else {
+				verdict += fmt.Sprintf("  x%.2f", factor)
+			}
+		}
 		if allocRegressed(ob, nb) {
 			verdict += "  ALLOCS " + fmt.Sprintf("%.0f -> %.0f", *ob.AllocsPerOp, *nb.AllocsPerOp)
 			failed++
@@ -85,11 +142,17 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	for _, name := range gone {
 		fmt.Fprintf(stdout, "%-52s %14.1f %14s %9s\n", name, baseByName[name].NsPerOp, "-", "gone")
 	}
+	for r := range reqs {
+		if reqs[r].matched == 0 {
+			fmt.Fprintf(stdout, "FAIL: -require clause %q matched no benchmark present in both documents\n", reqs[r].substr)
+			failed++
+		}
+	}
 	if failed > 0 {
-		fmt.Fprintf(stdout, "FAIL: %d benchmark(s) regressed beyond %.1f%%\n", failed, *maxRegress)
+		fmt.Fprintf(stdout, "FAIL: %d benchmark(s) regressed beyond %.1f%% or missed a -require factor\n", failed, *maxRegress)
 		return 1
 	}
-	fmt.Fprintln(stdout, "PASS: no regression beyond threshold")
+	fmt.Fprintln(stdout, "PASS: no regression beyond threshold; all -require factors met")
 	return 0
 }
 

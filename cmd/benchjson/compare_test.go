@@ -87,6 +87,46 @@ func TestCompare(t *testing.T) {
 			wantExit: 0,
 			wantOut:  []string{"new", "PASS"},
 		},
+		{
+			name: "require met passes",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 250, 0), // 4x
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			args:     []string{"-require", "BenchmarkWrite=3"},
+			wantExit: 0,
+			wantOut:  []string{"x4.00", "PASS"},
+		},
+		{
+			name: "require missed fails",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 500, 0), // only 2x
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			args:     []string{"-require", "BenchmarkWrite=3"},
+			wantExit: 1,
+			wantOut:  []string{"BELOW x3 (x2.00)", "FAIL"},
+		},
+		{
+			name: "require matching nothing fails",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 250, 0),
+				bench("BenchmarkRead-8", 490, 0),
+			},
+			args:     []string{"-require", "BenchmarkRenamed=3"},
+			wantExit: 1,
+			wantOut:  []string{`"BenchmarkRenamed" matched no benchmark`, "FAIL"},
+		},
+		{
+			name: "require applies per matching benchmark",
+			cur: []Benchmark{
+				bench("BenchmarkWrite-8", 250, 0), // 4x
+				bench("BenchmarkRead-8", 400, 0),  // 1.25x, matched by Bench
+			},
+			args:     []string{"-require", "Bench=1.2"},
+			wantExit: 0,
+			wantOut:  []string{"PASS"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shards     = fs.String("shards", "1,2,8", "comma-separated shard counts for the sharded variants ('' disables)")
 		coalesce   = fs.String("coalesce", "both", "coalescing for sharded variants: off, on or both")
 		concurrent = fs.Bool("concurrent", false, "also run the adversarial concurrent schedules")
+		batchFrac  = fs.Float64("batch", 0, "fraction of consecutive-write runs issued through the batch APIs (0 disables, 1 = all)")
 		verbose    = fs.Bool("v", false, "progress output")
 
 		// Cluster mode: differential-check a consistent-hash router over
@@ -54,19 +55,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *batchFrac < 0 || *batchFrac > 1 {
+		fmt.Fprintf(stderr, "esdcheck: -batch must be in [0,1]\n")
+		return 2
+	}
 
 	if *clusterMode {
 		return runCluster(stdout, stderr, clusterArgs{
 			ops: *ops, seed: *seed, seeds: *seeds, upto: *upto,
 			nodes: *clusterNodes, replication: *replication,
-			killAt: *killAt, reshardAt: *reshardAt, verbose: *verbose,
+			killAt: *killAt, reshardAt: *reshardAt,
+			batchFrac: *batchFrac, verbose: *verbose,
 		})
 	}
 
 	cfg := check.Config{
-		Gen:        check.DefaultGen(),
-		Upto:       *upto,
-		AuditEvery: *every,
+		Gen:           check.DefaultGen(),
+		Upto:          *upto,
+		AuditEvery:    *every,
+		BatchFraction: *batchFrac,
 	}
 	cfg.Gen.Ops = *ops
 	if *schemes != "" {
@@ -153,6 +160,7 @@ type clusterArgs struct {
 	seed               uint64
 	nodes, replication int
 	killAt, reshardAt  int
+	batchFrac          float64
 	verbose            bool
 }
 
@@ -163,13 +171,14 @@ func runCluster(stdout, stderr io.Writer, a clusterArgs) int {
 	failed := false
 	for s := a.seed; s < a.seed+uint64(a.seeds); s++ {
 		cfg := check.ClusterConfig{
-			Gen:         check.DefaultGen(),
-			Seed:        s,
-			Nodes:       a.nodes,
-			Replication: a.replication,
-			KillAt:      a.killAt,
-			ReshardAt:   a.reshardAt,
-			Upto:        a.upto,
+			Gen:           check.DefaultGen(),
+			Seed:          s,
+			Nodes:         a.nodes,
+			Replication:   a.replication,
+			KillAt:        a.killAt,
+			ReshardAt:     a.reshardAt,
+			Upto:          a.upto,
+			BatchFraction: a.batchFrac,
 		}
 		cfg.Gen.Ops = a.ops
 		if a.verbose {

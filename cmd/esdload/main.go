@@ -57,6 +57,7 @@ func cliMain(args []string, stdout io.Writer) error {
 		dup      = fs.Float64("dup", 0.3, "fraction of written lines drawn from a small duplicate pool")
 		space    = fs.Uint64("space", 1<<20, "logical address space (lines)")
 		seed     = fs.Int64("seed", 1, "workload seed")
+		batch    = fs.Int("batch", 1, "ops per batched TCP frame (1 = scalar frames; tcp only)")
 		flush    = fs.Bool("flush", true, "flush the engine after the run")
 		statsOut = fs.Bool("stats", true, "fetch and print server-side /v1/stats after the run")
 	)
@@ -68,6 +69,12 @@ func cliMain(args []string, stdout io.Writer) error {
 	}
 	if *writes < 0 || *writes > 1 || *dup < 0 || *dup > 1 {
 		return fmt.Errorf("-writes and -dup must be in [0,1]")
+	}
+	if *batch < 1 || *batch > server.MaxBatchOps {
+		return fmt.Errorf("-batch must be in [1,%d]", server.MaxBatchOps)
+	}
+	if *batch > 1 && *proto != "tcp" {
+		return fmt.Errorf("-batch requires -proto tcp (the HTTP API has no batch frames)")
 	}
 
 	// Workers pin to targets round-robin, so a multi-target run (e.g. the
@@ -119,6 +126,10 @@ func cliMain(args []string, stdout io.Writer) error {
 			st := &stats[wi]
 			st.latencies = make([]time.Duration, 0, perWorker)
 			rng := rand.New(rand.NewSource(*seed + int64(wi)))
+			if *batch > 1 {
+				runBatched(c.(*server.TCPClient), st, rng, perWorker, *batch, *writes, *dup, *space, &aborted)
+				return
+			}
 			for i := 0; i < perWorker && !aborted.Load(); i++ {
 				addr := rng.Uint64() % *space
 				reqStart := time.Now()
@@ -171,8 +182,12 @@ func cliMain(args []string, stdout io.Writer) error {
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	mode := *proto
+	if *batch > 1 {
+		mode = fmt.Sprintf("%s batch=%d", *proto, *batch)
+	}
 	fmt.Fprintf(stdout, "esdload: %d ok, %d shed, %d timeout, %d errors in %v (%s, %d workers)\n",
-		ok, shed, timeouts, errs, elapsed.Round(time.Millisecond), *proto, *workers)
+		ok, shed, timeouts, errs, elapsed.Round(time.Millisecond), mode, *workers)
 	if ok > 0 {
 		fmt.Fprintf(stdout, "throughput: %.0f req/s\n", float64(ok)/elapsed.Seconds())
 		fmt.Fprintf(stdout, "latency: p50=%v p90=%v p99=%v max=%v\n",
@@ -226,6 +241,106 @@ func cliMain(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d requests failed (last: %v)", errs, lastErr)
 	}
 	return nil
+}
+
+// runBatched drives one worker's request share through the batched TCP
+// frames: ops accumulate into homogeneous write/read batches that flush
+// when full (and at the end), one round trip per batch. Per-op latency
+// is the batch round trip divided evenly across its ops, so the
+// percentiles report amortized per-op cost — the quantity batching
+// optimizes. The op stream (addresses, mix, duplicate pool) is
+// generated identically to the scalar path.
+func runBatched(c *server.TCPClient, st *workerStats, rng *rand.Rand, total, batch int,
+	writes, dup float64, space uint64, aborted *atomic.Bool) {
+
+	wops := make([]server.BatchWriteOp, 0, batch)
+	wres := make([]server.BatchWriteResult, batch)
+	raddrs := make([]uint64, 0, batch)
+	rres := make([]server.BatchReadResult, batch)
+
+	perOp := func(err error) {
+		switch err {
+		case nil:
+			st.ok++
+		case server.ErrOverloaded:
+			st.shed++
+		case server.ErrTimeout:
+			st.timeout++
+		default:
+			st.errs++
+			st.lastErr = err
+			if st.errs > 100 {
+				aborted.Store(true)
+			}
+		}
+	}
+	flushWrites := func() {
+		if len(wops) == 0 {
+			return
+		}
+		reqStart := time.Now()
+		if err := c.WriteBatch(wops, wres[:len(wops)]); err != nil {
+			// Frame-level failure: the whole batch died with the connection.
+			st.errs += uint64(len(wops))
+			st.lastErr = err
+			aborted.Store(true)
+			wops = wops[:0]
+			return
+		}
+		per := time.Since(reqStart) / time.Duration(len(wops))
+		for i := range wops {
+			perOp(wres[i].Err)
+			if wres[i].Err == nil {
+				st.latencies = append(st.latencies, per)
+			}
+		}
+		wops = wops[:0]
+	}
+	flushReads := func() {
+		if len(raddrs) == 0 {
+			return
+		}
+		reqStart := time.Now()
+		if err := c.ReadBatch(raddrs, rres[:len(raddrs)]); err != nil {
+			st.errs += uint64(len(raddrs))
+			st.lastErr = err
+			aborted.Store(true)
+			raddrs = raddrs[:0]
+			return
+		}
+		per := time.Since(reqStart) / time.Duration(len(raddrs))
+		for i := range raddrs {
+			perOp(rres[i].Err)
+			if rres[i].Err == nil {
+				st.latencies = append(st.latencies, per)
+			}
+		}
+		raddrs = raddrs[:0]
+	}
+
+	for i := 0; i < total && !aborted.Load(); i++ {
+		addr := rng.Uint64() % space
+		if rng.Float64() < writes {
+			var line ecc.Line
+			if rng.Float64() < dup {
+				line.SetWord(0, uint64(rng.Intn(16))) // 16-line duplicate pool
+			} else {
+				line.SetWord(0, rng.Uint64())
+				line.SetWord(1, rng.Uint64())
+			}
+			wops = append(wops, server.BatchWriteOp{Addr: addr, Line: line})
+			if len(wops) == batch {
+				flushWrites()
+			}
+		} else {
+			raddrs = append(raddrs, addr)
+			if len(raddrs) == batch {
+				flushReads()
+			}
+		}
+	}
+	flushWrites()
+	flushReads()
 }
 
 // pctOf indexes a sorted latency slice at quantile p.

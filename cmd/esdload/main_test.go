@@ -83,4 +83,44 @@ func TestLoadBadFlags(t *testing.T) {
 	if err := cliMain([]string{"-proto", "carrier-pigeon", "-n", "10", "-workers", "1"}, &out); err == nil {
 		t.Fatal("unknown -proto accepted")
 	}
+	if err := cliMain([]string{"-batch", "8", "-proto", "http", "-n", "10", "-workers", "1"}, &out); err == nil {
+		t.Fatal("-batch with -proto http accepted")
+	}
+	if err := cliMain([]string{"-batch", "0", "-n", "10", "-workers", "1"}, &out); err == nil {
+		t.Fatal("-batch 0 accepted")
+	}
+	if err := cliMain([]string{"-batch", "100000", "-n", "10", "-workers", "1"}, &out); err == nil {
+		t.Fatal("-batch over MaxBatchOps accepted")
+	}
+}
+
+// TestLoadBatched drives the batched TCP frames end to end: every op
+// must complete (no shed/timeout/errors against an idle local server),
+// the server must count exactly the generated writes+reads, and the
+// output must carry the batch mode and amortized latency percentiles.
+func TestLoadBatched(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	args := []string{
+		"-addr", srv.TCPAddr(), "-proto", "tcp", "-batch", "16",
+		"-n", "600", "-workers", "2", "-space", "1024", "-dup", "0.5",
+	}
+	if err := cliMain(args, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "600 ok, 0 shed, 0 timeout, 0 errors") {
+		t.Fatalf("not every op completed:\n%s", s)
+	}
+	if !strings.Contains(s, "tcp batch=16") {
+		t.Fatalf("batch mode missing from summary:\n%s", s)
+	}
+	if !strings.Contains(s, "latency: p50=") {
+		t.Fatalf("no latency percentiles:\n%s", s)
+	}
+	// The server-side op count proves the batches actually carried every
+	// op (writes + reads together are the -n total).
+	if !strings.Contains(s, "server: scheme=esd") {
+		t.Fatalf("no server stats line:\n%s", s)
+	}
 }

@@ -192,6 +192,10 @@ type System struct {
 	// would escape and heap-allocate a 64-byte copy per write; a System is
 	// single-threaded by contract, so one buffer serves every call.
 	lineBuf Line
+
+	// batchOps is WriteBatch's reusable scratch, so steady-state batched
+	// writes allocate nothing.
+	batchOps []memctrl.BatchWrite
 }
 
 // SystemOption configures optional System features (telemetry) at
@@ -323,6 +327,45 @@ func (s *System) Write(addr uint64, line Line) WriteOutcome {
 		s.now = out.Done
 	}
 	return out
+}
+
+// WriteBatchOp is one write in a batched write call (System.WriteBatch,
+// ShardedSystem.WriteBatch): the caller fills Addr and Line, the system
+// fills Out, Lat and (sharded only) Err.
+type WriteBatchOp = shard.WriteBatchOp
+
+// WriteBatch stores every op in one call through the scheme's batched
+// write path: the per-op dedup decisions are identical to N scalar
+// Writes in the same order, but ECC fingerprints are computed in one
+// batched pass and the pads of unique stores come from one multi-block
+// AES pass, so the amortized cost per line drops. All ops arrive before
+// any completes (one arrival group), so per-op latencies can differ from
+// the scalar path; decisions, placements, counters and statistics do
+// not. The batch shares one trace id. Err is always nil on a System.
+//
+// Like Write, WriteBatch is NOT safe for concurrent use.
+func (s *System) WriteBatch(ops []WriteBatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	if cap(s.batchOps) < len(ops) {
+		s.batchOps = make([]memctrl.BatchWrite, len(ops))
+	}
+	b := s.batchOps[:len(ops)]
+	s.reqSeq++
+	s.tel.BeginRequest(telemetry.TraceCtx{TraceID: s.reqSeq, Span: 1, StartNs: int64(s.now + s.IssueGap)})
+	for i := range ops {
+		b[i] = memctrl.BatchWrite{Logical: ops[i].Addr, Data: &ops[i].Line, At: s.tick()}
+	}
+	memctrl.WriteBatch(s.scheme, b)
+	for i := range b {
+		if b[i].Out.Done > s.now {
+			s.now = b[i].Out.Done
+		}
+		ops[i].Out = b[i].Out
+		ops[i].Lat = b[i].Out.Done - b[i].At
+		ops[i].Err = nil
+	}
 }
 
 // WriteAt is Write with an explicit arrival time (must not precede the
@@ -599,6 +642,16 @@ func WithWriteCoalescing() ShardOption {
 	return func(o *shard.Options) { o.Coalesce = true }
 }
 
+// WithBatchKernels routes runs of consecutive writes in each drained
+// shard batch through the schemes' batched write path: ECC fingerprints
+// and AES pads are computed in batched passes instead of per line. Dedup
+// decisions, placements, counters and statistics are identical to the
+// scalar path; per-op latencies can differ (deferred device writes
+// observe different bank-queue states). Off by default.
+func WithBatchKernels() ShardOption {
+	return func(o *shard.Options) { o.BatchKernels = true }
+}
+
 // WithShardMetrics enables per-shard telemetry sinks on one shared
 // registry; every metric carries a shard="i" label. See
 // ShardedSystem.WriteMetrics.
@@ -666,6 +719,28 @@ func (s *ShardedSystem) Write(addr uint64, line Line) (WriteOutcome, error) {
 // still executes the write).
 func (s *ShardedSystem) TryWrite(ctx context.Context, addr uint64, line Line) (WriteOutcome, error) {
 	return s.eng.TryWrite(ctx, addr, line)
+}
+
+// WriteBatch stores every op in one call: ops are grouped by owning
+// shard, each touched shard receives one queue request (one channel
+// round trip per shard instead of per op), and each sub-batch runs
+// through the scheme's batched write path. Per-op results land in ops;
+// see shard.Engine.WriteBatch for the error contract.
+func (s *ShardedSystem) WriteBatch(ops []WriteBatchOp) error {
+	return s.eng.WriteBatch(ops)
+}
+
+// TryWriteBatch is WriteBatch with load shedding and a deadline: ops on
+// a full shard fail individually with ErrOverloaded, and ctx expiring
+// mid-flight abandons the wait (the shards still execute the writes).
+func (s *ShardedSystem) TryWriteBatch(ctx context.Context, ops []WriteBatchOp) error {
+	return s.eng.TryWriteBatch(ctx, ops)
+}
+
+// TryWriteBatchTraced is TryWriteBatch carrying an explicit trace
+// context shared by every op of the batch.
+func (s *ShardedSystem) TryWriteBatchTraced(ctx context.Context, ops []WriteBatchOp, tc TraceCtx) error {
+	return s.eng.TryWriteBatchTraced(ctx, ops, tc)
 }
 
 // Read fetches the plaintext line at a logical address (blocking).

@@ -77,7 +77,7 @@ func wearLevelingDemo() {
 	now := esd.Time(0)
 	for i := 0; i < writes; i++ {
 		l.SetWord(0, uint64(i))
-		raw.Write(7, l, now)
+		raw.Write(7, &l, now)
 		now += 200 * esd.Nanosecond
 	}
 	rawWear := raw.Wear()
@@ -88,7 +88,7 @@ func wearLevelingDemo() {
 	now = 0
 	for i := 0; i < writes; i++ {
 		l.SetWord(0, uint64(i))
-		ld.Write(7, l, now)
+		ld.Write(7, &l, now)
 		now += 200 * esd.Nanosecond
 	}
 	lvlWear := dev.Wear()

@@ -12,9 +12,19 @@
 //     evicts the entry with the lowest reference count (ties broken by
 //     recency) so that hot fingerprints survive, plus a periodic DecayAll
 //     "regular refresh" that subtracts a fixed value from every count.
+//
+// Storage is struct-of-arrays: the keys of one set are contiguous (64
+// bytes for the standard 8-way geometry — one cache line), with values
+// and replacement metadata in parallel flat arrays. The simulator probes
+// these caches several times per simulated line, and the caches are large
+// enough to live in DRAM, so the tag scan touching one line instead of a
+// 450-byte entry block is a measurable share of write-path throughput.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Policy selects the replacement policy.
 type Policy int
@@ -67,20 +77,19 @@ type Probe interface {
 	Evict()
 }
 
-type entry[V any] struct {
-	key   uint64
-	value V
-	valid bool
-	last  uint64 // tick of last touch (LRU ordering)
-	born  uint64 // tick of insertion (FIFO ordering)
-	ref   int    // reference count (LRCU ordering)
-}
-
 // Cache is a set-associative cache mapping uint64 keys to values of type V.
 // It is not safe for concurrent use.
+//
+// Way i of set s lives at flat index s*ways+i across the parallel arrays.
 type Cache[V any] struct {
-	sets   [][]entry[V]
+	keys   []uint64
+	vals   []V
+	valid  []bool
+	last   []uint64 // tick of last touch (LRU ordering)
+	born   []uint64 // tick of insertion (FIFO ordering)
+	ref    []int32  // reference count (LRCU ordering)
 	ways   int
+	nsets  uint64
 	policy Policy
 	tick   uint64
 	len    int
@@ -104,15 +113,22 @@ func New[V any](capacity, ways int, policy Policy) *Cache[V] {
 	if numSets < 1 {
 		numSets = 1
 	}
-	sets := make([][]entry[V], numSets)
-	for i := range sets {
-		sets[i] = make([]entry[V], ways)
+	n := numSets * ways
+	return &Cache[V]{
+		keys:   make([]uint64, n),
+		vals:   make([]V, n),
+		valid:  make([]bool, n),
+		last:   make([]uint64, n),
+		born:   make([]uint64, n),
+		ref:    make([]int32, n),
+		ways:   ways,
+		nsets:  uint64(numSets),
+		policy: policy,
 	}
-	return &Cache[V]{sets: sets, ways: ways, policy: policy}
 }
 
 // Capacity returns the total number of entries the cache can hold.
-func (c *Cache[V]) Capacity() int { return len(c.sets) * c.ways }
+func (c *Cache[V]) Capacity() int { return len(c.keys) }
 
 // Len returns the number of valid entries.
 func (c *Cache[V]) Len() int { return c.len }
@@ -133,8 +149,25 @@ func mix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-func (c *Cache[V]) set(key uint64) []entry[V] {
-	return c.sets[mix(key)%uint64(len(c.sets))]
+// setBase returns the flat index of the first way of key's set.
+// Multiply-shift range reduction (Lemire) maps the mixed key uniformly
+// onto [0, nsets) with one multiply: the set count comes from
+// capacity/ways and is rarely a power of two, so the obvious `%` would
+// cost a 64-bit hardware division on every probe of every cache.
+func (c *Cache[V]) setBase(key uint64) int {
+	hi, _ := bits.Mul64(mix(key), c.nsets)
+	return int(hi) * c.ways
+}
+
+// find returns the flat index of key within its set, or -1.
+func (c *Cache[V]) find(key uint64) int {
+	base := c.setBase(key)
+	for i := base; i < base+c.ways; i++ {
+		if c.keys[i] == key && c.valid[i] {
+			return i
+		}
+	}
+	return -1
 }
 
 // Get looks up key, counting a hit or miss and refreshing recency (and,
@@ -142,17 +175,14 @@ func (c *Cache[V]) set(key uint64) []entry[V] {
 // Put bump it, mirroring the paper where the count tracks duplicate
 // writes, not probes).
 func (c *Cache[V]) Get(key uint64) (V, bool) {
-	set := c.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			c.tick++
-			set[i].last = c.tick
-			c.Stats.Hits++
-			if c.probe != nil {
-				c.probe.Hit()
-			}
-			return set[i].value, true
+	if i := c.find(key); i >= 0 {
+		c.tick++
+		c.last[i] = c.tick
+		c.Stats.Hits++
+		if c.probe != nil {
+			c.probe.Hit()
 		}
+		return c.vals[i], true
 	}
 	c.Stats.Misses++
 	if c.probe != nil {
@@ -162,13 +192,31 @@ func (c *Cache[V]) Get(key uint64) (V, bool) {
 	return zero, false
 }
 
+// GetRef is Get plus the entry's current reference count, in one tag scan.
+// The ESD dup path needs both the mapped value and the referH saturation
+// check; fusing them avoids a second probe for every duplicate write.
+func (c *Cache[V]) GetRef(key uint64) (V, int, bool) {
+	if i := c.find(key); i >= 0 {
+		c.tick++
+		c.last[i] = c.tick
+		c.Stats.Hits++
+		if c.probe != nil {
+			c.probe.Hit()
+		}
+		return c.vals[i], int(c.ref[i]), true
+	}
+	c.Stats.Misses++
+	if c.probe != nil {
+		c.probe.Miss()
+	}
+	var zero V
+	return zero, 0, false
+}
+
 // Peek looks up key without updating recency or statistics.
 func (c *Cache[V]) Peek(key uint64) (V, bool) {
-	set := c.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			return set[i].value, true
-		}
+	if i := c.find(key); i >= 0 {
+		return c.vals[i], true
 	}
 	var zero V
 	return zero, false
@@ -176,34 +224,27 @@ func (c *Cache[V]) Peek(key uint64) (V, bool) {
 
 // Contains reports whether key is cached, without side effects.
 func (c *Cache[V]) Contains(key uint64) bool {
-	_, ok := c.Peek(key)
-	return ok
+	return c.find(key) >= 0
 }
 
 // Touch bumps the reference count (saturating at refMax if refMax > 0)
 // and recency of key. It reports whether the key was present.
 func (c *Cache[V]) Touch(key uint64, refMax int) bool {
-	set := c.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			c.tick++
-			set[i].last = c.tick
-			if refMax <= 0 || set[i].ref < refMax {
-				set[i].ref++
-			}
-			return true
+	if i := c.find(key); i >= 0 {
+		c.tick++
+		c.last[i] = c.tick
+		if refMax <= 0 || c.ref[i] < int32(refMax) {
+			c.ref[i]++
 		}
+		return true
 	}
 	return false
 }
 
 // Ref returns the reference count of key (0 if absent).
 func (c *Cache[V]) Ref(key uint64) int {
-	set := c.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			return set[i].ref
-		}
+	if i := c.find(key); i >= 0 {
+		return int(c.ref[i])
 	}
 	return 0
 }
@@ -226,57 +267,86 @@ func (c *Cache[V]) Put(key uint64, value V) (ev Evicted[V], evicted bool) {
 // matters for LRCU: a fingerprint re-inserted after tracking in NVMM may
 // re-enter hot.
 func (c *Cache[V]) PutWithRef(key uint64, value V, ref int) (ev Evicted[V], evicted bool) {
-	set := c.set(key)
+	base := c.setBase(key)
 	c.tick++
-	// Update in place.
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			set[i].value = value
-			set[i].last = c.tick
+	// One pass finds the existing entry, the first free way, and — under
+	// LRU, the policy of the per-write AMT cache — the eviction victim, so
+	// a full-set insert does not rescan the set's recency line.
+	free := -1
+	lru := base
+	for i := base; i < base+c.ways; i++ {
+		if !c.valid[i] {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if c.keys[i] == key {
+			c.vals[i] = value
+			c.last[i] = c.tick
 			return ev, false
+		}
+		if c.last[i] < c.last[lru] || !c.valid[lru] {
+			lru = i
 		}
 	}
 	c.Stats.Inserts++
-	// Free slot.
-	for i := range set {
-		if !set[i].valid {
-			set[i] = entry[V]{key: key, value: value, valid: true, last: c.tick, born: c.tick, ref: ref}
-			c.len++
-			return ev, false
+	i := free
+	if i < 0 {
+		// Evict the policy victim.
+		i = lru
+		if c.policy != LRU {
+			i = c.victim(base)
 		}
+		ev = Evicted[V]{Key: c.keys[i], Value: c.vals[i], Ref: int(c.ref[i])}
+		evicted = true
+		c.Stats.Evictions++
+		if c.probe != nil {
+			c.probe.Evict()
+		}
+	} else {
+		c.len++
 	}
-	// Evict the policy victim.
-	v := c.victim(set)
-	ev = Evicted[V]{Key: set[v].key, Value: set[v].value, Ref: set[v].ref}
-	set[v] = entry[V]{key: key, value: value, valid: true, last: c.tick, born: c.tick, ref: ref}
-	c.Stats.Evictions++
-	if c.probe != nil {
-		c.probe.Evict()
+	c.keys[i] = key
+	c.vals[i] = value
+	c.valid[i] = true
+	c.last[i] = c.tick
+	// born orders FIFO replacement and ref orders LRCU replacement; under
+	// the other policies neither is ever read, and skipping the stores
+	// keeps two cold arrays out of the insert path's cache footprint.
+	// (Reference counts are therefore only meaningful under LRCU.)
+	if c.policy == FIFO {
+		c.born[i] = c.tick
 	}
-	return ev, true
+	if c.policy == LRCU {
+		c.ref[i] = int32(ref)
+	}
+	return ev, evicted
 }
 
-func (c *Cache[V]) victim(set []entry[V]) int {
-	v := 0
+// victim returns the flat index of the replacement victim in the full set
+// starting at base.
+func (c *Cache[V]) victim(base int) int {
+	v := base
 	switch c.policy {
 	case FIFO:
-		for i := 1; i < len(set); i++ {
-			if set[i].born < set[v].born {
+		for i := base + 1; i < base+c.ways; i++ {
+			if c.born[i] < c.born[v] {
 				v = i
 			}
 		}
 	case LRCU:
 		// Lowest reference count first — the paper prioritizes evicting
 		// refcount-1 fingerprints so hot ones stay — recency breaks ties.
-		for i := 1; i < len(set); i++ {
-			if set[i].ref < set[v].ref ||
-				(set[i].ref == set[v].ref && set[i].last < set[v].last) {
+		for i := base + 1; i < base+c.ways; i++ {
+			if c.ref[i] < c.ref[v] ||
+				(c.ref[i] == c.ref[v] && c.last[i] < c.last[v]) {
 				v = i
 			}
 		}
 	default: // LRU
-		for i := 1; i < len(set); i++ {
-			if set[i].last < set[v].last {
+		for i := base + 1; i < base+c.ways; i++ {
+			if c.last[i] < c.last[v] {
 				v = i
 			}
 		}
@@ -286,30 +356,49 @@ func (c *Cache[V]) victim(set []entry[V]) int {
 
 // Delete removes key, reporting whether it was present.
 func (c *Cache[V]) Delete(key uint64) bool {
-	set := c.set(key)
-	for i := range set {
-		if set[i].valid && set[i].key == key {
-			var zero entry[V]
-			set[i] = zero
-			c.len--
-			return true
-		}
+	_, ok := c.Pop(key)
+	return ok
+}
+
+// Pop removes key and returns the value it held, in one tag scan — the
+// delete-then-reinsert idiom (ESD re-pointing an EFIT entry) otherwise
+// probes the set twice just to learn what it evicted.
+func (c *Cache[V]) Pop(key uint64) (V, bool) {
+	if i := c.find(key); i >= 0 {
+		v := c.vals[i]
+		c.clearSlot(i)
+		c.len--
+		return v, true
 	}
-	return false
+	var zero V
+	return zero, false
+}
+
+func (c *Cache[V]) clearSlot(i int) {
+	var zero V
+	c.keys[i] = 0
+	c.vals[i] = zero
+	c.valid[i] = false
+	c.last[i] = 0
+	c.born[i] = 0
+	c.ref[i] = 0
 }
 
 // DecayAll subtracts delta from every entry's reference count (floor 0).
 // This is the paper's "regular refresh" (§III-D) that keeps LRCU counts
 // from staleness; entries decayed to 0 become prime eviction victims.
 func (c *Cache[V]) DecayAll(delta int) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				set[i].ref -= delta
-				if set[i].ref < 0 {
-					set[i].ref = 0
-				}
+	d := int32(delta)
+	// Only slots with a positive count change; skipping the rest keeps the
+	// sweep read-mostly (no stores re-dirtying lines full of zero counts,
+	// no touch of the validity array — cleared slots hold ref 0).
+	for i := range c.ref {
+		if r := c.ref[i]; r > 0 {
+			r -= d
+			if r < 0 {
+				r = 0
 			}
+			c.ref[i] = r
 		}
 	}
 }
@@ -317,12 +406,10 @@ func (c *Cache[V]) DecayAll(delta int) {
 // Range calls fn for every valid entry until fn returns false. Iteration
 // order is unspecified but deterministic.
 func (c *Cache[V]) Range(fn func(key uint64, value V, ref int) bool) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				if !fn(set[i].key, set[i].value, set[i].ref) {
-					return
-				}
+	for i := range c.keys {
+		if c.valid[i] {
+			if !fn(c.keys[i], c.vals[i], int(c.ref[i])) {
+				return
 			}
 		}
 	}
@@ -330,10 +417,9 @@ func (c *Cache[V]) Range(fn func(key uint64, value V, ref int) bool) {
 
 // Clear removes all entries and resets statistics.
 func (c *Cache[V]) Clear() {
-	for _, set := range c.sets {
-		for i := range set {
-			var zero entry[V]
-			set[i] = zero
+	for i := range c.keys {
+		if c.valid[i] {
+			c.clearSlot(i)
 		}
 	}
 	c.len = 0

@@ -88,6 +88,82 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+// TestRunBatchFraction routes most write runs through the batched APIs
+// on every variant — single engines via memctrl.WriteBatch, sharded via
+// Engine.WriteBatch — and must stay divergence-free against the oracle.
+func TestRunBatchFraction(t *testing.T) {
+	gen := DefaultGen()
+	gen.Ops = 4000
+	res, err := Run(Config{Gen: gen, Seed: 9, Shards: []int{1, 2}, AuditEvery: 500, BatchFraction: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	if res.Ops != 4000 {
+		t.Fatalf("ran %d ops, want 4000", res.Ops)
+	}
+}
+
+// TestRunBatchDeterministic pins the seed-derived batching coin: two
+// identical batched runs must agree op for op.
+func TestRunBatchDeterministic(t *testing.T) {
+	gen := DefaultGen()
+	gen.Ops = 2000
+	cfg := Config{Gen: gen, Seed: 13, Shards: []int{2}, Coalesce: []bool{false}, AuditEvery: 500, BatchFraction: 0.5}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Writes != r2.Writes || r1.Reads != r2.Reads || len(r1.Violations) != len(r2.Violations) {
+		t.Fatalf("batched runs diverged: %+v vs %+v", r1, r2)
+	}
+	if len(r1.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", r1.Violations)
+	}
+}
+
+// TestBatchInjectedBugCaught is the batch checker's own acceptance test:
+// corrupt one batched write before the engines see it (the oracle keeps
+// the original) and the very next differential read or final sweep must
+// flag the divergence. If the batch plumbing silently dropped, reordered
+// or rewrote ops, this is the test that would not fail.
+func TestBatchInjectedBugCaught(t *testing.T) {
+	gen := DefaultGen()
+	gen.Ops = 3000
+	corrupted := 0
+	cfg := Config{
+		Gen: gen, Seed: 21, Shards: []int{2}, Coalesce: []bool{false},
+		AuditEvery: -1, BatchFraction: 1.0,
+		mutateBatch: func(items []batchItem) []batchItem {
+			// Flip one word of the middle op of every batched run.
+			if len(items) < 2 {
+				return items
+			}
+			corrupted++
+			out := append([]batchItem(nil), items...)
+			mid := len(out) / 2
+			out[mid].line.SetWord(0, out[mid].line.Word(0)^0xDEAD)
+			return out
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatal("mutation hook never fired — no batched run formed")
+	}
+	if res.Ok() {
+		t.Fatal("injected batch corruption went undetected by the differential checker")
+	}
+}
+
 func TestRunUptoReplaysPrefix(t *testing.T) {
 	gen := DefaultGen()
 	gen.Ops = 3000

@@ -3,6 +3,7 @@ package check
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/esdsim/esd/internal/cluster"
@@ -41,6 +42,13 @@ type ClusterConfig struct {
 	Upto int
 	// MaxViolations stops the run early (default 10).
 	MaxViolations int
+	// BatchFraction, in (0,1], routes that fraction of consecutive-write
+	// runs through the router's batched frames (Router.WriteBatch — one
+	// wire round trip per touched node) instead of scalar writes, drawn
+	// from a seed-derived RNG so runs replay exactly. Batches buffered
+	// across the reshard/kill injection points exercise batched frames
+	// mid-migration. 0 disables (the default).
+	BatchFraction float64
 	// Progress, when non-nil, is called every few thousand ops.
 	Progress func(done, total int)
 }
@@ -169,6 +177,45 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		limit = rc.Upto
 	}
 
+	// Batched-frame buffering, mirroring Run: consecutive writes
+	// accumulate and flush at the next read boundary (or when full), as
+	// one Router.WriteBatch or a scalar run by a seed-derived coin. The
+	// buffer deliberately survives the fault-injection points so batches
+	// land mid-reshard and mid-kill.
+	batchRng := rand.New(rand.NewSource(int64(rc.Seed)*2654435761 + 97))
+	var pending []batchItem
+	const maxPendingBatch = 16
+	var batchOps []server.BatchWriteOp
+	var batchRes []server.BatchWriteResult
+	flushPending := func() {
+		if len(pending) == 0 {
+			return
+		}
+		if len(pending) > 1 && batchRng.Float64() < rc.BatchFraction {
+			batchOps = batchOps[:0]
+			for _, it := range pending {
+				batchOps = append(batchOps, server.BatchWriteOp{Addr: it.addr, Line: it.line})
+			}
+			batchRes = append(batchRes[:0], make([]server.BatchWriteResult, len(batchOps))...)
+			if err := router.WriteBatch(batchOps, batchRes); err != nil {
+				fail(pending[0].op, fmt.Sprintf("batch write: %v", err))
+			} else {
+				for j, it := range pending {
+					if batchRes[j].Err != nil {
+						fail(it.op, fmt.Sprintf("batch write addr=%d: %v", it.addr, batchRes[j].Err))
+					}
+				}
+			}
+		} else {
+			for _, it := range pending {
+				if _, err := router.Write(it.addr, it.line); err != nil {
+					fail(it.op, fmt.Sprintf("write addr=%d: %v", it.addr, err))
+				}
+			}
+		}
+		pending = pending[:0]
+	}
+
 	for i := 0; i < limit; i++ {
 		// Fault injections fire at fixed indices so `esdcheck -cluster
 		// -seed N -upto M` replays the identical schedule.
@@ -200,10 +247,18 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		case OpWrite:
 			res.Writes++
 			oracle.Write(op.Addr, op.Line)
+			if rc.BatchFraction > 0 {
+				pending = append(pending, batchItem{op: i, addr: op.Addr, line: op.Line})
+				if len(pending) >= maxPendingBatch {
+					flushPending()
+				}
+				break
+			}
 			if _, err := router.Write(op.Addr, op.Line); err != nil {
 				fail(i, fmt.Sprintf("write addr=%d: %v", op.Addr, err))
 			}
 		case OpRead:
+			flushPending()
 			res.Reads++
 			want, wantHit := oracle.Read(op.Addr)
 			resp, err := router.Read(op.Addr)
@@ -228,6 +283,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 
 	// Final sweep: every address the oracle holds must read back through
 	// the post-fault ring.
+	flushPending()
 	lastOp := res.Ops - 1
 	for addr := uint64(0); addr < rc.Gen.Addrs; addr++ {
 		want, wantHit := oracle.Read(addr)

@@ -29,6 +29,31 @@ func TestRunClusterDifferential(t *testing.T) {
 	}
 }
 
+// The same routed run with most write runs going through the batched
+// wire frames — batches buffered across the reshard and kill injection
+// points, so batched frames cross a live migration and a node loss.
+func TestRunClusterDifferentialBatched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("routed differential run is TCP-heavy")
+	}
+	cfg := ClusterConfig{Gen: DefaultGen(), Seed: 2, BatchFraction: 0.9}
+	cfg.Gen.Ops = 20_000
+	cfg.Gen.Addrs = 1 << 11
+	res, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			t.Errorf("%v", v)
+		}
+		t.Fatalf("batched cluster differential run found %d violation(s)", len(res.Violations))
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("degenerate op mix: writes=%d reads=%d", res.Writes, res.Reads)
+	}
+}
+
 // The guard that keeps the kill injection honest: with R=1 a node kill
 // loses data, so the checker refuses the configuration outright.
 func TestRunClusterRejectsUnreplicatedKill(t *testing.T) {

@@ -17,12 +17,31 @@ import (
 type engine interface {
 	label() string
 	write(addr uint64, line ecc.Line) []string
+	// writeBatch applies a run of consecutive writes through the
+	// variant's batched path. It must be observably identical to calling
+	// write for each item in order; violations carry the item's op index.
+	writeBatch(items []batchItem) []opMsg
 	read(addr uint64) (ecc.Line, bool, error)
 	// crash simulates a power failure; it reports false when the variant
 	// has no crash surface (sharded engines).
 	crash() bool
 	audit() []string
 	close() error
+}
+
+// batchItem is one buffered write op awaiting a batched flush. op is its
+// index in the generated stream, kept so violations pin to the precise
+// op for replay.
+type batchItem struct {
+	op   int
+	addr uint64
+	line ecc.Line
+}
+
+// opMsg is a violation message pinned to an op index.
+type opMsg struct {
+	op  int
+	msg string
 }
 
 // issueGap is the simulated time between self-clocked requests, matching
@@ -114,6 +133,55 @@ func (e *singleEngine) write(addr uint64, line ecc.Line) []string {
 	return nil
 }
 
+// writeBatch drives a run of writes through memctrl.WriteBatch — the
+// same batched kernel path System.WriteBatch uses — with the
+// self-clock advanced per op exactly like the scalar path.
+func (e *singleEngine) writeBatch(items []batchItem) []opMsg {
+	lines := make([]ecc.Line, len(items))
+	batch := make([]memctrl.BatchWrite, len(items))
+	for i, it := range items {
+		lines[i] = it.line
+		batch[i] = memctrl.BatchWrite{Logical: it.addr, Data: &lines[i], At: e.step()}
+	}
+	memctrl.WriteBatch(e.sch, batch)
+	for i := range batch {
+		if batch[i].Out.Done > e.now {
+			e.now = batch[i].Out.Done
+		}
+	}
+	if !e.dedupIdentical {
+		return nil
+	}
+	// Dedup safety, batched: probe each deduplicated outcome unless a
+	// later op in the same batch wrote to that physical line — then the
+	// store legitimately holds newer bytes and the scalar-equivalent
+	// probe moment has passed.
+	var bad []opMsg
+	overwrittenLater := make(map[uint64]bool)
+	for i := len(batch) - 1; i >= 0; i-- {
+		out := batch[i].Out
+		if out.Deduplicated && !overwrittenLater[out.PhysAddr] {
+			ct, ok := e.env.Device.Load(out.PhysAddr)
+			if !ok {
+				bad = append(bad, opMsg{items[i].op, fmt.Sprintf("batch dedup write addr=%d: phys %d has no stored line", items[i].addr, out.PhysAddr)})
+			} else {
+				pt := e.env.Crypto.DecryptAt(out.PhysAddr, e.env.Crypto.Counter(out.PhysAddr), &ct)
+				if pt != items[i].line {
+					bad = append(bad, opMsg{items[i].op, fmt.Sprintf("batch dedup write addr=%d: phys %d stores different content (fingerprint collision accepted)", items[i].addr, out.PhysAddr)})
+				}
+			}
+		}
+		if !out.Deduplicated {
+			overwrittenLater[out.PhysAddr] = true
+		}
+	}
+	// Reverse iteration built bad back-to-front; restore op order.
+	for l, r := 0, len(bad)-1; l < r; l, r = l+1, r-1 {
+		bad[l], bad[r] = bad[r], bad[l]
+	}
+	return bad
+}
+
 func (e *singleEngine) read(addr uint64) (ecc.Line, bool, error) {
 	at := e.step()
 	out := e.sch.Read(addr, at)
@@ -192,6 +260,25 @@ func (e *shardEngine) write(addr uint64, line ecc.Line) []string {
 		return []string{fmt.Sprintf("write addr=%d: %v", addr, err)}
 	}
 	return nil
+}
+
+// writeBatch submits a run of writes through the sharded engine's
+// batched path (one grouped channel round trip per touched shard).
+func (e *shardEngine) writeBatch(items []batchItem) []opMsg {
+	ops := make([]shard.WriteBatchOp, len(items))
+	for i, it := range items {
+		ops[i] = shard.WriteBatchOp{Addr: it.addr, Line: it.line}
+	}
+	if err := e.eng.WriteBatch(ops); err != nil {
+		return []opMsg{{items[0].op, fmt.Sprintf("batch write: %v", err)}}
+	}
+	var bad []opMsg
+	for i := range ops {
+		if ops[i].Err != nil {
+			bad = append(bad, opMsg{items[i].op, fmt.Sprintf("batch write addr=%d: %v", items[i].addr, ops[i].Err)})
+		}
+	}
+	return bad
 }
 
 func (e *shardEngine) read(addr uint64) (ecc.Line, bool, error) {

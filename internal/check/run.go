@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"math/rand"
 
 	"github.com/esdsim/esd/internal/config"
 	"github.com/esdsim/esd/internal/experiments"
@@ -32,6 +33,16 @@ type Config struct {
 	// MaxViolations stops the run early once this many violations
 	// accumulated (default 10).
 	MaxViolations int
+	// BatchFraction, in (0,1], routes that fraction of consecutive-write
+	// runs through the engines' batched write APIs (memctrl.WriteBatch on
+	// the single engines, Engine.WriteBatch on the sharded ones) instead
+	// of scalar writes. The choice is drawn from a seed-derived RNG so
+	// runs replay exactly. 0 disables batching (the default).
+	BatchFraction float64
+	// mutateBatch, when non-nil, rewrites each batched run before the
+	// engines see it while the oracle keeps the originals — a test-only
+	// hook proving batch/scalar divergence is caught.
+	mutateBatch func(items []batchItem) []batchItem
 	// SysCfg overrides the system configuration (zero = checkConfig()).
 	SysCfg *config.Config
 	// Progress, when non-nil, is called every few thousand ops.
@@ -141,6 +152,41 @@ func Run(cfg Config) (*Result, error) {
 		res.Violations = append(res.Violations, Violation{Engine: eng, Op: op, Msg: msg})
 	}
 
+	// Batched-write buffering: with BatchFraction set, consecutive writes
+	// accumulate and flush — as one batched call or a scalar run, chosen
+	// by a seed-derived coin — at the next read/crash/audit boundary.
+	// Buffering only ever delays engine writes past other writes in the
+	// same run, so the op order every engine observes stays exactly the
+	// order the oracle applied.
+	batchRng := rand.New(rand.NewSource(int64(rc.Seed)*2654435761 + 97))
+	var pending []batchItem
+	const maxPendingBatch = 16
+	flushPending := func() {
+		if len(pending) == 0 {
+			return
+		}
+		items := pending
+		if rc.mutateBatch != nil {
+			items = rc.mutateBatch(items)
+		}
+		if len(items) > 1 && batchRng.Float64() < rc.BatchFraction {
+			for _, e := range engines {
+				for _, m := range e.writeBatch(items) {
+					fail(e.label(), m.op, m.msg)
+				}
+			}
+		} else {
+			for _, it := range items {
+				for _, e := range engines {
+					for _, msg := range e.write(it.addr, it.line) {
+						fail(e.label(), it.op, msg)
+					}
+				}
+			}
+		}
+		pending = pending[:0]
+	}
+
 	for i := 0; i < limit; i++ {
 		op, ok := gen.Next()
 		if !ok {
@@ -151,12 +197,20 @@ func Run(cfg Config) (*Result, error) {
 		case OpWrite:
 			res.Writes++
 			oracle.Write(op.Addr, op.Line)
+			if rc.BatchFraction > 0 {
+				pending = append(pending, batchItem{op: i, addr: op.Addr, line: op.Line})
+				if len(pending) >= maxPendingBatch {
+					flushPending()
+				}
+				break
+			}
 			for _, e := range engines {
 				for _, msg := range e.write(op.Addr, op.Line) {
 					fail(e.label(), i, msg)
 				}
 			}
 		case OpRead:
+			flushPending()
 			res.Reads++
 			want, wantHit := oracle.Read(op.Addr)
 			for _, e := range engines {
@@ -171,12 +225,14 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		case OpCrash:
+			flushPending()
 			res.Crashes++
 			for _, e := range engines {
 				e.crash()
 			}
 		}
 		if rc.AuditEvery > 0 && (i+1)%rc.AuditEvery == 0 {
+			flushPending()
 			for _, e := range engines {
 				for _, msg := range e.audit() {
 					fail(e.label(), i, msg)
@@ -193,6 +249,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Final sweep: every address the oracle ever saw must read back
 	// identically on every engine, then one last audit.
+	flushPending()
 	lastOp := res.Ops - 1
 	for addr := uint64(0); addr < rc.Gen.Addrs; addr++ {
 		want, wantHit := oracle.Read(addr)

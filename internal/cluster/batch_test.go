@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/server"
+)
+
+// routerWriteBatch batch-writes lineFor(addr+salt) to every addr and
+// fails the test on any per-op error.
+func routerWriteBatch(t *testing.T, r *Router, addrs []uint64, salt uint64) {
+	t.Helper()
+	ops := make([]server.BatchWriteOp, len(addrs))
+	res := make([]server.BatchWriteResult, len(addrs))
+	for i, a := range addrs {
+		ops[i] = server.BatchWriteOp{Addr: a, Line: lineFor(a + salt)}
+	}
+	if err := r.WriteBatch(ops, res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("batch write op %d (addr %d): %v", i, addrs[i], res[i].Err)
+		}
+	}
+}
+
+func addrRange(lo, hi uint64) []uint64 {
+	out := make([]uint64, 0, hi-lo)
+	for a := lo; a < hi; a++ {
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestRouterBatchReplicatesAndReadsBack routes batched writes over a
+// replicated 3-node ring and reads everything back batched — including
+// after a node loss, where the follower replicas must absorb the batch.
+func TestRouterBatchReplicatesAndReadsBack(t *testing.T) {
+	backends, r := startCluster(t, 3, Config{Replication: 2})
+	const space = 192
+	for lo := uint64(0); lo < space; lo += 64 {
+		routerWriteBatch(t, r, addrRange(lo, lo+64), 0)
+	}
+
+	verify := func(stage string) {
+		t.Helper()
+		addrs := addrRange(0, space+8) // last 8 were never written
+		res := make([]server.BatchReadResult, len(addrs))
+		if err := r.ReadBatch(addrs, res); err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		for i, a := range addrs {
+			if res[i].Err != nil {
+				t.Fatalf("%s: read %d: %v", stage, a, res[i].Err)
+			}
+			if a >= space {
+				if res[i].Hit {
+					t.Fatalf("%s: read %d hit despite never being written", stage, a)
+				}
+				continue
+			}
+			if !res[i].Hit {
+				t.Fatalf("%s: read %d missed", stage, a)
+			}
+			if want := lineFor(a); res[i].Data != want {
+				t.Fatalf("%s: read %d wrong bytes", stage, a)
+			}
+		}
+	}
+	verify("all nodes up")
+
+	// One node down: every address still has a live replica, so batched
+	// reads and writes must both keep answering (sub-batches re-routed
+	// to the surviving replicas, per-op fallback for stragglers).
+	backends[1].kill(t)
+	verify("one node down")
+	for lo := uint64(0); lo < space; lo += 64 {
+		routerWriteBatch(t, r, addrRange(lo, lo+64), 1000)
+	}
+	addrs := addrRange(0, space)
+	res := make([]server.BatchReadResult, len(addrs))
+	if err := r.ReadBatch(addrs, res); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if res[i].Err != nil || !res[i].Hit {
+			t.Fatalf("read %d after degraded batch write: err=%v hit=%v", a, res[i].Err, res[i].Hit)
+		}
+		if want := lineFor(a + 1000); res[i].Data != want {
+			t.Fatalf("read %d after degraded batch write: wrong bytes", a)
+		}
+	}
+}
+
+// TestRouterBatchValidation checks the caller-mistake guards.
+func TestRouterBatchValidation(t *testing.T) {
+	_, r := startCluster(t, 2, Config{})
+	if err := r.WriteBatch(make([]server.BatchWriteOp, 2), make([]server.BatchWriteResult, 1)); err == nil {
+		t.Fatal("mismatched write results slice accepted")
+	}
+	if err := r.ReadBatch(make([]uint64, 2), make([]server.BatchReadResult, 3)); err == nil {
+		t.Fatal("mismatched read results slice accepted")
+	}
+	if err := r.WriteBatch(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadBatch(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterBatchAcrossReshard keeps batched writes flowing while the
+// ring grows. Writes issued mid-migration take the scalar dual-write
+// fallback (dirty tracking intact), so after the cutover the last
+// batch-written content must win over the replayed snapshot.
+func TestClusterBatchAcrossReshard(t *testing.T) {
+	_, r := startCluster(t, 3, Config{})
+	const space = 256
+	const window = 32 // the contended window rewritten during migration
+	for lo := uint64(0); lo < space; lo += 64 {
+		routerWriteBatch(t, r, addrRange(lo, lo+64), 0)
+	}
+
+	added := startBackend(t, "node3")
+	newNodes := append(append([]Node{}, r.Ring().Nodes()...), added.node)
+
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		ops := make([]server.BatchWriteOp, window)
+		res := make([]server.BatchWriteResult, window)
+		salt := uint64(1)
+		for {
+			select {
+			case <-stop:
+				done <- nil
+				return
+			default:
+			}
+			for i := range ops {
+				ops[i].Addr = uint64(i)
+				ops[i].Line = lineFor(uint64(i) + salt*10000)
+			}
+			if err := r.WriteBatch(ops, res); err != nil {
+				done <- err
+				return
+			}
+			for i := range res {
+				if res[i].Err != nil {
+					done <- res[i].Err
+					return
+				}
+			}
+			salt++
+		}
+	}()
+
+	rep, err := r.Reshard(newNodes, space)
+	close(stop)
+	if werr := <-done; werr != nil {
+		t.Fatalf("batch write during reshard: %v", werr)
+	}
+	if err != nil {
+		t.Fatalf("reshard: %v", err)
+	}
+	if rep.ToEpoch != 2 {
+		t.Fatalf("reshard epoch %d, want 2", rep.ToEpoch)
+	}
+
+	// Settle the contended window with one final post-cutover batch so
+	// its expected content is known, then batch-read the whole space
+	// through the new ring.
+	routerWriteBatch(t, r, addrRange(0, window), 555555)
+	addrs := addrRange(0, space)
+	res := make([]server.BatchReadResult, len(addrs))
+	if err := r.ReadBatch(addrs, res); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range addrs {
+		if res[i].Err != nil || !res[i].Hit {
+			t.Fatalf("read %d after reshard: err=%v hit=%v", a, res[i].Err, res[i].Hit)
+		}
+		want := lineFor(a)
+		if a < window {
+			want = lineFor(a + 555555)
+		}
+		if res[i].Data != want {
+			t.Fatalf("read %d after reshard: wrong bytes (migration clobbered a batched write?)", a)
+		}
+	}
+}
+
+// TestClusterServerBatchFrames drives the batched wire frames through
+// the cluster front-end with a stock TCPClient: same protocol, router
+// execution.
+func TestClusterServerBatchFrames(t *testing.T) {
+	_, _, s := startClusterServer(t, 2, Config{Replication: 2})
+	c, err := server.DialTCP(s.TCPAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 48
+	ops := make([]server.BatchWriteOp, n)
+	res := make([]server.BatchWriteResult, n)
+	for i := range ops {
+		ops[i] = server.BatchWriteOp{Addr: uint64(i), Line: lineFor(uint64(i % 6))}
+	}
+	if err := c.WriteBatch(ops, res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("op %d: %v", i, res[i].Err)
+		}
+	}
+
+	addrs := make([]uint64, n+2)
+	for i := range addrs {
+		addrs[i] = uint64(i)
+	}
+	rres := make([]server.BatchReadResult, n+2)
+	if err := c.ReadBatch(addrs, rres); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if rres[i].Err != nil || !rres[i].Hit {
+			t.Fatalf("read %d: err=%v hit=%v", i, rres[i].Err, rres[i].Hit)
+		}
+		if want := lineFor(uint64(i % 6)); rres[i].Data != want {
+			t.Fatalf("read %d: wrong bytes", i)
+		}
+	}
+	for i := n; i < n+2; i++ {
+		if rres[i].Err != nil || rres[i].Hit {
+			t.Fatalf("read %d (never written): err=%v hit=%v", i, rres[i].Err, rres[i].Hit)
+		}
+	}
+
+	// Zero-count batches complete OK and leave the connection usable.
+	if err := c.WriteBatch(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReadBatch(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(1, lineFor(1)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -226,6 +226,113 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		binary.LittleEndian.PutUint64(resp[2+ecc.LineSize:], uint64(res.LatencyNs))
 		_, werr := bw.Write(resp[:])
 		return werr == nil
+	case server.OpWriteBatch:
+		var cnt [2]byte
+		if readFull(br, cnt[:]) != nil {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(cnt[:]))
+		if n > server.MaxBatchOps {
+			// Malformed: the body was never read, so the stream position
+			// is unknown. Flush the status, then drop the connection.
+			writeStatus(bw, server.StatusBadRequest)
+			_ = bw.Flush()
+			return false
+		}
+		if n == 0 {
+			var resp [3]byte
+			resp[0] = server.StatusOK
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		ops := make([]server.BatchWriteOp, n)
+		var wreq [8 + ecc.LineSize]byte
+		for i := 0; i < n; i++ {
+			if readFull(br, wreq[:]) != nil {
+				return false
+			}
+			ops[i].Addr = binary.LittleEndian.Uint64(wreq[:8])
+			copy(ops[i].Line[:], wreq[8:])
+		}
+		bres := make([]server.BatchWriteResult, n)
+		if err := s.r.WriteBatch(ops, bres); err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		var head [3]byte
+		head[0] = server.StatusOK
+		binary.LittleEndian.PutUint16(head[1:], uint16(n))
+		if _, err := bw.Write(head[:]); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var rec [1 + 1 + 8 + 8]byte
+			if bres[i].Err != nil {
+				rec[0] = errStatus(bres[i].Err)
+			} else {
+				rec[0] = server.StatusOK
+				if bres[i].Dedup {
+					rec[1] = 1
+				}
+				binary.LittleEndian.PutUint64(rec[2:], bres[i].PhysAddr)
+				binary.LittleEndian.PutUint64(rec[10:], uint64(bres[i].LatencyNs))
+			}
+			if _, err := bw.Write(rec[:]); err != nil {
+				return false
+			}
+		}
+		return true
+	case server.OpReadBatch:
+		var cnt [2]byte
+		if readFull(br, cnt[:]) != nil {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(cnt[:]))
+		if n > server.MaxBatchOps {
+			writeStatus(bw, server.StatusBadRequest)
+			_ = bw.Flush()
+			return false
+		}
+		if n == 0 {
+			var resp [3]byte
+			resp[0] = server.StatusOK
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		addrs := make([]uint64, n)
+		var rreq [8]byte
+		for i := 0; i < n; i++ {
+			if readFull(br, rreq[:]) != nil {
+				return false
+			}
+			addrs[i] = binary.LittleEndian.Uint64(rreq[:])
+		}
+		bres := make([]server.BatchReadResult, n)
+		if err := s.r.ReadBatch(addrs, bres); err != nil {
+			return writeStatus(bw, errStatus(err))
+		}
+		var head [3]byte
+		head[0] = server.StatusOK
+		binary.LittleEndian.PutUint16(head[1:], uint16(n))
+		if _, err := bw.Write(head[:]); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var rec [1 + 1 + ecc.LineSize + 8]byte
+			if bres[i].Err != nil {
+				rec[0] = errStatus(bres[i].Err)
+			} else {
+				rec[0] = server.StatusOK
+				if bres[i].Hit {
+					rec[1] = 1
+				}
+				copy(rec[2:], bres[i].Data[:])
+				binary.LittleEndian.PutUint64(rec[2+ecc.LineSize:], uint64(bres[i].LatencyNs))
+			}
+			if _, err := bw.Write(rec[:]); err != nil {
+				return false
+			}
+		}
+		return true
 	case server.OpFlush:
 		if err := s.r.Flush(); err != nil {
 			return writeStatus(bw, errStatus(err))

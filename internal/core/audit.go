@@ -28,7 +28,7 @@ import (
 func (s *ESD) AuditEFIT() []string {
 	var bad []string
 	s.efit.Range(func(fp uint64, phys uint64, ref int) bool {
-		if rev, ok := s.physFP[phys]; !ok || rev != fp {
+		if rev, ok := s.physFP.Get(phys); !ok || rev != fp {
 			bad = append(bad, fmt.Sprintf("efit: entry %#x -> phys %d has no matching reverse map", fp, phys))
 		}
 		if s.Refs.Count(phys) == 0 {
@@ -48,12 +48,13 @@ func (s *ESD) AuditEFIT() []string {
 		}
 		return true
 	})
-	for phys, fp := range s.physFP {
+	s.physFP.Range(func(phys, fp uint64) bool {
 		if cur, ok := s.efit.Peek(fp); !ok || cur != phys {
 			bad = append(bad, fmt.Sprintf("efit: reverse map phys %d -> %#x not present in the EFIT", phys, fp))
 		}
-	}
-	if n, m := s.efit.Len(), len(s.physFP); n != m {
+		return true
+	})
+	if n, m := s.efit.Len(), s.physFP.Len(); n != m {
 		bad = append(bad, fmt.Sprintf("efit: %d entries but %d reverse-map entries", n, m))
 	}
 	return bad

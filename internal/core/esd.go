@@ -28,7 +28,9 @@ import (
 	"github.com/esdsim/esd/internal/dedup"
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/memctrl"
+	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/sparse"
 	"github.com/esdsim/esd/internal/stats"
 	"github.com/esdsim/esd/internal/telemetry"
 )
@@ -37,7 +39,7 @@ import (
 type ESD struct {
 	dedup.Base
 	efit   *cache.Cache[uint64] // ECC fingerprint -> physical line
-	physFP map[uint64]uint64    // physical line -> fingerprint (for purge)
+	physFP sparse.Map[uint64]   // physical line -> fingerprint (for purge)
 
 	// DisableLRCU switches the EFIT cache to plain LRU; used by the
 	// Fig. 18 "w/o LRCU" ablation.
@@ -46,6 +48,13 @@ type ESD struct {
 	// ablation quantifying what the comparison read costs and why it is
 	// required for correctness).
 	DisableCompare bool
+
+	// Batch write scratch: deferred unique stores plus the fingerprint and
+	// line-pointer buffers EncodeLines works over. Reused across batches so
+	// the batched write path stays allocation-free.
+	def      dedup.Deferred
+	fpBuf    []ecc.Fingerprint
+	linePtrs []*ecc.Line
 }
 
 // Option configures an ESD instance at construction.
@@ -89,7 +98,6 @@ func New(env *memctrl.Env, opts ...Option) *ESD {
 	s := &ESD{
 		Base:           dedup.NewBase(env),
 		efit:           cache.New[uint64](entries, 8, o.policy),
-		physFP:         make(map[uint64]uint64),
 		DisableLRCU:    o.policy != cache.LRCU,
 		DisableCompare: !o.compare,
 	}
@@ -103,11 +111,11 @@ func New(env *memctrl.Env, opts ...Option) *ESD {
 // purge drops the EFIT entry pointing at a recycled physical line so stale
 // fingerprints can never deduplicate onto freed storage.
 func (s *ESD) purge(phys uint64) {
-	fp, ok := s.physFP[phys]
+	fp, ok := s.physFP.Get(phys)
 	if !ok {
 		return
 	}
-	delete(s.physFP, phys)
+	s.physFP.Delete(phys)
 	if cur, hit := s.efit.Peek(fp); hit && cur == phys {
 		s.efit.Delete(fp)
 	}
@@ -118,12 +126,42 @@ func (s *ESD) Name() string { return "esd" }
 
 // Write implements memctrl.Scheme: the ESD write path of Fig. 9.
 func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOutcome {
-	s.St.Writes++
-	cfg := s.Env.Cfg
-
 	// The ECC fingerprint is a by-product of the controller's ECC logic:
 	// zero marginal latency and energy (§III-C).
 	fp := uint64(ecc.EncodeLine(data))
+	return s.writeFP(logical, data, fp, at, nil, 0)
+}
+
+// WriteBatch implements memctrl.BatchWriter: the same per-op decision
+// sequence as Write, in op order, with the fixed kernel costs amortized —
+// all fingerprints through one ecc.EncodeLines pass, all unique-store pads
+// through one batched AES pass at flush time. Counters are still committed
+// per op at decision time (StoreUniqueDeferred), so counter state and the
+// pad-uniqueness invariant are identical to the scalar path.
+func (s *ESD) WriteBatch(ops []memctrl.BatchWrite) {
+	n := len(ops)
+	if cap(s.fpBuf) < n {
+		s.fpBuf = make([]ecc.Fingerprint, n)
+		s.linePtrs = make([]*ecc.Line, n)
+	}
+	fps, lines := s.fpBuf[:n], s.linePtrs[:n]
+	for i := range ops {
+		lines[i] = ops[i].Data
+	}
+	ecc.EncodeLines(lines, fps)
+	for i := range ops {
+		ops[i].Out = s.writeFP(ops[i].Logical, ops[i].Data, uint64(fps[i]), ops[i].At, ops, i)
+	}
+	s.flushBatch(ops)
+}
+
+// writeFP runs the ESD write decision for one op. In scalar mode (batch ==
+// nil) unique stores go straight to the device; in batch mode they are
+// deferred into s.def and the media-side outcome fields are finalized by
+// flushBatch. slot is the op's index within batch.
+func (s *ESD) writeFP(logical uint64, data *ecc.Line, fp uint64, at sim.Time, batch []memctrl.BatchWrite, slot int) memctrl.WriteOutcome {
+	s.St.Writes++
+	cfg := s.Env.Cfg
 
 	// The only serial front-end work is the EFIT SRAM probe.
 	s.Env.ChargeSRAM()
@@ -134,12 +172,18 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 	}
 	t := feEnd
 
-	if candidate, hit := s.efit.Get(fp); hit {
+	if candidate, refCount, hit := s.efit.GetRef(fp); hit {
 		s.St.FPCacheHits++
 		equal := true
 		if !s.DisableCompare {
 			// Similar, not yet identical: fetch the candidate and compare
 			// byte by byte (§III-D), exploiting cheap NVM reads.
+			if batch != nil && s.def.Has(candidate) {
+				// The candidate's ciphertext is still pending from an
+				// earlier op of this batch: flush so the compare read
+				// observes it, exactly as the scalar order would.
+				s.flushBatch(batch)
+			}
 			ct, ok, rr := s.Env.Device.Read(candidate, t)
 			s.St.CompareReads++
 			s.Env.ChargeCompare()
@@ -157,9 +201,9 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 		if equal {
 			// Duplicate confirmed. Saturating referH: beyond the limit the
 			// line is treated as brand-new content (§III-D).
-			if s.efit.Ref(fp) >= cfg.ESD.ReferHMax {
+			if refCount >= cfg.ESD.ReferHMax {
 				s.St.ReferHOverflows++
-				return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueReferH)
+				return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueReferH, batch, slot)
 			}
 			s.efit.Touch(fp, cfg.ESD.ReferHMax)
 			s.St.DupByCache++
@@ -171,45 +215,56 @@ func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOu
 		// ECC collision: genuinely different content behind the same
 		// fingerprint. The line is unique; the existing entry stays.
 		s.St.CompareMismatches++
-		return s.writeUnique(logical, data, fp, at, t, bd, false, telemetry.DecUniqueCollision)
+		return s.writeUnique(logical, data, fp, at, t, bd, false, telemetry.DecUniqueCollision, batch, slot)
 	}
 
 	// EFIT miss: selective deduplication treats the line as non-duplicate
 	// immediately — no fingerprint store in NVMM, no NVMM lookup, ever.
 	s.St.FPCacheMisses++
-	return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueFPMiss)
+	return s.writeUnique(logical, data, fp, at, t, bd, true, telemetry.DecUniqueFPMiss, batch, slot)
 }
 
 // writeUnique encrypts and stores a unique line, optionally (re)pointing
 // the EFIT entry for fp at the new physical line. at is the write's arrival
 // time, t the current pipeline time, dec the telemetry decision to report.
-func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, at, t sim.Time, bd stats.Breakdown, installFP bool, dec telemetry.Decision) memctrl.WriteOutcome {
+// In batch mode the store is deferred: Done, Queue and Media arrive when
+// flushBatch fills them from the batched device writes.
+func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, at, t sim.Time, bd stats.Breakdown, installFP bool, dec telemetry.Decision, batch []memctrl.BatchWrite, slot int) memctrl.WriteOutcome {
 	cfg := s.Env.Cfg
 	// The dedicated AES engine adds latency without occupying the
 	// controller pipeline.
 	bd.Encrypt = cfg.Crypto.EncryptLatency
-	phys, wr, mapLat := s.StoreUnique(logical, data, t+cfg.Crypto.EncryptLatency)
+	var phys uint64
+	var mapLat sim.Time
+	var wr nvm.WriteResult
+	if batch != nil {
+		phys, mapLat = s.StoreUniqueDeferred(&s.def, logical, data, t+cfg.Crypto.EncryptLatency, slot, uint8(dec), 0)
+	} else {
+		phys, wr, mapLat = s.StoreUnique(logical, data, t+cfg.Crypto.EncryptLatency)
+	}
 	if installFP {
 		// Re-pointing an existing entry (e.g. after a referH overflow)
 		// starts a fresh reference count, so delete-then-insert.
-		if old, had := s.efit.Peek(fp); had {
-			delete(s.physFP, old)
-			s.efit.Delete(fp)
+		if old, had := s.efit.Pop(fp); had {
+			s.physFP.Delete(old)
 		}
 		if ev, evicted := s.efit.PutWithRef(fp, phys, 1); evicted {
 			// LRCU victim: the fingerprint simply leaves the controller;
 			// there is no NVMM copy to maintain (selective dedup).
-			if v, ok := s.physFP[ev.Value]; ok && v == ev.Key {
-				delete(s.physFP, ev.Value)
+			if v, ok := s.physFP.Get(ev.Value); ok && v == ev.Key {
+				s.physFP.Delete(ev.Value)
 			}
 			s.Env.Tel.OnEFITEvict(ev.Key, ev.Ref, t)
 		}
-		s.physFP[phys] = fp
+		s.physFP.Set(phys, fp)
 		s.Env.Tel.OnEFITInsert(s.efit.Len())
+	}
+	bd.Metadata = mapLat
+	if batch != nil {
+		return memctrl.WriteOutcome{Breakdown: bd, PhysAddr: phys}
 	}
 	bd.Queue += wr.Stall
 	bd.Media = wr.ServiceLatency
-	bd.Metadata = mapLat
 	done := wr.AcceptedAt + wr.ServiceLatency
 	s.Env.Tel.OnWrite(s.Name(), dec, logical, phys, false, at, done, &bd)
 	return memctrl.WriteOutcome{
@@ -217,6 +272,28 @@ func (s *ESD) writeUnique(logical uint64, data *ecc.Line, fp uint64, at, t sim.T
 		Breakdown: bd,
 		PhysAddr:  phys,
 	}
+}
+
+// flushBatch drains the deferred stores — one batched pad pass, device
+// writes in op order — and finalizes the outcomes of the ops they belong
+// to. Called at batch end and mid-batch when a compare read targets a
+// still-pending physical line.
+func (s *ESD) flushBatch(ops []memctrl.BatchWrite) {
+	if s.def.Len() == 0 {
+		return
+	}
+	s.def.Flush(s.Env)
+	entries := s.def.Entries()
+	for i := range entries {
+		p := &entries[i]
+		op := &ops[p.Slot]
+		out := &op.Out
+		out.Breakdown.Queue += p.Wr.Stall
+		out.Breakdown.Media = p.Wr.ServiceLatency
+		out.Done = p.Wr.AcceptedAt + p.Wr.ServiceLatency
+		s.Env.Tel.OnWrite(s.Name(), telemetry.Decision(p.Tag), p.Logical, p.Phys, false, op.At, out.Done, &out.Breakdown)
+	}
+	s.def.Reset()
 }
 
 // Read implements memctrl.Scheme.
@@ -265,5 +342,5 @@ func (s *ESD) EFITLen() int { return s.efit.Len() }
 func (s *ESD) Crash(now sim.Time) {
 	s.CrashBase(now)
 	s.efit.Clear()
-	s.physFP = make(map[uint64]uint64)
+	s.physFP = sparse.Map[uint64]{}
 }

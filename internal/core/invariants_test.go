@@ -19,7 +19,7 @@ import (
 func checkInternalInvariants(t *testing.T, s *ESD) {
 	t.Helper()
 	s.efit.Range(func(fp uint64, phys uint64, _ int) bool {
-		if got, ok := s.physFP[phys]; !ok || got != fp {
+		if got, ok := s.physFP.Get(phys); !ok || got != fp {
 			t.Fatalf("EFIT entry %#x -> %d has no matching reverse map", fp, phys)
 		}
 		if s.Refs.Count(phys) == 0 {
@@ -27,11 +27,12 @@ func checkInternalInvariants(t *testing.T, s *ESD) {
 		}
 		return true
 	})
-	for phys, fp := range s.physFP {
+	s.physFP.Range(func(phys, fp uint64) bool {
 		if cur, ok := s.efit.Peek(fp); !ok || cur != phys {
 			t.Fatalf("reverse map %d -> %#x has no matching EFIT entry", phys, fp)
 		}
-	}
+		return true
+	})
 }
 
 func TestESDInvariantsUnderChurn(t *testing.T) {
@@ -74,7 +75,7 @@ func TestESDInvariantsAfterCrash(t *testing.T) {
 	line := ecc.Line{1}
 	s.Write(1, &line, 0)
 	s.Crash(10 * sim.Microsecond)
-	if s.EFITLen() != 0 || len(s.physFP) != 0 {
+	if s.EFITLen() != 0 || s.physFP.Len() != 0 {
 		t.Fatal("crash left volatile state")
 	}
 	// Post-crash writes rebuild consistent state.

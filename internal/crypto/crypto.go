@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sparse"
 )
 
 // Probe receives crypto events as they happen, mirroring the Stats fields
@@ -32,8 +33,11 @@ type Probe interface {
 // Engine is a counter-mode encryption engine with per-line counters.
 // It is not safe for concurrent use; the simulator is single-threaded.
 type Engine struct {
-	block    cipher.Block
-	counters map[uint64]uint64
+	block cipher.Block
+	// counters maps physical line -> write counter. Counter lookups sit
+	// on every encrypt, decrypt and batch reservation, so the store is a
+	// paged sparse array instead of a map.
+	counters sparse.Map[uint64]
 
 	// padIn/padOut are the AES block scratch buffers. They live on the
 	// (heap-resident) engine rather than the stack because slices of a
@@ -42,6 +46,11 @@ type Engine struct {
 	// encrypt/decrypt allocation-free.
 	padIn  [aes.BlockSize]byte
 	padOut [aes.BlockSize]byte
+
+	// batchBuf holds the concatenated counter blocks of a batch pad pass
+	// (XorPadBatch); grown on demand and reused so steady-state batch
+	// encryption is allocation-free.
+	batchBuf []byte
 
 	// Stats.
 	Encryptions uint64
@@ -57,7 +66,7 @@ func NewEngine(key []byte) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crypto: %w", err)
 	}
-	return &Engine{block: b, counters: make(map[uint64]uint64)}, nil
+	return &Engine{block: b}, nil
 }
 
 // NewEngineFromSeed derives a deterministic 32-byte key from a seed; used
@@ -101,7 +110,7 @@ func (e *Engine) xorPad(addr, counter uint64, line *ecc.Line) {
 
 // Counter returns the current write counter of a physical line (0 if the
 // line has never been written).
-func (e *Engine) Counter(addr uint64) uint64 { return e.counters[addr] }
+func (e *Engine) Counter(addr uint64) uint64 { return e.counters.Load(addr) }
 
 // EncryptInPlace increments the write counter of addr and replaces line's
 // plaintext with the ciphertext under the new counter, returning that
@@ -109,8 +118,8 @@ func (e *Engine) Counter(addr uint64) uint64 { return e.counters[addr] }
 // pad uniqueness. This is the steady-state write path: no line copies, no
 // allocations.
 func (e *Engine) EncryptInPlace(addr uint64, line *ecc.Line) (counter uint64) {
-	counter = e.counters[addr] + 1
-	e.counters[addr] = counter
+	counter = e.counters.Load(addr) + 1
+	e.counters.Set(addr, counter)
 	e.xorPad(addr, counter, line)
 	e.Encryptions++
 	if e.Probe != nil {
@@ -133,7 +142,7 @@ func (e *Engine) Encrypt(addr uint64, plain *ecc.Line) (ct ecc.Line, counter uin
 // in parallel with fingerprinting and discards the work when the line
 // turns out to be a duplicate; Commit makes the speculation durable.
 func (e *Engine) EncryptSpeculativeInPlace(addr uint64, line *ecc.Line) (counter uint64) {
-	counter = e.counters[addr] + 1
+	counter = e.counters.Load(addr) + 1
 	e.xorPad(addr, counter, line)
 	e.Encryptions++
 	if e.Probe != nil {
@@ -150,12 +159,12 @@ func (e *Engine) EncryptSpeculative(addr uint64, plain *ecc.Line) (ct ecc.Line, 
 }
 
 // Commit makes a speculative encryption durable by storing its counter.
-func (e *Engine) Commit(addr, counter uint64) { e.counters[addr] = counter }
+func (e *Engine) Commit(addr, counter uint64) { e.counters.Set(addr, counter) }
 
 // DecryptInPlace replaces ct's ciphertext with the plaintext stored at
 // addr under the line's current counter.
 func (e *Engine) DecryptInPlace(addr uint64, ct *ecc.Line) {
-	e.DecryptAtInPlace(addr, e.counters[addr], ct)
+	e.DecryptAtInPlace(addr, e.counters.Load(addr), ct)
 }
 
 // DecryptAtInPlace decrypts in place under an explicit counter value.
@@ -170,7 +179,7 @@ func (e *Engine) DecryptAtInPlace(addr, counter uint64, ct *ecc.Line) {
 // Decrypt returns the plaintext of ct stored at addr under the line's
 // current counter.
 func (e *Engine) Decrypt(addr uint64, ct *ecc.Line) ecc.Line {
-	return e.DecryptAt(addr, e.counters[addr], ct)
+	return e.DecryptAt(addr, e.counters.Load(addr), ct)
 }
 
 // DecryptAt decrypts under an explicit counter value.
@@ -182,16 +191,12 @@ func (e *Engine) DecryptAt(addr, counter uint64, ct *ecc.Line) ecc.Line {
 
 // CounterEntries reports how many per-line counters are live; used for
 // metadata-overhead accounting.
-func (e *Engine) CounterEntries() int { return len(e.counters) }
+func (e *Engine) CounterEntries() int { return e.counters.Len() }
 
 // RangeCounters calls fn for every (line address, write counter) pair
 // until fn returns false. Iteration order is unspecified. The checker's
 // pad-uniqueness audit snapshots the counters between ops and verifies
 // they only ever grow: a counter that repeats would reuse a one-time pad.
 func (e *Engine) RangeCounters(fn func(addr, counter uint64) bool) {
-	for addr, c := range e.counters {
-		if !fn(addr, c) {
-			return
-		}
-	}
+	e.counters.Range(fn)
 }

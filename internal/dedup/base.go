@@ -81,7 +81,7 @@ func (b *Base) StoreUnique(logical uint64, data *ecc.Line, at sim.Time) (phys ui
 	counter := b.Env.Crypto.EncryptInPlace(phys, &b.ctBuf)
 	b.Env.Energy.Crypto += b.Env.Cfg.Crypto.EncryptEnergy
 	b.Env.Step(memctrl.StepCounterBumped)
-	wr = b.Env.Device.Write(phys, b.ctBuf, at)
+	wr = b.Env.Device.Write(phys, &b.ctBuf, at)
 	mapLat = b.MapWrite(logical, phys, at)
 	mapLat += b.Env.IntegrityUpdate(phys, counter, at)
 	b.St.UniqueWrites++
@@ -95,7 +95,7 @@ func (b *Base) StoreUnique(logical uint64, data *ecc.Line, at sim.Time) (phys ui
 func (b *Base) StorePrepared(logical, phys uint64, ct *ecc.Line, counter uint64, at sim.Time) (wr nvm.WriteResult, mapLat sim.Time) {
 	b.Env.Crypto.Commit(phys, counter)
 	b.Env.Step(memctrl.StepCounterBumped)
-	wr = b.Env.Device.Write(phys, *ct, at)
+	wr = b.Env.Device.Write(phys, ct, at)
 	mapLat = b.MapWrite(logical, phys, at)
 	mapLat += b.Env.IntegrityUpdate(phys, counter, at)
 	b.St.UniqueWrites++

@@ -18,6 +18,9 @@ type Baseline struct {
 	// ctBuf is the scratch line Write encrypts into, keeping the steady
 	// state free of per-call heap copies (schemes are single-threaded).
 	ctBuf ecc.Line
+
+	// def holds the deferred stores of one WriteBatch call.
+	def Deferred
 }
 
 // NewBaseline constructs the baseline scheme on env.
@@ -38,7 +41,7 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	counter := s.env.Crypto.EncryptInPlace(logical, &s.ctBuf)
 	s.env.Energy.Crypto += s.env.Cfg.Crypto.EncryptEnergy
 	s.env.Step(memctrl.StepCounterBumped)
-	wr := s.env.Device.Write(logical, s.ctBuf, at+s.env.Cfg.Crypto.EncryptLatency)
+	wr := s.env.Device.Write(logical, &s.ctBuf, at+s.env.Cfg.Crypto.EncryptLatency)
 	metaLat := s.env.IntegrityUpdate(logical, counter, at)
 	done := wr.AcceptedAt + wr.ServiceLatency
 	bd := stats.Breakdown{
@@ -49,6 +52,45 @@ func (s *Baseline) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.Wr
 	}
 	s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, logical, logical, false, at, done, &bd)
 	return memctrl.WriteOutcome{Done: done, PhysAddr: logical, Breakdown: bd}
+}
+
+// WriteBatch implements memctrl.BatchWriter. The baseline has no dedup
+// decision and never reads during a write, so the whole batch defers
+// cleanly: counters are committed per op in order, then every pad comes
+// from one batched AES pass and the device writes issue in op order.
+func (s *Baseline) WriteBatch(ops []memctrl.BatchWrite) {
+	cfg := s.env.Cfg
+	for i := range ops {
+		op := &ops[i]
+		s.st.Writes++
+		s.st.UniqueWrites++
+		counter := s.env.Crypto.ReserveCounter(op.Logical)
+		s.env.Energy.Crypto += cfg.Crypto.EncryptEnergy
+		s.env.Step(memctrl.StepCounterBumped)
+		s.def.Defer(PendingStore{
+			Logical: op.Logical, Phys: op.Logical, Counter: counter,
+			At: op.At + cfg.Crypto.EncryptLatency, Slot: i, Data: *op.Data,
+		})
+		metaLat := s.env.IntegrityUpdate(op.Logical, counter, op.At)
+		op.Out = memctrl.WriteOutcome{
+			PhysAddr: op.Logical,
+			Breakdown: stats.Breakdown{
+				Encrypt:  cfg.Crypto.EncryptLatency,
+				Metadata: metaLat,
+			},
+		}
+	}
+	s.def.Flush(s.env)
+	entries := s.def.Entries()
+	for i := range entries {
+		p := &entries[i]
+		op := &ops[p.Slot]
+		op.Out.Breakdown.Queue = p.Wr.Stall
+		op.Out.Breakdown.Media = p.Wr.ServiceLatency
+		op.Out.Done = p.Wr.AcceptedAt + p.Wr.ServiceLatency
+		s.env.Tel.OnWrite(s.Name(), telemetry.DecBaseline, p.Logical, p.Logical, false, op.At, op.Out.Done, &op.Out.Breakdown)
+	}
+	s.def.Reset()
 }
 
 // Read fetches and decrypts the line. Like every scheme, the read passes

@@ -285,7 +285,7 @@ func (s *BCD) storeDelta(logical, base uint64, mask uint8, words [8]uint64, n in
 	}
 	ct, _ := s.Env.Crypto.Encrypt(deltaLine, &payload)
 	s.Env.Energy.Crypto += cfg.Crypto.EncryptEnergy
-	wr := s.Env.Device.Write(deltaLine, ct, t+cfg.Crypto.EncryptLatency)
+	wr := s.Env.Device.Write(deltaLine, &ct, t+cfg.Crypto.EncryptLatency)
 
 	s.St.DedupWrites++ // a full line write was avoided
 	bd.Encrypt = cfg.Crypto.EncryptLatency

@@ -127,7 +127,7 @@ func (s *DeWrite) lookupCandidate(crc uint64, t sim.Time, bd *stats.Breakdown) (
 		return phys, true, t
 	}
 	s.St.FPCacheMisses++
-	_, _, rr := s.Env.Device.Read(s.Env.MetaLineFor(crc), t)
+	rr := s.Env.Device.ReadMeta(s.Env.MetaLineFor(crc), t)
 	s.St.FPNVMMLookups++
 	bd.FPLookupNVMM += rr.Done - t
 	phys, found = s.fpIndex[crc]
@@ -260,7 +260,7 @@ func (s *DeWrite) installFP(crc, phys uint64, at sim.Time) {
 	s.fpIndex[crc] = phys
 	s.physFP[phys] = crc
 	s.fpCache.Put(crc, phys)
-	s.Env.Device.Write(s.Env.MetaLineFor(crc), metaPayload(crc, phys), at)
+	s.Env.Device.WriteMeta(s.Env.MetaLineFor(crc), at)
 }
 
 // Read implements memctrl.Scheme.

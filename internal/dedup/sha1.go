@@ -25,6 +25,9 @@ type SHA1 struct {
 	fpCache *cache.Cache[uint64] // digest summary -> physical line
 	fpIndex map[[20]byte]uint64  // NVMM-resident full index
 	physFP  map[uint64][20]byte  // reverse map for freeing
+
+	// def holds the deferred stores of one WriteBatch call.
+	def Deferred
 }
 
 // NewSHA1 constructs the Dedup_SHA1 scheme on env.
@@ -91,7 +94,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 
 	// Full deduplication: the authoritative index is in NVMM, so the miss
 	// costs a serial metadata read on the critical write path.
-	_, _, rr := s.Env.Device.Read(s.Env.MetaLineFor(d.Short), t)
+	rr := s.Env.Device.ReadMeta(s.Env.MetaLineFor(d.Short), t)
 	s.St.FPNVMMLookups++
 	bd.FPLookupNVMM = rr.Done - t
 	t = rr.Done
@@ -114,7 +117,7 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 	s.physFP[phys] = d.Key
 	s.fpCache.Put(d.Short, phys)
 	// The new fingerprint entry is persisted to NVMM off the critical path.
-	s.Env.Device.Write(s.Env.MetaLineFor(d.Short), metaPayload(d.Short, phys), wr.AcceptedAt)
+	s.Env.Device.WriteMeta(s.Env.MetaLineFor(d.Short), wr.AcceptedAt)
 	bd.Queue += wr.Stall
 	bd.Media = wr.ServiceLatency
 	bd.Metadata = mapLat
@@ -125,6 +128,79 @@ func (s *SHA1) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteO
 		Breakdown: bd,
 		PhysAddr:  phys,
 	}
+}
+
+// WriteBatch implements memctrl.BatchWriter: the same decision sequence as
+// Write per op (hash, cache probe, NVMM lookup on a miss), with unique
+// stores deferred so their pads come from one batched AES pass. SHA-1
+// trusts the hash and never reads a data line during a write, so no
+// mid-batch flush is ever needed; the index updates at decision time make
+// an intra-batch duplicate of a deferred store hit the cache path. The
+// posted fingerprint-store write depends on the media accept time, so it
+// moves to the flush with its store.
+func (s *SHA1) WriteBatch(ops []memctrl.BatchWrite) {
+	cfg := s.Env.Cfg
+	for i := range ops {
+		op := &ops[i]
+		s.St.Writes++
+		d := s.fper.Fingerprint(op.Data)
+		s.Env.Energy.Fingerprint += s.fper.Energy()
+		s.Env.ChargeSRAM()
+		feStart, feEnd := s.Env.Frontend.Reserve(op.At, s.fper.Latency()+cfg.Meta.SRAMLatency)
+		bd := stats.Breakdown{
+			FPCompute:    (feStart - op.At) + s.fper.Latency(),
+			FPLookupSRAM: cfg.Meta.SRAMLatency,
+		}
+		t := feEnd
+
+		if phys, hit := s.fpCache.Get(d.Short); hit {
+			s.St.FPCacheHits++
+			s.St.DupByCache++
+			mapLat := s.DedupHit(op.Logical, phys, t)
+			bd.Metadata = mapLat
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPCache, op.Logical, phys, true, op.At, t+mapLat, &bd)
+			op.Out = memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
+			continue
+		}
+		s.St.FPCacheMisses++
+		rr := s.Env.Device.ReadMeta(s.Env.MetaLineFor(d.Short), t)
+		s.St.FPNVMMLookups++
+		bd.FPLookupNVMM = rr.Done - t
+		t = rr.Done
+
+		if phys, ok := s.fpIndex[d.Key]; ok {
+			s.St.DupByNVMM++
+			s.fpCache.Put(d.Short, phys)
+			mapLat := s.DedupHit(op.Logical, phys, t)
+			bd.Metadata = mapLat
+			s.Env.Tel.OnWrite(s.Name(), telemetry.DecDupFPNVMM, op.Logical, phys, true, op.At, t+mapLat, &bd)
+			op.Out = memctrl.WriteOutcome{Done: t + mapLat, Breakdown: bd, Deduplicated: true, PhysAddr: phys}
+			continue
+		}
+
+		bd.Encrypt = cfg.Crypto.EncryptLatency
+		phys, mapLat := s.StoreUniqueDeferred(&s.def, op.Logical, op.Data, t+cfg.Crypto.EncryptLatency, i, 0, d.Short)
+		s.fpIndex[d.Key] = phys
+		s.physFP[phys] = d.Key
+		s.fpCache.Put(d.Short, phys)
+		bd.Metadata = mapLat
+		op.Out = memctrl.WriteOutcome{Breakdown: bd, PhysAddr: phys}
+	}
+
+	s.def.Flush(s.Env)
+	entries := s.def.Entries()
+	for i := range entries {
+		p := &entries[i]
+		op := &ops[p.Slot]
+		op.Out.Breakdown.Queue += p.Wr.Stall
+		op.Out.Breakdown.Media = p.Wr.ServiceLatency
+		op.Out.Done = p.Wr.AcceptedAt + p.Wr.ServiceLatency
+		// The new fingerprint entry is persisted to NVMM off the critical
+		// path, once its data write has been accepted.
+		s.Env.Device.WriteMeta(s.Env.MetaLineFor(p.Aux), p.Wr.AcceptedAt)
+		s.Env.Tel.OnWrite(s.Name(), telemetry.DecUniqueFPMiss, p.Logical, p.Phys, false, op.At, op.Out.Done, &op.Out.Breakdown)
+	}
+	s.def.Reset()
 }
 
 // Read implements memctrl.Scheme.
@@ -147,14 +223,6 @@ func (s *SHA1) MetadataSRAM() int64 {
 
 // FPCacheStats exposes fingerprint-cache statistics for experiments.
 func (s *SHA1) FPCacheStats() cache.Stats { return s.fpCache.Stats }
-
-// metaPayload fabricates a deterministic metadata line for posted
-// fingerprint-store writes.
-func metaPayload(key, value uint64) (l ecc.Line) {
-	binary.LittleEndian.PutUint64(l[0:8], key)
-	binary.LittleEndian.PutUint64(l[8:16], value)
-	return l
-}
 
 // Crash implements memctrl.Crasher: the on-chip fingerprint cache is lost;
 // the NVMM-resident fingerprint index and AMT survive, so deduplication

@@ -1,6 +1,10 @@
 package memctrl
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/sparse"
+)
 
 // Allocator hands out physical data lines for unique content. Freed lines
 // are recycled in LIFO order.
@@ -51,48 +55,47 @@ func (a *Allocator) HighWater() uint64 { return a.next }
 // RefStore tracks per-physical-line reference counts for deduplicating
 // schemes: how many logical addresses currently map to each physical line.
 type RefStore struct {
-	refs map[uint64]uint32
+	// refs is keyed by dense physical line addresses; every dedup write
+	// touches it at least once, so it is a paged sparse array, not a map.
+	refs sparse.Map[uint32]
 }
 
 // NewRefStore returns an empty reference store.
 func NewRefStore() *RefStore {
-	return &RefStore{refs: make(map[uint64]uint32)}
+	return &RefStore{}
 }
 
 // Inc increments the reference count of phys and returns the new count.
 func (r *RefStore) Inc(phys uint64) uint32 {
-	r.refs[phys]++
-	return r.refs[phys]
+	c := r.refs.Load(phys) + 1
+	r.refs.Set(phys, c)
+	return c
 }
 
 // Dec decrements the reference count of phys and reports whether the line
 // became unreferenced (and was removed from the store).
 func (r *RefStore) Dec(phys uint64) bool {
-	c, ok := r.refs[phys]
+	c, ok := r.refs.Get(phys)
 	if !ok {
 		panic("memctrl: Dec of untracked physical line")
 	}
 	if c <= 1 {
-		delete(r.refs, phys)
+		r.refs.Delete(phys)
 		return true
 	}
-	r.refs[phys] = c - 1
+	r.refs.Set(phys, c-1)
 	return false
 }
 
 // Count returns the current reference count of phys.
-func (r *RefStore) Count(phys uint64) uint32 { return r.refs[phys] }
+func (r *RefStore) Count(phys uint64) uint32 { return r.refs.Load(phys) }
 
 // Lines returns the number of referenced physical lines.
-func (r *RefStore) Lines() int { return len(r.refs) }
+func (r *RefStore) Lines() int { return r.refs.Len() }
 
 // Range calls fn for every (physical line, reference count) pair until fn
-// returns false. Iteration order is unspecified. Used by the checker's
-// refcount-conservation audit.
+// returns false. Dense addresses are visited in ascending order. Used by
+// the checker's refcount-conservation audit.
 func (r *RefStore) Range(fn func(phys uint64, count uint32) bool) {
-	for phys, c := range r.refs {
-		if !fn(phys, c) {
-			return
-		}
-	}
+	r.refs.Range(fn)
 }

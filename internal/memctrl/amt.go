@@ -2,19 +2,25 @@ package memctrl
 
 import (
 	"github.com/esdsim/esd/internal/cache"
-	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/sparse"
 )
 
-// amtEntry is the cached mapping value: the physical line backing a
-// logical line, plus a dirty bit for write-back to the NVMM-resident table.
-// mapped=false is a negative entry: the bucket was fetched and the logical
-// line is known to be unmapped, so repeated cold reads stay on-chip.
-type amtEntry struct {
-	phys   uint64
-	mapped bool
-	dirty  bool
-}
+// amtEntry is the cached mapping value packed into one word: the physical
+// line backing a logical line in the low bits, plus mapped and dirty flags
+// in the top two (device capacities stay far below 2^62 lines). mapped=0 is
+// a negative entry: the bucket was fetched and the logical line is known to
+// be unmapped, so repeated cold reads stay on-chip. dirty marks entries
+// owed a write-back to the NVMM-resident table. Packing halves the cache's
+// value array — the AMT cache is probed and updated on every single write,
+// so its host-cache footprint is throughput.
+type amtEntry = uint64
+
+const (
+	amtMapped amtEntry = 1 << 62
+	amtDirty  amtEntry = 1 << 63
+	amtPhys   amtEntry = amtMapped - 1
+)
 
 // AMT is the Address Mapping Table (§III-B): a many-to-one map from logical
 // line addresses to physical line addresses. The full table lives in NVMM;
@@ -23,9 +29,12 @@ type amtEntry struct {
 // evictions of dirty entries cost an NVMM metadata write, so steady-state
 // remapping traffic is amortized exactly as an on-chip buffer would.
 type AMT struct {
-	env     *Env
-	cache   *cache.Cache[amtEntry]
-	backing map[uint64]uint64
+	env   *Env
+	cache *cache.Cache[amtEntry]
+	// backing is the NVMM-resident table, keyed by dense logical line
+	// addresses — a paged sparse array so cache misses and updates stay
+	// off the map hash path.
+	backing sparse.Map[uint64]
 
 	// NVMMReads and NVMMWrites count metadata traffic to the NVMM-resident
 	// table (cache misses and dirty write-backs).
@@ -40,20 +49,19 @@ func NewAMT(env *Env, cacheBytes int) *AMT {
 		entries = 1
 	}
 	return &AMT{
-		env:     env,
-		cache:   cache.New[amtEntry](entries, 8, cache.LRU),
-		backing: make(map[uint64]uint64),
+		env:   env,
+		cache: cache.New[amtEntry](entries, 8, cache.LRU),
 	}
 }
 
 // evict handles a displaced cache entry, writing it back if dirty.
 func (a *AMT) evict(ev cache.Evicted[amtEntry], now sim.Time) {
-	if !ev.Value.dirty {
+	if ev.Value&amtDirty == 0 {
 		return
 	}
 	a.NVMMWrites++
 	a.env.Tel.OnAMTWriteback()
-	a.env.Device.Write(a.env.MetaLineFor(ev.Key), lineForMeta(ev.Key, ev.Value.phys), now)
+	a.env.Device.WriteMeta(a.env.MetaLineFor(ev.Key), now)
 }
 
 // Lookup resolves a logical address, returning the physical address (ok
@@ -65,17 +73,21 @@ func (a *AMT) Lookup(logical uint64, at sim.Time) (phys uint64, ok bool, lat sim
 	a.env.ChargeSRAM()
 	if e, hit := a.cache.Get(logical); hit {
 		a.env.Tel.OnAMT(true)
-		return e.phys, e.mapped, lat
+		return e & amtPhys, e&amtMapped != 0, lat
 	}
 	a.env.Tel.OnAMT(false)
-	phys, ok = a.backing[logical]
+	phys, ok = a.backing.Get(logical)
 	// The miss costs an NVMM metadata read whether or not the entry
 	// exists: the table bucket must be fetched to know. The fetched state
 	// is cached either way (negative caching for unmapped lines).
-	_, _, rr := a.env.Device.Read(a.env.MetaLineFor(logical), at+lat)
+	rr := a.env.Device.ReadMeta(a.env.MetaLineFor(logical), at+lat)
 	a.NVMMReads++
 	lat = rr.Done - at
-	if ev, evicted := a.cache.Put(logical, amtEntry{phys: phys, mapped: ok}); evicted {
+	e := phys
+	if ok {
+		e |= amtMapped
+	}
+	if ev, evicted := a.cache.Put(logical, e); evicted {
 		a.evict(ev, at+lat)
 	}
 	return phys, ok, lat
@@ -88,9 +100,18 @@ func (a *AMT) Lookup(logical uint64, at sim.Time) (phys uint64, ok bool, lat sim
 func (a *AMT) Update(logical, phys uint64, at sim.Time) (prevPhys uint64, hadPrev bool, lat sim.Time) {
 	lat = a.env.Cfg.Meta.SRAMLatency
 	a.env.ChargeSRAM()
-	prevPhys, hadPrev = a.backing[logical]
-	a.backing[logical] = phys
-	if ev, evicted := a.cache.Put(logical, amtEntry{phys: phys, mapped: true, dirty: true}); evicted {
+	prevPhys, hadPrev = a.backing.Get(logical)
+	if hadPrev && prevPhys == phys {
+		// The mapping is unchanged — a duplicate write re-resolving to the
+		// same physical line. The table entry (and any cached copy, which
+		// by construction always mirrors the current mapping) is already
+		// correct, so the controller touches no mapping state: no dirty
+		// bit, no cache allocation displacing a useful entry, and zero
+		// metadata write-backs for steady-state duplicate traffic.
+		return prevPhys, hadPrev, lat
+	}
+	a.backing.Set(logical, phys)
+	if ev, evicted := a.cache.Put(logical, phys|amtMapped|amtDirty); evicted {
 		a.evict(ev, at+lat)
 	}
 	return prevPhys, hadPrev, lat
@@ -102,10 +123,10 @@ func (a *AMT) Update(logical, phys uint64, at sim.Time) (prevPhys uint64, hadPre
 // table plus the drained entries are complete.
 func (a *AMT) CrashFlush(now sim.Time) {
 	a.cache.Range(func(key uint64, e amtEntry, _ int) bool {
-		if e.dirty {
+		if e&amtDirty != 0 {
 			a.NVMMWrites++
 			a.env.Tel.OnAMTWriteback()
-			a.env.Device.Write(a.env.MetaLineFor(key), lineForMeta(key, e.phys), now)
+			a.env.Device.WriteMeta(a.env.MetaLineFor(key), now)
 		}
 		return true
 	})
@@ -113,7 +134,7 @@ func (a *AMT) CrashFlush(now sim.Time) {
 }
 
 // Entries reports the number of mappings in the NVMM-resident table.
-func (a *AMT) Entries() int { return len(a.backing) }
+func (a *AMT) Entries() int { return a.backing.Len() }
 
 // Range calls fn for every logical -> physical mapping in the
 // NVMM-resident table until fn returns false. The backing table is
@@ -121,11 +142,7 @@ func (a *AMT) Entries() int { return len(a.backing) }
 // complete mapping; iteration order is unspecified. Used by the checker's
 // refcount-conservation and dangling-line audits.
 func (a *AMT) Range(fn func(logical, phys uint64) bool) {
-	for logical, phys := range a.backing {
-		if !fn(logical, phys) {
-			return
-		}
-	}
+	a.backing.Range(fn)
 }
 
 // CacheStats exposes the SRAM cache statistics.
@@ -133,15 +150,5 @@ func (a *AMT) CacheStats() cache.Stats { return a.cache.Stats }
 
 // NVMMBytes reports the NVMM footprint of the table.
 func (a *AMT) NVMMBytes() int64 {
-	return int64(len(a.backing)) * int64(a.env.Cfg.Meta.AMTEntryBytes)
-}
-
-// lineForMeta fabricates deterministic metadata line content so that
-// metadata writes carry real (if synthetic) payloads.
-func lineForMeta(key, value uint64) (l ecc.Line) {
-	for i := 0; i < 8; i++ {
-		l[i] = byte(key >> (8 * i))
-		l[8+i] = byte(value >> (8 * i))
-	}
-	return l
+	return int64(a.backing.Len()) * int64(a.env.Cfg.Meta.AMTEntryBytes)
 }

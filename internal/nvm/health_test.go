@@ -16,11 +16,11 @@ func TestHealthAccounting(t *testing.T) {
 	var line ecc.Line
 	// One hammered line plus nine cold ones.
 	for i := 0; i < 10; i++ {
-		d.Write(0, line, now)
+		d.Write(0, &line, now)
 		now += sim.Microsecond
 	}
 	for a := uint64(1); a < 10; a++ {
-		d.Write(a, line, now)
+		d.Write(a, &line, now)
 		now += sim.Microsecond
 	}
 	for a := uint64(0); a < 5; a++ {
@@ -102,7 +102,7 @@ func TestHealthMatchesWear(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		// Zipf-ish: low addresses much hotter.
 		addr := uint64(rng.Intn(1 + rng.Intn(256)))
-		d.Write(addr, line, now)
+		d.Write(addr, &line, now)
 		now += 200 * sim.Nanosecond
 	}
 	d.SyncHealth()
@@ -134,7 +134,7 @@ func TestWearSummaryEdgeCases(t *testing.T) {
 	}
 	// Single line, single write.
 	var line ecc.Line
-	d.Write(3, line, 0)
+	d.Write(3, &line, 0)
 	d.SyncHealth()
 	s := d.Wear()
 	if s.TotalWrites != 1 || s.LinesTouched != 1 || s.MaxWear != 1 || s.MeanWear != 1 || s.P99Wear != 1 {
@@ -142,7 +142,7 @@ func TestWearSummaryEdgeCases(t *testing.T) {
 	}
 	// Single line, several writes: every percentile is that line.
 	for i := 0; i < 4; i++ {
-		d.Write(3, line, 0)
+		d.Write(3, &line, 0)
 	}
 	d.SyncHealth()
 	s = d.Wear()
@@ -180,7 +180,7 @@ func TestWearReadsRaceWithWrites(t *testing.T) {
 	var line ecc.Line
 	now := sim.Time(0)
 	for i := 0; i < 20000; i++ {
-		d.Write(uint64(i%512), line, now)
+		d.Write(uint64(i%512), &line, now)
 		if i%3 == 0 {
 			d.Read(uint64(i%512), now)
 		}
@@ -200,7 +200,7 @@ func TestMergeHealth(t *testing.T) {
 	for sh := 0; sh < 2; sh++ {
 		d := New(testCfg())
 		for i := 0; i < 100*(sh+1); i++ {
-			d.Write(uint64(i%(10*(sh+1))), line, 0)
+			d.Write(uint64(i%(10*(sh+1))), &line, 0)
 		}
 		d.SyncHealth()
 		snaps = append(snaps, d.HealthSnapshot())

@@ -19,6 +19,7 @@ import (
 	"github.com/esdsim/esd/internal/config"
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/sparse"
 )
 
 // pendingWrite is a posted write waiting for its bank.
@@ -140,7 +141,10 @@ type Probe interface {
 type Device struct {
 	cfg   config.PCM
 	banks []bank
-	data  map[uint64]ecc.Line
+	// data is the functional store. Line addresses are dense, so a paged
+	// sparse array beats a map on the per-write hot path by a wide margin
+	// (no hashing, no rehash churn as the device fills).
+	data sparse.Map[ecc.Line]
 	// health holds all wear and health accounting, including the per-line
 	// wear pages (guarded by health.mu; read counters are atomics).
 	health health
@@ -174,7 +178,6 @@ func New(cfg config.PCM) *Device {
 	d := &Device{
 		cfg:   cfg,
 		banks: banks,
-		data:  make(map[uint64]ecc.Line),
 	}
 	d.health.init(cfg.Banks, cfg.Lines())
 	return d
@@ -192,6 +195,23 @@ func (d *Device) checkAddr(addr uint64) {
 // Read performs a timed demand read of line addr. The returned line is the
 // current content (zero line if never written; ok reports which).
 func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
+	res := d.readTimed(addr, now)
+	line, ok := d.data.Get(addr)
+	return line, ok, res
+}
+
+// ReadMeta performs a timed read of a metadata line: identical bank timing,
+// stats, energy and health accounting to Read, but without fetching
+// functional content. Every metadata structure in the simulator keeps its
+// authoritative state SRAM-side (the AMT backing table, the fingerprint
+// indexes); the NVMM-resident copy exists to charge realistic media traffic,
+// and nothing ever reads its bytes back. Skipping the functional store keeps
+// the hash-scattered metadata region out of the data working set entirely.
+func (d *Device) ReadMeta(addr uint64, now sim.Time) ReadResult {
+	return d.readTimed(addr, now)
+}
+
+func (d *Device) readTimed(addr uint64, now sim.Time) ReadResult {
 	d.checkAddr(addr)
 	bi := addr % uint64(len(d.banks))
 	b := &d.banks[bi]
@@ -238,15 +258,27 @@ func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, ReadResult) {
 	d.Stats.ReadQueueTime += res.QueueDelay
 	d.Stats.MediaEnergy += d.cfg.ReadEnergy
 	d.health.noteRead(int(bi), rowHit)
-	line, ok := d.data[addr]
-	return line, ok, res
+	return res
 }
 
 // Write performs a timed posted write of line to addr. The functional state
 // updates immediately; the media operation drains from the bank's write
 // queue in the background. If the queue is full the writer stalls until the
 // bank frees a slot.
-func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
+func (d *Device) Write(addr uint64, line *ecc.Line, now sim.Time) WriteResult {
+	res := d.writeTimed(addr, now)
+	d.data.Set(addr, *line)
+	return res
+}
+
+// WriteMeta performs a timed posted write of a metadata line: identical
+// queueing, wear and energy accounting to Write, but without storing
+// functional content (see ReadMeta for why none is needed).
+func (d *Device) WriteMeta(addr uint64, now sim.Time) WriteResult {
+	return d.writeTimed(addr, now)
+}
+
+func (d *Device) writeTimed(addr uint64, now sim.Time) WriteResult {
 	d.checkAddr(addr)
 	bi := addr % uint64(len(d.banks))
 	b := &d.banks[bi]
@@ -273,7 +305,6 @@ func (d *Device) Write(addr uint64, line ecc.Line, now sim.Time) WriteResult {
 	if b.hasOpen && b.openLine == addr {
 		b.hasOpen = false
 	}
-	d.data[addr] = line
 	d.health.noteWrite(addr, int(bi))
 	d.Stats.Writes++
 	d.Stats.MediaEnergy += d.cfg.WriteEnergy
@@ -320,19 +351,18 @@ func (d *Device) Flush(now sim.Time) sim.Time {
 // Load returns the functional content of addr without timing side effects.
 func (d *Device) Load(addr uint64) (ecc.Line, bool) {
 	d.checkAddr(addr)
-	l, ok := d.data[addr]
-	return l, ok
+	return d.data.Get(addr)
 }
 
 // Store updates the functional content of addr without timing side effects
 // (used to pre-populate state during warm-up).
 func (d *Device) Store(addr uint64, line ecc.Line) {
 	d.checkAddr(addr)
-	d.data[addr] = line
+	d.data.Set(addr, line)
 }
 
 // LinesWritten reports how many distinct lines hold data.
-func (d *Device) LinesWritten() int { return len(d.data) }
+func (d *Device) LinesWritten() int { return d.data.Len() }
 
 // WearOf returns the write count of addr. Safe to call concurrently with
 // the simulation; may lag it by up to healthBatch media ops (exact after

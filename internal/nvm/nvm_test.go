@@ -20,7 +20,7 @@ func testCfg() config.PCM {
 func TestReadWriteFunctionalRoundTrip(t *testing.T) {
 	d := New(testCfg())
 	line := ecc.Line{1, 2, 3}
-	d.Write(10, line, 0)
+	d.Write(10, &line, 0)
 	got, ok, _ := d.Read(10, 1000*sim.Nanosecond)
 	if !ok || got != line {
 		t.Fatalf("Read(10) = %v, ok=%v", got[:4], ok)
@@ -71,7 +71,7 @@ func TestReadsOnDifferentBanksDoNotInterfere(t *testing.T) {
 
 func TestPostedWriteIsInstantWhenQueueHasRoom(t *testing.T) {
 	d := New(testCfg())
-	res := d.Write(0, ecc.Line{}, 500)
+	res := d.Write(0, &ecc.Line{}, 500)
 	if res.Stall != 0 || res.AcceptedAt != 500 {
 		t.Fatalf("posted write result %+v", res)
 	}
@@ -85,9 +85,9 @@ func TestFullWriteQueueStallsWriter(t *testing.T) {
 	// third must stall for one media write time (the bank starts draining
 	// the oldest entry when forced).
 	bankStride := uint64(cfg.Banks)
-	d.Write(0, ecc.Line{}, 0)
-	d.Write(bankStride, ecc.Line{}, 0)
-	res := d.Write(2*bankStride, ecc.Line{}, 0)
+	d.Write(0, &ecc.Line{}, 0)
+	d.Write(bankStride, &ecc.Line{}, 0)
+	res := d.Write(2*bankStride, &ecc.Line{}, 0)
 	if res.Stall != cfg.WriteLatency {
 		t.Fatalf("third write stall = %v, want %v", res.Stall, cfg.WriteLatency)
 	}
@@ -99,7 +99,7 @@ func TestReadPriorityBypassesQueuedWrites(t *testing.T) {
 	bankStride := uint64(cfg.Banks)
 	// Post several writes at t=0; none have started (they drain lazily).
 	for i := uint64(0); i < 4; i++ {
-		d.Write(i*bankStride, ecc.Line{}, 0)
+		d.Write(i*bankStride, &ecc.Line{}, 0)
 	}
 	// A read arriving immediately must not wait behind all four writes;
 	// at most the one write that already started occupies the bank.
@@ -113,8 +113,8 @@ func TestReadPriorityBypassesQueuedWrites(t *testing.T) {
 func TestIdleGapsDrainWrites(t *testing.T) {
 	cfg := testCfg()
 	d := New(cfg)
-	d.Write(0, ecc.Line{}, 0)
-	d.Write(uint64(cfg.Banks), ecc.Line{}, 0)
+	d.Write(0, &ecc.Line{}, 0)
+	d.Write(uint64(cfg.Banks), &ecc.Line{}, 0)
 	// After a long idle period both writes have drained; a read sees an
 	// idle bank.
 	_, _, res := d.Read(0, 10*cfg.WriteLatency)
@@ -130,7 +130,7 @@ func TestFlushDrainsEverything(t *testing.T) {
 	cfg := testCfg()
 	d := New(cfg)
 	for i := uint64(0); i < 10; i++ {
-		d.Write(i*uint64(cfg.Banks), ecc.Line{}, 0)
+		d.Write(i*uint64(cfg.Banks), &ecc.Line{}, 0)
 	}
 	idle := d.Flush(0)
 	if d.QueuedWrites() != 0 {
@@ -144,7 +144,7 @@ func TestFlushDrainsEverything(t *testing.T) {
 func TestEnergyAccounting(t *testing.T) {
 	cfg := testCfg()
 	d := New(cfg)
-	d.Write(0, ecc.Line{}, 0)
+	d.Write(0, &ecc.Line{}, 0)
 	d.Read(0, 0)
 	d.Read(0, 0)
 	want := cfg.WriteEnergy + 2*cfg.ReadEnergy
@@ -156,9 +156,9 @@ func TestEnergyAccounting(t *testing.T) {
 func TestWearTracking(t *testing.T) {
 	d := New(testCfg())
 	for i := 0; i < 5; i++ {
-		d.Write(7, ecc.Line{byte(i)}, sim.Time(i)*sim.Microsecond)
+		d.Write(7, &ecc.Line{byte(i)}, sim.Time(i)*sim.Microsecond)
 	}
-	d.Write(8, ecc.Line{}, 0)
+	d.Write(8, &ecc.Line{}, 0)
 	d.SyncHealth() // publish staged accounting before exact assertions
 	if d.WearOf(7) != 5 || d.WearOf(8) != 1 {
 		t.Fatalf("wear = %d/%d, want 5/1", d.WearOf(7), d.WearOf(8))
@@ -183,7 +183,7 @@ func TestAddressBeyondCapacityPanics(t *testing.T) {
 			t.Fatal("out-of-range address did not panic")
 		}
 	}()
-	d.Write(uint64(d.Lines()), ecc.Line{}, 0)
+	d.Write(uint64(d.Lines()), &ecc.Line{}, 0)
 }
 
 func TestLoadStoreBypassTiming(t *testing.T) {
@@ -224,7 +224,7 @@ func TestLatestWriteWins(t *testing.T) {
 			addr := r.Uint64n(1024)
 			var l ecc.Line
 			l.SetWord(0, r.Uint64())
-			d.Write(addr, l, now)
+			d.Write(addr, &l, now)
 			want[addr] = l
 			now += sim.Time(r.Intn(200)) * sim.Nanosecond
 		}
@@ -256,7 +256,7 @@ func TestTimeNeverRegresses(t *testing.T) {
 					return false
 				}
 			} else {
-				res := d.Write(addr, ecc.Line{}, now)
+				res := d.Write(addr, &ecc.Line{}, now)
 				if res.AcceptedAt < now || res.Stall < 0 {
 					return false
 				}
@@ -280,6 +280,6 @@ func BenchmarkDeviceWrite(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		d.Write(addrs[i%len(addrs)], ecc.Line{}, sim.Time(i)*100*sim.Nanosecond)
+		d.Write(addrs[i%len(addrs)], &ecc.Line{}, sim.Time(i)*100*sim.Nanosecond)
 	}
 }

@@ -122,7 +122,7 @@ func (ld *LeveledDevice) Read(logical uint64, now sim.Time) (ecc.Line, bool, Rea
 
 // Write performs a timed write of the logical line, executing any due gap
 // move (one extra media read + write) first so the mapping stays correct.
-func (ld *LeveledDevice) Write(logical uint64, line ecc.Line, now sim.Time) WriteResult {
+func (ld *LeveledDevice) Write(logical uint64, line *ecc.Line, now sim.Time) WriteResult {
 	if m, due := ld.sg.OnWrite(); due {
 		// The gap move copies one line: read the source slot, write it to
 		// the destination slot. These are real media operations and show
@@ -132,7 +132,7 @@ func (ld *LeveledDevice) Write(logical uint64, line ecc.Line, now sim.Time) Writ
 		}
 		data, ok, rr := ld.dev.Read(m.From, now)
 		if ok {
-			ld.dev.Write(m.To, data, rr.Done)
+			ld.dev.Write(m.To, &data, rr.Done)
 		}
 	}
 	return ld.dev.Write(ld.sg.Map(logical), line, now)

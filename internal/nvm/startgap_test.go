@@ -114,7 +114,7 @@ func TestLeveledDeviceRoundTrip(t *testing.T) {
 		var l ecc.Line
 		l.SetWord(0, r.Uint64())
 		l.SetWord(1, la)
-		ld.Write(la, l, now)
+		ld.Write(la, &l, now)
 		want[la] = l
 		now += 200 * sim.Nanosecond
 	}
@@ -141,7 +141,7 @@ func TestLeveledDeviceSpreadsWear(t *testing.T) {
 	now := sim.Time(0)
 	for i := 0; i < writes; i++ {
 		l.SetWord(0, uint64(i))
-		ld.Write(7, l, now)
+		ld.Write(7, &l, now)
 		now += 200 * sim.Nanosecond
 	}
 	w := dev.Wear()

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -116,6 +117,30 @@ func (c *HTTPClient) Close() error {
 	return nil
 }
 
+// BatchWriteOp is one write in a TCPClient.WriteBatch frame.
+type BatchWriteOp struct {
+	Addr uint64
+	Line ecc.Line
+}
+
+// BatchWriteResult is one per-op result of a batched write. Err decodes
+// the per-op status (nil on StatusOK); the payload fields are valid only
+// when Err is nil.
+type BatchWriteResult struct {
+	Err       error
+	Dedup     bool
+	PhysAddr  uint64
+	LatencyNs float64
+}
+
+// BatchReadResult is one per-op result of a batched read.
+type BatchReadResult struct {
+	Err       error
+	Hit       bool
+	Data      ecc.Line
+	LatencyNs float64
+}
+
 // TCPClient speaks the binary protocol over one connection. NOT safe for
 // concurrent use (frames strictly alternate); esdload opens one per
 // worker.
@@ -123,6 +148,9 @@ type TCPClient struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	// batchBuf is the reusable frame scratch for WriteBatch/ReadBatch.
+	batchBuf []byte
 }
 
 // DialTCP connects a binary-protocol client to addr.
@@ -209,6 +237,116 @@ func (c *TCPClient) Read(addr uint64) (ReadResponse, error) {
 		Data:      append([]byte(nil), payload[1:1+ecc.LineSize]...),
 		LatencyNs: float64(getU64(payload[1+ecc.LineSize:])),
 	}, nil
+}
+
+// grow returns c.batchBuf resized to n bytes.
+func (c *TCPClient) grow(n int) []byte {
+	if cap(c.batchBuf) < n {
+		c.batchBuf = make([]byte, n)
+	}
+	return c.batchBuf[:n]
+}
+
+// WriteBatch sends every op in one 'B' frame — one round trip for the
+// whole batch — and decodes the per-op results into res, which must have
+// len(ops) entries. len(ops) must not exceed MaxBatchOps. The returned
+// error reports transport or framing failure; per-op flow control
+// (overloaded, timeout, closing) lands in res[i].Err.
+func (c *TCPClient) WriteBatch(ops []BatchWriteOp, res []BatchWriteResult) error {
+	if len(ops) > MaxBatchOps {
+		return fmt.Errorf("server: batch of %d ops exceeds MaxBatchOps=%d", len(ops), MaxBatchOps)
+	}
+	if len(res) != len(ops) {
+		return fmt.Errorf("server: results slice has %d entries for %d ops", len(res), len(ops))
+	}
+	frame := c.grow(1 + 2 + len(ops)*writeReqLen)[:3]
+	frame[0] = OpWriteBatch
+	binary.LittleEndian.PutUint16(frame[1:], uint16(len(ops)))
+	for i := range ops {
+		var rec [writeReqLen]byte
+		putU64(rec[:8], ops[i].Addr)
+		copy(rec[8:], ops[i].Line[:])
+		frame = append(frame, rec[:]...)
+	}
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st)
+	}
+	var cnt [2]byte
+	if err := readFull(c.br, cnt[:]); err != nil {
+		return err
+	}
+	if n := int(binary.LittleEndian.Uint16(cnt[:])); n != len(ops) {
+		return fmt.Errorf("server: batch response carries %d results for %d ops", n, len(ops))
+	}
+	payload := c.grow(len(ops) * writeBatchRecLen)
+	if err := readFull(c.br, payload); err != nil {
+		return err
+	}
+	for i := range res {
+		rec := payload[i*writeBatchRecLen:]
+		if rec[0] != StatusOK {
+			res[i] = BatchWriteResult{Err: statusErr(rec[0])}
+			continue
+		}
+		res[i] = BatchWriteResult{
+			Dedup:     rec[1] == 1,
+			PhysAddr:  getU64(rec[2:10]),
+			LatencyNs: float64(getU64(rec[10:18])),
+		}
+	}
+	return nil
+}
+
+// ReadBatch sends every address in one 'b' frame and decodes the per-op
+// results into res (len(addrs) entries; see WriteBatch for the error
+// contract).
+func (c *TCPClient) ReadBatch(addrs []uint64, res []BatchReadResult) error {
+	if len(addrs) > MaxBatchOps {
+		return fmt.Errorf("server: batch of %d ops exceeds MaxBatchOps=%d", len(addrs), MaxBatchOps)
+	}
+	if len(res) != len(addrs) {
+		return fmt.Errorf("server: results slice has %d entries for %d ops", len(res), len(addrs))
+	}
+	frame := c.grow(1 + 2 + len(addrs)*readReqLen)
+	frame[0] = OpReadBatch
+	binary.LittleEndian.PutUint16(frame[1:], uint16(len(addrs)))
+	for i, a := range addrs {
+		putU64(frame[3+i*readReqLen:], a)
+	}
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return err
+	}
+	if st != StatusOK {
+		return statusErr(st)
+	}
+	var cnt [2]byte
+	if err := readFull(c.br, cnt[:]); err != nil {
+		return err
+	}
+	if n := int(binary.LittleEndian.Uint16(cnt[:])); n != len(addrs) {
+		return fmt.Errorf("server: batch response carries %d results for %d ops", n, len(addrs))
+	}
+	payload := c.grow(len(addrs) * readBatchRecLen)
+	if err := readFull(c.br, payload); err != nil {
+		return err
+	}
+	for i := range res {
+		rec := payload[i*readBatchRecLen:]
+		if rec[0] != StatusOK {
+			res[i] = BatchReadResult{Err: statusErr(rec[0])}
+			continue
+		}
+		res[i].Err = nil
+		res[i].Hit = rec[1] == 1
+		copy(res[i].Data[:], rec[2:2+ecc.LineSize])
+		res[i].LatencyNs = float64(getU64(rec[2+ecc.LineSize : 2+ecc.LineSize+8]))
+	}
+	return nil
 }
 
 func (c *TCPClient) Flush() error {

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"net"
 	"testing"
 	"time"
@@ -70,6 +71,57 @@ func FuzzTCPFrame(f *testing.F) {
 		bw := bufio.NewWriter(&out)
 		// Drive frames until the handler drops the connection or the
 		// stream runs dry — exactly handleConn's loop, minus the sockets.
+		for {
+			op, err := br.ReadByte()
+			if err != nil {
+				break
+			}
+			if !srv.serveFrame(br, bw, op) {
+				break
+			}
+			if bw.Flush() != nil {
+				break
+			}
+		}
+	})
+}
+
+// validBatchFrame returns a well-formed 'B' body with n copies of one
+// write record.
+func validBatchFrame(n int) []byte {
+	b := make([]byte, 2, 2+n*writeReqLen)
+	binary.LittleEndian.PutUint16(b, uint16(n))
+	for i := 0; i < n; i++ {
+		b = append(b, validWriteFrame(uint64(i))...)
+	}
+	return b
+}
+
+// FuzzTCPFrameBatch focuses the fuzzer on the batch frames: truncated
+// bodies, zero-op batches, oversized counts and garbage after the count
+// must produce an error status or drop the connection — never a panic,
+// never a hang, and every response the handler does write must be a
+// well-formed frame (the handler returning true means the full response
+// was written).
+func FuzzTCPFrameBatch(f *testing.F) {
+	f.Add(append([]byte{OpWriteBatch}, validBatchFrame(3)...))
+	f.Add(append([]byte{OpWriteBatch}, validBatchFrame(0)...))
+	f.Add([]byte{OpWriteBatch})                      // no count
+	f.Add([]byte{OpWriteBatch, 0x05})                // half a count
+	f.Add([]byte{OpWriteBatch, 0x02, 0x00, 0xAA})    // count 2, truncated body
+	f.Add([]byte{OpWriteBatch, 0xFF, 0xFF})          // count 65535 > MaxBatchOps
+	f.Add([]byte{OpReadBatch, 0x00, 0x00})           // zero reads
+	f.Add([]byte{OpReadBatch, 0x02, 0x00, 1, 2, 3})  // truncated addresses
+	f.Add([]byte{OpReadBatch, 0xFF, 0x7F})           // oversized read count
+	f.Add([]byte{OpReadBatch, 0x01, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, OpWriteBatch, 0x01, 0x00}) // read batch then truncated write batch
+
+	srv, closeEng := fuzzServer(f)
+	defer closeEng()
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		br := bufio.NewReader(bytes.NewReader(stream))
+		var out bytes.Buffer
+		bw := bufio.NewWriter(&out)
 		for {
 			op, err := br.ReadByte()
 			if err != nil {

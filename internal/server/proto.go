@@ -19,25 +19,47 @@ import (
 //
 // Request frames:
 //
-//	write: 'W' addr:8 line:64
-//	read:  'R' addr:8
-//	flush: 'F'
-//	stats: 'S'
+//	write:      'W' addr:8 line:64
+//	read:       'R' addr:8
+//	flush:      'F'
+//	stats:      'S'
+//	writeBatch: 'B' count:2 count×(addr:8 line:64)
+//	readBatch:  'b' count:2 count×(addr:8)
 //
 // Response frames:
 //
-//	write: status:1 [dedup:1 phys:8 latNs:8]     (payload on StatusOK)
-//	read:  status:1 [hit:1 line:64 latNs:8]
-//	flush: status:1
-//	stats: status:1 [len:4 json:len]
+//	write:      status:1 [dedup:1 phys:8 latNs:8]     (payload on StatusOK)
+//	read:       status:1 [hit:1 line:64 latNs:8]
+//	flush:      status:1
+//	stats:      status:1 [len:4 json:len]
+//	writeBatch: status:1 [count:2 count×(status:1 dedup:1 phys:8 latNs:8)]
+//	readBatch:  status:1 [count:2 count×(status:1 hit:1 line:64 latNs:8)]
 //
 // All integers are little-endian. A non-OK status ends the frame after
-// the status byte.
+// the status byte. Batch frames carry up to MaxBatchOps operations and
+// complete one round trip for the whole batch; the frame-level status is
+// non-OK only for malformed requests (count over the cap — the
+// connection is then dropped), while per-op flow control (overloaded,
+// timeout, closing) is reported in the fixed-size per-op records, whose
+// payload fields are zero unless the op's status is StatusOK. A
+// zero-count batch is valid and returns an OK frame with count 0.
 const (
-	OpWrite byte = 'W'
-	OpRead  byte = 'R'
-	OpFlush byte = 'F'
-	OpStats byte = 'S'
+	OpWrite      byte = 'W'
+	OpRead       byte = 'R'
+	OpFlush      byte = 'F'
+	OpStats      byte = 'S'
+	OpWriteBatch byte = 'B'
+	OpReadBatch  byte = 'b'
+)
+
+// MaxBatchOps caps the operations one batch frame may carry; it bounds
+// the per-connection buffering a frame can demand on either side.
+const MaxBatchOps = 256
+
+// Per-op response record sizes inside batch frames.
+const (
+	writeBatchRecLen = 1 + 1 + 8 + 8
+	readBatchRecLen  = 1 + 1 + ecc.LineSize + 8
 )
 
 // Response status codes shared by the TCP protocol and, by analogy, the

@@ -3,13 +3,31 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/shard"
+)
+
+// Batch-frame scratch pools: one full-size buffer per in-flight batch
+// frame, so the steady-state batch path does not allocate per frame. A
+// buffer is recycled as soon as serveFrame returns — safe even when the
+// engine call was abandoned on timeout, because the shard engine copies
+// lines into its own sub-batch buffers at submit time.
+var (
+	batchOpsPool = sync.Pool{New: func() any {
+		s := make([]shard.WriteBatchOp, MaxBatchOps)
+		return &s
+	}}
+	batchAddrsPool = sync.Pool{New: func() any {
+		s := make([]uint64, MaxBatchOps)
+		return &s
+	}}
 )
 
 // acceptTCP runs the binary-protocol accept loop until the listener is
@@ -127,6 +145,123 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		putU64(resp[2+ecc.LineSize:], uint64(res.Lat.Nanoseconds()))
 		_, werr := bw.Write(resp[:])
 		return werr == nil
+	case OpWriteBatch:
+		var cnt [2]byte
+		if readFull(br, cnt[:]) != nil {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(cnt[:]))
+		if n > MaxBatchOps {
+			// Oversized counts are malformed, not flow control: reject the
+			// frame and drop the connection (the body was never read, so
+			// the stream position is unknown). Flush so the client sees the
+			// status before the close.
+			writeStatus(bw, StatusBadRequest)
+			_ = bw.Flush()
+			return false
+		}
+		if n == 0 {
+			var resp [3]byte
+			resp[0] = StatusOK
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		opsp := batchOpsPool.Get().(*[]shard.WriteBatchOp)
+		defer batchOpsPool.Put(opsp)
+		ops := (*opsp)[:n]
+		var req [writeReqLen]byte
+		for i := 0; i < n; i++ {
+			if readFull(br, req[:]) != nil {
+				return false
+			}
+			ops[i].Addr = getU64(req[:8])
+			copy(ops[i].Line[:], req[8:])
+		}
+		tc := s.eng.NewTrace()
+		tc.StartNs = time.Now().UnixNano()
+		err := s.eng.TryWriteBatchTraced(ctx, ops, tc)
+		s.noteRequest("tcp", "write-batch", tc, ops[0].Addr, time.Since(time.Unix(0, tc.StartNs)), err)
+		var head [3]byte
+		head[0] = StatusOK
+		binary.LittleEndian.PutUint16(head[1:], uint16(n))
+		if _, err := bw.Write(head[:]); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var rec [writeBatchRecLen]byte
+			if ops[i].Err != nil {
+				rec[0] = errStatus(ops[i].Err)
+			} else {
+				rec[0] = StatusOK
+				if ops[i].Out.Deduplicated {
+					rec[1] = 1
+				}
+				putU64(rec[2:], ops[i].Out.PhysAddr)
+				putU64(rec[10:], uint64(ops[i].Out.Breakdown.Total().Nanoseconds()))
+			}
+			if _, err := bw.Write(rec[:]); err != nil {
+				return false
+			}
+		}
+		return true
+	case OpReadBatch:
+		var cnt [2]byte
+		if readFull(br, cnt[:]) != nil {
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(cnt[:]))
+		if n > MaxBatchOps {
+			writeStatus(bw, StatusBadRequest)
+			_ = bw.Flush()
+			return false
+		}
+		if n == 0 {
+			var resp [3]byte
+			resp[0] = StatusOK
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		addrsp := batchAddrsPool.Get().(*[]uint64)
+		defer batchAddrsPool.Put(addrsp)
+		addrs := (*addrsp)[:n]
+		var req [readReqLen]byte
+		for i := 0; i < n; i++ {
+			if readFull(br, req[:]) != nil {
+				return false
+			}
+			addrs[i] = getU64(req[:])
+		}
+		tc := s.eng.NewTrace()
+		tc.StartNs = time.Now().UnixNano()
+		var head [3]byte
+		head[0] = StatusOK
+		binary.LittleEndian.PutUint16(head[1:], uint16(n))
+		if _, err := bw.Write(head[:]); err != nil {
+			return false
+		}
+		var firstErr error
+		for i := 0; i < n; i++ {
+			var rec [readBatchRecLen]byte
+			res, err := s.eng.TryReadTraced(ctx, addrs[i], tc)
+			if err != nil {
+				rec[0] = errStatus(err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				rec[0] = StatusOK
+				if res.Hit {
+					rec[1] = 1
+				}
+				copy(rec[2:], res.Data[:])
+				putU64(rec[2+ecc.LineSize:], uint64(res.Lat.Nanoseconds()))
+			}
+			if _, err := bw.Write(rec[:]); err != nil {
+				return false
+			}
+		}
+		s.noteRequest("tcp", "read-batch", tc, addrs[0], time.Since(time.Unix(0, tc.StartNs)), firstErr)
+		return true
 	case OpFlush:
 		if err := s.eng.Flush(); err != nil {
 			return writeStatus(bw, errStatus(err))

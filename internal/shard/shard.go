@@ -62,6 +62,14 @@ type Options struct {
 	// never across an intervening read of that address, which pins every
 	// older write. Off by default because it changes dedup statistics.
 	Coalesce bool
+	// BatchKernels executes runs of consecutive writes in a drained batch
+	// through the scheme's batched write path (memctrl.WriteBatch):
+	// identical dedup decisions, placements, counters and statistics, but
+	// the pads of unique stores come from one batched AES pass and the
+	// device writes issue after the decisions, so per-op latencies can
+	// differ from the scalar path (deferred writes observe different
+	// bank-queue states). Off by default for exact scalar-path latencies.
+	BatchKernels bool
 	// IssueGap is the simulated time each shard's clock advances per
 	// request (default 10 ns), matching System.IssueGap.
 	IssueGap sim.Time
@@ -152,15 +160,16 @@ func New(cfg config.Config, scheme string, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("shard: %w", err)
 		}
 		s := &shard{
-			id:       i,
-			env:      env,
-			sch:      sch,
-			reqs:     make(chan request, opts.QueueDepth),
-			gap:      opts.IssueGap,
-			batch:    opts.Batch,
-			coalesce: opts.Coalesce,
-			interval: sch.TickInterval(),
-			flight:   telemetry.NewFlightRecorder(opts.FlightSlots),
+			id:           i,
+			env:          env,
+			sch:          sch,
+			reqs:         make(chan request, opts.QueueDepth),
+			gap:          opts.IssueGap,
+			batch:        opts.Batch,
+			coalesce:     opts.Coalesce,
+			batchKernels: opts.BatchKernels,
+			interval:     sch.TickInterval(),
+			flight:       telemetry.NewFlightRecorder(opts.FlightSlots),
 		}
 		if opts.Tracing {
 			s.stages = new(telemetry.StageHistograms)
@@ -208,6 +217,10 @@ func (e *Engine) TracingEnabled() bool { return e.opts.Tracing }
 
 // CoalesceEnabled reports whether write coalescing is on.
 func (e *Engine) CoalesceEnabled() bool { return e.opts.Coalesce }
+
+// BatchKernelsEnabled reports whether drained write runs execute through
+// the schemes' batched write path (Options.BatchKernels).
+func (e *Engine) BatchKernelsEnabled() bool { return e.opts.BatchKernels }
 
 // QueueCap returns the per-shard queue bound.
 func (e *Engine) QueueCap() int { return e.opts.QueueDepth }

@@ -17,8 +17,9 @@ type kind uint8
 const (
 	kWrite kind = iota
 	kRead
-	kFlush // drain the shard's device write queue
-	kSnap  // snapshot the shard's counters
+	kFlush      // drain the shard's device write queue
+	kSnap       // snapshot the shard's counters
+	kWriteBatch // a pre-grouped sub-batch of writes (Engine.WriteBatch)
 )
 
 // request is one unit of work on a shard queue. done (buffered, capacity
@@ -30,6 +31,10 @@ type request struct {
 	line ecc.Line
 	tc   telemetry.TraceCtx // request-scoped trace context (zero = untraced)
 	done chan response
+
+	// batch carries a kWriteBatch sub-batch; the worker writes outcomes
+	// into it in place (the done send publishes them to the caller).
+	batch *subBatch
 }
 
 type response struct {
@@ -53,10 +58,19 @@ type shard struct {
 	gap      sim.Time
 	batch    int
 	coalesce bool
+	// batchKernels routes runs of consecutive drained writes through the
+	// scheme's batched write path (Options.BatchKernels).
+	batchKernels bool
 
 	now      sim.Time
 	interval sim.Time
 	nextTick sim.Time
+
+	// runIdx/runOps are execBatched's reusable scratch: the request
+	// indices of the pending write run and the memctrl batch built from
+	// them.
+	runIdx []int
+	runOps []memctrl.BatchWrite
 
 	writeHist stats.Histogram
 	readHist  stats.Histogram
@@ -112,10 +126,17 @@ func (s *shard) run(wg *sync.WaitGroup) {
 				break drain
 			}
 		}
-		if s.coalesce && len(buf) > 1 {
+		switch {
+		case s.coalesce && len(buf) > 1:
 			superseded = s.markSuperseded(buf, superseded, lastWrite)
-			s.execCoalesced(buf, superseded)
-		} else {
+			if s.batchKernels {
+				s.execBatched(buf, superseded)
+			} else {
+				s.execCoalesced(buf, superseded)
+			}
+		case s.batchKernels && len(buf) > 1:
+			s.execBatched(buf, nil)
+		default:
 			for i := range buf {
 				resp := s.exec(&buf[i])
 				if buf[i].done != nil {
@@ -155,7 +176,7 @@ func (s *shard) markSuperseded(buf []request, superseded []bool, lastWrite map[u
 			lastWrite[buf[i].addr] = i
 		case kRead:
 			delete(lastWrite, buf[i].addr)
-		default: // kFlush, kSnap: barriers
+		default: // kFlush, kSnap, kWriteBatch: barriers
 			clear(lastWrite)
 		}
 	}
@@ -225,6 +246,35 @@ func (s *shard) exec(r *request) response {
 		s.readHist.Record(lat)
 		s.flight.RecordRead(s.id, r.tc, r.addr, out.Hit, at, lat)
 		return response{read: out, lat: lat}
+	case kWriteBatch:
+		// A sub-batch is one arrival group: every op ticks an arrival
+		// before the scheme runs the batch, then the clock catches up to
+		// the completions — the batched analogue of exec's self-clocking.
+		b := r.batch
+		s.env.Tel.BeginRequest(r.tc)
+		for i := range b.ops {
+			b.ops[i].At = s.tick()
+		}
+		memctrl.WriteBatch(s.sch, b.ops)
+		for i := range b.ops {
+			op := &b.ops[i]
+			if op.Out.Done > s.now {
+				s.now = op.Out.Done
+			}
+			lat := op.Out.Done - op.At
+			b.lats[i] = lat
+			s.opWrites.Add(1)
+			if op.Out.Deduplicated {
+				s.opDedup.Add(1)
+			}
+			s.writeHist.Record(lat)
+			st := telemetry.StagesFromBreakdown(&op.Out.Breakdown)
+			s.stages.Observe(&st)
+			s.flight.RecordWrite(s.id, r.tc, op.Logical, op.Out.PhysAddr, op.Out.Deduplicated, op.At, lat, &st)
+		}
+		// Outcomes travel in the sub-batch itself; the done send is the
+		// publication barrier.
+		return response{}
 	case kFlush:
 		if idle := s.env.Device.Flush(s.now); idle > s.now {
 			s.now = idle
@@ -233,6 +283,79 @@ func (s *shard) exec(r *request) response {
 	default: // kSnap
 		return response{snap: s.snapshot()}
 	}
+}
+
+// execBatched executes a drained batch with runs of consecutive writes
+// going through the scheme's batched write path (one batched AES pass
+// per run) instead of the scalar loop. Reads, barriers and pre-grouped
+// sub-batches flush the pending run first, preserving per-shard FIFO
+// semantics. With a superseded mask (coalescing), a skipped write
+// completes with the outcome of the surviving newer write to its
+// address, exactly as in execCoalesced.
+func (s *shard) execBatched(buf []request, superseded []bool) {
+	var waiters map[uint64][]chan response
+	run := s.runIdx[:0]
+	flushRun := func() {
+		if len(run) == 0 {
+			return
+		}
+		ops := s.runOps[:0]
+		for _, i := range run {
+			s.env.Tel.BeginRequest(buf[i].tc)
+			ops = append(ops, memctrl.BatchWrite{Logical: buf[i].addr, Data: &buf[i].line, At: s.tick()})
+		}
+		memctrl.WriteBatch(s.sch, ops)
+		for k, i := range run {
+			op := &ops[k]
+			if op.Out.Done > s.now {
+				s.now = op.Out.Done
+			}
+			lat := op.Out.Done - op.At
+			s.opWrites.Add(1)
+			if op.Out.Deduplicated {
+				s.opDedup.Add(1)
+			}
+			s.writeHist.Record(lat)
+			st := telemetry.StagesFromBreakdown(&op.Out.Breakdown)
+			s.stages.Observe(&st)
+			s.flight.RecordWrite(s.id, buf[i].tc, buf[i].addr, op.Out.PhysAddr, op.Out.Deduplicated, op.At, lat, &st)
+			resp := response{write: op.Out, lat: lat}
+			if waiters != nil {
+				for _, ch := range waiters[buf[i].addr] {
+					ch <- resp
+				}
+				delete(waiters, buf[i].addr)
+			}
+			if buf[i].done != nil {
+				buf[i].done <- resp
+			}
+		}
+		s.runOps = ops[:0]
+		run = run[:0]
+	}
+	for i := range buf {
+		if superseded != nil && superseded[i] {
+			s.coalesced.Add(1)
+			if buf[i].done != nil {
+				if waiters == nil {
+					waiters = make(map[uint64][]chan response)
+				}
+				waiters[buf[i].addr] = append(waiters[buf[i].addr], buf[i].done)
+			}
+			continue
+		}
+		if buf[i].kind == kWrite {
+			run = append(run, i)
+			continue
+		}
+		flushRun()
+		resp := s.exec(&buf[i])
+		if buf[i].done != nil {
+			buf[i].done <- resp
+		}
+	}
+	flushRun()
+	s.runIdx = run[:0]
 }
 
 // publishStats republishes the scheme's counter block for the barrier-free

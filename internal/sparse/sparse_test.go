@@ -1,0 +1,139 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMapDifferential drives a Map and a reference Go map through the
+// same randomized schedule of sets, deletes and lookups, including keys
+// straddling the dense/overflow boundary.
+func TestMapDifferential(t *testing.T) {
+	m := New[uint64]()
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	keys := func() uint64 {
+		switch rng.Intn(4) {
+		case 0:
+			return uint64(rng.Intn(64)) // page 0, heavy collisions
+		case 1:
+			return uint64(rng.Intn(1 << 20)) // a few hundred pages
+		case 2:
+			return MaxDenseKey - 8 + uint64(rng.Intn(16)) // boundary
+		default:
+			return MaxDenseKey + uint64(rng.Intn(1<<16)) // overflow
+		}
+	}
+	for i := 0; i < 200_000; i++ {
+		k := keys()
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint64()
+			m.Set(k, v)
+			ref[k] = v
+		case 1:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			gv, gok := m.Get(k)
+			wv, wok := ref[k]
+			if gok != wok || gv != wv {
+				t.Fatalf("op %d: Get(%d) = (%d, %v), want (%d, %v)", i, k, gv, gok, wv, wok)
+			}
+			if lv := m.Load(k); lv != wv {
+				t.Fatalf("op %d: Load(%d) = %d, want %d", i, k, lv, wv)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len() = %d, want %d", i, m.Len(), len(ref))
+		}
+	}
+	// Full sweep: Range must visit exactly the reference contents.
+	seen := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("Range visited key %d twice", k)
+		}
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("Range visited %d keys, want %d", len(seen), len(ref))
+	}
+	for k, v := range ref {
+		if seen[k] != v {
+			t.Fatalf("Range: key %d = %d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+// TestMapZeroValueDistinct pins the presence bitmap: a stored zero value
+// must be distinguishable from an absent key.
+func TestMapZeroValueDistinct(t *testing.T) {
+	var m Map[uint64]
+	if _, ok := m.Get(7); ok {
+		t.Fatal("empty map reports key 7 present")
+	}
+	m.Set(7, 0)
+	if v, ok := m.Get(7); !ok || v != 0 {
+		t.Fatalf("Get(7) = (%d, %v), want (0, true)", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", m.Len())
+	}
+	if !m.Delete(7) {
+		t.Fatal("Delete(7) found nothing")
+	}
+	if _, ok := m.Get(7); ok {
+		t.Fatal("key 7 survived Delete")
+	}
+}
+
+// TestMapRangeOrder pins the documented ascending order over dense keys.
+func TestMapRangeOrder(t *testing.T) {
+	m := New[int]()
+	for _, k := range []uint64{500_000, 3, 4095, 4096, 0, 77} {
+		m.Set(k, int(k))
+	}
+	var got []uint64
+	m.Range(func(k uint64, v int) bool {
+		if int(k) != v {
+			t.Fatalf("key %d carries value %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{0, 3, 77, 4095, 4096, 500_000}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(uint64, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("Range continued after fn returned false (%d visits)", n)
+	}
+}
+
+// TestMapSetAllocs pins the steady state: once a page exists, Set and
+// Get must not allocate (the property the hot paths buy this package
+// for).
+func TestMapSetAllocs(t *testing.T) {
+	m := New[uint64]()
+	m.Set(123, 1)
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Set(123, 2)
+		m.Get(123)
+	}); avg != 0 {
+		t.Errorf("steady-state Set+Get: %v allocs/op, want 0", avg)
+	}
+}

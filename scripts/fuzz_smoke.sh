@@ -22,6 +22,7 @@ run() {
 run ./internal/dedup   FuzzSchemeWrite
 run ./internal/memctrl FuzzAMTRemap
 run ./internal/server  FuzzTCPFrame
+run ./internal/server  FuzzTCPFrameBatch
 run ./internal/check   FuzzDifferential
 
 echo "fuzz-smoke: all targets clean"
