@@ -21,6 +21,11 @@
 //	esdrouter -reshard -router http://localhost:9001 \
 //	    -add 127.0.0.1:8281@127.0.0.1:8280 -space 1000000
 //	esdrouter -reshard -router http://localhost:9001 -remove 127.0.0.1:8081 -space 1000000
+//
+// Trace mode (stitch one request's cross-node timeline from the router's
+// and every member's flight recorder):
+//
+//	esdrouter esdtrace -router http://localhost:9001 -trace 0x5f3a9c01
 package main
 
 import (
@@ -50,6 +55,9 @@ func main() {
 // cliMain is the testable body. ready, when non-nil, receives the running
 // front-end and returns a channel whose close triggers shutdown.
 func cliMain(args []string, stdout io.Writer, ready func(*cluster.Server) <-chan struct{}) error {
+	if len(args) > 0 && args[0] == "esdtrace" {
+		return runTrace(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("esdrouter", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (

@@ -10,6 +10,12 @@
 //	esdtop -addr http://127.0.0.1:8080 -interval 500ms
 //	esdtop -addr http://127.0.0.1:8080 -once
 //
+// Router mode points at a cluster router instead of a node and renders
+// the fleet: per-member serving rows, router hop latencies, and the
+// fleet-merged device health from /statusz/cluster:
+//
+//	esdtop -router -addr http://127.0.0.1:9001
+//
 // The wear heatmap draws one row per shard and one cell per bank, scaled
 // to the hottest bank's max wear. A healthy, wear-leveled device shows a
 // flat row of low blocks; a hammered line lights up a single cell and
@@ -41,15 +47,33 @@ func cliMain(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("esdtop", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the serving esd engine")
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the serving esd engine (or router with -router)")
 		interval = fs.Duration("interval", time.Second, "refresh interval")
 		once     = fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+		router   = fs.Bool("router", false, "fleet mode: -addr is a cluster router; render /statusz/cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimRight(*addr, "/")
 	client := &http.Client{Timeout: 5 * time.Second}
+
+	if *router {
+		for {
+			st, cs, err := fetchRouter(client, base)
+			if err != nil {
+				return err
+			}
+			if !*once {
+				fmt.Fprint(stdout, "\x1b[H\x1b[2J")
+			}
+			renderRouter(stdout, st, cs)
+			if *once {
+				return nil
+			}
+			time.Sleep(*interval)
+		}
+	}
 
 	var prev sample
 	for {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/esdsim/esd/internal/server"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // Batched routing: a client batch frame is split by replica set, so each
@@ -62,15 +63,24 @@ func (r *Router) groupByReplicaSet(addrOf func(i int) uint64, n int, forWrite bo
 // The error return is non-nil only for caller mistakes (mismatched
 // slice lengths); routing failures are reported per op in res[i].Err.
 func (r *Router) WriteBatch(ops []server.BatchWriteOp, res []server.BatchWriteResult) error {
+	return r.WriteBatchTraced(r.NewTraceID(), ops, res)
+}
+
+// WriteBatchTraced is WriteBatch under a caller-supplied trace ID: the
+// whole batch shares one ID (per-op correlation inside a batch is the
+// node-side flight recorder's job), and the route hop event records the
+// replica-set fan-out in its attempt field.
+func (r *Router) WriteBatchTraced(trace uint64, ops []server.BatchWriteOp, res []server.BatchWriteResult) error {
 	if len(res) != len(ops) {
 		return fmt.Errorf("cluster: results slice len %d != ops len %d", len(res), len(ops))
 	}
 	if len(ops) == 0 {
 		return nil
 	}
+	began := r.hopClock()
 	if r.Resharding() {
 		for i := range ops {
-			out, err := r.Write(ops[i].Addr, ops[i].Line)
+			out, err := r.WriteTraced(trace, ops[i].Addr, ops[i].Line)
 			if err != nil {
 				res[i] = server.BatchWriteResult{Err: err}
 				continue
@@ -99,11 +109,15 @@ func (r *Router) WriteBatch(ops []server.BatchWriteOp, res []server.BatchWriteRe
 			if !st.up.Load() {
 				continue
 			}
-			err := r.doNode(st, func(c *server.TCPClient) error {
+			err := r.doNodeCtx(st, trace, server.OpWriteBatch, ops[g.idxs[0]].Addr, func(c *server.TCPClient) error {
+				if trace != 0 && r.tracedCap(st) {
+					_, err := c.WriteBatchTraced(trace, subOps, subRes)
+					return err
+				}
 				return c.WriteBatch(subOps, subRes)
 			})
 			if err != nil {
-				continue // doNode already counted the error and marked health
+				continue // doNodeCtx already counted the error and marked health
 			}
 			accepted := uint64(0)
 			for j, i := range g.idxs {
@@ -131,13 +145,16 @@ func (r *Router) WriteBatch(ops []server.BatchWriteOp, res []server.BatchWriteRe
 		if done[i] {
 			continue
 		}
-		out, err := r.Write(ops[i].Addr, ops[i].Line)
+		out, err := r.WriteTraced(trace, ops[i].Addr, ops[i].Line)
 		if err != nil {
 			res[i] = server.BatchWriteResult{Err: err}
 			continue
 		}
 		res[i] = server.BatchWriteResult{Dedup: out.Dedup, PhysAddr: out.PhysAddr, LatencyNs: out.LatencyNs}
 	}
+	// The batch route event: Attempt carries the replica-set fan-out
+	// (how many sub-batch frames the batch split into).
+	r.hop(telemetry.HopRoute, trace, server.OpWriteBatch, "", ops[0].Addr, len(groups), 0, began)
 	return nil
 }
 
@@ -147,12 +164,19 @@ func (r *Router) WriteBatch(ops []server.BatchWriteOp, res []server.BatchWriteRe
 // Read. The error return is non-nil only for caller mistakes; routing
 // failures are reported per op in res[i].Err.
 func (r *Router) ReadBatch(addrs []uint64, res []server.BatchReadResult) error {
+	return r.ReadBatchTraced(r.NewTraceID(), addrs, res)
+}
+
+// ReadBatchTraced is ReadBatch under a caller-supplied trace ID (see
+// WriteBatchTraced for the batch trace semantics).
+func (r *Router) ReadBatchTraced(trace uint64, addrs []uint64, res []server.BatchReadResult) error {
 	if len(res) != len(addrs) {
 		return fmt.Errorf("cluster: results slice len %d != addrs len %d", len(res), len(addrs))
 	}
 	if len(addrs) == 0 {
 		return nil
 	}
+	began := r.hopClock()
 	done := make([]bool, len(addrs))
 	groups := r.groupByReplicaSet(func(i int) uint64 { return addrs[i] }, len(addrs), false)
 	subAddrs := make([]uint64, 0, len(addrs))
@@ -172,7 +196,11 @@ func (r *Router) ReadBatch(addrs []uint64, res []server.BatchReadResult) error {
 			if !st.up.Load() {
 				continue
 			}
-			err := r.doNode(st, func(c *server.TCPClient) error {
+			err := r.doNodeCtx(st, trace, server.OpReadBatch, addrs[g.idxs[0]], func(c *server.TCPClient) error {
+				if trace != 0 && r.tracedCap(st) {
+					_, err := c.ReadBatchTraced(trace, subAddrs, subRes)
+					return err
+				}
 				return c.ReadBatch(subAddrs, subRes)
 			})
 			if err != nil {
@@ -201,7 +229,7 @@ func (r *Router) ReadBatch(addrs []uint64, res []server.BatchReadResult) error {
 		if done[i] {
 			continue
 		}
-		out, err := r.Read(addrs[i])
+		out, err := r.ReadTraced(trace, addrs[i])
 		if err != nil {
 			res[i] = server.BatchReadResult{Err: err}
 			continue
@@ -210,5 +238,6 @@ func (r *Router) ReadBatch(addrs []uint64, res []server.BatchReadResult) error {
 		copy(rr.Data[:], out.Data)
 		res[i] = rr
 	}
+	r.hop(telemetry.HopRoute, trace, server.OpReadBatch, "", addrs[0], len(groups), 0, began)
 	return nil
 }

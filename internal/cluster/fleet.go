@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/server"
+)
+
+// Fleet aggregation: the router is the one process that knows every
+// member, so it is where the fleet-wide view lives. ClusterStatus scrapes
+// each member's /statusz (serving state) and /debug/health (raw per-shard
+// nvm.HealthSnapshot set), merges the health snapshots with
+// nvm.MergeHealth — the same merge a single node applies across its own
+// shards, applied one level up — and serves the result at
+// /statusz/cluster for esdtop's -router mode.
+
+// fleetScrapeTimeout bounds each member scrape; a wedged member costs one
+// timeout, not a hung status page.
+const fleetScrapeTimeout = 2 * time.Second
+
+// MemberStatus is one member's row in the fleet view.
+type MemberStatus struct {
+	Name     string `json:"name"`
+	HTTPAddr string `json:"http_addr,omitempty"`
+	// Healthy is the router's live data-path view (probes + passive marks).
+	Healthy bool `json:"healthy"`
+	// Reachable reports whether the status scrape succeeded.
+	Reachable bool   `json:"reachable"`
+	Error     string `json:"error,omitempty"`
+	// Status is the member's own /statusz document.
+	Status *server.StatuszResponse `json:"status,omitempty"`
+}
+
+// ClusterStatus is the /statusz/cluster document: per-member serving
+// state plus the fleet-merged device health.
+type ClusterStatus struct {
+	Members   []MemberStatus `json:"members"`
+	Reachable int            `json:"reachable_members"`
+	// Shards is the fleet-wide shard count (sum over reachable members).
+	Shards int `json:"shards"`
+	// Aggregates over reachable members' serving state.
+	SlowRequests uint64  `json:"slow_requests"`
+	Shed         uint64  `json:"shed_requests"`
+	WritesPerS   float64 `json:"writes_per_s"`
+	ReadsPerS    float64 `json:"reads_per_s"`
+	// Device is the fleet-merged device view (nvm.MergeHealth over every
+	// reachable member's per-shard snapshots).
+	Device *server.DeviceStatus `json:"device,omitempty"`
+	// WearHist is the fleet-merged wear histogram.
+	WearHist []nvm.WearBucket `json:"wear_hist,omitempty"`
+}
+
+// ClusterStatus scrapes every tracked member concurrently and builds the
+// fleet view. Members without an HTTP address, or whose scrape fails,
+// appear with Reachable false; the aggregation runs over the rest.
+func (s *Server) ClusterStatus() ClusterStatus {
+	states := s.r.allStates()
+	members := make([]MemberStatus, len(states))
+	healths := make([][]nvm.HealthSnapshot, len(states))
+	hc := &http.Client{Timeout: fleetScrapeTimeout}
+	var wg sync.WaitGroup
+	for i, st := range states {
+		members[i] = MemberStatus{
+			Name:     st.node.Name,
+			HTTPAddr: st.node.HTTPAddr,
+			Healthy:  st.up.Load(),
+		}
+		if st.node.HTTPAddr == "" {
+			members[i].Error = "no http address"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			var status server.StatuszResponse
+			if err := fleetGet(hc, base, "/statusz", &status); err != nil {
+				members[i].Error = err.Error()
+				return
+			}
+			members[i].Status = &status
+			members[i].Reachable = true
+			// Health scrape failure degrades the device merge, not the row.
+			var snaps []nvm.HealthSnapshot
+			if err := fleetGet(hc, base, "/debug/health", &snaps); err == nil {
+				healths[i] = snaps
+			}
+		}(i, "http://"+st.node.HTTPAddr)
+	}
+	wg.Wait()
+
+	out := ClusterStatus{Members: members}
+	var all []nvm.HealthSnapshot
+	var dedupSaved uint64
+	var dedupRate, dedupWeight float64
+	for i := range members {
+		if !members[i].Reachable {
+			continue
+		}
+		out.Reachable++
+		st := members[i].Status
+		out.Shards += st.Shards
+		out.SlowRequests += st.SlowRequests
+		out.Shed += st.Shed
+		if st.Rates != nil {
+			out.WritesPerS += st.Rates.WritesPerS
+			out.ReadsPerS += st.Rates.ReadsPerS
+		}
+		if st.Device != nil {
+			dedupSaved += st.Device.BytesSaved
+			w := float64(st.Device.MediaWrites)
+			dedupRate += st.Device.DedupHitRate * w
+			dedupWeight += w
+		}
+		all = append(all, healths[i]...)
+	}
+	if len(all) > 0 {
+		merged := nvm.MergeHealth(all)
+		out.Device = &server.DeviceStatus{
+			MediaReads:    merged.Reads,
+			MediaWrites:   merged.Writes,
+			MaxWear:       merged.MaxWear,
+			MeanWear:      merged.MeanWear(),
+			P99Wear:       merged.P99Wear,
+			WearSkew:      merged.WearSkew(),
+			EnergyReadNJ:  merged.ReadEnergyNJ,
+			EnergyWriteNJ: merged.WriteEnergyNJ,
+			BytesSaved:    dedupSaved,
+		}
+		if dedupWeight > 0 {
+			out.Device.DedupHitRate = dedupRate / dedupWeight
+		}
+		out.WearHist = merged.WearHist
+	}
+	return out
+}
+
+// fleetGet fetches base+path and decodes the JSON body into out.
+func fleetGet(hc *http.Client, base, path string, out interface{}) error {
+	resp, err := hc.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

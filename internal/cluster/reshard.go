@@ -181,7 +181,7 @@ func (r *Router) readFromOld(cur *Ring, replicas []int, addr uint64) (server.Rea
 		if st == nil || !st.up.Load() {
 			continue
 		}
-		resp, err := r.readNode(st, addr)
+		resp, err := r.readNode(st, 0, addr)
 		if err != nil {
 			lastErr = err
 			continue

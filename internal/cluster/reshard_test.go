@@ -70,7 +70,7 @@ func TestReshardRemovesNode(t *testing.T) {
 	_, r := startCluster(t, 3, Config{})
 	const space = 384
 	for a := uint64(0); a < space; a++ {
-		if _, err := r.Write(a, lineFor(a + 7)); err != nil {
+		if _, err := r.Write(a, lineFor(a+7)); err != nil {
 			t.Fatalf("write %d: %v", a, err)
 		}
 	}

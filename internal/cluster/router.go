@@ -11,6 +11,7 @@ import (
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/server"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // ErrNoReplica is returned when every candidate node for an address was
@@ -59,6 +60,14 @@ type Config struct {
 	PoolIdleTimeout time.Duration
 	// Log receives router event lines (nil discards).
 	Log io.Writer
+	// NoTrace disables distributed tracing: no fleet trace IDs are minted
+	// or propagated, and no hop histograms or flight records are kept.
+	// Tracing is on by default (the zero Config traces) because its hot-
+	// path cost is two clock reads and a ring write per attempt.
+	NoTrace bool
+	// HopSlots sizes the router flight-recorder ring (0 selects
+	// telemetry.DefaultHopSlots).
+	HopSlots int
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +99,11 @@ type nodeState struct {
 	node Node
 	pool *server.Pool
 	up   atomic.Bool
+
+	// traced caches the node's protocol capability (capUnknown /
+	// capTraced / capLegacy), established by one hello probe on first
+	// traced use — see tracedCap in trace.go.
+	traced atomic.Int32
 
 	writes    atomic.Uint64
 	reads     atomic.Uint64
@@ -125,6 +139,14 @@ type Router struct {
 	repairs   atomic.Uint64
 	readSeq   atomic.Uint64
 
+	// Distributed-tracing state (nil / zero when Config.NoTrace): per-hop
+	// latency histograms, the router flight recorder, and the fleet trace
+	// ID source (traceBase + traceSeq). See trace.go.
+	hops      *telemetry.HopHistograms
+	flight    *telemetry.HopRecorder
+	traceBase uint64
+	traceSeq  atomic.Uint64
+
 	probeStop chan struct{}
 	probeDone chan struct{}
 }
@@ -144,6 +166,13 @@ func NewRouter(cfg Config) (*Router, error) {
 		state:     make(map[string]*nodeState),
 		probeStop: make(chan struct{}),
 		probeDone: make(chan struct{}),
+	}
+	if !cfg.NoTrace {
+		r.hops = &telemetry.HopHistograms{}
+		r.flight = telemetry.NewHopRecorder(cfg.HopSlots)
+		// Boot-time base, shifted to dwarf node-local IDs; the hopSeq term
+		// separates routers booted in the same nanosecond (tests).
+		r.traceBase = (uint64(time.Now().UnixNano()) + hopSeq.Add(1)*1e9) << 20
 	}
 	for _, n := range ring.Nodes() {
 		r.addState(n)
@@ -209,9 +238,7 @@ func (r *Router) HealthyNodes() int {
 // immediately (passively) rather than waiting for the prober to notice.
 // The prober revives it when /readyz answers again.
 func (r *Router) markDown(st *nodeState, err error) {
-	if st.up.Swap(false) {
-		r.logf("cluster: node %s marked down: %v", st.node.Name, err)
-	}
+	r.markDownTr(st, err, 0, 0, 0)
 }
 
 func (r *Router) logf(format string, args ...interface{}) {
@@ -276,49 +303,25 @@ func isStatusErr(err error) bool {
 // deadline; I/O failures discard the connection and retry on a fresh
 // dial. Exhausting the budget (or hitting a drain/connection error on
 // the last attempt) marks the node down and returns the last error.
+// Control traffic (flush, stats, probes) routes through here; data paths
+// use doNodeCtx (trace.go), which is this loop plus hop recording.
 func (r *Router) doNode(st *nodeState, f func(c *server.TCPClient) error) error {
-	attempts := 1 + r.cfg.RetriesPerNode
-	var lastErr error
-	for a := 0; a < attempts; a++ {
-		if a > 0 {
-			r.retries.Add(1)
-		}
-		c, err := st.pool.Get()
-		if err != nil {
-			lastErr = err
-			st.errs.Add(1)
-			continue // dial failed; retry re-dials
-		}
-		_ = c.SetDeadline(time.Now().Add(r.cfg.RequestTimeout))
-		err = f(c)
-		if err == nil {
-			st.pool.Put(c)
-			return nil
-		}
-		lastErr = err
-		st.errs.Add(1)
-		if isStatusErr(err) {
-			st.pool.Put(c) // frame completed; connection still clean
-		} else {
-			st.pool.Discard(c)
-		}
-		if errors.Is(err, server.ErrClosing) {
-			r.markDown(st, err)
-			return err
-		}
-		if !retryable(err) && isStatusErr(err) {
-			return err
-		}
-	}
-	r.markDown(st, lastErr)
-	return lastErr
+	return r.doNodeCtx(st, 0, 0, 0, f)
 }
 
 // Write routes one write to every healthy replica of addr (including the
 // next ring's replicas while a reshard migrates). It succeeds when at
 // least one replica accepted the write; the first (most-primary)
-// successful response is returned.
+// successful response is returned. A fleet trace ID is minted for the
+// request (see WriteTraced to supply one).
 func (r *Router) Write(addr uint64, line ecc.Line) (server.WriteResponse, error) {
+	return r.WriteTraced(r.NewTraceID(), addr, line)
+}
+
+// WriteTraced is Write under a caller-supplied trace ID (the cluster
+// TCP front-end passes the client's wire ID; 0 routes untraced).
+func (r *Router) WriteTraced(trace uint64, addr uint64, line ecc.Line) (server.WriteResponse, error) {
+	began := r.hopClock()
 	r.markDirty(addr)
 	var set [2 * maxReplicas]*nodeState
 	n := r.routeSet(addr, true, set[:])
@@ -332,9 +335,13 @@ func (r *Router) Write(addr uint64, line ecc.Line) (server.WriteResponse, error)
 			continue
 		}
 		var out server.WriteResponse
-		err := r.doNode(st, func(c *server.TCPClient) error {
+		err := r.doNodeCtx(st, trace, server.OpWrite, addr, func(c *server.TCPClient) error {
 			var err error
-			out, err = c.Write(addr, line)
+			if trace != 0 && r.tracedCap(st) {
+				out, err = c.WriteTraced(trace, addr, line)
+			} else {
+				out, err = c.Write(addr, line)
+			}
 			return err
 		})
 		if err != nil {
@@ -347,6 +354,11 @@ func (r *Router) Write(addr uint64, line ecc.Line) (server.WriteResponse, error)
 		}
 		if !ok {
 			resp, ok = out, true
+			if ok && !primaryOK {
+				// The primary never took this write; the first acceptor was a
+				// replica further down the set.
+				r.hopNow(telemetry.HopFailover, trace, server.OpWrite, st.node.Name, addr, i, 0)
+			}
 		}
 	}
 	if ok && !primaryOK {
@@ -357,8 +369,11 @@ func (r *Router) Write(addr uint64, line ecc.Line) (server.WriteResponse, error)
 		if lastErr == nil {
 			lastErr = ErrNoReplica
 		}
+		r.hop(telemetry.HopRoute, trace, server.OpWrite, "", addr, 0, hopStatus(lastErr), began)
 		return server.WriteResponse{}, fmt.Errorf("%w (addr=%d): %v", ErrNoReplica, addr, lastErr)
 	}
+	resp.Trace = trace
+	r.hop(telemetry.HopRoute, trace, server.OpWrite, "", addr, 0, server.StatusOK, began)
 	return resp, nil
 }
 
@@ -380,20 +395,37 @@ func (r *Router) markDirty(addr uint64) {
 }
 
 // Read routes one read to addr's primary, failing over to the follower
-// replicas on error, with optional hedging and sampled read repair.
+// replicas on error, with optional hedging and sampled read repair. A
+// fleet trace ID is minted for the request (see ReadTraced to supply one).
 func (r *Router) Read(addr uint64) (server.ReadResponse, error) {
+	return r.ReadTraced(r.NewTraceID(), addr)
+}
+
+// ReadTraced is Read under a caller-supplied trace ID (0 routes
+// untraced).
+func (r *Router) ReadTraced(trace uint64, addr uint64) (server.ReadResponse, error) {
+	began := r.hopClock()
+	resp, err := r.readRouted(trace, addr)
+	if err == nil {
+		resp.Trace = trace
+	}
+	r.hop(telemetry.HopRoute, trace, server.OpRead, "", addr, 0, hopStatus(err), began)
+	return resp, err
+}
+
+func (r *Router) readRouted(trace uint64, addr uint64) (server.ReadResponse, error) {
 	var set [2 * maxReplicas]*nodeState
 	n := r.routeSet(addr, false, set[:])
 
 	if r.cfg.ReadRepairEvery > 0 && r.cfg.Replication >= 2 && n >= 2 &&
 		r.readSeq.Add(1)%uint64(r.cfg.ReadRepairEvery) == 0 {
-		if resp, done := r.readRepair(addr, set[:n]); done {
+		if resp, done := r.readRepair(trace, addr, set[:n]); done {
 			return resp, nil
 		}
 	}
 
 	if r.cfg.HedgeAfter > 0 && n >= 2 && set[0].up.Load() && set[1].up.Load() {
-		return r.readHedged(addr, set[0], set[1])
+		return r.readHedged(trace, addr, set[0], set[1])
 	}
 
 	var lastErr error
@@ -402,7 +434,7 @@ func (r *Router) Read(addr uint64) (server.ReadResponse, error) {
 		if !st.up.Load() {
 			continue
 		}
-		resp, err := r.readNode(st, addr)
+		resp, err := r.readNode(st, trace, addr)
 		if err != nil {
 			lastErr = err
 			continue
@@ -410,6 +442,7 @@ func (r *Router) Read(addr uint64) (server.ReadResponse, error) {
 		if i > 0 {
 			// Served by a follower because the primary was down or failed.
 			r.failovers.Add(1)
+			r.hopNow(telemetry.HopFailover, trace, server.OpRead, st.node.Name, addr, i, 0)
 		}
 		return resp, nil
 	}
@@ -419,11 +452,15 @@ func (r *Router) Read(addr uint64) (server.ReadResponse, error) {
 	return server.ReadResponse{}, fmt.Errorf("%w (addr=%d): %v", ErrNoReplica, addr, lastErr)
 }
 
-func (r *Router) readNode(st *nodeState, addr uint64) (server.ReadResponse, error) {
+func (r *Router) readNode(st *nodeState, trace uint64, addr uint64) (server.ReadResponse, error) {
 	var out server.ReadResponse
-	err := r.doNode(st, func(c *server.TCPClient) error {
+	err := r.doNodeCtx(st, trace, server.OpRead, addr, func(c *server.TCPClient) error {
 		var err error
-		out, err = c.Read(addr)
+		if trace != 0 && r.tracedCap(st) {
+			out, err = c.ReadTraced(trace, addr)
+		} else {
+			out, err = c.Read(addr)
+		}
 		return err
 	})
 	if err == nil {
@@ -434,24 +471,31 @@ func (r *Router) readNode(st *nodeState, addr uint64) (server.ReadResponse, erro
 
 // readHedged races the primary against a delayed follower request and
 // returns the first success. The loser finishes in the background (its
-// connection returns to the pool through the normal path).
-func (r *Router) readHedged(addr uint64, primary, follower *nodeState) (server.ReadResponse, error) {
+// connection returns to the pool through the normal path), which is what
+// puts the propagated trace ID in BOTH nodes' flight recorders — the
+// winner's and the loser's — for esdtrace to stitch.
+func (r *Router) readHedged(trace uint64, addr uint64, primary, follower *nodeState) (server.ReadResponse, error) {
 	type result struct {
+		from *nodeState
 		resp server.ReadResponse
 		err  error
 	}
 	ch := make(chan result, 2)
 	go func() {
-		resp, err := r.readNode(primary, addr)
-		ch <- result{resp, err}
+		resp, err := r.readNode(primary, trace, addr)
+		ch <- result{primary, resp, err}
 	}()
 	timer := time.NewTimer(r.cfg.HedgeAfter)
 	defer timer.Stop()
 	launched := 1
+	hedged := false
 	for {
 		select {
 		case res := <-ch:
 			if res.err == nil {
+				if hedged && res.from == follower {
+					r.hopNow(telemetry.HopHedgeWin, trace, server.OpRead, follower.node.Name, addr, 0, 0)
+				}
 				return res.resp, nil
 			}
 			launched--
@@ -461,16 +505,19 @@ func (r *Router) readHedged(addr uint64, primary, follower *nodeState) (server.R
 				// synchronously if it never ran.
 				if timer.Stop() {
 					r.failovers.Add(1)
-					return r.readNode(follower, addr)
+					r.hopNow(telemetry.HopFailover, trace, server.OpRead, follower.node.Name, addr, 1, 0)
+					return r.readNode(follower, trace, addr)
 				}
 				return server.ReadResponse{}, res.err
 			}
 		case <-timer.C:
 			r.hedges.Add(1)
+			r.hopNow(telemetry.HopHedge, trace, server.OpRead, follower.node.Name, addr, 0, 0)
+			hedged = true
 			launched++
 			go func() {
-				resp, err := r.readNode(follower, addr)
-				ch <- result{resp, err}
+				resp, err := r.readNode(follower, trace, addr)
+				ch <- result{follower, resp, err}
 			}()
 		}
 	}
@@ -481,7 +528,7 @@ func (r *Router) readHedged(addr uint64, primary, follower *nodeState) (server.R
 // hold different bytes the primary (write-order owner) wins. done=false
 // means no replica could serve the read and the caller should fall back
 // to the normal path.
-func (r *Router) readRepair(addr uint64, set []*nodeState) (server.ReadResponse, bool) {
+func (r *Router) readRepair(trace uint64, addr uint64, set []*nodeState) (server.ReadResponse, bool) {
 	type got struct {
 		st   *nodeState
 		resp server.ReadResponse
@@ -491,7 +538,7 @@ func (r *Router) readRepair(addr uint64, set []*nodeState) (server.ReadResponse,
 		if !st.up.Load() {
 			continue
 		}
-		resp, err := r.readNode(st, addr)
+		resp, err := r.readNode(st, trace, addr)
 		if err != nil {
 			continue
 		}
@@ -509,11 +556,18 @@ func (r *Router) readRepair(addr uint64, set []*nodeState) (server.ReadResponse,
 				continue
 			}
 			r.repairs.Add(1)
-			r.logf("cluster: read repair addr=%d: rewriting %s from %s", addr, g.st.node.Name, auth.st.node.Name)
-			_ = r.doNode(g.st, func(c *server.TCPClient) error {
-				_, err := c.Write(addr, line)
+			r.logf("cluster: read repair addr=%d (trace=%d): rewriting %s from %s", addr, trace, g.st.node.Name, auth.st.node.Name)
+			began := r.hopClock()
+			_ = r.doNodeCtx(g.st, trace, server.OpWrite, addr, func(c *server.TCPClient) error {
+				var err error
+				if trace != 0 && r.tracedCap(g.st) {
+					_, err = c.WriteTraced(trace, addr, line)
+				} else {
+					_, err = c.Write(addr, line)
+				}
 				return err
 			})
+			r.hop(telemetry.HopReadRepair, trace, server.OpWrite, g.st.node.Name, addr, 0, 0, began)
 		}
 	}
 	return auth.resp, true

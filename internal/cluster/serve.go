@@ -15,6 +15,7 @@ import (
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/server"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // ServeConfig parameterizes a cluster Server.
@@ -184,9 +185,41 @@ func (s *Server) handleConn(conn net.Conn) {
 // serveFrame proxies one protocol frame through the router. The wire
 // format is identical to internal/server's (proto.go); only the
 // execution differs — the router fans the op out to the owning nodes.
+// The router is the cluster's trace originator: version-0 frames get a
+// freshly minted fleet ID (invisible to the client but present in every
+// log and recorder the request touches), version-1 traced frames adopt
+// the client's ID and echo it back.
 func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
+	traced := false
+	var trace uint64
 	switch op {
-	case server.OpWrite:
+	case server.OpHello, server.OpWriteTr, server.OpReadTr, server.OpWriteBatchTr, server.OpReadBatchTr:
+		if op == server.OpHello {
+			var ver [1]byte
+			if readFull(br, ver[:]) != nil {
+				return false
+			}
+			var resp [2]byte
+			resp[0] = server.StatusOK
+			resp[1] = server.ProtoVersion
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		// Peek+Discard keeps the preamble read allocation-free (the bytes
+		// come straight out of bufio's buffer).
+		tb, err := br.Peek(8)
+		if err != nil {
+			return false
+		}
+		trace = binary.LittleEndian.Uint64(tb)
+		if _, err := br.Discard(8); err != nil {
+			return false
+		}
+		traced = true
+	}
+
+	switch op {
+	case server.OpWrite, server.OpWriteTr:
 		var req [8 + ecc.LineSize]byte
 		if readFull(br, req[:]) != nil {
 			return false
@@ -194,39 +227,55 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		var line ecc.Line
 		copy(line[:], req[8:])
 		addr := binary.LittleEndian.Uint64(req[:8])
-		out, err := s.r.Write(addr, line)
+		if !traced {
+			trace = s.r.NewTraceID()
+		}
+		out, err := s.r.WriteTraced(trace, addr, line)
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		var resp [1 + 1 + 8 + 8]byte
+		var resp [1 + 1 + 8 + 8 + 8]byte
 		resp[0] = server.StatusOK
 		if out.Dedup {
 			resp[1] = 1
 		}
 		binary.LittleEndian.PutUint64(resp[2:], out.PhysAddr)
 		binary.LittleEndian.PutUint64(resp[10:], uint64(out.LatencyNs))
-		_, werr := bw.Write(resp[:])
+		n := 1 + 1 + 8 + 8
+		if traced {
+			binary.LittleEndian.PutUint64(resp[n:], trace)
+			n += 8
+		}
+		_, werr := bw.Write(resp[:n])
 		return werr == nil
-	case server.OpRead:
+	case server.OpRead, server.OpReadTr:
 		var req [8]byte
 		if readFull(br, req[:]) != nil {
 			return false
 		}
 		addr := binary.LittleEndian.Uint64(req[:])
-		res, err := s.r.Read(addr)
+		if !traced {
+			trace = s.r.NewTraceID()
+		}
+		res, err := s.r.ReadTraced(trace, addr)
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		var resp [1 + 1 + ecc.LineSize + 8]byte
+		var resp [1 + 1 + ecc.LineSize + 8 + 8]byte
 		resp[0] = server.StatusOK
 		if res.Hit {
 			resp[1] = 1
 		}
 		copy(resp[2:], res.Data)
 		binary.LittleEndian.PutUint64(resp[2+ecc.LineSize:], uint64(res.LatencyNs))
-		_, werr := bw.Write(resp[:])
+		n := 1 + 1 + ecc.LineSize + 8
+		if traced {
+			binary.LittleEndian.PutUint64(resp[n:], trace)
+			n += 8
+		}
+		_, werr := bw.Write(resp[:n])
 		return werr == nil
-	case server.OpWriteBatch:
+	case server.OpWriteBatch, server.OpWriteBatchTr:
 		var cnt [2]byte
 		if readFull(br, cnt[:]) != nil {
 			return false
@@ -240,10 +289,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			return false
 		}
 		if n == 0 {
-			var resp [3]byte
-			resp[0] = server.StatusOK
-			_, werr := bw.Write(resp[:])
-			return werr == nil
+			return s.writeBatchHead(bw, 0, traced, trace)
 		}
 		ops := make([]server.BatchWriteOp, n)
 		var wreq [8 + ecc.LineSize]byte
@@ -254,14 +300,14 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			ops[i].Addr = binary.LittleEndian.Uint64(wreq[:8])
 			copy(ops[i].Line[:], wreq[8:])
 		}
+		if !traced {
+			trace = s.r.NewTraceID()
+		}
 		bres := make([]server.BatchWriteResult, n)
-		if err := s.r.WriteBatch(ops, bres); err != nil {
+		if err := s.r.WriteBatchTraced(trace, ops, bres); err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		var head [3]byte
-		head[0] = server.StatusOK
-		binary.LittleEndian.PutUint16(head[1:], uint16(n))
-		if _, err := bw.Write(head[:]); err != nil {
+		if !s.writeBatchHead(bw, n, traced, trace) {
 			return false
 		}
 		for i := 0; i < n; i++ {
@@ -281,7 +327,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			}
 		}
 		return true
-	case server.OpReadBatch:
+	case server.OpReadBatch, server.OpReadBatchTr:
 		var cnt [2]byte
 		if readFull(br, cnt[:]) != nil {
 			return false
@@ -293,10 +339,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			return false
 		}
 		if n == 0 {
-			var resp [3]byte
-			resp[0] = server.StatusOK
-			_, werr := bw.Write(resp[:])
-			return werr == nil
+			return s.writeBatchHead(bw, 0, traced, trace)
 		}
 		addrs := make([]uint64, n)
 		var rreq [8]byte
@@ -306,14 +349,14 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			}
 			addrs[i] = binary.LittleEndian.Uint64(rreq[:])
 		}
+		if !traced {
+			trace = s.r.NewTraceID()
+		}
 		bres := make([]server.BatchReadResult, n)
-		if err := s.r.ReadBatch(addrs, bres); err != nil {
+		if err := s.r.ReadBatchTraced(trace, addrs, bres); err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		var head [3]byte
-		head[0] = server.StatusOK
-		binary.LittleEndian.PutUint16(head[1:], uint16(n))
-		if _, err := bw.Write(head[:]); err != nil {
+		if !s.writeBatchHead(bw, n, traced, trace) {
 			return false
 		}
 		for i := 0; i < n; i++ {
@@ -360,6 +403,21 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 	}
 }
 
+// writeBatchHead emits a batch response head: status, count, and — for
+// traced frames — the echoed trace ID.
+func (s *Server) writeBatchHead(bw *bufio.Writer, n int, traced bool, trace uint64) bool {
+	var head [3 + 8]byte
+	head[0] = server.StatusOK
+	binary.LittleEndian.PutUint16(head[1:], uint16(n))
+	k := 3
+	if traced {
+		binary.LittleEndian.PutUint64(head[k:], trace)
+		k += 8
+	}
+	_, err := bw.Write(head[:k])
+	return err == nil
+}
+
 // errStatus maps router errors onto protocol statuses. A replica-level
 // flow-control error that survived the retry budget keeps its own
 // status; total routing failure is StatusUnavailable.
@@ -400,20 +458,25 @@ type NodeStatus struct {
 }
 
 // Status is the router's /statusz document: the ring section plus the
-// routing budgets and counters.
+// routing budgets and counters, and — when tracing is on — the per-hop
+// latency section (route, attempt, checkout, retry, hedge, ...) mirroring
+// the per-stage section a node's /statusz carries.
 type Status struct {
-	Epoch       uint64         `json:"epoch"`
-	VNodes      int            `json:"vnodes"`
-	Replication int            `json:"replication"`
-	Nodes       []NodeStatus   `json:"nodes"`
-	Healthy     int            `json:"healthy_nodes"`
-	Resharding  bool           `json:"resharding"`
-	LastReshard *ReshardReport `json:"last_reshard,omitempty"`
-	Retries     uint64         `json:"retries"`
-	Failovers   uint64         `json:"failovers"`
-	Hedges      uint64         `json:"hedges"`
-	ReadRepairs uint64         `json:"read_repairs"`
-	UptimeS     float64        `json:"uptime_s"`
+	Epoch         uint64                        `json:"epoch"`
+	VNodes        int                           `json:"vnodes"`
+	Replication   int                           `json:"replication"`
+	Nodes         []NodeStatus                  `json:"nodes"`
+	Healthy       int                           `json:"healthy_nodes"`
+	Resharding    bool                          `json:"resharding"`
+	LastReshard   *ReshardReport                `json:"last_reshard,omitempty"`
+	Retries       uint64                        `json:"retries"`
+	Failovers     uint64                        `json:"failovers"`
+	Hedges        uint64                        `json:"hedges"`
+	ReadRepairs   uint64                        `json:"read_repairs"`
+	UptimeS       float64                       `json:"uptime_s"`
+	Tracing       bool                          `json:"tracing"`
+	FlightRecords int                           `json:"flight_records,omitempty"`
+	Hops          map[string]server.StageStatus `json:"hops,omitempty"`
 }
 
 // Status builds the live router status document.
@@ -448,6 +511,23 @@ func (s *Server) Status() Status {
 		}
 		st.Nodes = append(st.Nodes, row)
 	}
+	st.Tracing = r.TracingEnabled()
+	if hists, ok := r.HopSnapshot(); ok {
+		st.FlightRecords = len(r.HopRecords())
+		st.Hops = make(map[string]server.StageStatus, len(hists))
+		for i := range hists {
+			h := &hists[i]
+			if h.Count() == 0 {
+				continue
+			}
+			st.Hops[telemetry.Hop(i).String()] = server.StageStatus{
+				Count:  h.Count(),
+				MeanNs: h.Mean().Nanoseconds(),
+				P50Ns:  h.Percentile(0.5).Nanoseconds(),
+				P99Ns:  h.Percentile(0.99).Nanoseconds(),
+			}
+		}
+	}
 	return st
 }
 
@@ -465,6 +545,19 @@ func (s *Server) mux() http.Handler {
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, s.Status())
+	})
+	mux.HandleFunc("/statusz/cluster", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, s.ClusterStatus())
+	})
+	// The router flight recorder: attempt-level hop events with trace IDs,
+	// the cross-node half of what esdtrace stitches against each node's
+	// /debug/flightrecorder.
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		recs := s.r.HopRecords()
+		if recs == nil {
+			recs = []telemetry.HopRecord{}
+		}
+		writeJSON(w, recs)
 	})
 	mux.HandleFunc("/admin/reshard", s.handleReshard)
 	return mux

@@ -269,13 +269,13 @@ func (h *health) approxP99() uint64 {
 // the media energy split. It contains no slices so the telemetry gauge
 // path can fetch it allocation-free at scrape time.
 type HealthSummary struct {
-	Reads        uint64  `json:"reads"`
-	Writes       uint64  `json:"writes"`
-	RowHits      uint64  `json:"row_hits"`
-	LinesTouched uint64  `json:"lines_touched"`
-	MaxWear      uint64  `json:"max_wear"`
-	P99Wear      uint64  `json:"p99_wear"` // approximate (log2 bucket upper bound)
-	ReadEnergyNJ float64 `json:"read_energy_nj"`
+	Reads         uint64  `json:"reads"`
+	Writes        uint64  `json:"writes"`
+	RowHits       uint64  `json:"row_hits"`
+	LinesTouched  uint64  `json:"lines_touched"`
+	MaxWear       uint64  `json:"max_wear"`
+	P99Wear       uint64  `json:"p99_wear"` // approximate (log2 bucket upper bound)
+	ReadEnergyNJ  float64 `json:"read_energy_nj"`
 	WriteEnergyNJ float64 `json:"write_energy_nj"`
 }
 

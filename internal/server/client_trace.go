@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/esdsim/esd/internal/ecc"
+)
+
+// ErrLegacyProto reports a hello probe answered with StatusBadRequest: the
+// peer is a protocol version-0 binary that does not know the 'H' op. The
+// probe itself is harmless to the peer (its stream stays aligned — see the
+// protocol comment in proto.go), but this client connection has consumed a
+// junk status byte and must be discarded, not reused.
+var ErrLegacyProto = errors.New("server: peer speaks protocol version 0")
+
+// Hello negotiates the protocol version with the peer: one 'H' round trip
+// returning the server's ProtoVersion. A version-0 peer yields
+// ErrLegacyProto. The cluster router sends one hello per pooled connection
+// pool (not per connection) to decide whether a node accepts traced
+// frames.
+func (c *TCPClient) Hello() (int, error) {
+	st, err := c.roundTrip([]byte{OpHello, ProtoVersion})
+	if err != nil {
+		return 0, err
+	}
+	if st == StatusBadRequest {
+		return 0, ErrLegacyProto
+	}
+	if st != StatusOK {
+		return 0, statusErr(st)
+	}
+	var ver [1]byte
+	if err := readFull(c.br, ver[:]); err != nil {
+		return 0, err
+	}
+	return int(ver[0]), nil
+}
+
+// WriteTraced is Write over the version-1 'w' frame: the caller-minted
+// trace ID rides the request and the response echoes it (returned in
+// WriteResponse.Trace). Only valid against a version-1 server — probe with
+// Hello first.
+func (c *TCPClient) WriteTraced(trace, addr uint64, line ecc.Line) (WriteResponse, error) {
+	var frame [1 + traceLen + writeReqLen]byte
+	frame[0] = OpWriteTr
+	putU64(frame[1:], trace)
+	putU64(frame[1+traceLen:], addr)
+	copy(frame[1+traceLen+8:], line[:])
+	st, err := c.roundTrip(frame[:])
+	if err != nil {
+		return WriteResponse{}, err
+	}
+	if st != StatusOK {
+		return WriteResponse{}, statusErr(st)
+	}
+	var payload [1 + 8 + 8 + traceLen]byte
+	if err := readFull(c.br, payload[:]); err != nil {
+		return WriteResponse{}, err
+	}
+	return WriteResponse{
+		Dedup:     payload[0] == 1,
+		PhysAddr:  getU64(payload[1:9]),
+		LatencyNs: float64(getU64(payload[9:17])),
+		Trace:     getU64(payload[17:]),
+	}, nil
+}
+
+// ReadTraced is Read over the version-1 'r' frame (see WriteTraced).
+func (c *TCPClient) ReadTraced(trace, addr uint64) (ReadResponse, error) {
+	var frame [1 + traceLen + readReqLen]byte
+	frame[0] = OpReadTr
+	putU64(frame[1:], trace)
+	putU64(frame[1+traceLen:], addr)
+	st, err := c.roundTrip(frame[:])
+	if err != nil {
+		return ReadResponse{}, err
+	}
+	if st != StatusOK {
+		return ReadResponse{}, statusErr(st)
+	}
+	var payload [1 + ecc.LineSize + 8 + traceLen]byte
+	if err := readFull(c.br, payload[:]); err != nil {
+		return ReadResponse{}, err
+	}
+	return ReadResponse{
+		Hit:       payload[0] == 1,
+		Data:      append([]byte(nil), payload[1:1+ecc.LineSize]...),
+		LatencyNs: float64(getU64(payload[1+ecc.LineSize : 1+ecc.LineSize+8])),
+		Trace:     getU64(payload[1+ecc.LineSize+8:]),
+	}, nil
+}
+
+// WriteBatchTraced is WriteBatch over the version-1 'V' frame. The echoed
+// trace ID is returned; per-op results land in res exactly as WriteBatch.
+func (c *TCPClient) WriteBatchTraced(trace uint64, ops []BatchWriteOp, res []BatchWriteResult) (uint64, error) {
+	if len(ops) > MaxBatchOps {
+		return 0, fmt.Errorf("server: batch of %d ops exceeds MaxBatchOps=%d", len(ops), MaxBatchOps)
+	}
+	if len(res) != len(ops) {
+		return 0, fmt.Errorf("server: results slice has %d entries for %d ops", len(res), len(ops))
+	}
+	frame := c.grow(1 + traceLen + 2 + len(ops)*writeReqLen)[:1+traceLen+2]
+	frame[0] = OpWriteBatchTr
+	putU64(frame[1:], trace)
+	binary.LittleEndian.PutUint16(frame[1+traceLen:], uint16(len(ops)))
+	for i := range ops {
+		var rec [writeReqLen]byte
+		putU64(rec[:8], ops[i].Addr)
+		copy(rec[8:], ops[i].Line[:])
+		frame = append(frame, rec[:]...)
+	}
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return 0, err
+	}
+	if st != StatusOK {
+		return 0, statusErr(st)
+	}
+	var head [2 + traceLen]byte
+	if err := readFull(c.br, head[:]); err != nil {
+		return 0, err
+	}
+	if n := int(binary.LittleEndian.Uint16(head[:])); n != len(ops) {
+		return 0, fmt.Errorf("server: batch response carries %d results for %d ops", n, len(ops))
+	}
+	echo := getU64(head[2:])
+	payload := c.grow(len(ops) * writeBatchRecLen)
+	if err := readFull(c.br, payload); err != nil {
+		return 0, err
+	}
+	for i := range res {
+		rec := payload[i*writeBatchRecLen:]
+		if rec[0] != StatusOK {
+			res[i] = BatchWriteResult{Err: statusErr(rec[0])}
+			continue
+		}
+		res[i] = BatchWriteResult{
+			Dedup:     rec[1] == 1,
+			PhysAddr:  getU64(rec[2:10]),
+			LatencyNs: float64(getU64(rec[10:18])),
+		}
+	}
+	return echo, nil
+}
+
+// ReadBatchTraced is ReadBatch over the version-1 'v' frame (see
+// WriteBatchTraced).
+func (c *TCPClient) ReadBatchTraced(trace uint64, addrs []uint64, res []BatchReadResult) (uint64, error) {
+	if len(addrs) > MaxBatchOps {
+		return 0, fmt.Errorf("server: batch of %d ops exceeds MaxBatchOps=%d", len(addrs), MaxBatchOps)
+	}
+	if len(res) != len(addrs) {
+		return 0, fmt.Errorf("server: results slice has %d entries for %d ops", len(res), len(addrs))
+	}
+	frame := c.grow(1 + traceLen + 2 + len(addrs)*readReqLen)
+	frame[0] = OpReadBatchTr
+	putU64(frame[1:], trace)
+	binary.LittleEndian.PutUint16(frame[1+traceLen:], uint16(len(addrs)))
+	for i, a := range addrs {
+		putU64(frame[1+traceLen+2+i*readReqLen:], a)
+	}
+	st, err := c.roundTrip(frame)
+	if err != nil {
+		return 0, err
+	}
+	if st != StatusOK {
+		return 0, statusErr(st)
+	}
+	var head [2 + traceLen]byte
+	if err := readFull(c.br, head[:]); err != nil {
+		return 0, err
+	}
+	if n := int(binary.LittleEndian.Uint16(head[:])); n != len(addrs) {
+		return 0, fmt.Errorf("server: batch response carries %d results for %d ops", n, len(addrs))
+	}
+	echo := getU64(head[2:])
+	payload := c.grow(len(addrs) * readBatchRecLen)
+	if err := readFull(c.br, payload); err != nil {
+		return 0, err
+	}
+	for i := range res {
+		rec := payload[i*readBatchRecLen:]
+		if rec[0] != StatusOK {
+			res[i] = BatchReadResult{Err: statusErr(rec[0])}
+			continue
+		}
+		res[i].Err = nil
+		res[i].Hit = rec[1] == 1
+		copy(res[i].Data[:], rec[2:2+ecc.LineSize])
+		res[i].LatencyNs = float64(getU64(rec[2+ecc.LineSize : 2+ecc.LineSize+8]))
+	}
+	return echo, nil
+}

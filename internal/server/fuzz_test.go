@@ -106,13 +106,13 @@ func validBatchFrame(n int) []byte {
 func FuzzTCPFrameBatch(f *testing.F) {
 	f.Add(append([]byte{OpWriteBatch}, validBatchFrame(3)...))
 	f.Add(append([]byte{OpWriteBatch}, validBatchFrame(0)...))
-	f.Add([]byte{OpWriteBatch})                      // no count
-	f.Add([]byte{OpWriteBatch, 0x05})                // half a count
-	f.Add([]byte{OpWriteBatch, 0x02, 0x00, 0xAA})    // count 2, truncated body
-	f.Add([]byte{OpWriteBatch, 0xFF, 0xFF})          // count 65535 > MaxBatchOps
-	f.Add([]byte{OpReadBatch, 0x00, 0x00})           // zero reads
-	f.Add([]byte{OpReadBatch, 0x02, 0x00, 1, 2, 3})  // truncated addresses
-	f.Add([]byte{OpReadBatch, 0xFF, 0x7F})           // oversized read count
+	f.Add([]byte{OpWriteBatch})                                                              // no count
+	f.Add([]byte{OpWriteBatch, 0x05})                                                        // half a count
+	f.Add([]byte{OpWriteBatch, 0x02, 0x00, 0xAA})                                            // count 2, truncated body
+	f.Add([]byte{OpWriteBatch, 0xFF, 0xFF})                                                  // count 65535 > MaxBatchOps
+	f.Add([]byte{OpReadBatch, 0x00, 0x00})                                                   // zero reads
+	f.Add([]byte{OpReadBatch, 0x02, 0x00, 1, 2, 3})                                          // truncated addresses
+	f.Add([]byte{OpReadBatch, 0xFF, 0x7F})                                                   // oversized read count
 	f.Add([]byte{OpReadBatch, 0x01, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, OpWriteBatch, 0x01, 0x00}) // read batch then truncated write batch
 
 	srv, closeEng := fuzzServer(f)

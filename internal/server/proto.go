@@ -19,21 +19,31 @@ import (
 //
 // Request frames:
 //
-//	write:      'W' addr:8 line:64
-//	read:       'R' addr:8
-//	flush:      'F'
-//	stats:      'S'
-//	writeBatch: 'B' count:2 count×(addr:8 line:64)
-//	readBatch:  'b' count:2 count×(addr:8)
+//	write:       'W' addr:8 line:64
+//	read:        'R' addr:8
+//	flush:       'F'
+//	stats:       'S'
+//	writeBatch:  'B' count:2 count×(addr:8 line:64)
+//	readBatch:   'b' count:2 count×(addr:8)
+//	hello:       'H' ver:1
+//	writeTr:     'w' trace:8 addr:8 line:64
+//	readTr:      'r' trace:8 addr:8
+//	writeBatchTr:'V' trace:8 count:2 count×(addr:8 line:64)
+//	readBatchTr: 'v' trace:8 count:2 count×(addr:8)
 //
 // Response frames:
 //
-//	write:      status:1 [dedup:1 phys:8 latNs:8]     (payload on StatusOK)
-//	read:       status:1 [hit:1 line:64 latNs:8]
-//	flush:      status:1
-//	stats:      status:1 [len:4 json:len]
-//	writeBatch: status:1 [count:2 count×(status:1 dedup:1 phys:8 latNs:8)]
-//	readBatch:  status:1 [count:2 count×(status:1 hit:1 line:64 latNs:8)]
+//	write:       status:1 [dedup:1 phys:8 latNs:8]     (payload on StatusOK)
+//	read:        status:1 [hit:1 line:64 latNs:8]
+//	flush:       status:1
+//	stats:       status:1 [len:4 json:len]
+//	writeBatch:  status:1 [count:2 count×(status:1 dedup:1 phys:8 latNs:8)]
+//	readBatch:   status:1 [count:2 count×(status:1 hit:1 line:64 latNs:8)]
+//	hello:       status:1 [ver:1]
+//	writeTr:     status:1 [dedup:1 phys:8 latNs:8 trace:8]
+//	readTr:      status:1 [hit:1 line:64 latNs:8 trace:8]
+//	writeBatchTr:status:1 [count:2 trace:8 count×(status:1 dedup:1 phys:8 latNs:8)]
+//	readBatchTr: status:1 [count:2 trace:8 count×(status:1 hit:1 line:64 latNs:8)]
 //
 // All integers are little-endian. A non-OK status ends the frame after
 // the status byte. Batch frames carry up to MaxBatchOps operations and
@@ -43,6 +53,20 @@ import (
 // timeout, closing) is reported in the fixed-size per-op records, whose
 // payload fields are zero unless the op's status is StatusOK. A
 // zero-count batch is valid and returns an OK frame with count 0.
+//
+// Protocol versioning and trace propagation: version 1 adds the traced
+// op variants ('w', 'r', 'V', 'v'), which prefix the version-0 body with
+// the originating trace ID and echo it at the tail of the response. A
+// traced server adopts the wire trace ID instead of minting one, so the
+// router's ID appears in the node's slow-request log, flight recorder
+// and response. Version-0 peers interoperate both ways: a v0 client
+// simply never sends traced frames, and a v1 client discovers a v0
+// server with one 'H' hello round trip per connection pool (a v0 server
+// answers any unknown op, including 'H', with StatusBadRequest and
+// leaves its read stream positioned after the op byte — the hello frame
+// body is a single version byte that decodes as another unknown op, so
+// probing is harmless; the prober discards the connection and falls back
+// to untraced frames for that node).
 const (
 	OpWrite      byte = 'W'
 	OpRead       byte = 'R'
@@ -50,7 +74,18 @@ const (
 	OpStats      byte = 'S'
 	OpWriteBatch byte = 'B'
 	OpReadBatch  byte = 'b'
+
+	// Version-1 ops: trace-propagating variants plus the hello probe.
+	OpHello        byte = 'H'
+	OpWriteTr      byte = 'w'
+	OpReadTr       byte = 'r'
+	OpWriteBatchTr byte = 'V'
+	OpReadBatchTr  byte = 'v'
 )
+
+// ProtoVersion is the protocol version this package speaks. Version 1
+// added trace propagation; version 0 is the PR 8 frame set.
+const ProtoVersion = 1
 
 // MaxBatchOps caps the operations one batch frame may carry; it bounds
 // the per-connection buffering a frame can demand on either side.
@@ -73,6 +108,9 @@ const (
 	StatusUnavailable byte = 5 // cluster router: no healthy replica for the address
 )
 
+// StatusText names a protocol status byte for logs and trace timelines.
+func StatusText(s byte) string { return statusText(s) }
+
 func statusText(s byte) string {
 	switch s {
 	case StatusOK:
@@ -92,10 +130,12 @@ func statusText(s byte) string {
 	}
 }
 
-// writeReq/readReq sizes after the op byte.
+// writeReq/readReq sizes after the op byte; traced variants prefix the
+// body with traceLen bytes of trace ID.
 const (
 	writeReqLen = 8 + ecc.LineSize
 	readReqLen  = 8
+	traceLen    = 8
 )
 
 func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

@@ -39,6 +39,12 @@ type Config struct {
 	// SlowLog receives slow-request lines and error-path flight-recorder
 	// dumps (default os.Stderr).
 	SlowLog io.Writer
+	// DisableTracedFrames makes the TCP endpoint behave like a protocol
+	// version-0 binary: the traced ops and the 'H' hello are answered with
+	// StatusBadRequest, exactly as a pre-tracing build would answer any
+	// unknown op. Exists for backward-compat testing (cluster_smoke.sh runs
+	// a new router against a node in this mode) and as an escape hatch.
+	DisableTracedFrames bool
 }
 
 func (c Config) withDefaults() Config {
@@ -204,6 +210,12 @@ func (s *Server) mux() http.Handler {
 	mux.HandleFunc("/debug/device", func(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, s.Device())
 	})
+	// Raw per-shard health snapshots, shaped for nvm.MergeHealth: the
+	// cluster router scrapes this from every member and merges the fleet
+	// into one device view (/debug/device is the human-shaped rollup).
+	mux.HandleFunc("/debug/health", func(w http.ResponseWriter, r *http.Request) {
+		s.writeJSON(w, http.StatusOK, s.eng.DeviceHealths())
+	})
 	if reg := s.eng.Registry(); reg != nil {
 		mux.Handle("/metrics", telemetry.Handler(reg, s.cfg.Pprof))
 		mux.Handle("/debug/", telemetry.Handler(reg, s.cfg.Pprof))
@@ -363,6 +375,35 @@ func (s *Server) noteRequest(proto, op string, tc telemetry.TraceCtx, addr uint6
 	s.slowMu.Lock()
 	fmt.Fprintf(s.cfg.SlowLog, "server: slow request trace=%d %s %s addr=%d shard=%d wall=%s status=%s\n",
 		tc.TraceID, proto, op, addr, s.eng.ShardOf(addr), wall, status)
+	s.slowMu.Unlock()
+}
+
+// noteBatch applies the slow-request policy to one completed batch frame.
+// Exactly one of wops/addrs is non-nil (write vs read batch). Unlike the
+// scalar path, a slow batch line reports the batch size and its distinct-
+// shard fan-out — the two numbers that say whether the frame was slow
+// because it was big or because it serialized behind one hot shard. The
+// fan-out map is built only inside the slow branch, so the hot path stays
+// allocation-free.
+func (s *Server) noteBatch(proto, op string, tc telemetry.TraceCtx, wops []shard.WriteBatchOp, addrs []uint64, wall time.Duration, err error) {
+	if s.cfg.SlowRequestThreshold <= 0 || wall < s.cfg.SlowRequestThreshold {
+		return
+	}
+	s.slow.Add(1)
+	shards := make(map[int]struct{}, 8)
+	for i := range wops {
+		shards[s.eng.ShardOf(wops[i].Addr)] = struct{}{}
+	}
+	for _, a := range addrs {
+		shards[s.eng.ShardOf(a)] = struct{}{}
+	}
+	status := "ok"
+	if err != nil {
+		status = err.Error()
+	}
+	s.slowMu.Lock()
+	fmt.Fprintf(s.cfg.SlowLog, "server: slow request trace=%d %s %s batch=%d shards=%d wall=%s status=%s\n",
+		tc.TraceID, proto, op, len(wops)+len(addrs), len(shards), wall, status)
 	s.slowMu.Unlock()
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/shard"
+	"github.com/esdsim/esd/internal/telemetry"
 )
 
 // Batch-frame scratch pools: one full-size buffer per in-flight batch
@@ -90,14 +91,64 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// frameTrace builds the request's trace context: a traced frame adopts
+// the wire-propagated ID (the cluster router minted it at the fleet
+// edge), an untraced one mints a fresh node-local ID.
+func (s *Server) frameTrace(traced bool, trace uint64) telemetry.TraceCtx {
+	var tc telemetry.TraceCtx
+	if traced {
+		tc = s.eng.AdoptTrace(trace)
+	} else {
+		tc = s.eng.NewTrace()
+	}
+	tc.StartNs = time.Now().UnixNano()
+	return tc
+}
+
 // serveFrame reads the rest of one request frame and writes the response
 // frame to bw. It returns false when the connection should be dropped
 // (malformed frame).
 func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
+
+	// Version-1 preamble: traced data frames carry the trace ID before
+	// the version-0 body; 'H' negotiates the version. A server emulating
+	// a version-0 binary (DisableTracedFrames) treats all of them as
+	// unknown ops, exactly as the old code did.
+	traced := false
+	var trace uint64
 	switch op {
-	case OpWrite:
+	case OpHello, OpWriteTr, OpReadTr, OpWriteBatchTr, OpReadBatchTr:
+		if s.cfg.DisableTracedFrames {
+			return writeStatus(bw, StatusBadRequest)
+		}
+		if op == OpHello {
+			var ver [1]byte
+			if readFull(br, ver[:]) != nil {
+				return false
+			}
+			var resp [2]byte
+			resp[0] = StatusOK
+			resp[1] = ProtoVersion
+			_, werr := bw.Write(resp[:])
+			return werr == nil
+		}
+		// Peek+Discard reads the preamble out of bufio's own buffer: no
+		// escaping scratch array, so tracing adds zero allocations here.
+		tb, err := br.Peek(traceLen)
+		if err != nil {
+			return false
+		}
+		trace = getU64(tb)
+		if _, err := br.Discard(traceLen); err != nil {
+			return false
+		}
+		traced = true
+	}
+
+	switch op {
+	case OpWrite, OpWriteTr:
 		var req [writeReqLen]byte
 		if readFull(br, req[:]) != nil {
 			return false
@@ -105,8 +156,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		var line ecc.Line
 		copy(line[:], req[8:])
 		addr := getU64(req[:8])
-		tc := s.eng.NewTrace()
-		tc.StartNs = time.Now().UnixNano()
+		tc := s.frameTrace(traced, trace)
 		out, err := s.eng.TryWriteTraced(ctx, addr, line, tc)
 		s.noteRequest("tcp", "write", tc, addr, time.Since(time.Unix(0, tc.StartNs)), err)
 		if err != nil {
@@ -114,38 +164,47 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 		}
 		// Response frames are fixed-size: build them in stack arrays so the
 		// per-frame path allocates nothing (bufio.Writer.Write copies).
-		var resp [1 + 1 + 8 + 8]byte
+		var resp [1 + 1 + 8 + 8 + traceLen]byte
 		resp[0] = StatusOK
 		if out.Deduplicated {
 			resp[1] = 1
 		}
 		putU64(resp[2:], out.PhysAddr)
 		putU64(resp[10:], uint64(out.Breakdown.Total().Nanoseconds()))
-		_, werr := bw.Write(resp[:])
+		n := 1 + 1 + 8 + 8
+		if traced {
+			putU64(resp[n:], tc.TraceID)
+			n += traceLen
+		}
+		_, werr := bw.Write(resp[:n])
 		return werr == nil
-	case OpRead:
+	case OpRead, OpReadTr:
 		var req [readReqLen]byte
 		if readFull(br, req[:]) != nil {
 			return false
 		}
 		addr := getU64(req[:])
-		tc := s.eng.NewTrace()
-		tc.StartNs = time.Now().UnixNano()
+		tc := s.frameTrace(traced, trace)
 		res, err := s.eng.TryReadTraced(ctx, addr, tc)
 		s.noteRequest("tcp", "read", tc, addr, time.Since(time.Unix(0, tc.StartNs)), err)
 		if err != nil {
 			return writeStatus(bw, errStatus(err))
 		}
-		var resp [1 + 1 + ecc.LineSize + 8]byte
+		var resp [1 + 1 + ecc.LineSize + 8 + traceLen]byte
 		resp[0] = StatusOK
 		if res.Hit {
 			resp[1] = 1
 		}
 		copy(resp[2:], res.Data[:])
 		putU64(resp[2+ecc.LineSize:], uint64(res.Lat.Nanoseconds()))
-		_, werr := bw.Write(resp[:])
+		n := 1 + 1 + ecc.LineSize + 8
+		if traced {
+			putU64(resp[n:], tc.TraceID)
+			n += traceLen
+		}
+		_, werr := bw.Write(resp[:n])
 		return werr == nil
-	case OpWriteBatch:
+	case OpWriteBatch, OpWriteBatchTr:
 		var cnt [2]byte
 		if readFull(br, cnt[:]) != nil {
 			return false
@@ -161,10 +220,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			return false
 		}
 		if n == 0 {
-			var resp [3]byte
-			resp[0] = StatusOK
-			_, werr := bw.Write(resp[:])
-			return werr == nil
+			return writeBatchHead(bw, 0, traced, trace)
 		}
 		opsp := batchOpsPool.Get().(*[]shard.WriteBatchOp)
 		defer batchOpsPool.Put(opsp)
@@ -177,14 +233,10 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			ops[i].Addr = getU64(req[:8])
 			copy(ops[i].Line[:], req[8:])
 		}
-		tc := s.eng.NewTrace()
-		tc.StartNs = time.Now().UnixNano()
+		tc := s.frameTrace(traced, trace)
 		err := s.eng.TryWriteBatchTraced(ctx, ops, tc)
-		s.noteRequest("tcp", "write-batch", tc, ops[0].Addr, time.Since(time.Unix(0, tc.StartNs)), err)
-		var head [3]byte
-		head[0] = StatusOK
-		binary.LittleEndian.PutUint16(head[1:], uint16(n))
-		if _, err := bw.Write(head[:]); err != nil {
+		s.noteBatch("tcp", "write-batch", tc, ops, nil, time.Since(time.Unix(0, tc.StartNs)), err)
+		if !writeBatchHead(bw, n, traced, tc.TraceID) {
 			return false
 		}
 		for i := 0; i < n; i++ {
@@ -204,7 +256,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			}
 		}
 		return true
-	case OpReadBatch:
+	case OpReadBatch, OpReadBatchTr:
 		var cnt [2]byte
 		if readFull(br, cnt[:]) != nil {
 			return false
@@ -216,10 +268,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			return false
 		}
 		if n == 0 {
-			var resp [3]byte
-			resp[0] = StatusOK
-			_, werr := bw.Write(resp[:])
-			return werr == nil
+			return writeBatchHead(bw, 0, traced, trace)
 		}
 		addrsp := batchAddrsPool.Get().(*[]uint64)
 		defer batchAddrsPool.Put(addrsp)
@@ -231,12 +280,8 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 			}
 			addrs[i] = getU64(req[:])
 		}
-		tc := s.eng.NewTrace()
-		tc.StartNs = time.Now().UnixNano()
-		var head [3]byte
-		head[0] = StatusOK
-		binary.LittleEndian.PutUint16(head[1:], uint16(n))
-		if _, err := bw.Write(head[:]); err != nil {
+		tc := s.frameTrace(traced, trace)
+		if !writeBatchHead(bw, n, traced, tc.TraceID) {
 			return false
 		}
 		var firstErr error
@@ -260,7 +305,7 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 				return false
 			}
 		}
-		s.noteRequest("tcp", "read-batch", tc, addrs[0], time.Since(time.Unix(0, tc.StartNs)), firstErr)
+		s.noteBatch("tcp", "read-batch", tc, nil, addrs, time.Since(time.Unix(0, tc.StartNs)), firstErr)
 		return true
 	case OpFlush:
 		if err := s.eng.Flush(); err != nil {
@@ -290,6 +335,21 @@ func (s *Server) serveFrame(br *bufio.Reader, bw *bufio.Writer, op byte) bool {
 	default:
 		return writeStatus(bw, StatusBadRequest)
 	}
+}
+
+// writeBatchHead emits a batch response head: status, count, and — for
+// traced frames — the echoed trace ID.
+func writeBatchHead(bw *bufio.Writer, n int, traced bool, trace uint64) bool {
+	var head [3 + traceLen]byte
+	head[0] = StatusOK
+	binary.LittleEndian.PutUint16(head[1:], uint16(n))
+	k := 3
+	if traced {
+		putU64(head[k:], trace)
+		k += traceLen
+	}
+	_, err := bw.Write(head[:k])
+	return err == nil
 }
 
 func writeStatus(bw *bufio.Writer, st byte) bool {

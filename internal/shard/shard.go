@@ -212,6 +212,15 @@ func (e *Engine) NewTrace() telemetry.TraceCtx {
 	return telemetry.TraceCtx{TraceID: e.trace.Add(1), Span: 1}
 }
 
+// AdoptTrace builds a trace context for a request whose ID was minted
+// elsewhere and propagated here on the wire (the cluster router is the
+// originator). Span 2 under parent span 1 marks the node-local leg of the
+// routed request, so flight-recorder slots and slow-log lines on this node
+// carry the fleet-wide ID instead of a fresh local one.
+func (e *Engine) AdoptTrace(id uint64) telemetry.TraceCtx {
+	return telemetry.TraceCtx{TraceID: id, Span: 2, Parent: 1}
+}
+
 // TracingEnabled reports whether stage tracing is on (Options.Tracing).
 func (e *Engine) TracingEnabled() bool { return e.opts.Tracing }
 

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Nil-receiver no-op audit: every HopRecorder and HopHistograms method
+// must be a safe no-op on a nil receiver, matching the Sink /
+// FlightRecorder / StageHistograms convention — an untraced router passes
+// nil and pays nothing.
+func TestHopNilReceivers(t *testing.T) {
+	var r *HopRecorder
+	r.Record(HopAttempt, 1, 'W', "node0", 42, 0, 0, time.Now().UnixNano(), time.Millisecond)
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil recorder Snapshot = %v, want nil", got)
+	}
+	if r.Len() != 0 || r.Cap() != 0 {
+		t.Errorf("nil recorder Len/Cap = %d/%d, want 0/0", r.Len(), r.Cap())
+	}
+
+	var h *HopHistograms
+	h.Observe(HopRoute, time.Millisecond)
+	snap := h.Snapshot()
+	for i := range snap {
+		if snap[i].Count() != 0 {
+			t.Errorf("nil histograms Snapshot[%d].Count = %d, want 0", i, snap[i].Count())
+		}
+	}
+}
+
+func TestHopStrings(t *testing.T) {
+	want := map[Hop]string{
+		HopRoute:      "route",
+		HopAttempt:    "attempt",
+		HopCheckout:   "checkout",
+		HopRetry:      "retry",
+		HopFailover:   "failover",
+		HopHedge:      "hedge",
+		HopHedgeWin:   "hedge-win",
+		HopReadRepair: "read-repair",
+		HopMarkDown:   "mark-down",
+	}
+	if len(want) != NumHops {
+		t.Fatalf("test covers %d hops, NumHops = %d", len(want), NumHops)
+	}
+	seen := map[string]bool{}
+	for h, name := range want {
+		if got := h.String(); got != name {
+			t.Errorf("Hop(%d).String() = %q, want %q", h, got, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate hop name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Hop(200).String(); got != "unknown" {
+		t.Errorf("out-of-range hop String() = %q, want unknown", got)
+	}
+}
+
+func TestHopRecorderRoundTrip(t *testing.T) {
+	r := NewHopRecorder(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	at := time.Now().UnixNano()
+	r.Record(HopAttempt, 7, 'W', "node1", 42, 1, 0, at, 3*time.Millisecond)
+	r.Record(HopFailover, 7, 'R', "node2", 42, 0, 2, at+1, time.Millisecond)
+	recs := r.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(recs))
+	}
+	a := recs[0]
+	if a.Trace != 7 || a.Hop != "attempt" || a.Op != "write" || a.Node != "node1" ||
+		a.Addr != 42 || a.Attempt != 1 || !a.OK || a.AtUnixNs != at || a.LatNs != 3e6 {
+		t.Errorf("first record decoded wrong: %+v", a)
+	}
+	b := recs[1]
+	if b.Hop != "failover" || b.Op != "read" || b.Status != 2 || b.OK {
+		t.Errorf("second record decoded wrong: %+v", b)
+	}
+	if b.Seq <= a.Seq {
+		t.Errorf("sequence not ascending: %d then %d", a.Seq, b.Seq)
+	}
+}
+
+// The ring must hold exactly the last Cap() records after wraparound.
+func TestHopRecorderWraparound(t *testing.T) {
+	r := NewHopRecorder(4)
+	for i := 0; i < 11; i++ {
+		r.Record(HopAttempt, uint64(i+1), 'W', "n", uint64(i), 0, 0, int64(i), 0)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4 after wraparound", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(8 + i); rec.Trace != want {
+			t.Errorf("record %d trace = %d, want %d (oldest-first tail)", i, rec.Trace, want)
+		}
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+}
+
+// Recording and observing must not allocate: they sit on the router's
+// data path for every attempt of every routed request.
+func TestHopRecordingDoesNotAllocate(t *testing.T) {
+	r := NewHopRecorder(64)
+	var h HopHistograms
+	node := "node0"
+	at := time.Now().UnixNano()
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record(HopAttempt, 9, 'W', node, 7, 0, 0, at, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("HopRecorder.Record allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		h.Observe(HopAttempt, time.Millisecond)
+	}); n != 0 {
+		t.Errorf("HopHistograms.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+// Concurrent Record vs Snapshot must never tear a record: every decoded
+// event's fields are derived from its trace ID, so a mixed record is
+// detectable. Run with -race.
+func TestHopRecorderConcurrentSnapshot(t *testing.T) {
+	r := NewHopRecorder(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Record(HopAttempt, i, 'W', "n", i*3, int(i%5), byte(i%7), int64(i), time.Duration(i))
+		}
+	}()
+	for k := 0; k < 50; k++ {
+		for _, rec := range r.Snapshot() {
+			if rec.Trace == 0 {
+				continue
+			}
+			if rec.Addr != rec.Trace*3 || rec.Attempt != int(rec.Trace%5) ||
+				rec.Status != int(rec.Trace%7) || rec.AtUnixNs != int64(rec.Trace) {
+				t.Fatalf("torn record: %+v", rec)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHopHistogramsObserve(t *testing.T) {
+	var h HopHistograms
+	h.Observe(HopAttempt, 2*time.Millisecond)
+	h.Observe(HopAttempt, 4*time.Millisecond)
+	h.Observe(HopRoute, time.Millisecond)
+	h.Observe(Hop(250), time.Second) // out of range: dropped, not a panic
+	snap := h.Snapshot()
+	if snap[HopAttempt].Count() != 2 {
+		t.Errorf("attempt count = %d, want 2", snap[HopAttempt].Count())
+	}
+	if snap[HopRoute].Count() != 1 {
+		t.Errorf("route count = %d, want 1", snap[HopRoute].Count())
+	}
+	if ns := snap[HopRoute].Mean().Nanoseconds(); ns < 0.9e6 || ns > 1.1e6 {
+		t.Errorf("route mean = %v ns, want ~1e6 (wall→sim unit conversion)", ns)
+	}
+	if snap[HopHedge].Count() != 0 {
+		t.Errorf("hedge count = %d, want 0", snap[HopHedge].Count())
+	}
+}
