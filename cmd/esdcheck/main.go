@@ -37,7 +37,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seeds      = fs.Int("seeds", 1, "number of consecutive seeds to run")
 		upto       = fs.Int("upto", 0, "stop after N ops (replay a failing prefix; 0 = all)")
 		every      = fs.Int("every", 2000, "run invariant audits every K ops (<0 disables)")
-		schemes    = fs.String("schemes", "", "comma-separated schemes (default: the four canonical)")
+		genName    = fs.String("gen", "default", "workload profile: default, or migrate (phase-shifting hot set)")
+		schemes    = fs.String("schemes", "", "comma-separated schemes (default: the canonical four plus esd+caram)")
 		shards     = fs.String("shards", "1,2,8", "comma-separated shard counts for the sharded variants ('' disables)")
 		coalesce   = fs.String("coalesce", "both", "coalescing for sharded variants: off, on or both")
 		concurrent = fs.Bool("concurrent", false, "also run the adversarial concurrent schedules")
@@ -69,13 +70,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	}
 
+	gen := check.DefaultGen()
+	switch *genName {
+	case "default":
+	case "migrate":
+		gen = check.MigrateGen()
+	default:
+		fmt.Fprintf(stderr, "esdcheck: bad -gen %q (want default or migrate)\n", *genName)
+		return 2
+	}
 	cfg := check.Config{
-		Gen:           check.DefaultGen(),
+		Gen:           gen,
 		Upto:          *upto,
 		AuditEvery:    *every,
 		BatchFraction: *batchFrac,
 	}
 	cfg.Gen.Ops = *ops
+	if *genName == "migrate" {
+		// PhaseEvery tracks the actual op count, not MigrateGen's default.
+		cfg.Gen.PhaseEvery = max(*ops/8, 1)
+	}
 	if *schemes != "" {
 		cfg.Schemes = splitList(*schemes)
 	}

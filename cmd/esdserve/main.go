@@ -43,7 +43,7 @@ func cliMain(args []string, stdout io.Writer, ready func(*server.Server) <-chan 
 	var (
 		addr      = fs.String("addr", ":8080", "HTTP listen address")
 		tcpAddr   = fs.String("tcp-addr", "", "also serve the binary protocol on this address")
-		scheme    = fs.String("scheme", "esd", "scheme: baseline, dedup-sha1, dewrite, esd, bcd")
+		scheme    = fs.String("scheme", "esd", "scheme: baseline, dedup-sha1, dewrite, esd, bcd, esd+caram")
 		shards    = fs.Int("shards", 4, "number of independent shards")
 		queue     = fs.Int("queue-depth", 128, "per-shard request queue bound")
 		batch     = fs.Int("batch", 32, "max requests a shard drains per wakeup")

@@ -31,19 +31,20 @@ var schemeByIndex = map[string]string{
 	"1": esd.SchemeSHA1,
 	"2": esd.SchemeDeWrite,
 	"3": esd.SchemeESD,
+	"4": esd.SchemeESDCaram,
 }
 
 func resolveScheme(s string) (string, error) {
 	if name, ok := schemeByIndex[s]; ok {
 		return name, nil
 	}
-	valid := append(esd.SchemeNames(), esd.SchemeBCD)
+	valid := append(esd.SchemeNames(), esd.SchemeBCD, esd.SchemeESDCaram)
 	for _, name := range valid {
 		if name == s {
 			return name, nil
 		}
 	}
-	return "", fmt.Errorf("unknown scheme %q (use 0-3 or %s)", s, strings.Join(valid, ", "))
+	return "", fmt.Errorf("unknown scheme %q (use 0-4 or %s)", s, strings.Join(valid, ", "))
 }
 
 // metricsServerHook, when set (by tests), is invoked after a run completes
@@ -63,7 +64,7 @@ func cliMain(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("esdsim", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		schemeFlag  = fs.String("scheme", "3", "scheme: 0/baseline, 1/dedup-sha1, 2/dewrite, 3/esd")
+		schemeFlag  = fs.String("scheme", "3", "scheme: 0/baseline, 1/dedup-sha1, 2/dewrite, 3/esd, 4/esd+caram")
 		app         = fs.String("app", "", "built-in application profile (see -list)")
 		mix         = fs.String("mix", "", "comma-separated applications run as a multi-programmed mix")
 		traceFile   = fs.String("trace", "", "binary trace file (overrides -app)")

@@ -226,6 +226,14 @@ func render(w io.Writer, st *server.StatuszResponse, dev *server.DeviceResponse,
 	fmt.Fprintf(w, "energy      read %.2f uJ · write %.2f uJ   media %d wr / %d rd on %d lines\n",
 		dev.Energy.ReadNJ/1000, dev.Energy.WriteNJ/1000, dev.MediaWrites, dev.MediaReads, dev.LinesTouched)
 
+	// Hybrid DRAM/PCM tier (scheme esd+caram): hit split, migration
+	// churn, and buffer occupancy. Absent on plain-PCM media.
+	if h := dev.Hybrid; h != nil {
+		fmt.Fprintf(w, "hybrid      dram hit %5.1f%%  promo %d / demo %d (wb %d)  wal %d  absorbed %d  resident %d/%d (%d dirty)\n",
+			h.HitRate*100, h.Promotions, h.Demotions, h.Writebacks,
+			h.WALAppends, h.AbsorbedWrites, h.ResidentLines, h.CapacityLines, h.DirtyLines)
+	}
+
 	// Wear heatmap: one row per shard, one cell per bank, scaled to the
 	// hottest bank. A single bright cell in a flat row is the hot-line
 	// signature.

@@ -41,6 +41,12 @@ func canned(t *testing.T) *httptest.Server {
 			{Shard: 0, Bank: 0, MaxWear: 1}, {Shard: 0, Bank: 1, MaxWear: 40},
 			{Shard: 1, Bank: 0, MaxWear: 1}, {Shard: 1, Bank: 1, MaxWear: 1},
 		},
+		Hybrid: &server.HybridStatus{
+			DRAMHits: 900, DRAMMisses: 100, HitRate: 0.9,
+			Promotions: 50, Demotions: 20, Writebacks: 8,
+			WALAppends: 700, AbsorbedWrites: 700,
+			CapacityLines: 1024, ResidentLines: 30, DirtyLines: 5,
+		},
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
@@ -74,6 +80,7 @@ func TestOnceRendersDashboard(t *testing.T) {
 		"wear heatmap",
 		"shard 0   ▁█",
 		"shard 1   ▁▁",
+		"hybrid      dram hit  90.0%", "promo 50 / demo 20 (wb 8)", "resident 30/1024 (5 dirty)",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dashboard missing %q:\n%s", want, out)

@@ -15,7 +15,7 @@ import (
 // failure that wipes every volatile structure, all previously written data
 // remains readable under every scheme.
 func TestCrashLosesNoData(t *testing.T) {
-	for _, scheme := range SchemeNames() {
+	for _, scheme := range append(SchemeNames(), SchemeESDCaram) {
 		sys, err := NewSystem(smallConfig(), scheme)
 		if err != nil {
 			t.Fatal(err)
@@ -79,7 +79,7 @@ func TestCrashThenDedupContinues(t *testing.T) {
 // TestCrashMidWorkloadProperty runs random write/crash/read interleavings
 // under every scheme and verifies the read-back oracle.
 func TestCrashMidWorkloadProperty(t *testing.T) {
-	for _, scheme := range SchemeNames() {
+	for _, scheme := range append(SchemeNames(), SchemeESDCaram) {
 		scheme := scheme
 		check := func(seed uint64) bool {
 			sys, err := NewSystem(smallConfig(), scheme)
@@ -121,15 +121,22 @@ func TestCrashMidWorkloadProperty(t *testing.T) {
 // TestCrashAtStepPoints is the crash-point table: for every scheme and
 // every architecturally meaningful intermediate point in the write path —
 // after the AMT mapping is installed but before refcounts are adjusted,
-// and after the encryption counter is bumped but before the ciphertext
-// reaches the media queue — a power failure is injected exactly there (via
-// memctrl.Env.StepHook), the in-flight write completes under eADR
-// semantics (§III-E), and the recovered state must both read back exactly
-// and satisfy every checker invariant.
+// after the encryption counter is bumped but before the ciphertext
+// reaches the media queue, and (on the hybrid media tier) after the
+// write-ahead log persist but before the DRAM install, and after the DRAM
+// install but before the write returns — a power failure is injected
+// exactly there (via memctrl.Env.StepHook), the in-flight write completes
+// under eADR semantics (§III-E), and the recovered state must both read
+// back exactly and satisfy every checker invariant.
 func TestCrashAtStepPoints(t *testing.T) {
 	points := []memctrl.StepPoint{memctrl.StepAMTUpdated, memctrl.StepCounterBumped}
-	for _, scheme := range SchemeNames() {
-		for _, point := range points {
+	hybridPoints := []memctrl.StepPoint{memctrl.StepWALPersisted, memctrl.StepDRAMInstalled}
+	for _, scheme := range append(SchemeNames(), SchemeESDCaram) {
+		schemePoints := points
+		if scheme == SchemeESDCaram {
+			schemePoints = append(append([]memctrl.StepPoint(nil), points...), hybridPoints...)
+		}
+		for _, point := range schemePoints {
 			if scheme == SchemeBaseline && point == memctrl.StepAMTUpdated {
 				continue // the baseline has no AMT
 			}
@@ -187,7 +194,11 @@ func TestCrashAtStepPoints(t *testing.T) {
 								t.Fatalf("trigger %d (%s): line %d lost or corrupted", trigger, stage, addr)
 							}
 						}
-						if bad := check.AuditScheme(sys.scheme); len(bad) != 0 {
+						bad := check.AuditScheme(sys.scheme)
+						if h := sys.env.Hybrid(); h != nil {
+							bad = append(bad, h.Audit()...)
+						}
+						if len(bad) != 0 {
 							t.Fatalf("trigger %d (%s): invariants violated after crash: %v", trigger, stage, bad)
 						}
 					}

@@ -33,6 +33,7 @@ import (
 	"github.com/esdsim/esd/internal/dedup"
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/experiments"
+	"github.com/esdsim/esd/internal/media"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/server"
@@ -72,10 +73,20 @@ const (
 	SchemeDeWrite  = experiments.SchemeDeWrite
 	SchemeESD      = experiments.SchemeESD
 	SchemeBCD      = experiments.SchemeBCD
+	// SchemeESDCaram runs the ESD write path on a content-aware hybrid
+	// DRAM/PCM media tier (CARAM): hot and duplicate-heavy lines buffer
+	// in DRAM, cold uniques live in PCM, and a rotating write-ahead log
+	// in PCM makes every acknowledged write crash-durable.
+	SchemeESDCaram = experiments.SchemeESDCaram
 )
 
 // SchemeNames lists the four schemes in canonical order.
 func SchemeNames() []string { return experiments.Schemes() }
+
+// HybridStats is the hybrid DRAM/PCM tier's activity snapshot (scheme
+// ESD+CARAM): DRAM hit/miss split, promotion/demotion traffic, WAL
+// appends, and buffer occupancy.
+type HybridStats = media.HybridStats
 
 // WriteOutcome reports how the scheme handled one write.
 type WriteOutcome = memctrl.WriteOutcome
@@ -499,8 +510,12 @@ func (s *System) ServeMetrics(addr string, enablePprof bool) (*MetricsServer, er
 	// while the (single) sim thread is writing, both may trail by a few
 	// events.
 	opts.Device = func() any {
-		return server.DeviceFromHealth(s.SchemeName(),
+		resp := server.DeviceFromHealth(s.SchemeName(),
 			[]DeviceHealthSnapshot{s.env.Device.HealthSnapshot()}, s.scheme.Stats())
+		if h := s.env.Hybrid(); h != nil {
+			resp.Hybrid = server.HybridFromStats(h.Snapshot())
+		}
+		return resp
 	}
 	srv, err := telemetry.NewServer(s.tel.Registry(), opts)
 	if err != nil {
@@ -577,7 +592,7 @@ func (s *System) DeviceHealth() DeviceHealthSnapshot {
 
 // Energy returns total energy consumed so far in nJ (scheme + media).
 func (s *System) Energy() float64 {
-	return s.env.Energy.Total() + s.env.Device.Stats.MediaEnergy
+	return s.env.Energy.Total() + s.env.Device.MediaStats().MediaEnergy
 }
 
 // MetadataNVMM returns the scheme's NVMM-resident metadata footprint in
@@ -586,7 +601,18 @@ func (s *System) MetadataNVMM() int64 { return s.scheme.MetadataNVMM() }
 
 // DeviceWrites returns the number of media writes performed (data and
 // metadata).
-func (s *System) DeviceWrites() uint64 { return s.env.Device.Stats.Writes }
+func (s *System) DeviceWrites() uint64 { return s.env.Device.MediaStats().Writes }
+
+// HybridStats returns the hybrid DRAM/PCM tier's activity snapshot; ok is
+// false when the system's media is plain PCM (every scheme except
+// ESD+CARAM).
+func (s *System) HybridStats() (HybridStats, bool) {
+	h := s.env.Hybrid()
+	if h == nil {
+		return HybridStats{}, false
+	}
+	return h.Snapshot(), true
+}
 
 // Flow-control errors surfaced by ShardedSystem.
 var (
@@ -787,6 +813,11 @@ func (s *ShardedSystem) DeviceHealth() DeviceHealthSnapshot { return s.eng.Devic
 // (barrier-free; each summary is consistent per shard).
 func (s *ShardedSystem) WearSummaries() []WearSummary { return s.eng.WearSummaries() }
 
+// HybridStats sums the per-shard hybrid DRAM/PCM tier statistics; ok is
+// false when the media is plain PCM. Barrier-free: each shard's snapshot
+// is atomics-based and never blocks the workers.
+func (s *ShardedSystem) HybridStats() (HybridStats, bool) { return s.eng.HybridStats() }
+
 // LiveStats merges the scheme counter blocks the shard workers republish
 // after every drained batch. Unlike Summary it is barrier-free — the
 // result trails the live state by at most one batch per shard.
@@ -873,7 +904,11 @@ func (s *ShardedSystem) ServeMetrics(addr string, enablePprof bool) (*MetricsSer
 		Pprof:  enablePprof,
 		Flight: s.eng.FlightRecords,
 		Device: func() any {
-			return server.DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+			resp := server.DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+			if hs, ok := s.eng.HybridStats(); ok {
+				resp.Hybrid = server.HybridFromStats(hs)
+			}
+			return resp
 		},
 		Status: func() any {
 			st := struct {

@@ -32,9 +32,13 @@ import (
 	"github.com/esdsim/esd/internal/memctrl"
 )
 
-// DefaultSchemes returns the four canonical scheme names the checker
-// covers by default.
-func DefaultSchemes() []string { return experiments.Schemes() }
+// DefaultSchemes returns the scheme names the checker covers by default:
+// the four canonical schemes plus ESD on the hybrid DRAM/PCM media tier,
+// whose placement, migration and write-ahead-log machinery must stay
+// observably identical to plain-PCM ESD.
+func DefaultSchemes() []string {
+	return append(experiments.Schemes(), experiments.SchemeESDCaram)
+}
 
 // Violation is one checker failure, pinned to the op index (into the
 // generated stream) after which it was detected.

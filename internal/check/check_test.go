@@ -83,8 +83,52 @@ func TestRunSmall(t *testing.T) {
 	if res.Ops != 4000 {
 		t.Fatalf("ran %d ops, want 4000", res.Ops)
 	}
-	if want := 4 * (1 + 2*2); len(res.Engines) != want {
+	// Five schemes (canonical four + esd+caram), each single plus
+	// 2 shard counts x 2 coalescing settings.
+	if want := 5 * (1 + 2*2); len(res.Engines) != want {
 		t.Fatalf("%d engine variants, want %d", len(res.Engines), want)
+	}
+}
+
+// TestRunMigrateGen runs the migration-heavy profile: the Zipf hot set
+// relocates every eighth of the run, so the hybrid tier's promotion, LRU
+// demotion and dirty-writeback paths all churn while the oracle watches.
+func TestRunMigrateGen(t *testing.T) {
+	gen := MigrateGen()
+	gen.Ops = 6000
+	gen.PhaseEvery = gen.Ops / 8
+	res, err := Run(Config{Gen: gen, Seed: 17, Shards: []int{2}, AuditEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %v", v)
+	}
+	// The profile must actually exercise migration on the hybrid variant —
+	// probed with an even smaller buffer (256 lines) so a short run already
+	// saturates capacity.
+	cfg := checkConfig()
+	cfg.Media.DRAM.CapacityBytes = 16 << 10
+	se, err := newSingleEngine(cfg, "esd+caram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGen(gen, 17)
+	for {
+		op, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case OpWrite:
+			se.write(op.Addr, op.Line)
+		case OpRead:
+			se.read(op.Addr)
+		}
+	}
+	st := se.env.Hybrid().Snapshot()
+	if st.Promotions == 0 || st.Demotions == 0 || st.Writebacks == 0 {
+		t.Fatalf("migration profile left the tier idle: %+v", st)
 	}
 }
 

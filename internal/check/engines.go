@@ -203,6 +203,12 @@ func (e *singleEngine) crash() bool {
 func (e *singleEngine) audit() []string {
 	bad := AuditScheme(e.sch)
 	bad = append(bad, e.auditCounters()...)
+	// Hybrid-media variants also audit the tier itself: LRU/index
+	// consistency, capacity bounds, and clean residents byte-identical to
+	// their PCM homes.
+	if h := e.env.Hybrid(); h != nil {
+		bad = append(bad, h.Audit()...)
+	}
 	return bad
 }
 

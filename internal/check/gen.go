@@ -60,6 +60,12 @@ type GenConfig struct {
 	CrashRate float64
 	// PoolSize is the shared content-pool size.
 	PoolSize int
+	// PhaseEvery, when > 0, rotates the address space by 5/8 of its size
+	// every PhaseEvery ops, so the Zipf hot set migrates to a fresh region
+	// each phase. On hybrid-media variants every phase shift forces the
+	// DRAM tier to demote the cooled set (dirty writebacks included) while
+	// promoting the new one — the migration-heavy adversary.
+	PhaseEvery int
 }
 
 // DefaultGen returns the standard adversarial mix.
@@ -77,6 +83,18 @@ func DefaultGen() GenConfig {
 		CrashRate:     0.0005,
 		PoolSize:      64,
 	}
+}
+
+// MigrateGen returns the migration-heavy mix: the default adversarial
+// shape with the hot set relocating eight times per run (PhaseEvery), a
+// higher write fraction and a stronger skew, sized so each phase's hot set
+// overflows the checker's shrunken DRAM tier.
+func MigrateGen() GenConfig {
+	cfg := DefaultGen()
+	cfg.ReadFrac = 0.3
+	cfg.HotSkew = 1.1
+	cfg.PhaseEvery = cfg.Ops / 8
+	return cfg
 }
 
 // Gen is a deterministic, seed-reproducible operation generator: the same
@@ -117,10 +135,20 @@ func fillLine(l *ecc.Line, r *xrand.Rand) {
 }
 
 func (g *Gen) addr() uint64 {
+	var a uint64
 	if g.zipf != nil {
-		return uint64(g.zipf.Next())
+		a = uint64(g.zipf.Next())
+	} else {
+		a = g.r.Uint64n(g.cfg.Addrs)
 	}
-	return g.r.Uint64n(g.cfg.Addrs)
+	if g.cfg.PhaseEvery > 0 {
+		// Rotate the whole space by a coprime-ish stride each phase: the
+		// Zipf head (the hot set) lands on a fresh region while the old one
+		// cools off.
+		phase := uint64(g.i / g.cfg.PhaseEvery)
+		a = (a + phase*(g.cfg.Addrs*5/8+1)) % g.cfg.Addrs
+	}
+	return a
 }
 
 // dupRatio is the effective duplicate ratio at the current op index.

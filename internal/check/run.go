@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"github.com/esdsim/esd/internal/config"
-	"github.com/esdsim/esd/internal/experiments"
 )
 
 // Config parameterizes one differential run.
@@ -75,6 +74,15 @@ func checkConfig() config.Config {
 	cfg.Meta.AMTCacheBytes = 16 << 10
 	cfg.SHA1.FPCacheBytes = 16 << 10
 	cfg.DeWrite.FPCacheBytes = 16 << 10
+	// Hybrid-media variants: a DRAM buffer far smaller than the generator's
+	// address footprint (1024 lines vs 8192 hot-skewed addresses), an eager
+	// promotion threshold and a short WAL, so promotion, LRU demotion,
+	// dirty writeback and log rotation all churn constantly instead of the
+	// buffer swallowing the working set.
+	cfg.Media.DRAM.CapacityBytes = 64 << 10
+	cfg.Media.PromoteThreshold = 2
+	cfg.Media.DecayEvery = 2048
+	cfg.Media.WALLines = 64
 	return cfg
 }
 
@@ -84,7 +92,7 @@ func (c *Config) withDefaults() Config {
 		out.Gen = DefaultGen()
 	}
 	if len(out.Schemes) == 0 {
-		out.Schemes = experiments.Schemes()
+		out.Schemes = DefaultSchemes()
 	}
 	if out.Shards == nil {
 		out.Shards = []int{1, 2, 8}

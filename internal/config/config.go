@@ -85,6 +85,107 @@ type PCM struct {
 	FaultExtraLatency sim.Time
 }
 
+// DRAM describes the volatile buffer of the hybrid DRAM/PCM tier (scheme
+// ESD+CARAM). Latencies follow DDR4-class timing; energies are per-line
+// nJ an order of magnitude below PCM's (documented substitution — CARAM,
+// arxiv 2007.13661, Table 1 ballpark).
+type DRAM struct {
+	// CapacityBytes is the DRAM buffer capacity. CARAM evaluates a buffer
+	// a small fraction of the PCM size; the default is 1/16th of Table I's
+	// 16 GB device.
+	CapacityBytes int64
+	// Banks is the number of independent DRAM banks.
+	Banks int
+	// ReadLatency / WriteLatency are per-line media latencies.
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+	// BusLatency is the channel transfer time per 64B line.
+	BusLatency sim.Time
+	// ReadEnergy / WriteEnergy are per-line energies in nJ.
+	ReadEnergy  float64
+	WriteEnergy float64
+}
+
+// Lines reports how many cache lines the DRAM buffer holds.
+func (d DRAM) Lines() int64 { return d.CapacityBytes / CacheLineSize }
+
+// Media describes the hybrid-tier placement and crash-consistency policy
+// layered over DRAM+PCM (scheme ESD+CARAM). All fields have working
+// defaults; the hybrid backend fills zero values at enable time so a
+// hand-built Config that never selects ESD+CARAM needs none of them.
+type Media struct {
+	// DRAM is the volatile buffer device.
+	DRAM DRAM
+	// PromoteThreshold is the heat a line must accumulate before it is
+	// promoted into DRAM. Heat grows by 1 per access and by RefBoost per
+	// duplicate-reference hit, and decays by halving every DecayEvery
+	// accesses, so the threshold expresses "hot or duplicate-heavy
+	// recently", not "ever touched twice".
+	PromoteThreshold int
+	// RefBoost is the heat added when the dedup engine reports a line
+	// gained a duplicate reference (the EFIT/refcount signal CARAM keys
+	// placement on).
+	RefBoost int
+	// DecayEvery is the number of hybrid-tier accesses per heat epoch;
+	// each epoch boundary halves every line's effective heat (lazily, on
+	// next touch), so stale heat cannot pin yesterday's hot set in DRAM.
+	DecayEvery int
+	// WALLines is the number of PCM lines the rotating write-ahead log
+	// spreads its persists over. The log carries the crash-consistency
+	// guarantee for DRAM-resident writes: every acknowledged write hits
+	// one of these lines before it is installed volatile-side.
+	WALLines int64
+}
+
+// Normalized fills zero Media fields with defaults scaled to the PCM
+// device p and clamps the DRAM buffer to a meaningful fraction of it, so
+// a hybrid scheme can be enabled on any Config — including hand-built
+// ones that never mention Media. Zero policy fields mean "default", not
+// "off"; the hybrid tier is enabled by scheme selection, not by these
+// values.
+func (m Media) Normalized(p PCM) Media {
+	if m.DRAM.CapacityBytes <= 0 {
+		m.DRAM.CapacityBytes = p.CapacityBytes / 16
+	}
+	if m.DRAM.CapacityBytes > p.CapacityBytes/2 {
+		m.DRAM.CapacityBytes = p.CapacityBytes / 2
+	}
+	if m.DRAM.CapacityBytes < CacheLineSize {
+		m.DRAM.CapacityBytes = CacheLineSize
+	}
+	if m.DRAM.Banks <= 0 {
+		m.DRAM.Banks = 8
+	}
+	if m.DRAM.ReadLatency <= 0 {
+		m.DRAM.ReadLatency = 15 * sim.Nanosecond
+	}
+	if m.DRAM.WriteLatency <= 0 {
+		m.DRAM.WriteLatency = 15 * sim.Nanosecond
+	}
+	if m.DRAM.BusLatency <= 0 {
+		m.DRAM.BusLatency = 4 * sim.Nanosecond
+	}
+	if m.DRAM.ReadEnergy <= 0 {
+		m.DRAM.ReadEnergy = 0.17
+	}
+	if m.DRAM.WriteEnergy <= 0 {
+		m.DRAM.WriteEnergy = 0.39
+	}
+	if m.PromoteThreshold <= 0 {
+		m.PromoteThreshold = 3
+	}
+	if m.RefBoost <= 0 {
+		m.RefBoost = 2
+	}
+	if m.DecayEvery <= 0 {
+		m.DecayEvery = 4096
+	}
+	if m.WALLines <= 0 {
+		m.WALLines = 4096
+	}
+	return m
+}
+
 // Metadata describes the memory-controller SRAM metadata caches.
 type Metadata struct {
 	// EFITCacheBytes is the ECC-fingerprint index table cache capacity
@@ -181,6 +282,9 @@ type Config struct {
 	L3   CacheLevel
 	PCM  PCM
 	Meta Metadata
+	// Media configures the hybrid DRAM/PCM tier; it is inert unless a
+	// hybrid scheme (ESD+CARAM) is selected.
+	Media Media
 
 	Crypto Crypto
 	FP     FingerprintCosts
@@ -218,6 +322,21 @@ func Default() Config {
 			DrainHigh:       4,
 			DrainLow:        1,
 			BusLatency:      4 * sim.Nanosecond,
+		},
+		Media: Media{
+			DRAM: DRAM{
+				CapacityBytes: 1 << 30,
+				Banks:         8,
+				ReadLatency:   15 * sim.Nanosecond,
+				WriteLatency:  15 * sim.Nanosecond,
+				BusLatency:    4 * sim.Nanosecond,
+				ReadEnergy:    0.17,
+				WriteEnergy:   0.39,
+			},
+			PromoteThreshold: 3,
+			RefBoost:         2,
+			DecayEvery:       4096,
+			WALLines:         4096,
 		},
 		Meta: Metadata{
 			EFITCacheBytes: 512 << 10,
@@ -301,6 +420,21 @@ func (c Config) Validate() string {
 		return "config: ESD.ReferHMax must be in [1, 255]"
 	case c.ESD.RefreshInterval <= 0:
 		return "config: ESD.RefreshInterval must be positive"
+	}
+	// Media is optional (zero = "fill defaults at enable time"), but a
+	// partially specified DRAM device must be self-consistent.
+	if c.Media.DRAM.CapacityBytes > 0 {
+		switch {
+		case c.Media.DRAM.CapacityBytes < CacheLineSize:
+			return "config: Media.DRAM capacity smaller than one line"
+		case c.Media.DRAM.Banks <= 0:
+			return "config: Media.DRAM.Banks must be positive"
+		case c.Media.DRAM.ReadLatency <= 0 || c.Media.DRAM.WriteLatency <= 0:
+			return "config: Media.DRAM latencies must be positive"
+		case c.Media.PromoteThreshold < 0 || c.Media.RefBoost < 0 ||
+			c.Media.DecayEvery < 0 || c.Media.WALLines < 0:
+			return "config: Media policy parameters must be non-negative"
+		}
 	}
 	return ""
 }

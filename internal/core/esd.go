@@ -38,6 +38,7 @@ import (
 // ESD is the ECC-assisted selective deduplication scheme.
 type ESD struct {
 	dedup.Base
+	name   string               // scheme name ("esd", or "esd+caram" on hybrid media)
 	efit   *cache.Cache[uint64] // ECC fingerprint -> physical line
 	physFP sparse.Map[uint64]   // physical line -> fingerprint (for purge)
 
@@ -64,6 +65,7 @@ type options struct {
 	efitBytes int
 	policy    cache.Policy
 	compare   bool
+	name      string
 }
 
 // WithEFITCacheBytes overrides the EFIT cache capacity (Fig. 18 sweep).
@@ -81,12 +83,21 @@ func WithoutCompare() Option {
 	return func(o *options) { o.compare = false }
 }
 
+// WithName overrides the reported scheme name. The ESD write path is
+// identical on plain and hybrid media; the hybrid configuration
+// (ESD+CARAM) differs only in the Env's media backend, so it reuses this
+// implementation under its own name.
+func WithName(name string) Option {
+	return func(o *options) { o.name = name }
+}
+
 // New constructs ESD on env.
 func New(env *memctrl.Env, opts ...Option) *ESD {
 	o := options{
 		efitBytes: env.Cfg.Meta.EFITCacheBytes,
 		policy:    cache.LRCU,
 		compare:   true,
+		name:      "esd",
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -97,6 +108,7 @@ func New(env *memctrl.Env, opts ...Option) *ESD {
 	}
 	s := &ESD{
 		Base:           dedup.NewBase(env),
+		name:           o.name,
 		efit:           cache.New[uint64](entries, 8, o.policy),
 		DisableLRCU:    o.policy != cache.LRCU,
 		DisableCompare: !o.compare,
@@ -122,7 +134,7 @@ func (s *ESD) purge(phys uint64) {
 }
 
 // Name implements memctrl.Scheme.
-func (s *ESD) Name() string { return "esd" }
+func (s *ESD) Name() string { return s.name }
 
 // Write implements memctrl.Scheme: the ESD write path of Fig. 9.
 func (s *ESD) Write(logical uint64, data *ecc.Line, at sim.Time) memctrl.WriteOutcome {

@@ -103,10 +103,13 @@ func (b *Base) StorePrepared(logical, phys uint64, ct *ecc.Line, counter uint64,
 }
 
 // DedupHit eliminates a duplicate write by remapping logical onto the
-// existing physical line. It returns the visible metadata latency.
+// existing physical line. It returns the visible metadata latency. The
+// duplicate reference doubles as the hybrid tier's placement signal:
+// duplicate-heavy lines are exactly the ones CARAM wants in DRAM.
 func (b *Base) DedupHit(logical, phys uint64, at sim.Time) sim.Time {
 	lat := b.MapWrite(logical, phys, at)
 	b.St.DedupWrites++
+	b.Env.NoteDupRef(phys, at)
 	return lat
 }
 
@@ -137,13 +140,16 @@ func (b *Base) ReadPath(logical uint64, at sim.Time) memctrl.ReadOutcome {
 }
 
 // CrashBase performs the shared part of a power-failure simulation: the
-// eADR domain drains dirty AMT entries to NVMM and the volatile cache is
-// lost. Scheme-specific volatile structures are the scheme's job.
+// eADR domain drains dirty AMT entries to NVMM, the volatile cache is
+// lost, and the media's volatile side (the hybrid tier's DRAM buffer)
+// runs its recovery replay and drops. Scheme-specific volatile
+// structures are the scheme's job.
 func (b *Base) CrashBase(now sim.Time) {
 	b.AMT.CrashFlush(now)
 	if b.Env.Integrity != nil {
 		b.Env.Integrity.DropCache()
 	}
+	b.Env.CrashMedia()
 }
 
 // LogicalPhysical reports the logical bytes mapped and the physical bytes

@@ -1,0 +1,156 @@
+// Package dram models the volatile DRAM buffer of a hybrid DRAM/PCM
+// memory system (CARAM, arxiv 2007.13661): a small, fast, wear-free tier
+// the hybrid media backend places hot and duplicate-heavy lines in, with
+// PCM behind it holding the cold uniques and the durable truth.
+//
+// The timing model is deliberately simpler than the PCM one in package
+// nvm: DRAM read and write latencies are symmetric and an order of
+// magnitude below PCM's, there is no posted-write queue worth modelling
+// at this granularity (writes retire at media speed), no row-buffer
+// faults are injected, and — the property the hybrid tier exists for —
+// there are no wear counters, because DRAM does not wear out.
+//
+// Everything in DRAM is volatile. Crash drops the functional store; it
+// is the hybrid backend's job to have write-ahead-persisted anything an
+// application was told is durable.
+package dram
+
+import (
+	"fmt"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/nvm"
+	"github.com/esdsim/esd/internal/sim"
+	"github.com/esdsim/esd/internal/sparse"
+)
+
+// bank tracks the timing state of one DRAM bank.
+type bank struct {
+	busyUntil sim.Time
+	busy      sim.Time // accumulated service time
+}
+
+// Stats aggregates DRAM activity. Unlike PCM there is no wear to track;
+// energy still matters for the hybrid tier's energy accounting.
+type Stats struct {
+	Reads    uint64
+	Writes   uint64
+	EnergyNJ float64
+}
+
+// Device is the DRAM buffer. Like nvm.Device it is driven by a single
+// simulation thread; the hybrid backend provides any cross-goroutine
+// visibility its telemetry needs.
+type Device struct {
+	cfg   config.DRAM
+	banks []bank
+	// data is the functional store for resident lines. The resident set is
+	// small (DRAM is a fraction of PCM) and dense-ish, so the same paged
+	// sparse array the PCM store uses fits.
+	data sparse.Map[ecc.Line]
+
+	Stats Stats
+}
+
+// New constructs a DRAM device from cfg. Like nvm.New it panics on an
+// invalid configuration; validation belongs to config.Config.Validate.
+func New(cfg config.DRAM) *Device {
+	if cfg.Banks <= 0 {
+		panic("dram: need at least one bank")
+	}
+	if cfg.ReadLatency <= 0 || cfg.WriteLatency <= 0 {
+		panic("dram: latencies must be positive")
+	}
+	return &Device{cfg: cfg, banks: make([]bank, cfg.Banks)}
+}
+
+// Lines returns the buffer capacity in cache lines.
+func (d *Device) Lines() int64 { return d.cfg.Lines() }
+
+func (d *Device) checkAddr(addr uint64) {
+	// The hybrid backend addresses DRAM by *physical PCM line*, not by a
+	// DRAM-local slot, so any line address the PCM accepts is valid here;
+	// capacity is enforced by the backend's resident-set bound, not by the
+	// address range. Only obvious corruption (the sparse map's dense-key
+	// ceiling) is worth rejecting.
+	if addr >= sparse.MaxDenseKey {
+		panic(fmt.Sprintf("dram: implausible line address %d", addr))
+	}
+}
+
+// Read performs a timed read of line addr, returning the current content
+// (ok reports whether the line is resident).
+func (d *Device) Read(addr uint64, now sim.Time) (ecc.Line, bool, nvm.ReadResult) {
+	res := d.access(addr, now, d.cfg.ReadLatency, d.cfg.ReadEnergy)
+	d.Stats.Reads++
+	line, ok := d.data.Get(addr)
+	return line, ok, res
+}
+
+// Write performs a timed write of line to addr. DRAM writes retire at
+// media speed; there is no posted-write queue to stall on, so Stall is
+// always zero.
+func (d *Device) Write(addr uint64, line *ecc.Line, now sim.Time) nvm.WriteResult {
+	res := d.access(addr, now, d.cfg.WriteLatency, d.cfg.WriteEnergy)
+	d.Stats.Writes++
+	d.data.Set(addr, *line)
+	return nvm.WriteResult{AcceptedAt: now, Stall: 0, ServiceLatency: res.Done - res.Start}
+}
+
+// access runs the shared bank-timing step and returns read-shaped timing.
+func (d *Device) access(addr uint64, now sim.Time, lat sim.Time, energy float64) nvm.ReadResult {
+	d.checkAddr(addr)
+	b := &d.banks[addr%uint64(len(d.banks))]
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.busyUntil = start + lat
+	b.busy += lat
+	d.Stats.EnergyNJ += energy
+	return nvm.ReadResult{Start: start, Done: b.busyUntil + d.cfg.BusLatency, QueueDelay: start - now}
+}
+
+// Idle returns when every bank goes idle (at least now).
+func (d *Device) Idle(now sim.Time) sim.Time {
+	idle := now
+	for i := range d.banks {
+		if d.banks[i].busyUntil > idle {
+			idle = d.banks[i].busyUntil
+		}
+	}
+	return idle
+}
+
+// Load returns the functional content of addr without timing side effects.
+func (d *Device) Load(addr uint64) (ecc.Line, bool) {
+	d.checkAddr(addr)
+	return d.data.Get(addr)
+}
+
+// Store updates the functional content of addr without timing side
+// effects (warm-up and recovery plumbing).
+func (d *Device) Store(addr uint64, line ecc.Line) {
+	d.checkAddr(addr)
+	d.data.Set(addr, line)
+}
+
+// Evict drops addr from the store (demotion); reports whether it was
+// resident.
+func (d *Device) Evict(addr uint64) bool {
+	d.checkAddr(addr)
+	return d.data.Delete(addr)
+}
+
+// Resident reports how many lines the store currently holds.
+func (d *Device) Resident() int { return d.data.Len() }
+
+// Crash models power failure: everything in DRAM vanishes. Timing state
+// is reset too — the post-recovery simulation restarts the banks cold.
+func (d *Device) Crash() {
+	d.data = sparse.Map[ecc.Line]{}
+	for i := range d.banks {
+		d.banks[i] = bank{}
+	}
+}

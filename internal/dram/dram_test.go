@@ -1,0 +1,135 @@
+package dram
+
+import (
+	"testing"
+
+	"github.com/esdsim/esd/internal/config"
+	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/sim"
+)
+
+func testCfg() config.DRAM {
+	return config.DRAM{
+		CapacityBytes: 64 * config.CacheLineSize,
+		Banks:         2,
+		ReadLatency:   15 * sim.Nanosecond,
+		WriteLatency:  15 * sim.Nanosecond,
+		BusLatency:    4 * sim.Nanosecond,
+		ReadEnergy:    0.17,
+		WriteEnergy:   0.39,
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for name, mutate := range map[string]func(*config.DRAM){
+		"no banks":   func(c *config.DRAM) { c.Banks = 0 },
+		"zero read":  func(c *config.DRAM) { c.ReadLatency = 0 },
+		"zero write": func(c *config.DRAM) { c.WriteLatency = 0 },
+	} {
+		cfg := testCfg()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestReadWriteTiming(t *testing.T) {
+	d := New(testCfg())
+	var l ecc.Line
+	l.SetWord(0, 42)
+	wr := d.Write(0, &l, 0)
+	if wr.AcceptedAt != 0 || wr.Stall != 0 {
+		t.Fatalf("write accepted late or stalled: %+v", wr)
+	}
+	if wr.ServiceLatency != 15*sim.Nanosecond+4*sim.Nanosecond {
+		t.Fatalf("service latency = %v", wr.ServiceLatency)
+	}
+	got, ok, rr := d.Read(0, 100*sim.Nanosecond)
+	if !ok || got != l {
+		t.Fatal("written line not readable")
+	}
+	if rr.QueueDelay != 0 {
+		t.Fatalf("idle bank queued a read: %+v", rr)
+	}
+}
+
+// TestBankConflictSerializes: two back-to-back accesses to the same bank
+// must serialize on the bank's busy window.
+func TestBankConflictSerializes(t *testing.T) {
+	d := New(testCfg())
+	var l ecc.Line
+	d.Write(0, &l, 0) // bank 0 busy until 15ns
+	_, _, rr := d.Read(2, 0)
+	if rr.Start != 15*sim.Nanosecond || rr.QueueDelay != 15*sim.Nanosecond {
+		t.Fatalf("same-bank access did not queue: %+v", rr)
+	}
+	// The other bank is idle and must not queue.
+	_, _, rr = d.Read(1, 0)
+	if rr.QueueDelay != 0 {
+		t.Fatalf("idle bank queued: %+v", rr)
+	}
+	if idle := d.Idle(0); idle != 30*sim.Nanosecond {
+		t.Fatalf("Idle = %v, want 30ns", idle)
+	}
+}
+
+func TestLoadStoreEvictResident(t *testing.T) {
+	d := New(testCfg())
+	var l ecc.Line
+	l.SetWord(0, 7)
+	d.Store(3, l)
+	if got, ok := d.Load(3); !ok || got != l {
+		t.Fatal("Store/Load round trip failed")
+	}
+	if d.Resident() != 1 {
+		t.Fatalf("Resident = %d", d.Resident())
+	}
+	if !d.Evict(3) {
+		t.Fatal("Evict missed a resident line")
+	}
+	if d.Evict(3) {
+		t.Fatal("double Evict reported resident")
+	}
+	if d.Resident() != 0 {
+		t.Fatal("evicted line still resident")
+	}
+}
+
+// TestCrashDropsEverything: DRAM is volatile — crash clears the store and
+// resets the bank timing.
+func TestCrashDropsEverything(t *testing.T) {
+	d := New(testCfg())
+	var l ecc.Line
+	d.Write(0, &l, 0)
+	d.Store(1, l)
+	d.Crash()
+	if d.Resident() != 0 {
+		t.Fatal("crash left lines resident")
+	}
+	if _, ok := d.Load(0); ok {
+		t.Fatal("crash left content readable")
+	}
+	if d.Idle(0) != 0 {
+		t.Fatal("crash did not reset bank timing")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	d := New(testCfg())
+	var l ecc.Line
+	d.Write(0, &l, 0)
+	d.Read(0, 0)
+	if d.Stats.Reads != 1 || d.Stats.Writes != 1 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+	want := testCfg().ReadEnergy + testCfg().WriteEnergy
+	if d.Stats.EnergyNJ != want {
+		t.Fatalf("energy = %v, want %v", d.Stats.EnergyNJ, want)
+	}
+}

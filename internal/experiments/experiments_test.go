@@ -342,6 +342,7 @@ func TestRegistryCompleteAndRunnable(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig5", "fig8", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"ablation-policy", "ablation-referh", "ablation-selective",
+		"hybrid",
 	}
 	reg := Registry()
 	for _, name := range want {
@@ -359,6 +360,41 @@ func TestRegistryCompleteAndRunnable(t *testing.T) {
 	}
 	if !strings.Contains(tb.String(), "leela") {
 		t.Error("fig1 table missing app row")
+	}
+}
+
+// TestFigHybridShape pins the ESD+CARAM-vs-ESD comparison: every ratio
+// is defined, the DRAM tier actually engages on a small buffer (so the
+// numbers measure the tier and not a no-op), and the table carries one
+// row per app plus the average.
+func TestFigHybridShape(t *testing.T) {
+	opts := smallOpts("lbm", "dedup", "mcf")
+	opts.Cfg.Media.DRAM.CapacityBytes = 64 << 10 // 1024 lines: force churn
+	opts.Cfg.Media.PromoteThreshold = 2
+	rows, tb, err := FigHybrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	engaged := false
+	for _, r := range rows {
+		if r.WriteSpeedup <= 0 || r.ReadSpeedup <= 0 {
+			t.Errorf("%s: speedups %.3f/%.3f not positive", r.App, r.WriteSpeedup, r.ReadSpeedup)
+		}
+		if r.EnergyRatio <= 0 || r.DeviceWriteRatio <= 0 || r.MaxWearRatio <= 0 {
+			t.Errorf("%s: undefined ratio in %+v", r.App, r)
+		}
+		if r.Promotions > 0 && r.AbsorbedWrites > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Errorf("no app engaged the hybrid tier: %+v", rows)
+	}
+	if tb.NumRows() != len(rows)+1 {
+		t.Errorf("table rows = %d, want %d", tb.NumRows(), len(rows)+1)
 	}
 }
 

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"github.com/esdsim/esd/internal/stats"
+)
+
+// FigHybridRow compares ESD on plain PCM against ESD+CARAM (the
+// content-aware hybrid DRAM/PCM tier) for one application: latency
+// speedups, energy ratio, PCM endurance deltas, and the tier's own
+// activity (hit rate, migration churn) that explains them.
+type FigHybridRow struct {
+	App string
+	// WriteSpeedup / ReadSpeedup are ESD's mean latency divided by
+	// ESD+CARAM's (>1 means the DRAM tier helped).
+	WriteSpeedup float64
+	ReadSpeedup  float64
+	// EnergyRatio is ESD+CARAM's total energy over ESD's (<1 means the
+	// tier saved energy; DRAM access energy is folded in).
+	EnergyRatio float64
+	// DeviceWriteRatio is ESD+CARAM's PCM media writes over ESD's —
+	// WAL appends and writebacks included, so values near or above 1
+	// with a much lower MaxWearRatio mean the tier traded concentrated
+	// home-line wear for round-robin log wear.
+	DeviceWriteRatio float64
+	// MaxWearRatio is ESD+CARAM's hottest-line write count over ESD's:
+	// the endurance headline, since PCM lifetime dies at the max.
+	MaxWearRatio float64
+	// DRAMHitRate is the fraction of timed data reads DRAM served.
+	DRAMHitRate float64
+	// AbsorbedWrites counts data writes DRAM absorbed (each spared a
+	// PCM home write); Promotions/Demotions are the migration churn
+	// paid for that.
+	AbsorbedWrites uint64
+	Promotions     uint64
+	Demotions      uint64
+}
+
+// FigHybrid evaluates ESD+CARAM against plain ESD across the workload
+// profiles: write/read speedup, energy ratio, PCM device-write and
+// max-wear ratios, plus the hybrid tier's hit rate and migration
+// counters. The per-app rows end with an average row (ratio columns
+// averaged arithmetically over apps).
+func FigHybrid(opts Options) ([]FigHybridRow, *stats.Table, error) {
+	s := NewSuite(opts)
+	tb := stats.NewTable("Hybrid media — ESD+CARAM vs ESD (ratios vs plain PCM)",
+		"app", "write-speedup", "read-speedup", "energy-ratio",
+		"device-write-ratio", "max-wear-ratio", "dram-hit-%", "absorbed", "promo", "demo")
+	var rows []FigHybridRow
+	var avg FigHybridRow
+	for _, app := range s.AppNames() {
+		base, err := s.Result(app, SchemeESD)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := s.Result(app, SchemeESDCaram)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := FigHybridRow{
+			App:          app,
+			WriteSpeedup: ratio(base.WriteHist.Mean(), r.WriteHist.Mean()),
+			ReadSpeedup:  ratio(base.ReadHist.Mean(), r.ReadHist.Mean()),
+		}
+		if base.Energy.Total() > 0 {
+			row.EnergyRatio = r.Energy.Total() / base.Energy.Total()
+		}
+		if base.DeviceWrites > 0 {
+			row.DeviceWriteRatio = float64(r.DeviceWrites) / float64(base.DeviceWrites)
+		}
+		if base.Wear.MaxWear > 0 {
+			row.MaxWearRatio = float64(r.Wear.MaxWear) / float64(base.Wear.MaxWear)
+		}
+		if h := r.Hybrid; h != nil {
+			row.DRAMHitRate = h.HitRate()
+			row.AbsorbedWrites = h.AbsorbedWrites
+			row.Promotions = h.Promotions
+			row.Demotions = h.Demotions
+		}
+		rows = append(rows, row)
+		avg.WriteSpeedup += row.WriteSpeedup
+		avg.ReadSpeedup += row.ReadSpeedup
+		avg.EnergyRatio += row.EnergyRatio
+		avg.DeviceWriteRatio += row.DeviceWriteRatio
+		avg.MaxWearRatio += row.MaxWearRatio
+		avg.DRAMHitRate += row.DRAMHitRate
+		tb.AddRow(app, row.WriteSpeedup, row.ReadSpeedup, row.EnergyRatio,
+			row.DeviceWriteRatio, row.MaxWearRatio, row.DRAMHitRate*100,
+			row.AbsorbedWrites, row.Promotions, row.Demotions)
+	}
+	if n := float64(len(rows)); n > 0 {
+		tb.AddRow("average", avg.WriteSpeedup/n, avg.ReadSpeedup/n, avg.EnergyRatio/n,
+			avg.DeviceWriteRatio/n, avg.MaxWearRatio/n, avg.DRAMHitRate/n*100,
+			uint64(0), uint64(0), uint64(0))
+	}
+	return rows, tb, nil
+}

@@ -36,6 +36,7 @@ func Registry() map[string]Runner {
 		"fig17":               tableOnly(Fig17),
 		"fig18":               tableOnly(Fig18),
 		"fig19":               tableOnly(Fig19),
+		"hybrid":              tableOnly(FigHybrid),
 		"ablation-policy":     tableOnly(AblationEFITPolicy),
 		"ablation-referh":     tableOnly(AblationReferH),
 		"ablation-selective":  tableOnly(AblationSelective),

@@ -41,7 +41,16 @@ func DedupSchemes() []string {
 // the capacity ablation.
 const SchemeBCD = "bcd"
 
-// NewScheme builds a scheme by name on env.
+// SchemeESDCaram is ESD on a content-aware hybrid DRAM/PCM media tier
+// (CARAM, arxiv 2007.13661): the identical ESD write path, with the Env's
+// media backend replaced by a DRAM buffer in front of PCM whose placement
+// is driven by access heat and the dedup engine's reference signal, and
+// whose crash consistency comes from a rotating write-ahead log in PCM.
+const SchemeESDCaram = "esd+caram"
+
+// NewScheme builds a scheme by name on env. A hybrid scheme name enables
+// the hybrid media tier on env as a side effect, so it must run before
+// any traffic flows through env.
 func NewScheme(env *memctrl.Env, name string) (memctrl.Scheme, error) {
 	switch name {
 	case SchemeBaseline:
@@ -54,6 +63,11 @@ func NewScheme(env *memctrl.Env, name string) (memctrl.Scheme, error) {
 		return core.New(env), nil
 	case SchemeBCD:
 		return dedup.NewBCD(env), nil
+	case SchemeESDCaram:
+		if err := env.EnableHybridMedia(); err != nil {
+			return nil, err
+		}
+		return core.New(env, core.WithName(SchemeESDCaram)), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/esdsim/esd/internal/config"
 	"github.com/esdsim/esd/internal/ecc"
+	"github.com/esdsim/esd/internal/media"
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
@@ -46,6 +47,10 @@ type RunResult struct {
 
 	Scheme SchemeStats
 	Wear   nvm.WearSummary
+
+	// Hybrid holds the DRAM/PCM tier snapshot when the Env ran with
+	// hybrid media enabled (scheme esd+caram); nil on plain PCM.
+	Hybrid *media.HybridStats
 
 	// Elapsed is the simulated time from first arrival to device idle.
 	Elapsed sim.Time
@@ -236,8 +241,9 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 			warmLeft--
 			if warmLeft == 0 {
 				schemeBase = c.scheme.Stats()
-				deviceWritesBase = c.env.Device.Stats.Writes
-				mediaEnergyBase = c.env.Device.Stats.MediaEnergy
+				mst := c.env.Device.MediaStats()
+				deviceWritesBase = mst.Writes
+				mediaEnergyBase = mst.MediaEnergy
 				energyBase = c.env.Energy
 				lagBase = lag
 				c.env.Tel.OnRunMark("run-measure", arrival, "warmup complete")
@@ -251,12 +257,17 @@ func (c *Controller) Run(s trace.Stream) (*RunResult, error) {
 
 	res.Scheme = c.scheme.Stats().Sub(schemeBase)
 	res.DataWrites = res.Scheme.UniqueWrites
-	res.DeviceWrites = c.env.Device.Stats.Writes - deviceWritesBase
+	mst := c.env.Device.MediaStats()
+	res.DeviceWrites = mst.Writes - deviceWritesBase
 	res.Wear = c.env.Device.Wear()
 	res.Energy = c.env.Energy.Sub(energyBase)
-	res.Energy.Media += c.env.Device.Stats.MediaEnergy - mediaEnergyBase
+	res.Energy.Media += mst.MediaEnergy - mediaEnergyBase
 	res.MetadataNVMM = c.scheme.MetadataNVMM()
 	res.MetadataSRAM = c.scheme.MetadataSRAM()
+	if h := c.env.Hybrid(); h != nil {
+		snap := h.Snapshot()
+		res.Hybrid = &snap
+	}
 	return res, nil
 }
 

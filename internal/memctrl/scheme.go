@@ -19,13 +19,20 @@ import (
 
 	"github.com/esdsim/esd/internal/config"
 	"github.com/esdsim/esd/internal/crypto"
+	"github.com/esdsim/esd/internal/dram"
 	"github.com/esdsim/esd/internal/ecc"
 	"github.com/esdsim/esd/internal/integrity"
+	"github.com/esdsim/esd/internal/media"
 	"github.com/esdsim/esd/internal/nvm"
 	"github.com/esdsim/esd/internal/sim"
 	"github.com/esdsim/esd/internal/stats"
 	"github.com/esdsim/esd/internal/telemetry"
 )
+
+// MediaBackend is the media layer a scheme writes through — nvm.Device
+// (plain PCM) or media.Hybrid (DRAM buffer in front of PCM). See package
+// media for the contract.
+type MediaBackend = media.Backend
 
 // WriteOutcome reports how a scheme handled one dirty-eviction write.
 type WriteOutcome struct {
@@ -163,8 +170,11 @@ type Crasher interface {
 // Env bundles the shared hardware a scheme operates on. One Env must be
 // used by exactly one scheme instance.
 type Env struct {
-	Cfg    config.Config
-	Device *nvm.Device
+	Cfg config.Config
+	// Device is the media the scheme's lines live on. NewEnv installs the
+	// plain PCM device; EnableHybridMedia wraps it with the DRAM/PCM
+	// hybrid tier (scheme ESD+CARAM) before any traffic flows.
+	Device MediaBackend
 	Crypto *crypto.Engine
 	// Frontend is the controller's processing pipeline. Serial compute
 	// (hashing, probes) reserves it, so an expensive fingerprint on one
@@ -196,6 +206,10 @@ type Env struct {
 	// structures hash into [DataLines, total lines).
 	DataLines uint64
 	metaLines uint64
+
+	// hybrid is non-nil once EnableHybridMedia wrapped Device with the
+	// DRAM/PCM tier; the dedup plumbing feeds placement hints through it.
+	hybrid *media.Hybrid
 }
 
 // StepPoint names an intermediate point inside a scheme's write path where
@@ -211,6 +225,12 @@ const (
 	// StepCounterBumped fires after the encryption counter was advanced
 	// but before the ciphertext reached the media write queue.
 	StepCounterBumped
+	// StepWALPersisted fires (hybrid media only) after a DRAM-bound
+	// write's write-ahead PCM persist but before the DRAM install.
+	StepWALPersisted
+	// StepDRAMInstalled fires (hybrid media only) after the DRAM install
+	// but before the caller's dependent metadata updates.
+	StepDRAMInstalled
 )
 
 // String names the step point for failure reports.
@@ -220,6 +240,10 @@ func (p StepPoint) String() string {
 		return "amt-updated"
 	case StepCounterBumped:
 		return "counter-bumped"
+	case StepWALPersisted:
+		return "wal-persisted"
+	case StepDRAMInstalled:
+		return "dram-installed"
 	default:
 		return "unknown-step"
 	}
@@ -251,6 +275,65 @@ func NewEnv(cfg config.Config) *Env {
 	return e
 }
 
+// EnableHybridMedia wraps the plain PCM device with the content-aware
+// DRAM/PCM hybrid tier (scheme ESD+CARAM). It must run before any
+// traffic flows — NewScheme calls it while building a hybrid scheme —
+// and is idempotent. The rotating write-ahead log lives at the base of
+// the metadata region: its appends are timing-only metadata writes, so
+// sharing addresses with hashed metadata lines is harmless, and its wear
+// lands where metadata wear already does.
+func (e *Env) EnableHybridMedia() error {
+	if e.hybrid != nil {
+		return nil
+	}
+	pcm, ok := e.Device.(*nvm.Device)
+	if !ok {
+		return fmt.Errorf("memctrl: hybrid media needs the raw PCM device, have %T", e.Device)
+	}
+	mcfg := e.Cfg.Media.Normalized(e.Cfg.PCM)
+	walLines := uint64(mcfg.WALLines)
+	if e.metaLines > 0 && walLines > e.metaLines {
+		walLines = e.metaLines
+	}
+	if walLines == 0 {
+		walLines = 1
+	}
+	h := media.NewHybrid(pcm, dram.New(mcfg.DRAM), mcfg, e.DataLines, walLines)
+	h.OnStep = func(s media.Step) {
+		switch s {
+		case media.StepWALPersisted:
+			e.Step(StepWALPersisted)
+		case media.StepDRAMInstalled:
+			e.Step(StepDRAMInstalled)
+		}
+	}
+	e.Device = h
+	e.hybrid = h
+	e.registerHybridTelemetry()
+	return nil
+}
+
+// Hybrid returns the DRAM/PCM tier, or nil when the media is plain PCM.
+func (e *Env) Hybrid() *media.Hybrid { return e.hybrid }
+
+// NoteDupRef feeds the dedup engine's duplicate-reference signal (an
+// EFIT hit / refcount increment on phys) to the hybrid tier's placement
+// policy. One predictable branch when the media is plain PCM.
+func (e *Env) NoteDupRef(phys uint64, at sim.Time) {
+	if e.hybrid != nil {
+		e.hybrid.RefHint(phys, at)
+	}
+}
+
+// CrashMedia drops the volatile side of the media across a simulated
+// power failure (after recovery replay); a no-op on plain PCM, which has
+// no volatile side.
+func (e *Env) CrashMedia() {
+	if e.hybrid != nil {
+		e.hybrid.Crash()
+	}
+}
+
 // AttachTelemetry wires tel into the environment and the hardware it owns:
 // the device's media probe, the crypto engine's probe, and the
 // device-health gauge family (wear shape and energy split, computed from
@@ -258,7 +341,7 @@ func NewEnv(cfg config.Config) *Env {
 func (e *Env) AttachTelemetry(tel *telemetry.Sink) {
 	e.Tel = tel
 	if tel != nil {
-		e.Device.Probe = tel
+		e.Device.SetProbe(tel)
 		e.Crypto.Probe = tel
 		dev := e.Device
 		tel.RegisterDeviceHealth(func() telemetry.DeviceHealth {
@@ -272,7 +355,33 @@ func (e *Env) AttachTelemetry(tel *telemetry.Sink) {
 				WriteEnergyNJ: h.WriteEnergyNJ,
 			}
 		})
+		e.registerHybridTelemetry()
 	}
+}
+
+// registerHybridTelemetry exports the hybrid tier's gauge family. Both
+// AttachTelemetry and EnableHybridMedia call it, so the gauges appear
+// regardless of which wiring order a front end uses.
+func (e *Env) registerHybridTelemetry() {
+	if e.Tel == nil || e.hybrid == nil {
+		return
+	}
+	h := e.hybrid
+	e.Tel.RegisterHybridHealth(func() telemetry.HybridHealth {
+		s := h.Snapshot()
+		return telemetry.HybridHealth{
+			DRAMHits:       s.DRAMHits,
+			DRAMMisses:     s.DRAMMisses,
+			Promotions:     s.Promotions,
+			Demotions:      s.Demotions,
+			Writebacks:     s.Writebacks,
+			WALAppends:     s.WALAppends,
+			AbsorbedWrites: s.AbsorbedWrites,
+			CapacityLines:  s.CapacityLines,
+			ResidentLines:  s.ResidentLines,
+			DirtyLines:     s.DirtyLines,
+		}
+	})
 }
 
 // IntegrityUpdate refreshes the counter tree after a write to phys (no-op

@@ -442,3 +442,11 @@ func (d *Device) QueuedWrites() int {
 	}
 	return n
 }
+
+// MediaStats returns the device activity counters. It exists so Device can
+// satisfy the media.Backend interface (Stats is a plain field here, but a
+// composed backend has to assemble the struct on demand).
+func (d *Device) MediaStats() Stats { return d.Stats }
+
+// SetProbe installs (or clears) the media event probe.
+func (d *Device) SetProbe(p Probe) { d.Probe = p }

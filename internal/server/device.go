@@ -1,6 +1,7 @@
 package server
 
 import (
+	"github.com/esdsim/esd/internal/media"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/nvm"
 )
@@ -26,6 +27,44 @@ type DeviceResponse struct {
 	Banks    []BankRow        `json:"banks"`
 	Regions  []RegionRow      `json:"regions"`
 	WearHist []nvm.WearBucket `json:"wear_hist"`
+
+	// Hybrid describes the DRAM/PCM tier; nil on plain-PCM media.
+	Hybrid *HybridStatus `json:"hybrid,omitempty"`
+}
+
+// HybridStatus is the hybrid DRAM/PCM tier section of /debug/device:
+// hit/miss split, migration activity, write-ahead log traffic, and
+// buffer occupancy, summed over shards.
+type HybridStatus struct {
+	DRAMHits       uint64  `json:"dram_hits"`
+	DRAMMisses     uint64  `json:"dram_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	Promotions     uint64  `json:"promotions"`
+	Demotions      uint64  `json:"demotions"`
+	Writebacks     uint64  `json:"writebacks"`
+	WALAppends     uint64  `json:"wal_appends"`
+	AbsorbedWrites uint64  `json:"absorbed_writes"`
+	CapacityLines  int64   `json:"capacity_lines"`
+	ResidentLines  int64   `json:"resident_lines"`
+	DirtyLines     int64   `json:"dirty_lines"`
+}
+
+// HybridFromStats converts the media layer's tier statistics into the
+// response section.
+func HybridFromStats(st media.HybridStats) *HybridStatus {
+	return &HybridStatus{
+		DRAMHits:       st.DRAMHits,
+		DRAMMisses:     st.DRAMMisses,
+		HitRate:        st.HitRate(),
+		Promotions:     st.Promotions,
+		Demotions:      st.Demotions,
+		Writebacks:     st.Writebacks,
+		WALAppends:     st.WALAppends,
+		AbsorbedWrites: st.AbsorbedWrites,
+		CapacityLines:  st.CapacityLines,
+		ResidentLines:  st.ResidentLines,
+		DirtyLines:     st.DirtyLines,
+	}
 }
 
 // WearStatus summarizes the per-line wear distribution.
@@ -150,5 +189,9 @@ func DeviceFromHealth(scheme string, snaps []nvm.HealthSnapshot, st memctrl.Sche
 // Device builds the live /debug/device document for the engine behind
 // this server.
 func (s *Server) Device() DeviceResponse {
-	return DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+	resp := DeviceFromHealth(s.eng.SchemeName(), s.eng.DeviceHealths(), s.eng.LiveSchemeStats())
+	if hs, ok := s.eng.HybridStats(); ok {
+		resp.Hybrid = HybridFromStats(hs)
+	}
+	return resp
 }

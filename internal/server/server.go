@@ -302,6 +302,7 @@ type StatuszResponse struct {
 	FlightRecords   int                    `json:"flight_records"`
 	Rates           *RateStatus            `json:"rates,omitempty"`
 	Device          *DeviceStatus          `json:"device,omitempty"`
+	Hybrid          *HybridStatus          `json:"hybrid,omitempty"`
 	Stages          map[string]StageStatus `json:"stages,omitempty"`
 }
 
@@ -343,6 +344,9 @@ func (s *Server) Statusz() StatuszResponse {
 		EnergyWriteNJ: h.WriteEnergyNJ,
 		DedupHitRate:  st.DedupRate(),
 		BytesSaved:    st.DedupWrites * 64,
+	}
+	if hs, ok := s.eng.HybridStats(); ok {
+		resp.Hybrid = HybridFromStats(hs)
 	}
 	if hists, ok := s.eng.StageSnapshot(); ok {
 		resp.Stages = make(map[string]StageStatus, len(hists))

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"github.com/esdsim/esd/internal/media"
 	"github.com/esdsim/esd/internal/memctrl"
 	"github.com/esdsim/esd/internal/nvm"
 )
@@ -51,6 +52,34 @@ func (e *Engine) DeviceHealths() []nvm.HealthSnapshot {
 // (banks and regions renumbered in shard order).
 func (e *Engine) DeviceHealth() nvm.HealthSnapshot {
 	return nvm.MergeHealth(e.DeviceHealths())
+}
+
+// HybridStats sums the per-shard hybrid DRAM/PCM tier statistics; ok is
+// false when the engine's media is plain PCM. Safe to call while the
+// workers run (each shard's snapshot is atomics-based; the set is not a
+// cross-shard barrier).
+func (e *Engine) HybridStats() (media.HybridStats, bool) {
+	var out media.HybridStats
+	any := false
+	for _, s := range e.shards {
+		h := s.env.Hybrid()
+		if h == nil {
+			continue
+		}
+		any = true
+		st := h.Snapshot()
+		out.DRAMHits += st.DRAMHits
+		out.DRAMMisses += st.DRAMMisses
+		out.Promotions += st.Promotions
+		out.Demotions += st.Demotions
+		out.Writebacks += st.Writebacks
+		out.WALAppends += st.WALAppends
+		out.AbsorbedWrites += st.AbsorbedWrites
+		out.CapacityLines += st.CapacityLines
+		out.ResidentLines += st.ResidentLines
+		out.DirtyLines += st.DirtyLines
+	}
+	return out, any
 }
 
 // WearSummaries returns each shard device's exact wear summary. Each

@@ -140,6 +140,12 @@ func New(cfg config.Config, scheme string, opts Options) (*Engine, error) {
 	shardCfg := cfg
 	shardCfg.PCM.CapacityBytes = cfg.PCM.CapacityBytes / int64(opts.Shards)
 	shardCfg.PCM.CapacityBytes -= shardCfg.PCM.CapacityBytes % config.CacheLineSize
+	if shardCfg.Media.DRAM.CapacityBytes > 0 {
+		// The hybrid tier's DRAM buffer is partitioned like the PCM it
+		// fronts, so an N-shard engine has the same total DRAM as one.
+		shardCfg.Media.DRAM.CapacityBytes = cfg.Media.DRAM.CapacityBytes / int64(opts.Shards)
+		shardCfg.Media.DRAM.CapacityBytes -= shardCfg.Media.DRAM.CapacityBytes % config.CacheLineSize
+	}
 	if msg := shardCfg.Validate(); msg != "" {
 		return nil, fmt.Errorf("shard: per-shard config: %s", msg)
 	}

@@ -383,15 +383,16 @@ func (s *shard) tick() sim.Time {
 
 func (s *shard) snapshot() *Snapshot {
 	s.env.Device.SyncHealth()
+	mst := s.env.Device.MediaStats()
 	return &Snapshot{
 		Shard:        s.id,
 		Scheme:       s.sch.Stats(),
 		WriteHist:    s.writeHist,
 		ReadHist:     s.readHist,
 		Energy:       s.env.Energy,
-		MediaEnergy:  s.env.Device.Stats.MediaEnergy,
-		DeviceWrites: s.env.Device.Stats.Writes,
-		DeviceReads:  s.env.Device.Stats.Reads,
+		MediaEnergy:  mst.MediaEnergy,
+		DeviceWrites: mst.Writes,
+		DeviceReads:  mst.Reads,
 		Wear:         s.env.Device.Wear(),
 		MetadataNVMM: s.sch.MetadataNVMM(),
 		MetadataSRAM: s.sch.MetadataSRAM(),

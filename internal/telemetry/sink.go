@@ -460,6 +460,57 @@ func (s *Sink) RegisterDeviceHealth(fn func() DeviceHealth) {
 		func(h DeviceHealth) float64 { return h.WriteEnergyNJ })
 }
 
+// HybridHealth is the hybrid DRAM/PCM tier's gauge-family sample. The
+// media layer fills it via the callback handed to RegisterHybridHealth,
+// keeping telemetry free of a media dependency (same pattern as
+// DeviceHealth).
+type HybridHealth struct {
+	DRAMHits       uint64
+	DRAMMisses     uint64
+	Promotions     uint64
+	Demotions      uint64
+	Writebacks     uint64
+	WALAppends     uint64
+	AbsorbedWrites uint64
+	CapacityLines  int64
+	ResidentLines  int64
+	DirtyLines     int64
+}
+
+// RegisterHybridHealth registers the hybrid-tier gauge family (DRAM
+// hit/miss totals, migration counters, WAL appends, buffer occupancy),
+// each gauge computed by fn at scrape time. fn must be safe to call
+// concurrently with the simulation; media.Hybrid's Snapshot is. Nil-safe
+// on both receiver and fn.
+func (s *Sink) RegisterHybridHealth(fn func() HybridHealth) {
+	if s == nil || fn == nil {
+		return
+	}
+	ff := func(name, help string, get func(HybridHealth) float64) {
+		s.reg.FloatFunc(labeled(name, s.labels), help, func() float64 { return get(fn()) })
+	}
+	ff("esd_hybrid_dram_hit_total", "timed data reads served from the DRAM tier",
+		func(h HybridHealth) float64 { return float64(h.DRAMHits) })
+	ff("esd_hybrid_dram_miss_total", "timed data reads served from PCM",
+		func(h HybridHealth) float64 { return float64(h.DRAMMisses) })
+	ff("esd_hybrid_promotions_total", "lines promoted into the DRAM tier",
+		func(h HybridHealth) float64 { return float64(h.Promotions) })
+	ff("esd_hybrid_demotions_total", "lines demoted out of the DRAM tier",
+		func(h HybridHealth) float64 { return float64(h.Demotions) })
+	ff("esd_hybrid_writebacks_total", "dirty demotions that cost a PCM home write",
+		func(h HybridHealth) float64 { return float64(h.Writebacks) })
+	ff("esd_hybrid_wal_appends_total", "write-ahead PCM persists for DRAM-bound writes",
+		func(h HybridHealth) float64 { return float64(h.WALAppends) })
+	ff("esd_hybrid_absorbed_writes_total", "data writes absorbed by DRAM instead of a PCM home write",
+		func(h HybridHealth) float64 { return float64(h.AbsorbedWrites) })
+	ff("esd_hybrid_capacity_lines", "DRAM tier capacity in lines",
+		func(h HybridHealth) float64 { return float64(h.CapacityLines) })
+	ff("esd_hybrid_resident_lines", "lines currently resident in DRAM",
+		func(h HybridHealth) float64 { return float64(h.ResidentLines) })
+	ff("esd_hybrid_dirty_lines", "DRAM residents newer than their PCM home",
+		func(h HybridHealth) float64 { return float64(h.DirtyLines) })
+}
+
 // OnCrash records a simulated power failure.
 func (s *Sink) OnCrash(at sim.Time) {
 	if s == nil {

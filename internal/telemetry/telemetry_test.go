@@ -57,6 +57,7 @@ func TestNilSinkHooksAreNoOps(t *testing.T) {
 	s.CryptoEncrypt()
 	s.CryptoDecrypt()
 	s.CounterOverflow(4)
+	s.RegisterHybridHealth(func() HybridHealth { return HybridHealth{} })
 	if s.Registry() != nil || s.Tracer() != nil || s.Flight() != nil {
 		t.Error("nil sink leaked non-nil accessors")
 	}

@@ -175,6 +175,43 @@ func TestDeviceHealthGauges(t *testing.T) {
 	s.RegisterDeviceHealth(nil)
 }
 
+func TestHybridHealthGauges(t *testing.T) {
+	s := NewSink(Options{})
+	s.RegisterHybridHealth(func() HybridHealth {
+		return HybridHealth{
+			DRAMHits: 10, DRAMMisses: 5, Promotions: 4, Demotions: 2,
+			Writebacks: 1, WALAppends: 7, AbsorbedWrites: 7,
+			CapacityLines: 1024, ResidentLines: 2, DirtyLines: 1,
+		}
+	})
+	var sb strings.Builder
+	if err := s.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"esd_hybrid_dram_hit_total 10",
+		"esd_hybrid_dram_miss_total 5",
+		"esd_hybrid_promotions_total 4",
+		"esd_hybrid_demotions_total 2",
+		"esd_hybrid_writebacks_total 1",
+		"esd_hybrid_wal_appends_total 7",
+		"esd_hybrid_absorbed_writes_total 7",
+		"esd_hybrid_capacity_lines 1024",
+		"esd_hybrid_resident_lines 2",
+		"esd_hybrid_dirty_lines 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	// Nil-safety: both receiver and callback must be no-ops, not panics.
+	var nilSink *Sink
+	nilSink.RegisterHybridHealth(nil)
+	nilSink.RegisterHybridHealth(func() HybridHealth { return HybridHealth{} })
+	s.RegisterHybridHealth(nil)
+}
+
 func TestDedupEffectivenessGauges(t *testing.T) {
 	s := NewSink(Options{})
 	// 3 writes: 2 dedup hits, 1 unique; 2 byte-compares, 1 mismatch.

@@ -8,7 +8,9 @@ HTTP_PORT="${HTTP_PORT:-18080}"
 TCP_PORT="${TCP_PORT:-18081}"
 BIN="$(mktemp -d)"
 LOG="$BIN/esdserve.log"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+trap 'kill "$SERVE_PID" 2>/dev/null || true; kill "$CARAM_PID" 2>/dev/null || true; rm -rf "$BIN"' EXIT INT TERM
+SERVE_PID=""
+CARAM_PID=""
 
 go build -o "$BIN/esdserve" ./cmd/esdserve
 go build -o "$BIN/esdload" ./cmd/esdload
@@ -116,5 +118,72 @@ if ! grep -q "drained clean" "$LOG"; then
   cat "$LOG" >&2
   exit 1
 fi
-echo "serve-smoke: OK"
 grep "drained clean" "$LOG"
+
+# Second pass on the hybrid DRAM/PCM tier (scheme esd+caram): same load,
+# then the device document must carry the hybrid section with WAL and
+# absorption activity, esdtop must render the hybrid row, and the drain
+# must stay clean — the serving-level "kill mid-load loses nothing" check
+# (every acknowledged write was WAL-persisted to PCM before install).
+CARAM_PORT=$((HTTP_PORT + 2))
+CARAM_LOG="$BIN/esdserve-caram.log"
+"$BIN/esdserve" -addr "127.0.0.1:$CARAM_PORT" \
+  -scheme esd+caram -shards 2 -metrics -trace >"$CARAM_LOG" 2>&1 &
+CARAM_PID=$!
+i=0
+until "$BIN/esdload" -addr "http://127.0.0.1:$CARAM_PORT" -n 1 -workers 1 -stats=false -flush=false >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "serve-smoke: esd+caram server never came up" >&2
+    cat "$CARAM_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "serve-smoke: esd+caram HTTP load"
+# Tight address space so lines get rewritten: repeat writes build heat,
+# promote into DRAM, and exercise the WAL-then-install path.
+"$BIN/esdload" -addr "http://127.0.0.1:$CARAM_PORT" -n 1000 -workers 4 -writes 0.6 -dup 0.4 -space 256
+
+if command -v curl >/dev/null 2>&1; then
+  code=$(curl -s -o "$BIN/caram-device.out" -w '%{http_code}' "http://127.0.0.1:$CARAM_PORT/debug/device")
+  if [ "$code" != 200 ]; then
+    echo "serve-smoke: esd+caram GET /debug/device returned $code" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$BIN/caram-device.out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    dev = json.load(f)
+assert dev["scheme"] == "esd+caram", dev["scheme"]
+h = dev.get("hybrid")
+assert h, "esd+caram device document has no hybrid section: %r" % dev
+assert h["capacity_lines"] > 0, h
+assert h["wal_appends"] > 0, "no write-ahead activity after a write-heavy load: %r" % h
+assert h["promotions"] > 0, h
+assert h["absorbed_writes"] > 0, h
+print("serve-smoke: esd+caram hybrid section: wal=%d absorbed=%d promo=%d resident=%d/%d"
+      % (h["wal_appends"], h["absorbed_writes"], h["promotions"],
+         h["resident_lines"], h["capacity_lines"]))
+EOF
+  fi
+  "$BIN/esdtop" -once -addr "http://127.0.0.1:$CARAM_PORT" >"$BIN/esdtop-caram.out" 2>&1
+  if ! grep -q "hybrid " "$BIN/esdtop-caram.out"; then
+    echo "serve-smoke: esdtop frame missing hybrid row on esd+caram:" >&2
+    cat "$BIN/esdtop-caram.out" >&2
+    exit 1
+  fi
+fi
+
+kill -TERM "$CARAM_PID"
+wait "$CARAM_PID" || { echo "serve-smoke: esd+caram exited non-zero" >&2; cat "$CARAM_LOG" >&2; exit 1; }
+CARAM_PID=""
+if ! grep -q "drained clean" "$CARAM_LOG"; then
+  echo "serve-smoke: no clean-drain marker in esd+caram log:" >&2
+  cat "$CARAM_LOG" >&2
+  exit 1
+fi
+grep "drained clean" "$CARAM_LOG"
+echo "serve-smoke: OK"
